@@ -1,0 +1,75 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//!
+//! 1. executing-node vs. creating-node attribution (paper Fig. 3),
+//! 2. free-list node reuse vs. fresh allocation (paper Section V-B).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pomp::{registry, RegionKind, TaskIdAllocator};
+use taskprof::{AssignPolicy, ThreadProfile};
+
+fn regions() -> (pomp::RegionId, pomp::RegionId, pomp::RegionId, pomp::RegionId) {
+    let reg = registry();
+    (
+        reg.register("abl!parallel", RegionKind::Parallel, file!(), line!()),
+        reg.register("abl_task", RegionKind::Task, file!(), line!()),
+        reg.register("abl_task!create", RegionKind::TaskCreate, file!(), line!()),
+        reg.register("abl!barrier", RegionKind::ImplicitBarrier, file!(), line!()),
+    )
+}
+
+/// Drive `instances` create+begin+inner-region+end cycles through a
+/// profiler; returns the arena high-water mark.
+fn drive(policy: AssignPolicy, reuse: bool, instances: u64) -> usize {
+    let (par, task, create, barrier) = regions();
+    let inner = registry().register("abl_inner", RegionKind::User, file!(), line!());
+    let alloc = TaskIdAllocator::new();
+    let mut p = ThreadProfile::new(par, 0, policy);
+    p.set_node_reuse(reuse);
+    let mut t = 0u64;
+    for _ in 0..instances {
+        let id = alloc.alloc();
+        p.task_create_begin(create, task, id, t);
+        p.task_create_end(create, id, t + 1);
+        p.enter(barrier, t + 1);
+        p.task_begin(task, id, t + 2);
+        p.enter(inner, t + 3);
+        p.exit(inner, t + 4);
+        p.task_end(task, id, t + 5);
+        p.exit(barrier, t + 6);
+        t += 10;
+    }
+    p.arena_capacity()
+}
+
+fn attribution_policy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/attribution");
+    group.sample_size(20);
+    for (name, policy) in [
+        ("executing", AssignPolicy::Executing),
+        ("creating", AssignPolicy::Creating),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| drive(policy, true, 1000));
+        });
+    }
+    group.finish();
+}
+
+fn node_reuse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/node_reuse");
+    group.sample_size(20);
+    for (name, reuse) in [("reuse", true), ("fresh_alloc", false)] {
+        group.bench_function(name, |b| {
+            b.iter(|| drive(AssignPolicy::Executing, reuse, 1000));
+        });
+    }
+    // Document the memory effect alongside the time effect.
+    let with = drive(AssignPolicy::Executing, true, 1000);
+    let without = drive(AssignPolicy::Executing, false, 1000);
+    println!("arena capacity after 1000 instances: reuse = {with} nodes, fresh = {without} nodes");
+    assert!(without > 10 * with, "reuse must bound memory");
+    group.finish();
+}
+
+criterion_group!(benches, attribution_policy, node_reuse);
+criterion_main!(benches);

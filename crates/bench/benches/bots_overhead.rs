@@ -1,0 +1,37 @@
+//! Instrumented vs. uninstrumented kernel times of every BOTS code —
+//! the Criterion counterpart of Figs. 13/14 (the `fig13`/`fig14` binaries
+//! print the paper-style tables; this tracks regressions).
+
+use bots::{run_app, RunOpts, Scale, ALL_APPS};
+use criterion::{criterion_group, criterion_main, Criterion};
+use pomp::NullMonitor;
+use taskprof::ProfMonitor;
+
+fn bots_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bots");
+    group
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    let opts = RunOpts::new(2).scale(Scale::Test);
+    for app in ALL_APPS {
+        group.bench_function(format!("{}/uninstrumented", app.name()), |b| {
+            b.iter(|| {
+                let out = run_app(app, &NullMonitor, &opts);
+                assert!(out.verified);
+            });
+        });
+        group.bench_function(format!("{}/instrumented", app.name()), |b| {
+            b.iter(|| {
+                let monitor = ProfMonitor::new();
+                let out = run_app(app, &monitor, &opts);
+                assert!(out.verified);
+                let _ = monitor.take_profile();
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bots_overhead);
+criterion_main!(benches);

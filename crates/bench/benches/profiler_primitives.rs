@@ -1,0 +1,96 @@
+//! Microbenchmarks of the profiler's hot-path primitives: the per-event
+//! costs that become the measurement overhead of Figs. 13/14.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pomp::{registry, RegionKind, TaskIdAllocator, ThreadHooks};
+use std::hint::black_box;
+use taskprof::{AssignPolicy, ProfMonitor, ThreadProfile};
+
+fn ids() -> (pomp::RegionId, pomp::RegionId, pomp::RegionId) {
+    let reg = registry();
+    (
+        reg.register("bench!parallel", RegionKind::Parallel, file!(), line!()),
+        reg.register("bench_task", RegionKind::Task, file!(), line!()),
+        reg.register("bench!barrier", RegionKind::ImplicitBarrier, file!(), line!()),
+    )
+}
+
+fn enter_exit(c: &mut Criterion) {
+    let (par, _, _) = ids();
+    let work = registry().register("bench_work", RegionKind::User, file!(), line!());
+    c.bench_function("profiler/enter_exit_pair", |b| {
+        let mut p = ThreadProfile::new(par, 0, AssignPolicy::Executing);
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 2;
+            p.enter(black_box(work), t);
+            p.exit(black_box(work), t + 1);
+        });
+    });
+}
+
+fn task_lifecycle(c: &mut Criterion) {
+    let (par, task, barrier) = ids();
+    c.bench_function("profiler/task_begin_end_merge", |b| {
+        let mut p = ThreadProfile::new(par, 0, AssignPolicy::Executing);
+        p.enter(barrier, 0);
+        let alloc = TaskIdAllocator::new();
+        let mut t = 0u64;
+        b.iter(|| {
+            let id = alloc.alloc();
+            t += 3;
+            p.task_begin(task, id, t);
+            p.task_end(task, id, t + 2);
+        });
+    });
+}
+
+fn task_switch(c: &mut Criterion) {
+    let (par, task, barrier) = ids();
+    c.bench_function("profiler/task_switch_suspend_resume", |b| {
+        let mut p = ThreadProfile::new(par, 0, AssignPolicy::Executing);
+        p.enter(barrier, 0);
+        let alloc = TaskIdAllocator::new();
+        let id = alloc.alloc();
+        p.task_begin(task, id, 1);
+        let mut t = 1u64;
+        b.iter(|| {
+            t += 2;
+            p.task_switch(pomp::TaskRef::Implicit, t);
+            p.task_switch(pomp::TaskRef::Explicit(id), t + 1);
+        });
+    });
+}
+
+fn monitor_dispatch(c: &mut Criterion) {
+    let (par, _, _) = ids();
+    let work = registry().register("bench_work", RegionKind::User, file!(), line!());
+    c.bench_function("profiler/monitor_enter_exit_with_clock", |b| {
+        let monitor = ProfMonitor::new();
+        let th = pomp::Monitor::thread_begin(&monitor, 0, 1, par);
+        b.iter(|| {
+            th.enter(black_box(work));
+            th.exit(black_box(work));
+        });
+    });
+}
+
+fn registry_lookup(c: &mut Criterion) {
+    c.bench_function("pomp/region_macro_cached", |b| {
+        b.iter(|| black_box(pomp::region!("bench-cached-region", RegionKind::User)));
+    });
+}
+
+fn configure() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = configure();
+    targets = enter_exit, task_lifecycle, task_switch, monitor_dispatch, registry_lookup
+}
+criterion_main!(benches);

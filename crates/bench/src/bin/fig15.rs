@@ -1,0 +1,49 @@
+//! Figure 15: runtime of the *uninstrumented* no-cut-off versions vs.
+//! thread count, as a percentage of the largest measured value per code —
+//! for the codes that also have a cut-off version.
+//!
+//! Paper reference: runtimes *increase* with threads (task-management
+//! contention on tiny tasks), except strassen which scales.
+
+use bench::{banner, print_table, uninstrumented_time, Config};
+use bots::{AppId, Variant};
+use std::time::Duration;
+
+fn main() {
+    let cfg = Config::from_env();
+    banner(
+        "Fig. 15 — uninstrumented runtime without cut-off, % of per-code max",
+        &cfg,
+    );
+    let apps = [
+        AppId::Fib,
+        AppId::Floorplan,
+        AppId::Health,
+        AppId::Nqueens,
+        AppId::Strassen,
+    ];
+    let mut rows = Vec::new();
+    for app in apps {
+        let times: Vec<Duration> = cfg
+            .threads
+            .iter()
+            .map(|&t| uninstrumented_time(app, t, cfg.scale, Variant::NoCutoff, cfg.reps))
+            .collect();
+        let max = times.iter().max().copied().unwrap_or_default();
+        let mut row = vec![app.name().to_string()];
+        for time in &times {
+            row.push(format!(
+                "{:5.1}% ({:.3}s)",
+                100.0 * time.as_secs_f64() / max.as_secs_f64(),
+                time.as_secs_f64()
+            ));
+        }
+        rows.push(row);
+    }
+    let mut headers = vec!["code"];
+    let labels: Vec<String> = cfg.threads.iter().map(|t| format!("{t} thr")).collect();
+    headers.extend(labels.iter().map(String::as_str));
+    print_table(&headers, &rows);
+    println!();
+    println!("shape check vs paper: tiny-task codes should NOT get faster with threads");
+}

@@ -1,0 +1,239 @@
+//! `bots` — a from-scratch Rust port of the Barcelona OpenMP Tasks Suite
+//! (Duran et al., ICPP 2009) on the `taskrt` tied-task runtime.
+//!
+//! The paper evaluates its profiler on the nine BOTS codes; this crate
+//! provides all nine with the same task shapes:
+//!
+//! | code       | pattern                                   | cut-off variant |
+//! |------------|-------------------------------------------|-----------------|
+//! | alignment  | single creator, one task per pair         | no              |
+//! | fft        | binary task recursion + combine           | no              |
+//! | fib        | binary task recursion, tiny leaf work     | yes (depth)     |
+//! | floorplan  | branch-and-bound, task per candidate      | yes (depth)     |
+//! | health     | task per child village per time step      | yes (level)     |
+//! | nqueens    | task per valid placement per row          | yes (row)       |
+//! | sort       | 4-way sort tasks + recursive merge tasks  | no              |
+//! | sparselu   | single creator, task per block op         | no              |
+//! | strassen   | 7 product tasks per recursion level       | yes (depth)     |
+//!
+//! Every code has a serial reference implementation used for verification,
+//! deterministic input generation, and a uniform entry point
+//! ([`run_app`]) used by the experiment harness. Input sizes are scaled
+//! by [`Scale`]; `Scale::Medium` is the default for the paper-shaped
+//! experiments (scaled down from the paper's cluster inputs — see
+//! `EXPERIMENTS.md`).
+
+#![warn(missing_docs)]
+
+pub mod alignment;
+pub mod fft;
+pub mod fib;
+pub mod floorplan;
+pub mod health;
+pub mod nqueens;
+pub mod sort;
+pub mod sparselu;
+pub mod strassen;
+pub mod util;
+
+use pomp::Monitor;
+use std::time::Duration;
+
+/// Input-size scale of a run.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Scale {
+    /// Tiny inputs for unit tests (sub-second in debug builds).
+    Test,
+    /// Small inputs for quick experiments.
+    Small,
+    /// The default experiment size (scaled-down analogue of the paper's
+    /// "medium" BOTS inputs).
+    Medium,
+}
+
+/// Which BOTS variant to run.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Variant {
+    /// Unbounded task creation (paper Fig. 14 / Fig. 15 / Table I).
+    NoCutoff,
+    /// Recursion cut-off: below a depth threshold no tasks are created
+    /// (paper Fig. 13). Falls back to `NoCutoff` for codes without a
+    /// cut-off version (alignment, fft, sort, sparselu).
+    Cutoff,
+}
+
+/// Options of one benchmark run.
+#[derive(Clone, Copy, Debug)]
+pub struct RunOpts {
+    /// Team size.
+    pub threads: usize,
+    /// Input scale.
+    pub scale: Scale,
+    /// Cut-off variant.
+    pub variant: Variant,
+    /// Enable parameter (recursion-depth) instrumentation where supported
+    /// (nqueens — the paper's Table IV experiment).
+    pub depth_param: bool,
+}
+
+impl RunOpts {
+    /// Medium no-cutoff run on `threads` threads.
+    pub fn new(threads: usize) -> Self {
+        Self {
+            threads,
+            scale: Scale::Medium,
+            variant: Variant::NoCutoff,
+            depth_param: false,
+        }
+    }
+
+    /// Builder: set the scale.
+    pub fn scale(mut self, scale: Scale) -> Self {
+        self.scale = scale;
+        self
+    }
+
+    /// Builder: set the variant.
+    pub fn variant(mut self, variant: Variant) -> Self {
+        self.variant = variant;
+        self
+    }
+
+    /// Builder: enable depth-parameter instrumentation.
+    pub fn with_depth_param(mut self) -> Self {
+        self.depth_param = true;
+        self
+    }
+}
+
+/// Result of one benchmark run.
+#[derive(Clone, Copy, Debug)]
+pub struct Outcome {
+    /// Wall time of the parallel kernel (the quantity BOTS reports).
+    pub kernel: Duration,
+    /// Order-independent result checksum.
+    pub checksum: u64,
+    /// True when the result matches the serial reference.
+    pub verified: bool,
+}
+
+/// The nine BOTS codes.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[allow(missing_docs)]
+pub enum AppId {
+    Alignment,
+    Fft,
+    Fib,
+    Floorplan,
+    Health,
+    Nqueens,
+    Sort,
+    SparseLu,
+    Strassen,
+}
+
+/// All codes, in the paper's (alphabetical) order.
+pub const ALL_APPS: [AppId; 9] = [
+    AppId::Alignment,
+    AppId::Fft,
+    AppId::Fib,
+    AppId::Floorplan,
+    AppId::Health,
+    AppId::Nqueens,
+    AppId::Sort,
+    AppId::SparseLu,
+    AppId::Strassen,
+];
+
+impl AppId {
+    /// Lowercase display name (matches the paper's figures).
+    pub fn name(self) -> &'static str {
+        match self {
+            AppId::Alignment => "alignment",
+            AppId::Fft => "fft",
+            AppId::Fib => "fib",
+            AppId::Floorplan => "floorplan",
+            AppId::Health => "health",
+            AppId::Nqueens => "nqueens",
+            AppId::Sort => "sort",
+            AppId::SparseLu => "sparselu",
+            AppId::Strassen => "strassen",
+        }
+    }
+
+    /// True for codes that provide a cut-off version in BOTS (paper
+    /// Section V-A: fib, floorplan, health, nqueens, strassen).
+    pub fn has_cutoff(self) -> bool {
+        matches!(
+            self,
+            AppId::Fib | AppId::Floorplan | AppId::Health | AppId::Nqueens | AppId::Strassen
+        )
+    }
+
+    /// The name of this code's *primary* task construct region (for
+    /// profile queries; sort and sparselu have additional constructs).
+    pub fn task_region_name(self) -> &'static str {
+        match self {
+            AppId::Alignment => "alignment_pair",
+            AppId::Fft => "fft_split",
+            AppId::Fib => "fib",
+            AppId::Floorplan => "floorplan_add_cell",
+            AppId::Health => "health_village",
+            AppId::Nqueens => "nqueens",
+            AppId::Sort => "sort_split",
+            AppId::SparseLu => "sparselu_bmod",
+            AppId::Strassen => "strassen_mul",
+        }
+    }
+}
+
+/// Run one BOTS code under the given monitor. The single entry point used
+/// by examples, tests, and the experiment harness.
+pub fn run_app<M: Monitor>(id: AppId, monitor: &M, opts: &RunOpts) -> Outcome {
+    match id {
+        AppId::Alignment => alignment::run(monitor, opts),
+        AppId::Fft => fft::run(monitor, opts),
+        AppId::Fib => fib::run(monitor, opts),
+        AppId::Floorplan => floorplan::run(monitor, opts),
+        AppId::Health => health::run(monitor, opts),
+        AppId::Nqueens => nqueens::run(monitor, opts),
+        AppId::Sort => sort::run(monitor, opts),
+        AppId::SparseLu => sparselu::run(monitor, opts),
+        AppId::Strassen => strassen::run(monitor, opts),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pomp::NullMonitor;
+
+    #[test]
+    fn every_app_runs_and_verifies_at_test_scale() {
+        for app in ALL_APPS {
+            let opts = RunOpts::new(2).scale(Scale::Test);
+            let out = run_app(app, &NullMonitor, &opts);
+            assert!(out.verified, "{} failed verification", app.name());
+        }
+    }
+
+    #[test]
+    fn cutoff_variants_verify() {
+        for app in ALL_APPS.into_iter().filter(|a| a.has_cutoff()) {
+            let opts = RunOpts::new(2).scale(Scale::Test).variant(Variant::Cutoff);
+            let out = run_app(app, &NullMonitor, &opts);
+            assert!(out.verified, "{} (cutoff) failed verification", app.name());
+        }
+    }
+
+    #[test]
+    fn checksums_are_reproducible_across_thread_counts() {
+        for app in ALL_APPS {
+            // floorplan's explored-node count is schedule-dependent; its
+            // checksum is the best area, which must still agree.
+            let a = run_app(app, &NullMonitor, &RunOpts::new(1).scale(Scale::Test));
+            let b = run_app(app, &NullMonitor, &RunOpts::new(4).scale(Scale::Test));
+            assert_eq!(a.checksum, b.checksum, "{} checksum unstable", app.name());
+        }
+    }
+}

@@ -1,0 +1,214 @@
+//! BOTS `nqueens`: count all placements of n queens on an n×n board.
+//!
+//! The paper's Section VI case study: a task is created for every valid
+//! placement in the current row, recursively — so without a cut-off the
+//! task count explodes and mean task size shrinks with depth (Table IV).
+//! With depth-parameter instrumentation enabled, every task reports its
+//! recursion level, producing per-level sub-trees in the profile.
+
+use crate::{Outcome, RunOpts, Scale, Variant};
+use pomp::{param, Monitor, ParamId, RegionId};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+use taskrt::{taskwait_region, ParallelConstruct, SingleConstruct, TaskConstruct, TaskCtx, Team};
+
+/// Regions of the nqueens benchmark.
+pub struct Regions {
+    /// The parallel region.
+    pub par: ParallelConstruct,
+    /// The per-placement task construct.
+    pub task: TaskConstruct,
+    /// The per-row taskwait.
+    pub tw: RegionId,
+    /// The single construct hosting the root call.
+    pub single: SingleConstruct,
+}
+
+/// Lazily registered regions.
+pub fn regions() -> &'static Regions {
+    static R: OnceLock<Regions> = OnceLock::new();
+    R.get_or_init(|| Regions {
+        par: ParallelConstruct::new("nqueens!parallel"),
+        task: TaskConstruct::new("nqueens"),
+        tw: taskwait_region("nqueens!taskwait"),
+        single: SingleConstruct::new("nqueens!single"),
+    })
+}
+
+/// The recursion-depth parameter (paper Table IV).
+pub fn depth_param() -> ParamId {
+    param!("depth")
+}
+
+/// Board size per scale (paper used n = 14).
+pub fn input_n(scale: Scale) -> usize {
+    match scale {
+        Scale::Test => 8,
+        Scale::Small => 10,
+        Scale::Medium => 12,
+    }
+}
+
+/// Cut-off level of the BOTS cut-off version (paper Section VI: "stopping
+/// task creation at level 3").
+pub const CUTOFF_ROW: usize = 3;
+
+/// Is placing a queen at (row, col) compatible with rows `0..row`?
+#[inline]
+fn ok(board: &[u8], row: usize, col: u8) -> bool {
+    for (r, &c) in board[..row].iter().enumerate() {
+        let dist = (row - r) as i32;
+        let dc = c as i32 - col as i32;
+        if dc == 0 || dc == dist || dc == -dist {
+            return false;
+        }
+    }
+    true
+}
+
+/// Serial reference: solutions with rows `0..row` already placed.
+pub fn serial_count(n: usize, board: &mut [u8], row: usize) -> u64 {
+    if row == n {
+        return 1;
+    }
+    let mut total = 0;
+    for col in 0..n as u8 {
+        if ok(board, row, col) {
+            board[row] = col;
+            total += serial_count(n, board, row + 1);
+        }
+    }
+    total
+}
+
+fn nq_task<'e, M: Monitor>(
+    ctx: &TaskCtx<'_, 'e, M>,
+    n: usize,
+    row: usize,
+    board: Vec<u8>,
+    count: &'e AtomicU64,
+    cutoff: Option<usize>,
+    depth_param_on: bool,
+) {
+    if row == n {
+        count.fetch_add(1, Ordering::Relaxed);
+        return;
+    }
+    if let Some(c) = cutoff {
+        if row >= c {
+            let mut b = board;
+            count.fetch_add(serial_count(n, &mut b, row), Ordering::Relaxed);
+            return;
+        }
+    }
+    let r = regions();
+    for col in 0..n as u8 {
+        if ok(&board, row, col) {
+            let mut b2 = board.clone();
+            b2[row] = col;
+            ctx.task(&r.task, move |ctx| {
+                if depth_param_on {
+                    ctx.parameter(depth_param(), row as i64, move |ctx| {
+                        nq_task(ctx, n, row + 1, b2, count, cutoff, depth_param_on)
+                    });
+                } else {
+                    nq_task(ctx, n, row + 1, b2, count, cutoff, depth_param_on);
+                }
+            });
+        }
+    }
+    ctx.taskwait(r.tw);
+}
+
+/// Run the benchmark.
+pub fn run<M: Monitor>(monitor: &M, opts: &RunOpts) -> Outcome {
+    let n = input_n(opts.scale);
+    let cutoff = (opts.variant == Variant::Cutoff).then_some(CUTOFF_ROW);
+    let r = regions();
+    let count = AtomicU64::new(0);
+    let count_ref = &count;
+    let depth_param_on = opts.depth_param;
+    let team = Team::new(opts.threads);
+    let start = Instant::now();
+    team.parallel(monitor, &r.par, |ctx| {
+        ctx.single(&r.single, |ctx| {
+            nq_task(ctx, n, 0, vec![0; n], count_ref, cutoff, depth_param_on);
+        });
+    });
+    let kernel = start.elapsed();
+    let got = count.load(Ordering::Relaxed);
+    let expected = expected_solutions(n);
+    Outcome {
+        kernel,
+        checksum: got,
+        verified: got == expected,
+    }
+}
+
+/// Known solution counts for the boards we use.
+pub fn expected_solutions(n: usize) -> u64 {
+    match n {
+        4 => 2,
+        5 => 10,
+        6 => 4,
+        7 => 40,
+        8 => 92,
+        9 => 352,
+        10 => 724,
+        11 => 2680,
+        12 => 14200,
+        13 => 73712,
+        14 => 365_596,
+        _ => {
+            let mut b = vec![0u8; n];
+            serial_count(n, &mut b, 0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pomp::NullMonitor;
+
+    #[test]
+    fn serial_matches_known_counts() {
+        for (n, want) in [(4, 2u64), (5, 10), (6, 4), (7, 40), (8, 92)] {
+            let mut b = vec![0u8; n];
+            assert_eq!(serial_count(n, &mut b, 0), want, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn ok_rejects_attacks() {
+        // Queen at row 0 col 0.
+        let board = [0u8, 0, 0];
+        assert!(!ok(&board, 1, 0), "same column");
+        assert!(!ok(&board, 1, 1), "diagonal");
+        assert!(ok(&board, 1, 2));
+        assert!(!ok(&board, 2, 2), "long diagonal");
+    }
+
+    #[test]
+    fn task_version_matches_for_all_thread_counts() {
+        for threads in [1, 2, 4] {
+            let out = run(&NullMonitor, &RunOpts::new(threads).scale(Scale::Test));
+            assert!(out.verified, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn cutoff_and_depth_param_variants_match() {
+        let out = run(
+            &NullMonitor,
+            &RunOpts::new(2).scale(Scale::Test).variant(Variant::Cutoff),
+        );
+        assert!(out.verified);
+        let out = run(
+            &NullMonitor,
+            &RunOpts::new(2).scale(Scale::Test).with_depth_param(),
+        );
+        assert!(out.verified);
+    }
+}

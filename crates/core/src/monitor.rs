@@ -1,0 +1,249 @@
+//! Adapter implementing the `pomp` hook interface on top of
+//! [`ThreadProfile`] with a real (or virtual) clock.
+//!
+//! `ProfMonitor` is what you hand to the `taskrt` runtime to get an
+//! *instrumented* run; [`pomp::NullMonitor`] gives the uninstrumented
+//! baseline. After a parallel region completes, [`ProfMonitor::take_profile`]
+//! returns the collected per-thread snapshots.
+
+use crate::profiler::{AssignPolicy, ThreadProfile};
+use crate::snapshot::{Profile, ThreadSnapshot};
+use parking_lot::Mutex;
+use pomp::{Clock, Monitor, MonotonicClock, ParamId, RegionId, TaskId, TaskRef, ThreadHooks};
+use std::cell::RefCell;
+use std::sync::Arc;
+
+struct Inner<C> {
+    clock: C,
+    policy: AssignPolicy,
+    max_depth: Option<usize>,
+    collected: Mutex<Vec<ThreadSnapshot>>,
+}
+
+/// Profiling monitor: one per measurement session.
+pub struct ProfMonitor<C: Clock = MonotonicClock> {
+    inner: Arc<Inner<C>>,
+}
+
+impl Default for ProfMonitor<MonotonicClock> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ProfMonitor<MonotonicClock> {
+    /// Monitor with the real monotonic clock and the paper's
+    /// executing-node attribution.
+    pub fn new() -> Self {
+        Self::with_clock(MonotonicClock::new(), AssignPolicy::Executing)
+    }
+
+    /// Monitor with the real clock and an explicit attribution policy.
+    pub fn with_policy(policy: AssignPolicy) -> Self {
+        Self::with_clock(MonotonicClock::new(), policy)
+    }
+}
+
+impl<C: Clock> ProfMonitor<C> {
+    /// Monitor over an arbitrary clock (virtual clocks for deterministic
+    /// tests).
+    pub fn with_clock(clock: C, policy: AssignPolicy) -> Self {
+        Self {
+            inner: Arc::new(Inner {
+                clock,
+                policy,
+                max_depth: None,
+                collected: Mutex::new(Vec::new()),
+            }),
+        }
+    }
+
+    /// Builder: limit call-path depth per task body (Score-P's depth
+    /// limit — collapses deeper frames into `<truncated>` nodes). Must be
+    /// called before any parallel region starts.
+    pub fn with_max_depth(self, depth: usize) -> Self {
+        let inner = Arc::try_unwrap(self.inner)
+            .unwrap_or_else(|_| panic!("with_max_depth after threads started"));
+        Self {
+            inner: Arc::new(Inner {
+                max_depth: Some(depth),
+                ..inner
+            }),
+        }
+    }
+
+    /// Drain the snapshots collected since the last call, as one profile
+    /// sorted by thread id. Call after each parallel region.
+    pub fn take_profile(&self) -> Profile {
+        let mut threads = std::mem::take(&mut *self.inner.collected.lock());
+        threads.sort_by_key(|t| t.tid);
+        Profile { threads }
+    }
+}
+
+/// Per-thread profiling hooks (owned by exactly one runtime thread).
+pub struct ProfThread<C: Clock> {
+    inner: Arc<Inner<C>>,
+    /// Team-local thread id this hook set belongs to.
+    pub tid: usize,
+    prof: RefCell<ThreadProfile>,
+}
+
+impl<C: Clock> ProfThread<C> {
+    #[inline]
+    fn now(&self) -> u64 {
+        self.inner.clock.now()
+    }
+}
+
+impl<C: Clock + 'static> Monitor for ProfMonitor<C> {
+    type Thread = ProfThread<C>;
+
+    fn thread_begin(&self, tid: usize, _nthreads: usize, region: RegionId) -> ProfThread<C> {
+        let t = self.inner.clock.now();
+        let mut prof = ThreadProfile::new(region, t, self.inner.policy);
+        prof.set_max_depth(self.inner.max_depth);
+        ProfThread {
+            inner: self.inner.clone(),
+            tid,
+            prof: RefCell::new(prof),
+        }
+    }
+
+    fn thread_end(&self, tid: usize, thread: ProfThread<C>) {
+        let t = self.inner.clock.now();
+        let mut prof = thread.prof.into_inner();
+        prof.finish(t);
+        self.inner.collected.lock().push(prof.snapshot(tid));
+    }
+}
+
+impl<C: Clock> ThreadHooks for ProfThread<C> {
+    #[inline]
+    fn enter(&self, region: RegionId) {
+        let t = self.now();
+        self.prof.borrow_mut().enter(region, t);
+    }
+
+    #[inline]
+    fn exit(&self, region: RegionId) {
+        let t = self.now();
+        self.prof.borrow_mut().exit(region, t);
+    }
+
+    #[inline]
+    fn task_create_begin(&self, create_region: RegionId, task_region: RegionId, new_task: TaskId) {
+        let t = self.now();
+        self.prof
+            .borrow_mut()
+            .task_create_begin(create_region, task_region, new_task, t);
+    }
+
+    #[inline]
+    fn task_create_end(&self, create_region: RegionId, new_task: TaskId) {
+        let t = self.now();
+        self.prof
+            .borrow_mut()
+            .task_create_end(create_region, new_task, t);
+    }
+
+    #[inline]
+    fn task_begin(&self, task_region: RegionId, task: TaskId) {
+        let t = self.now();
+        self.prof.borrow_mut().task_begin(task_region, task, t);
+    }
+
+    #[inline]
+    fn task_end(&self, task_region: RegionId, task: TaskId) {
+        let t = self.now();
+        self.prof.borrow_mut().task_end(task_region, task, t);
+    }
+
+    #[inline]
+    fn task_switch(&self, resumed: TaskRef) {
+        let t = self.now();
+        self.prof.borrow_mut().task_switch(resumed, t);
+    }
+
+    #[inline]
+    fn parameter_begin(&self, param: ParamId, value: i64) {
+        let t = self.now();
+        self.prof.borrow_mut().parameter_begin(param, value, t);
+    }
+
+    #[inline]
+    fn parameter_end(&self, param: ParamId) {
+        let t = self.now();
+        self.prof.borrow_mut().parameter_end(param, t);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::NodeKind;
+    use pomp::{TaskIdAllocator, VirtualClock};
+
+    #[test]
+    fn monitor_collects_per_thread_snapshots() {
+        let clock = VirtualClock::new();
+        let m = ProfMonitor::with_clock(clock, AssignPolicy::Executing);
+        let par = RegionId(0);
+        let work = RegionId(1);
+        m.parallel_fork(par, 2);
+        let t0 = m.thread_begin(0, 2, par);
+        let t1 = m.thread_begin(1, 2, par);
+        m.inner.clock.set(10);
+        t0.enter(work);
+        m.inner.clock.set(15);
+        t0.exit(work);
+        m.thread_end(0, t0);
+        m.inner.clock.set(20);
+        m.thread_end(1, t1);
+        m.parallel_join(par);
+
+        let p = m.take_profile();
+        assert_eq!(p.num_threads(), 2);
+        assert_eq!(p.threads[0].tid, 0);
+        let w = p.threads[0].main.child(NodeKind::Region(work)).unwrap();
+        assert_eq!(w.stats.sum_ns, 5);
+        assert_eq!(p.threads[1].main.stats.sum_ns, 20);
+        // Drained: second take is empty.
+        assert_eq!(m.take_profile().num_threads(), 0);
+    }
+
+    #[test]
+    fn monitor_profiles_task_events_with_virtual_time() {
+        let m = ProfMonitor::with_clock(VirtualClock::new(), AssignPolicy::Executing);
+        let ids = TaskIdAllocator::new();
+        let (par, task, barrier) = (RegionId(0), RegionId(1), RegionId(2));
+        let th = m.thread_begin(0, 1, par);
+        let id = ids.alloc();
+        m.inner.clock.set(10);
+        th.enter(barrier);
+        th.task_begin(task, id);
+        m.inner.clock.set(35);
+        th.task_end(task, id);
+        m.inner.clock.set(40);
+        th.exit(barrier);
+        m.thread_end(0, th);
+        let p = m.take_profile();
+        let snap = &p.threads[0];
+        assert_eq!(snap.task_tree(task).unwrap().stats.sum_ns, 25);
+        let b = snap.main.child(NodeKind::Region(barrier)).unwrap();
+        assert_eq!(b.stats.sum_ns, 30);
+        assert_eq!(b.child(NodeKind::Stub(task)).unwrap().stats.sum_ns, 25);
+    }
+
+    #[test]
+    fn take_profile_sorts_by_tid() {
+        let m = ProfMonitor::with_clock(VirtualClock::new(), AssignPolicy::Executing);
+        let par = RegionId(0);
+        let a = m.thread_begin(3, 4, par);
+        let b = m.thread_begin(1, 4, par);
+        m.thread_end(3, a);
+        m.thread_end(1, b);
+        let p = m.take_profile();
+        assert_eq!(p.threads.iter().map(|t| t.tid).collect::<Vec<_>>(), vec![1, 3]);
+    }
+}

@@ -1,0 +1,858 @@
+//! The task profiling algorithm (paper Section IV-C, Fig. 12).
+//!
+//! One [`ThreadProfile`] per thread per parallel region. It maintains:
+//!
+//! * the implicit task's call tree (the *main tree*, rooted at the parallel
+//!   region),
+//! * a table of *active* explicit task instances, each with a private,
+//!   detached instance tree and a frame stack whose timers stop across
+//!   suspension (paper Section IV-B3),
+//! * the *current task* pointer,
+//! * *stub nodes* under the implicit task's scheduling points recording the
+//!   time the thread spent executing task fragments there (Section IV-B4),
+//! * per-construct aggregate task trees, sitting beside the main tree, into
+//!   which completed instance trees are merged (with node reuse), and
+//! * the maximum number of concurrently live instance trees, the memory
+//!   metric of the paper's Table II.
+//!
+//! All event methods take an explicit timestamp so the algorithm is fully
+//! deterministic under a virtual clock (this is how the tests replay the
+//! paper's event-stream figures with exact numbers). The
+//! [`crate::monitor::ProfMonitor`] adapter supplies real clock readings.
+
+use crate::body::TaskBody;
+use crate::snapshot::{SnapNode, ThreadSnapshot};
+use crate::tree::{Arena, NodeId, NodeKind};
+use pomp::{ParamId, RegionId, TaskId, TaskRef};
+use std::collections::HashMap;
+
+/// Where a task's execution is attributed in the call tree.
+///
+/// The paper's Section IV-B2 (Fig. 3) argues only `Executing` produces
+/// meaningful metrics; `Creating` is provided as the ablation that
+/// reproduces the negative-exclusive-time pathology.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum AssignPolicy {
+    /// Attribute task execution to the scheduling point where it executes:
+    /// detached instance trees + stub nodes + merge on completion.
+    #[default]
+    Executing,
+    /// Attribute task execution to the node where the task was *created*:
+    /// the instance tree hangs under the creation site, no stub nodes.
+    /// Exclusive times of creation sites can go negative (Fig. 3 left).
+    Creating,
+}
+
+/// An active explicit task instance (started but not completed).
+#[derive(Debug)]
+pub(crate) struct Instance {
+    pub(crate) region: RegionId,
+    pub(crate) body: TaskBody,
+}
+
+/// Per-thread call-path profile under construction.
+#[derive(Debug)]
+pub struct ThreadProfile {
+    arena: Arena,
+    parallel_region: RegionId,
+    root: NodeId,
+    implicit: TaskBody,
+    instances: HashMap<TaskId, Instance>,
+    current: TaskRef,
+    policy: AssignPolicy,
+    /// Aggregate task-tree roots in order of first completion.
+    task_roots: Vec<NodeId>,
+    /// Creation-site node per not-yet-started instance (used by the
+    /// `Creating` policy and pruned at task begin).
+    creation_nodes: HashMap<TaskId, NodeId>,
+    live_trees: usize,
+    max_live_trees: usize,
+    /// Call-path depth limit per task body (paper Section IV-B3: "tree
+    /// depth limits might kick in"). Frames beyond it collapse into a
+    /// single [`NodeKind::Truncated`] child.
+    max_depth: Option<usize>,
+    finished: bool,
+}
+
+impl ThreadProfile {
+    /// Start profiling a thread's share of `parallel_region` at time `t`.
+    pub fn new(parallel_region: RegionId, t: u64, policy: AssignPolicy) -> Self {
+        let mut arena = Arena::new();
+        let root = arena.alloc(NodeKind::Region(parallel_region), None);
+        arena.node_mut(root).stats.add_visit();
+        let mut implicit = TaskBody::new(root);
+        implicit.push(root, t);
+        Self {
+            arena,
+            parallel_region,
+            root,
+            implicit,
+            instances: HashMap::new(),
+            current: TaskRef::Implicit,
+            policy,
+            task_roots: Vec::new(),
+            creation_nodes: HashMap::new(),
+            live_trees: 0,
+            max_live_trees: 0,
+            max_depth: None,
+            finished: false,
+        }
+    }
+
+    /// Limit call-path depth per task body: regions entered beyond
+    /// `depth` open frames collapse into one `<truncated>` node. This is
+    /// the profile-explosion guard the paper's Section IV-B3 refers to
+    /// (Score-P's call-path depth limit).
+    pub fn set_max_depth(&mut self, depth: Option<usize>) {
+        self.max_depth = depth;
+    }
+
+    /// The attribution policy in effect.
+    pub fn policy(&self) -> AssignPolicy {
+        self.policy
+    }
+
+    /// Toggle free-list node reuse (ablation of the Section V-B memory
+    /// strategy; on by default).
+    pub fn set_node_reuse(&mut self, reuse: bool) {
+        self.arena.set_reuse(reuse);
+    }
+
+    /// The task currently executing on this thread.
+    pub fn current_task(&self) -> TaskRef {
+        self.current
+    }
+
+    /// Number of instance trees currently alive.
+    pub fn live_instance_trees(&self) -> usize {
+        self.live_trees
+    }
+
+    /// High-water mark of concurrently live instance trees (paper
+    /// Table II).
+    pub fn max_live_trees(&self) -> usize {
+        self.max_live_trees
+    }
+
+    /// Nodes currently allocated in this thread's arena (live) — the memory
+    /// measure of Section V-B.
+    pub fn live_nodes(&self) -> usize {
+        self.arena.live_nodes()
+    }
+
+    /// High-water mark of arena slots ever allocated.
+    pub fn arena_capacity(&self) -> usize {
+        self.arena.capacity_nodes()
+    }
+
+    #[inline]
+    fn enter_kind(&mut self, kind: NodeKind, t: u64) {
+        let max_depth = self.max_depth;
+        match self.current {
+            TaskRef::Implicit => {
+                Self::enter_on(&mut self.arena, &mut self.implicit, kind, t, max_depth)
+            }
+            TaskRef::Explicit(id) => {
+                let inst = self
+                    .instances
+                    .get_mut(&id)
+                    .expect("enter on unknown task instance");
+                Self::enter_on(&mut self.arena, &mut inst.body, kind, t, max_depth)
+            }
+        }
+    }
+
+    fn enter_on(
+        arena: &mut Arena,
+        body: &mut TaskBody,
+        kind: NodeKind,
+        t: u64,
+        max_depth: Option<usize>,
+    ) {
+        let cur = body.current_node();
+        let node = if max_depth.is_some_and(|d| body.depth() >= d) {
+            // Collapse: alias all deeper frames onto one truncated node.
+            if arena.node(cur).kind == NodeKind::Truncated {
+                cur
+            } else {
+                arena.child_of(cur, NodeKind::Truncated)
+            }
+        } else {
+            arena.child_of(cur, kind)
+        };
+        arena.node_mut(node).stats.add_visit();
+        body.push(node, t);
+    }
+
+    #[inline]
+    fn exit_kind(&mut self, kind: NodeKind, t: u64) {
+        let (node, dur, after_top) = match self.current {
+            TaskRef::Implicit => {
+                let (n, d) = self.implicit.pop(t);
+                (n, d, self.implicit.current_node())
+            }
+            TaskRef::Explicit(id) => {
+                let inst = self
+                    .instances
+                    .get_mut(&id)
+                    .expect("exit on unknown task instance");
+                let (n, d) = inst.pop_frame(t);
+                (n, d, inst.body.current_node())
+            }
+        };
+        if self.arena.node(node).kind == NodeKind::Truncated {
+            // Aliased truncated frames: only the outermost records a
+            // sample, otherwise the collapsed node would double-count
+            // its own inclusive time.
+            if after_top != node {
+                self.arena.node_mut(node).stats.record(dur);
+            }
+            return;
+        }
+        debug_assert_eq!(
+            self.arena.node(node).kind,
+            kind,
+            "exit event does not match innermost open region"
+        );
+        self.arena.node_mut(node).stats.record(dur);
+    }
+
+    /// Region enter event on the current task.
+    pub fn enter(&mut self, region: RegionId, t: u64) {
+        self.enter_kind(NodeKind::Region(region), t);
+    }
+
+    /// Region exit event on the current task.
+    pub fn exit(&mut self, region: RegionId, t: u64) {
+        self.exit_kind(NodeKind::Region(region), t);
+    }
+
+    /// Enter a parameter scope (paper Section VI): children recorded under
+    /// a `(param, value)` node until the matching [`ThreadProfile::parameter_end`].
+    pub fn parameter_begin(&mut self, param: ParamId, value: i64, t: u64) {
+        self.enter_kind(NodeKind::Param(param, value), t);
+    }
+
+    /// Leave the innermost parameter scope.
+    pub fn parameter_end(&mut self, param: ParamId, t: u64) {
+        let (node, dur, after_top) = match self.current {
+            TaskRef::Implicit => {
+                let (n, d) = self.implicit.pop(t);
+                (n, d, self.implicit.current_node())
+            }
+            TaskRef::Explicit(id) => {
+                let inst = self
+                    .instances
+                    .get_mut(&id)
+                    .expect("parameter_end on unknown task instance");
+                let (n, d) = inst.pop_frame(t);
+                (n, d, inst.body.current_node())
+            }
+        };
+        if self.arena.node(node).kind == NodeKind::Truncated {
+            if after_top != node {
+                self.arena.node_mut(node).stats.record(dur);
+            }
+            return;
+        }
+        debug_assert!(
+            matches!(self.arena.node(node).kind, NodeKind::Param(p, _) if p == param),
+            "parameter_end does not match innermost open scope"
+        );
+        self.arena.node_mut(node).stats.record(dur);
+    }
+
+    /// Task creation begins: enter the creation region and remember the
+    /// creation site of `new_task`.
+    pub fn task_create_begin(
+        &mut self,
+        create_region: RegionId,
+        _task_region: RegionId,
+        new_task: TaskId,
+        t: u64,
+    ) {
+        self.enter(create_region, t);
+        let site = match self.current {
+            TaskRef::Implicit => self.implicit.current_node(),
+            TaskRef::Explicit(id) => self.instances[&id].body.current_node(),
+        };
+        self.creation_nodes.insert(new_task, site);
+    }
+
+    /// Task creation finished.
+    pub fn task_create_end(&mut self, create_region: RegionId, _new_task: TaskId, t: u64) {
+        self.exit(create_region, t);
+    }
+
+    /// `TaskSwitch` (paper Fig. 12): the thread's current task changes to
+    /// `resumed`. Suspends the current explicit task's timers, maintains
+    /// the stub node in the implicit task's tree, and resumes the target.
+    pub fn task_switch(&mut self, resumed: TaskRef, t: u64) {
+        if self.current == resumed {
+            return;
+        }
+        // "if current task is an explicit task { Exit(implicit, root region
+        // of current task); stop time measurement on all open regions }"
+        if let TaskRef::Explicit(id) = self.current {
+            let inst = self
+                .instances
+                .get_mut(&id)
+                .expect("switch away from unknown task instance");
+            inst.body.pause(t);
+            if self.policy == AssignPolicy::Executing {
+                let (node, dur) = self.implicit.pop(t);
+                debug_assert!(
+                    matches!(self.arena.node(node).kind, NodeKind::Stub(_)),
+                    "implicit task's top frame must be the suspended task's stub"
+                );
+                self.arena.node_mut(node).stats.record(dur);
+            }
+        }
+        self.current = resumed;
+        // "if task instance is an explicit task { resume time measurement;
+        // Enter(implicit, root region of task instance) }"
+        if let TaskRef::Explicit(id) = resumed {
+            let inst = self
+                .instances
+                .get_mut(&id)
+                .expect("switch to unknown task instance");
+            if inst.body.is_paused() {
+                inst.body.resume(t);
+            }
+            if self.policy == AssignPolicy::Executing {
+                let region = inst.region;
+                let stub = self
+                    .arena
+                    .child_of(self.implicit.current_node(), NodeKind::Stub(region));
+                self.arena.node_mut(stub).stats.add_visit();
+                self.implicit.push(stub, t);
+            }
+        }
+    }
+
+    /// `TaskBegin` (paper Fig. 12): the thread starts executing instance
+    /// `id` of construct `task_region`. Creates the instance-specific data,
+    /// switches to the instance, and enters its root region.
+    pub fn task_begin(&mut self, task_region: RegionId, id: TaskId, t: u64) {
+        debug_assert!(
+            !self.instances.contains_key(&id),
+            "task instance began twice"
+        );
+        let root = match self.policy {
+            AssignPolicy::Executing => {
+                // Detached private tree; merged on completion.
+                self.arena.alloc(NodeKind::Region(task_region), None)
+            }
+            AssignPolicy::Creating => {
+                // Hang the instance under the node where it was created
+                // (falling back to the implicit task's position for
+                // instances whose creation was not observed).
+                let parent = self
+                    .creation_nodes
+                    .get(&id)
+                    .copied()
+                    .unwrap_or_else(|| self.implicit.current_node());
+                self.arena.child_of(parent, NodeKind::Region(task_region))
+            }
+        };
+        self.instances.insert(
+            id,
+            Instance {
+                region: task_region,
+                body: TaskBody::new(root),
+            },
+        );
+        self.live_trees += 1;
+        self.max_live_trees = self.max_live_trees.max(self.live_trees);
+        self.task_switch(TaskRef::Explicit(id), t);
+        let inst = self.instances.get_mut(&id).expect("just inserted");
+        self.arena.node_mut(root).stats.add_visit();
+        inst.body.push(root, t);
+    }
+
+    /// `TaskEnd` (paper Fig. 12): instance `id` completed. Exits its root
+    /// region, switches back to the implicit task, and merges the instance
+    /// tree into the thread's aggregate tree for this construct (releasing
+    /// the instance nodes for reuse).
+    pub fn task_end(&mut self, task_region: RegionId, id: TaskId, t: u64) {
+        assert_eq!(
+            self.current,
+            TaskRef::Explicit(id),
+            "task_end for a task that is not current"
+        );
+        // Exit(task instance, task region)
+        let inst = self.instances.get_mut(&id).expect("unknown task instance");
+        debug_assert_eq!(inst.region, task_region);
+        let (node, dur) = inst.body.pop(t);
+        debug_assert_eq!(node, inst.body.root, "task ended with open inner regions");
+        debug_assert_eq!(inst.body.depth(), 0, "task ended with open inner regions");
+        self.arena.node_mut(node).stats.record(dur);
+        // TaskSwitch(implicit task)
+        self.task_switch(TaskRef::Implicit, t);
+        // Merge task tree into the global profile of the thread.
+        let inst = self.instances.remove(&id).expect("unknown task instance");
+        if self.policy == AssignPolicy::Executing {
+            let agg = self.aggregate_root(task_region);
+            self.arena.merge_into(inst.body.root, agg);
+        }
+        self.live_trees -= 1;
+        self.creation_nodes.remove(&id);
+    }
+
+    fn aggregate_root(&mut self, region: RegionId) -> NodeId {
+        let kind = NodeKind::Region(region);
+        if let Some(&r) = self
+            .task_roots
+            .iter()
+            .find(|&&r| self.arena.node(r).kind == kind)
+        {
+            return r;
+        }
+        let r = self.arena.alloc(kind, None);
+        self.task_roots.push(r);
+        r
+    }
+
+    /// Close the profile at time `t` (end of the parallel region). All
+    /// explicit tasks must have completed; any regions still open on the
+    /// implicit task (normally just the parallel-region root) are exited.
+    pub fn finish(&mut self, t: u64) {
+        assert_eq!(
+            self.current,
+            TaskRef::Implicit,
+            "parallel region ended while an explicit task was current"
+        );
+        assert!(
+            self.instances.is_empty(),
+            "parallel region ended with {} active task instances",
+            self.instances.len()
+        );
+        while self.implicit.depth() > 0 {
+            let (node, dur) = self.implicit.pop(t);
+            self.arena.node_mut(node).stats.record(dur);
+        }
+        self.finished = true;
+    }
+
+    /// True once [`ThreadProfile::finish`] ran.
+    pub fn is_finished(&self) -> bool {
+        self.finished
+    }
+
+    // Crate-internal access for the migration module (see `migrate.rs`).
+    pub(crate) fn instances_mut(&mut self) -> &mut HashMap<TaskId, Instance> {
+        &mut self.instances
+    }
+
+    pub(crate) fn instances_ref(&self) -> &HashMap<TaskId, Instance> {
+        &self.instances
+    }
+
+    pub(crate) fn arena_mut(&mut self) -> &mut Arena {
+        &mut self.arena
+    }
+
+    pub(crate) fn arena_ref(&self) -> &Arena {
+        &self.arena
+    }
+
+    pub(crate) fn snap_public(&self, node: NodeId) -> SnapNode {
+        self.snap(node)
+    }
+
+    pub(crate) fn dec_live_trees(&mut self) {
+        self.live_trees -= 1;
+    }
+
+    pub(crate) fn inc_live_trees(&mut self) {
+        self.live_trees += 1;
+        self.max_live_trees = self.max_live_trees.max(self.live_trees);
+    }
+
+    pub(crate) fn insert_instance(&mut self, id: TaskId, region: RegionId, body: TaskBody) {
+        self.instances.insert(id, Instance { region, body });
+    }
+
+    fn snap(&self, node: NodeId) -> SnapNode {
+        let n = self.arena.node(node);
+        SnapNode {
+            kind: n.kind,
+            stats: n.stats,
+            children: n.children.iter().map(|&c| self.snap(c)).collect(),
+        }
+    }
+
+    /// Extract a plain snapshot (main tree + aggregated task trees) for
+    /// analysis. Usually called after [`ThreadProfile::finish`]; calling it
+    /// earlier snapshots the in-progress state (open frames simply have not
+    /// recorded samples yet).
+    pub fn snapshot(&self, tid: usize) -> ThreadSnapshot {
+        ThreadSnapshot {
+            tid,
+            parallel_region: self.parallel_region,
+            main: self.snap(self.root),
+            task_trees: self.task_roots.iter().map(|&r| self.snap(r)).collect(),
+            max_live_trees: self.max_live_trees,
+            arena_capacity: self.arena.capacity_nodes(),
+        }
+    }
+}
+
+impl Instance {
+    fn pop_frame(&mut self, t: u64) -> (NodeId, u64) {
+        self.body.pop(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pomp::TaskIdAllocator;
+
+    fn rid(i: u32) -> RegionId {
+        RegionId(i)
+    }
+
+    const PAR: u32 = 0;
+    const TASK_A: u32 = 1;
+    const CREATE_A: u32 = 2;
+    const BARRIER: u32 = 3;
+    const TASKWAIT: u32 = 4;
+    const FOO: u32 = 5;
+
+    /// Helper: find a child snapshot by kind.
+    fn child(n: &SnapNode, kind: NodeKind) -> &SnapNode {
+        n.children
+            .iter()
+            .find(|c| c.kind == kind)
+            .unwrap_or_else(|| panic!("no child {kind:?} under {:?}", n.kind))
+    }
+
+    #[test]
+    fn plain_nesting_without_tasks_matches_fig1() {
+        // Paper Fig. 1: main{ foo(), bar() } — here PAR{ FOO twice }.
+        let mut p = ThreadProfile::new(rid(PAR), 0, AssignPolicy::Executing);
+        p.enter(rid(FOO), 10);
+        p.exit(rid(FOO), 30);
+        p.enter(rid(FOO), 40);
+        p.exit(rid(FOO), 45);
+        p.finish(100);
+        let s = p.snapshot(0);
+        assert_eq!(s.main.stats.sum_ns, 100);
+        assert_eq!(s.main.stats.visits, 1);
+        let foo = child(&s.main, NodeKind::Region(rid(FOO)));
+        assert_eq!(foo.stats.visits, 2);
+        assert_eq!(foo.stats.sum_ns, 25);
+        assert_eq!(foo.stats.min_ns, 5);
+        assert_eq!(foo.stats.max_ns, 20);
+        assert!(s.task_trees.is_empty());
+    }
+
+    #[test]
+    fn single_task_in_barrier_creates_stub_and_task_tree() {
+        // The walkthrough of paper Figs. 6-8 and 10-11 with one instance.
+        let ids = TaskIdAllocator::new();
+        let t1 = ids.alloc();
+        let mut p = ThreadProfile::new(rid(PAR), 0, AssignPolicy::Executing);
+        p.task_create_begin(rid(CREATE_A), rid(TASK_A), t1, 10);
+        p.task_create_end(rid(CREATE_A), t1, 12);
+        p.enter(rid(BARRIER), 20);
+        p.task_begin(rid(TASK_A), t1, 25);
+        p.task_end(rid(TASK_A), t1, 75);
+        p.exit(rid(BARRIER), 80);
+        p.finish(100);
+        let s = p.snapshot(0);
+
+        // Main tree: PAR -> {create A, barrier -> stub A}.
+        let create = child(&s.main, NodeKind::Region(rid(CREATE_A)));
+        assert_eq!(create.stats.sum_ns, 2);
+        let barrier = child(&s.main, NodeKind::Region(rid(BARRIER)));
+        assert_eq!(barrier.stats.sum_ns, 60);
+        let stub = child(barrier, NodeKind::Stub(rid(TASK_A)));
+        assert_eq!(stub.stats.visits, 1, "one fragment executed");
+        assert_eq!(stub.stats.sum_ns, 50, "time executing the task in the barrier");
+        // Barrier exclusive = 60 - 50 = 10 (management/idle), the Fig. 5 split.
+
+        // Task tree beside the main tree.
+        assert_eq!(s.task_trees.len(), 1);
+        let task = &s.task_trees[0];
+        assert_eq!(task.kind, NodeKind::Region(rid(TASK_A)));
+        assert_eq!(task.stats.visits, 1);
+        assert_eq!(task.stats.sum_ns, 50);
+    }
+
+    #[test]
+    fn interleaved_fragments_fig2_are_attributed_per_instance() {
+        // Paper Fig. 2: two instances of the same construct, both enter
+        // foo(), both suspend inside it; the exit events can only be
+        // attributed correctly with instance tracking.
+        let ids = TaskIdAllocator::new();
+        let (t1, t2) = (ids.alloc(), ids.alloc());
+        let mut p = ThreadProfile::new(rid(PAR), 0, AssignPolicy::Executing);
+        p.enter(rid(BARRIER), 0);
+        p.task_begin(rid(TASK_A), t1, 10);
+        p.enter(rid(FOO), 12);
+        p.enter(rid(TASKWAIT), 14); // t1 suspends here
+        p.task_begin(rid(TASK_A), t2, 20); // implies switch away from t1
+        p.enter(rid(FOO), 22);
+        p.exit(rid(FOO), 30); // this exit belongs to t2's foo
+        p.task_end(rid(TASK_A), t2, 32);
+        p.task_switch(TaskRef::Explicit(t1), 35); // t1 resumes
+        p.exit(rid(TASKWAIT), 36);
+        p.exit(rid(FOO), 40); // and this exit to t1's foo
+        p.task_end(rid(TASK_A), t1, 42);
+        p.exit(rid(BARRIER), 50);
+        p.finish(60);
+        let s = p.snapshot(0);
+
+        let task = &s.task_trees[0];
+        assert_eq!(task.stats.visits, 2);
+        // t1 ran 10..14 suspended 14(+6 create t2 window)..35 resumed 35..42
+        // minus its own suspension: t1 inclusive = (20-10) + (42-35) = 17.
+        // t2 inclusive = 32-20 = 12. Sum = 29.
+        assert_eq!(task.stats.sum_ns, 29);
+        assert_eq!(task.stats.min_ns, 12);
+        assert_eq!(task.stats.max_ns, 17);
+        let foo = child(task, NodeKind::Region(rid(FOO)));
+        // t1's foo: entered 12, suspended 20..35, exited 40 => 13.
+        // t2's foo: 22..30 => 8. Sum 21, both instances' fragments correct.
+        assert_eq!(foo.stats.visits, 2);
+        assert_eq!(foo.stats.sum_ns, 21);
+        assert_eq!(foo.stats.min_ns, 8);
+        assert_eq!(foo.stats.max_ns, 13);
+        // taskwait under foo, time excludes t1's suspension: 14..20 + 35..36 = 7.
+        let tw = child(foo, NodeKind::Region(rid(TASKWAIT)));
+        assert_eq!(tw.stats.sum_ns, 7);
+
+        // Implicit tree: barrier with two stub fragments for t1 (10..20,
+        // 35..42) and one for t2 (20..32): stub visits 3, time 29.
+        let barrier = child(&s.main, NodeKind::Region(rid(BARRIER)));
+        let stub = child(barrier, NodeKind::Stub(rid(TASK_A)));
+        assert_eq!(stub.stats.visits, 3);
+        assert_eq!(stub.stats.sum_ns, 29);
+    }
+
+    #[test]
+    fn max_live_trees_tracks_suspension_depth() {
+        let ids = TaskIdAllocator::new();
+        let (t1, t2, t3) = (ids.alloc(), ids.alloc(), ids.alloc());
+        let mut p = ThreadProfile::new(rid(PAR), 0, AssignPolicy::Executing);
+        p.enter(rid(BARRIER), 0);
+        p.task_begin(rid(TASK_A), t1, 1);
+        p.enter(rid(TASKWAIT), 2);
+        p.task_begin(rid(TASK_A), t2, 3);
+        p.enter(rid(TASKWAIT), 4);
+        p.task_begin(rid(TASK_A), t3, 5);
+        assert_eq!(p.live_instance_trees(), 3);
+        p.task_end(rid(TASK_A), t3, 6);
+        p.task_switch(TaskRef::Explicit(t2), 7);
+        p.exit(rid(TASKWAIT), 8);
+        p.task_end(rid(TASK_A), t2, 9);
+        p.task_switch(TaskRef::Explicit(t1), 10);
+        p.exit(rid(TASKWAIT), 11);
+        p.task_end(rid(TASK_A), t1, 12);
+        p.exit(rid(BARRIER), 13);
+        p.finish(14);
+        assert_eq!(p.max_live_trees(), 3);
+        assert_eq!(p.live_instance_trees(), 0);
+    }
+
+    #[test]
+    fn instance_nodes_are_reused_across_instances() {
+        let ids = TaskIdAllocator::new();
+        let mut p = ThreadProfile::new(rid(PAR), 0, AssignPolicy::Executing);
+        p.enter(rid(BARRIER), 0);
+        let mut t = 1u64;
+        let mut watermark_after_first = 0;
+        for k in 0..100 {
+            let id = ids.alloc();
+            p.task_begin(rid(TASK_A), id, t);
+            p.enter(rid(FOO), t + 1);
+            p.exit(rid(FOO), t + 2);
+            p.task_end(rid(TASK_A), id, t + 3);
+            t += 10;
+            if k == 0 {
+                watermark_after_first = p.arena_capacity();
+            }
+        }
+        // Sequential instances must not grow the arena: every instance tree
+        // is released and its nodes reused (paper Section V-B).
+        assert_eq!(p.arena_capacity(), watermark_after_first);
+        p.exit(rid(BARRIER), t);
+        p.finish(t + 1);
+        let s = p.snapshot(0);
+        assert_eq!(s.task_trees[0].stats.visits, 100);
+    }
+
+    #[test]
+    fn creating_policy_reproduces_fig3_negative_exclusive_time() {
+        // Fig. 3: creation takes 2, the task runs 5 inside the barrier.
+        let ids = TaskIdAllocator::new();
+        let t1 = ids.alloc();
+        let mut p = ThreadProfile::new(rid(PAR), 0, AssignPolicy::Creating);
+        p.task_create_begin(rid(CREATE_A), rid(TASK_A), t1, 2); // parallel start took 2
+        p.task_create_end(rid(CREATE_A), t1, 4);
+        p.enter(rid(BARRIER), 4);
+        p.task_begin(rid(TASK_A), t1, 4);
+        p.task_end(rid(TASK_A), t1, 9); // task ran 5
+        p.exit(rid(BARRIER), 11); // 2 more waiting
+        p.finish(11);
+        let s = p.snapshot(0);
+        // Task tree hangs under the creation node; no stub under barrier.
+        assert!(s.task_trees.is_empty());
+        let create = child(&s.main, NodeKind::Region(rid(CREATE_A)));
+        let task = child(create, NodeKind::Region(rid(TASK_A)));
+        assert_eq!(task.stats.sum_ns, 5);
+        // Creation node: inclusive 2, child task 5 => exclusive -3 < 0.
+        let create_exclusive = create.stats.sum_ns as i64 - task.stats.sum_ns as i64;
+        assert!(create_exclusive < 0, "Fig. 3 pathology: {create_exclusive}");
+        // Barrier keeps the task's 5 ns in its *exclusive* time (no stub):
+        let barrier = child(&s.main, NodeKind::Region(rid(BARRIER)));
+        assert_eq!(barrier.stats.sum_ns, 7);
+        assert!(barrier.children.is_empty());
+    }
+
+    #[test]
+    fn executing_policy_fig3_right_side_is_sane() {
+        let ids = TaskIdAllocator::new();
+        let t1 = ids.alloc();
+        let mut p = ThreadProfile::new(rid(PAR), 0, AssignPolicy::Executing);
+        p.task_create_begin(rid(CREATE_A), rid(TASK_A), t1, 2);
+        p.task_create_end(rid(CREATE_A), t1, 4);
+        p.enter(rid(BARRIER), 4);
+        p.task_begin(rid(TASK_A), t1, 4);
+        p.task_end(rid(TASK_A), t1, 9);
+        p.exit(rid(BARRIER), 11);
+        p.finish(11);
+        let s = p.snapshot(0);
+        let create = child(&s.main, NodeKind::Region(rid(CREATE_A)));
+        assert_eq!(create.stats.sum_ns, 2);
+        assert!(create.children.is_empty());
+        let barrier = child(&s.main, NodeKind::Region(rid(BARRIER)));
+        let stub = child(barrier, NodeKind::Stub(rid(TASK_A)));
+        // Barrier exclusive = 7 - 5 = 2: only true waiting remains.
+        assert_eq!(barrier.stats.sum_ns as i64 - stub.stats.sum_ns as i64, 2);
+        assert_eq!(s.task_trees[0].stats.sum_ns, 5);
+    }
+
+    #[test]
+    fn parameter_nodes_split_task_statistics() {
+        // Table IV mechanism: tasks report their recursion depth.
+        let ids = TaskIdAllocator::new();
+        let depth = ParamId(0);
+        let mut p = ThreadProfile::new(rid(PAR), 0, AssignPolicy::Executing);
+        p.enter(rid(BARRIER), 0);
+        let mut t = 0u64;
+        for (d, dur) in [(0i64, 40u64), (1, 15), (1, 25), (2, 5)] {
+            let id = ids.alloc();
+            p.task_begin(rid(TASK_A), id, t);
+            p.parameter_begin(depth, d, t);
+            p.parameter_end(depth, t + dur);
+            p.task_end(rid(TASK_A), id, t + dur);
+            t += dur + 5;
+        }
+        p.exit(rid(BARRIER), t);
+        p.finish(t);
+        let s = p.snapshot(0);
+        let task = &s.task_trees[0];
+        assert_eq!(task.stats.visits, 4);
+        let d1 = child(task, NodeKind::Param(depth, 1));
+        assert_eq!(d1.stats.visits, 2);
+        assert_eq!(d1.stats.sum_ns, 40);
+        assert_eq!(d1.stats.min_ns, 15);
+        assert_eq!(d1.stats.max_ns, 25);
+        let d2 = child(task, NodeKind::Param(depth, 2));
+        assert_eq!(d2.stats.sum_ns, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "active task instances")]
+    fn finish_with_active_instance_panics() {
+        let ids = TaskIdAllocator::new();
+        let t1 = ids.alloc();
+        let mut p = ThreadProfile::new(rid(PAR), 0, AssignPolicy::Executing);
+        p.enter(rid(BARRIER), 0);
+        p.task_begin(rid(TASK_A), t1, 1);
+        p.task_switch(TaskRef::Implicit, 2);
+        p.exit(rid(BARRIER), 3);
+        p.finish(4);
+    }
+
+    #[test]
+    fn depth_limit_collapses_deep_recursion() {
+        // A 100-deep recursion into the same region with limit 3:
+        // frames 0,1,2 are real; 3.. collapse into one <truncated> node.
+        let mut p = ThreadProfile::new(rid(PAR), 0, AssignPolicy::Executing);
+        p.set_max_depth(Some(3));
+        let mut t = 0u64;
+        for _ in 0..100 {
+            t += 1;
+            p.enter(rid(FOO), t);
+        }
+        for _ in 0..100 {
+            t += 1;
+            p.exit(rid(FOO), t);
+        }
+        p.finish(t + 1);
+        let s = p.snapshot(0);
+        // Structure: PAR -> foo -> foo -> truncated (depth 1,2 regions +
+        // one collapsed node; the parallel root occupies depth 0).
+        let f1 = child(&s.main, NodeKind::Region(rid(FOO)));
+        let f2 = child(f1, NodeKind::Region(rid(FOO)));
+        let tr = child(f2, NodeKind::Truncated);
+        assert!(tr.children.is_empty(), "nothing may nest below <truncated>");
+        // 98 collapsed enters, one recorded sample (outermost truncated
+        // frame): entered at t=3, last collapsed exit at t=198 → 195 ns.
+        assert_eq!(tr.stats.visits, 98);
+        assert_eq!(tr.stats.samples, 1);
+        assert_eq!(tr.stats.sum_ns, 195);
+        // The tree stayed tiny: 5 nodes instead of 101.
+        assert_eq!(s.main.size(), 4);
+        // No negative exclusive anywhere.
+        s.main.walk(&mut |_, n| assert!(n.exclusive_ns() >= 0));
+    }
+
+    #[test]
+    fn depth_limit_applies_per_task_body() {
+        // Each task instance gets its own depth budget.
+        let ids = TaskIdAllocator::new();
+        let mut p = ThreadProfile::new(rid(PAR), 0, AssignPolicy::Executing);
+        p.set_max_depth(Some(2));
+        p.enter(rid(BARRIER), 0);
+        let id = ids.alloc();
+        p.task_begin(rid(TASK_A), id, 1);
+        // Task body: depth 0 is the root frame; two more enters allowed,
+        // third collapses.
+        p.enter(rid(FOO), 2);
+        p.enter(rid(FOO), 3); // collapses (depth 2 within the task)
+        p.exit(rid(FOO), 4);
+        p.exit(rid(FOO), 5);
+        p.task_end(rid(TASK_A), id, 6);
+        p.exit(rid(BARRIER), 7);
+        p.finish(8);
+        let s = p.snapshot(0);
+        let task = &s.task_trees[0];
+        let foo = child(task, NodeKind::Region(rid(FOO)));
+        assert!(foo.child(NodeKind::Truncated).is_some());
+        assert!(foo.child(NodeKind::Region(rid(FOO))).is_none());
+    }
+
+    #[test]
+    fn redundant_switch_to_current_task_is_a_no_op() {
+        let ids = TaskIdAllocator::new();
+        let t1 = ids.alloc();
+        let mut p = ThreadProfile::new(rid(PAR), 0, AssignPolicy::Executing);
+        p.enter(rid(BARRIER), 0);
+        p.task_begin(rid(TASK_A), t1, 1);
+        p.task_switch(TaskRef::Explicit(t1), 2);
+        p.task_switch(TaskRef::Explicit(t1), 3);
+        p.task_end(rid(TASK_A), t1, 10);
+        p.exit(rid(BARRIER), 11);
+        p.finish(12);
+        let s = p.snapshot(0);
+        let barrier = child(&s.main, NodeKind::Region(rid(BARRIER)));
+        let stub = child(barrier, NodeKind::Stub(rid(TASK_A)));
+        assert_eq!(stub.stats.visits, 1);
+        assert_eq!(stub.stats.sum_ns, 9);
+    }
+}

@@ -1,0 +1,127 @@
+//! Cross-thread aggregation of profiles.
+
+use taskprof::{Profile, SnapNode, Stats};
+
+/// Structurally merge several snapshot trees (same root identity assumed):
+/// statistics are folded, children matched by node identity recursively.
+pub fn merge_nodes(nodes: &[&SnapNode]) -> SnapNode {
+    let first = nodes.first().expect("merge_nodes on empty slice");
+    let mut out = SnapNode {
+        kind: first.kind,
+        stats: Stats::new(),
+        children: Vec::new(),
+    };
+    for n in nodes {
+        debug_assert_eq!(n.kind, out.kind, "merging structurally different trees");
+        out.stats.merge(&n.stats);
+    }
+    // Children in first-appearance order across all inputs.
+    let mut order: Vec<taskprof::NodeKind> = Vec::new();
+    for n in nodes {
+        for c in &n.children {
+            if !order.contains(&c.kind) {
+                order.push(c.kind);
+            }
+        }
+    }
+    for kind in order {
+        let group: Vec<&SnapNode> = nodes
+            .iter()
+            .flat_map(|n| n.children.iter().filter(|c| c.kind == kind))
+            .collect();
+        out.children.push(merge_nodes(&group));
+    }
+    out
+}
+
+/// A profile aggregated over all team threads.
+#[derive(Clone, Debug)]
+pub struct AggProfile {
+    /// Team size.
+    pub nthreads: usize,
+    /// Merged implicit-task (main) tree.
+    pub main: SnapNode,
+    /// Merged per-construct task trees.
+    pub task_trees: Vec<SnapNode>,
+    /// Maximum concurrently live instance trees over all threads
+    /// (paper Table II).
+    pub max_live_trees: usize,
+}
+
+impl AggProfile {
+    /// Aggregate a per-thread profile.
+    pub fn from_profile(p: &Profile) -> Self {
+        assert!(!p.threads.is_empty(), "empty profile");
+        let mains: Vec<&SnapNode> = p.threads.iter().map(|t| &t.main).collect();
+        let main = merge_nodes(&mains);
+        // Group task trees by construct across threads.
+        let mut kinds: Vec<taskprof::NodeKind> = Vec::new();
+        for t in &p.threads {
+            for tree in &t.task_trees {
+                if !kinds.contains(&tree.kind) {
+                    kinds.push(tree.kind);
+                }
+            }
+        }
+        let task_trees = kinds
+            .into_iter()
+            .map(|kind| {
+                let group: Vec<&SnapNode> = p
+                    .threads
+                    .iter()
+                    .flat_map(|t| t.task_trees.iter().filter(|tree| tree.kind == kind))
+                    .collect();
+                merge_nodes(&group)
+            })
+            .collect();
+        Self {
+            nthreads: p.num_threads(),
+            main,
+            task_trees,
+            max_live_trees: p.max_live_trees(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pomp::RegionId;
+    use taskprof::NodeKind;
+
+    fn node(kind: NodeKind, sum: u64, children: Vec<SnapNode>) -> SnapNode {
+        let mut stats = Stats::new();
+        stats.add_visit();
+        stats.record(sum);
+        SnapNode {
+            kind,
+            stats,
+            children,
+        }
+    }
+
+    #[test]
+    fn merge_sums_and_unions_children() {
+        let r = |i| NodeKind::Region(RegionId(i));
+        let a = node(r(0), 10, vec![node(r(1), 3, vec![]), node(r(2), 4, vec![])]);
+        let b = node(r(0), 20, vec![node(r(2), 6, vec![]), node(r(3), 1, vec![])]);
+        let m = merge_nodes(&[&a, &b]);
+        assert_eq!(m.stats.sum_ns, 30);
+        assert_eq!(m.stats.visits, 2);
+        assert_eq!(m.children.len(), 3);
+        assert_eq!(m.child(r(2)).unwrap().stats.sum_ns, 10);
+        assert_eq!(m.child(r(1)).unwrap().stats.sum_ns, 3);
+        assert_eq!(m.stats.min_ns, 10);
+        assert_eq!(m.stats.max_ns, 20);
+    }
+
+    #[test]
+    fn merge_preserves_nesting() {
+        let r = |i| NodeKind::Region(RegionId(i));
+        let a = node(r(0), 10, vec![node(r(1), 5, vec![node(r(2), 2, vec![])])]);
+        let b = node(r(0), 10, vec![node(r(1), 5, vec![node(r(2), 3, vec![])])]);
+        let m = merge_nodes(&[&a, &b]);
+        let c = m.child(r(1)).unwrap().child(r(2)).unwrap();
+        assert_eq!(c.stats.sum_ns, 5);
+    }
+}

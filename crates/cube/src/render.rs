@@ -1,0 +1,221 @@
+//! ASCII rendering of call-path profiles (the CUBE view of paper Fig. 5).
+
+use crate::agg::AggProfile;
+use pomp::{registry, ParamId, RegionId};
+use std::fmt::Write as _;
+use taskprof::{NodeKind, SnapNode};
+
+/// Rendering options.
+#[derive(Clone, Copy, Debug)]
+pub struct RenderOpts {
+    /// Show exclusive times next to inclusive.
+    pub exclusive: bool,
+    /// Show visit counts.
+    pub visits: bool,
+    /// Show min/mean/max of sampled durations.
+    pub stats: bool,
+    /// Hide nodes whose inclusive time is below this many ns.
+    pub min_time_ns: u64,
+}
+
+impl Default for RenderOpts {
+    fn default() -> Self {
+        Self {
+            exclusive: true,
+            visits: true,
+            stats: false,
+            min_time_ns: 0,
+        }
+    }
+}
+
+/// Format nanoseconds with an adaptive unit (`1.49µs`, `113.2s`, ...).
+pub fn format_ns(ns: u64) -> String {
+    let v = ns as f64;
+    if v >= 1e9 {
+        format!("{:.2}s", v / 1e9)
+    } else if v >= 1e6 {
+        format!("{:.2}ms", v / 1e6)
+    } else if v >= 1e3 {
+        format!("{:.2}µs", v / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+fn kind_label(kind: NodeKind) -> String {
+    let reg = registry();
+    match kind {
+        NodeKind::Region(r) => {
+            let info = reg.info(r);
+            format!("{} [{}]", info.name, info.kind.label())
+        }
+        NodeKind::Stub(r) => format!("task {} (stub)", region_name(r)),
+        NodeKind::Param(p, v) => format!("{} = {v}", param_name(p)),
+        NodeKind::Truncated => "<truncated below depth limit>".to_string(),
+    }
+}
+
+fn region_name(r: RegionId) -> String {
+    registry().name(r)
+}
+
+fn param_name(p: ParamId) -> String {
+    registry().param_name(p)
+}
+
+fn render_node(out: &mut String, node: &SnapNode, prefix: &str, last: bool, root: bool, o: &RenderOpts) {
+    if node.stats.sum_ns < o.min_time_ns && !root {
+        return;
+    }
+    let branch = if root {
+        ""
+    } else if last {
+        "└─ "
+    } else {
+        "├─ "
+    };
+    let mut line = format!("{prefix}{branch}{}", kind_label(node.kind));
+    let _ = write!(line, "  incl {}", format_ns(node.stats.sum_ns));
+    if o.exclusive {
+        let e = node.exclusive_ns();
+        let _ = if e < 0 {
+            write!(line, "  excl -{}", format_ns(e.unsigned_abs()))
+        } else {
+            write!(line, "  excl {}", format_ns(e as u64))
+        };
+    }
+    if o.visits {
+        let _ = write!(line, "  visits {}", node.stats.visits);
+    }
+    if o.stats && node.stats.samples > 0 {
+        let _ = write!(
+            line,
+            "  min {} mean {} max {}",
+            format_ns(node.stats.min().unwrap_or(0)),
+            format_ns(node.stats.mean_ns() as u64),
+            format_ns(node.stats.max_ns),
+        );
+    }
+    out.push_str(&line);
+    out.push('\n');
+    let child_prefix = if root {
+        String::new()
+    } else {
+        format!("{prefix}{}", if last { "   " } else { "│  " })
+    };
+    let visible: Vec<&SnapNode> = node
+        .children
+        .iter()
+        .filter(|c| c.stats.sum_ns >= o.min_time_ns)
+        .collect();
+    for (i, c) in visible.iter().enumerate() {
+        render_node(out, c, &child_prefix, i + 1 == visible.len(), false, o);
+    }
+}
+
+/// Render one snapshot tree.
+pub fn render_tree(tree: &SnapNode, opts: &RenderOpts) -> String {
+    let mut out = String::new();
+    render_node(&mut out, tree, "", true, true, opts);
+    out
+}
+
+/// Render a whole aggregated profile: the main tree followed by every task
+/// tree (which sit "beside the main tree", paper Section IV-B4).
+pub fn render_profile(p: &AggProfile, opts: &RenderOpts) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "=== main tree (implicit tasks, {} thread{}) ===",
+        p.nthreads,
+        if p.nthreads == 1 { "" } else { "s" }
+    );
+    out.push_str(&render_tree(&p.main, opts));
+    for t in &p.task_trees {
+        let _ = writeln!(
+            out,
+            "=== task tree: {} (instances {}, mean {}) ===",
+            kind_label(t.kind),
+            t.stats.samples,
+            format_ns(t.stats.mean_ns() as u64),
+        );
+        out.push_str(&render_tree(t, opts));
+    }
+    let _ = writeln!(out, "max concurrent task trees per thread: {}", p.max_live_trees);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pomp::{RegionKind, TaskIdAllocator};
+    use taskprof::{replay, AssignPolicy, Event, Profile};
+
+    #[test]
+    fn format_ns_units() {
+        assert_eq!(format_ns(12), "12ns");
+        assert_eq!(format_ns(1490), "1.49µs");
+        assert_eq!(format_ns(2_500_000), "2.50ms");
+        assert_eq!(format_ns(113_000_000_000), "113.00s");
+    }
+
+    #[test]
+    fn render_shows_stub_split_like_fig5() {
+        let reg = registry();
+        let par = reg.register("r-par", RegionKind::Parallel, "t", 0);
+        let task = reg.register("r-task0", RegionKind::Task, "t", 0);
+        let barrier = reg.register("r-bar", RegionKind::ImplicitBarrier, "t", 0);
+        let ids = TaskIdAllocator::new();
+        let t1 = ids.alloc();
+        let snap = replay(
+            par,
+            AssignPolicy::Executing,
+            [
+                Event::Enter(barrier),
+                Event::TaskBegin { region: task, id: t1 },
+                Event::Advance(113),
+                Event::TaskEnd { region: task, id: t1 },
+                Event::Advance(103),
+                Event::Exit(barrier),
+            ],
+        );
+        let p = AggProfile::from_profile(&Profile { threads: vec![snap] });
+        let s = render_profile(&p, &RenderOpts::default());
+        assert!(s.contains("r-bar"), "{s}");
+        assert!(s.contains("task r-task0 (stub)"), "{s}");
+        assert!(s.contains("=== task tree: r-task0"), "{s}");
+        // The barrier line shows inclusive 216 and exclusive 103.
+        let bar_line = s.lines().find(|l| l.contains("r-bar")).unwrap();
+        assert!(bar_line.contains("incl 216ns"), "{bar_line}");
+        assert!(bar_line.contains("excl 103ns"), "{bar_line}");
+    }
+
+    #[test]
+    fn min_time_filter_prunes() {
+        let reg = registry();
+        let par = reg.register("r2-par", RegionKind::Parallel, "t", 0);
+        let small = reg.register("r2-small", RegionKind::User, "t", 0);
+        let snap = replay(
+            par,
+            AssignPolicy::Executing,
+            [
+                Event::Enter(small),
+                Event::Advance(5),
+                Event::Exit(small),
+                Event::Advance(1000),
+            ],
+        );
+        let p = AggProfile::from_profile(&Profile { threads: vec![snap] });
+        let full = render_profile(&p, &RenderOpts::default());
+        assert!(full.contains("r2-small"));
+        let pruned = render_profile(
+            &p,
+            &RenderOpts {
+                min_time_ns: 100,
+                ..Default::default()
+            },
+        );
+        assert!(!pruned.contains("r2-small"));
+    }
+}

@@ -1,0 +1,431 @@
+//! Plain-text profile persistence.
+//!
+//! Score-P writes `.cubex` archives that CUBE reads later; this is the
+//! reproduction's equivalent: a line-oriented, diff-friendly text format
+//! that round-trips a whole per-thread [`Profile`]. Region and parameter
+//! names are stored by name+kind and re-interned on load, so profiles can
+//! be compared across processes and machines.
+
+use pomp::{registry, ParamId, RegionId, RegionKind};
+use std::fmt::Write as _;
+use taskprof::{NodeKind, Profile, SnapNode, Stats, ThreadSnapshot};
+
+/// Format version tag.
+const MAGIC: &str = "taskprof-profile v1";
+
+/// Parse failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line of the problem (0 = header).
+    pub line: usize,
+    /// Explanation.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "profile parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn kind_tag(kind: RegionKind) -> &'static str {
+    match kind {
+        RegionKind::Function => "function",
+        RegionKind::Parallel => "parallel",
+        RegionKind::Task => "task",
+        RegionKind::TaskCreate => "create",
+        RegionKind::Taskwait => "taskwait",
+        RegionKind::ImplicitBarrier => "ibarrier",
+        RegionKind::ExplicitBarrier => "barrier",
+        RegionKind::Single => "single",
+        RegionKind::Workshare => "for",
+        RegionKind::Critical => "critical",
+        RegionKind::User => "user",
+    }
+}
+
+fn kind_from_tag(tag: &str) -> Option<RegionKind> {
+    Some(match tag {
+        "function" => RegionKind::Function,
+        "parallel" => RegionKind::Parallel,
+        "task" => RegionKind::Task,
+        "create" => RegionKind::TaskCreate,
+        "taskwait" => RegionKind::Taskwait,
+        "ibarrier" => RegionKind::ImplicitBarrier,
+        "barrier" => RegionKind::ExplicitBarrier,
+        "single" => RegionKind::Single,
+        "for" => RegionKind::Workshare,
+        "critical" => RegionKind::Critical,
+        "user" => RegionKind::User,
+        _ => return None,
+    })
+}
+
+fn escape(name: &str) -> String {
+    name.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn unescape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            if let Some(n) = chars.next() {
+                out.push(n);
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+fn write_node(out: &mut String, node: &SnapNode, depth: usize) {
+    let reg = registry();
+    let ident = match node.kind {
+        NodeKind::Region(r) => {
+            let info = reg.info(r);
+            format!("region {} \"{}\"", kind_tag(info.kind), escape(&info.name))
+        }
+        NodeKind::Stub(r) => format!("stub \"{}\"", escape(&reg.name(r))),
+        NodeKind::Param(p, v) => {
+            format!("param \"{}\" {v}", escape(&reg.param_name(p)))
+        }
+        NodeKind::Truncated => "truncated \"\"".to_string(),
+    };
+    let s = &node.stats;
+    let _ = writeln!(
+        out,
+        "{}{} visits {} sum {} min {} max {} samples {}",
+        "  ".repeat(depth),
+        ident,
+        s.visits,
+        s.sum_ns,
+        s.min_ns,
+        s.max_ns,
+        s.samples
+    );
+    for c in &node.children {
+        write_node(out, c, depth + 1);
+    }
+}
+
+/// Serialize a profile to the text format.
+pub fn write_profile(p: &Profile) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{MAGIC}");
+    let _ = writeln!(out, "threads {}", p.threads.len());
+    for t in &p.threads {
+        let _ = writeln!(
+            out,
+            "thread {} max_live {} arena {}",
+            t.tid, t.max_live_trees, t.arena_capacity
+        );
+        let _ = writeln!(out, "main");
+        write_node(&mut out, &t.main, 1);
+        for tree in &t.task_trees {
+            let _ = writeln!(out, "tasktree");
+            write_node(&mut out, tree, 1);
+        }
+        let _ = writeln!(out, "end");
+    }
+    out
+}
+
+struct Parser<'a> {
+    lines: std::iter::Peekable<std::iter::Enumerate<std::str::Lines<'a>>>,
+}
+
+impl<'a> Parser<'a> {
+    fn err(line: usize, message: impl Into<String>) -> ParseError {
+        ParseError {
+            line: line + 1,
+            message: message.into(),
+        }
+    }
+
+    /// Parse one node line: returns (depth, kind, stats).
+    fn parse_node_line(lineno: usize, raw: &str) -> Result<(usize, NodeKind, Stats), ParseError> {
+        let trimmed = raw.trim_start();
+        let depth = (raw.len() - trimmed.len()) / 2;
+        // Split the quoted name out first.
+        let (head, rest) = trimmed
+            .split_once('"')
+            .ok_or_else(|| Self::err(lineno, "missing name quote"))?;
+        // Find the closing quote honoring escapes.
+        let mut end = None;
+        let bytes = rest.as_bytes();
+        let mut i = 0;
+        while i < bytes.len() {
+            match bytes[i] {
+                b'\\' => i += 2,
+                b'"' => {
+                    end = Some(i);
+                    break;
+                }
+                _ => i += 1,
+            }
+        }
+        let end = end.ok_or_else(|| Self::err(lineno, "unterminated name"))?;
+        let name = unescape(&rest[..end]);
+        let tail = &rest[end + 1..];
+        let head_tokens: Vec<&str> = head.split_whitespace().collect();
+        let reg = registry();
+        let kind = match head_tokens.as_slice() {
+            ["region", ktag] => {
+                let k = kind_from_tag(ktag)
+                    .ok_or_else(|| Self::err(lineno, format!("unknown region kind {ktag}")))?;
+                NodeKind::Region(reg.register(&name, k, "loaded", 0))
+            }
+            ["stub"] => {
+                // Stubs always refer to task constructs.
+                NodeKind::Stub(reg.register(&name, RegionKind::Task, "loaded", 0))
+            }
+            ["truncated"] => NodeKind::Truncated,
+            ["param"] => {
+                let v: i64 = tail
+                    .split_whitespace()
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| Self::err(lineno, "param missing value"))?;
+                return Ok((
+                    depth,
+                    NodeKind::Param(reg.register_param(&name), v),
+                    Self::parse_stats(lineno, tail.split_whitespace().skip(1))?,
+                ));
+            }
+            other => return Err(Self::err(lineno, format!("unknown node head {other:?}"))),
+        };
+        Ok((depth, kind, Self::parse_stats(lineno, tail.split_whitespace())?))
+    }
+
+    fn parse_stats<'t>(
+        lineno: usize,
+        mut tokens: impl Iterator<Item = &'t str>,
+    ) -> Result<Stats, ParseError> {
+        let mut stats = Stats::new();
+        let grab = |key: &str, tokens: &mut dyn Iterator<Item = &'t str>| {
+            match (tokens.next(), tokens.next()) {
+                (Some(k), Some(v)) if k == key => v
+                    .parse::<u64>()
+                    .map_err(|_| Self::err(lineno, format!("bad {key} value"))),
+                _ => Err(Self::err(lineno, format!("expected '{key} <n>'"))),
+            }
+        };
+        stats.visits = grab("visits", &mut tokens)?;
+        stats.sum_ns = grab("sum", &mut tokens)?;
+        stats.min_ns = grab("min", &mut tokens)?;
+        stats.max_ns = grab("max", &mut tokens)?;
+        stats.samples = grab("samples", &mut tokens)?;
+        Ok(stats)
+    }
+
+    /// Parse an indented node block starting at the current position.
+    fn parse_tree(&mut self) -> Result<SnapNode, ParseError> {
+        let (lineno, first) = self
+            .lines
+            .next()
+            .ok_or_else(|| Self::err(0, "unexpected end of file in tree"))?;
+        let (depth, kind, stats) = Self::parse_node_line(lineno, first)?;
+        let mut root = SnapNode {
+            kind,
+            stats,
+            children: vec![],
+        };
+        let mut stack: Vec<(usize, SnapNode)> = vec![];
+        let base = depth;
+        // Collect subsequent deeper lines.
+        while let Some(&(lineno, peek)) = self.lines.peek() {
+            let trimmed = peek.trim_start();
+            if trimmed.is_empty()
+                || trimmed.starts_with("main")
+                || trimmed.starts_with("tasktree")
+                || trimmed.starts_with("thread ")
+                || trimmed.starts_with("end")
+            {
+                break;
+            }
+            let d = (peek.len() - trimmed.len()) / 2;
+            if d <= base {
+                break;
+            }
+            self.lines.next();
+            let (_, kind, stats) = Self::parse_node_line(lineno, peek)?;
+            let node = SnapNode {
+                kind,
+                stats,
+                children: vec![],
+            };
+            // Pop completed siblings/ancestors.
+            while let Some(&(sd, _)) = stack.last() {
+                if sd >= d {
+                    let (_, done) = stack.pop().expect("non-empty");
+                    match stack.last_mut() {
+                        Some((_, parent)) => parent.children.push(done),
+                        None => root.children.push(done),
+                    }
+                } else {
+                    break;
+                }
+            }
+            stack.push((d, node));
+        }
+        while let Some((_, done)) = stack.pop() {
+            match stack.last_mut() {
+                Some((_, parent)) => parent.children.push(done),
+                None => root.children.push(done),
+            }
+        }
+        Ok(root)
+    }
+}
+
+/// Parse a profile from the text format.
+pub fn read_profile(text: &str) -> Result<Profile, ParseError> {
+    let mut p = Parser {
+        lines: text.lines().enumerate().peekable(),
+    };
+    match p.lines.next() {
+        Some((_, l)) if l.trim() == MAGIC => {}
+        Some((n, l)) => return Err(Parser::err(n, format!("bad magic '{l}'"))),
+        None => return Err(Parser::err(0, "empty input")),
+    }
+    let nthreads = match p.lines.next() {
+        Some((n, l)) => l
+            .trim()
+            .strip_prefix("threads ")
+            .and_then(|v| v.parse::<usize>().ok())
+            .ok_or_else(|| Parser::err(n, "expected 'threads <n>'"))?,
+        None => return Err(Parser::err(1, "missing thread count")),
+    };
+    let mut threads = Vec::with_capacity(nthreads);
+    for _ in 0..nthreads {
+        let (n, header) = p
+            .lines
+            .next()
+            .ok_or_else(|| Parser::err(0, "missing thread header"))?;
+        let toks: Vec<&str> = header.split_whitespace().collect();
+        let (tid, max_live, arena) = match toks.as_slice() {
+            ["thread", tid, "max_live", ml, "arena", ar] => (
+                tid.parse().map_err(|_| Parser::err(n, "bad tid"))?,
+                ml.parse().map_err(|_| Parser::err(n, "bad max_live"))?,
+                ar.parse().map_err(|_| Parser::err(n, "bad arena"))?,
+            ),
+            _ => return Err(Parser::err(n, "malformed thread header")),
+        };
+        match p.lines.next() {
+            Some((_, l)) if l.trim() == "main" => {}
+            Some((n, l)) => return Err(Parser::err(n, format!("expected 'main', got '{l}'"))),
+            None => return Err(Parser::err(n, "missing main section")),
+        }
+        let main = p.parse_tree()?;
+        let mut task_trees = Vec::new();
+        loop {
+            match p.lines.peek().copied() {
+                Some((_, l)) if l.trim() == "tasktree" => {
+                    p.lines.next();
+                    task_trees.push(p.parse_tree()?);
+                }
+                Some((_, l)) if l.trim() == "end" => {
+                    p.lines.next();
+                    break;
+                }
+                Some((n, l)) => {
+                    return Err(Parser::err(n, format!("expected tasktree/end, got '{l}'")))
+                }
+                None => return Err(Parser::err(0, "missing 'end'")),
+            }
+        }
+        let parallel_region = match main.kind {
+            NodeKind::Region(r) => r,
+            _ => RegionId(0),
+        };
+        threads.push(ThreadSnapshot {
+            tid,
+            parallel_region,
+            main,
+            task_trees,
+            max_live_trees: max_live,
+            arena_capacity: arena,
+        });
+    }
+    Ok(Profile { threads })
+}
+
+/// The parameter-name interning used on load.
+#[allow(dead_code)]
+fn _assert_param_api(p: ParamId) -> ParamId {
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pomp::TaskIdAllocator;
+    use taskprof::{AssignPolicy, Event, TeamReplayer};
+
+    fn sample_profile() -> Profile {
+        let reg = registry();
+        let par = reg.register("st-par", RegionKind::Parallel, "t", 0);
+        let task = reg.register("st-task", RegionKind::Task, "t", 0);
+        let barrier = reg.register("st-bar", RegionKind::ImplicitBarrier, "t", 0);
+        let depth = reg.register_param("st-depth");
+        let ids = TaskIdAllocator::new();
+        let mut team = TeamReplayer::new(2, par, AssignPolicy::Executing);
+        for tid in 0..2 {
+            team.apply(tid, Event::Enter(barrier));
+        }
+        for k in 0..3 {
+            let id = ids.alloc();
+            team.apply(0, Event::TaskBegin { region: task, id })
+                .apply(0, Event::ParamBegin { param: depth, value: k })
+                .advance(10 + k as u64)
+                .apply(0, Event::ParamEnd { param: depth })
+                .apply(0, Event::TaskEnd { region: task, id });
+        }
+        for tid in 0..2 {
+            team.apply(tid, Event::Exit(barrier));
+        }
+        team.finish()
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let p = sample_profile();
+        let text = write_profile(&p);
+        let q = read_profile(&text).expect("parse");
+        assert_eq!(p.threads.len(), q.threads.len());
+        for (a, b) in p.threads.iter().zip(&q.threads) {
+            assert_eq!(a.tid, b.tid);
+            assert_eq!(a.max_live_trees, b.max_live_trees);
+            assert_eq!(a.arena_capacity, b.arena_capacity);
+            assert_eq!(a.main, b.main);
+            assert_eq!(a.task_trees, b.task_trees);
+        }
+        // Idempotent: serialize again, identical text.
+        assert_eq!(text, write_profile(&q));
+    }
+
+    #[test]
+    fn names_with_quotes_survive() {
+        let reg = registry();
+        let par = reg.register("weird \"name\"\\x", RegionKind::Parallel, "t", 0);
+        let snap = taskprof::replay(par, AssignPolicy::Executing, [Event::Advance(5)]);
+        let p = Profile { threads: vec![snap] };
+        let q = read_profile(&write_profile(&p)).expect("parse");
+        assert_eq!(p.threads[0].main, q.threads[0].main);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(read_profile("").is_err());
+        assert!(read_profile("not a profile").is_err());
+        assert!(read_profile("taskprof-profile v1\nthreads x").is_err());
+        let p = sample_profile();
+        let text = write_profile(&p);
+        let truncated = &text[..text.len() / 2];
+        assert!(read_profile(truncated).is_err());
+    }
+}

@@ -1,0 +1,115 @@
+//! Time sources for measurement.
+//!
+//! All profiler timestamps are `u64` nanoseconds from an arbitrary origin.
+//! [`MonotonicClock`] wraps `std::time::Instant` for real measurements;
+//! [`VirtualClock`] is a manually-advanced counter used by tests and the
+//! event-replay examples to reproduce the paper's figures with exact
+//! numbers.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// A monotonic nanosecond time source.
+pub trait Clock: Send + Sync {
+    /// Nanoseconds since the clock's origin. Must be monotonic per thread.
+    fn now(&self) -> u64;
+}
+
+/// Real time via `std::time::Instant`, origin = construction time.
+#[derive(Debug)]
+pub struct MonotonicClock {
+    origin: Instant,
+}
+
+impl Default for MonotonicClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MonotonicClock {
+    /// Clock with origin "now".
+    pub fn new() -> Self {
+        Self {
+            origin: Instant::now(),
+        }
+    }
+}
+
+impl Clock for MonotonicClock {
+    #[inline]
+    fn now(&self) -> u64 {
+        self.origin.elapsed().as_nanos() as u64
+    }
+}
+
+/// Deterministic clock: `now()` returns the last value set or advanced to.
+///
+/// Shared freely between threads; in deterministic tests the caller is
+/// responsible for only advancing it from one place at a time.
+#[derive(Debug, Default)]
+pub struct VirtualClock {
+    t: AtomicU64,
+}
+
+impl VirtualClock {
+    /// New clock at t = 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// New clock starting at `t` nanoseconds.
+    pub fn starting_at(t: u64) -> Self {
+        let c = Self::new();
+        c.set(t);
+        c
+    }
+
+    /// Advance by `dt` nanoseconds, returning the new time.
+    pub fn advance(&self, dt: u64) -> u64 {
+        self.t.fetch_add(dt, Ordering::Relaxed) + dt
+    }
+
+    /// Jump to an absolute time. Must not go backwards (debug-asserted).
+    pub fn set(&self, t: u64) {
+        debug_assert!(t >= self.t.load(Ordering::Relaxed), "virtual clock moved backwards");
+        self.t.store(t, Ordering::Relaxed);
+    }
+}
+
+impl Clock for VirtualClock {
+    #[inline]
+    fn now(&self) -> u64 {
+        self.t.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monotonic_clock_is_monotonic() {
+        let c = MonotonicClock::new();
+        let a = c.now();
+        let b = c.now();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn virtual_clock_advances() {
+        let c = VirtualClock::new();
+        assert_eq!(c.now(), 0);
+        assert_eq!(c.advance(5), 5);
+        assert_eq!(c.advance(3), 8);
+        assert_eq!(c.now(), 8);
+        c.set(100);
+        assert_eq!(c.now(), 100);
+    }
+
+    #[test]
+    fn clock_is_object_safe() {
+        let c: Box<dyn Clock> = Box::new(VirtualClock::starting_at(7));
+        assert_eq!(c.now(), 7);
+    }
+}

@@ -1,0 +1,163 @@
+//! A minimal statistics monitor: counts events without timestamps or
+//! trees.
+//!
+//! Useful as (a) the cheapest possible instrumentation — its per-event
+//! cost is one relaxed atomic increment, bounding from below what *any*
+//! monitor must pay — and (b) a quick way to size a workload (how many
+//! tasks? how many switches?) before running the full profiler.
+
+use crate::hooks::{Monitor, TaskRef, ThreadHooks};
+use crate::region::{ParamId, RegionId};
+use crate::task::TaskId;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Aggregate event counts of one or more parallel regions.
+#[derive(Debug, Default)]
+pub struct EventCounts {
+    /// Region enter events (exits are symmetric by construction).
+    pub enters: AtomicU64,
+    /// Deferred task creations.
+    pub creations: AtomicU64,
+    /// Task instances begun.
+    pub task_begins: AtomicU64,
+    /// Task instances completed.
+    pub task_ends: AtomicU64,
+    /// Explicit suspend/resume switches (excludes begin/end implied ones).
+    pub switches: AtomicU64,
+    /// Parameter scopes opened.
+    pub params: AtomicU64,
+    /// Threads that participated.
+    pub threads: AtomicU64,
+}
+
+impl EventCounts {
+    /// Snapshot as plain numbers
+    /// (enters, creations, begins, ends, switches, params, threads).
+    pub fn snapshot(&self) -> (u64, u64, u64, u64, u64, u64, u64) {
+        (
+            self.enters.load(Ordering::Relaxed),
+            self.creations.load(Ordering::Relaxed),
+            self.task_begins.load(Ordering::Relaxed),
+            self.task_ends.load(Ordering::Relaxed),
+            self.switches.load(Ordering::Relaxed),
+            self.params.load(Ordering::Relaxed),
+            self.threads.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Total events observed.
+    pub fn total(&self) -> u64 {
+        let (e, c, b, d, s, p, _) = self.snapshot();
+        // enters+exits are symmetric, creations have begin+end too.
+        2 * e + 2 * c + b + d + s + 2 * p
+    }
+}
+
+/// Monitor that only counts events.
+#[derive(Clone, Debug, Default)]
+pub struct CountingMonitor {
+    counts: Arc<EventCounts>,
+}
+
+impl CountingMonitor {
+    /// Fresh counter set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The shared counters.
+    pub fn counts(&self) -> &EventCounts {
+        &self.counts
+    }
+}
+
+/// Per-thread handle of [`CountingMonitor`].
+#[derive(Debug)]
+pub struct CountingThread {
+    counts: Arc<EventCounts>,
+}
+
+impl Monitor for CountingMonitor {
+    type Thread = CountingThread;
+
+    fn thread_begin(&self, _tid: usize, _n: usize, _region: RegionId) -> CountingThread {
+        self.counts.threads.fetch_add(1, Ordering::Relaxed);
+        CountingThread {
+            counts: self.counts.clone(),
+        }
+    }
+
+    fn thread_end(&self, _tid: usize, _thread: CountingThread) {}
+}
+
+impl ThreadHooks for CountingThread {
+    #[inline]
+    fn enter(&self, _region: RegionId) {
+        self.counts.enters.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn task_create_begin(&self, _c: RegionId, _t: RegionId, _id: TaskId) {
+        self.counts.creations.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn task_begin(&self, _region: RegionId, _task: TaskId) {
+        self.counts.task_begins.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn task_end(&self, _region: RegionId, _task: TaskId) {
+        self.counts.task_ends.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn task_switch(&self, _resumed: TaskRef) {
+        self.counts.switches.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn parameter_begin(&self, _param: ParamId, _value: i64) {
+        self.counts.params.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::region::RegionKind;
+    use crate::task::TaskIdAllocator;
+
+    #[test]
+    fn counts_accumulate() {
+        let m = CountingMonitor::new();
+        let r = crate::registry().register("cm-r", RegionKind::Task, "t", 0);
+        let ids = TaskIdAllocator::new();
+        let th = m.thread_begin(0, 1, r);
+        th.enter(r);
+        th.exit(r); // exits not counted (symmetric)
+        let id = ids.alloc();
+        th.task_create_begin(r, r, id);
+        th.task_create_end(r, id);
+        th.task_begin(r, id);
+        th.task_switch(TaskRef::Implicit);
+        th.task_end(r, id);
+        th.parameter_begin(ParamId(0), 1);
+        m.thread_end(0, th);
+        let (e, c, b, d, s, p, t) = m.counts().snapshot();
+        assert_eq!((e, c, b, d, s, p, t), (1, 1, 1, 1, 1, 1, 1));
+        assert!(m.counts().total() > 0);
+    }
+
+    #[test]
+    fn clones_share_counters() {
+        let m = CountingMonitor::new();
+        let m2 = m.clone();
+        let r = crate::registry().register("cm-r2", RegionKind::Task, "t", 0);
+        let th = m2.thread_begin(0, 1, r);
+        th.enter(r);
+        m2.thread_end(0, th);
+        assert_eq!(m.counts().enters.load(Ordering::Relaxed), 1);
+    }
+}

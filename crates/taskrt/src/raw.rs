@@ -1,0 +1,46 @@
+//! Type-erased deferred tasks.
+//!
+//! Task closures may borrow from the environment of the enclosing
+//! `parallel` call (lifetime `'env`), like `rayon::scope` tasks. Queues are
+//! `'static`-typed, so closures are transmuted to `'static` on enqueue. The
+//! soundness argument is the classic scoped-task one: every deferred task
+//! completes before `Team::parallel` returns (the implicit barrier at the
+//! end of the parallel region drains all queues and waits for running
+//! tasks), so no closure is ever invoked after `'env` ends.
+
+use crate::ctx::TaskCtx;
+use crate::task::TaskNode;
+use pomp::{Monitor, RegionId};
+use std::sync::Arc;
+
+/// A task closure still carrying its environment lifetime.
+pub(crate) type ScopedClosure<'env, M> =
+    Box<dyn for<'w> FnOnce(&TaskCtx<'w, 'env, M>) + Send + 'env>;
+
+/// A queued (deferred) task closure, erased to `'static`.
+pub(crate) type ErasedClosure<M> = ScopedClosure<'static, M>;
+
+/// A deferred task instance waiting in a queue.
+pub(crate) struct RawTask<M: Monitor> {
+    /// Dynamic task-tree node (carries the instance id — the OPARI2 "store
+    /// the id inside the task's context" trick).
+    pub node: Arc<TaskNode>,
+    /// The task construct's region.
+    pub region: RegionId,
+    /// The body.
+    pub body: ErasedClosure<M>,
+}
+
+/// Erase the environment lifetime of a task closure.
+///
+/// # Safety
+///
+/// The caller must guarantee the closure is invoked (or dropped) before
+/// `'env` ends. `Team::parallel` guarantees this via its implicit barrier.
+pub(crate) unsafe fn erase_closure<'env, M: Monitor>(
+    f: ScopedClosure<'env, M>,
+) -> ErasedClosure<M> {
+    // Box<dyn Trait + 'a> -> Box<dyn Trait + 'static>: identical layout,
+    // only the lifetime bound changes.
+    std::mem::transmute(f)
+}

@@ -1,0 +1,253 @@
+//! Team-shared scheduling state: queues, the task-executing barrier, and
+//! the `single` arbiter.
+
+use crate::constructs::ParallelConstruct;
+use crate::raw::RawTask;
+use crossbeam_deque::{Injector, Stealer};
+use parking_lot::Mutex;
+use pomp::{Monitor, TaskIdAllocator};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// State shared by all threads of one parallel region.
+pub(crate) struct Shared<M: Monitor> {
+    /// Team size.
+    pub nthreads: usize,
+    /// The parallel construct being executed.
+    pub parallel: ParallelConstruct,
+    /// Overflow queue (currently used for re-queued stashed tasks and as a
+    /// steal source of last resort).
+    pub injector: Injector<RawTask<M>>,
+    /// One stealer per worker deque, indexed by tid.
+    pub stealers: Vec<Stealer<RawTask<M>>>,
+    /// Deferred tasks queued or currently executing.
+    pub outstanding: AtomicUsize,
+    /// The team barrier (implicit and explicit barriers share it: OpenMP
+    /// forbids concurrent distinct barriers within one team).
+    pub barrier: TaskBarrier,
+    /// Instance-id allocator for this region.
+    pub ids: TaskIdAllocator,
+    /// Arbitration for `single` constructs.
+    pub singles: SingleArbiter,
+    /// Shared counters for dynamic `for` scheduling.
+    pub workshares: WorkshareArbiter,
+    /// Named critical-section locks, keyed by region.
+    pub criticals: CriticalLocks,
+    /// ABLATION: ignore the tied-task scheduling constraint at taskwaits.
+    pub unrestricted_taskwait: bool,
+}
+
+impl<M: Monitor> Shared<M> {
+    pub fn new(
+        nthreads: usize,
+        parallel: ParallelConstruct,
+        stealers: Vec<Stealer<RawTask<M>>>,
+    ) -> Self {
+        Self {
+            nthreads,
+            parallel,
+            injector: Injector::new(),
+            stealers,
+            outstanding: AtomicUsize::new(0),
+            barrier: TaskBarrier::new(),
+            ids: TaskIdAllocator::new(),
+            singles: SingleArbiter::new(),
+            workshares: WorkshareArbiter::new(),
+            criticals: CriticalLocks::new(),
+            unrestricted_taskwait: false,
+        }
+    }
+
+    /// Account one newly queued deferred task.
+    #[inline]
+    pub fn task_queued(&self) {
+        self.outstanding.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Account one completed deferred task.
+    #[inline]
+    pub fn task_retired(&self) {
+        let prev = self.outstanding.fetch_sub(1, Ordering::Release);
+        debug_assert!(prev > 0, "outstanding-task underflow");
+    }
+}
+
+/// A sense-counting barrier at which waiting threads execute queued tasks.
+///
+/// Release condition: all team threads arrived *and* no deferred task is
+/// queued or running. Arrivals are counted monotonically (generation `g`
+/// releases at `arrived == (g + 1) * nthreads`), which avoids the classic
+/// reset race when threads proceed to the next barrier immediately.
+pub(crate) struct TaskBarrier {
+    arrived: AtomicUsize,
+    generation: AtomicUsize,
+}
+
+impl TaskBarrier {
+    pub fn new() -> Self {
+        Self {
+            arrived: AtomicUsize::new(0),
+            generation: AtomicUsize::new(0),
+        }
+    }
+
+    /// Arrive at the barrier; returns the generation to wait on.
+    pub fn arrive(&self) -> usize {
+        let gen = self.generation.load(Ordering::Acquire);
+        self.arrived.fetch_add(1, Ordering::AcqRel);
+        gen
+    }
+
+    /// True once generation `gen` has been released.
+    #[inline]
+    pub fn released(&self, gen: usize) -> bool {
+        self.generation.load(Ordering::Acquire) != gen
+    }
+
+    /// True when every team thread has arrived for generation `gen`.
+    #[inline]
+    pub fn all_arrived(&self, gen: usize, nthreads: usize) -> bool {
+        self.arrived.load(Ordering::Acquire) >= (gen + 1) * nthreads
+    }
+
+    /// Attempt to release generation `gen`; returns true for the winner.
+    pub fn try_release(&self, gen: usize) -> bool {
+        self.generation
+            .compare_exchange(gen, gen + 1, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+    }
+}
+
+/// Shared iteration counters for dynamically scheduled `for` constructs.
+///
+/// Like [`SingleArbiter`], indexed by each thread's k-th dynamic
+/// worksharing encounter (SPMD code reaches the same construct instances
+/// in the same order on every thread).
+pub(crate) struct WorkshareArbiter {
+    counters: Mutex<Vec<std::sync::Arc<AtomicUsize>>>,
+}
+
+impl WorkshareArbiter {
+    pub fn new() -> Self {
+        Self {
+            counters: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The shared iteration counter of the k-th worksharing instance.
+    pub fn counter(&self, k: usize) -> std::sync::Arc<AtomicUsize> {
+        let mut v = self.counters.lock();
+        while v.len() <= k {
+            v.push(std::sync::Arc::new(AtomicUsize::new(0)));
+        }
+        v[k].clone()
+    }
+}
+
+/// Named `critical` section locks: one mutex per critical region, created
+/// on first use.
+pub(crate) struct CriticalLocks {
+    locks: Mutex<std::collections::HashMap<pomp::RegionId, std::sync::Arc<Mutex<()>>>>,
+}
+
+impl CriticalLocks {
+    pub fn new() -> Self {
+        Self {
+            locks: Mutex::new(std::collections::HashMap::new()),
+        }
+    }
+
+    /// The lock guarding `region`.
+    pub fn lock_for(&self, region: pomp::RegionId) -> std::sync::Arc<Mutex<()>> {
+        self.locks.lock().entry(region).or_default().clone()
+    }
+}
+
+/// First-arriver-wins arbitration for `single` constructs.
+///
+/// Threads of a team execute the same sequence of `single` constructs, so
+/// the k-th dynamic `single` encounter of each thread refers to the same
+/// construct instance; the first thread to claim index k executes the body.
+pub(crate) struct SingleArbiter {
+    claims: Mutex<Vec<u32>>,
+}
+
+impl SingleArbiter {
+    pub fn new() -> Self {
+        Self {
+            claims: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Claim the k-th single instance; true for the first claimant.
+    pub fn claim(&self, k: usize) -> bool {
+        let mut v = self.claims.lock();
+        if v.len() <= k {
+            v.resize(k + 1, 0);
+        }
+        v[k] += 1;
+        v[k] == 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_arbiter_first_claim_wins() {
+        let s = SingleArbiter::new();
+        assert!(s.claim(0));
+        assert!(!s.claim(0));
+        assert!(s.claim(2)); // sparse index is fine
+        assert!(s.claim(1));
+        assert!(!s.claim(1));
+    }
+
+    #[test]
+    fn barrier_generation_counting() {
+        let b = TaskBarrier::new();
+        let g0 = b.arrive();
+        assert_eq!(g0, 0);
+        assert!(!b.all_arrived(g0, 2));
+        let g0b = b.arrive();
+        assert_eq!(g0b, 0);
+        assert!(b.all_arrived(g0, 2));
+        assert!(!b.released(g0));
+        assert!(b.try_release(g0));
+        assert!(b.released(g0));
+        assert!(!b.try_release(g0), "only one winner per generation");
+        // Next generation: arrivals accumulate past the old threshold.
+        let g1 = b.arrive();
+        assert_eq!(g1, 1);
+        assert!(!b.all_arrived(g1, 2));
+        b.arrive();
+        assert!(b.all_arrived(g1, 2));
+        assert!(b.try_release(g1));
+    }
+
+    #[test]
+    fn barrier_two_threads_loop() {
+        // Hammer the barrier across threads to shake out release races.
+        let b = std::sync::Arc::new(TaskBarrier::new());
+        let n = 2;
+        let rounds = 2000;
+        let mut handles = vec![];
+        for _ in 0..n {
+            let b = b.clone();
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..rounds {
+                    let gen = b.arrive();
+                    while !b.released(gen) {
+                        if b.all_arrived(gen, n) && b.try_release(gen) {
+                            break;
+                        }
+                        std::hint::spin_loop();
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+}

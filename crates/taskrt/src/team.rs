@@ -1,0 +1,105 @@
+//! Thread teams and parallel regions.
+
+use crate::constructs::ParallelConstruct;
+use crate::ctx::TaskCtx;
+use crate::raw::RawTask;
+use crate::sched::Shared;
+use crate::task::TaskNode;
+use crate::worker::WorkerState;
+use crossbeam_deque::Worker;
+use pomp::Monitor;
+use std::marker::PhantomData;
+
+/// A team configuration. Threads are spawned per parallel region (scoped),
+/// which keeps lifetimes simple; the overhead is outside the measured
+/// kernels, mirroring how BOTS measures only the parallel region body.
+#[derive(Clone, Copy, Debug)]
+pub struct Team {
+    nthreads: usize,
+    unrestricted_taskwait: bool,
+}
+
+impl Team {
+    /// A team of `nthreads` threads (≥ 1).
+    pub fn new(nthreads: usize) -> Self {
+        assert!(nthreads >= 1, "a team needs at least one thread");
+        Self {
+            nthreads,
+            unrestricted_taskwait: false,
+        }
+    }
+
+    /// ABLATION: drop the tied-task scheduling constraint at taskwaits
+    /// (execute *any* queued task, not just descendants of the waiting
+    /// task). Still deadlock-free in this runtime, but suspended tasks
+    /// pile up on the native stack — the profiler's Table II counter
+    /// (max concurrent instances) exposes the difference.
+    pub fn unrestricted_taskwait(mut self) -> Self {
+        self.unrestricted_taskwait = true;
+        self
+    }
+
+    /// Team size.
+    pub fn nthreads(&self) -> usize {
+        self.nthreads
+    }
+
+    /// Execute a parallel region: `f` runs once per team thread (as that
+    /// thread's implicit task), tasks created inside are drained by the
+    /// implicit barrier at the end, and `monitor` observes every event.
+    ///
+    /// Pass [`pomp::NullMonitor`] for an uninstrumented run or
+    /// `taskprof::ProfMonitor` for a profiled one.
+    pub fn parallel<'env, M, F>(&self, monitor: &M, construct: &ParallelConstruct, f: F)
+    where
+        M: Monitor,
+        F: Fn(&TaskCtx<'_, 'env, M>) + Sync + 'env,
+    {
+        let n = self.nthreads;
+        monitor.parallel_fork(construct.region, n);
+        let mut locals: Vec<Worker<RawTask<M>>> = (0..n).map(|_| Worker::new_lifo()).collect();
+        let stealers = locals.iter().map(Worker::stealer).collect();
+        let mut shared = Shared::new(n, *construct, stealers);
+        shared.unrestricted_taskwait = self.unrestricted_taskwait;
+        {
+            let shared = &shared;
+            let f = &f;
+            let local0 = locals.remove(0);
+            std::thread::scope(|scope| {
+                for (i, local) in locals.drain(..).enumerate() {
+                    scope.spawn(move || run_worker(shared, monitor, i + 1, local, f));
+                }
+                run_worker(shared, monitor, 0, local0, f);
+            });
+        }
+        monitor.parallel_join(construct.region);
+    }
+}
+
+fn run_worker<'env, M, F>(
+    shared: &Shared<M>,
+    monitor: &M,
+    tid: usize,
+    local: Worker<RawTask<M>>,
+    f: &F,
+) where
+    M: Monitor,
+    F: Fn(&TaskCtx<'_, 'env, M>) + Sync + 'env,
+{
+    let hooks = monitor.thread_begin(tid, shared.nthreads, shared.parallel.region);
+    let implicit = TaskNode::implicit();
+    let ws = WorkerState::new(shared, tid, local, hooks, implicit.clone());
+    {
+        let ctx = TaskCtx {
+            worker: &ws,
+            node: implicit,
+            _env: PhantomData,
+        };
+        f(&ctx);
+        // Implicit barrier at the end of the parallel region: drains all
+        // deferred tasks — the guarantee the closure lifetime erasure in
+        // `raw.rs` relies on.
+        ws.barrier(shared.parallel.ibarrier);
+    }
+    monitor.thread_end(tid, ws.hooks);
+}

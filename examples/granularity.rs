@@ -1,0 +1,77 @@
+//! Task-granularity sweep: the core trade-off the paper's metrics exist
+//! to expose.
+//!
+//! ```text
+//! cargo run --release --example granularity
+//! ```
+//!
+//! Runs the same total amount of work split into ever more, ever smaller
+//! tasks, and reports — from the *profile*, the way a Score-P user would —
+//! mean task size, total creation cost, scheduling-point time, and the
+//! kernel wall time. Small tasks make the management share explode
+//! (paper Section III: "if the tasks are too small, the task management
+//! overhead may become larger than the gain").
+
+use cube::{format_ns, region_excl_by_kind, task_stats, AggProfile};
+use pomp::RegionKind;
+use std::time::Instant;
+use taskprof::ProfMonitor;
+use taskrt::{ParallelConstruct, SingleConstruct, TaskConstruct, Team};
+
+fn busy_work(units: u64) -> u64 {
+    let mut acc = 0u64;
+    for i in 0..units {
+        acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+    }
+    std::hint::black_box(acc)
+}
+
+fn main() {
+    let par = ParallelConstruct::new("granularity");
+    let single = SingleConstruct::new("granularity!single");
+    let task = TaskConstruct::new("granularity_chunk");
+    let total_work: u64 = 1 << 24; // constant total, varying split
+    let threads = 4;
+
+    println!("constant total work, split into N tasks ({threads} threads):\n");
+    println!(
+        "{:>8}  {:>10}  {:>10}  {:>10}  {:>12}  {:>10}",
+        "tasks", "mean size", "create", "sched pts", "kernel", "mgmt share"
+    );
+    for exp in [4u32, 6, 8, 10, 12, 14, 16] {
+        let ntasks = 1u64 << exp;
+        let per_task = total_work / ntasks;
+        let monitor = ProfMonitor::new();
+        let start = Instant::now();
+        Team::new(threads).parallel(&monitor, &par, |ctx| {
+            ctx.single(&single, |ctx| {
+                for _ in 0..ntasks {
+                    ctx.task(&task, move |_| {
+                        busy_work(per_task);
+                    });
+                }
+            });
+        });
+        let kernel = start.elapsed();
+        let prof = AggProfile::from_profile(&monitor.take_profile());
+        let stats = &task_stats(&prof)[0];
+        let create_ns = region_excl_by_kind(&prof, RegionKind::TaskCreate).max(0) as u64;
+        let sched_ns = (region_excl_by_kind(&prof, RegionKind::ImplicitBarrier)
+            + region_excl_by_kind(&prof, RegionKind::Taskwait))
+        .max(0) as u64;
+        let useful: u64 = stats.sum_ns;
+        let mgmt = create_ns + sched_ns;
+        println!(
+            "{:>8}  {:>10}  {:>10}  {:>10}  {:>12?}  {:>9.1}%",
+            ntasks,
+            format_ns(stats.mean_ns as u64),
+            format_ns(create_ns),
+            format_ns(sched_ns),
+            kernel,
+            100.0 * mgmt as f64 / (mgmt + useful).max(1) as f64,
+        );
+    }
+    println!();
+    println!("expected shape: as tasks shrink, creation + scheduling-point time grow");
+    println!("until they dominate — the profile pinpoints the crossover.");
+}

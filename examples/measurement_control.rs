@@ -1,0 +1,100 @@
+//! Controlling measurement cost and profile size: region filtering and
+//! the call-path depth limit — Score-P's standard knobs, applied to the
+//! pathological deep-recursion case.
+//!
+//! ```text
+//! cargo run --release --example measurement_control
+//! ```
+
+use bots::{run_app, AppId, RunOpts, Scale};
+use cube::AggProfile;
+use pomp::{registry, FilteredMonitor, RegionId, RegionKind};
+use taskprof::{calibrate, NodeKind, ProfMonitor};
+
+fn profile_size(p: &taskprof::Profile) -> usize {
+    p.threads
+        .iter()
+        .map(|t| t.main.size() + t.task_trees.iter().map(|tt| tt.size()).sum::<usize>())
+        .sum()
+}
+
+fn main() {
+    let opts = RunOpts::new(2).scale(Scale::Small);
+
+    // 0. What does an event cost here? (Score-P prints this, too.)
+    let c = calibrate();
+    println!(
+        "per-event costs: clock {:.0} ns, enter/exit {:.0} ns, task cycle {:.0} ns\n",
+        c.clock_read_ns, c.enter_exit_ns, c.task_cycle_ns
+    );
+
+    // 1. Full measurement.
+    let full = ProfMonitor::new();
+    let out = run_app(AppId::Fib, &full, &opts);
+    let p_full = full.take_profile();
+    println!(
+        "full measurement      : kernel {:?}, profile nodes {}",
+        out.kernel,
+        profile_size(&p_full)
+    );
+
+    // 2. Runtime filtering: drop fib's taskwait events (its highest-
+    //    frequency region after creation).
+    let filtered = FilteredMonitor::new(ProfMonitor::new(), |r: RegionId| {
+        registry().kind(r) != RegionKind::Taskwait
+    });
+    let out = run_app(AppId::Fib, &filtered, &opts);
+    let p_filtered = filtered.inner().take_profile();
+    println!(
+        "filtered (no taskwait): kernel {:?}, profile nodes {}",
+        out.kernel,
+        profile_size(&p_filtered)
+    );
+
+    // The task statistics of interest survive filtering.
+    for (name, p) in [("full", &p_full), ("filtered", &p_filtered)] {
+        let agg = AggProfile::from_profile(p);
+        let stats = &cube::task_stats(&agg)[0];
+        println!(
+            "  {name:<9} fib instances {} mean {:.2} µs",
+            stats.instances,
+            stats.mean_ns / 1e3
+        );
+    }
+
+    // 3. Depth limit. Note: fib does NOT need it — the paper's design
+    //    records every task instance as an independent tree, so dynamic
+    //    task nesting never deepens any single call path (Section IV-B3's
+    //    whole point). What explodes call paths is deep *serial* recursion
+    //    inside one task, which is what we demo here.
+    println!("\ndeep serial recursion inside one task, with and without a depth limit:");
+    let par = taskrt::ParallelConstruct::new("mc!parallel");
+    let single = taskrt::SingleConstruct::new("mc!single");
+    let level = pomp::region!("mc_level", RegionKind::Function);
+    fn deep<M: pomp::Monitor>(ctx: &taskrt::TaskCtx<'_, '_, M>, r: RegionId, depth: u32) {
+        if depth == 0 {
+            std::hint::black_box(());
+            return;
+        }
+        ctx.region(r, |ctx| deep(ctx, r, depth - 1));
+    }
+    for (name, monitor) in [
+        ("unlimited", ProfMonitor::new()),
+        ("depth ≤ 8", ProfMonitor::new().with_max_depth(8)),
+    ] {
+        taskrt::Team::new(1).parallel(&monitor, &par, |ctx| {
+            ctx.single(&single, |ctx| deep(ctx, level, 500));
+        });
+        let p = monitor.take_profile();
+        let mut truncated = 0u64;
+        p.threads[0].main.walk(&mut |_, n| {
+            if n.kind == NodeKind::Truncated {
+                truncated += n.stats.visits;
+            }
+        });
+        println!(
+            "  {name:<10} profile nodes {:>4}, collapsed enters {truncated}",
+            profile_size(&p)
+        );
+    }
+}

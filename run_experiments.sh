@@ -1,0 +1,14 @@
+#!/bin/bash
+# Regenerate every table and figure of the paper (see DESIGN.md section 4).
+# Results land in results/<name>.txt. Knobs: BENCH_SCALE, BENCH_THREADS, BENCH_REPS.
+set -u
+cd "$(dirname "$0")"
+export BENCH_SCALE=${BENCH_SCALE:-small}
+export BENCH_THREADS=${BENCH_THREADS:-1,2,4,8}
+export BENCH_REPS=${BENCH_REPS:-2}
+cargo build --release -p bench --bins 2>/dev/null
+for exp in fig13 fig14 fig15 table1 table2 table3 table4 fig5_render ablation_assignment ablation_taskwait nqueens_case_study calibration; do
+  echo "=== running $exp ==="
+  ./target/release/$exp > results/$exp.txt 2>&1 && echo "    ok" || echo "    FAILED"
+done
+echo ALL_EXPERIMENTS_DONE

@@ -1,0 +1,206 @@
+//! `taskprof-cli` — command-line front end for the suite.
+//!
+//! ```text
+//! taskprof-cli run <app> [--threads N] [--scale test|small|medium]
+//!                        [--cutoff] [--depth-param]
+//!                        [--render] [--csv] [--diagnose] [--trace]
+//!                        [--save FILE]
+//! taskprof-cli diff <a.profile> <b.profile>
+//! taskprof-cli list
+//! ```
+//!
+//! `run` executes one BOTS code under the profiler (and optionally the
+//! tracer) and reports; `diff` compares two saved profiles; `list` shows
+//! the available codes.
+
+use bots::{run_app, AppId, RunOpts, Scale, Variant, ALL_APPS};
+use cube::{
+    diagnose, diff_profiles, format_ns, read_profile, render_loads, render_profile, thread_loads,
+    to_csv, to_dot, write_profile, AggProfile, DiagnoseConfig, RenderOpts,
+};
+use taskprof::ProfMonitor;
+use taskprof_trace::{analyze, TraceMonitor};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  taskprof-cli run <app> [--threads N] [--scale test|small|medium] \
+         [--cutoff] [--depth-param] [--render] [--csv] [--dot] [--diagnose] [--imbalance] [--trace] [--save FILE]\n  \
+         taskprof-cli diff <a.profile> <b.profile>\n  taskprof-cli list"
+    );
+    std::process::exit(2);
+}
+
+fn app_by_name(name: &str) -> Option<AppId> {
+    ALL_APPS.into_iter().find(|a| a.name() == name)
+}
+
+fn cmd_list() {
+    println!("available BOTS codes:");
+    for app in ALL_APPS {
+        println!(
+            "  {:<10} task construct: {:<20} cut-off version: {}",
+            app.name(),
+            app.task_region_name(),
+            if app.has_cutoff() { "yes" } else { "no" }
+        );
+    }
+}
+
+#[allow(clippy::too_many_lines)]
+fn cmd_run(args: &[String]) {
+    let Some(app) = args.first().and_then(|n| app_by_name(n)) else {
+        eprintln!("unknown app; try 'taskprof-cli list'");
+        std::process::exit(2);
+    };
+    let mut opts = RunOpts::new(2);
+    let (mut render, mut csv, mut diag, mut trace_on) = (false, false, false, false);
+    let mut imbalance = false;
+    let mut dot = false;
+    let mut save: Option<String> = None;
+    let mut it = args[1..].iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--threads" => {
+                opts.threads = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--scale" => {
+                opts.scale = match it.next().map(String::as_str) {
+                    Some("test") => Scale::Test,
+                    Some("small") => Scale::Small,
+                    Some("medium") => Scale::Medium,
+                    _ => usage(),
+                }
+            }
+            "--cutoff" => opts.variant = Variant::Cutoff,
+            "--depth-param" => opts.depth_param = true,
+            "--render" => render = true,
+            "--csv" => csv = true,
+            "--dot" => dot = true,
+            "--diagnose" => diag = true,
+            "--imbalance" => imbalance = true,
+            "--trace" => trace_on = true,
+            "--save" => save = Some(it.next().cloned().unwrap_or_else(|| usage())),
+            _ => usage(),
+        }
+    }
+    if !(render || csv || dot || diag || trace_on || imbalance || save.is_some()) {
+        render = true;
+        diag = true;
+    }
+
+    let profiler = ProfMonitor::new();
+    let tracer = TraceMonitor::new();
+    let out = if trace_on {
+        run_app(app, &(&profiler, &tracer), &opts)
+    } else {
+        run_app(app, &profiler, &opts)
+    };
+    println!(
+        "# {} scale={:?} threads={} variant={:?}: kernel {:?}, checksum {}, verified {}",
+        app.name(),
+        opts.scale,
+        opts.threads,
+        opts.variant,
+        out.kernel,
+        out.checksum,
+        out.verified
+    );
+    let profile = profiler.take_profile();
+    let agg = AggProfile::from_profile(&profile);
+
+    if render {
+        println!("{}", render_profile(&agg, &RenderOpts::default()));
+    }
+    if csv {
+        print!("{}", to_csv(&agg));
+    }
+    if dot {
+        print!("{}", to_dot(&agg));
+    }
+    if imbalance {
+        println!("per-thread load:");
+        print!("{}", render_loads(&thread_loads(&profile)));
+        println!();
+    }
+    if diag {
+        let findings = diagnose(&profile, &DiagnoseConfig::default());
+        if findings.is_empty() {
+            println!("diagnosis: no task performance issues detected");
+        } else {
+            println!("diagnosis ({} findings):", findings.len());
+            for f in findings {
+                println!("  [{:>4.0}%] {:?}: {}", f.severity * 100.0, f.kind, f.message);
+            }
+        }
+    }
+    if trace_on {
+        let trace = tracer.take_trace();
+        let a = analyze(&trace);
+        println!("\ntrace analysis ({} events):", trace.len());
+        println!(
+            "  task execution {}   creation {}   sched-point non-exec {}",
+            format_ns(a.total_task_exec_ns),
+            format_ns(a.total_creation_ns),
+            format_ns(a.total_sched_nonexec_ns)
+        );
+        println!(
+            "  task switches {}   management/work ratio {:.3}",
+            a.switches, a.management_to_work_ratio
+        );
+        for b in &a.by_kind {
+            println!(
+                "  {:<9} intervals {:>6}  dwell {:>10}  exec {:>10}  pre-switch {:>10}",
+                b.kind.label(),
+                b.intervals,
+                format_ns(b.dwell_ns),
+                format_ns(b.task_exec_ns),
+                format_ns(b.pre_switch_ns)
+            );
+        }
+    }
+    if let Some(path) = save {
+        std::fs::write(&path, write_profile(&profile)).expect("write profile");
+        println!("profile saved to {path}");
+    }
+}
+
+fn cmd_diff(args: &[String]) {
+    let [a_path, b_path] = args else { usage() };
+    let load = |p: &String| {
+        let text = std::fs::read_to_string(p).unwrap_or_else(|e| {
+            eprintln!("cannot read {p}: {e}");
+            std::process::exit(1);
+        });
+        read_profile(&text).unwrap_or_else(|e| {
+            eprintln!("cannot parse {p}: {e}");
+            std::process::exit(1);
+        })
+    };
+    let a = AggProfile::from_profile(&load(a_path));
+    let b = AggProfile::from_profile(&load(b_path));
+    println!("{:>12} {:>12} {:>8}  path", "A incl", "B incl", "ratio");
+    for row in diff_profiles(&a, &b).into_iter().take(25) {
+        println!(
+            "{:>12} {:>12} {:>8}  {}",
+            format_ns(row.a_incl_ns),
+            format_ns(row.b_incl_ns),
+            row.ratio()
+                .map(|r| format!("{r:.2}x"))
+                .unwrap_or_else(|| "new".into()),
+            row.path
+        );
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("run") => cmd_run(&args[1..]),
+        Some("diff") => cmd_diff(&args[1..]),
+        Some("list") => cmd_list(),
+        _ => usage(),
+    }
+}

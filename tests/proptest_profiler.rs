@@ -1,0 +1,244 @@
+//! Property-based tests of the profiling algorithm.
+//!
+//! A generator produces arbitrary *well-formed* single-thread executions
+//! (nested regions, task creation, task execution at scheduling points
+//! with arbitrary suspension interleavings, parameter scopes), replays
+//! them through the profiler under virtual time, and checks the
+//! invariants the paper's algorithm promises.
+
+use pomp::{RegionId, TaskIdAllocator};
+use proptest::prelude::*;
+use taskprof::{AssignPolicy, Event, NodeKind, Replayer, SnapNode, ThreadSnapshot};
+
+const PAR: RegionId = RegionId(9000);
+const BARRIER: RegionId = RegionId(9001);
+const TASK_A: RegionId = RegionId(9002);
+const TASK_B: RegionId = RegionId(9003);
+const CREATE_A: RegionId = RegionId(9004);
+const TW: RegionId = RegionId(9005);
+const FOO: RegionId = RegionId(9006);
+const BAR: RegionId = RegionId(9007);
+
+/// A recursive plan for one task body.
+#[derive(Clone, Debug)]
+enum Body {
+    /// Spend time.
+    Work(u8),
+    /// Enter a region, run the inner bodies, exit.
+    Region(RegionId, Vec<Body>),
+    /// Create + immediately execute a child task with the given body
+    /// (models a scheduling point switching to a fresh task while this
+    /// one is suspended).
+    Child(RegionId, Vec<Body>),
+    /// Parameter scope.
+    Param(i64, Vec<Body>),
+}
+
+fn body_strategy(depth: u32) -> impl Strategy<Value = Body> {
+    let leaf = prop_oneof![any::<u8>().prop_map(Body::Work)];
+    leaf.prop_recursive(depth, 24, 4, |inner| {
+        prop_oneof![
+            (
+                prop_oneof![Just(FOO), Just(BAR), Just(TW)],
+                prop::collection::vec(inner.clone(), 0..3)
+            )
+                .prop_map(|(r, b)| Body::Region(r, b)),
+            (
+                prop_oneof![Just(TASK_A), Just(TASK_B)],
+                prop::collection::vec(inner.clone(), 0..3)
+            )
+                .prop_map(|(r, b)| Body::Child(r, b)),
+            (0i64..5, prop::collection::vec(inner, 0..2))
+                .prop_map(|(v, b)| Body::Param(v, b)),
+        ]
+    })
+}
+
+/// Emit the event stream for a body executing as `region` instance.
+fn emit(r: &mut Replayer, ids: &TaskIdAllocator, body: &[Body], max_live: &mut usize) {
+    let depth_param = pomp::registry().register_param("pt-depth");
+    for b in body {
+        match b {
+            Body::Work(units) => {
+                r.apply(Event::Advance(*units as u64 + 1));
+            }
+            Body::Region(region, inner) => {
+                r.apply(Event::Enter(*region));
+                emit(r, ids, inner, max_live);
+                r.apply(Event::Advance(1));
+                r.apply(Event::Exit(*region));
+            }
+            Body::Child(region, inner) => {
+                let id = ids.alloc();
+                r.apply(Event::CreateBegin {
+                    create: CREATE_A,
+                    task_region: *region,
+                    id,
+                });
+                r.apply(Event::Advance(1));
+                r.apply(Event::CreateEnd { create: CREATE_A, id });
+                // Execute it right away at this (creation) scheduling
+                // point; the current task suspends meanwhile.
+                let resumed = r.profile().current_task();
+                r.apply(Event::TaskBegin { region: *region, id });
+                *max_live = (*max_live).max(r.profile().live_instance_trees());
+                emit(r, ids, inner, max_live);
+                r.apply(Event::Advance(1));
+                r.apply(Event::TaskEnd { region: *region, id });
+                if let pomp::TaskRef::Explicit(_) = resumed {
+                    r.apply(Event::Switch(resumed));
+                }
+            }
+            Body::Param(v, inner) => {
+                r.apply(Event::ParamBegin {
+                    param: depth_param,
+                    value: *v,
+                });
+                emit(r, ids, inner, max_live);
+                r.apply(Event::Advance(1));
+                r.apply(Event::ParamEnd { param: depth_param });
+            }
+        }
+    }
+}
+
+struct Run {
+    snap: ThreadSnapshot,
+    total_time: u64,
+    instances: u64,
+    max_live: usize,
+}
+
+fn run_plan(plan: &[Body], policy: AssignPolicy) -> Run {
+    let ids = TaskIdAllocator::new();
+    let mut r = Replayer::new(PAR, policy);
+    let mut max_live = 0usize;
+    r.apply(Event::Enter(BARRIER));
+    emit(&mut r, &ids, plan, &mut max_live);
+    r.apply(Event::Advance(1));
+    r.apply(Event::Exit(BARRIER));
+    let total_time = r.now();
+    let instances = ids.allocated();
+    let snap = r.finish(0);
+    Run {
+        snap,
+        total_time,
+        instances,
+        max_live,
+    }
+}
+
+fn subtree_ok(n: &SnapNode, executing_policy: bool) -> Result<(), String> {
+    // Inclusive >= sum of children (no negative exclusive) under the
+    // executing policy.
+    if executing_policy && n.exclusive_ns() < 0 {
+        return Err(format!("negative exclusive at {:?}", n.kind));
+    }
+    // min <= max; samples <= visits; sampled stats consistent.
+    if n.stats.samples > 0 {
+        if n.stats.min_ns > n.stats.max_ns {
+            return Err(format!("min > max at {:?}", n.kind));
+        }
+        if n.stats.max_ns > n.stats.sum_ns {
+            return Err(format!("max > sum at {:?}", n.kind));
+        }
+    }
+    if n.stats.samples > n.stats.visits {
+        return Err(format!("samples > visits at {:?}", n.kind));
+    }
+    for c in &n.children {
+        subtree_ok(c, executing_policy)?;
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn executing_policy_invariants(plan in prop::collection::vec(body_strategy(4), 1..6)) {
+        let run = run_plan(&plan, AssignPolicy::Executing);
+        let snap = &run.snap;
+
+        // 1. The root's inclusive time equals total virtual time.
+        prop_assert_eq!(snap.main.stats.sum_ns, run.total_time);
+
+        // 2. Structural sanity everywhere.
+        subtree_ok(&snap.main, true).map_err(TestCaseError::fail)?;
+        for t in &snap.task_trees {
+            subtree_ok(t, true).map_err(TestCaseError::fail)?;
+        }
+
+        // 3. Every created instance completed and is accounted exactly
+        //    once across the aggregate task trees.
+        let completed: u64 = snap.task_trees.iter().map(|t| t.stats.samples).sum();
+        prop_assert_eq!(completed, run.instances);
+
+        // 4. Total task-tree time == total stub time (every executed
+        //    fragment is mirrored in the implicit tree).
+        let task_time: u64 = snap.task_trees.iter().map(|t| t.stats.sum_ns).sum();
+        let mut stub_time = 0u64;
+        snap.main.walk(&mut |_, n| {
+            if matches!(n.kind, NodeKind::Stub(_)) {
+                stub_time += n.stats.sum_ns;
+            }
+        });
+        prop_assert_eq!(task_time, stub_time);
+
+        // 5. Task time never exceeds wall time (suspension subtracted).
+        prop_assert!(task_time <= run.total_time);
+
+        // 6. The live-tree high-water mark matches what we observed while
+        //    driving, and memory is bounded by it: after completion the
+        //    arena kept no leaked instance nodes beyond the aggregates.
+        prop_assert_eq!(snap.max_live_trees, run.max_live);
+    }
+
+    #[test]
+    fn node_reuse_bounds_arena(plan in prop::collection::vec(body_strategy(3), 1..5)) {
+        // Memory must be bounded by the *concurrent* shape, not the total
+        // instance count (paper Section V-B): after the aggregate trees
+        // have been fully built (pass 2), repeating the identical
+        // workload allocates no further arena slots.
+        let ids = TaskIdAllocator::new();
+        let mut r = Replayer::new(PAR, AssignPolicy::Executing);
+        let mut ml = 0usize;
+        r.apply(Event::Enter(BARRIER));
+        emit(&mut r, &ids, &plan, &mut ml);
+        emit(&mut r, &ids, &plan, &mut ml);
+        let cap_after_second = r.profile().arena_capacity();
+        for _ in 0..3 {
+            emit(&mut r, &ids, &plan, &mut ml);
+        }
+        let cap_after_fifth = r.profile().arena_capacity();
+        r.apply(Event::Exit(BARRIER));
+        let _ = r.finish(0);
+        prop_assert_eq!(cap_after_second, cap_after_fifth);
+    }
+
+    #[test]
+    fn policies_agree_on_wall_time(plan in prop::collection::vec(body_strategy(3), 1..5)) {
+        let a = run_plan(&plan, AssignPolicy::Executing);
+        let b = run_plan(&plan, AssignPolicy::Creating);
+        prop_assert_eq!(a.snap.main.stats.sum_ns, b.snap.main.stats.sum_ns);
+        // Creating policy hangs instances in the main tree: no aggregate
+        // task trees.
+        prop_assert!(b.snap.task_trees.is_empty());
+    }
+
+    #[test]
+    fn merge_is_associative_for_thread_aggregation(
+        plan in prop::collection::vec(body_strategy(3), 1..4),
+    ) {
+        // Aggregating [A, B, C] at once equals aggregating [A, [B, C]].
+        let runs: Vec<ThreadSnapshot> = (0..3).map(|i| {
+            let mut r = run_plan(&plan, AssignPolicy::Executing);
+            r.snap.tid = i;
+            r.snap
+        }).collect();
+        let all = cube::merge_nodes(&[&runs[0].main, &runs[1].main, &runs[2].main]);
+        let bc = cube::merge_nodes(&[&runs[1].main, &runs[2].main]);
+        let nested = cube::merge_nodes(&[&runs[0].main, &bc]);
+        prop_assert_eq!(all, nested);
+    }
+}

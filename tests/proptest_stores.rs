@@ -1,0 +1,114 @@
+//! Robustness of the persistence parsers: arbitrary input must never
+//! panic, and serialize→parse must round-trip for generated profiles.
+
+use cube::{read_profile, write_profile};
+use pomp::TaskIdAllocator;
+use proptest::prelude::*;
+use taskprof::{AssignPolicy, Event, Profile, TeamReplayer};
+use taskprof_trace::{read_trace, write_trace, EventKind, Trace, TraceEvent};
+
+
+/// Generate a valid random profile via replay.
+fn arb_profile() -> impl Strategy<Value = Profile> {
+    (1usize..4, prop::collection::vec((1u64..100, 0usize..3), 0..20)).prop_map(
+        |(nthreads, tasks)| {
+            // Register the fixture regions (ids 9700.. may not exist in the
+            // global registry yet when this test runs first).
+            let reg = pomp::registry();
+            let par = reg.register("ps-par", pomp::RegionKind::Parallel, "t", 0);
+            let task = reg.register("ps-task", pomp::RegionKind::Task, "t", 0);
+            let bar = reg.register("ps-bar", pomp::RegionKind::ImplicitBarrier, "t", 0);
+            let ids = TaskIdAllocator::new();
+            let mut team = TeamReplayer::new(nthreads, par, AssignPolicy::Executing);
+            for tid in 0..nthreads {
+                team.apply(tid, Event::Enter(bar));
+            }
+            for (dur, tid_raw) in tasks {
+                let tid = tid_raw % nthreads;
+                let id = ids.alloc();
+                team.apply(tid, Event::TaskBegin { region: task, id })
+                    .advance(dur)
+                    .apply(tid, Event::TaskEnd { region: task, id });
+            }
+            for tid in 0..nthreads {
+                team.apply(tid, Event::Exit(bar));
+            }
+            team.finish()
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn profile_parser_never_panics(input in ".{0,400}") {
+        let _ = read_profile(&input);
+    }
+
+    #[test]
+    fn trace_parser_never_panics(input in ".{0,400}") {
+        let _ = read_trace(&input);
+    }
+
+    #[test]
+    fn profile_parser_never_panics_on_mutated_valid_input(
+        p in arb_profile(),
+        cut in 0.0f64..1.0,
+    ) {
+        let text = write_profile(&p);
+        let keep = (text.len() as f64 * cut) as usize;
+        let _ = read_profile(&text[..keep.min(text.len())]);
+    }
+
+    #[test]
+    fn generated_profiles_round_trip(p in arb_profile()) {
+        let text = write_profile(&p);
+        let q = read_profile(&text).expect("own output must parse");
+        prop_assert_eq!(p.threads.len(), q.threads.len());
+        for (a, b) in p.threads.iter().zip(&q.threads) {
+            prop_assert_eq!(&a.main, &b.main);
+            prop_assert_eq!(&a.task_trees, &b.task_trees);
+        }
+    }
+
+    #[test]
+    fn generated_traces_round_trip(
+        n_events in 0usize..50,
+        seed in any::<u64>(),
+    ) {
+        // Synthesize a structurally arbitrary (not necessarily
+        // semantically valid) trace: store/load must still round-trip.
+        let reg = pomp::registry();
+        let task = reg.register("ps-tr-task", pomp::RegionKind::Task, "t", 0);
+        let bar = reg.register("ps-tr-bar", pomp::RegionKind::ImplicitBarrier, "t", 0);
+        let ids = TaskIdAllocator::new();
+        let mut state = seed;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            state
+        };
+        let events: Vec<TraceEvent> = (0..n_events)
+            .map(|i| {
+                let id = ids.alloc();
+                let kind = match next() % 5 {
+                    0 => EventKind::Enter(bar),
+                    1 => EventKind::Exit(bar),
+                    2 => EventKind::TaskBegin(task, id),
+                    3 => EventKind::TaskEnd(task, id),
+                    _ => EventKind::TaskSwitch(pomp::TaskRef::Explicit(id)),
+                };
+                TraceEvent { t: i as u64, tid: (next() % 4) as usize, kind }
+            })
+            .collect();
+        let trace = Trace { events, nthreads: 4 };
+        let text = write_trace(&trace);
+        let back = read_trace(&text).expect("own output must parse");
+        prop_assert_eq!(trace.len(), back.len());
+        for (a, b) in trace.events.iter().zip(&back.events) {
+            prop_assert_eq!(a.t, b.t);
+            prop_assert_eq!(a.tid, b.tid);
+            prop_assert_eq!(a.kind, b.kind);
+        }
+    }
+}

@@ -1,0 +1,180 @@
+//! Cross-crate integration: the `taskrt` runtime driving the `taskprof`
+//! profiler, checked through real BOTS workloads.
+//!
+//! The profiler's internal assertions (nesting, stub-frame discipline,
+//! instance-table consistency) make these tests sharp: any hook-ordering
+//! bug in the runtime panics rather than producing silently-wrong
+//! profiles.
+
+use bots::{run_app, AppId, RunOpts, Scale, Variant, ALL_APPS};
+use pomp::{registry, RegionKind};
+use taskprof::{NodeKind, ProfMonitor, Profile};
+
+fn total_task_tree_visits(p: &Profile) -> u64 {
+    p.threads
+        .iter()
+        .flat_map(|t| &t.task_trees)
+        .map(|t| t.stats.visits)
+        .sum()
+}
+
+fn profiled(app: AppId, threads: usize, variant: Variant) -> Profile {
+    let monitor = ProfMonitor::new();
+    let opts = RunOpts::new(threads).scale(Scale::Test).variant(variant);
+    let out = run_app(app, &monitor, &opts);
+    assert!(out.verified, "{} not verified under profiling", app.name());
+    monitor.take_profile()
+}
+
+#[test]
+fn every_app_profiles_cleanly_on_one_thread() {
+    for app in ALL_APPS {
+        let p = profiled(app, 1, Variant::NoCutoff);
+        assert_eq!(p.num_threads(), 1, "{}", app.name());
+        assert!(
+            total_task_tree_visits(&p) > 0,
+            "{}: no completed task instances recorded",
+            app.name()
+        );
+    }
+}
+
+#[test]
+fn every_app_profiles_cleanly_on_four_threads() {
+    for app in ALL_APPS {
+        let p = profiled(app, 4, Variant::NoCutoff);
+        assert_eq!(p.num_threads(), 4, "{}", app.name());
+        assert!(total_task_tree_visits(&p) > 0, "{}", app.name());
+    }
+}
+
+#[test]
+fn cutoff_reduces_task_count() {
+    for app in ALL_APPS.into_iter().filter(|a| a.has_cutoff()) {
+        let full = total_task_tree_visits(&profiled(app, 2, Variant::NoCutoff));
+        let cut = total_task_tree_visits(&profiled(app, 2, Variant::Cutoff));
+        assert!(
+            cut < full,
+            "{}: cutoff did not reduce tasks ({cut} vs {full})",
+            app.name()
+        );
+    }
+}
+
+#[test]
+fn fib_task_count_matches_recursion_tree() {
+    // fib(n) with tasks creates exactly 2 * (calls with n >= 2) tasks;
+    // calls(n) satisfies c(n) = c(n-1) + c(n-2) + 1 with c(0)=c(1)=1.
+    let n = bots::fib::input_n(Scale::Test);
+    fn calls(n: u64) -> u64 {
+        if n < 2 {
+            1
+        } else {
+            1 + calls(n - 1) + calls(n - 2)
+        }
+    }
+    let expected_tasks = calls(n) - 1; // every call except the root is a task
+    let p = profiled(AppId::Fib, 2, Variant::NoCutoff);
+    assert_eq!(total_task_tree_visits(&p), expected_tasks);
+}
+
+#[test]
+fn profile_has_expected_region_structure() {
+    let p = profiled(AppId::Fib, 2, Variant::NoCutoff);
+    let reg = registry();
+    // Each thread's main tree is rooted at the parallel region.
+    for t in &p.threads {
+        match t.main.kind {
+            NodeKind::Region(r) => {
+                assert_eq!(reg.kind(r), RegionKind::Parallel);
+                assert_eq!(reg.name(r), "fib!parallel");
+            }
+            other => panic!("main root is {other:?}"),
+        }
+        // Inclusive time of the root covers all children.
+        assert!(t.main.exclusive_ns() >= 0);
+    }
+    // Exactly one task construct: "fib".
+    let task_region = reg.lookup("fib", RegionKind::Task).unwrap();
+    let trees: Vec<_> = p
+        .threads
+        .iter()
+        .filter_map(|t| t.task_tree(task_region))
+        .collect();
+    assert!(!trees.is_empty());
+    // The fib task tree contains the taskwait and creation regions.
+    let tw = reg.lookup("fib!taskwait", RegionKind::Taskwait).unwrap();
+    let create = reg.lookup("fib!create", RegionKind::TaskCreate).unwrap();
+    let some_tree = trees.iter().find(|t| !t.children.is_empty()).unwrap();
+    assert!(some_tree.child(NodeKind::Region(tw)).is_some());
+    assert!(some_tree.child(NodeKind::Region(create)).is_some());
+}
+
+#[test]
+fn stub_nodes_partition_scheduling_point_time() {
+    let p = profiled(AppId::SparseLu, 2, Variant::NoCutoff);
+    // Somewhere in the main trees there must be stub nodes, and every
+    // scheduling point's inclusive time must be >= its stubs' total
+    // (exclusive remainder = management/idle, never negative under the
+    // executing-node policy).
+    let mut stub_seen = false;
+    for t in &p.threads {
+        t.main.walk(&mut |_, n| {
+            let stub_time: u64 = n
+                .children
+                .iter()
+                .filter(|c| matches!(c.kind, NodeKind::Stub(_)))
+                .map(|c| c.stats.sum_ns)
+                .sum();
+            if stub_time > 0 {
+                stub_seen = true;
+                assert!(
+                    n.stats.sum_ns >= stub_time,
+                    "scheduling point shorter than its stub time"
+                );
+            }
+        });
+    }
+    assert!(stub_seen, "no stub nodes recorded");
+}
+
+#[test]
+fn max_live_trees_is_small_and_bounded_by_depth() {
+    // Paper Table II: the maximum number of concurrently executing task
+    // instances per thread is small (< 20 for every BOTS code).
+    for app in ALL_APPS {
+        let p = profiled(app, 4, Variant::NoCutoff);
+        let m = p.max_live_trees();
+        assert!(m >= 1, "{}", app.name());
+        assert!(m <= 64, "{}: implausible live-tree count {m}", app.name());
+    }
+}
+
+#[test]
+fn task_time_excludes_suspension() {
+    // For every thread: the sum of task-tree inclusive times (task-only
+    // execution) must not exceed the thread's wall time, even though
+    // tasks nest — suspension subtraction prevents double counting.
+    let p = profiled(AppId::Fib, 1, Variant::NoCutoff);
+    let t = &p.threads[0];
+    let wall = t.main.stats.sum_ns;
+    let tasks: u64 = t.task_trees.iter().map(|tt| tt.stats.sum_ns).sum();
+    assert!(
+        tasks <= wall,
+        "task execution time {tasks} exceeds thread wall time {wall}"
+    );
+}
+
+#[test]
+fn profiles_collected_per_parallel_region() {
+    // health runs one parallel region; two sequential profiled runs give
+    // two drains.
+    let monitor = ProfMonitor::new();
+    let opts = RunOpts::new(2).scale(Scale::Test);
+    run_app(AppId::Health, &monitor, &opts);
+    let p1 = monitor.take_profile();
+    assert_eq!(p1.num_threads(), 2);
+    run_app(AppId::Health, &monitor, &opts);
+    let p2 = monitor.take_profile();
+    assert_eq!(p2.num_threads(), 2);
+}
