@@ -1,0 +1,15 @@
+#!/bin/bash
+# Minimal CI gate: release build, full test suite, lint-clean clippy.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "=== build (release) ==="
+cargo build --release
+
+echo "=== tests ==="
+cargo test -q
+
+echo "=== clippy ==="
+cargo clippy -- -D warnings
+
+echo "CI_OK"

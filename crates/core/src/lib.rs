@@ -50,7 +50,7 @@ pub mod tree;
 pub use calibrate::{calibrate, Calibration};
 pub use metrics::Stats;
 pub use migrate::DetachedInstance;
-pub use monitor::{ProfMonitor, ProfThread};
+pub use monitor::{ConfigError, ProfMonitor, ProfThread};
 pub use profiler::{AssignPolicy, ThreadProfile};
 pub use replay::{replay, Event, Replayer, TeamReplayer};
 pub use snapshot::{Profile, SnapNode, ThreadSnapshot};

@@ -22,6 +22,11 @@ pub struct Stats {
     /// Number of recorded duration samples (≤ visits; a still-open region
     /// has been visited but not yet sampled).
     pub samples: u64,
+    /// Number of *aborted* (panicked or force-closed) task instances whose
+    /// partial execution is folded into this node. Zero everywhere except
+    /// on task roots that absorbed a `task_abort`; survives merging, so an
+    /// aggregate task tree reports how many of its instances failed.
+    pub aborted: u64,
 }
 
 impl Default for Stats {
@@ -39,6 +44,7 @@ impl Stats {
             min_ns: u64::MAX,
             max_ns: 0,
             samples: 0,
+            aborted: 0,
         }
     }
 
@@ -57,6 +63,13 @@ impl Stats {
         self.samples += 1;
     }
 
+    /// Count one aborted instance (the task's body panicked or the region
+    /// ended while the instance was still open and it was force-closed).
+    #[inline]
+    pub fn record_abort(&mut self) {
+        self.aborted += 1;
+    }
+
     /// Fold another node's statistics into this one (tree merging).
     #[inline]
     pub fn merge(&mut self, other: &Stats) {
@@ -65,6 +78,7 @@ impl Stats {
         self.min_ns = self.min_ns.min(other.min_ns);
         self.max_ns = self.max_ns.max(other.max_ns);
         self.samples += other.samples;
+        self.aborted += other.aborted;
     }
 
     /// Mean duration over recorded samples, or 0 with no samples.
@@ -141,6 +155,20 @@ mod tests {
         let before = a;
         a.merge(&Stats::new());
         assert_eq!(a, before);
+    }
+
+    #[test]
+    fn abort_counts_survive_merging() {
+        let mut a = Stats::new();
+        a.add_visit();
+        a.record(5);
+        a.record_abort();
+        let mut b = Stats::new();
+        b.record_abort();
+        b.record_abort();
+        a.merge(&b);
+        assert_eq!(a.aborted, 3);
+        assert_eq!(a.samples, 1, "aborts do not add duration samples");
     }
 
     #[test]

@@ -13,10 +13,24 @@ use pomp::{Clock, Monitor, MonotonicClock, ParamId, RegionId, TaskId, TaskRef, T
 use std::cell::RefCell;
 use std::sync::Arc;
 
+/// A [`ProfMonitor`] builder method was called at an invalid time — after
+/// threads had already started using the monitor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConfigError;
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "monitor reconfigured after threads started using it")
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
 struct Inner<C> {
     clock: C,
     policy: AssignPolicy,
     max_depth: Option<usize>,
+    max_live_trees: Option<usize>,
     collected: Mutex<Vec<ThreadSnapshot>>,
 }
 
@@ -53,23 +67,39 @@ impl<C: Clock> ProfMonitor<C> {
                 clock,
                 policy,
                 max_depth: None,
+                max_live_trees: None,
                 collected: Mutex::new(Vec::new()),
             }),
         }
     }
 
-    /// Builder: limit call-path depth per task body (Score-P's depth
-    /// limit — collapses deeper frames into `<truncated>` nodes). Must be
-    /// called before any parallel region starts.
-    pub fn with_max_depth(self, depth: usize) -> Self {
-        let inner = Arc::try_unwrap(self.inner)
-            .unwrap_or_else(|_| panic!("with_max_depth after threads started"));
-        Self {
-            inner: Arc::new(Inner {
-                max_depth: Some(depth),
-                ..inner
-            }),
+    /// Apply a configuration change, failing cleanly (instead of
+    /// panicking) when threads already hold references to the monitor.
+    fn reconfigure(self, apply: impl FnOnce(&mut Inner<C>)) -> Result<Self, ConfigError> {
+        match Arc::try_unwrap(self.inner) {
+            Ok(mut inner) => {
+                apply(&mut inner);
+                Ok(Self {
+                    inner: Arc::new(inner),
+                })
+            }
+            Err(_) => Err(ConfigError),
         }
+    }
+
+    /// Builder: limit call-path depth per task body (Score-P's depth
+    /// limit — collapses deeper frames into `<truncated>` nodes). Fails
+    /// with [`ConfigError`] once any parallel region has started.
+    pub fn with_max_depth(self, depth: usize) -> Result<Self, ConfigError> {
+        self.reconfigure(|i| i.max_depth = Some(depth))
+    }
+
+    /// Builder: overload shedding — cap the number of concurrently live
+    /// instance trees per thread; instances begun beyond the cap degrade
+    /// to counting-only, and the shed count appears in the profile. Fails
+    /// with [`ConfigError`] once any parallel region has started.
+    pub fn with_max_live_trees(self, cap: usize) -> Result<Self, ConfigError> {
+        self.reconfigure(|i| i.max_live_trees = Some(cap))
     }
 
     /// Drain the snapshots collected since the last call, as one profile
@@ -103,6 +133,7 @@ impl<C: Clock + 'static> Monitor for ProfMonitor<C> {
         let t = self.inner.clock.now();
         let mut prof = ThreadProfile::new(region, t, self.inner.policy);
         prof.set_max_depth(self.inner.max_depth);
+        prof.set_max_live_trees(self.inner.max_live_trees);
         ProfThread {
             inner: self.inner.clone(),
             tid,
@@ -157,6 +188,12 @@ impl<C: Clock> ThreadHooks for ProfThread<C> {
     fn task_end(&self, task_region: RegionId, task: TaskId) {
         let t = self.now();
         self.prof.borrow_mut().task_end(task_region, task, t);
+    }
+
+    #[inline]
+    fn task_abort(&self, task_region: RegionId, task: TaskId) {
+        let t = self.now();
+        self.prof.borrow_mut().task_abort(task_region, task, t);
     }
 
     #[inline]

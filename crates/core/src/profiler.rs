@@ -71,6 +71,17 @@ pub struct ThreadProfile {
     /// depth limits might kick in"). Frames beyond it collapse into a
     /// single [`NodeKind::Truncated`] child.
     max_depth: Option<usize>,
+    /// Overload-shedding cap on concurrently live instance trees: beyond
+    /// it, new instances degrade to counting-only (no private tree).
+    max_live_limit: Option<usize>,
+    /// Currently live *shed* (counting-only) instances and their construct
+    /// regions. Disjoint from `instances`.
+    shed_live: HashMap<TaskId, RegionId>,
+    /// Total instances shed so far (monotonic; shown in the profile).
+    shed_total: u64,
+    /// Self-healing diagnostics: anomalies the profiler repaired instead
+    /// of panicking over (e.g. instances force-closed at region end).
+    diagnostics: Vec<String>,
     finished: bool,
 }
 
@@ -95,6 +106,10 @@ impl ThreadProfile {
             live_trees: 0,
             max_live_trees: 0,
             max_depth: None,
+            max_live_limit: None,
+            shed_live: HashMap::new(),
+            shed_total: 0,
+            diagnostics: Vec::new(),
             finished: false,
         }
     }
@@ -105,6 +120,32 @@ impl ThreadProfile {
     /// (Score-P's call-path depth limit).
     pub fn set_max_depth(&mut self, depth: Option<usize>) {
         self.max_depth = depth;
+    }
+
+    /// Overload shedding (robustness guard): cap the number of
+    /// concurrently live instance trees. Once `live_instance_trees()`
+    /// reaches the cap, *newly begun* instances degrade to counting-only —
+    /// they get no private tree, their inner events are dropped, and only
+    /// their instance count (plus abort count) reaches the aggregate task
+    /// tree. The number of shed instances is reported in the snapshot.
+    pub fn set_max_live_trees(&mut self, limit: Option<usize>) {
+        self.max_live_limit = limit;
+    }
+
+    /// Total task instances degraded to counting-only by the live-tree cap.
+    pub fn shed_instances(&self) -> u64 {
+        self.shed_total
+    }
+
+    /// Anomalies the profiler repaired instead of panicking over (empty
+    /// for a clean run). See [`ThreadProfile::finish`].
+    pub fn diagnostics(&self) -> &[String] {
+        &self.diagnostics
+    }
+
+    /// True when the current task is a shed (counting-only) instance.
+    fn current_is_shed(&self) -> bool {
+        matches!(self.current, TaskRef::Explicit(id) if self.shed_live.contains_key(&id))
     }
 
     /// The attribution policy in effect.
@@ -147,6 +188,9 @@ impl ThreadProfile {
 
     #[inline]
     fn enter_kind(&mut self, kind: NodeKind, t: u64) {
+        if self.current_is_shed() {
+            return; // counting-only: inner structure is dropped
+        }
         let max_depth = self.max_depth;
         match self.current {
             TaskRef::Implicit => {
@@ -186,6 +230,9 @@ impl ThreadProfile {
 
     #[inline]
     fn exit_kind(&mut self, kind: NodeKind, t: u64) {
+        if self.current_is_shed() {
+            return;
+        }
         let (node, dur, after_top) = match self.current {
             TaskRef::Implicit => {
                 let (n, d) = self.implicit.pop(t);
@@ -235,6 +282,9 @@ impl ThreadProfile {
 
     /// Leave the innermost parameter scope.
     pub fn parameter_end(&mut self, param: ParamId, t: u64) {
+        if self.current_is_shed() {
+            return;
+        }
         let (node, dur, after_top) = match self.current {
             TaskRef::Implicit => {
                 let (n, d) = self.implicit.pop(t);
@@ -272,6 +322,9 @@ impl ThreadProfile {
         t: u64,
     ) {
         self.enter(create_region, t);
+        if self.current_is_shed() {
+            return; // no creation site to remember: the creator has no tree
+        }
         let site = match self.current {
             TaskRef::Implicit => self.implicit.current_node(),
             TaskRef::Explicit(id) => self.instances[&id].body.current_node(),
@@ -293,39 +346,44 @@ impl ThreadProfile {
         }
         // "if current task is an explicit task { Exit(implicit, root region
         // of current task); stop time measurement on all open regions }"
+        // Shed (counting-only) instances have no body and no stub frame.
         if let TaskRef::Explicit(id) = self.current {
-            let inst = self
-                .instances
-                .get_mut(&id)
-                .expect("switch away from unknown task instance");
-            inst.body.pause(t);
-            if self.policy == AssignPolicy::Executing {
-                let (node, dur) = self.implicit.pop(t);
-                debug_assert!(
-                    matches!(self.arena.node(node).kind, NodeKind::Stub(_)),
-                    "implicit task's top frame must be the suspended task's stub"
-                );
-                self.arena.node_mut(node).stats.record(dur);
+            if !self.shed_live.contains_key(&id) {
+                let inst = self
+                    .instances
+                    .get_mut(&id)
+                    .expect("switch away from unknown task instance");
+                inst.body.pause(t);
+                if self.policy == AssignPolicy::Executing {
+                    let (node, dur) = self.implicit.pop(t);
+                    debug_assert!(
+                        matches!(self.arena.node(node).kind, NodeKind::Stub(_)),
+                        "implicit task's top frame must be the suspended task's stub"
+                    );
+                    self.arena.node_mut(node).stats.record(dur);
+                }
             }
         }
         self.current = resumed;
         // "if task instance is an explicit task { resume time measurement;
         // Enter(implicit, root region of task instance) }"
         if let TaskRef::Explicit(id) = resumed {
-            let inst = self
-                .instances
-                .get_mut(&id)
-                .expect("switch to unknown task instance");
-            if inst.body.is_paused() {
-                inst.body.resume(t);
-            }
-            if self.policy == AssignPolicy::Executing {
-                let region = inst.region;
-                let stub = self
-                    .arena
-                    .child_of(self.implicit.current_node(), NodeKind::Stub(region));
-                self.arena.node_mut(stub).stats.add_visit();
-                self.implicit.push(stub, t);
+            if !self.shed_live.contains_key(&id) {
+                let inst = self
+                    .instances
+                    .get_mut(&id)
+                    .expect("switch to unknown task instance");
+                if inst.body.is_paused() {
+                    inst.body.resume(t);
+                }
+                if self.policy == AssignPolicy::Executing {
+                    let region = inst.region;
+                    let stub = self
+                        .arena
+                        .child_of(self.implicit.current_node(), NodeKind::Stub(region));
+                    self.arena.node_mut(stub).stats.add_visit();
+                    self.implicit.push(stub, t);
+                }
             }
         }
     }
@@ -338,6 +396,20 @@ impl ThreadProfile {
             !self.instances.contains_key(&id),
             "task instance began twice"
         );
+        if self.max_live_limit.is_some_and(|cap| self.live_trees >= cap) {
+            // Overload shedding: the cap on concurrently live instance
+            // trees is reached. Degrade this instance to counting-only —
+            // it is still tracked as the current task (the event stream
+            // keeps referring to it), but gets no private tree, and only
+            // its existence reaches the aggregate tree.
+            self.shed_total += 1;
+            self.shed_live.insert(id, task_region);
+            let agg = self.aggregate_root(task_region);
+            self.arena.node_mut(agg).stats.add_visit();
+            self.task_switch(TaskRef::Explicit(id), t);
+            self.creation_nodes.remove(&id);
+            return;
+        }
         let root = match self.policy {
             AssignPolicy::Executing => {
                 // Detached private tree; merged on completion.
@@ -380,6 +452,10 @@ impl ThreadProfile {
             TaskRef::Explicit(id),
             "task_end for a task that is not current"
         );
+        if self.shed_live.contains_key(&id) {
+            self.end_shed(id, t, false);
+            return;
+        }
         // Exit(task instance, task region)
         let inst = self.instances.get_mut(&id).expect("unknown task instance");
         debug_assert_eq!(inst.region, task_region);
@@ -399,6 +475,76 @@ impl ThreadProfile {
         self.creation_nodes.remove(&id);
     }
 
+    /// `TaskAbort`: instance `id` died mid-execution (its body panicked,
+    /// or it is being force-closed at region end). The panic unwound
+    /// without emitting exit events, so every open frame of the instance
+    /// is force-closed — charging each the time observed so far — the
+    /// instance root is tagged aborted, and the partial tree is still
+    /// merged into the aggregate task tree. The thread resumes the
+    /// implicit task, exactly as after a normal `task_end`.
+    pub fn task_abort(&mut self, task_region: RegionId, id: TaskId, t: u64) {
+        if self.shed_live.contains_key(&id) {
+            if self.current != TaskRef::Explicit(id) {
+                self.task_switch(TaskRef::Explicit(id), t);
+            }
+            self.end_shed(id, t, true);
+            return;
+        }
+        // Robustness: the abort may arrive for a *suspended* instance
+        // (forced closure at region end). Resume it first so the stub
+        // accounting in the implicit tree stays balanced.
+        if self.current != TaskRef::Explicit(id) {
+            self.task_switch(TaskRef::Explicit(id), t);
+        }
+        let inst = self
+            .instances
+            .get_mut(&id)
+            .expect("abort of unknown task instance");
+        debug_assert_eq!(inst.region, task_region);
+        let root = inst.body.root;
+        let mut closed = Vec::with_capacity(inst.body.depth());
+        while inst.body.depth() > 0 {
+            let (node, dur) = inst.body.pop(t);
+            // Aliased <truncated> frames: record the outermost only (the
+            // same double-count guard exit_kind applies).
+            let aliased = inst.body.current_node() == node;
+            closed.push((node, dur, aliased));
+        }
+        for (node, dur, aliased) in closed {
+            if aliased && self.arena.node(node).kind == NodeKind::Truncated {
+                continue;
+            }
+            self.arena.node_mut(node).stats.record(dur);
+        }
+        self.arena.node_mut(root).stats.record_abort();
+        self.task_switch(TaskRef::Implicit, t);
+        let inst = self.instances.remove(&id).expect("unknown task instance");
+        if self.policy == AssignPolicy::Executing {
+            let agg = self.aggregate_root(task_region);
+            self.arena.merge_into(inst.body.root, agg);
+        }
+        self.live_trees -= 1;
+        self.creation_nodes.remove(&id);
+    }
+
+    /// Complete a shed (counting-only) instance: no tree to merge, just
+    /// bookkeeping — and an abort tag on the aggregate root if it died.
+    fn end_shed(&mut self, id: TaskId, t: u64, aborted: bool) {
+        debug_assert_eq!(
+            self.current,
+            TaskRef::Explicit(id),
+            "shed instance ended while not current"
+        );
+        if aborted {
+            let region = self.shed_live[&id];
+            let agg = self.aggregate_root(region);
+            self.arena.node_mut(agg).stats.record_abort();
+        }
+        self.task_switch(TaskRef::Implicit, t);
+        self.shed_live.remove(&id);
+        self.creation_nodes.remove(&id);
+    }
+
     fn aggregate_root(&mut self, region: RegionId) -> NodeId {
         let kind = NodeKind::Region(region);
         if let Some(&r) = self
@@ -413,25 +559,54 @@ impl ThreadProfile {
         r
     }
 
-    /// Close the profile at time `t` (end of the parallel region). All
-    /// explicit tasks must have completed; any regions still open on the
-    /// implicit task (normally just the parallel-region root) are exited.
+    /// Close the profile at time `t` (end of the parallel region). Any
+    /// regions still open on the implicit task (normally just the
+    /// parallel-region root) are exited.
+    ///
+    /// Self-healing: a faulty runtime (or a panic that escaped task
+    /// containment) may end the region with task instances still open.
+    /// Instead of panicking inside the measurement system, each leftover
+    /// instance is force-closed as aborted — its open frames are charged
+    /// the time observed so far, its partial tree is merged and tagged —
+    /// and a [`ThreadProfile::diagnostics`] entry records the repair.
     pub fn finish(&mut self, t: u64) {
-        assert_eq!(
-            self.current,
-            TaskRef::Implicit,
-            "parallel region ended while an explicit task was current"
-        );
-        assert!(
-            self.instances.is_empty(),
-            "parallel region ended with {} active task instances",
-            self.instances.len()
-        );
+        if let TaskRef::Explicit(id) = self.current {
+            self.diagnostics.push(format!(
+                "region ended while task instance {} was still executing; force-closed as aborted",
+                id.get()
+            ));
+            let region = self.instance_region(id);
+            self.task_abort(region, id, t);
+        }
+        let mut leftover: Vec<TaskId> = self
+            .instances
+            .keys()
+            .chain(self.shed_live.keys())
+            .copied()
+            .collect();
+        leftover.sort();
+        for id in leftover {
+            self.diagnostics.push(format!(
+                "region ended with suspended task instance {}; force-closed as aborted",
+                id.get()
+            ));
+            let region = self.instance_region(id);
+            self.task_abort(region, id, t);
+        }
         while self.implicit.depth() > 0 {
             let (node, dur) = self.implicit.pop(t);
             self.arena.node_mut(node).stats.record(dur);
         }
         self.finished = true;
+    }
+
+    /// The construct region of an active (live or shed) instance.
+    fn instance_region(&self, id: TaskId) -> RegionId {
+        self.instances
+            .get(&id)
+            .map(|i| i.region)
+            .or_else(|| self.shed_live.get(&id).copied())
+            .expect("active instance without a region")
     }
 
     /// True once [`ThreadProfile::finish`] ran.
@@ -494,6 +669,8 @@ impl ThreadProfile {
             task_trees: self.task_roots.iter().map(|&r| self.snap(r)).collect(),
             max_live_trees: self.max_live_trees,
             arena_capacity: self.arena.capacity_nodes(),
+            shed_instances: self.shed_total,
+            diagnostics: self.diagnostics.clone(),
         }
     }
 }
@@ -766,8 +943,10 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "active task instances")]
-    fn finish_with_active_instance_panics() {
+    fn finish_with_active_instance_heals_and_diagnoses() {
+        // The seed behaviour here was a panic; the measurement system must
+        // never take down the application, so leftover instances are now
+        // force-closed as aborted with a diagnostic.
         let ids = TaskIdAllocator::new();
         let t1 = ids.alloc();
         let mut p = ThreadProfile::new(rid(PAR), 0, AssignPolicy::Executing);
@@ -776,6 +955,141 @@ mod tests {
         p.task_switch(TaskRef::Implicit, 2);
         p.exit(rid(BARRIER), 3);
         p.finish(4);
+        assert!(p.is_finished());
+        assert_eq!(p.diagnostics().len(), 1);
+        assert!(p.diagnostics()[0].contains("force-closed"), "{:?}", p.diagnostics());
+        assert_eq!(p.live_instance_trees(), 0, "instance tree was released");
+        let s = p.snapshot(0);
+        assert_eq!(s.diagnostics, p.diagnostics());
+        // The partial instance still reached the aggregate tree, tagged.
+        let task = &s.task_trees[0];
+        assert_eq!(task.stats.aborted, 1);
+        assert_eq!(task.stats.sum_ns, 1, "ran 1..2 before suspension");
+    }
+
+    #[test]
+    fn finish_while_task_current_heals_and_diagnoses() {
+        let ids = TaskIdAllocator::new();
+        let t1 = ids.alloc();
+        let mut p = ThreadProfile::new(rid(PAR), 0, AssignPolicy::Executing);
+        p.enter(rid(BARRIER), 0);
+        p.task_begin(rid(TASK_A), t1, 1);
+        p.enter(rid(FOO), 2); // open inner region, never exited
+        p.finish(10);
+        assert_eq!(p.diagnostics().len(), 1);
+        assert!(p.diagnostics()[0].contains("still executing"));
+        let s = p.snapshot(0);
+        let task = &s.task_trees[0];
+        assert_eq!(task.stats.aborted, 1);
+        assert_eq!(task.stats.sum_ns, 9, "charged up to the force-close");
+        let foo = child(task, NodeKind::Region(rid(FOO)));
+        assert_eq!(foo.stats.sum_ns, 8);
+        // Implicit tree stayed balanced: stub closed, barrier closed.
+        let barrier = child(&s.main, NodeKind::Region(rid(BARRIER)));
+        let stub = child(barrier, NodeKind::Stub(rid(TASK_A)));
+        assert_eq!(stub.stats.sum_ns, 9);
+        s.main.walk(&mut |_, n| assert!(n.exclusive_ns() >= 0));
+    }
+
+    #[test]
+    fn task_abort_closes_open_frames_and_merges_tagged() {
+        // A panicking task unwinds without exit events: the abort must
+        // force-close foo, tag the instance, and still merge it so the
+        // measured time is not lost.
+        let ids = TaskIdAllocator::new();
+        let (t1, t2) = (ids.alloc(), ids.alloc());
+        let mut p = ThreadProfile::new(rid(PAR), 0, AssignPolicy::Executing);
+        p.enter(rid(BARRIER), 0);
+        p.task_begin(rid(TASK_A), t1, 10);
+        p.enter(rid(FOO), 12);
+        p.task_abort(rid(TASK_A), t1, 20); // panic inside foo
+        p.task_begin(rid(TASK_A), t2, 25); // siblings keep running
+        p.task_end(rid(TASK_A), t2, 40);
+        p.exit(rid(BARRIER), 50);
+        p.finish(60);
+        assert!(p.diagnostics().is_empty(), "abort is not an anomaly");
+        let s = p.snapshot(0);
+        let task = &s.task_trees[0];
+        assert_eq!(task.stats.visits, 2);
+        assert_eq!(task.stats.aborted, 1, "one of two instances failed");
+        assert_eq!(task.stats.sum_ns, 25, "aborted 10 ns + completed 15 ns");
+        let foo = child(task, NodeKind::Region(rid(FOO)));
+        assert_eq!(foo.stats.sum_ns, 8, "force-closed at the abort");
+        // Stub accounting balanced: two fragments, 10 + 15 ns.
+        let barrier = child(&s.main, NodeKind::Region(rid(BARRIER)));
+        let stub = child(barrier, NodeKind::Stub(rid(TASK_A)));
+        assert_eq!(stub.stats.visits, 2);
+        assert_eq!(stub.stats.sum_ns, 25);
+        s.main.walk(&mut |_, n| assert!(n.exclusive_ns() >= 0));
+    }
+
+    #[test]
+    fn live_tree_cap_sheds_to_counting_only() {
+        // Cap of 2: the third *concurrent* instance degrades to
+        // counting-only; once trees free up, new instances profile fully.
+        let ids = TaskIdAllocator::new();
+        let (t1, t2, t3) = (ids.alloc(), ids.alloc(), ids.alloc());
+        let mut p = ThreadProfile::new(rid(PAR), 0, AssignPolicy::Executing);
+        p.set_max_live_trees(Some(2));
+        p.enter(rid(BARRIER), 0);
+        p.task_begin(rid(TASK_A), t1, 1);
+        p.enter(rid(TASKWAIT), 2);
+        p.task_begin(rid(TASK_A), t2, 3);
+        p.enter(rid(TASKWAIT), 4);
+        p.task_begin(rid(TASK_A), t3, 5); // cap reached: shed
+        assert_eq!(p.live_instance_trees(), 2);
+        assert_eq!(p.shed_instances(), 1);
+        p.enter(rid(FOO), 6); // dropped (counting-only)
+        p.exit(rid(FOO), 7); // dropped
+        p.task_end(rid(TASK_A), t3, 8);
+        p.task_switch(TaskRef::Explicit(t2), 8);
+        p.exit(rid(TASKWAIT), 9);
+        p.task_end(rid(TASK_A), t2, 10);
+        p.task_switch(TaskRef::Explicit(t1), 10);
+        p.exit(rid(TASKWAIT), 11);
+        p.task_end(rid(TASK_A), t1, 12);
+        // Capacity freed: the next instance gets a real tree again.
+        let t4 = ids.alloc();
+        p.task_begin(rid(TASK_A), t4, 13);
+        p.enter(rid(FOO), 14);
+        p.exit(rid(FOO), 16);
+        p.task_end(rid(TASK_A), t4, 17);
+        p.exit(rid(BARRIER), 20);
+        p.finish(21);
+        let s = p.snapshot(0);
+        assert_eq!(s.shed_instances, 1);
+        assert_eq!(s.max_live_trees, 2, "the cap held");
+        let task = &s.task_trees[0];
+        // 4 instances counted (visits), 3 sampled (shed one has no time).
+        assert_eq!(task.stats.visits, 4);
+        assert_eq!(task.stats.samples, 3);
+        let foo = child(task, NodeKind::Region(rid(FOO)));
+        assert_eq!(foo.stats.visits, 1, "shed instance's foo was dropped");
+        assert_eq!(foo.stats.sum_ns, 2);
+        s.main.walk(&mut |_, n| assert!(n.exclusive_ns() >= 0));
+    }
+
+    #[test]
+    fn shed_instance_abort_is_counted() {
+        let ids = TaskIdAllocator::new();
+        let (t1, t2) = (ids.alloc(), ids.alloc());
+        let mut p = ThreadProfile::new(rid(PAR), 0, AssignPolicy::Executing);
+        p.set_max_live_trees(Some(1));
+        p.enter(rid(BARRIER), 0);
+        p.task_begin(rid(TASK_A), t1, 1);
+        p.enter(rid(TASKWAIT), 2);
+        p.task_begin(rid(TASK_A), t2, 3); // shed
+        p.task_abort(rid(TASK_A), t2, 5); // and it panics
+        p.task_switch(TaskRef::Explicit(t1), 5);
+        p.exit(rid(TASKWAIT), 6);
+        p.task_end(rid(TASK_A), t1, 7);
+        p.exit(rid(BARRIER), 8);
+        p.finish(9);
+        let s = p.snapshot(0);
+        assert_eq!(s.shed_instances, 1);
+        let task = &s.task_trees[0];
+        assert_eq!(task.stats.visits, 2);
+        assert_eq!(task.stats.aborted, 1);
     }
 
     #[test]

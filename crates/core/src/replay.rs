@@ -49,6 +49,15 @@ pub enum Event {
         /// The instance id.
         id: TaskId,
     },
+    /// Abort a task instance (its body panicked): open frames are
+    /// force-closed, the instance is tagged aborted and still merged
+    /// (implies a switch to the implicit task).
+    TaskAbort {
+        /// The task construct region.
+        region: RegionId,
+        /// The instance id.
+        id: TaskId,
+    },
     /// Resume `target` at a scheduling point.
     Switch(TaskRef),
     /// Open a parameter scope on the current task.
@@ -91,6 +100,13 @@ impl Replayer {
         &self.profile
     }
 
+    /// Configure overload shedding (cap on live instance trees) for the
+    /// replayed thread.
+    pub fn set_max_live_trees(&mut self, limit: Option<usize>) -> &mut Self {
+        self.profile.set_max_live_trees(limit);
+        self
+    }
+
     /// Apply one event.
     pub fn apply(&mut self, ev: Event) {
         match ev {
@@ -107,6 +123,7 @@ impl Replayer {
             }
             Event::TaskBegin { region, id } => self.profile.task_begin(region, id, self.t),
             Event::TaskEnd { region, id } => self.profile.task_end(region, id, self.t),
+            Event::TaskAbort { region, id } => self.profile.task_abort(region, id, self.t),
             Event::Switch(target) => self.profile.task_switch(target, self.t),
             Event::ParamBegin { param, value } => {
                 self.profile.parameter_begin(param, value, self.t)
@@ -172,6 +189,15 @@ impl TeamReplayer {
         self
     }
 
+    /// Configure overload shedding (cap on live instance trees) on every
+    /// replayed thread.
+    pub fn set_max_live_trees(&mut self, limit: Option<usize>) -> &mut Self {
+        for p in &mut self.threads {
+            p.set_max_live_trees(limit);
+        }
+        self
+    }
+
     /// Apply an event on thread `tid`. `Event::Advance` moves the shared
     /// clock.
     pub fn apply(&mut self, tid: usize, ev: Event) -> &mut Self {
@@ -189,6 +215,7 @@ impl TeamReplayer {
             Event::CreateEnd { create, id } => p.task_create_end(create, id, t),
             Event::TaskBegin { region, id } => p.task_begin(region, id, t),
             Event::TaskEnd { region, id } => p.task_end(region, id, t),
+            Event::TaskAbort { region, id } => p.task_abort(region, id, t),
             Event::Switch(target) => p.task_switch(target, t),
             Event::ParamBegin { param, value } => p.parameter_begin(param, value, t),
             Event::ParamEnd { param } => p.parameter_end(param, t),

@@ -67,6 +67,12 @@ pub struct ThreadSnapshot {
     /// High-water mark of call-tree nodes allocated by this thread
     /// (paper Section V-B memory accounting).
     pub arena_capacity: usize,
+    /// Task instances degraded to counting-only because the live-tree cap
+    /// was reached (overload shedding; 0 when no cap was configured).
+    pub shed_instances: u64,
+    /// Self-healing diagnostics recorded while closing the profile (e.g.
+    /// instances force-closed at region end). Empty for a clean run.
+    pub diagnostics: Vec<String>,
 }
 
 impl ThreadSnapshot {
@@ -101,6 +107,33 @@ impl Profile {
     /// mark — the per-code value of the paper's Table II.
     pub fn max_live_trees(&self) -> usize {
         self.threads.iter().map(|t| t.max_live_trees).max().unwrap_or(0)
+    }
+
+    /// Total task instances shed (degraded to counting-only) across all
+    /// threads.
+    pub fn shed_instances(&self) -> u64 {
+        self.threads.iter().map(|t| t.shed_instances).sum()
+    }
+
+    /// Total aborted task instances across all threads, summed over every
+    /// node of every tree (the abort tag only ever sits on task roots, so
+    /// this never double-counts).
+    pub fn aborted_instances(&self) -> u64 {
+        fn tree_aborts(n: &SnapNode) -> u64 {
+            n.stats.aborted + n.children.iter().map(tree_aborts).sum::<u64>()
+        }
+        self.threads
+            .iter()
+            .map(|t| tree_aborts(&t.main) + t.task_trees.iter().map(tree_aborts).sum::<u64>())
+            .sum()
+    }
+
+    /// All self-healing diagnostics, as `(tid, message)` pairs.
+    pub fn diagnostics(&self) -> Vec<(usize, &str)> {
+        self.threads
+            .iter()
+            .flat_map(|t| t.diagnostics.iter().map(move |d| (t.tid, d.as_str())))
+            .collect()
     }
 }
 
@@ -156,6 +189,8 @@ mod tests {
             task_trees: vec![],
             max_live_trees: max,
             arena_capacity: 0,
+            shed_instances: 0,
+            diagnostics: vec![],
         };
         let p = Profile {
             threads: vec![snap(0, 3), snap(1, 19), snap(2, 4)],

@@ -46,6 +46,15 @@ pub struct AggProfile {
     /// Maximum concurrently live instance trees over all threads
     /// (paper Table II).
     pub max_live_trees: usize,
+    /// Total instances shed to counting-only across all threads (overload
+    /// shedding under a live-tree cap).
+    pub shed_instances: u64,
+    /// Total task instances force-closed after a panic/abort, summed over
+    /// the merged trees.
+    pub aborted_instances: u64,
+    /// Self-healing diagnostics collected at measurement finish, tagged by
+    /// thread id.
+    pub diagnostics: Vec<(usize, String)>,
 }
 
 impl AggProfile {
@@ -79,6 +88,13 @@ impl AggProfile {
             main,
             task_trees,
             max_live_trees: p.max_live_trees(),
+            shed_instances: p.shed_instances(),
+            aborted_instances: p.aborted_instances(),
+            diagnostics: p
+                .diagnostics()
+                .into_iter()
+                .map(|(tid, d)| (tid, d.to_string()))
+                .collect(),
         }
     }
 }

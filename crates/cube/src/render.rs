@@ -133,9 +133,14 @@ pub fn render_profile(p: &AggProfile, opts: &RenderOpts) -> String {
     );
     out.push_str(&render_tree(&p.main, opts));
     for t in &p.task_trees {
+        let aborted = if t.stats.aborted > 0 {
+            format!(", aborted {}", t.stats.aborted)
+        } else {
+            String::new()
+        };
         let _ = writeln!(
             out,
-            "=== task tree: {} (instances {}, mean {}) ===",
+            "=== task tree: {} (instances {}, mean {}{aborted}) ===",
             kind_label(t.kind),
             t.stats.samples,
             format_ns(t.stats.mean_ns() as u64),
@@ -143,6 +148,19 @@ pub fn render_profile(p: &AggProfile, opts: &RenderOpts) -> String {
         out.push_str(&render_tree(t, opts));
     }
     let _ = writeln!(out, "max concurrent task trees per thread: {}", p.max_live_trees);
+    if p.shed_instances > 0 {
+        let _ = writeln!(
+            out,
+            "instances shed to counting-only (live-tree cap): {}",
+            p.shed_instances
+        );
+    }
+    if p.aborted_instances > 0 {
+        let _ = writeln!(out, "aborted task instances: {}", p.aborted_instances);
+    }
+    for (tid, d) in &p.diagnostics {
+        let _ = writeln!(out, "diagnostic [thread {tid}]: {d}");
+    }
     out
 }
 
@@ -189,6 +207,29 @@ mod tests {
         let bar_line = s.lines().find(|l| l.contains("r-bar")).unwrap();
         assert!(bar_line.contains("incl 216ns"), "{bar_line}");
         assert!(bar_line.contains("excl 103ns"), "{bar_line}");
+    }
+
+    #[test]
+    fn render_surfaces_faults() {
+        let reg = registry();
+        let par = reg.register("r3-par", RegionKind::Parallel, "t", 0);
+        let task = reg.register("r3-task", RegionKind::Task, "t", 0);
+        let ids = TaskIdAllocator::new();
+        let t1 = ids.alloc();
+        let snap = replay(
+            par,
+            AssignPolicy::Executing,
+            [
+                Event::TaskBegin { region: task, id: t1 },
+                Event::Advance(7),
+                Event::TaskAbort { region: task, id: t1 },
+            ],
+        );
+        let p = AggProfile::from_profile(&Profile { threads: vec![snap] });
+        assert_eq!(p.aborted_instances, 1);
+        let s = render_profile(&p, &RenderOpts::default());
+        assert!(s.contains("aborted 1"), "{s}");
+        assert!(s.contains("aborted task instances: 1"), "{s}");
     }
 
     #[test]

@@ -18,13 +18,23 @@ const MAGIC: &str = "taskprof-profile v1";
 pub struct ParseError {
     /// 1-based line of the problem (0 = header).
     pub line: usize,
+    /// 1-based column of the problem (0 = whole line / unknown).
+    pub column: usize,
     /// Explanation.
     pub message: String,
 }
 
 impl std::fmt::Display for ParseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "profile parse error at line {}: {}", self.line, self.message)
+        if self.column > 0 {
+            write!(
+                f,
+                "profile parse error at line {}, column {}: {}",
+                self.line, self.column, self.message
+            )
+        } else {
+            write!(f, "profile parse error at line {}: {}", self.line, self.message)
+        }
     }
 }
 
@@ -96,7 +106,7 @@ fn write_node(out: &mut String, node: &SnapNode, depth: usize) {
         NodeKind::Truncated => "truncated \"\"".to_string(),
     };
     let s = &node.stats;
-    let _ = writeln!(
+    let _ = write!(
         out,
         "{}{} visits {} sum {} min {} max {} samples {}",
         "  ".repeat(depth),
@@ -107,6 +117,12 @@ fn write_node(out: &mut String, node: &SnapNode, depth: usize) {
         s.max_ns,
         s.samples
     );
+    // Fault-tolerance annotation, omitted when clean so that profiles
+    // written by older versions and clean new profiles look identical.
+    if s.aborted > 0 {
+        let _ = write!(out, " aborted {}", s.aborted);
+    }
+    out.push('\n');
     for c in &node.children {
         write_node(out, c, depth + 1);
     }
@@ -118,11 +134,18 @@ pub fn write_profile(p: &Profile) -> String {
     let _ = writeln!(out, "{MAGIC}");
     let _ = writeln!(out, "threads {}", p.threads.len());
     for t in &p.threads {
-        let _ = writeln!(
+        let _ = write!(
             out,
             "thread {} max_live {} arena {}",
             t.tid, t.max_live_trees, t.arena_capacity
         );
+        if t.shed_instances > 0 {
+            let _ = write!(out, " shed {}", t.shed_instances);
+        }
+        out.push('\n');
+        for d in &t.diagnostics {
+            let _ = writeln!(out, "diag \"{}\"", escape(d));
+        }
         let _ = writeln!(out, "main");
         write_node(&mut out, &t.main, 1);
         for tree in &t.task_trees {
@@ -140,8 +163,13 @@ struct Parser<'a> {
 
 impl<'a> Parser<'a> {
     fn err(line: usize, message: impl Into<String>) -> ParseError {
+        Self::err_at(line, 0, message)
+    }
+
+    fn err_at(line: usize, column: usize, message: impl Into<String>) -> ParseError {
         ParseError {
             line: line + 1,
+            column,
             message: message.into(),
         }
     }
@@ -149,11 +177,12 @@ impl<'a> Parser<'a> {
     /// Parse one node line: returns (depth, kind, stats).
     fn parse_node_line(lineno: usize, raw: &str) -> Result<(usize, NodeKind, Stats), ParseError> {
         let trimmed = raw.trim_start();
-        let depth = (raw.len() - trimmed.len()) / 2;
+        let indent = raw.len() - trimmed.len();
+        let depth = indent / 2;
         // Split the quoted name out first.
         let (head, rest) = trimmed
             .split_once('"')
-            .ok_or_else(|| Self::err(lineno, "missing name quote"))?;
+            .ok_or_else(|| Self::err_at(lineno, indent + 1, "missing name quote"))?;
         // Find the closing quote honoring escapes.
         let mut end = None;
         let bytes = rest.as_bytes();
@@ -168,15 +197,19 @@ impl<'a> Parser<'a> {
                 _ => i += 1,
             }
         }
-        let end = end.ok_or_else(|| Self::err(lineno, "unterminated name"))?;
+        let end = end
+            .ok_or_else(|| Self::err_at(lineno, indent + head.len() + 1, "unterminated name"))?;
         let name = unescape(&rest[..end]);
         let tail = &rest[end + 1..];
+        // 1-based column where the post-name tail of the line starts.
+        let tail_col = raw.len() - tail.len() + 1;
         let head_tokens: Vec<&str> = head.split_whitespace().collect();
         let reg = registry();
         let kind = match head_tokens.as_slice() {
             ["region", ktag] => {
-                let k = kind_from_tag(ktag)
-                    .ok_or_else(|| Self::err(lineno, format!("unknown region kind {ktag}")))?;
+                let k = kind_from_tag(ktag).ok_or_else(|| {
+                    Self::err_at(lineno, indent + 1, format!("unknown region kind {ktag}"))
+                })?;
                 NodeKind::Region(reg.register(&name, k, "loaded", 0))
             }
             ["stub"] => {
@@ -189,20 +222,27 @@ impl<'a> Parser<'a> {
                     .split_whitespace()
                     .next()
                     .and_then(|s| s.parse().ok())
-                    .ok_or_else(|| Self::err(lineno, "param missing value"))?;
+                    .ok_or_else(|| Self::err_at(lineno, tail_col, "param missing value"))?;
                 return Ok((
                     depth,
                     NodeKind::Param(reg.register_param(&name), v),
-                    Self::parse_stats(lineno, tail.split_whitespace().skip(1))?,
+                    Self::parse_stats(lineno, tail_col, tail.split_whitespace().skip(1))?,
                 ));
             }
-            other => return Err(Self::err(lineno, format!("unknown node head {other:?}"))),
+            other => {
+                return Err(Self::err_at(
+                    lineno,
+                    indent + 1,
+                    format!("unknown node head {other:?}"),
+                ))
+            }
         };
-        Ok((depth, kind, Self::parse_stats(lineno, tail.split_whitespace())?))
+        Ok((depth, kind, Self::parse_stats(lineno, tail_col, tail.split_whitespace())?))
     }
 
     fn parse_stats<'t>(
         lineno: usize,
+        col: usize,
         mut tokens: impl Iterator<Item = &'t str>,
     ) -> Result<Stats, ParseError> {
         let mut stats = Stats::new();
@@ -210,8 +250,8 @@ impl<'a> Parser<'a> {
             match (tokens.next(), tokens.next()) {
                 (Some(k), Some(v)) if k == key => v
                     .parse::<u64>()
-                    .map_err(|_| Self::err(lineno, format!("bad {key} value"))),
-                _ => Err(Self::err(lineno, format!("expected '{key} <n>'"))),
+                    .map_err(|_| Self::err_at(lineno, col, format!("bad {key} value"))),
+                _ => Err(Self::err_at(lineno, col, format!("expected '{key} <n>'"))),
             }
         };
         stats.visits = grab("visits", &mut tokens)?;
@@ -219,6 +259,31 @@ impl<'a> Parser<'a> {
         stats.min_ns = grab("min", &mut tokens)?;
         stats.max_ns = grab("max", &mut tokens)?;
         stats.samples = grab("samples", &mut tokens)?;
+        // Optional fault-tolerance annotation (absent in clean and in
+        // older profiles).
+        match tokens.next() {
+            None => {}
+            Some("aborted") => {
+                stats.aborted = tokens
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| Self::err_at(lineno, col, "bad aborted value"))?;
+            }
+            Some(other) => {
+                return Err(Self::err_at(
+                    lineno,
+                    col,
+                    format!("unexpected trailing token '{other}'"),
+                ))
+            }
+        }
+        if let Some(extra) = tokens.next() {
+            return Err(Self::err_at(
+                lineno,
+                col,
+                format!("unexpected trailing token '{extra}'"),
+            ));
+        }
         Ok(stats)
     }
 
@@ -307,14 +372,35 @@ pub fn read_profile(text: &str) -> Result<Profile, ParseError> {
             .next()
             .ok_or_else(|| Parser::err(0, "missing thread header"))?;
         let toks: Vec<&str> = header.split_whitespace().collect();
-        let (tid, max_live, arena) = match toks.as_slice() {
+        let (tid, max_live, arena, shed) = match toks.as_slice() {
             ["thread", tid, "max_live", ml, "arena", ar] => (
                 tid.parse().map_err(|_| Parser::err(n, "bad tid"))?,
                 ml.parse().map_err(|_| Parser::err(n, "bad max_live"))?,
                 ar.parse().map_err(|_| Parser::err(n, "bad arena"))?,
+                0u64,
+            ),
+            ["thread", tid, "max_live", ml, "arena", ar, "shed", sh] => (
+                tid.parse().map_err(|_| Parser::err(n, "bad tid"))?,
+                ml.parse().map_err(|_| Parser::err(n, "bad max_live"))?,
+                ar.parse().map_err(|_| Parser::err(n, "bad arena"))?,
+                sh.parse().map_err(|_| Parser::err(n, "bad shed count"))?,
             ),
             _ => return Err(Parser::err(n, "malformed thread header")),
         };
+        // Optional self-healing diagnostics recorded with the thread.
+        let mut diagnostics = Vec::new();
+        while let Some(&(dn, l)) = p.lines.peek() {
+            let Some(rest) = l.trim().strip_prefix("diag ") else {
+                break;
+            };
+            p.lines.next();
+            let inner = rest
+                .trim()
+                .strip_prefix('"')
+                .and_then(|r| r.strip_suffix('"'))
+                .ok_or_else(|| Parser::err(dn, "malformed diag line"))?;
+            diagnostics.push(unescape(inner));
+        }
         match p.lines.next() {
             Some((_, l)) if l.trim() == "main" => {}
             Some((n, l)) => return Err(Parser::err(n, format!("expected 'main', got '{l}'"))),
@@ -349,6 +435,8 @@ pub fn read_profile(text: &str) -> Result<Profile, ParseError> {
             task_trees,
             max_live_trees: max_live,
             arena_capacity: arena,
+            shed_instances: shed,
+            diagnostics,
         });
     }
     Ok(Profile { threads })
@@ -401,11 +489,70 @@ mod tests {
             assert_eq!(a.tid, b.tid);
             assert_eq!(a.max_live_trees, b.max_live_trees);
             assert_eq!(a.arena_capacity, b.arena_capacity);
+            assert_eq!(a.shed_instances, b.shed_instances);
+            assert_eq!(a.diagnostics, b.diagnostics);
             assert_eq!(a.main, b.main);
             assert_eq!(a.task_trees, b.task_trees);
         }
         // Idempotent: serialize again, identical text.
         assert_eq!(text, write_profile(&q));
+    }
+
+    #[test]
+    fn round_trip_preserves_fault_annotations() {
+        use pomp::TaskRef;
+        let reg = registry();
+        let par = reg.register("ft-par", RegionKind::Parallel, "t", 0);
+        let task = reg.register("ft-task", RegionKind::Task, "t", 0);
+        let barrier = reg.register("ft-bar", RegionKind::ImplicitBarrier, "t", 0);
+        let ids = TaskIdAllocator::new();
+        let (t1, t2, t3) = (ids.alloc(), ids.alloc(), ids.alloc());
+        let mut r = taskprof::Replayer::new(par, AssignPolicy::Executing);
+        r.set_max_live_trees(Some(1));
+        r.run([
+            Event::Enter(barrier),
+            Event::TaskBegin { region: task, id: t1 },
+            Event::Advance(5),
+            Event::Switch(TaskRef::Implicit), // t1 suspended, 1 live tree
+            Event::TaskBegin { region: task, id: t2 }, // cap hit: shed
+            Event::Advance(3),
+            Event::TaskEnd { region: task, id: t2 },
+            Event::Switch(TaskRef::Explicit(t1)),
+            Event::Advance(2),
+            Event::TaskAbort { region: task, id: t1 }, // panicked body
+            Event::TaskBegin { region: task, id: t3 },
+            Event::Advance(1),
+            Event::Switch(TaskRef::Implicit), // t3 left open at finish
+            Event::Exit(barrier),
+        ]);
+        let snap = r.finish(0);
+        assert_eq!(snap.shed_instances, 1);
+        assert_eq!(snap.diagnostics.len(), 1);
+        let p = Profile { threads: vec![snap] };
+        let text = write_profile(&p);
+        assert!(text.contains("shed 1"), "{text}");
+        assert!(text.contains("aborted 2"), "{text}"); // t1 + force-closed t3
+        assert!(text.contains("diag \""), "{text}");
+        let q = read_profile(&text).expect("parse");
+        assert_eq!(q.threads[0].shed_instances, 1);
+        assert_eq!(q.threads[0].diagnostics, p.threads[0].diagnostics);
+        assert_eq!(q.threads[0].task_trees, p.threads[0].task_trees);
+        assert_eq!(q.aborted_instances(), 2);
+        assert_eq!(text, write_profile(&q));
+    }
+
+    #[test]
+    fn errors_carry_position_context() {
+        // A corrupted stats token reports both line and column.
+        let p = sample_profile();
+        let text = write_profile(&p);
+        let broken = text.replace("sum ", "sum x");
+        let err = read_profile(&broken).unwrap_err();
+        assert!(err.line > 0);
+        assert!(err.column > 0, "column context missing: {err:?}");
+        let rendered = err.to_string();
+        assert!(rendered.contains("line"), "{rendered}");
+        assert!(rendered.contains("column"), "{rendered}");
     }
 
     #[test]

@@ -23,6 +23,8 @@ pub struct EventCounts {
     pub task_begins: AtomicU64,
     /// Task instances completed.
     pub task_ends: AtomicU64,
+    /// Task instances aborted by a panic in their body.
+    pub task_aborts: AtomicU64,
     /// Explicit suspend/resume switches (excludes begin/end implied ones).
     pub switches: AtomicU64,
     /// Parameter scopes opened.
@@ -50,7 +52,7 @@ impl EventCounts {
     pub fn total(&self) -> u64 {
         let (e, c, b, d, s, p, _) = self.snapshot();
         // enters+exits are symmetric, creations have begin+end too.
-        2 * e + 2 * c + b + d + s + 2 * p
+        2 * e + 2 * c + b + d + s + 2 * p + self.task_aborts.load(Ordering::Relaxed)
     }
 }
 
@@ -110,6 +112,11 @@ impl ThreadHooks for CountingThread {
     #[inline]
     fn task_end(&self, _region: RegionId, _task: TaskId) {
         self.counts.task_ends.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn task_abort(&self, _region: RegionId, _task: TaskId) {
+        self.counts.task_aborts.fetch_add(1, Ordering::Relaxed);
     }
 
     #[inline]

@@ -131,6 +131,11 @@ impl<T: ThreadHooks> ThreadHooks for FilteredThread<T> {
     }
 
     #[inline]
+    fn task_abort(&self, task_region: RegionId, task: TaskId) {
+        self.inner.task_abort(task_region, task);
+    }
+
+    #[inline]
     fn task_switch(&self, resumed: TaskRef) {
         self.inner.task_switch(resumed);
     }

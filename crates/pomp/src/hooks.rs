@@ -82,6 +82,16 @@ pub trait ThreadHooks {
         let _ = (task_region, task);
     }
 
+    /// Instance `task` terminated abnormally (its body panicked). Emitted
+    /// *instead of* `task_end`: the instance will never complete normally,
+    /// but the thread resumes whatever was below it just as after an end.
+    /// Monitors should close any state still open for the instance; time
+    /// measured up to the abort is still valid measurement data.
+    #[inline]
+    fn task_abort(&self, task_region: RegionId, task: TaskId) {
+        let _ = (task_region, task);
+    }
+
     /// The thread's current task changes to `resumed` at a scheduling point
     /// (paper Fig. 12 `TaskSwitch`). `task_begin`/`task_end` imply their own
     /// switches; the runtime only calls this for suspend/resume transitions
@@ -217,6 +227,12 @@ impl<A: ThreadHooks, B: ThreadHooks> ThreadHooks for (A, B) {
     fn task_end(&self, task_region: RegionId, task: TaskId) {
         self.0.task_end(task_region, task);
         self.1.task_end(task_region, task);
+    }
+
+    #[inline]
+    fn task_abort(&self, task_region: RegionId, task: TaskId) {
+        self.0.task_abort(task_region, task);
+        self.1.task_abort(task_region, task);
     }
 
     #[inline]

@@ -31,6 +31,7 @@ pub mod filter;
 pub mod hooks;
 pub mod region;
 pub mod task;
+pub mod validate;
 
 pub use clock::{Clock, MonotonicClock, VirtualClock};
 pub use counting::{CountingMonitor, EventCounts};
@@ -38,3 +39,4 @@ pub use filter::{FilteredMonitor, RegionFilter};
 pub use hooks::{Monitor, NullMonitor, NullThreadHooks, TaskRef, ThreadHooks};
 pub use region::{registry, ParamId, RegionId, RegionInfo, RegionKind, Registry};
 pub use task::{TaskId, TaskIdAllocator};
+pub use validate::{Defect, Diagnostic, Repair, ValidatingMonitor, ValidatingThread};

@@ -75,6 +75,11 @@ impl<'w, 'env, M: Monitor> TaskCtx<'w, 'env, M> {
     /// The `if` clause: when `cond` is false the task executes immediately
     /// (undeferred) on the encountering thread, still as a proper task
     /// instance with its own begin/end events.
+    ///
+    /// Undeferred bodies get the same panic isolation as deferred ones:
+    /// a panicking body is recorded as a failed instance (`task_abort`
+    /// event, [`crate::ParallelOutcome`] accounting), the encountering
+    /// task resumes, and execution continues after the construct.
     pub fn task_if<F>(&self, cond: bool, construct: &TaskConstruct, f: F)
     where
         F: for<'x> FnOnce(&TaskCtx<'x, 'env, M>) + Send + 'env,
@@ -87,12 +92,20 @@ impl<'w, 'env, M: Monitor> TaskCtx<'w, 'env, M> {
             let child = TaskNode::child_of(&self.node, id);
             let prev = self.worker.current.replace(child.clone());
             self.worker.hooks.task_begin(construct.task, id);
-            f(&TaskCtx {
-                worker: self.worker,
-                node: child.clone(),
-                _env: PhantomData,
-            });
-            self.worker.hooks.task_end(construct.task, id);
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                f(&TaskCtx {
+                    worker: self.worker,
+                    node: child.clone(),
+                    _env: PhantomData,
+                });
+            }));
+            match outcome {
+                Ok(()) => self.worker.hooks.task_end(construct.task, id),
+                Err(payload) => {
+                    self.worker.hooks.task_abort(construct.task, id);
+                    self.worker.shared.task_panicked(payload);
+                }
+            }
             child.complete();
             if let Some(prev_id) = prev.id {
                 self.worker.hooks.task_switch(TaskRef::Explicit(prev_id));

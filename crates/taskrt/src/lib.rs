@@ -54,6 +54,7 @@
 
 mod constructs;
 mod ctx;
+mod outcome;
 mod raw;
 mod sched;
 mod task;
@@ -65,6 +66,7 @@ pub use constructs::{
     SingleConstruct, TaskConstruct,
 };
 pub use ctx::TaskCtx;
+pub use outcome::ParallelOutcome;
 pub use task::TaskNode;
 pub use team::Team;
 
@@ -411,5 +413,117 @@ mod tests {
             }
         });
         assert_eq!(count.load(Ordering::Relaxed), 201);
+    }
+
+    #[test]
+    fn panicking_sibling_is_contained() {
+        let (par, task, tw) = constructs("t-panic-sibling");
+        let done = AtomicUsize::new(0);
+        let done_ref = &done;
+        let outcome = Team::new(4).parallel(&NullMonitor, &par, |ctx| {
+            if ctx.tid() == 0 {
+                for i in 0..16 {
+                    ctx.task(&task, move |_| {
+                        if i == 5 {
+                            panic!("sibling 5 exploded");
+                        }
+                        done_ref.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+                ctx.taskwait(tw); // must not deadlock on the dead child
+            }
+        });
+        assert_eq!(done.load(Ordering::Relaxed), 15, "siblings kept running");
+        assert!(!outcome.is_ok());
+        assert_eq!(outcome.failed_tasks(), 1);
+        assert_eq!(outcome.panic_message(), Some("sibling 5 exploded"));
+    }
+
+    #[test]
+    fn panicking_undeferred_task_is_contained() {
+        let (par, task, _) = constructs("t-panic-undeferred");
+        let after = AtomicUsize::new(0);
+        let outcome = Team::new(2).parallel(&NullMonitor, &par, |ctx| {
+            if ctx.tid() == 0 {
+                ctx.task_if(false, &task, |_| panic!("undeferred boom"));
+                after.fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert_eq!(
+            after.load(Ordering::Relaxed),
+            1,
+            "encountering task resumes after the failed undeferred child"
+        );
+        assert_eq!(outcome.failed_tasks(), 1);
+        assert_eq!(outcome.panic_message(), Some("undeferred boom"));
+    }
+
+    #[test]
+    fn panicking_implicit_task_still_joins() {
+        let (par, task, _) = constructs("t-panic-implicit");
+        let executed = AtomicUsize::new(0);
+        let executed_ref = &executed;
+        let outcome = Team::new(3).parallel(&NullMonitor, &par, |ctx| {
+            if ctx.tid() == 0 {
+                for _ in 0..32 {
+                    ctx.task(&task, move |_| {
+                        executed_ref.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            }
+            if ctx.tid() == 2 {
+                panic!("implicit task of thread 2 died");
+            }
+        });
+        assert_eq!(
+            executed.load(Ordering::Relaxed),
+            32,
+            "deferred work still drains at the implicit barrier"
+        );
+        assert_eq!(outcome.failed_tasks(), 1);
+        assert_eq!(
+            outcome.panic_message(),
+            Some("implicit task of thread 2 died")
+        );
+    }
+
+    #[test]
+    fn panic_in_recursive_chain_releases_ancestors() {
+        // A panic deep in a recursive task chain must not wedge the
+        // taskwaits of its ancestors.
+        let (par, task, tw) = constructs("t-panic-chain");
+        fn chain<'e, M: pomp::Monitor>(
+            ctx: &TaskCtx<'_, 'e, M>,
+            task: &'e TaskConstruct,
+            tw: pomp::RegionId,
+            depth: usize,
+        ) {
+            if depth == 0 {
+                panic!("leaf panicked");
+            }
+            ctx.task(task, move |ctx| chain(ctx, task, tw, depth - 1));
+            ctx.taskwait(tw);
+        }
+        let task_ref = &task;
+        let outcome = Team::new(2).parallel(&NullMonitor, &par, |ctx| {
+            if ctx.tid() == 0 {
+                chain(ctx, task_ref, tw, 20);
+            }
+        });
+        assert_eq!(outcome.failed_tasks(), 1);
+        assert_eq!(outcome.panic_message(), Some("leaf panicked"));
+    }
+
+    #[test]
+    fn outcome_is_ok_on_clean_run() {
+        let (par, task, _) = constructs("t-outcome-ok");
+        let outcome = Team::new(2).parallel(&NullMonitor, &par, |ctx| {
+            if ctx.tid() == 0 {
+                ctx.task(&task, |_| {});
+            }
+        });
+        assert!(outcome.is_ok());
+        assert_eq!(outcome.failed_tasks(), 0);
+        outcome.unwrap();
     }
 }

@@ -1,0 +1,111 @@
+//! Structured result of a parallel region under panic isolation.
+
+use std::any::Any;
+use std::fmt;
+
+/// What happened inside one [`crate::Team::parallel`] call.
+///
+/// A measurement runtime must never let a fault in one task tear down the
+/// whole team (Score-P's cardinal rule: instrumentation does not take down
+/// the application). Panics inside task bodies are therefore caught at
+/// the task boundary: the instance is marked failed, its completion is
+/// still signalled (so `taskwait`s and barriers do not deadlock), and the
+/// siblings keep running. The team reports the damage here instead of
+/// unwinding mid-region.
+pub struct ParallelOutcome {
+    failed_tasks: usize,
+    first_panic: Option<Box<dyn Any + Send>>,
+}
+
+impl ParallelOutcome {
+    pub(crate) fn new(failed_tasks: usize, first_panic: Option<Box<dyn Any + Send>>) -> Self {
+        Self {
+            failed_tasks,
+            first_panic,
+        }
+    }
+
+    /// True when every task (and every implicit task) ran to completion.
+    pub fn is_ok(&self) -> bool {
+        self.failed_tasks == 0
+    }
+
+    /// Number of task instances whose body panicked. Implicit tasks
+    /// (the per-thread region bodies) count too.
+    pub fn failed_tasks(&self) -> usize {
+        self.failed_tasks
+    }
+
+    /// The payload of the chronologically first panic the team observed,
+    /// if any.
+    pub fn first_panic(&self) -> Option<&(dyn Any + Send)> {
+        self.first_panic.as_deref()
+    }
+
+    /// Best-effort rendering of the first panic's message (`&str` and
+    /// `String` payloads; anything else is opaque).
+    pub fn panic_message(&self) -> Option<&str> {
+        let payload = self.first_panic.as_deref()?;
+        if let Some(s) = payload.downcast_ref::<&'static str>() {
+            Some(s)
+        } else {
+            payload.downcast_ref::<String>().map(String::as_str)
+        }
+    }
+
+    /// Consume the outcome, returning the first panic payload.
+    pub fn into_first_panic(self) -> Option<Box<dyn Any + Send>> {
+        self.first_panic
+    }
+
+    /// Re-raise the first panic on the calling thread, if any — for
+    /// callers that *want* fail-fast semantics after the team has shut
+    /// down cleanly. No-op when the region succeeded.
+    pub fn unwrap(self) {
+        if let Some(payload) = self.first_panic {
+            std::panic::resume_unwind(payload);
+        }
+        debug_assert_eq!(self.failed_tasks, 0);
+    }
+}
+
+impl fmt::Debug for ParallelOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ParallelOutcome")
+            .field("failed_tasks", &self.failed_tasks)
+            .field("first_panic", &self.panic_message())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ok_outcome() {
+        let o = ParallelOutcome::new(0, None);
+        assert!(o.is_ok());
+        assert_eq!(o.failed_tasks(), 0);
+        assert!(o.panic_message().is_none());
+        o.unwrap(); // must not panic
+    }
+
+    #[test]
+    fn failed_outcome_reports_message() {
+        let o = ParallelOutcome::new(2, Some(Box::new("boom")));
+        assert!(!o.is_ok());
+        assert_eq!(o.failed_tasks(), 2);
+        assert_eq!(o.panic_message(), Some("boom"));
+        let o = ParallelOutcome::new(1, Some(Box::new(String::from("dynamic boom"))));
+        assert_eq!(o.panic_message(), Some("dynamic boom"));
+    }
+
+    #[test]
+    fn unwrap_resumes_the_panic() {
+        let o = ParallelOutcome::new(1, Some(Box::new("resurfaced")));
+        let err =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || o.unwrap())).unwrap_err();
+        assert_eq!(*err.downcast_ref::<&str>().unwrap(), "resurfaced");
+    }
+}

@@ -6,6 +6,7 @@ use crate::raw::RawTask;
 use crossbeam_deque::{Injector, Stealer};
 use parking_lot::Mutex;
 use pomp::{Monitor, TaskIdAllocator};
+use std::any::Any;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// State shared by all threads of one parallel region.
@@ -34,6 +35,11 @@ pub(crate) struct Shared<M: Monitor> {
     pub criticals: CriticalLocks,
     /// ABLATION: ignore the tied-task scheduling constraint at taskwaits.
     pub unrestricted_taskwait: bool,
+    /// Tasks whose body panicked (panic isolation: contained at the task
+    /// boundary, reported via [`crate::ParallelOutcome`]).
+    pub failed: AtomicUsize,
+    /// Payload of the first panic observed anywhere in the team.
+    pub first_panic: Mutex<Option<Box<dyn Any + Send>>>,
 }
 
 impl<M: Monitor> Shared<M> {
@@ -54,6 +60,8 @@ impl<M: Monitor> Shared<M> {
             workshares: WorkshareArbiter::new(),
             criticals: CriticalLocks::new(),
             unrestricted_taskwait: false,
+            failed: AtomicUsize::new(0),
+            first_panic: Mutex::new(None),
         }
     }
 
@@ -68,6 +76,16 @@ impl<M: Monitor> Shared<M> {
     pub fn task_retired(&self) {
         let prev = self.outstanding.fetch_sub(1, Ordering::Release);
         debug_assert!(prev > 0, "outstanding-task underflow");
+    }
+
+    /// Record a contained task-body panic; the first payload is kept for
+    /// the region's [`crate::ParallelOutcome`].
+    pub fn task_panicked(&self, payload: Box<dyn Any + Send>) {
+        self.failed.fetch_add(1, Ordering::Relaxed);
+        let mut first = self.first_panic.lock();
+        if first.is_none() {
+            *first = Some(payload);
+        }
     }
 }
 

@@ -2,6 +2,7 @@
 
 use crate::constructs::ParallelConstruct;
 use crate::ctx::TaskCtx;
+use crate::outcome::ParallelOutcome;
 use crate::raw::RawTask;
 use crate::sched::Shared;
 use crate::task::TaskNode;
@@ -48,9 +49,22 @@ impl Team {
     /// thread's implicit task), tasks created inside are drained by the
     /// implicit barrier at the end, and `monitor` observes every event.
     ///
+    /// Panic isolation: a panic in any task body — deferred, undeferred,
+    /// or an implicit task itself — is contained at the task boundary
+    /// rather than unwinding through the team. The region always runs to
+    /// its implicit barrier, the monitor always observes a complete
+    /// stream, and the damage is reported in the returned
+    /// [`ParallelOutcome`] (failed-task count plus the first panic
+    /// payload). Call [`ParallelOutcome::unwrap`] for fail-fast behaviour.
+    ///
     /// Pass [`pomp::NullMonitor`] for an uninstrumented run or
     /// `taskprof::ProfMonitor` for a profiled one.
-    pub fn parallel<'env, M, F>(&self, monitor: &M, construct: &ParallelConstruct, f: F)
+    pub fn parallel<'env, M, F>(
+        &self,
+        monitor: &M,
+        construct: &ParallelConstruct,
+        f: F,
+    ) -> ParallelOutcome
     where
         M: Monitor,
         F: Fn(&TaskCtx<'_, 'env, M>) + Sync + 'env,
@@ -73,6 +87,9 @@ impl Team {
             });
         }
         monitor.parallel_join(construct.region);
+        let failed = shared.failed.load(std::sync::atomic::Ordering::Relaxed);
+        let first_panic = shared.first_panic.lock().take();
+        ParallelOutcome::new(failed, first_panic)
     }
 }
 
@@ -90,15 +107,24 @@ fn run_worker<'env, M, F>(
     let implicit = TaskNode::implicit();
     let ws = WorkerState::new(shared, tid, local, hooks, implicit.clone());
     {
-        let ctx = TaskCtx {
-            worker: &ws,
-            node: implicit,
-            _env: PhantomData,
-        };
-        f(&ctx);
+        // Contain panics escaping the implicit-task body: the thread must
+        // still reach the implicit barrier (other threads wait for its
+        // arrival, and the barrier drains this thread's queued tasks —
+        // the guarantee the closure lifetime erasure in `raw.rs` relies
+        // on) and must still return its hooks to the monitor.
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let ctx = TaskCtx {
+                worker: &ws,
+                node: implicit,
+                _env: PhantomData,
+            };
+            f(&ctx);
+        }));
+        if let Err(payload) = outcome {
+            shared.task_panicked(payload);
+        }
         // Implicit barrier at the end of the parallel region: drains all
-        // deferred tasks — the guarantee the closure lifetime erasure in
-        // `raw.rs` relies on.
+        // deferred tasks.
         ws.barrier(shared.parallel.ibarrier);
     }
     monitor.thread_end(tid, ws.hooks);

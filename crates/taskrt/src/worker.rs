@@ -68,9 +68,17 @@ impl<'s, M: Monitor> WorkerState<'s, M> {
     }
 
     /// Execute one task instance to completion on this thread. Emits
-    /// `task_begin`/`task_end` and the resume `task_switch` for a suspended
-    /// explicit task below it, maintains the current-task pointer, and
-    /// signals completion to the parent.
+    /// `task_begin` and `task_end` (or `task_abort` if the body panics)
+    /// and the resume `task_switch` for a suspended explicit task below
+    /// it, maintains the current-task pointer, and signals completion to
+    /// the parent.
+    ///
+    /// Panic isolation: a panic in the task body is caught here, at the
+    /// task boundary. The instance is recorded as failed on the shared
+    /// state, its completion is still signalled (so the parent's
+    /// `taskwait` and the team barrier counters cannot deadlock), and the
+    /// thread carries on with sibling tasks. The panic payload surfaces
+    /// through [`crate::ParallelOutcome`].
     ///
     /// Does not touch the outstanding-task counter: deferred-task callers
     /// retire it themselves; undeferred tasks were never counted.
@@ -78,15 +86,22 @@ impl<'s, M: Monitor> WorkerState<'s, M> {
         let prev = self.current.replace(raw.node.clone());
         let id = raw.node.id.expect("executing an implicit task");
         self.hooks.task_begin(raw.region, id);
-        {
+        let body = raw.body;
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             let ctx = TaskCtx {
                 worker: self,
                 node: raw.node.clone(),
                 _env: PhantomData,
             };
-            (raw.body)(&ctx);
+            body(&ctx);
+        }));
+        match outcome {
+            Ok(()) => self.hooks.task_end(raw.region, id),
+            Err(payload) => {
+                self.hooks.task_abort(raw.region, id);
+                self.shared.task_panicked(payload);
+            }
         }
-        self.hooks.task_end(raw.region, id);
         raw.node.complete();
         // Resume whatever was suspended below us.
         if let Some(prev_id) = prev.id {

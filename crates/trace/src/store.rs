@@ -16,14 +16,31 @@ const MAGIC: &str = "taskprof-trace v1";
 pub struct ParseError {
     /// 1-based line number.
     pub line: usize,
+    /// 1-based column of the offending token; 0 when the whole line (or
+    /// the file as such) is at fault.
+    pub column: usize,
     /// Explanation.
     pub message: String,
 }
 
 impl std::fmt::Display for ParseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "trace parse error at line {}: {}", self.line, self.message)
+        if self.column > 0 {
+            write!(
+                f,
+                "trace parse error at line {}, column {}: {}",
+                self.line, self.column, self.message
+            )
+        } else {
+            write!(f, "trace parse error at line {}: {}", self.line, self.message)
+        }
     }
+}
+
+/// 1-based column of `tok` within `raw` (`tok` must be a sub-slice of
+/// `raw`, as produced by `split_whitespace`).
+fn col_of(raw: &str, tok: &str) -> usize {
+    tok.as_ptr() as usize - raw.as_ptr() as usize + 1
 }
 
 impl std::error::Error for ParseError {}
@@ -137,24 +154,27 @@ pub fn write_trace(trace: &Trace) -> String {
     out
 }
 
-fn parse_region(line: usize, tok: &str) -> Result<RegionId, ParseError> {
+fn parse_region(line: usize, column: usize, tok: &str) -> Result<RegionId, ParseError> {
     let (ktag, name) = tok.split_once(':').ok_or(ParseError {
         line,
+        column,
         message: format!("malformed region token '{tok}'"),
     })?;
     let kind = kind_from_tag(ktag).ok_or(ParseError {
         line,
+        column,
         message: format!("unknown region kind '{ktag}'"),
     })?;
     Ok(registry().register(&unesc(name), kind, "loaded-trace", 0))
 }
 
-fn parse_task(line: usize, tok: &str) -> Result<TaskId, ParseError> {
+fn parse_task(line: usize, column: usize, tok: &str) -> Result<TaskId, ParseError> {
     tok.parse::<u64>()
         .ok()
         .and_then(TaskId::from_raw)
         .ok_or(ParseError {
             line,
+            column,
             message: format!("bad task id '{tok}'"),
         })
 }
@@ -167,6 +187,7 @@ pub fn read_trace(text: &str) -> Result<Trace, ParseError> {
         other => {
             return Err(ParseError {
                 line: other.map_or(0, |(n, _)| n + 1),
+                column: 0,
                 message: "bad magic".into(),
             })
         }
@@ -178,11 +199,13 @@ pub fn read_trace(text: &str) -> Result<Trace, ParseError> {
             .and_then(|v| v.parse().ok())
             .ok_or(ParseError {
                 line: n + 1,
+                column: 0,
                 message: "expected 'threads <n>'".into(),
             })?,
         None => {
             return Err(ParseError {
                 line: 2,
+                column: 0,
                 message: "missing thread count".into(),
             })
         }
@@ -197,38 +220,52 @@ pub fn read_trace(text: &str) -> Result<Trace, ParseError> {
         let toks: Vec<&str> = raw.split_whitespace().collect();
         let err = |m: &str| ParseError {
             line,
+            column: 0,
+            message: m.to_string(),
+        };
+        let err_at = |tok: &str, m: &str| ParseError {
+            line,
+            column: col_of(raw, tok),
             message: m.to_string(),
         };
         if toks.len() < 3 {
             return Err(err("truncated event line"));
         }
-        let t: u64 = toks[0].parse().map_err(|_| err("bad timestamp"))?;
-        let tid: usize = toks[1].parse().map_err(|_| err("bad tid"))?;
+        let t: u64 = toks[0]
+            .parse()
+            .map_err(|_| err_at(toks[0], "bad timestamp"))?;
+        let tid: usize = toks[1].parse().map_err(|_| err_at(toks[1], "bad tid"))?;
+        let col = |tok: &str| col_of(raw, tok);
         let kind = match (toks[2], &toks[3..]) {
-            ("enter", [r]) => EventKind::Enter(parse_region(line, r)?),
-            ("exit", [r]) => EventKind::Exit(parse_region(line, r)?),
+            ("enter", [r]) => EventKind::Enter(parse_region(line, col(r), r)?),
+            ("exit", [r]) => EventKind::Exit(parse_region(line, col(r), r)?),
             ("create-begin", [c, tr, id]) => EventKind::TaskCreateBegin(
-                parse_region(line, c)?,
-                parse_region(line, tr)?,
-                parse_task(line, id)?,
+                parse_region(line, col(c), c)?,
+                parse_region(line, col(tr), tr)?,
+                parse_task(line, col(id), id)?,
             ),
-            ("create-end", [c, id]) => {
-                EventKind::TaskCreateEnd(parse_region(line, c)?, parse_task(line, id)?)
-            }
-            ("task-begin", [r, id]) => {
-                EventKind::TaskBegin(parse_region(line, r)?, parse_task(line, id)?)
-            }
-            ("task-end", [r, id]) => {
-                EventKind::TaskEnd(parse_region(line, r)?, parse_task(line, id)?)
-            }
+            ("create-end", [c, id]) => EventKind::TaskCreateEnd(
+                parse_region(line, col(c), c)?,
+                parse_task(line, col(id), id)?,
+            ),
+            ("task-begin", [r, id]) => EventKind::TaskBegin(
+                parse_region(line, col(r), r)?,
+                parse_task(line, col(id), id)?,
+            ),
+            ("task-end", [r, id]) => EventKind::TaskEnd(
+                parse_region(line, col(r), r)?,
+                parse_task(line, col(id), id)?,
+            ),
             ("switch", ["implicit"]) => EventKind::TaskSwitch(TaskRef::Implicit),
-            ("switch", [id]) => EventKind::TaskSwitch(TaskRef::Explicit(parse_task(line, id)?)),
+            ("switch", [id]) => {
+                EventKind::TaskSwitch(TaskRef::Explicit(parse_task(line, col(id), id)?))
+            }
             ("param-begin", [p, v]) => EventKind::ParamBegin(
                 reg.register_param(&unesc(p)),
-                v.parse().map_err(|_| err("bad param value"))?,
+                v.parse().map_err(|_| err_at(v, "bad param value"))?,
             ),
             ("param-end", [p]) => EventKind::ParamEnd(reg.register_param(&unesc(p))),
-            _ => return Err(err("unknown event")),
+            _ => return Err(err_at(toks[2], "unknown event")),
         };
         events.push(TraceEvent { t, tid, kind });
     }
@@ -311,5 +348,21 @@ mod tests {
         assert!(read_trace("taskprof-trace v1\nthreads nope").is_err());
         assert!(read_trace("taskprof-trace v1\nthreads 1\n5 0 frobnicate x").is_err());
         assert!(read_trace("taskprof-trace v1\nthreads 1\n5 0 enter notakind:x").is_err());
+    }
+
+    #[test]
+    fn errors_carry_position_context() {
+        let e = read_trace("taskprof-trace v1\nthreads 1\n5 0 enter notakind:x").unwrap_err();
+        assert_eq!(e.line, 3);
+        assert_eq!(e.column, 11, "column of the offending region token");
+        let shown = e.to_string();
+        assert!(shown.contains("line 3"), "{shown}");
+        assert!(shown.contains("column 11"), "{shown}");
+
+        let e = read_trace("taskprof-trace v1\nthreads 1\nbogus 0 enter user:x").unwrap_err();
+        assert_eq!((e.line, e.column), (3, 1), "bad timestamp at column 1");
+
+        let e = read_trace("taskprof-trace v1\nthreads 1\n5 0 task-end user:x 0").unwrap_err();
+        assert_eq!((e.line, e.column), (3, 21), "task id 0 is invalid");
     }
 }

@@ -80,7 +80,7 @@ fn main() {
     }
     for (name, monitor) in [
         ("unlimited", ProfMonitor::new()),
-        ("depth ≤ 8", ProfMonitor::new().with_max_depth(8)),
+        ("depth ≤ 8", ProfMonitor::new().with_max_depth(8).expect("configured before any region")),
     ] {
         taskrt::Team::new(1).parallel(&monitor, &par, |ctx| {
             ctx.single(&single, |ctx| deep(ctx, level, 500));

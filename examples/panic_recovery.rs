@@ -1,0 +1,88 @@
+//! Panic recovery: one task in a fan-out fails, the measurement run
+//! survives and reports it.
+//!
+//! ```text
+//! cargo run --release --example panic_recovery
+//! ```
+//!
+//! Demonstrates the fault-tolerance stack end to end: the runtime
+//! contains the panic at the task boundary (`ParallelOutcome`), the
+//! profiler tags the aborted instance but keeps its observed time, and
+//! the renderer surfaces the aborted count alongside the ordinary
+//! statistics. With `ValidatingMonitor` in front, a clean run also
+//! demonstrates zero stream diagnostics.
+//!
+//! (The panic backtrace on stderr is the standard panic hook firing
+//! before the runtime contains the unwind — exactly what a real
+//! application would log.)
+
+use cube::{render_profile, AggProfile, RenderOpts};
+use pomp::ValidatingMonitor;
+use std::sync::atomic::{AtomicU64, Ordering};
+use taskprof::ProfMonitor;
+use taskrt::{taskwait_region, ParallelConstruct, SingleConstruct, TaskConstruct, Team};
+
+fn busy_work(units: u64) -> u64 {
+    let mut acc = 0u64;
+    for i in 0..units * 1000 {
+        acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+    }
+    std::hint::black_box(acc)
+}
+
+fn main() {
+    let par = ParallelConstruct::new("recovery");
+    let single = SingleConstruct::new("recovery!single");
+    let work = TaskConstruct::new("work");
+    let tw = taskwait_region("recovery!taskwait");
+
+    // The validator sits between runtime and profiler; on this correct
+    // runtime it stays silent, but it would shield the profiler from a
+    // buggy instrumentation layer.
+    let monitor = ValidatingMonitor::new(ProfMonitor::new());
+    let done = AtomicU64::new(0);
+    let done = &done;
+
+    let outcome = Team::new(4).parallel(&monitor, &par, |ctx| {
+        ctx.single(&single, |ctx| {
+            for i in 0..32u64 {
+                ctx.task(&work, move |_| {
+                    busy_work(20 + i);
+                    // One instance hits a bug...
+                    assert!(i != 13, "task {i} tripped an internal assertion");
+                    done.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+            ctx.taskwait(tw); // ...yet this never deadlocks.
+        });
+    });
+
+    // 1. The runtime reports the failure without losing the region.
+    println!("parallel region completed: ok = {}", outcome.is_ok());
+    println!("failed task instances:     {}", outcome.failed_tasks());
+    if let Some(msg) = outcome.panic_message() {
+        println!("first panic:               {msg}");
+    }
+    println!(
+        "healthy siblings finished: {}/31\n",
+        done.load(Ordering::Relaxed)
+    );
+
+    // 2. The profile still exists; the aborted instance is tagged, its
+    //    time up to the panic retained ("aborted 1" on the task tree).
+    let profile = monitor.inner().take_profile();
+    let agg = AggProfile::from_profile(&profile);
+    println!("{}", render_profile(&agg, &RenderOpts::default()));
+
+    // 3. The stream validator saw a perfectly formed event stream: the
+    //    runtime converts the panic into a legal task_abort event.
+    let diags = monitor.take_diagnostics();
+    println!("stream diagnostics: {}", diags.len());
+    for d in &diags {
+        println!("  {d}");
+    }
+
+    assert!(!outcome.is_ok() && outcome.failed_tasks() == 1);
+    assert_eq!(profile.aborted_instances(), 1);
+    assert!(diags.is_empty());
+}

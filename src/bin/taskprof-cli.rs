@@ -162,7 +162,10 @@ fn cmd_run(args: &[String]) {
         }
     }
     if let Some(path) = save {
-        std::fs::write(&path, write_profile(&profile)).expect("write profile");
+        if let Err(e) = std::fs::write(&path, write_profile(&profile)) {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        }
         println!("profile saved to {path}");
     }
 }

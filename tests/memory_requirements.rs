@@ -122,7 +122,7 @@ fn depth_limit_caps_profile_size_on_deep_recursion() {
     assert!(out.verified);
     let p_unlimited = unlimited.take_profile();
 
-    let limited = ProfMonitor::new().with_max_depth(2);
+    let limited = ProfMonitor::new().with_max_depth(2).expect("configured before any region");
     let out = run_app(AppId::Fib, &limited, &RunOpts::new(1).scale(Scale::Test));
     assert!(out.verified, "depth limit must not affect program results");
     let p_limited = limited.take_profile();

@@ -1,0 +1,231 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the subset of the API the bench harness uses: `Criterion`
+//! with builder-style configuration, `bench_function`, benchmark groups,
+//! `Bencher::iter`, and the `criterion_group!`/`criterion_main!` macros.
+//! Instead of criterion's statistical analysis it runs each routine for
+//! the configured measurement window and prints the mean iteration time —
+//! enough to compare runs by eye in an environment without registry
+//! access.
+
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver.
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 100,
+            measurement_time: Duration::from_secs(1),
+            warm_up_time: Duration::from_millis(200),
+        }
+    }
+}
+
+impl Criterion {
+    /// Samples per benchmark (builder style).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Measurement window per benchmark (builder style).
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Warm-up window per benchmark (builder style).
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Run one benchmark routine and report its mean iteration time.
+    pub fn bench_function<F>(&mut self, id: impl AsRef<str>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            warm_up: self.warm_up_time,
+            measure: self.measurement_time,
+            samples: self.sample_size,
+            total: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut b);
+        b.report(id.as_ref());
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl AsRef<str>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.as_ref().to_string(),
+            sample_size: None,
+            measurement_time: None,
+            warm_up_time: None,
+        }
+    }
+
+    /// No-op hook for API parity.
+    pub fn final_summary(&mut self) {}
+}
+
+/// A named set of benchmarks sharing configuration overrides.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+    measurement_time: Option<Duration>,
+    warm_up_time: Option<Duration>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Override samples per benchmark within this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(1));
+        self
+    }
+
+    /// Override the measurement window within this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = Some(d);
+        self
+    }
+
+    /// Override the warm-up window within this group.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = Some(d);
+        self
+    }
+
+    /// Run one benchmark routine within the group.
+    pub fn bench_function<F>(&mut self, id: impl AsRef<str>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            warm_up: self.warm_up_time.unwrap_or(self.criterion.warm_up_time),
+            measure: self
+                .measurement_time
+                .unwrap_or(self.criterion.measurement_time),
+            samples: self.sample_size.unwrap_or(self.criterion.sample_size),
+            total: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut b);
+        b.report(&format!("{}/{}", self.name, id.as_ref()));
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+/// Timer handed to each benchmark routine.
+pub struct Bencher {
+    warm_up: Duration,
+    measure: Duration,
+    samples: usize,
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Time `routine`, first warming up, then iterating until the
+    /// measurement window (bounded by the sample count) is exhausted.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        let warm_end = Instant::now() + self.warm_up;
+        while Instant::now() < warm_end {
+            std::hint::black_box(routine());
+        }
+        let start = Instant::now();
+        let deadline = start + self.measure;
+        let mut iters = 0u64;
+        // At least `samples` iterations even if the window is tiny.
+        while iters < self.samples as u64 || Instant::now() < deadline {
+            std::hint::black_box(routine());
+            iters += 1;
+            if iters >= self.samples as u64 && Instant::now() >= deadline {
+                break;
+            }
+        }
+        self.total = start.elapsed();
+        self.iters = iters;
+    }
+
+    fn report(&self, id: &str) {
+        if self.iters == 0 {
+            println!("{id:<48} (no measurement)");
+        } else {
+            let mean = self.total.as_nanos() as f64 / self.iters as f64;
+            println!("{id:<48} mean {mean:>12.1} ns/iter ({} iters)", self.iters);
+        }
+    }
+}
+
+/// Prevent the optimizer from discarding a value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Entry point running one or more groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(c: &mut Criterion) {
+        c.bench_function("tiny", |b| b.iter(|| 1 + 1));
+    }
+
+    #[test]
+    fn group_and_function_run() {
+        let mut c = Criterion::default()
+            .sample_size(5)
+            .measurement_time(Duration::from_millis(5))
+            .warm_up_time(Duration::from_millis(1));
+        tiny(&mut c);
+        let mut g = c.benchmark_group("g");
+        g.sample_size(5).measurement_time(Duration::from_millis(5));
+        g.bench_function(format!("inner-{}", 1), |b| b.iter(|| 2 * 2));
+        g.finish();
+    }
+}

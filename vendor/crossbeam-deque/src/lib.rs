@@ -1,0 +1,234 @@
+//! Offline stand-in for the `crossbeam-deque` crate.
+//!
+//! Implements the `Worker` / `Stealer` / `Injector` API the task runtime
+//! uses, backed by mutex-protected `VecDeque`s instead of lock-free
+//! Chase-Lev deques. Correctness (LIFO owner pops, FIFO steals from the
+//! opposite end, batch transfer from the injector) is preserved; the
+//! lock-free performance characteristics are not, which is acceptable for
+//! an offline build where the alternative is not compiling at all.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+/// Result of a steal attempt.
+pub enum Steal<T> {
+    /// The queue was empty.
+    Empty,
+    /// One item was stolen.
+    Success(T),
+    /// A race was lost; retrying may succeed. (The locked implementation
+    /// never produces this, but callers match on it.)
+    Retry,
+}
+
+impl<T> Steal<T> {
+    /// Whether the queue was observed empty.
+    pub fn is_empty(&self) -> bool {
+        matches!(self, Steal::Empty)
+    }
+
+    /// The stolen item, if any.
+    pub fn success(self) -> Option<T> {
+        match self {
+            Steal::Success(t) => Some(t),
+            _ => None,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Queue<T>(Mutex<VecDeque<T>>);
+
+impl<T> Queue<T> {
+    fn new() -> Self {
+        Self(Mutex::new(VecDeque::new()))
+    }
+
+    fn guard(&self) -> MutexGuard<'_, VecDeque<T>> {
+        self.0.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// The owning end of a work-stealing deque.
+#[derive(Debug)]
+pub struct Worker<T> {
+    q: Arc<Queue<T>>,
+    lifo: bool,
+}
+
+impl<T> Worker<T> {
+    /// New deque whose owner pops most-recently-pushed first.
+    pub fn new_lifo() -> Self {
+        Self {
+            q: Arc::new(Queue::new()),
+            lifo: true,
+        }
+    }
+
+    /// New deque whose owner pops in push order.
+    pub fn new_fifo() -> Self {
+        Self {
+            q: Arc::new(Queue::new()),
+            lifo: false,
+        }
+    }
+
+    /// Push onto the owner's end.
+    pub fn push(&self, task: T) {
+        self.q.guard().push_back(task);
+    }
+
+    /// Pop from the owner's end.
+    pub fn pop(&self) -> Option<T> {
+        let mut q = self.q.guard();
+        if self.lifo {
+            q.pop_back()
+        } else {
+            q.pop_front()
+        }
+    }
+
+    /// A handle other threads can steal through.
+    pub fn stealer(&self) -> Stealer<T> {
+        Stealer { q: self.q.clone() }
+    }
+
+    /// Whether the deque is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.q.guard().is_empty()
+    }
+
+    /// Number of queued items.
+    pub fn len(&self) -> usize {
+        self.q.guard().len()
+    }
+}
+
+/// Stealing handle of a [`Worker`] deque; steals oldest-first.
+#[derive(Debug)]
+pub struct Stealer<T> {
+    q: Arc<Queue<T>>,
+}
+
+impl<T> Clone for Stealer<T> {
+    fn clone(&self) -> Self {
+        Self { q: self.q.clone() }
+    }
+}
+
+impl<T> Stealer<T> {
+    /// Steal one item from the cold end of the deque.
+    pub fn steal(&self) -> Steal<T> {
+        match self.q.guard().pop_front() {
+            Some(t) => Steal::Success(t),
+            None => Steal::Empty,
+        }
+    }
+
+    /// Whether the deque is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.q.guard().is_empty()
+    }
+}
+
+/// A FIFO queue shared by a whole thread team.
+#[derive(Debug)]
+pub struct Injector<T> {
+    q: Queue<T>,
+}
+
+impl<T> Default for Injector<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Injector<T> {
+    /// Empty injector.
+    pub fn new() -> Self {
+        Self { q: Queue::new() }
+    }
+
+    /// Enqueue an item.
+    pub fn push(&self, task: T) {
+        self.q.guard().push_back(task);
+    }
+
+    /// Steal one item.
+    pub fn steal(&self) -> Steal<T> {
+        match self.q.guard().pop_front() {
+            Some(t) => Steal::Success(t),
+            None => Steal::Empty,
+        }
+    }
+
+    /// Steal a batch into `dest`, returning one additional item directly.
+    /// Lock order is always injector → worker, so the two mutexes cannot
+    /// deadlock against each other.
+    pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
+        let mut q = self.q.guard();
+        let Some(first) = q.pop_front() else {
+            return Steal::Empty;
+        };
+        let batch = (q.len() / 2).min(16);
+        if batch > 0 {
+            let mut d = dest.q.guard();
+            for _ in 0..batch {
+                match q.pop_front() {
+                    Some(t) => d.push_back(t),
+                    None => break,
+                }
+            }
+        }
+        Steal::Success(first)
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.q.guard().is_empty()
+    }
+
+    /// Number of queued items.
+    pub fn len(&self) -> usize {
+        self.q.guard().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifo_owner_fifo_stealer() {
+        let w = Worker::new_lifo();
+        let s = w.stealer();
+        w.push(1);
+        w.push(2);
+        w.push(3);
+        assert!(matches!(s.steal(), Steal::Success(1)));
+        assert_eq!(w.pop(), Some(3));
+        assert_eq!(w.pop(), Some(2));
+        assert!(s.steal().is_empty());
+    }
+
+    #[test]
+    fn injector_batch_transfer() {
+        let inj = Injector::new();
+        for i in 0..10 {
+            inj.push(i);
+        }
+        let w = Worker::new_lifo();
+        let got = inj.steal_batch_and_pop(&w).success();
+        assert_eq!(got, Some(0));
+        // A batch moved over; total items are conserved.
+        let mut seen = vec![0];
+        while let Some(t) = w.pop() {
+            seen.push(t);
+        }
+        while let Steal::Success(t) = inj.steal() {
+            seen.push(t);
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, (0..10).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,74 @@
+//! Offline stand-in for the `crossbeam-utils` crate.
+//!
+//! Only the [`Backoff`] helper is provided — the single item the
+//! workspace imports. Behaviour mirrors the original: exponential
+//! spinning that escalates to yielding the thread.
+
+use std::cell::Cell;
+
+const SPIN_LIMIT: u32 = 6;
+const YIELD_LIMIT: u32 = 10;
+
+/// Exponential backoff for spin loops.
+#[derive(Debug, Default)]
+pub struct Backoff {
+    step: Cell<u32>,
+}
+
+impl Backoff {
+    /// Fresh backoff state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Restart the backoff schedule (progress was made).
+    pub fn reset(&self) {
+        self.step.set(0);
+    }
+
+    /// Busy-spin briefly.
+    pub fn spin(&self) {
+        for _ in 0..1u32 << self.step.get().min(SPIN_LIMIT) {
+            std::hint::spin_loop();
+        }
+        if self.step.get() <= SPIN_LIMIT {
+            self.step.set(self.step.get() + 1);
+        }
+    }
+
+    /// Spin, escalating to yielding the OS thread once spinning has not
+    /// helped for a while.
+    pub fn snooze(&self) {
+        if self.step.get() <= SPIN_LIMIT {
+            for _ in 0..1u32 << self.step.get() {
+                std::hint::spin_loop();
+            }
+        } else {
+            std::thread::yield_now();
+        }
+        if self.step.get() <= YIELD_LIMIT {
+            self.step.set(self.step.get() + 1);
+        }
+    }
+
+    /// Whether blocking (parking) would now be preferable to spinning.
+    pub fn is_completed(&self) -> bool {
+        self.step.get() > YIELD_LIMIT
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_escalates_and_resets() {
+        let b = Backoff::new();
+        for _ in 0..32 {
+            b.snooze();
+        }
+        assert!(b.is_completed());
+        b.reset();
+        assert!(!b.is_completed());
+    }
+}

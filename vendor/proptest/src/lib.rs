@@ -1,0 +1,213 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no registry access, so the workspace vendors
+//! a small but faithful subset of proptest's API: the `proptest!` macro,
+//! `Strategy` with `prop_map` / `prop_recursive` / `boxed`, `prop_oneof!`,
+//! `Just`, `any::<T>()`, integer/float range strategies, a `.{m,n}`-style
+//! string strategy, `prop::collection::vec`, and the `prop_assert*`
+//! macros. Test cases are generated from a freshly seeded deterministic
+//! PRNG each run; failures report the failing input (and the seed) but are
+//! **not shrunk** — acceptable for an offline gate whose job is to catch
+//! violations at all.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod prelude;
+pub mod strategy;
+pub mod test_runner;
+
+pub use crate::strategy::Strategy;
+
+/// Assert a boolean condition inside a `proptest!` body, failing the case
+/// (rather than panicking) when it does not hold.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                concat!("assertion failed: ", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Assert equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if !(*left == *right) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    concat!(
+                        "assertion failed: `",
+                        stringify!($left),
+                        " == ",
+                        stringify!($right),
+                        "`: {:?} != {:?}"
+                    ),
+                    left, right
+                ),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        if !(*left == *right) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("{} ({:?} != {:?})", format!($($fmt)+), left, right),
+            ));
+        }
+    }};
+}
+
+/// Assert inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if *left == *right {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    concat!(
+                        "assertion failed: `",
+                        stringify!($left),
+                        " != ",
+                        stringify!($right),
+                        "`: both are {:?}"
+                    ),
+                    left
+                ),
+            ));
+        }
+    }};
+}
+
+/// Choose uniformly between several strategies producing the same value
+/// type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// Define property tests. Mirrors proptest's macro: an optional
+/// `#![proptest_config(...)]` inner attribute, then `fn name(pat in
+/// strategy, ...) { body }` items, each expanded into a `#[test]`-capable
+/// function that runs the body over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($config) $($rest)*);
+    };
+    (@with_config ($config:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strategy:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut runner = $crate::test_runner::TestRunner::new($config);
+                let strategy = ($($strategy,)+);
+                let outcome = runner.run(&strategy, |($($arg,)+)| {
+                    $body
+                    ::core::result::Result::Ok(())
+                });
+                if let ::core::result::Result::Err(message) = outcome {
+                    panic!("{}", message);
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(
+            @with_config ($crate::test_runner::Config::default()) $($rest)*
+        );
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_respect_bounds(x in -50i32..50, y in 1usize..9, f in 0.0f64..1.0) {
+            prop_assert!((-50..50).contains(&x));
+            prop_assert!((1..9).contains(&y));
+            prop_assert!((0.0..1.0).contains(&f));
+        }
+
+        #[test]
+        fn vec_sizes_respect_range(v in prop::collection::vec(any::<u8>(), 2..5)) {
+            prop_assert!(v.len() >= 2 && v.len() < 5);
+        }
+
+        #[test]
+        fn fixed_size_vec(v in prop::collection::vec(any::<bool>(), 4)) {
+            prop_assert_eq!(v.len(), 4);
+        }
+
+        #[test]
+        fn string_pattern_len(s in ".{0,40}") {
+            prop_assert!(s.chars().count() <= 40);
+        }
+
+        #[test]
+        fn map_and_oneof(v in prop_oneof![Just(1u8), any::<u8>().prop_map(|x| x / 2)]) {
+            prop_assert!(v == 1 || v <= 127);
+        }
+    }
+
+    #[derive(Clone, Debug)]
+    #[allow(dead_code)] // leaf payload only exercises prop_map construction
+    enum Tree {
+        Leaf(u8),
+        Node(Vec<Tree>),
+    }
+
+    fn depth(t: &Tree) -> u32 {
+        match t {
+            Tree::Leaf(_) => 1,
+            Tree::Node(children) => 1 + children.iter().map(depth).max().unwrap_or(0),
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn recursive_strategies_terminate(
+            t in any::<u8>().prop_map(Tree::Leaf).prop_recursive(4, 24, 3, |inner| {
+                prop::collection::vec(inner, 0..3).prop_map(Tree::Node)
+            })
+        ) {
+            prop_assert!(depth(&t) <= 6);
+        }
+    }
+
+    #[test]
+    fn failing_property_reports_input() {
+        let mut runner =
+            crate::test_runner::TestRunner::new(crate::test_runner::Config::with_cases(64));
+        let err = runner
+            .run(&(0u32..100,), |(x,)| {
+                crate::prop_assert!(x < 10, "x too big");
+                Ok(())
+            })
+            .unwrap_err();
+        assert!(err.contains("x too big"), "unexpected message: {err}");
+    }
+}

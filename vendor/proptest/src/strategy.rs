@@ -1,0 +1,329 @@
+//! The [`Strategy`] trait and the core combinators.
+
+use crate::test_runner::TestRng;
+use std::fmt;
+use std::rc::Rc;
+
+/// A recipe for generating values of one type.
+///
+/// Unlike real proptest there is no value tree / shrinking: `generate`
+/// directly produces a value from the RNG.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value: fmt::Debug;
+
+    /// Produce one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with a function.
+    fn prop_map<O, F>(self, map: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        O: fmt::Debug,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { source: self, map }
+    }
+
+    /// Type-erase this strategy behind a cloneable handle.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(move |rng| self.generate(rng)))
+    }
+
+    /// Build a recursive strategy: `self` is the leaf case and `recurse`
+    /// wraps an inner strategy into a branch case. `depth` bounds the
+    /// nesting; the size-tuning parameters of the real crate are accepted
+    /// but unused.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+    {
+        let leaf = self.boxed();
+        let mut current = leaf.clone();
+        for _ in 0..depth {
+            let branch = recurse(current).boxed();
+            // Branch twice as likely as bottoming out early, like the
+            // real crate's default weighting.
+            current = Union::new(vec![leaf.clone(), branch.clone(), branch]).boxed();
+        }
+        current
+    }
+}
+
+/// Strategy of [`Strategy::prop_map`].
+#[derive(Clone, Debug)]
+pub struct Map<S, F> {
+    source: S,
+    map: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    O: fmt::Debug,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.map)(self.source.generate(rng))
+    }
+}
+
+/// Strategy producing one fixed value.
+#[derive(Clone, Copy, Debug)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// A type-erased, cheaply cloneable strategy handle.
+pub struct BoxedStrategy<T>(Rc<dyn Fn(&mut TestRng) -> T>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        Self(self.0.clone())
+    }
+}
+
+impl<T> fmt::Debug for BoxedStrategy<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("BoxedStrategy")
+    }
+}
+
+impl<T: fmt::Debug> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// Uniform choice between several strategies of one value type (the
+/// expansion of `prop_oneof!`).
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Clone for Union<T> {
+    fn clone(&self) -> Self {
+        Self {
+            options: self.options.clone(),
+        }
+    }
+}
+
+impl<T> fmt::Debug for Union<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Union({} options)", self.options.len())
+    }
+}
+
+impl<T> Union<T> {
+    /// Union over a non-empty list of options.
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Self { options }
+    }
+}
+
+impl<T: fmt::Debug> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let idx = rng.below(self.options.len() as u64) as usize;
+        self.options[idx].generate(rng)
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),+) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let lo = self.start as i128;
+                let span = (self.end as i128 - lo) as u128;
+                let off = (rng.next_u64() as u128) % span;
+                (lo + off as i128) as $t
+            }
+        }
+
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start() <= self.end(), "empty range strategy");
+                let lo = *self.start() as i128;
+                let span = (*self.end() as i128 - lo) as u128 + 1;
+                let off = (rng.next_u64() as u128) % span;
+                (lo + off as i128) as $t
+            }
+        }
+    )+};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + (self.end - self.start) * rng.unit_f64()
+    }
+}
+
+impl Strategy for std::ops::Range<f32> {
+    type Value = f32;
+
+    fn generate(&self, rng: &mut TestRng) -> f32 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + (self.end - self.start) * rng.unit_f64() as f32
+    }
+}
+
+/// String strategy from a regex-like pattern.
+///
+/// Supported shapes: `.` (any non-newline char), `[a-z0-9_]`-style
+/// classes, each optionally followed by `{m,n}`, `{m,}`, `{n}`, `*` or
+/// `+`. Anything else is emitted literally — enough for the patterns the
+/// workspace tests use, without a regex engine.
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        generate_pattern(self, rng)
+    }
+}
+
+fn generate_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let (class, rest) = match pattern.as_bytes() {
+        [b'.', ..] => (CharClass::Any, &pattern[1..]),
+        [b'[', ..] => match pattern[1..].find(']') {
+            Some(end) => (
+                CharClass::Set(&pattern[1..1 + end]),
+                &pattern[end + 2..],
+            ),
+            None => return pattern.to_string(),
+        },
+        _ => return pattern.to_string(),
+    };
+    let (min, max) = match parse_quantifier(rest) {
+        Some(bounds) => bounds,
+        None => return pattern.to_string(),
+    };
+    let len = min + rng.below((max - min + 1) as u64) as usize;
+    (0..len).map(|_| class.sample(rng)).collect()
+}
+
+enum CharClass<'a> {
+    Any,
+    Set(&'a str),
+}
+
+impl CharClass<'_> {
+    fn sample(&self, rng: &mut TestRng) -> char {
+        match self {
+            CharClass::Any => {
+                // Mostly printable ASCII, with occasional tabs and
+                // multi-byte characters to stress parsers; never '\n'
+                // (regex `.` excludes it).
+                match rng.below(20) {
+                    0 => ['\t', '\u{7f}', 'é', 'λ', '中', '🦀'][rng.below(6) as usize],
+                    _ => (0x20 + rng.below(0x5f) as u8) as char,
+                }
+            }
+            CharClass::Set(spec) => {
+                let mut choices: Vec<char> = Vec::new();
+                let chars: Vec<char> = spec.chars().collect();
+                let mut i = 0;
+                while i < chars.len() {
+                    if i + 2 < chars.len() && chars[i + 1] == '-' {
+                        let (lo, hi) = (chars[i] as u32, chars[i + 2] as u32);
+                        for c in lo..=hi {
+                            if let Some(c) = char::from_u32(c) {
+                                choices.push(c);
+                            }
+                        }
+                        i += 3;
+                    } else {
+                        choices.push(chars[i]);
+                        i += 1;
+                    }
+                }
+                if choices.is_empty() {
+                    'x'
+                } else {
+                    choices[rng.below(choices.len() as u64) as usize]
+                }
+            }
+        }
+    }
+}
+
+fn parse_quantifier(rest: &str) -> Option<(usize, usize)> {
+    match rest {
+        "" => Some((1, 1)),
+        "*" => Some((0, 32)),
+        "+" => Some((1, 32)),
+        _ => {
+            let inner = rest.strip_prefix('{')?.strip_suffix('}')?;
+            match inner.split_once(',') {
+                Some((lo, "")) => {
+                    let lo: usize = lo.trim().parse().ok()?;
+                    Some((lo, lo + 32))
+                }
+                Some((lo, hi)) => {
+                    let lo: usize = lo.trim().parse().ok()?;
+                    let hi: usize = hi.trim().parse().ok()?;
+                    (lo <= hi).then_some((lo, hi))
+                }
+                None => {
+                    let n: usize = inner.trim().parse().ok()?;
+                    Some((n, n))
+                }
+            }
+        }
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, F);

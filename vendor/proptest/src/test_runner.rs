@@ -1,0 +1,171 @@
+//! Test-case generation driver: configuration, RNG, and the runner.
+
+use crate::strategy::Strategy;
+use std::fmt;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+/// Deterministic split-mix PRNG used for all generation. Seeded once per
+/// runner; printing the seed on failure makes a run reproducible via the
+/// `PROPTEST_SEED` environment variable.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// RNG from an explicit seed.
+    pub fn from_seed(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Next raw 64-bit value (splitmix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `0..n` (`0` when `n == 0`).
+    pub fn below(&mut self, n: u64) -> u64 {
+        if n == 0 {
+            0
+        } else {
+            self.next_u64() % n
+        }
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Runner configuration. Re-exported from the prelude as `ProptestConfig`
+/// to match the real crate.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl Config {
+    /// Configuration running `cases` generated inputs per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(256);
+        Self { cases }
+    }
+}
+
+/// Why a single test case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The property was violated.
+    Fail(String),
+    /// The input was rejected (does not count as a failure).
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A failed case with the given message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError::Fail(message.into())
+    }
+
+    /// A rejected (skipped) case with the given reason.
+    pub fn reject(reason: impl Into<String>) -> Self {
+        TestCaseError::Reject(reason.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "test case failed: {m}"),
+            TestCaseError::Reject(m) => write!(f, "test case rejected: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// Result type of one generated test case.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Drives a property over `config.cases` generated inputs.
+pub struct TestRunner {
+    config: Config,
+    rng: TestRng,
+    seed: u64,
+}
+
+impl TestRunner {
+    /// Runner with a fresh random seed (overridable via `PROPTEST_SEED`).
+    pub fn new(config: Config) -> Self {
+        let seed = match std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+        {
+            Some(s) => s,
+            None => {
+                use std::hash::{BuildHasher, Hasher};
+                std::collections::hash_map::RandomState::new()
+                    .build_hasher()
+                    .finish()
+            }
+        };
+        Self {
+            config,
+            rng: TestRng::from_seed(seed),
+            seed,
+        }
+    }
+
+    /// Run `test` against generated inputs. Returns `Err` with a
+    /// human-readable report (failing input + seed) on the first
+    /// violation; panics inside the property are reported then propagated.
+    pub fn run<S, F>(&mut self, strategy: &S, test: F) -> Result<(), String>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> TestCaseResult,
+    {
+        for case in 0..self.config.cases {
+            let value = strategy.generate(&mut self.rng);
+            let rendered = format!("{value:?}");
+            match catch_unwind(AssertUnwindSafe(|| test(value))) {
+                Ok(Ok(())) => {}
+                Ok(Err(TestCaseError::Reject(_))) => {}
+                Ok(Err(TestCaseError::Fail(message))) => {
+                    return Err(format!(
+                        "proptest: property failed: {message}\n  \
+                         case {case}/{total}, seed {seed} (set PROPTEST_SEED={seed} to replay)\n  \
+                         input: {rendered}",
+                        total = self.config.cases,
+                        seed = self.seed,
+                    ));
+                }
+                Err(payload) => {
+                    eprintln!(
+                        "proptest: property panicked\n  \
+                         case {case}/{total}, seed {seed} (set PROPTEST_SEED={seed} to replay)\n  \
+                         input: {rendered}",
+                        total = self.config.cases,
+                        seed = self.seed,
+                    );
+                    resume_unwind(payload);
+                }
+            }
+        }
+        Ok(())
+    }
+}
