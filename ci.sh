@@ -1,5 +1,7 @@
 #!/bin/bash
-# Minimal CI gate: release build, full test suite, lint-clean clippy.
+# Minimal CI gate: release build, full test suite, lint-clean clippy,
+# and a smoke run of the overhead benchmark (regenerates
+# BENCH_overhead.json, checked in).
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -9,7 +11,12 @@ cargo build --release
 echo "=== tests ==="
 cargo test -q
 
-echo "=== clippy ==="
-cargo clippy -- -D warnings
+echo "=== clippy (workspace, all targets) ==="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "=== overhead bench smoke (test scale) ==="
+BENCH_SCALE="${BENCH_SCALE:-test}" BENCH_REPS="${BENCH_REPS:-1}" \
+    cargo run --release -p bench --bin overhead_json -- /tmp/BENCH_overhead.smoke.json
+echo "(full run: BENCH_SCALE=small cargo run --release -p bench --bin overhead_json)"
 
 echo "CI_OK"

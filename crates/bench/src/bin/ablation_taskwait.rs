@@ -11,18 +11,20 @@
 
 use bots::nqueens::{self};
 use cube::AggProfile;
-use pomp::Monitor;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 use taskprof::ProfMonitor;
-use taskrt::Team;
+use taskprof_session::{MeasurementSession, SessionBuilder};
 
-fn run_nqueens<M: Monitor>(team: &Team, monitor: &M, n: usize) -> (std::time::Duration, u64) {
+fn run_nqueens(
+    session: &MeasurementSession<ProfMonitor>,
+    n: usize,
+) -> (std::time::Duration, u64) {
     let r = nqueens::regions();
     let count = AtomicU64::new(0);
     let count_ref = &count;
     let start = Instant::now();
-    team.parallel(monitor, &r.par, |ctx| {
+    session.run_in(&r.par, |ctx| {
         ctx.single(&r.single, |ctx| {
             // Reuse the library's task recursion through the public API.
             nqueens_spawn(ctx, n, 0, vec![0; n], count_ref);
@@ -31,7 +33,7 @@ fn run_nqueens<M: Monitor>(team: &Team, monitor: &M, n: usize) -> (std::time::Du
     (start.elapsed(), count.load(Ordering::Relaxed))
 }
 
-fn nqueens_spawn<'e, M: Monitor>(
+fn nqueens_spawn<'e, M: pomp::Monitor>(
     ctx: &taskrt::TaskCtx<'_, 'e, M>,
     n: usize,
     row: usize,
@@ -62,14 +64,20 @@ fn main() {
     println!("== Ablation — tied-task scheduling constraint at taskwait ==\n");
     let n = 9;
     let threads = 4;
-    for (label, team) in [
-        ("descendants-only (tied TSC, default)", Team::new(threads)),
-        ("unrestricted (constraint dropped)", Team::new(threads).unrestricted_taskwait()),
-    ] {
-        let monitor = ProfMonitor::new();
-        let (kernel, solutions) = run_nqueens(&team, &monitor, n);
+    type Shape = fn(SessionBuilder) -> SessionBuilder;
+    let builders: [(&str, Shape); 2] = [
+        ("descendants-only (tied TSC, default)", |b| b),
+        ("unrestricted (constraint dropped)", |b| {
+            b.unrestricted_taskwait()
+        }),
+    ];
+    for (label, shape) in builders {
+        let session = shape(MeasurementSession::builder("nqueens-ablation").threads(threads))
+            .build()
+            .expect("default session configuration is valid");
+        let (kernel, solutions) = run_nqueens(&session, n);
         assert_eq!(solutions, nqueens::expected_solutions(n));
-        let prof = AggProfile::from_profile(&monitor.take_profile());
+        let prof = AggProfile::from_profile(&session.finish().profile);
         println!("{label}:");
         println!("  kernel                        : {kernel:?}");
         println!(

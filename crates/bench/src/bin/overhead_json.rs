@@ -1,0 +1,403 @@
+//! Regenerate `BENCH_overhead.json`: per-event instrumentation overhead on
+//! the BOTS fib/nqueens/sort kernels, before (legacy shared-`Arc` + mutex
+//! merge) vs. after (sharded lock-free fast path behind
+//! `MeasurementSession`).
+//!
+//! ```text
+//! cargo run --release -p bench --bin overhead_json [-- <output-path>]
+//! ```
+//!
+//! Knobs: `BENCH_SCALE` (default small), `BENCH_THREADS` (first entry > 1
+//! is used; default 4), `BENCH_REPS` (default 3; minimum time is kept).
+
+use bench::legacy::LegacyProfMonitor;
+use bench::{
+    count_events, fmt_pct, fmt_secs, legacy_instrumented_time, overhead_pct, print_table,
+    uninstrumented_time, Config,
+};
+use bots::{run_app, AppId, RunOpts, Scale, Variant};
+use cube::AggProfile;
+use pomp::{Monitor, RegionKind, TaskIdAllocator, ThreadHooks};
+use std::time::{Duration, Instant};
+use taskprof::ProfMonitor;
+use taskprof_session::MeasurementSession;
+
+/// The paper's overhead kernels (Figs. 13-14 subset used for the
+/// perf-trajectory baseline).
+const APPS: [AppId; 3] = [AppId::Fib, AppId::Nqueens, AppId::Sort];
+
+struct Row {
+    app: &'static str,
+    base: Duration,
+    legacy: Duration,
+    session: Duration,
+    events: u64,
+}
+
+impl Row {
+    fn per_event_ns(&self, instr: Duration) -> f64 {
+        if self.events == 0 {
+            return 0.0;
+        }
+        (instr.as_nanos() as f64 - self.base.as_nanos() as f64).max(0.0) / self.events as f64
+    }
+}
+
+/// Minimum kernel time over `reps` runs under the sharded session path.
+fn session_time(app: AppId, threads: usize, scale: Scale, variant: Variant, reps: usize) -> Duration {
+    let opts = RunOpts::new(threads).scale(scale).variant(variant);
+    (0..reps)
+        .map(|_| {
+            let session = MeasurementSession::builder("overhead")
+                .threads(threads)
+                .build()
+                .expect("default session configuration is valid");
+            let out = run_app(app, session.monitor(), &opts);
+            assert!(out.verified, "{} failed verification", app.name());
+            let report = session.finish();
+            assert_eq!(report.profile.num_threads(), threads);
+            // Profile must be structurally usable, not just collected.
+            let agg = AggProfile::from_profile(&report.profile);
+            assert!(!agg.task_trees.is_empty(), "{}: no task trees", app.name());
+            out.kernel
+        })
+        .min()
+        .expect("reps >= 1")
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Events emitted per iteration of the steady-state loop (one full task
+/// life cycle executed inline: create begin/end, begin, enter/exit, end).
+const EVENTS_PER_ITER: u64 = 6;
+
+/// One timed chunk of the steady-state loop: full task life cycles driven
+/// straight through the `ThreadHooks` interface.
+fn drive_chunk<T: ThreadHooks>(
+    thread: &T,
+    ids: &TaskIdAllocator,
+    create: pomp::RegionId,
+    task: pomp::RegionId,
+    work: pomp::RegionId,
+    iters: u64,
+) -> Duration {
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        let id = ids.alloc();
+        thread.task_create_begin(create, task, id);
+        thread.task_create_end(create, id);
+        thread.task_begin(task, id);
+        thread.enter(work);
+        thread.exit(work);
+        thread.task_end(task, id);
+    }
+    t0.elapsed()
+}
+
+/// Per-event cost of the two monitors' hot paths, measured directly and
+/// *paired*: one thread, legacy and session chunks interleaved inside a
+/// single run, so CPU frequency drift and timer-interrupt noise hit both
+/// equally instead of landing on whichever happened to run later. This
+/// isolates what the sharding changed — no kernel work, no scheduler
+/// noise.
+fn steady_state_pair<A: Monitor, B: Monitor>(legacy: &A, session: &B, iters: u64) -> (f64, f64) {
+    const CHUNKS: u64 = 20;
+    let par = pomp::region!("ovh!parallel", RegionKind::Parallel);
+    let create = pomp::region!("ovh!create", RegionKind::TaskCreate);
+    let task = pomp::region!("ovh_task", RegionKind::Task);
+    let work = pomp::region!("ovh_work", RegionKind::Function);
+    let ids = TaskIdAllocator::new();
+    let per_chunk = (iters / CHUNKS).max(1);
+
+    legacy.parallel_fork(par, 1);
+    let lt = legacy.thread_begin(0, 1, par);
+    session.parallel_fork(par, 1);
+    let st = session.thread_begin(0, 1, par);
+
+    // Warm both arenas / branch predictors before timing.
+    drive_chunk(&lt, &ids, create, task, work, per_chunk);
+    drive_chunk(&st, &ids, create, task, work, per_chunk);
+
+    let mut legacy_ns = 0u128;
+    let mut session_ns = 0u128;
+    for _ in 0..CHUNKS {
+        legacy_ns += drive_chunk(&lt, &ids, create, task, work, per_chunk).as_nanos();
+        session_ns += drive_chunk(&st, &ids, create, task, work, per_chunk).as_nanos();
+    }
+    legacy.thread_end(0, lt);
+    legacy.parallel_join(par);
+    session.thread_end(0, st);
+    session.parallel_join(par);
+
+    let events = (CHUNKS * per_chunk * EVENTS_PER_ITER) as f64;
+    (legacy_ns as f64 / events, session_ns as f64 / events)
+}
+
+/// Per-region cost of a full measurement cycle — `thread_begin` (arena
+/// setup), a burst of task events, `thread_end` (snapshot hand-off) — on
+/// `nthreads` concurrent threads. This is where arena recycling and the
+/// lock-free merge replace per-region allocation and the mutex.
+fn region_cycle_ns<M: Monitor + Sync>(monitor: &M, regions: u64, nthreads: usize) -> f64 {
+    let par = pomp::region!("ovh!parallel", RegionKind::Parallel);
+    let create = pomp::region!("ovh!create", RegionKind::TaskCreate);
+    let task = pomp::region!("ovh_task", RegionKind::Task);
+    let ids = TaskIdAllocator::new();
+    let ids = &ids;
+
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        for tid in 0..nthreads {
+            s.spawn(move || {
+                for _ in 0..regions {
+                    monitor.parallel_fork(par, nthreads);
+                    let thread = monitor.thread_begin(tid, nthreads, par);
+                    for _ in 0..32 {
+                        let id = ids.alloc();
+                        thread.task_create_begin(create, task, id);
+                        thread.task_create_end(create, id);
+                        thread.task_begin(task, id);
+                        thread.task_end(task, id);
+                    }
+                    monitor.thread_end(tid, thread);
+                    monitor.parallel_join(par);
+                }
+            });
+        }
+    });
+    t0.elapsed().as_nanos() as f64 / (regions * nthreads as u64) as f64
+}
+
+struct MicroResult {
+    legacy: f64,
+    session: f64,
+}
+
+impl MicroResult {
+    fn improvement_pct(&self) -> f64 {
+        if self.legacy > 0.0 {
+            (1.0 - self.session / self.legacy) * 100.0
+        } else {
+            0.0
+        }
+    }
+}
+
+fn run_microbenches(reps: usize) -> (MicroResult, MicroResult, MicroResult) {
+    const ITERS: u64 = 300_000;
+    const REGIONS: u64 = 2_000;
+    const THREADS: usize = 4;
+
+    // Interleave legacy/session rep by rep so drift hits both equally;
+    // keep the minima.
+    let mut steady = MicroResult {
+        legacy: f64::INFINITY,
+        session: f64::INFINITY,
+    };
+    let mut machinery = MicroResult {
+        legacy: f64::INFINITY,
+        session: f64::INFINITY,
+    };
+    let mut cycle = MicroResult {
+        legacy: f64::INFINITY,
+        session: f64::INFINITY,
+    };
+    for _ in 0..reps {
+        let lm = LegacyProfMonitor::new();
+        let sm = ProfMonitor::new();
+        let (l, s) = steady_state_pair(&lm, &sm, ITERS);
+        steady.legacy = steady.legacy.min(l);
+        steady.session = steady.session.min(s);
+        lm.take_profile();
+        sm.take_profile().expect("no region in flight");
+
+        // Same loop under a virtual clock (an atomic load on both sides):
+        // the hardware clock read — identical before and after — stops
+        // masking the machinery the sharding actually changed (shared-Arc
+        // chase + RefCell borrow flag vs. flat reader + plain cell).
+        let lm = LegacyProfMonitor::with_clock(pomp::VirtualClock::new());
+        let sm = ProfMonitor::builder()
+            .clock(pomp::VirtualClock::new())
+            .build()
+            .expect("default limits are valid");
+        let (l, s) = steady_state_pair(&lm, &sm, ITERS);
+        machinery.legacy = machinery.legacy.min(l);
+        machinery.session = machinery.session.min(s);
+        lm.take_profile();
+        sm.take_profile().expect("no region in flight");
+
+        let m = LegacyProfMonitor::new();
+        cycle.legacy = cycle.legacy.min(region_cycle_ns(&m, REGIONS, THREADS));
+        m.take_profile();
+
+        let m = ProfMonitor::new();
+        cycle.session = cycle.session.min(region_cycle_ns(&m, REGIONS, THREADS));
+        m.take_profile().expect("no region in flight");
+    }
+    (steady, machinery, cycle)
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_overhead.json".to_string());
+    let cfg = Config::from_env();
+    let threads = cfg.threads.iter().copied().find(|&t| t > 1).unwrap_or(4);
+    let variant = Variant::NoCutoff;
+
+    println!("== per-event overhead: legacy (pre-sharding) vs. MeasurementSession ==");
+    println!(
+        "   scale={:?} threads={} reps={} variant={:?}",
+        cfg.scale, threads, cfg.reps, variant
+    );
+    println!();
+
+    let mut rows = Vec::new();
+    for app in APPS {
+        // Interleave the three paths rep by rep so drift (thermal, cache,
+        // scheduler) hits all of them equally; keep the minimum of each.
+        let mut base = Duration::MAX;
+        let mut legacy = Duration::MAX;
+        let mut session = Duration::MAX;
+        for _ in 0..cfg.reps {
+            base = base.min(uninstrumented_time(app, threads, cfg.scale, variant, 1));
+            legacy = legacy.min(legacy_instrumented_time(app, threads, cfg.scale, variant, 1));
+            session = session.min(session_time(app, threads, cfg.scale, variant, 1));
+        }
+        let events = count_events(app, threads, cfg.scale, variant);
+        rows.push(Row {
+            app: app.name(),
+            base,
+            legacy,
+            session,
+            events,
+        });
+    }
+
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.app.to_string(),
+                fmt_secs(r.base),
+                fmt_secs(r.legacy),
+                fmt_secs(r.session),
+                fmt_pct(overhead_pct(r.legacy, r.base)),
+                fmt_pct(overhead_pct(r.session, r.base)),
+                format!("{:.1}", r.per_event_ns(r.legacy)),
+                format!("{:.1}", r.per_event_ns(r.session)),
+            ]
+        })
+        .collect();
+    print_table(
+        &[
+            "app", "base s", "legacy s", "session s", "legacy ovh", "session ovh",
+            "legacy ns/ev", "session ns/ev",
+        ],
+        &table,
+    );
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"benchmark\": \"per-event instrumentation overhead, BOTS kernels\",\n");
+    json.push_str(
+        "  \"comparison\": \"legacy = pre-sharding ProfMonitor (shared Arc clock_gettime reads, mutex snapshot merge); session = sharded fast path behind MeasurementSession (per-thread calibrated TSC readers, arena recycling, lock-free snapshot hand-off)\",\n",
+    );
+    json.push_str(&format!(
+        "  \"config\": {{ \"scale\": \"{:?}\", \"threads\": {threads}, \"reps\": {}, \"variant\": \"{variant:?}\" }},\n",
+        cfg.scale, cfg.reps
+    ));
+    json.push_str("  \"apps\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let legacy_pe = r.per_event_ns(r.legacy);
+        let session_pe = r.per_event_ns(r.session);
+        let improvement = if legacy_pe > 0.0 {
+            (1.0 - session_pe / legacy_pe) * 100.0
+        } else {
+            0.0
+        };
+        json.push_str(&format!(
+            "    {{ \"app\": \"{}\", \"events\": {}, \"base_s\": {:.6}, \"legacy_s\": {:.6}, \"session_s\": {:.6}, \"legacy_overhead_pct\": {:.2}, \"session_overhead_pct\": {:.2}, \"legacy_per_event_ns\": {:.2}, \"session_per_event_ns\": {:.2}, \"per_event_improvement_pct\": {:.2} }}{}\n",
+            json_escape(r.app),
+            r.events,
+            r.base.as_secs_f64(),
+            r.legacy.as_secs_f64(),
+            r.session.as_secs_f64(),
+            overhead_pct(r.legacy, r.base),
+            overhead_pct(r.session, r.base),
+            legacy_pe,
+            session_pe,
+            improvement,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+
+    // Events-weighted aggregate over the kernels: total instrumentation
+    // time added over total events. End-to-end numbers carry scheduler /
+    // thermal noise; the microbench sections below are the controlled
+    // measurement of what the sharding changed.
+    let total_events: u64 = rows.iter().map(|r| r.events).sum();
+    let added = |instr: fn(&Row) -> Duration| -> f64 {
+        rows.iter()
+            .map(|r| (instr(r).as_nanos() as f64 - r.base.as_nanos() as f64).max(0.0))
+            .sum::<f64>()
+    };
+    let legacy_agg = added(|r| r.legacy) / total_events.max(1) as f64;
+    let session_agg = added(|r| r.session) / total_events.max(1) as f64;
+    let agg_improvement = if legacy_agg > 0.0 {
+        (1.0 - session_agg / legacy_agg) * 100.0
+    } else {
+        0.0
+    };
+    json.push_str(&format!(
+        "  \"kernel_aggregate\": {{ \"events\": {total_events}, \"legacy_per_event_ns\": {legacy_agg:.2}, \"session_per_event_ns\": {session_agg:.2}, \"per_event_improvement_pct\": {agg_improvement:.2} }},\n"
+    ));
+
+    println!("\n-- hot-path microbenches (direct ThreadHooks driving, min of {} reps) --", cfg.reps);
+    let (steady, machinery, cycle) = run_microbenches(cfg.reps);
+    println!(
+        "  per event (1 thread)     : legacy {:.1} ns -> session {:.1} ns ({:+.1}%)",
+        steady.legacy,
+        steady.session,
+        steady.improvement_pct()
+    );
+    println!(
+        "  machinery (virtual clock): legacy {:.1} ns -> session {:.1} ns ({:+.1}%)",
+        machinery.legacy,
+        machinery.session,
+        machinery.improvement_pct()
+    );
+    println!(
+        "  per region cycle (4 thr) : legacy {:.0} ns -> session {:.0} ns ({:+.1}%)",
+        cycle.legacy,
+        cycle.session,
+        cycle.improvement_pct()
+    );
+    json.push_str(&format!(
+        "  \"per_event\": {{ \"description\": \"steady-state cost of one measurement event, single thread, direct hook loop, monotonic clock\", \"legacy_ns\": {:.2}, \"session_ns\": {:.2}, \"improvement_pct\": {:.2} }},\n",
+        steady.legacy,
+        steady.session,
+        steady.improvement_pct()
+    ));
+    json.push_str(&format!(
+        "  \"per_event_machinery\": {{ \"description\": \"same loop under a virtual clock (an atomic load on both sides, bypassing the TSC reader): the non-clock hook machinery, expected near parity — the per-event win comes from the calibrated clock read, the per-region win from arena recycling and the lock-free hand-off\", \"legacy_ns\": {:.2}, \"session_ns\": {:.2}, \"improvement_pct\": {:.2} }},\n",
+        machinery.legacy,
+        machinery.session,
+        machinery.improvement_pct()
+    ));
+    json.push_str(&format!(
+        "  \"region_cycle\": {{ \"description\": \"thread_begin + 128 task events + thread_end, 4 concurrent threads: arena recycling and lock-free snapshot hand-off vs per-region allocation and mutex merge\", \"legacy_ns\": {:.2}, \"session_ns\": {:.2}, \"improvement_pct\": {:.2} }}\n",
+        cycle.legacy,
+        cycle.session,
+        cycle.improvement_pct()
+    ));
+    json.push_str("}\n");
+
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| {
+        eprintln!("cannot write {out_path}: {e}");
+        std::process::exit(1);
+    });
+    println!("\nwritten to {out_path}");
+}

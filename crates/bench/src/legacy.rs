@@ -1,0 +1,188 @@
+//! The pre-sharding measurement path, preserved as the overhead baseline.
+//!
+//! Before the sharded fast path, every profiling event dereferenced the
+//! monitor's shared `Arc<Inner>` to read the clock, and thread snapshots
+//! were merged under a `Mutex<Vec<ThreadSnapshot>>`. This module keeps
+//! that exact shape (same [`taskprof::ThreadProfile`] algorithm
+//! underneath, same hook surface) so `BENCH_overhead.json` can measure
+//! before vs. after in a single build — the "pre-change baseline measured
+//! in the same PR".
+//!
+//! Do not use this for real measurements; it exists only as the
+//! comparison point.
+
+use parking_lot::Mutex;
+use pomp::{Clock, Monitor, MonotonicClock, ParamId, RegionId, TaskId, TaskRef, ThreadHooks};
+use std::cell::RefCell;
+use std::sync::Arc;
+use taskprof::{AssignPolicy, Profile, ThreadProfile};
+use taskprof::snapshot::ThreadSnapshot;
+
+struct Inner<C: Clock> {
+    clock: C,
+    policy: AssignPolicy,
+    collected: Mutex<Vec<ThreadSnapshot>>,
+}
+
+/// The pre-sharding profiling monitor: shared-`Arc` clock reads on every
+/// event, mutex-guarded snapshot merge at thread end.
+pub struct LegacyProfMonitor<C: Clock = MonotonicClock> {
+    inner: Arc<Inner<C>>,
+}
+
+impl Default for LegacyProfMonitor {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LegacyProfMonitor {
+    /// Monitor with the real monotonic clock and executing attribution.
+    pub fn new() -> Self {
+        Self::with_clock(MonotonicClock::new())
+    }
+}
+
+impl<C: Clock> LegacyProfMonitor<C> {
+    /// Monitor over an arbitrary clock (the overhead microbench swaps in
+    /// a [`pomp::VirtualClock`] to measure hook machinery without the
+    /// hardware clock read dominating both paths).
+    pub fn with_clock(clock: C) -> Self {
+        Self {
+            inner: Arc::new(Inner {
+                clock,
+                policy: AssignPolicy::Executing,
+                collected: Mutex::new(Vec::new()),
+            }),
+        }
+    }
+
+    /// Drain the snapshots collected so far, sorted by thread id.
+    pub fn take_profile(&self) -> Profile {
+        let mut threads = std::mem::take(&mut *self.inner.collected.lock());
+        threads.sort_by_key(|t| t.tid);
+        Profile { threads }
+    }
+}
+
+/// Per-thread hooks of [`LegacyProfMonitor`]: every event chases the
+/// shared `Arc` to read the clock (the steady-state cost the sharded path
+/// removed).
+pub struct LegacyProfThread<C: Clock> {
+    inner: Arc<Inner<C>>,
+    prof: RefCell<ThreadProfile>,
+}
+
+impl<C: Clock> LegacyProfThread<C> {
+    #[inline]
+    fn now(&self) -> u64 {
+        self.inner.clock.now()
+    }
+}
+
+impl<C: Clock> Monitor for LegacyProfMonitor<C> {
+    type Thread = LegacyProfThread<C>;
+
+    fn thread_begin(
+        &self,
+        _tid: usize,
+        _nthreads: usize,
+        region: RegionId,
+    ) -> LegacyProfThread<C> {
+        let t = self.inner.clock.now();
+        let prof = ThreadProfile::new(region, t, self.inner.policy);
+        LegacyProfThread {
+            inner: self.inner.clone(),
+            prof: RefCell::new(prof),
+        }
+    }
+
+    fn thread_end(&self, tid: usize, thread: LegacyProfThread<C>) {
+        let t = self.inner.clock.now();
+        let mut prof = thread.prof.into_inner();
+        prof.finish(t);
+        self.inner.collected.lock().push(prof.snapshot(tid));
+    }
+}
+
+impl<C: Clock> ThreadHooks for LegacyProfThread<C> {
+    #[inline]
+    fn enter(&self, region: RegionId) {
+        let t = self.now();
+        self.prof.borrow_mut().enter(region, t);
+    }
+
+    #[inline]
+    fn exit(&self, region: RegionId) {
+        let t = self.now();
+        self.prof.borrow_mut().exit(region, t);
+    }
+
+    #[inline]
+    fn task_create_begin(&self, create_region: RegionId, task_region: RegionId, new_task: TaskId) {
+        let t = self.now();
+        self.prof
+            .borrow_mut()
+            .task_create_begin(create_region, task_region, new_task, t);
+    }
+
+    #[inline]
+    fn task_create_end(&self, create_region: RegionId, new_task: TaskId) {
+        let t = self.now();
+        self.prof
+            .borrow_mut()
+            .task_create_end(create_region, new_task, t);
+    }
+
+    #[inline]
+    fn task_begin(&self, task_region: RegionId, task: TaskId) {
+        let t = self.now();
+        self.prof.borrow_mut().task_begin(task_region, task, t);
+    }
+
+    #[inline]
+    fn task_end(&self, task_region: RegionId, task: TaskId) {
+        let t = self.now();
+        self.prof.borrow_mut().task_end(task_region, task, t);
+    }
+
+    #[inline]
+    fn task_abort(&self, task_region: RegionId, task: TaskId) {
+        let t = self.now();
+        self.prof.borrow_mut().task_abort(task_region, task, t);
+    }
+
+    #[inline]
+    fn task_switch(&self, resumed: TaskRef) {
+        let t = self.now();
+        self.prof.borrow_mut().task_switch(resumed, t);
+    }
+
+    #[inline]
+    fn parameter_begin(&self, param: ParamId, value: i64) {
+        let t = self.now();
+        self.prof.borrow_mut().parameter_begin(param, value, t);
+    }
+
+    #[inline]
+    fn parameter_end(&self, param: ParamId) {
+        let t = self.now();
+        self.prof.borrow_mut().parameter_end(param, t);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bots::{run_app, AppId, RunOpts, Scale, Variant};
+
+    #[test]
+    fn legacy_monitor_still_measures_correctly() {
+        let monitor = LegacyProfMonitor::new();
+        let opts = RunOpts::new(2).scale(Scale::Test).variant(Variant::Cutoff);
+        let out = run_app(AppId::Fib, &monitor, &opts);
+        assert!(out.verified);
+        let profile = monitor.take_profile();
+        assert_eq!(profile.num_threads(), 2);
+    }
+}

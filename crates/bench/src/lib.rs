@@ -16,11 +16,13 @@
 
 #![warn(missing_docs)]
 
+pub mod legacy;
+
 use bots::{run_app, AppId, Outcome, RunOpts, Scale, Variant};
 use cube::AggProfile;
-use pomp::NullMonitor;
-use taskprof::ProfMonitor;
+use pomp::{CountingMonitor, NullMonitor};
 use std::time::Duration;
+use taskprof_session::MeasurementSession;
 
 /// Parsed environment configuration.
 #[derive(Clone, Debug)]
@@ -93,10 +95,13 @@ pub fn instrumented_time(
     let opts = RunOpts::new(threads).scale(scale).variant(variant);
     let mut best: Option<(Duration, AggProfile)> = None;
     for _ in 0..reps {
-        let monitor = ProfMonitor::new();
-        let out = run_app(app, &monitor, &opts);
+        let session = MeasurementSession::builder("bench")
+            .threads(threads)
+            .build()
+            .expect("default session configuration is valid");
+        let out = run_app(app, session.monitor(), &opts);
         assert!(out.verified, "{} failed verification", app.name());
-        let prof = AggProfile::from_profile(&monitor.take_profile());
+        let prof = AggProfile::from_profile(&session.finish().profile);
         if best.as_ref().is_none_or(|(t, _)| out.kernel < *t) {
             best = Some((out.kernel, prof));
         }
@@ -106,10 +111,47 @@ pub fn instrumented_time(
 
 /// One instrumented run with full options (e.g. depth-parameter runs).
 pub fn instrumented_run(app: AppId, opts: &RunOpts) -> (Outcome, AggProfile) {
-    let monitor = ProfMonitor::new();
-    let out = run_app(app, &monitor, opts);
+    let session = MeasurementSession::builder("bench")
+        .threads(opts.threads)
+        .build()
+        .expect("default session configuration is valid");
+    let out = run_app(app, session.monitor(), opts);
     assert!(out.verified, "{} failed verification", app.name());
-    (out, AggProfile::from_profile(&monitor.take_profile()))
+    (out, AggProfile::from_profile(&session.finish().profile))
+}
+
+/// Minimum kernel time over `reps` runs under the *legacy* (pre-sharding)
+/// measurement path — the before side of the before/after overhead
+/// comparison in `BENCH_overhead.json`.
+pub fn legacy_instrumented_time(
+    app: AppId,
+    threads: usize,
+    scale: Scale,
+    variant: Variant,
+    reps: usize,
+) -> Duration {
+    let opts = RunOpts::new(threads).scale(scale).variant(variant);
+    (0..reps)
+        .map(|_| {
+            let monitor = legacy::LegacyProfMonitor::new();
+            let out = run_app(app, &monitor, &opts);
+            assert!(out.verified, "{} failed verification", app.name());
+            let profile = monitor.take_profile();
+            assert_eq!(profile.num_threads(), threads);
+            out.kernel
+        })
+        .min()
+        .expect("reps >= 1")
+}
+
+/// Count the measurement events one run of `app` emits (event counts are
+/// deterministic per workload, so one counting-only run suffices).
+pub fn count_events(app: AppId, threads: usize, scale: Scale, variant: Variant) -> u64 {
+    let opts = RunOpts::new(threads).scale(scale).variant(variant);
+    let counter = CountingMonitor::new();
+    let out = run_app(app, &counter, &opts);
+    assert!(out.verified, "{} failed verification", app.name());
+    counter.counts().total()
 }
 
 /// Overhead of `instr` relative to `base`, in percent (the quantity of the

@@ -14,7 +14,7 @@
 //! 1.49 µs tasks ⇒ hundreds of %).
 
 use crate::profiler::{AssignPolicy, ThreadProfile};
-use pomp::{Clock, MonotonicClock, RegionId, TaskIdAllocator};
+use pomp::{ClockReader, ClockSource, MonotonicClock, RegionId, TaskIdAllocator};
 
 /// Measured per-event costs, nanoseconds.
 #[derive(Clone, Copy, Debug)]
@@ -43,7 +43,9 @@ impl Calibration {
 
 /// Run the calibration (takes a few milliseconds).
 pub fn calibrate() -> Calibration {
-    let clock = MonotonicClock::new();
+    // Measure through the same per-thread reader the sharded fast path
+    // uses, so the reported costs describe the actual event path.
+    let clock = MonotonicClock::new().thread_reader();
     const N: u64 = 20_000;
 
     // Clock read cost + resolution.

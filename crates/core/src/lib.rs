@@ -44,13 +44,18 @@ pub mod migrate;
 pub mod monitor;
 pub mod profiler;
 pub mod replay;
+pub mod shard;
 pub mod snapshot;
 pub mod tree;
 
 pub use calibrate::{calibrate, Calibration};
 pub use metrics::Stats;
 pub use migrate::DetachedInstance;
-pub use monitor::{ConfigError, ProfMonitor, ProfThread};
+pub use monitor::{
+    ConfigError, ProfMonitor, ProfMonitorBuilder, ProfThread, SessionActiveError,
+    DEFAULT_PREALLOC_NODES,
+};
+pub use shard::HandoffStack;
 pub use profiler::{AssignPolicy, ThreadProfile};
 pub use replay::{replay, Event, Replayer, TeamReplayer};
 pub use snapshot::{Profile, SnapNode, ThreadSnapshot};

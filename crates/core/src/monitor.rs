@@ -3,40 +3,267 @@
 //!
 //! `ProfMonitor` is what you hand to the `taskrt` runtime to get an
 //! *instrumented* run; [`pomp::NullMonitor`] gives the uninstrumented
-//! baseline. After a parallel region completes, [`ProfMonitor::take_profile`]
-//! returns the collected per-thread snapshots.
+//! baseline. Configure one with [`ProfMonitor::builder`]; after the
+//! parallel regions complete, [`ProfMonitor::take_profile`] returns the
+//! collected per-thread snapshots.
+//!
+//! # The sharded fast path
+//!
+//! Every steady-state event (enter/exit/switch/create/param) touches only
+//! the thread's own [`ProfThread`] shard: a cached per-thread clock reader
+//! ([`pomp::ClockSource::thread_reader`]) and a [`ThreadProfile`] whose
+//! arena was preallocated (and is recycled across regions). No lock, no
+//! atomic, no shared `Arc` dereference — and no `RefCell` borrow flag —
+//! is on that path. Cross-thread hand-off happens only at region end
+//! ([`pomp::Monitor::thread_end`]): the finished snapshot is published
+//! with a single CAS push onto a lock-free [`HandoffStack`], and the
+//! shard's arena goes onto a spare pool the next region steals from.
 
 use crate::profiler::{AssignPolicy, ThreadProfile};
+use crate::shard::HandoffStack;
 use crate::snapshot::{Profile, ThreadSnapshot};
-use parking_lot::Mutex;
-use pomp::{Clock, Monitor, MonotonicClock, ParamId, RegionId, TaskId, TaskRef, ThreadHooks};
-use std::cell::RefCell;
+use crate::tree::Arena;
+use pomp::{
+    ClockReader, ClockSource, Monitor, MonotonicClock, ParamId, RegionId, TaskId, TaskRef,
+    ThreadHooks,
+};
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
-/// A [`ProfMonitor`] builder method was called at an invalid time — after
-/// threads had already started using the monitor.
+/// Default preallocated arena slots per thread shard. Sized generously for
+/// BOTS-style call trees (tens of regions × parameter fan-out); a shard
+/// that outgrows it just reallocates once and the larger arena is recycled.
+pub const DEFAULT_PREALLOC_NODES: usize = 256;
+
+/// A [`ProfMonitor`] configuration was rejected, naming the setting and
+/// the reason.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct ConfigError;
+#[non_exhaustive]
+pub enum ConfigError {
+    /// A deprecated post-construction setter (`with_max_depth`/
+    /// `with_max_live_trees`) ran after threads had already started using
+    /// the monitor: the change cannot be applied retroactively.
+    ReconfiguredAfterStart {
+        /// The setting that was being changed.
+        setting: &'static str,
+    },
+    /// A setting's value is invalid regardless of timing.
+    InvalidValue {
+        /// The setting that was rejected.
+        setting: &'static str,
+        /// The rejected value.
+        value: usize,
+        /// Why it is invalid.
+        reason: &'static str,
+    },
+}
+
+impl ConfigError {
+    /// The name of the rejected setting.
+    pub fn setting(&self) -> &'static str {
+        match self {
+            ConfigError::ReconfiguredAfterStart { setting }
+            | ConfigError::InvalidValue { setting, .. } => setting,
+        }
+    }
+}
 
 impl std::fmt::Display for ConfigError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "monitor reconfigured after threads started using it")
+        match self {
+            ConfigError::ReconfiguredAfterStart { setting } => write!(
+                f,
+                "cannot change `{setting}`: monitor reconfigured after threads started using it"
+            ),
+            ConfigError::InvalidValue {
+                setting,
+                value,
+                reason,
+            } => write!(f, "invalid value {value} for `{setting}`: {reason}"),
+        }
     }
 }
 
 impl std::error::Error for ConfigError {}
 
-struct Inner<C> {
+/// [`ProfMonitor::take_profile`] was called while a measurement was still
+/// in progress (threads between `thread_begin` and `thread_end`, or a
+/// parallel region between fork and join). Draining at that point would
+/// silently return a half-merged profile, so it is a typed error instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SessionActiveError {
+    /// Threads currently between `thread_begin` and `thread_end`.
+    pub live_threads: usize,
+    /// Parallel regions currently between fork and join.
+    pub live_regions: usize,
+}
+
+impl std::fmt::Display for SessionActiveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "profile requested mid-measurement: {} live thread(s), {} open parallel region(s)",
+            self.live_threads, self.live_regions
+        )
+    }
+}
+
+impl std::error::Error for SessionActiveError {}
+
+struct Inner<C: ClockSource> {
     clock: C,
     policy: AssignPolicy,
     max_depth: Option<usize>,
     max_live_trees: Option<usize>,
-    collected: Mutex<Vec<ThreadSnapshot>>,
+    prealloc_nodes: usize,
+    /// Completed per-thread snapshots, published lock-free at thread end.
+    collected: HandoffStack<ThreadSnapshot>,
+    /// Recycled arenas: a thread beginning a region steals one instead of
+    /// allocating fresh node storage.
+    spare_arenas: HandoffStack<Arena>,
+    live_threads: AtomicUsize,
+    live_regions: AtomicUsize,
+}
+
+/// Builder for [`ProfMonitor`]: collect every setting, validate once in
+/// [`ProfMonitorBuilder::build`].
+///
+/// ```
+/// use taskprof::{AssignPolicy, ProfMonitor};
+/// let monitor = ProfMonitor::builder()
+///     .policy(AssignPolicy::Executing)
+///     .max_depth(32)
+///     .build()
+///     .unwrap();
+/// # let _ = monitor;
+/// ```
+#[derive(Debug)]
+pub struct ProfMonitorBuilder<C: ClockSource = MonotonicClock> {
+    clock: C,
+    policy: AssignPolicy,
+    max_depth: Option<usize>,
+    max_live_trees: Option<usize>,
+    prealloc_nodes: usize,
+}
+
+impl Default for ProfMonitorBuilder<MonotonicClock> {
+    fn default() -> Self {
+        Self {
+            clock: MonotonicClock::new(),
+            policy: AssignPolicy::Executing,
+            max_depth: None,
+            max_live_trees: None,
+            prealloc_nodes: DEFAULT_PREALLOC_NODES,
+        }
+    }
+}
+
+impl ProfMonitorBuilder<MonotonicClock> {
+    /// Builder with the real monotonic clock, executing-node attribution,
+    /// and no limits.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl<C: ClockSource> ProfMonitorBuilder<C> {
+    /// Measure with `clock` instead of the real monotonic clock (virtual
+    /// clocks for deterministic tests).
+    pub fn clock<C2: ClockSource>(self, clock: C2) -> ProfMonitorBuilder<C2> {
+        ProfMonitorBuilder {
+            clock,
+            policy: self.policy,
+            max_depth: self.max_depth,
+            max_live_trees: self.max_live_trees,
+            prealloc_nodes: self.prealloc_nodes,
+        }
+    }
+
+    /// Attribution policy (default [`AssignPolicy::Executing`], the
+    /// paper's recommendation).
+    pub fn policy(mut self, policy: AssignPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Limit call-path depth per task body (Score-P's depth limit —
+    /// collapses deeper frames into `<truncated>` nodes). Must be ≥ 1.
+    pub fn max_depth(mut self, depth: usize) -> Self {
+        self.max_depth = Some(depth);
+        self
+    }
+
+    /// Overload shedding: cap the number of concurrently live instance
+    /// trees per thread; instances begun beyond the cap degrade to
+    /// counting-only, and the shed count appears in the profile. Must be
+    /// ≥ 1.
+    pub fn max_live_trees(mut self, cap: usize) -> Self {
+        self.max_live_trees = Some(cap);
+        self
+    }
+
+    /// Arena slots preallocated per thread shard (default
+    /// [`DEFAULT_PREALLOC_NODES`]). `0` disables preallocation.
+    pub fn prealloc_nodes(mut self, nodes: usize) -> Self {
+        self.prealloc_nodes = nodes;
+        self
+    }
+
+    /// Validate every setting and construct the monitor.
+    pub fn build(self) -> Result<ProfMonitor<C>, ConfigError> {
+        if self.max_depth == Some(0) {
+            return Err(ConfigError::InvalidValue {
+                setting: "max_depth",
+                value: 0,
+                reason: "a depth limit of 0 would truncate the parallel-region root itself",
+            });
+        }
+        if self.max_live_trees == Some(0) {
+            return Err(ConfigError::InvalidValue {
+                setting: "max_live_trees",
+                value: 0,
+                reason: "a live-tree cap of 0 would shed every task instance",
+            });
+        }
+        Ok(ProfMonitor {
+            inner: Arc::new(Inner {
+                clock: self.clock,
+                policy: self.policy,
+                max_depth: self.max_depth,
+                max_live_trees: self.max_live_trees,
+                prealloc_nodes: self.prealloc_nodes,
+                collected: HandoffStack::new(),
+                spare_arenas: HandoffStack::new(),
+                live_threads: AtomicUsize::new(0),
+                live_regions: AtomicUsize::new(0),
+            }),
+        })
+    }
 }
 
 /// Profiling monitor: one per measurement session.
-pub struct ProfMonitor<C: Clock = MonotonicClock> {
+pub struct ProfMonitor<C: ClockSource = MonotonicClock> {
     inner: Arc<Inner<C>>,
+}
+
+impl<C: ClockSource> std::fmt::Debug for ProfMonitor<C> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ProfMonitor")
+            .field("policy", &self.inner.policy)
+            .field("max_depth", &self.inner.max_depth)
+            .field("max_live_trees", &self.inner.max_live_trees)
+            .field("prealloc_nodes", &self.inner.prealloc_nodes)
+            .field(
+                "live_threads",
+                &self.inner.live_threads.load(Ordering::Relaxed),
+            )
+            .field(
+                "live_regions",
+                &self.inner.live_regions.load(Ordering::Relaxed),
+            )
+            .finish_non_exhaustive()
+    }
 }
 
 impl Default for ProfMonitor<MonotonicClock> {
@@ -47,35 +274,59 @@ impl Default for ProfMonitor<MonotonicClock> {
 
 impl ProfMonitor<MonotonicClock> {
     /// Monitor with the real monotonic clock and the paper's
-    /// executing-node attribution.
+    /// executing-node attribution. Use [`ProfMonitor::builder`] for
+    /// anything configurable.
     pub fn new() -> Self {
-        Self::with_clock(MonotonicClock::new(), AssignPolicy::Executing)
+        ProfMonitorBuilder::new()
+            .build()
+            .expect("default configuration is valid")
+    }
+
+    /// Builder with defaults (real clock, executing attribution).
+    pub fn builder() -> ProfMonitorBuilder<MonotonicClock> {
+        ProfMonitorBuilder::new()
     }
 
     /// Monitor with the real clock and an explicit attribution policy.
+    #[deprecated(note = "use ProfMonitor::builder().policy(..).build()")]
     pub fn with_policy(policy: AssignPolicy) -> Self {
-        Self::with_clock(MonotonicClock::new(), policy)
+        ProfMonitorBuilder::new()
+            .policy(policy)
+            .build()
+            .expect("policy-only configuration is valid")
     }
 }
 
-impl<C: Clock> ProfMonitor<C> {
+impl<C: ClockSource> ProfMonitor<C> {
     /// Monitor over an arbitrary clock (virtual clocks for deterministic
     /// tests).
+    #[deprecated(note = "use ProfMonitor::builder().clock(..).policy(..).build()")]
     pub fn with_clock(clock: C, policy: AssignPolicy) -> Self {
-        Self {
-            inner: Arc::new(Inner {
-                clock,
-                policy,
-                max_depth: None,
-                max_live_trees: None,
-                collected: Mutex::new(Vec::new()),
-            }),
-        }
+        ProfMonitorBuilder::new()
+            .clock(clock)
+            .policy(policy)
+            .build()
+            .expect("clock+policy configuration is valid")
+    }
+
+    /// The monitor's clock (e.g. to advance a shared
+    /// [`pomp::VirtualClock`] from a test driver).
+    pub fn clock(&self) -> &C {
+        &self.inner.clock
+    }
+
+    /// The attribution policy in effect.
+    pub fn policy(&self) -> AssignPolicy {
+        self.inner.policy
     }
 
     /// Apply a configuration change, failing cleanly (instead of
     /// panicking) when threads already hold references to the monitor.
-    fn reconfigure(self, apply: impl FnOnce(&mut Inner<C>)) -> Result<Self, ConfigError> {
+    fn reconfigure(
+        self,
+        setting: &'static str,
+        apply: impl FnOnce(&mut Inner<C>),
+    ) -> Result<Self, ConfigError> {
         match Arc::try_unwrap(self.inner) {
             Ok(mut inner) => {
                 apply(&mut inner);
@@ -83,135 +334,194 @@ impl<C: Clock> ProfMonitor<C> {
                     inner: Arc::new(inner),
                 })
             }
-            Err(_) => Err(ConfigError),
+            Err(_) => Err(ConfigError::ReconfiguredAfterStart { setting }),
         }
     }
 
-    /// Builder: limit call-path depth per task body (Score-P's depth
-    /// limit — collapses deeper frames into `<truncated>` nodes). Fails
-    /// with [`ConfigError`] once any parallel region has started.
+    /// Limit call-path depth per task body after construction.
+    #[deprecated(note = "use ProfMonitor::builder().max_depth(..).build()")]
     pub fn with_max_depth(self, depth: usize) -> Result<Self, ConfigError> {
-        self.reconfigure(|i| i.max_depth = Some(depth))
+        if depth == 0 {
+            return Err(ConfigError::InvalidValue {
+                setting: "max_depth",
+                value: 0,
+                reason: "a depth limit of 0 would truncate the parallel-region root itself",
+            });
+        }
+        self.reconfigure("max_depth", |i| i.max_depth = Some(depth))
     }
 
-    /// Builder: overload shedding — cap the number of concurrently live
-    /// instance trees per thread; instances begun beyond the cap degrade
-    /// to counting-only, and the shed count appears in the profile. Fails
-    /// with [`ConfigError`] once any parallel region has started.
+    /// Cap concurrently live instance trees after construction.
+    #[deprecated(note = "use ProfMonitor::builder().max_live_trees(..).build()")]
     pub fn with_max_live_trees(self, cap: usize) -> Result<Self, ConfigError> {
-        self.reconfigure(|i| i.max_live_trees = Some(cap))
+        if cap == 0 {
+            return Err(ConfigError::InvalidValue {
+                setting: "max_live_trees",
+                value: 0,
+                reason: "a live-tree cap of 0 would shed every task instance",
+            });
+        }
+        self.reconfigure("max_live_trees", |i| i.max_live_trees = Some(cap))
     }
 
     /// Drain the snapshots collected since the last call, as one profile
-    /// sorted by thread id. Call after each parallel region.
-    pub fn take_profile(&self) -> Profile {
-        let mut threads = std::mem::take(&mut *self.inner.collected.lock());
+    /// sorted by thread id. Call after the parallel region(s) complete;
+    /// while threads are still measuring, the profile would be half-merged,
+    /// so a [`SessionActiveError`] is returned instead.
+    pub fn take_profile(&self) -> Result<Profile, SessionActiveError> {
+        let live_threads = self.inner.live_threads.load(Ordering::Acquire);
+        let live_regions = self.inner.live_regions.load(Ordering::Acquire);
+        if live_threads > 0 || live_regions > 0 {
+            return Err(SessionActiveError {
+                live_threads,
+                live_regions,
+            });
+        }
+        let mut threads = self.inner.collected.take_all();
         threads.sort_by_key(|t| t.tid);
-        Profile { threads }
+        Ok(Profile { threads })
     }
 }
 
-/// Per-thread profiling hooks (owned by exactly one runtime thread).
-pub struct ProfThread<C: Clock> {
-    inner: Arc<Inner<C>>,
+/// Per-thread profiling shard (owned by exactly one runtime thread): the
+/// cached clock reader plus the thread's private profile. Every
+/// [`ThreadHooks`] event runs entirely on this struct — no locks, no
+/// shared-state dereference.
+pub struct ProfThread<C: ClockSource> {
+    reader: C::Reader,
     /// Team-local thread id this hook set belongs to.
     pub tid: usize,
-    prof: RefCell<ThreadProfile>,
+    // SAFETY invariant: only the owning thread touches `prof`, exactly one
+    // hook at a time. `UnsafeCell` keeps the type `!Sync`, the runtime
+    // hands each `ProfThread` to a single worker, and no `ThreadProfile`
+    // method calls back into the hooks — so the `&mut` in `prof()` is
+    // never aliased. This removes the `RefCell` borrow-flag check from
+    // the per-event fast path.
+    prof: UnsafeCell<ThreadProfile>,
 }
 
-impl<C: Clock> ProfThread<C> {
+impl<C: ClockSource> ProfThread<C> {
     #[inline]
     fn now(&self) -> u64 {
-        self.inner.clock.now()
+        self.reader.now()
+    }
+
+    /// Exclusive access to the shard's profile (see the field invariant).
+    #[expect(clippy::mut_from_ref)]
+    #[inline]
+    fn prof(&self) -> &mut ThreadProfile {
+        // SAFETY: single-owner, non-reentrant access per the field's
+        // documented invariant; `UnsafeCell` makes the type `!Sync`.
+        unsafe { &mut *self.prof.get() }
     }
 }
 
-impl<C: Clock + 'static> Monitor for ProfMonitor<C> {
+impl<C: ClockSource + 'static> Monitor for ProfMonitor<C> {
     type Thread = ProfThread<C>;
 
+    fn parallel_fork(&self, _region: RegionId, _nthreads: usize) {
+        self.inner.live_regions.fetch_add(1, Ordering::AcqRel);
+    }
+
+    fn parallel_join(&self, _region: RegionId) {
+        self.inner.live_regions.fetch_sub(1, Ordering::AcqRel);
+    }
+
     fn thread_begin(&self, tid: usize, _nthreads: usize, region: RegionId) -> ProfThread<C> {
-        let t = self.inner.clock.now();
-        let mut prof = ThreadProfile::new(region, t, self.inner.policy);
+        self.inner.live_threads.fetch_add(1, Ordering::AcqRel);
+        // Steal a recycled arena from an earlier region if one is spare;
+        // otherwise preallocate. Either way the event path that follows
+        // does not allocate until the preallocation is exhausted.
+        let arena = self
+            .inner
+            .spare_arenas
+            .steal_one()
+            .unwrap_or_else(|| Arena::with_capacity(self.inner.prealloc_nodes));
+        let reader = self.inner.clock.thread_reader();
+        let t = reader.now();
+        let mut prof = ThreadProfile::new_in(arena, region, t, self.inner.policy);
         prof.set_max_depth(self.inner.max_depth);
         prof.set_max_live_trees(self.inner.max_live_trees);
         ProfThread {
-            inner: self.inner.clone(),
+            reader,
             tid,
-            prof: RefCell::new(prof),
+            prof: UnsafeCell::new(prof),
         }
     }
 
     fn thread_end(&self, tid: usize, thread: ProfThread<C>) {
-        let t = self.inner.clock.now();
+        let t = thread.reader.now();
         let mut prof = thread.prof.into_inner();
         prof.finish(t);
-        self.inner.collected.lock().push(prof.snapshot(tid));
+        // Lock-free hand-off: one CAS publishes the snapshot, one more
+        // returns the arena to the spare pool.
+        self.inner.collected.push(prof.snapshot(tid));
+        self.inner.spare_arenas.push(prof.into_arena());
+        self.inner.live_threads.fetch_sub(1, Ordering::AcqRel);
     }
 }
 
-impl<C: Clock> ThreadHooks for ProfThread<C> {
+impl<C: ClockSource> ThreadHooks for ProfThread<C> {
     #[inline]
     fn enter(&self, region: RegionId) {
         let t = self.now();
-        self.prof.borrow_mut().enter(region, t);
+        self.prof().enter(region, t);
     }
 
     #[inline]
     fn exit(&self, region: RegionId) {
         let t = self.now();
-        self.prof.borrow_mut().exit(region, t);
+        self.prof().exit(region, t);
     }
 
     #[inline]
     fn task_create_begin(&self, create_region: RegionId, task_region: RegionId, new_task: TaskId) {
         let t = self.now();
-        self.prof
-            .borrow_mut()
+        self.prof()
             .task_create_begin(create_region, task_region, new_task, t);
     }
 
     #[inline]
     fn task_create_end(&self, create_region: RegionId, new_task: TaskId) {
         let t = self.now();
-        self.prof
-            .borrow_mut()
+        self.prof()
             .task_create_end(create_region, new_task, t);
     }
 
     #[inline]
     fn task_begin(&self, task_region: RegionId, task: TaskId) {
         let t = self.now();
-        self.prof.borrow_mut().task_begin(task_region, task, t);
+        self.prof().task_begin(task_region, task, t);
     }
 
     #[inline]
     fn task_end(&self, task_region: RegionId, task: TaskId) {
         let t = self.now();
-        self.prof.borrow_mut().task_end(task_region, task, t);
+        self.prof().task_end(task_region, task, t);
     }
 
     #[inline]
     fn task_abort(&self, task_region: RegionId, task: TaskId) {
         let t = self.now();
-        self.prof.borrow_mut().task_abort(task_region, task, t);
+        self.prof().task_abort(task_region, task, t);
     }
 
     #[inline]
     fn task_switch(&self, resumed: TaskRef) {
         let t = self.now();
-        self.prof.borrow_mut().task_switch(resumed, t);
+        self.prof().task_switch(resumed, t);
     }
 
     #[inline]
     fn parameter_begin(&self, param: ParamId, value: i64) {
         let t = self.now();
-        self.prof.borrow_mut().parameter_begin(param, value, t);
+        self.prof().parameter_begin(param, value, t);
     }
 
     #[inline]
     fn parameter_end(&self, param: ParamId) {
         let t = self.now();
-        self.prof.borrow_mut().parameter_end(param, t);
+        self.prof().parameter_end(param, t);
     }
 }
 
@@ -221,50 +531,58 @@ mod tests {
     use crate::tree::NodeKind;
     use pomp::{TaskIdAllocator, VirtualClock};
 
+    fn virtual_monitor() -> (VirtualClock, ProfMonitor<VirtualClock>) {
+        let clock = VirtualClock::new();
+        let m = ProfMonitor::builder()
+            .clock(clock.clone())
+            .build()
+            .unwrap();
+        (clock, m)
+    }
+
     #[test]
     fn monitor_collects_per_thread_snapshots() {
-        let clock = VirtualClock::new();
-        let m = ProfMonitor::with_clock(clock, AssignPolicy::Executing);
+        let (clock, m) = virtual_monitor();
         let par = RegionId(0);
         let work = RegionId(1);
         m.parallel_fork(par, 2);
         let t0 = m.thread_begin(0, 2, par);
         let t1 = m.thread_begin(1, 2, par);
-        m.inner.clock.set(10);
+        clock.set(10);
         t0.enter(work);
-        m.inner.clock.set(15);
+        clock.set(15);
         t0.exit(work);
         m.thread_end(0, t0);
-        m.inner.clock.set(20);
+        clock.set(20);
         m.thread_end(1, t1);
         m.parallel_join(par);
 
-        let p = m.take_profile();
+        let p = m.take_profile().unwrap();
         assert_eq!(p.num_threads(), 2);
         assert_eq!(p.threads[0].tid, 0);
         let w = p.threads[0].main.child(NodeKind::Region(work)).unwrap();
         assert_eq!(w.stats.sum_ns, 5);
         assert_eq!(p.threads[1].main.stats.sum_ns, 20);
         // Drained: second take is empty.
-        assert_eq!(m.take_profile().num_threads(), 0);
+        assert_eq!(m.take_profile().unwrap().num_threads(), 0);
     }
 
     #[test]
     fn monitor_profiles_task_events_with_virtual_time() {
-        let m = ProfMonitor::with_clock(VirtualClock::new(), AssignPolicy::Executing);
+        let (clock, m) = virtual_monitor();
         let ids = TaskIdAllocator::new();
         let (par, task, barrier) = (RegionId(0), RegionId(1), RegionId(2));
         let th = m.thread_begin(0, 1, par);
         let id = ids.alloc();
-        m.inner.clock.set(10);
+        clock.set(10);
         th.enter(barrier);
         th.task_begin(task, id);
-        m.inner.clock.set(35);
+        clock.set(35);
         th.task_end(task, id);
-        m.inner.clock.set(40);
+        clock.set(40);
         th.exit(barrier);
         m.thread_end(0, th);
-        let p = m.take_profile();
+        let p = m.take_profile().unwrap();
         let snap = &p.threads[0];
         assert_eq!(snap.task_tree(task).unwrap().stats.sum_ns, 25);
         let b = snap.main.child(NodeKind::Region(barrier)).unwrap();
@@ -274,13 +592,117 @@ mod tests {
 
     #[test]
     fn take_profile_sorts_by_tid() {
-        let m = ProfMonitor::with_clock(VirtualClock::new(), AssignPolicy::Executing);
+        let (_clock, m) = virtual_monitor();
         let par = RegionId(0);
         let a = m.thread_begin(3, 4, par);
         let b = m.thread_begin(1, 4, par);
         m.thread_end(3, a);
         m.thread_end(1, b);
-        let p = m.take_profile();
+        let p = m.take_profile().unwrap();
         assert_eq!(p.threads.iter().map(|t| t.tid).collect::<Vec<_>>(), vec![1, 3]);
+    }
+
+    #[test]
+    fn take_profile_mid_region_is_a_typed_error() {
+        let (_clock, m) = virtual_monitor();
+        let par = RegionId(0);
+        m.parallel_fork(par, 1);
+        let th = m.thread_begin(0, 1, par);
+        let err = m.take_profile().unwrap_err();
+        assert_eq!(err.live_threads, 1);
+        assert_eq!(err.live_regions, 1);
+        assert!(err.to_string().contains("mid-measurement"), "{err}");
+        m.thread_end(0, th);
+        let err = m.take_profile().unwrap_err();
+        assert_eq!((err.live_threads, err.live_regions), (0, 1));
+        m.parallel_join(par);
+        assert_eq!(m.take_profile().unwrap().num_threads(), 1);
+    }
+
+    #[test]
+    fn builder_validates_once() {
+        let err = ProfMonitor::builder().max_depth(0).build().unwrap_err();
+        assert_eq!(err.setting(), "max_depth");
+        assert!(matches!(err, ConfigError::InvalidValue { value: 0, .. }));
+        let err = ProfMonitor::builder().max_live_trees(0).build().unwrap_err();
+        assert_eq!(err.setting(), "max_live_trees");
+        assert!(err.to_string().contains("max_live_trees"), "{err}");
+        assert!(ProfMonitor::builder()
+            .max_depth(1)
+            .max_live_trees(1)
+            .prealloc_nodes(0)
+            .build()
+            .is_ok());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_still_work() {
+        let m = ProfMonitor::with_clock(VirtualClock::new(), AssignPolicy::Creating);
+        assert_eq!(m.policy(), AssignPolicy::Creating);
+        let m = m.with_max_depth(4).unwrap().with_max_live_trees(8).unwrap();
+        // Reconfiguring while a thread shard is live fails with the
+        // setting's name, not a panic.
+        let th = m.thread_begin(0, 1, RegionId(0));
+        let m2 = ProfMonitor::with_policy(AssignPolicy::Executing);
+        assert!(matches!(
+            m2.with_max_depth(0),
+            Err(ConfigError::InvalidValue { .. })
+        ));
+        drop(th);
+        let err = {
+            let extra = m.inner.clone();
+            let e = m.with_max_depth(5).unwrap_err();
+            drop(extra);
+            e
+        };
+        assert_eq!(
+            err,
+            ConfigError::ReconfiguredAfterStart { setting: "max_depth" }
+        );
+    }
+
+    #[test]
+    fn arenas_recycle_across_regions() {
+        let (clock, m) = virtual_monitor();
+        let par = RegionId(0);
+        let work = RegionId(1);
+        for round in 0..3u64 {
+            m.parallel_fork(par, 1);
+            let th = m.thread_begin(0, 1, par);
+            clock.set(round * 100 + 10);
+            th.enter(work);
+            clock.set(round * 100 + 20);
+            th.exit(work);
+            m.thread_end(0, th);
+            m.parallel_join(par);
+        }
+        // Exactly one thread ran each region, so exactly one arena
+        // circulates through the spare pool.
+        assert!(!m.inner.spare_arenas.is_empty());
+        let spares = m.inner.spare_arenas.take_all();
+        assert_eq!(spares.len(), 1, "one arena recycled, not re-allocated");
+        let p = m.take_profile().unwrap();
+        assert_eq!(p.num_threads(), 3, "three rounds collected");
+    }
+
+    #[test]
+    fn shard_merge_preserves_thread_order_at_barrier() {
+        // Threads finish in arbitrary (here: reverse) order; the merged
+        // profile is still ordered by tid with every shard present.
+        let (clock, m) = virtual_monitor();
+        let par = RegionId(0);
+        m.parallel_fork(par, 4);
+        let shards: Vec<_> = (0..4).map(|tid| m.thread_begin(tid, 4, par)).collect();
+        clock.set(50);
+        for (tid, shard) in shards.into_iter().enumerate().rev() {
+            m.thread_end(tid, shard);
+        }
+        m.parallel_join(par);
+        let p = m.take_profile().unwrap();
+        assert_eq!(
+            p.threads.iter().map(|t| t.tid).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3]
+        );
     }
 }

@@ -88,7 +88,15 @@ pub struct ThreadProfile {
 impl ThreadProfile {
     /// Start profiling a thread's share of `parallel_region` at time `t`.
     pub fn new(parallel_region: RegionId, t: u64, policy: AssignPolicy) -> Self {
-        let mut arena = Arena::new();
+        Self::new_in(Arena::new(), parallel_region, t, policy)
+    }
+
+    /// Like [`ThreadProfile::new`] but building the trees inside a caller
+    /// supplied (typically recycled) `arena`, so a thread beginning a new
+    /// parallel region reuses the node capacity of an earlier one instead
+    /// of allocating. The arena is reset first.
+    pub fn new_in(mut arena: Arena, parallel_region: RegionId, t: u64, policy: AssignPolicy) -> Self {
+        arena.reset();
         let root = arena.alloc(NodeKind::Region(parallel_region), None);
         arena.node_mut(root).stats.add_visit();
         let mut implicit = TaskBody::new(root);
@@ -612,6 +620,13 @@ impl ThreadProfile {
     /// True once [`ThreadProfile::finish`] ran.
     pub fn is_finished(&self) -> bool {
         self.finished
+    }
+
+    /// Consume the profile and recover its arena (reset, capacity kept)
+    /// for recycling into the next parallel region's shard.
+    pub fn into_arena(mut self) -> Arena {
+        self.arena.reset();
+        self.arena
     }
 
     // Crate-internal access for the migration module (see `migrate.rs`).

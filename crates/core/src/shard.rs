@@ -1,0 +1,243 @@
+//! Lock-free hand-off of per-thread measurement shards.
+//!
+//! The profiler's steady-state event path (enter/exit/switch) is entirely
+//! thread-local: each worker owns a measurement shard (its
+//! [`crate::ThreadProfile`] plus a cached clock reader) and never touches
+//! shared state. Sharing only happens at two points, and both go through
+//! the [`HandoffStack`] here instead of a mutex:
+//!
+//! * **barrier/team-end**: a thread finishing a parallel region publishes
+//!   its completed [`crate::ThreadSnapshot`] with a single CAS push;
+//! * **collection**: [`crate::ProfMonitor::take_profile`] *swaps* the whole
+//!   list out atomically and owns it from then on.
+//!
+//! The same structure recycles spare [`crate::tree::Arena`]s between
+//! regions (a thread beginning a region *steals* a preallocated arena left
+//! behind by an earlier region instead of allocating).
+//!
+//! The stack is a Treiber stack restricted to the operations that avoid
+//! the ABA problem without tagged pointers or hazard tracking: nodes are
+//! only ever detached *wholesale* (`take_all`/`steal_one` swap the head to
+//! null and then own the entire chain), never popped one-by-one from the
+//! shared head, so a stale CAS can never re-link a freed node.
+
+use std::ptr;
+use std::sync::atomic::{AtomicPtr, Ordering};
+
+struct Slot<T> {
+    value: T,
+    next: *mut Slot<T>,
+}
+
+/// A lock-free multi-producer hand-off stack (see module docs).
+pub struct HandoffStack<T> {
+    head: AtomicPtr<Slot<T>>,
+}
+
+// SAFETY: values are moved in by value and moved out by value; the raw
+// pointers only ever reference heap nodes owned by the stack.
+unsafe impl<T: Send> Send for HandoffStack<T> {}
+unsafe impl<T: Send> Sync for HandoffStack<T> {}
+
+impl<T> Default for HandoffStack<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> HandoffStack<T> {
+    /// Empty stack.
+    pub const fn new() -> Self {
+        Self {
+            head: AtomicPtr::new(ptr::null_mut()),
+        }
+    }
+
+    /// True when nothing is currently published.
+    pub fn is_empty(&self) -> bool {
+        self.head.load(Ordering::Acquire).is_null()
+    }
+
+    /// Publish `value` (lock-free; a single CAS loop).
+    pub fn push(&self, value: T) {
+        let node = Box::into_raw(Box::new(Slot {
+            value,
+            next: ptr::null_mut(),
+        }));
+        let mut head = self.head.load(Ordering::Relaxed);
+        loop {
+            // SAFETY: `node` is not yet shared; we own it until the CAS
+            // below succeeds.
+            unsafe { (*node).next = head };
+            match self
+                .head
+                .compare_exchange_weak(head, node, Ordering::Release, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(h) => head = h,
+            }
+        }
+    }
+
+    /// Atomically detach and return everything published so far, newest
+    /// first (one `swap`; never blocks pushers).
+    pub fn take_all(&self) -> Vec<T> {
+        let mut p = self.head.swap(ptr::null_mut(), Ordering::Acquire);
+        let mut out = Vec::new();
+        while !p.is_null() {
+            // SAFETY: the swap transferred ownership of the whole chain to
+            // this call; nobody else can reach these nodes.
+            let slot = unsafe { Box::from_raw(p) };
+            p = slot.next;
+            out.push(slot.value);
+        }
+        out
+    }
+
+    /// Steal one value: detach the whole chain, keep its head, and splice
+    /// the remainder back. Used for the spare-arena pool where a thread
+    /// wants at most one buffer.
+    pub fn steal_one(&self) -> Option<T> {
+        let chain = self.head.swap(ptr::null_mut(), Ordering::Acquire);
+        if chain.is_null() {
+            return None;
+        }
+        // SAFETY: as in `take_all`, the swap gave us the whole chain.
+        let slot = unsafe { Box::from_raw(chain) };
+        let rest = slot.next;
+        if !rest.is_null() {
+            self.reattach(rest);
+        }
+        Some(slot.value)
+    }
+
+    /// Splice an owned chain (starting at `chain`) back onto the shared
+    /// head. We own every node in the chain, so writing the tail's `next`
+    /// is race-free; only the final head CAS is contended.
+    fn reattach(&self, chain: *mut Slot<T>) {
+        // Find the owned chain's tail.
+        let mut tail = chain;
+        // SAFETY: the chain is owned; traversal is safe.
+        unsafe {
+            while !(*tail).next.is_null() {
+                tail = (*tail).next;
+            }
+        }
+        let mut head = self.head.load(Ordering::Relaxed);
+        loop {
+            // SAFETY: `tail` is still owned by us until the CAS succeeds.
+            unsafe { (*tail).next = head };
+            match self
+                .head
+                .compare_exchange_weak(head, chain, Ordering::Release, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(h) => head = h,
+            }
+        }
+    }
+}
+
+impl<T> Drop for HandoffStack<T> {
+    fn drop(&mut self) {
+        drop(self.take_all());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn push_take_roundtrip_is_lifo() {
+        let s = HandoffStack::new();
+        assert!(s.is_empty());
+        s.push(1);
+        s.push(2);
+        s.push(3);
+        assert!(!s.is_empty());
+        assert_eq!(s.take_all(), vec![3, 2, 1]);
+        assert!(s.is_empty());
+        assert_eq!(s.take_all(), Vec::<i32>::new());
+    }
+
+    #[test]
+    fn steal_one_keeps_the_rest() {
+        let s = HandoffStack::new();
+        s.push("a");
+        s.push("b");
+        s.push("c");
+        assert_eq!(s.steal_one(), Some("c"));
+        let mut rest = s.take_all();
+        rest.sort_unstable();
+        assert_eq!(rest, vec!["a", "b"]);
+        assert_eq!(s.steal_one(), None);
+    }
+
+    #[test]
+    fn concurrent_pushes_all_arrive() {
+        let s = Arc::new(HandoffStack::new());
+        let threads = 8;
+        let per = 500;
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let s = Arc::clone(&s);
+                scope.spawn(move || {
+                    for i in 0..per {
+                        s.push(t * per + i);
+                    }
+                });
+            }
+        });
+        let mut all = s.take_all();
+        all.sort_unstable();
+        assert_eq!(all, (0..threads * per).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn concurrent_steal_and_push_lose_nothing() {
+        let s = Arc::new(HandoffStack::new());
+        let total = 2000;
+        let stolen = std::thread::scope(|scope| {
+            let pusher = {
+                let s = Arc::clone(&s);
+                scope.spawn(move || {
+                    for i in 0..total {
+                        s.push(i);
+                    }
+                })
+            };
+            let stealer = {
+                let s = Arc::clone(&s);
+                scope.spawn(move || {
+                    let mut got = Vec::new();
+                    while got.len() < total / 4 {
+                        if let Some(v) = s.steal_one() {
+                            got.push(v);
+                        }
+                    }
+                    got
+                })
+            };
+            pusher.join().unwrap();
+            stealer.join().unwrap()
+        });
+        let mut all = s.take_all();
+        all.extend(stolen);
+        all.sort_unstable();
+        assert_eq!(all, (0..total).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn drop_releases_remaining_values() {
+        let marker = Arc::new(());
+        {
+            let s = HandoffStack::new();
+            for _ in 0..10 {
+                s.push(Arc::clone(&marker));
+            }
+        }
+        assert_eq!(Arc::strong_count(&marker), 1, "drop leaked nodes");
+    }
+}

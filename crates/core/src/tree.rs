@@ -78,6 +78,26 @@ impl Arena {
         Self::default()
     }
 
+    /// Empty arena with room for `nodes` nodes before reallocating —
+    /// the preallocated per-thread measurement memory of the sharded
+    /// fast path (no allocation on the first `nodes` enter events).
+    pub fn with_capacity(nodes: usize) -> Self {
+        Self {
+            nodes: Vec::with_capacity(nodes),
+            free: Vec::new(),
+            reuse: true,
+        }
+    }
+
+    /// Clear all nodes while keeping the allocated slot capacity, so the
+    /// arena can be recycled for the next parallel region without paying
+    /// its allocations again.
+    pub fn reset(&mut self) {
+        self.nodes.clear();
+        self.free.clear();
+        self.reuse = true;
+    }
+
     /// Toggle free-list node reuse (on by default). Disabling it is the
     /// ablation of the paper's Section V-B memory strategy: released
     /// nodes are leaked instead of recycled, so memory grows with the

@@ -33,7 +33,7 @@ pub mod region;
 pub mod task;
 pub mod validate;
 
-pub use clock::{Clock, MonotonicClock, VirtualClock};
+pub use clock::{Clock, ClockReader, ClockSource, MonotonicClock, MonotonicReader, VirtualClock};
 pub use counting::{CountingMonitor, EventCounts};
 pub use filter::{FilteredMonitor, RegionFilter};
 pub use hooks::{Monitor, NullMonitor, NullThreadHooks, TaskRef, ThreadHooks};

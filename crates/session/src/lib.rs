@@ -1,0 +1,485 @@
+//! `taskprof-session` — one composable entry point for measurement.
+//!
+//! A [`MeasurementSession`] bundles everything a profiled run needs — the
+//! thread team, the parallel construct, and the monitor stack — behind a
+//! builder:
+//!
+//! ```
+//! use taskprof_session::MeasurementSession;
+//!
+//! let session = MeasurementSession::builder("demo")
+//!     .threads(2)
+//!     .build()
+//!     .unwrap()
+//!     .validated();
+//! session.run(|_ctx| { /* spawn tasks */ });
+//! let report = session.finish();
+//! assert_eq!(report.profile.num_threads(), 2);
+//! assert!(report.is_clean());
+//! ```
+//!
+//! The monitor stack is assembled *statically*: each combinator
+//! ([`MeasurementSession::validated`], [`MeasurementSession::counted`],
+//! [`MeasurementSession::filtered`], [`MeasurementSession::observed_by`])
+//! changes the session's monitor **type**, so the per-event path
+//! monomorphizes — the compiler sees the concrete
+//! `ValidatingThread<CountingThread<ProfThread<…>>>` chain and inlines it;
+//! there is no `dyn Monitor` dispatch anywhere on the hot path. The
+//! [`ProfStack`] trait is how a wrapped stack is walked back down to the
+//! sharded [`ProfMonitor`] at [`MeasurementSession::finish`].
+
+#![warn(missing_docs)]
+
+use pomp::{
+    ClockSource, CountingMonitor, Diagnostic, EventCounts, FilteredMonitor, Monitor,
+    MonotonicClock, RegionFilter, ValidatingMonitor,
+};
+use taskprof::{
+    AssignPolicy, ConfigError, Profile, ProfMonitor, ProfMonitorBuilder,
+};
+use taskrt::{ParallelConstruct, ParallelOutcome, TaskCtx, Team};
+
+/// A monitor stack whose innermost layer is the sharded [`ProfMonitor`].
+///
+/// Implemented by `ProfMonitor` itself and by every wrapper the session
+/// combinators produce, so [`MeasurementSession::finish`] can reach the
+/// profiler (for the profile) and every validating layer (for
+/// diagnostics) regardless of how the stack was composed.
+pub trait ProfStack: Monitor {
+    /// The clock the innermost profiler measures with.
+    type Clock: ClockSource + 'static;
+
+    /// The innermost profiling monitor.
+    fn profiler(&self) -> &ProfMonitor<Self::Clock>;
+
+    /// Drain the structured diagnostics of every validating layer in the
+    /// stack into `into` (outermost first).
+    fn drain_diagnostics(&self, into: &mut Vec<Diagnostic>);
+}
+
+impl<C: ClockSource + 'static> ProfStack for ProfMonitor<C> {
+    type Clock = C;
+
+    fn profiler(&self) -> &ProfMonitor<C> {
+        self
+    }
+
+    fn drain_diagnostics(&self, _into: &mut Vec<Diagnostic>) {}
+}
+
+impl<M: ProfStack> ProfStack for ValidatingMonitor<M> {
+    type Clock = M::Clock;
+
+    fn profiler(&self) -> &ProfMonitor<M::Clock> {
+        self.inner().profiler()
+    }
+
+    fn drain_diagnostics(&self, into: &mut Vec<Diagnostic>) {
+        into.extend(self.take_diagnostics());
+        self.inner().drain_diagnostics(into);
+    }
+}
+
+impl<M: ProfStack> ProfStack for FilteredMonitor<M> {
+    type Clock = M::Clock;
+
+    fn profiler(&self) -> &ProfMonitor<M::Clock> {
+        self.inner().profiler()
+    }
+
+    fn drain_diagnostics(&self, into: &mut Vec<Diagnostic>) {
+        self.inner().drain_diagnostics(into);
+    }
+}
+
+/// A side observer (tracer, counter, …) paired with a profiling stack:
+/// the stack lives in the second slot, mirroring `(&observer, &stack)`
+/// pair-monitor usage.
+impl<A: Monitor, B: ProfStack> ProfStack for (A, B) {
+    type Clock = B::Clock;
+
+    fn profiler(&self) -> &ProfMonitor<B::Clock> {
+        self.1.profiler()
+    }
+
+    fn drain_diagnostics(&self, into: &mut Vec<Diagnostic>) {
+        self.1.drain_diagnostics(into);
+    }
+}
+
+impl<M: ProfStack> ProfStack for &M {
+    type Clock = M::Clock;
+
+    fn profiler(&self) -> &ProfMonitor<M::Clock> {
+        (**self).profiler()
+    }
+
+    fn drain_diagnostics(&self, into: &mut Vec<Diagnostic>) {
+        (**self).drain_diagnostics(into);
+    }
+}
+
+/// Everything a finished session measured.
+#[derive(Debug)]
+pub struct SessionReport {
+    /// The merged per-thread profile, sorted by thread id.
+    pub profile: Profile,
+    /// Structured diagnostics from every validating layer (empty for a
+    /// clean event stream).
+    pub diagnostics: Vec<Diagnostic>,
+    /// Event counters, present when the session was
+    /// [`MeasurementSession::counted`].
+    pub counts: Option<CountingMonitor>,
+}
+
+impl SessionReport {
+    /// True when no validating layer recorded a defect.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// The event counters (panics when the session was not `counted()`).
+    pub fn counts(&self) -> &EventCounts {
+        self.counts
+            .as_ref()
+            .expect("session was not counted(); no event counts recorded")
+            .counts()
+    }
+}
+
+/// A measurement session: team + parallel construct + monitor stack.
+///
+/// Build one with [`MeasurementSession::builder`], optionally wrap the
+/// stack with the combinators, [`MeasurementSession::run`] the parallel
+/// region(s), then [`MeasurementSession::finish`] to obtain the
+/// [`SessionReport`]. For workloads that drive their own `Team` (e.g.
+/// `bots::run_app`), pass [`MeasurementSession::monitor`] as the monitor
+/// and still `finish()` here.
+pub struct MeasurementSession<M: ProfStack> {
+    team: Team,
+    construct: ParallelConstruct,
+    monitor: M,
+    counts: Option<CountingMonitor>,
+}
+
+impl<M: ProfStack> std::fmt::Debug for MeasurementSession<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MeasurementSession")
+            .field("threads", &self.team.nthreads())
+            .field("counted", &self.counts.is_some())
+            .field("profiler", self.monitor.profiler())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Builder for a [`MeasurementSession`]: team shape + profiler settings,
+/// validated once in [`SessionBuilder::build`].
+pub struct SessionBuilder<C: ClockSource = MonotonicClock> {
+    threads: usize,
+    unrestricted_taskwait: bool,
+    name: String,
+    prof: ProfMonitorBuilder<C>,
+}
+
+impl SessionBuilder<MonotonicClock> {
+    fn new(name: &str) -> Self {
+        Self {
+            threads: 2,
+            unrestricted_taskwait: false,
+            name: name.to_string(),
+            prof: ProfMonitorBuilder::new(),
+        }
+    }
+}
+
+impl<C: ClockSource + 'static> SessionBuilder<C> {
+    /// Team size (default 2).
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = n;
+        self
+    }
+
+    /// ABLATION: drop the tied-task scheduling constraint at taskwaits
+    /// (see [`Team::unrestricted_taskwait`]).
+    pub fn unrestricted_taskwait(mut self) -> Self {
+        self.unrestricted_taskwait = true;
+        self
+    }
+
+    /// Measure with `clock` instead of the real monotonic clock.
+    pub fn clock<C2: ClockSource + 'static>(self, clock: C2) -> SessionBuilder<C2> {
+        SessionBuilder {
+            threads: self.threads,
+            unrestricted_taskwait: self.unrestricted_taskwait,
+            name: self.name,
+            prof: self.prof.clock(clock),
+        }
+    }
+
+    /// Attribution policy (default [`AssignPolicy::Executing`]).
+    pub fn policy(mut self, policy: AssignPolicy) -> Self {
+        self.prof = self.prof.policy(policy);
+        self
+    }
+
+    /// Call-path depth limit per task body.
+    pub fn max_depth(mut self, depth: usize) -> Self {
+        self.prof = self.prof.max_depth(depth);
+        self
+    }
+
+    /// Overload-shedding cap on concurrently live instance trees.
+    pub fn max_live_trees(mut self, cap: usize) -> Self {
+        self.prof = self.prof.max_live_trees(cap);
+        self
+    }
+
+    /// Arena slots preallocated per thread shard.
+    pub fn prealloc_nodes(mut self, nodes: usize) -> Self {
+        self.prof = self.prof.prealloc_nodes(nodes);
+        self
+    }
+
+    /// Validate the configuration and assemble the session.
+    pub fn build(self) -> Result<MeasurementSession<ProfMonitor<C>>, ConfigError> {
+        let mut team = Team::new(self.threads);
+        if self.unrestricted_taskwait {
+            team = team.unrestricted_taskwait();
+        }
+        Ok(MeasurementSession {
+            team,
+            construct: ParallelConstruct::new(&self.name),
+            monitor: self.prof.build()?,
+            counts: None,
+        })
+    }
+}
+
+impl MeasurementSession<ProfMonitor<MonotonicClock>> {
+    /// Start configuring a session whose parallel construct is registered
+    /// under `name`.
+    pub fn builder(name: &str) -> SessionBuilder<MonotonicClock> {
+        SessionBuilder::new(name)
+    }
+}
+
+impl<M: ProfStack> MeasurementSession<M> {
+    /// Assemble a session from parts — for callers that already own a
+    /// monitor stack (the combinators are usually more convenient).
+    pub fn from_parts(team: Team, construct: ParallelConstruct, monitor: M) -> Self {
+        Self {
+            team,
+            construct,
+            monitor,
+            counts: None,
+        }
+    }
+
+    /// The assembled monitor stack — pass this to workloads that drive
+    /// their own `Team::parallel` (e.g. `bots::run_app`).
+    pub fn monitor(&self) -> &M {
+        &self.monitor
+    }
+
+    /// The innermost sharded profiler.
+    pub fn profiler(&self) -> &ProfMonitor<M::Clock> {
+        self.monitor.profiler()
+    }
+
+    /// The session's parallel construct.
+    pub fn construct(&self) -> &ParallelConstruct {
+        &self.construct
+    }
+
+    /// The session's team.
+    pub fn team(&self) -> &Team {
+        &self.team
+    }
+
+    /// Wrap the stack in a [`ValidatingMonitor`]: the profiler only ever
+    /// observes a well-formed event stream; defects become
+    /// [`SessionReport::diagnostics`].
+    pub fn validated(self) -> MeasurementSession<ValidatingMonitor<M>> {
+        MeasurementSession {
+            team: self.team,
+            construct: self.construct,
+            monitor: ValidatingMonitor::new(self.monitor),
+            counts: self.counts,
+        }
+    }
+
+    /// Add an event counter to the stack; totals appear in
+    /// [`SessionReport::counts`].
+    pub fn counted(self) -> MeasurementSession<(CountingMonitor, M)> {
+        let counter = CountingMonitor::new();
+        MeasurementSession {
+            team: self.team,
+            construct: self.construct,
+            counts: Some(counter.clone()),
+            monitor: (counter, self.monitor),
+        }
+    }
+
+    /// Wrap the stack in a [`FilteredMonitor`] suppressing enter/exit for
+    /// regions rejected by `filter` (Score-P's runtime filtering).
+    pub fn filtered(self, filter: impl RegionFilter) -> MeasurementSession<FilteredMonitor<M>> {
+        MeasurementSession {
+            team: self.team,
+            construct: self.construct,
+            monitor: FilteredMonitor::new(self.monitor, filter),
+            counts: self.counts,
+        }
+    }
+
+    /// Pair an additional observer (e.g. a tracer) with the stack; it sees
+    /// the same event stream, before the profiling layers.
+    pub fn observed_by<O: Monitor>(self, observer: O) -> MeasurementSession<(O, M)> {
+        MeasurementSession {
+            team: self.team,
+            construct: self.construct,
+            monitor: (observer, self.monitor),
+            counts: self.counts,
+        }
+    }
+
+    /// Execute one parallel region under the session's construct: `f` runs
+    /// once per team thread as its implicit task. May be called repeatedly;
+    /// every region's measurements accumulate into the final report.
+    pub fn run<'env, F>(&self, f: F) -> ParallelOutcome
+    where
+        F: Fn(&TaskCtx<'_, 'env, M>) + Sync + 'env,
+    {
+        self.team.parallel(&self.monitor, &self.construct, f)
+    }
+
+    /// Like [`MeasurementSession::run`] but under a caller-supplied
+    /// construct (for programs with several distinct parallel regions).
+    pub fn run_in<'env, F>(&self, construct: &ParallelConstruct, f: F) -> ParallelOutcome
+    where
+        F: Fn(&TaskCtx<'_, 'env, M>) + Sync + 'env,
+    {
+        self.team.parallel(&self.monitor, construct, f)
+    }
+
+    /// Consume the session: drain every layer's diagnostics and the
+    /// profiler's collected shards into one [`SessionReport`].
+    ///
+    /// This is the session-final replacement for calling
+    /// `ProfMonitor::take_profile` by hand — consuming `self` guarantees no
+    /// region of *this* session is still measuring.
+    pub fn finish(self) -> SessionReport {
+        let mut diagnostics = Vec::new();
+        self.monitor.drain_diagnostics(&mut diagnostics);
+        let profile = self
+            .monitor
+            .profiler()
+            .take_profile()
+            .expect("a consumed session cannot have regions in flight");
+        SessionReport {
+            profile,
+            diagnostics,
+            counts: self.counts,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pomp::{RegionId, VirtualClock};
+    use taskrt::TaskConstruct;
+
+    #[test]
+    fn session_runs_and_finishes() {
+        let session = MeasurementSession::builder("session-test")
+            .threads(2)
+            .build()
+            .unwrap();
+        let task = TaskConstruct::new("session-test-task");
+        session
+            .run(|ctx| {
+                if ctx.tid() == 0 {
+                    for _ in 0..4 {
+                        ctx.task(&task, |_| {
+                            std::hint::black_box(42);
+                        });
+                    }
+                }
+            })
+            .unwrap();
+        let report = session.finish();
+        assert_eq!(report.profile.num_threads(), 2);
+        assert!(report.is_clean());
+        assert!(report.counts.is_none());
+    }
+
+    #[test]
+    fn full_stack_counts_and_validates() {
+        let session = MeasurementSession::builder("session-full")
+            .threads(2)
+            .max_depth(32)
+            .build()
+            .unwrap()
+            .counted()
+            .validated();
+        let task = TaskConstruct::new("session-full-task");
+        session
+            .run(|ctx| {
+                if ctx.tid() == 0 {
+                    for _ in 0..8 {
+                        ctx.task(&task, |_| {
+                            std::hint::black_box(1);
+                        });
+                    }
+                }
+            })
+            .unwrap();
+        let report = session.finish();
+        assert!(report.is_clean());
+        let (_, _, begins, ends, _, _, threads) = report.counts().snapshot();
+        assert_eq!(begins, 8);
+        assert_eq!(ends, 8);
+        assert_eq!(threads, 2);
+        assert_eq!(report.profile.num_threads(), 2);
+    }
+
+    #[test]
+    fn filtered_stack_suppresses_regions() {
+        let noisy = RegionId(u32::MAX - 7);
+        let session = MeasurementSession::builder("session-filter")
+            .threads(1)
+            .build()
+            .unwrap()
+            .filtered(move |r: RegionId| r != noisy);
+        session.run(|_| {}).unwrap();
+        let report = session.finish();
+        assert_eq!(report.profile.num_threads(), 1);
+    }
+
+    #[test]
+    fn virtual_clock_session_is_deterministic() {
+        let clock = VirtualClock::new();
+        let session = MeasurementSession::builder("session-virtual")
+            .threads(1)
+            .clock(clock.clone())
+            .build()
+            .unwrap();
+        session.run(|_| {}).unwrap();
+        clock.set(1000);
+        session.run(|_| {}).unwrap();
+        let report = session.finish();
+        assert_eq!(report.profile.num_threads(), 2, "two regions collected");
+    }
+
+    #[test]
+    fn repeated_runs_accumulate() {
+        let session = MeasurementSession::builder("session-repeat")
+            .threads(1)
+            .build()
+            .unwrap();
+        for _ in 0..3 {
+            session.run(|_| {}).unwrap();
+        }
+        assert_eq!(session.finish().profile.num_threads(), 3);
+    }
+}

@@ -15,8 +15,8 @@
 use cube::{format_ns, region_excl_by_kind, task_stats, AggProfile};
 use pomp::RegionKind;
 use std::time::Instant;
-use taskprof::ProfMonitor;
-use taskrt::{ParallelConstruct, SingleConstruct, TaskConstruct, Team};
+use taskprof_session::MeasurementSession;
+use taskrt::{SingleConstruct, TaskConstruct};
 
 fn busy_work(units: u64) -> u64 {
     let mut acc = 0u64;
@@ -27,7 +27,6 @@ fn busy_work(units: u64) -> u64 {
 }
 
 fn main() {
-    let par = ParallelConstruct::new("granularity");
     let single = SingleConstruct::new("granularity!single");
     let task = TaskConstruct::new("granularity_chunk");
     let total_work: u64 = 1 << 24; // constant total, varying split
@@ -41,9 +40,12 @@ fn main() {
     for exp in [4u32, 6, 8, 10, 12, 14, 16] {
         let ntasks = 1u64 << exp;
         let per_task = total_work / ntasks;
-        let monitor = ProfMonitor::new();
+        let session = MeasurementSession::builder("granularity")
+            .threads(threads)
+            .build()
+            .expect("default session configuration is valid");
         let start = Instant::now();
-        Team::new(threads).parallel(&monitor, &par, |ctx| {
+        session.run(|ctx| {
             ctx.single(&single, |ctx| {
                 for _ in 0..ntasks {
                     ctx.task(&task, move |_| {
@@ -53,7 +55,7 @@ fn main() {
             });
         });
         let kernel = start.elapsed();
-        let prof = AggProfile::from_profile(&monitor.take_profile());
+        let prof = AggProfile::from_profile(&session.finish().profile);
         let stats = &task_stats(&prof)[0];
         let create_ns = region_excl_by_kind(&prof, RegionKind::TaskCreate).max(0) as u64;
         let sched_ns = (region_excl_by_kind(&prof, RegionKind::ImplicitBarrier)

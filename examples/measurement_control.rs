@@ -8,8 +8,9 @@
 
 use bots::{run_app, AppId, RunOpts, Scale};
 use cube::AggProfile;
-use pomp::{registry, FilteredMonitor, RegionId, RegionKind};
-use taskprof::{calibrate, NodeKind, ProfMonitor};
+use pomp::{registry, RegionId, RegionKind};
+use taskprof::{calibrate, NodeKind};
+use taskprof_session::MeasurementSession;
 
 fn profile_size(p: &taskprof::Profile) -> usize {
     p.threads
@@ -29,9 +30,12 @@ fn main() {
     );
 
     // 1. Full measurement.
-    let full = ProfMonitor::new();
-    let out = run_app(AppId::Fib, &full, &opts);
-    let p_full = full.take_profile();
+    let full = MeasurementSession::builder("mc!full")
+        .threads(opts.threads)
+        .build()
+        .expect("default session configuration is valid");
+    let out = run_app(AppId::Fib, full.monitor(), &opts);
+    let p_full = full.finish().profile;
     println!(
         "full measurement      : kernel {:?}, profile nodes {}",
         out.kernel,
@@ -39,12 +43,15 @@ fn main() {
     );
 
     // 2. Runtime filtering: drop fib's taskwait events (its highest-
-    //    frequency region after creation).
-    let filtered = FilteredMonitor::new(ProfMonitor::new(), |r: RegionId| {
-        registry().kind(r) != RegionKind::Taskwait
-    });
-    let out = run_app(AppId::Fib, &filtered, &opts);
-    let p_filtered = filtered.inner().take_profile();
+    //    frequency region after creation) with the session's `filtered`
+    //    combinator.
+    let filtered = MeasurementSession::builder("mc!filtered")
+        .threads(opts.threads)
+        .build()
+        .expect("default session configuration is valid")
+        .filtered(|r: RegionId| registry().kind(r) != RegionKind::Taskwait);
+    let out = run_app(AppId::Fib, filtered.monitor(), &opts);
+    let p_filtered = filtered.finish().profile;
     println!(
         "filtered (no taskwait): kernel {:?}, profile nodes {}",
         out.kernel,
@@ -68,7 +75,6 @@ fn main() {
     //    whole point). What explodes call paths is deep *serial* recursion
     //    inside one task, which is what we demo here.
     println!("\ndeep serial recursion inside one task, with and without a depth limit:");
-    let par = taskrt::ParallelConstruct::new("mc!parallel");
     let single = taskrt::SingleConstruct::new("mc!single");
     let level = pomp::region!("mc_level", RegionKind::Function);
     fn deep<M: pomp::Monitor>(ctx: &taskrt::TaskCtx<'_, '_, M>, r: RegionId, depth: u32) {
@@ -78,14 +84,16 @@ fn main() {
         }
         ctx.region(r, |ctx| deep(ctx, r, depth - 1));
     }
-    for (name, monitor) in [
-        ("unlimited", ProfMonitor::new()),
-        ("depth ≤ 8", ProfMonitor::new().with_max_depth(8).expect("configured before any region")),
-    ] {
-        taskrt::Team::new(1).parallel(&monitor, &par, |ctx| {
+    for (name, depth_limit) in [("unlimited", None), ("depth ≤ 8", Some(8))] {
+        let mut builder = MeasurementSession::builder("mc!parallel").threads(1);
+        if let Some(d) = depth_limit {
+            builder = builder.max_depth(d);
+        }
+        let session = builder.build().expect("configured before any region");
+        session.run(|ctx| {
             ctx.single(&single, |ctx| deep(ctx, level, 500));
         });
-        let p = monitor.take_profile();
+        let p = session.finish().profile;
         let mut truncated = 0u64;
         p.threads[0].main.walk(&mut |_, n| {
             if n.kind == NodeKind::Truncated {

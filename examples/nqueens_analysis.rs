@@ -9,7 +9,8 @@
 use bots::{nqueens, run_app, AppId, RunOpts, Scale, Variant};
 use cube::{format_ns, param_table, region_excl_by_name, task_stats, AggProfile};
 use pomp::{registry, NullMonitor, RegionKind};
-use taskprof::{NodeKind, ProfMonitor};
+use taskprof::NodeKind;
+use taskprof_session::MeasurementSession;
 
 fn main() {
     let threads = 4;
@@ -27,14 +28,17 @@ fn main() {
     }
 
     // --- 2. Profile it. ---
-    let monitor = ProfMonitor::new();
+    let session = MeasurementSession::builder("nqueens-analysis")
+        .threads(threads)
+        .build()
+        .expect("default session configuration is valid");
     let out = run_app(
         AppId::Nqueens,
-        &monitor,
+        session.monitor(),
         &RunOpts::new(threads).scale(scale).with_depth_param(),
     );
     assert!(out.verified);
-    let prof = AggProfile::from_profile(&monitor.take_profile());
+    let prof = AggProfile::from_profile(&session.finish().profile);
 
     let stats = &task_stats(&prof)[0];
     println!("\n2) the profile says:");

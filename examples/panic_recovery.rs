@@ -17,10 +17,9 @@
 //! application would log.)
 
 use cube::{render_profile, AggProfile, RenderOpts};
-use pomp::ValidatingMonitor;
 use std::sync::atomic::{AtomicU64, Ordering};
-use taskprof::ProfMonitor;
-use taskrt::{taskwait_region, ParallelConstruct, SingleConstruct, TaskConstruct, Team};
+use taskprof_session::MeasurementSession;
+use taskrt::{taskwait_region, SingleConstruct, TaskConstruct};
 
 fn busy_work(units: u64) -> u64 {
     let mut acc = 0u64;
@@ -31,19 +30,23 @@ fn busy_work(units: u64) -> u64 {
 }
 
 fn main() {
-    let par = ParallelConstruct::new("recovery");
     let single = SingleConstruct::new("recovery!single");
     let work = TaskConstruct::new("work");
     let tw = taskwait_region("recovery!taskwait");
 
     // The validator sits between runtime and profiler; on this correct
     // runtime it stays silent, but it would shield the profiler from a
-    // buggy instrumentation layer.
-    let monitor = ValidatingMonitor::new(ProfMonitor::new());
+    // buggy instrumentation layer. `.validated()` stacks it statically —
+    // no dynamic dispatch on the event path.
+    let session = MeasurementSession::builder("recovery")
+        .threads(4)
+        .build()
+        .expect("default session configuration is valid")
+        .validated();
     let done = AtomicU64::new(0);
     let done = &done;
 
-    let outcome = Team::new(4).parallel(&monitor, &par, |ctx| {
+    let outcome = session.run(|ctx| {
         ctx.single(&single, |ctx| {
             for i in 0..32u64 {
                 ctx.task(&work, move |_| {
@@ -70,19 +73,18 @@ fn main() {
 
     // 2. The profile still exists; the aborted instance is tagged, its
     //    time up to the panic retained ("aborted 1" on the task tree).
-    let profile = monitor.inner().take_profile();
-    let agg = AggProfile::from_profile(&profile);
+    let report = session.finish();
+    let agg = AggProfile::from_profile(&report.profile);
     println!("{}", render_profile(&agg, &RenderOpts::default()));
 
     // 3. The stream validator saw a perfectly formed event stream: the
     //    runtime converts the panic into a legal task_abort event.
-    let diags = monitor.take_diagnostics();
-    println!("stream diagnostics: {}", diags.len());
-    for d in &diags {
+    println!("stream diagnostics: {}", report.diagnostics.len());
+    for d in &report.diagnostics {
         println!("  {d}");
     }
 
     assert!(!outcome.is_ok() && outcome.failed_tasks() == 1);
-    assert_eq!(profile.aborted_instances(), 1);
-    assert!(diags.is_empty());
+    assert_eq!(report.profile.aborted_instances(), 1);
+    assert!(report.is_clean());
 }

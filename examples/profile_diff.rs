@@ -8,17 +8,20 @@
 
 use bots::{run_app, AppId, RunOpts, Scale};
 use cube::{diff_profiles, format_ns, AggProfile};
-use taskprof::ProfMonitor;
+use taskprof_session::MeasurementSession;
 
 fn profile_at(threads: usize) -> AggProfile {
-    let monitor = ProfMonitor::new();
+    let session = MeasurementSession::builder("profile-diff")
+        .threads(threads)
+        .build()
+        .expect("default session configuration is valid");
     let out = run_app(
         AppId::Nqueens,
-        &monitor,
+        session.monitor(),
         &RunOpts::new(threads).scale(Scale::Small),
     );
     assert!(out.verified);
-    AggProfile::from_profile(&monitor.take_profile())
+    AggProfile::from_profile(&session.finish().profile)
 }
 
 fn main() {

@@ -5,14 +5,14 @@
 //! cargo run --release --example quickstart
 //! ```
 //!
-//! Demonstrates the full stack: the `taskrt` tied-task runtime, the
-//! `taskprof` profiler attached through the `pomp` hook interface, and the
-//! `cube` profile renderer.
+//! Demonstrates the full stack through the one front door: a
+//! [`MeasurementSession`] assembles the `taskrt` tied-task runtime and the
+//! sharded `taskprof` profiler; `cube` renders the resulting profile.
 
 use cube::{render_profile, AggProfile, RenderOpts};
 use std::sync::atomic::{AtomicU64, Ordering};
-use taskprof::ProfMonitor;
-use taskrt::{taskwait_region, ParallelConstruct, SingleConstruct, TaskConstruct, Team};
+use taskprof_session::MeasurementSession;
+use taskrt::{taskwait_region, SingleConstruct, TaskConstruct};
 
 fn busy_work(units: u64) -> u64 {
     // Deterministic spin so tasks have measurable, size-controlled bodies.
@@ -25,16 +25,20 @@ fn busy_work(units: u64) -> u64 {
 
 fn main() {
     // 1. Register the constructs (what OPARI2 generates from pragmas).
-    let par = ParallelConstruct::new("quickstart");
+    //    The session registers its own parallel construct under the name
+    //    it is built with.
     let single = SingleConstruct::new("quickstart!single");
     let chunk = TaskConstruct::new("chunk");
     let reduce = TaskConstruct::new("reduce");
     let tw = taskwait_region("quickstart!taskwait");
 
-    // 2. Attach a profiler and run a parallel region with tasks.
-    let monitor = ProfMonitor::new();
+    // 2. Build a measurement session and run a parallel region with tasks.
+    let session = MeasurementSession::builder("quickstart")
+        .threads(4)
+        .build()
+        .expect("default session configuration is valid");
     let total = AtomicU64::new(0);
-    Team::new(4).parallel(&monitor, &par, |ctx| {
+    session.run(|ctx| {
         ctx.single(&single, |ctx| {
             // Fan out 32 "chunk" tasks ...
             for i in 0..32u64 {
@@ -52,7 +56,7 @@ fn main() {
     });
 
     // 3. Aggregate and render (the paper's Fig. 5 view).
-    let profile = AggProfile::from_profile(&monitor.take_profile());
+    let profile = AggProfile::from_profile(&session.finish().profile);
     println!("{}", render_profile(&profile, &RenderOpts::default()));
     println!("checksum: {}", total.load(Ordering::Relaxed));
     println!();

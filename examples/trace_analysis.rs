@@ -15,19 +15,23 @@
 use bots::{run_app, AppId, RunOpts, Scale};
 use cube::{format_ns, AggProfile};
 use std::collections::HashMap;
-use taskprof::ProfMonitor;
+use taskprof_session::MeasurementSession;
 use taskprof_trace::{analyze, TraceMonitor};
 
 fn main() {
-    let profiler = ProfMonitor::new();
     let tracer = TraceMonitor::new();
+    let session = MeasurementSession::builder("trace-analysis")
+        .threads(4)
+        .build()
+        .expect("default session configuration is valid")
+        .observed_by(&tracer);
     let opts = RunOpts::new(4).scale(Scale::Small);
-    let out = run_app(AppId::SparseLu, &(&profiler, &tracer), &opts);
+    let out = run_app(AppId::SparseLu, session.monitor(), &opts);
     assert!(out.verified);
     println!("sparselu, 4 threads, kernel {:?}\n", out.kernel);
 
     // What the profile can say: barrier/taskwait time minus stub time.
-    let agg = AggProfile::from_profile(&profiler.take_profile());
+    let agg = AggProfile::from_profile(&session.finish().profile);
     let sched_excl = cube::region_excl_by_kind(&agg, pomp::RegionKind::ImplicitBarrier)
         + cube::region_excl_by_kind(&agg, pomp::RegionKind::Taskwait);
     println!(

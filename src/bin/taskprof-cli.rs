@@ -18,7 +18,7 @@ use cube::{
     diagnose, diff_profiles, format_ns, read_profile, render_loads, render_profile, thread_loads,
     to_csv, to_dot, write_profile, AggProfile, DiagnoseConfig, RenderOpts,
 };
-use taskprof::ProfMonitor;
+use taskprof_session::MeasurementSession;
 use taskprof_trace::{analyze, TraceMonitor};
 
 fn usage() -> ! {
@@ -91,12 +91,15 @@ fn cmd_run(args: &[String]) {
         diag = true;
     }
 
-    let profiler = ProfMonitor::new();
+    let session = MeasurementSession::builder("taskprof-cli")
+        .threads(opts.threads)
+        .build()
+        .expect("default session configuration is valid");
     let tracer = TraceMonitor::new();
     let out = if trace_on {
-        run_app(app, &(&profiler, &tracer), &opts)
+        run_app(app, &(&tracer, session.monitor()), &opts)
     } else {
-        run_app(app, &profiler, &opts)
+        run_app(app, session.monitor(), &opts)
     };
     println!(
         "# {} scale={:?} threads={} variant={:?}: kernel {:?}, checksum {}, verified {}",
@@ -108,7 +111,7 @@ fn cmd_run(args: &[String]) {
         out.checksum,
         out.verified
     );
-    let profile = profiler.take_profile();
+    let profile = session.finish().profile;
     let agg = AggProfile::from_profile(&profile);
 
     if render {

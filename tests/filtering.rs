@@ -12,7 +12,7 @@ fn filtering_taskwaits_removes_them_but_keeps_task_stats() {
     let full = ProfMonitor::new();
     let out = run_app(AppId::Fib, &full, &RunOpts::new(2).scale(Scale::Test));
     assert!(out.verified);
-    let full_profile = full.take_profile();
+    let full_profile = full.take_profile().expect("no region in flight");
 
     // Filter out every taskwait region (fib's most frequent event after
     // creation — the paper's Section V-A culprit for fib's overhead).
@@ -22,7 +22,7 @@ fn filtering_taskwaits_removes_them_but_keeps_task_stats() {
     });
     let out = run_app(AppId::Fib, &filtered, &RunOpts::new(2).scale(Scale::Test));
     assert!(out.verified);
-    let filtered_profile = filtered.inner().take_profile();
+    let filtered_profile = filtered.inner().take_profile().expect("no region in flight");
 
     let tw = reg.lookup("fib!taskwait", RegionKind::Taskwait).unwrap();
     let count_tw = |p: &taskprof::Profile| -> u64 {
@@ -61,7 +61,7 @@ fn filtering_user_regions_by_name() {
     });
     let out = run_app(AppId::SparseLu, &filtered, &RunOpts::new(2).scale(Scale::Test));
     assert!(out.verified);
-    let p = filtered.inner().take_profile();
+    let p = filtered.inner().take_profile().expect("no region in flight");
     let reg = registry();
     let dropped = reg.lookup(drop_name, RegionKind::TaskCreate).unwrap();
     for t in &p.threads {

@@ -13,7 +13,7 @@ fn run(app: AppId, scale: Scale, threads: usize) -> taskprof::Profile {
     let m = ProfMonitor::new();
     let out = run_app(app, &m, &RunOpts::new(threads).scale(scale));
     assert!(out.verified);
-    m.take_profile()
+    m.take_profile().expect("no region in flight")
 }
 
 #[test]
@@ -120,12 +120,15 @@ fn depth_limit_caps_profile_size_on_deep_recursion() {
     let unlimited = ProfMonitor::new();
     let out = run_app(AppId::Fib, &unlimited, &RunOpts::new(1).scale(Scale::Test));
     assert!(out.verified);
-    let p_unlimited = unlimited.take_profile();
+    let p_unlimited = unlimited.take_profile().expect("no region in flight");
 
-    let limited = ProfMonitor::new().with_max_depth(2).expect("configured before any region");
+    let limited = ProfMonitor::builder()
+        .max_depth(2)
+        .build()
+        .expect("valid depth limit");
     let out = run_app(AppId::Fib, &limited, &RunOpts::new(1).scale(Scale::Test));
     assert!(out.verified, "depth limit must not affect program results");
-    let p_limited = limited.take_profile();
+    let p_limited = limited.take_profile().expect("no region in flight");
 
     let size = |p: &taskprof::Profile| -> usize {
         p.threads

@@ -94,7 +94,7 @@ fn mixed_constructs_profile_cleanly() {
         let monitor = ProfMonitor::new();
         let got = run_mixed(&monitor, threads, 2);
         assert_eq!(got, expected(threads, 2));
-        let profile = monitor.take_profile();
+        let profile = monitor.take_profile().expect("no region in flight");
         assert_eq!(profile.num_threads(), threads);
         // Both task constructs appear as aggregate trees somewhere.
         let reg = pomp::registry();
@@ -151,7 +151,7 @@ fn repeated_profiled_regions_are_independent() {
     let monitor = ProfMonitor::new();
     for _ in 0..3 {
         run_mixed(&monitor, 2, 1);
-        let p = monitor.take_profile();
+        let p = monitor.take_profile().expect("no region in flight");
         assert_eq!(p.num_threads(), 2);
         for t in &p.threads {
             assert!(t.main.stats.sum_ns > 0);

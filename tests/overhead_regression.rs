@@ -1,0 +1,61 @@
+//! Overhead regression guard: the full session stack (counting +
+//! validation + sharded profiler) must stay within a generous fixed
+//! multiple of an uninstrumented run.
+//!
+//! The bound is deliberately loose — CI machines are noisy and debug
+//! builds uninlined — but it catches the failure mode that matters: an
+//! accidental lock or allocation on the per-event fast path turns the
+//! multiplier into hundreds, not tens.
+
+use bots::{run_app, AppId, RunOpts, Scale, Variant};
+use pomp::NullMonitor;
+use std::time::Duration;
+use taskprof_session::MeasurementSession;
+
+/// Ratio ceiling: per-event work is bounded (clock read + arena bump +
+/// counter increments), so even unoptimized builds stay well below this.
+const MAX_OVERHEAD_RATIO: f64 = 25.0;
+const REPS: usize = 3;
+
+fn min_time(mut run: impl FnMut() -> Duration) -> Duration {
+    (0..REPS).map(|_| run()).min().expect("REPS >= 1")
+}
+
+#[test]
+fn full_session_stack_overhead_is_bounded() {
+    let threads = 2;
+    let opts = RunOpts::new(threads)
+        .scale(Scale::Small)
+        .variant(Variant::Cutoff);
+
+    let base = min_time(|| {
+        let out = run_app(AppId::Fib, &NullMonitor, &opts);
+        assert!(out.verified);
+        out.kernel
+    });
+
+    let instrumented = min_time(|| {
+        let session = MeasurementSession::builder("overhead-guard")
+            .threads(threads)
+            .build()
+            .expect("default session configuration is valid")
+            .counted()
+            .validated();
+        let out = run_app(AppId::Fib, session.monitor(), &opts);
+        assert!(out.verified);
+        let report = session.finish();
+        assert!(report.is_clean());
+        assert_eq!(report.profile.num_threads(), threads);
+        out.kernel
+    });
+
+    // Guard against degenerate timer resolution on tiny baselines.
+    let base = base.max(Duration::from_micros(50));
+    let ratio = instrumented.as_secs_f64() / base.as_secs_f64();
+    assert!(
+        ratio < MAX_OVERHEAD_RATIO,
+        "full measurement stack is {ratio:.1}x the uninstrumented run \
+         (base {base:?}, instrumented {instrumented:?}); the per-event \
+         fast path has likely regressed (lock or allocation in a hook?)"
+    );
+}

@@ -45,7 +45,7 @@ fn sibling_panic_is_isolated_and_profiled() {
 
     // The profile still merged: 16 instances counted, one tagged aborted,
     // and the observed time of the aborted instance was kept.
-    let p = m.take_profile();
+    let p = m.take_profile().expect("no region in flight");
     let trees: Vec<&taskprof::SnapNode> =
         p.threads.iter().flat_map(|t| &t.task_trees).collect();
     assert!(!trees.is_empty(), "task trees survived the panic");
@@ -94,7 +94,7 @@ fn panic_deep_in_recursive_task_chain_releases_all_ancestors() {
         .panic_message()
         .is_some_and(|s| s.contains("leaf panicked")));
 
-    let p = m.take_profile();
+    let p = m.take_profile().expect("no region in flight");
     assert_eq!(p.aborted_instances(), 1);
     // All 13 instances (12 ancestors + leaf) began and were closed: the
     // ancestors normally after their taskwait released, the leaf aborted.
@@ -131,7 +131,7 @@ fn panics_on_worker_threads_are_contained_too() {
     });
 
     assert_eq!(outcome.failed_tasks(), 4);
-    let p = m.take_profile();
+    let p = m.take_profile().expect("no region in flight");
     assert_eq!(p.num_threads(), 4, "all threads reported a snapshot");
     assert_eq!(p.aborted_instances(), 4);
     let visits: u64 = p
@@ -155,7 +155,7 @@ fn clean_bots_run_under_validator_stays_clean() {
     let out = run_app(AppId::Fib, &v, &RunOpts::new(2).scale(Scale::Test));
     assert!(out.verified);
     assert!(v.is_clean(), "diagnostics: {:?}", v.take_diagnostics());
-    let p = v.inner().take_profile();
+    let p = v.inner().take_profile().expect("no region in flight");
     assert_eq!(p.num_threads(), 2);
     assert_eq!(p.aborted_instances(), 0);
     assert!(p.threads.iter().any(|t| !t.task_trees.is_empty()));

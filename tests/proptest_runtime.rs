@@ -102,7 +102,7 @@ proptest! {
     fn profiled_run_counts_match(shape in shape_strategy(), threads in 1usize..4) {
         let monitor = ProfMonitor::new();
         let got = run_shape(&monitor, &shape, threads);
-        let profile = monitor.take_profile();
+        let profile = monitor.take_profile().expect("no region in flight");
         prop_assert_eq!(profile.num_threads(), threads);
         let completed: u64 = profile
             .threads

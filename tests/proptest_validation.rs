@@ -70,7 +70,7 @@ proptest! {
             apply(&th, &regions, o);
         }
         v.thread_end(0, th);
-        let p = v.inner().take_profile();
+        let p = v.inner().take_profile().expect("no region in flight");
         prop_assert_eq!(p.threads.len(), 1);
         // Finalized: the implicit root's time is accounted and no
         // negative exclusive time appears anywhere.

@@ -23,7 +23,7 @@ fn profiled(app: AppId, threads: usize, variant: Variant) -> Profile {
     let opts = RunOpts::new(threads).scale(Scale::Test).variant(variant);
     let out = run_app(app, &monitor, &opts);
     assert!(out.verified, "{} not verified under profiling", app.name());
-    monitor.take_profile()
+    monitor.take_profile().expect("no region in flight")
 }
 
 #[test]
@@ -172,9 +172,9 @@ fn profiles_collected_per_parallel_region() {
     let monitor = ProfMonitor::new();
     let opts = RunOpts::new(2).scale(Scale::Test);
     run_app(AppId::Health, &monitor, &opts);
-    let p1 = monitor.take_profile();
+    let p1 = monitor.take_profile().expect("no region in flight");
     assert_eq!(p1.num_threads(), 2);
     run_app(AppId::Health, &monitor, &opts);
-    let p2 = monitor.take_profile();
+    let p2 = monitor.take_profile().expect("no region in flight");
     assert_eq!(p2.num_threads(), 2);
 }

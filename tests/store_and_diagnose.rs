@@ -10,7 +10,7 @@ fn profile_of(app: AppId, opts: &RunOpts) -> taskprof::Profile {
     let monitor = ProfMonitor::new();
     let out = run_app(app, &monitor, opts);
     assert!(out.verified);
-    monitor.take_profile()
+    monitor.take_profile().expect("no region in flight")
 }
 
 #[test]

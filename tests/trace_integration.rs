@@ -14,7 +14,7 @@ fn trace_is_balanced_and_counts_match_profile() {
     let out = run_app(AppId::Fib, &(&profiler, &tracer), &opts);
     assert!(out.verified);
 
-    let profile = profiler.take_profile();
+    let profile = profiler.take_profile().expect("no region in flight");
     let trace = tracer.take_trace();
     assert_eq!(trace.nthreads, 2);
 
