@@ -19,4 +19,10 @@ BENCH_SCALE="${BENCH_SCALE:-test}" BENCH_REPS="${BENCH_REPS:-1}" \
     cargo run --release -p bench --bin overhead_json -- /tmp/BENCH_overhead.smoke.json
 echo "(full run: BENCH_SCALE=small cargo run --release -p bench --bin overhead_json)"
 
+echo "=== live telemetry smoke ==="
+# Polls the lock-free gauges while nqueens runs, then asserts both
+# exporters round-trip and the HWM gauge matches the profile.
+cargo run --release --example live_telemetry | tee /tmp/live_telemetry.out
+grep -q "LIVE_TELEMETRY_OK" /tmp/live_telemetry.out
+
 echo "CI_OK"

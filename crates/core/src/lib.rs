@@ -60,3 +60,4 @@ pub use profiler::{AssignPolicy, ThreadProfile};
 pub use replay::{replay, Event, Replayer, TeamReplayer};
 pub use snapshot::{Profile, SnapNode, ThreadSnapshot};
 pub use tree::NodeKind;
+pub use taskprof_telemetry::{TelemetryConfig, TelemetryCore, TelemetrySnapshot};

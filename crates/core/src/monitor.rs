@@ -24,12 +24,13 @@ use crate::shard::HandoffStack;
 use crate::snapshot::{Profile, ThreadSnapshot};
 use crate::tree::Arena;
 use pomp::{
-    ClockReader, ClockSource, Monitor, MonotonicClock, ParamId, RegionId, TaskId, TaskRef,
-    ThreadHooks,
+    ClockReader, ClockSource, EventClass, Monitor, MonotonicClock, ParamId, RegionId, TaskId,
+    TaskRef, ThreadHooks,
 };
 use std::cell::UnsafeCell;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
+use taskprof_telemetry::{TelemetryConfig, TelemetryCore, ThreadTelemetry};
 
 /// Default preallocated arena slots per thread shard. Sized generously for
 /// BOTS-style call trees (tens of regions × parameter fan-out); a shard
@@ -124,6 +125,9 @@ struct Inner<C: ClockSource> {
     spare_arenas: HandoffStack<Arena>,
     live_threads: AtomicUsize,
     live_regions: AtomicUsize,
+    /// Live telemetry counters, when enabled. `None` keeps the event fast
+    /// path to a single never-taken branch per hook.
+    telemetry: Option<Arc<TelemetryCore>>,
 }
 
 /// Builder for [`ProfMonitor`]: collect every setting, validate once in
@@ -145,6 +149,7 @@ pub struct ProfMonitorBuilder<C: ClockSource = MonotonicClock> {
     max_depth: Option<usize>,
     max_live_trees: Option<usize>,
     prealloc_nodes: usize,
+    telemetry: Option<TelemetryConfig>,
 }
 
 impl Default for ProfMonitorBuilder<MonotonicClock> {
@@ -155,6 +160,7 @@ impl Default for ProfMonitorBuilder<MonotonicClock> {
             max_depth: None,
             max_live_trees: None,
             prealloc_nodes: DEFAULT_PREALLOC_NODES,
+            telemetry: None,
         }
     }
 }
@@ -177,6 +183,7 @@ impl<C: ClockSource> ProfMonitorBuilder<C> {
             max_depth: self.max_depth,
             max_live_trees: self.max_live_trees,
             prealloc_nodes: self.prealloc_nodes,
+            telemetry: self.telemetry,
         }
     }
 
@@ -210,6 +217,19 @@ impl<C: ClockSource> ProfMonitorBuilder<C> {
         self
     }
 
+    /// Enable live telemetry with default settings (lock-free shard
+    /// gauges, 1-in-64 perturbation sampling). See
+    /// [`ProfMonitor::telemetry_core`] for reading it.
+    pub fn telemetry(self) -> Self {
+        self.telemetry_config(TelemetryConfig::default())
+    }
+
+    /// Enable live telemetry with an explicit configuration.
+    pub fn telemetry_config(mut self, config: TelemetryConfig) -> Self {
+        self.telemetry = Some(config);
+        self
+    }
+
     /// Validate every setting and construct the monitor.
     pub fn build(self) -> Result<ProfMonitor<C>, ConfigError> {
         if self.max_depth == Some(0) {
@@ -226,6 +246,15 @@ impl<C: ClockSource> ProfMonitorBuilder<C> {
                 reason: "a live-tree cap of 0 would shed every task instance",
             });
         }
+        if let Some(cfg) = &self.telemetry {
+            if cfg.sample_every == 0 {
+                return Err(ConfigError::InvalidValue {
+                    setting: "telemetry.sample_every",
+                    value: 0,
+                    reason: "the perturbation sampling period must be at least 1",
+                });
+            }
+        }
         Ok(ProfMonitor {
             inner: Arc::new(Inner {
                 clock: self.clock,
@@ -237,6 +266,9 @@ impl<C: ClockSource> ProfMonitorBuilder<C> {
                 spare_arenas: HandoffStack::new(),
                 live_threads: AtomicUsize::new(0),
                 live_regions: AtomicUsize::new(0),
+                telemetry: self
+                    .telemetry
+                    .map(|cfg| Arc::new(TelemetryCore::new(cfg))),
             }),
         })
     }
@@ -320,6 +352,13 @@ impl<C: ClockSource> ProfMonitor<C> {
         self.inner.policy
     }
 
+    /// The live telemetry counters, when enabled via
+    /// [`ProfMonitorBuilder::telemetry`]. Cheap to clone and safe to poll
+    /// from any thread at any time, including mid-measurement.
+    pub fn telemetry_core(&self) -> Option<Arc<TelemetryCore>> {
+        self.inner.telemetry.clone()
+    }
+
     /// Apply a configuration change, failing cleanly (instead of
     /// panicking) when threads already hold references to the monitor.
     fn reconfigure(
@@ -379,6 +418,9 @@ impl<C: ClockSource> ProfMonitor<C> {
         }
         let mut threads = self.inner.collected.take_all();
         threads.sort_by_key(|t| t.tid);
+        if let Some(tc) = &self.inner.telemetry {
+            tc.note_snapshots_collected(threads.len() as u64);
+        }
         Ok(Profile { threads })
     }
 }
@@ -398,6 +440,9 @@ pub struct ProfThread<C: ClockSource> {
     // never aliased. This removes the `RefCell` borrow-flag check from
     // the per-event fast path.
     prof: UnsafeCell<ThreadProfile>,
+    /// Telemetry write handle when enabled: relaxed stores onto the
+    /// thread's own padded slot, so the steady-state path stays lock-free.
+    telem: Option<ThreadTelemetry>,
 }
 
 impl<C: ClockSource> ProfThread<C> {
@@ -413,6 +458,32 @@ impl<C: ClockSource> ProfThread<C> {
         // SAFETY: single-owner, non-reentrant access per the field's
         // documented invariant; `UnsafeCell` makes the type `!Sync`.
         unsafe { &mut *self.prof.get() }
+    }
+
+    /// Telemetry tail for hooks without task-lifecycle side effects:
+    /// count the event and, for the 1-in-N elected events, read the clock
+    /// once more to self-time the profiling work that just ran
+    /// (perturbation accounting). One never-taken branch when telemetry
+    /// is off.
+    #[inline]
+    fn telem_tail(&self, class: EventClass, t0: u64) {
+        if let Some(tm) = &self.telem {
+            if tm.tick(class) {
+                tm.record_cost(class, self.now().saturating_sub(t0));
+            }
+        }
+    }
+
+    /// After a task-lifecycle transition: publish the shard's live-tree
+    /// gauge and track whether the thread is inside an explicit-task
+    /// fragment at time `t`.
+    #[inline]
+    fn telem_task_state(tm: &ThreadTelemetry, prof: &ThreadProfile, t: u64) {
+        tm.update_live(prof.live_instance_trees() as u64);
+        match prof.current_task() {
+            TaskRef::Explicit(_) => tm.fragment_begin(t),
+            TaskRef::Implicit => tm.fragment_end(t),
+        }
     }
 }
 
@@ -432,11 +503,18 @@ impl<C: ClockSource + 'static> Monitor for ProfMonitor<C> {
         // Steal a recycled arena from an earlier region if one is spare;
         // otherwise preallocate. Either way the event path that follows
         // does not allocate until the preallocation is exhausted.
-        let arena = self
-            .inner
-            .spare_arenas
-            .steal_one()
-            .unwrap_or_else(|| Arena::with_capacity(self.inner.prealloc_nodes));
+        let (arena, recycled) = match self.inner.spare_arenas.steal_one() {
+            Some(a) => (a, true),
+            None => (Arena::with_capacity(self.inner.prealloc_nodes), false),
+        };
+        let telem = self.inner.telemetry.as_ref().map(|tc| {
+            if recycled {
+                tc.note_arena_recycled();
+            } else {
+                tc.note_arena_allocated();
+            }
+            tc.thread_handle(tid)
+        });
         let reader = self.inner.clock.thread_reader();
         let t = reader.now();
         let mut prof = ThreadProfile::new_in(arena, region, t, self.inner.policy);
@@ -446,6 +524,7 @@ impl<C: ClockSource + 'static> Monitor for ProfMonitor<C> {
             reader,
             tid,
             prof: UnsafeCell::new(prof),
+            telem,
         }
     }
 
@@ -457,6 +536,11 @@ impl<C: ClockSource + 'static> Monitor for ProfMonitor<C> {
         // returns the arena to the spare pool.
         self.inner.collected.push(prof.snapshot(tid));
         self.inner.spare_arenas.push(prof.into_arena());
+        if let Some(tm) = &thread.telem {
+            tm.thread_end(t);
+            tm.core().note_snapshot_published();
+            tm.core().note_arena_returned();
+        }
         self.inner.live_threads.fetch_sub(1, Ordering::AcqRel);
     }
 }
@@ -466,12 +550,14 @@ impl<C: ClockSource> ThreadHooks for ProfThread<C> {
     fn enter(&self, region: RegionId) {
         let t = self.now();
         self.prof().enter(region, t);
+        self.telem_tail(EventClass::Enter, t);
     }
 
     #[inline]
     fn exit(&self, region: RegionId) {
         let t = self.now();
         self.prof().exit(region, t);
+        self.telem_tail(EventClass::Exit, t);
     }
 
     #[inline]
@@ -479,6 +565,10 @@ impl<C: ClockSource> ThreadHooks for ProfThread<C> {
         let t = self.now();
         self.prof()
             .task_create_begin(create_region, task_region, new_task, t);
+        if let Some(tm) = &self.telem {
+            tm.task_created();
+        }
+        self.telem_tail(EventClass::TaskCreate, t);
     }
 
     #[inline]
@@ -486,42 +576,80 @@ impl<C: ClockSource> ThreadHooks for ProfThread<C> {
         let t = self.now();
         self.prof()
             .task_create_end(create_region, new_task, t);
+        self.telem_tail(EventClass::TaskCreate, t);
     }
 
     #[inline]
     fn task_begin(&self, task_region: RegionId, task: TaskId) {
         let t = self.now();
-        self.prof().task_begin(task_region, task, t);
+        let prof = self.prof();
+        if let Some(tm) = &self.telem {
+            // Shedding is decided inside `task_begin`; observe it as the
+            // delta of the profile's shed counter.
+            let shed_before = prof.shed_instances();
+            prof.task_begin(task_region, task, t);
+            if prof.shed_instances() > shed_before {
+                tm.task_shed();
+            }
+            Self::telem_task_state(tm, prof, t);
+        } else {
+            prof.task_begin(task_region, task, t);
+        }
+        self.telem_tail(EventClass::TaskBegin, t);
     }
 
     #[inline]
     fn task_end(&self, task_region: RegionId, task: TaskId) {
         let t = self.now();
-        self.prof().task_end(task_region, task, t);
+        let prof = self.prof();
+        prof.task_end(task_region, task, t);
+        if let Some(tm) = &self.telem {
+            tm.task_completed();
+            Self::telem_task_state(tm, prof, t);
+        }
+        self.telem_tail(EventClass::TaskEnd, t);
     }
 
     #[inline]
     fn task_abort(&self, task_region: RegionId, task: TaskId) {
         let t = self.now();
-        self.prof().task_abort(task_region, task, t);
+        let prof = self.prof();
+        prof.task_abort(task_region, task, t);
+        if let Some(tm) = &self.telem {
+            tm.task_aborted();
+            Self::telem_task_state(tm, prof, t);
+        }
+        self.telem_tail(EventClass::TaskAbort, t);
     }
 
     #[inline]
     fn task_switch(&self, resumed: TaskRef) {
         let t = self.now();
-        self.prof().task_switch(resumed, t);
+        let prof = self.prof();
+        let prev = prof.current_task();
+        prof.task_switch(resumed, t);
+        if let Some(tm) = &self.telem {
+            // A redundant switch (already current) is a profiler no-op and
+            // must not be counted as a fragment resumption.
+            if prev != resumed {
+                Self::telem_task_state(tm, prof, t);
+            }
+        }
+        self.telem_tail(EventClass::TaskSwitch, t);
     }
 
     #[inline]
     fn parameter_begin(&self, param: ParamId, value: i64) {
         let t = self.now();
         self.prof().parameter_begin(param, value, t);
+        self.telem_tail(EventClass::Param, t);
     }
 
     #[inline]
     fn parameter_end(&self, param: ParamId) {
         let t = self.now();
         self.prof().parameter_end(param, t);
+        self.telem_tail(EventClass::Param, t);
     }
 }
 

@@ -164,6 +164,77 @@ pub fn render_profile(p: &AggProfile, opts: &RenderOpts) -> String {
     out
 }
 
+/// Render a live telemetry snapshot as a compact ASCII dashboard — the
+/// observability companion of [`render_profile`]. `elapsed_ns` (when
+/// known) turns the perturbation estimate into an overhead percentage.
+pub fn render_telemetry(s: &taskprof_telemetry::TelemetrySnapshot, elapsed_ns: Option<u64>) -> String {
+    use pomp::EventClass;
+    let mut out = String::new();
+    let _ = writeln!(out, "=== session telemetry ===");
+    let _ = writeln!(
+        out,
+        "tasks: created {} completed {} aborted {} shed {} in-flight {}",
+        s.tasks_created,
+        s.tasks_completed,
+        s.tasks_aborted,
+        s.tasks_shed,
+        s.tasks_in_flight()
+    );
+    let _ = writeln!(
+        out,
+        "fragments: {} executed, stub time {}",
+        s.fragments,
+        format_ns(s.stub_time_ns)
+    );
+    let _ = writeln!(
+        out,
+        "live instance trees: {} (per-thread high-water mark {})",
+        s.live_trees, s.live_trees_hwm
+    );
+    let _ = writeln!(
+        out,
+        "threads active: {}  handoff stack depth: {}  spare arenas: {}",
+        s.threads_active, s.handoff_depth, s.spare_arenas
+    );
+    let _ = writeln!(
+        out,
+        "arenas: {} recycled, {} freshly allocated",
+        s.arenas_recycled, s.arenas_allocated
+    );
+    let _ = writeln!(out, "events ({} total):", s.total_events());
+    for class in EventClass::ALL {
+        let n = s.events[class.index()];
+        if n == 0 {
+            continue;
+        }
+        let cost = match s.per_event_cost_ns(class) {
+            Some(c) => format!("  ~{} each ({} sampled)", format_ns(c as u64), s.perturb_samples[class.index()]),
+            None => String::new(),
+        };
+        let _ = writeln!(out, "  {:<12} {n}{cost}", class.label());
+    }
+    let overhead = s.estimated_overhead_ns();
+    match elapsed_ns.and_then(|e| s.estimated_overhead_ratio(e)) {
+        Some(ratio) => {
+            let _ = writeln!(
+                out,
+                "estimated measurement perturbation: {} ({:.3}% of {})",
+                format_ns(overhead as u64),
+                ratio * 100.0,
+                format_ns(elapsed_ns.unwrap_or(0)),
+            );
+        }
+        None => {
+            let _ = writeln!(
+                out,
+                "estimated measurement perturbation: {}",
+                format_ns(overhead as u64)
+            );
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -230,6 +301,31 @@ mod tests {
         let s = render_profile(&p, &RenderOpts::default());
         assert!(s.contains("aborted 1"), "{s}");
         assert!(s.contains("aborted task instances: 1"), "{s}");
+    }
+
+    #[test]
+    fn telemetry_dashboard_renders_key_gauges() {
+        use pomp::EventClass;
+        let mut s = taskprof_telemetry::TelemetrySnapshot {
+            tasks_created: 10,
+            tasks_completed: 8,
+            live_trees: 2,
+            live_trees_hwm: 4,
+            fragments: 12,
+            stub_time_ns: 2_500_000,
+            ..Default::default()
+        };
+        s.events[EventClass::TaskBegin.index()] = 10;
+        s.perturb_samples[EventClass::TaskBegin.index()] = 2;
+        s.perturb_ns[EventClass::TaskBegin.index()] = 100;
+        let text = render_telemetry(&s, Some(1_000_000));
+        assert!(text.contains("created 10 completed 8"), "{text}");
+        assert!(text.contains("in-flight 2"), "{text}");
+        assert!(text.contains("high-water mark 4"), "{text}");
+        assert!(text.contains("task_begin"), "{text}");
+        assert!(text.contains("% of"), "{text}");
+        // Classes with no events stay out of the dashboard.
+        assert!(!text.contains("task_abort"), "{text}");
     }
 
     #[test]

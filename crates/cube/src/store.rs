@@ -106,6 +106,10 @@ fn write_node(out: &mut String, node: &SnapNode, depth: usize) {
         NodeKind::Truncated => "truncated \"\"".to_string(),
     };
     let s = &node.stats;
+    // Serialized min follows the export convention: 0 when no sample
+    // landed. The in-memory `u64::MAX` sentinel is an internal detail of
+    // `Stats` and must not leak into the text format (it used to, making
+    // store and CSV export disagree); the parser restores the sentinel.
     let _ = write!(
         out,
         "{}{} visits {} sum {} min {} max {} samples {}",
@@ -113,7 +117,7 @@ fn write_node(out: &mut String, node: &SnapNode, depth: usize) {
         ident,
         s.visits,
         s.sum_ns,
-        s.min_ns,
+        s.min().unwrap_or(0),
         s.max_ns,
         s.samples
     );
@@ -259,6 +263,13 @@ impl<'a> Parser<'a> {
         stats.min_ns = grab("min", &mut tokens)?;
         stats.max_ns = grab("max", &mut tokens)?;
         stats.samples = grab("samples", &mut tokens)?;
+        if stats.samples == 0 {
+            // Restore the internal no-samples sentinel so a re-loaded
+            // profile is indistinguishable from a live one (`Stats::min`
+            // returns `None`, `record` still folds correctly). Also
+            // normalizes legacy files that serialized the raw sentinel.
+            stats.min_ns = u64::MAX;
+        }
         // Optional fault-tolerance annotation (absent in clean and in
         // older profiles).
         match tokens.next() {
@@ -539,6 +550,48 @@ mod tests {
         assert_eq!(q.threads[0].task_trees, p.threads[0].task_trees);
         assert_eq!(q.aborted_instances(), 2);
         assert_eq!(text, write_profile(&q));
+    }
+
+    #[test]
+    fn no_samples_min_round_trips_as_zero() {
+        // A node with visits but no duration samples (e.g. a region still
+        // open at snapshot time, or a pure-visit stub) keeps the internal
+        // `u64::MAX` min sentinel. The text format must carry the export
+        // convention (0), never the sentinel, and the parser must restore
+        // the sentinel so `Stats::min()` stays `None` after a reload.
+        let reg = registry();
+        let par = reg.register("ms-par", RegionKind::Parallel, "t", 0);
+        let snap = taskprof::replay(par, AssignPolicy::Executing, [Event::Advance(5)]);
+        let mut p = Profile { threads: vec![snap] };
+        // Forge a visited-but-never-sampled child to pin the convention.
+        let mut stats = Stats::new();
+        stats.add_visit();
+        assert_eq!(stats.samples, 0);
+        assert_eq!(stats.min(), None);
+        let task = reg.register("ms-task", RegionKind::Task, "t", 0);
+        p.threads[0].main.children.push(SnapNode {
+            kind: NodeKind::Stub(task),
+            stats,
+            children: vec![],
+        });
+        let text = write_profile(&p);
+        assert!(
+            !text.contains(&u64::MAX.to_string()),
+            "sentinel leaked into the text format:\n{text}"
+        );
+        assert!(text.contains("min 0"), "{text}");
+        let q = read_profile(&text).expect("parse");
+        let reloaded = &q.threads[0].main.children.last().unwrap().stats;
+        assert_eq!(reloaded.min(), None, "sentinel restored on load");
+        assert_eq!(reloaded.min_ns, u64::MAX);
+        // Store, export-style accessors, and re-serialization all agree.
+        assert_eq!(text, write_profile(&q));
+        // Legacy files that serialized the raw sentinel still load (and
+        // normalize on the next write).
+        let legacy = text.replace("min 0", &format!("min {}", u64::MAX));
+        let ql = read_profile(&legacy).expect("legacy parse");
+        assert_eq!(ql.threads[0].main.children.last().unwrap().stats.min(), None);
+        assert_eq!(write_profile(&ql), text);
     }
 
     #[test]

@@ -20,6 +20,73 @@
 use crate::region::{ParamId, RegionId};
 use crate::task::TaskId;
 
+/// Classification of the hook vocabulary for telemetry and perturbation
+/// accounting: every [`ThreadHooks`] method maps to exactly one class
+/// (begin/end pairs of the same construct share one — `task_create_begin`
+/// and `task_create_end` are both [`EventClass::TaskCreate`]).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[repr(usize)]
+pub enum EventClass {
+    /// Region `enter`.
+    Enter,
+    /// Region `exit`.
+    Exit,
+    /// `task_create_begin` / `task_create_end`.
+    TaskCreate,
+    /// `task_begin`.
+    TaskBegin,
+    /// `task_end`.
+    TaskEnd,
+    /// `task_abort`.
+    TaskAbort,
+    /// `task_switch`.
+    TaskSwitch,
+    /// `parameter_begin` / `parameter_end`.
+    Param,
+}
+
+impl EventClass {
+    /// Number of classes (array dimension for per-class counters).
+    pub const COUNT: usize = 8;
+
+    /// Every class, in index order.
+    pub const ALL: [EventClass; EventClass::COUNT] = [
+        EventClass::Enter,
+        EventClass::Exit,
+        EventClass::TaskCreate,
+        EventClass::TaskBegin,
+        EventClass::TaskEnd,
+        EventClass::TaskAbort,
+        EventClass::TaskSwitch,
+        EventClass::Param,
+    ];
+
+    /// Dense index (0-based, stable across versions within `COUNT`).
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Lower-case label used by exporters (`enter`, `task_begin`, ...).
+    pub fn label(self) -> &'static str {
+        match self {
+            EventClass::Enter => "enter",
+            EventClass::Exit => "exit",
+            EventClass::TaskCreate => "task_create",
+            EventClass::TaskBegin => "task_begin",
+            EventClass::TaskEnd => "task_end",
+            EventClass::TaskAbort => "task_abort",
+            EventClass::TaskSwitch => "task_switch",
+            EventClass::Param => "param",
+        }
+    }
+
+    /// Inverse of [`EventClass::label`].
+    pub fn from_label(label: &str) -> Option<EventClass> {
+        EventClass::ALL.into_iter().find(|c| c.label() == label)
+    }
+}
+
 /// The task whose execution a thread resumes at a `task_switch`.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum TaskRef {

@@ -36,7 +36,7 @@ pub mod validate;
 pub use clock::{Clock, ClockReader, ClockSource, MonotonicClock, MonotonicReader, VirtualClock};
 pub use counting::{CountingMonitor, EventCounts};
 pub use filter::{FilteredMonitor, RegionFilter};
-pub use hooks::{Monitor, NullMonitor, NullThreadHooks, TaskRef, ThreadHooks};
+pub use hooks::{EventClass, Monitor, NullMonitor, NullThreadHooks, TaskRef, ThreadHooks};
 pub use region::{registry, ParamId, RegionId, RegionInfo, RegionKind, Registry};
 pub use task::{TaskId, TaskIdAllocator};
 pub use validate::{Defect, Diagnostic, Repair, ValidatingMonitor, ValidatingThread};

@@ -34,9 +34,12 @@ use pomp::{
     ClockSource, CountingMonitor, Diagnostic, EventCounts, FilteredMonitor, Monitor,
     MonotonicClock, RegionFilter, ValidatingMonitor,
 };
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 use taskprof::{
     AssignPolicy, ConfigError, Profile, ProfMonitor, ProfMonitorBuilder,
 };
+use taskprof_telemetry::{Sampler, TelemetryConfig, TelemetryCore, TelemetrySnapshot};
 use taskrt::{ParallelConstruct, ParallelOutcome, TaskCtx, Team};
 
 /// A monitor stack whose innermost layer is the sharded [`ProfMonitor`].
@@ -119,6 +122,67 @@ impl<M: ProfStack> ProfStack for &M {
     }
 }
 
+/// A cheap, cloneable handle for polling a session's live telemetry from
+/// any thread — including while [`MeasurementSession::run`] is executing
+/// on others. Obtain one from [`MeasurementSession::telemetry`] after
+/// enabling telemetry on the builder.
+#[derive(Clone)]
+pub struct SessionTelemetry {
+    core: Arc<TelemetryCore>,
+    started: Instant,
+}
+
+impl std::fmt::Debug for SessionTelemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SessionTelemetry")
+            .field("elapsed_ns", &self.elapsed_ns())
+            .field("snapshot", &self.snapshot())
+            .finish()
+    }
+}
+
+impl SessionTelemetry {
+    /// Aggregate the shard counters into one consistent-enough view (see
+    /// the `taskprof-telemetry` crate docs for the staleness contract).
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        self.core.snapshot()
+    }
+
+    /// Nanoseconds since this handle was created.
+    pub fn elapsed_ns(&self) -> u64 {
+        self.started.elapsed().as_nanos() as u64
+    }
+
+    /// The configured perturbation sampling period (1-in-N).
+    pub fn sample_every(&self) -> u32 {
+        self.core.sample_every()
+    }
+
+    /// Current counters in the Prometheus text exposition format, ready
+    /// to serve from a `/metrics` endpoint.
+    pub fn prometheus(&self) -> String {
+        taskprof_telemetry::to_prometheus(&self.snapshot())
+    }
+
+    /// Current counters as one JSON line, timestamped with
+    /// [`SessionTelemetry::elapsed_ns`].
+    pub fn jsonl_line(&self) -> String {
+        taskprof_telemetry::to_jsonl_line(self.elapsed_ns(), &self.snapshot())
+    }
+
+    /// Spawn a background thread snapshotting every `every`; stop it with
+    /// [`Sampler::stop`] to collect the series.
+    pub fn start_sampler(&self, every: Duration) -> Sampler {
+        Sampler::spawn(Arc::clone(&self.core), every)
+    }
+
+    /// The shared counter core (for integrations that outlive the
+    /// session handle).
+    pub fn core(&self) -> Arc<TelemetryCore> {
+        Arc::clone(&self.core)
+    }
+}
+
 /// Everything a finished session measured.
 #[derive(Debug)]
 pub struct SessionReport {
@@ -130,6 +194,9 @@ pub struct SessionReport {
     /// Event counters, present when the session was
     /// [`MeasurementSession::counted`].
     pub counts: Option<CountingMonitor>,
+    /// Final telemetry counters, present when the session was built with
+    /// [`SessionBuilder::telemetry`].
+    pub telemetry: Option<TelemetrySnapshot>,
 }
 
 impl SessionReport {
@@ -240,6 +307,20 @@ impl<C: ClockSource + 'static> SessionBuilder<C> {
         self
     }
 
+    /// Enable live telemetry with default settings: lock-free shard
+    /// gauges and 1-in-64 perturbation sampling. Poll it with
+    /// [`MeasurementSession::telemetry`].
+    pub fn telemetry(mut self) -> Self {
+        self.prof = self.prof.telemetry();
+        self
+    }
+
+    /// Enable live telemetry with an explicit configuration.
+    pub fn telemetry_config(mut self, config: TelemetryConfig) -> Self {
+        self.prof = self.prof.telemetry_config(config);
+        self
+    }
+
     /// Validate the configuration and assemble the session.
     pub fn build(self) -> Result<MeasurementSession<ProfMonitor<C>>, ConfigError> {
         let mut team = Team::new(self.threads);
@@ -294,6 +375,19 @@ impl<M: ProfStack> MeasurementSession<M> {
     /// The session's team.
     pub fn team(&self) -> &Team {
         &self.team
+    }
+
+    /// Live telemetry handle, when the session was built with
+    /// [`SessionBuilder::telemetry`]. Clone it into a watcher thread and
+    /// poll freely: reads never block the measurement.
+    pub fn telemetry(&self) -> Option<SessionTelemetry> {
+        self.monitor
+            .profiler()
+            .telemetry_core()
+            .map(|core| SessionTelemetry {
+                core,
+                started: Instant::now(),
+            })
     }
 
     /// Wrap the stack in a [`ValidatingMonitor`]: the profiler only ever
@@ -375,10 +469,16 @@ impl<M: ProfStack> MeasurementSession<M> {
             .profiler()
             .take_profile()
             .expect("a consumed session cannot have regions in flight");
+        let telemetry = self
+            .monitor
+            .profiler()
+            .telemetry_core()
+            .map(|core| core.snapshot());
         SessionReport {
             profile,
             diagnostics,
             counts: self.counts,
+            telemetry,
         }
     }
 }

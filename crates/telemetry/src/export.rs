@@ -1,0 +1,498 @@
+//! Telemetry exporters: Prometheus text exposition format and JSON-lines
+//! time series. Both directions are implemented by hand (the build is
+//! offline; no serde), and both round-trip through the parsers below so
+//! scrape endpoints and log shippers can be tested end to end.
+
+use crate::snapshot::TelemetrySnapshot;
+use pomp::EventClass;
+use std::fmt::Write as _;
+
+/// An export could not be parsed back.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExportParseError {
+    /// 1-based line of the problem.
+    pub line: usize,
+    /// Explanation.
+    pub message: String,
+}
+
+impl std::fmt::Display for ExportParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "telemetry parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ExportParseError {}
+
+fn err(line: usize, message: impl Into<String>) -> ExportParseError {
+    ExportParseError {
+        line,
+        message: message.into(),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Prometheus text exposition format
+// ---------------------------------------------------------------------
+
+/// One sample parsed back from the Prometheus text format.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PromSample {
+    /// Metric name, e.g. `taskprof_tasks_created_total`.
+    pub name: String,
+    /// Label pairs in source order (empty for unlabelled metrics).
+    pub labels: Vec<(String, String)>,
+    /// Sample value.
+    pub value: f64,
+}
+
+impl PromSample {
+    /// The value of label `key`, if present.
+    pub fn label(&self, key: &str) -> Option<&str> {
+        self.labels
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+fn prom_metric(out: &mut String, name: &str, help: &str, kind: &str, value: impl std::fmt::Display) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} {kind}");
+    let _ = writeln!(out, "{name} {value}");
+}
+
+fn prom_class_metric(
+    out: &mut String,
+    name: &str,
+    help: &str,
+    kind: &str,
+    value_of: impl Fn(EventClass) -> u64,
+) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} {kind}");
+    for class in EventClass::ALL {
+        let _ = writeln!(out, "{name}{{class=\"{}\"}} {}", class.label(), value_of(class));
+    }
+}
+
+/// Render a snapshot in the Prometheus text exposition format (0.0.4),
+/// ready to serve from a `/metrics` endpoint.
+pub fn to_prometheus(s: &TelemetrySnapshot) -> String {
+    let mut out = String::new();
+    prom_class_metric(
+        &mut out,
+        "taskprof_events_total",
+        "Measurement hook invocations by event class.",
+        "counter",
+        |c| s.events[c.index()],
+    );
+    prom_metric(
+        &mut out,
+        "taskprof_tasks_created_total",
+        "Deferred task instances created.",
+        "counter",
+        s.tasks_created,
+    );
+    prom_metric(
+        &mut out,
+        "taskprof_tasks_completed_total",
+        "Task instances completed normally.",
+        "counter",
+        s.tasks_completed,
+    );
+    prom_metric(
+        &mut out,
+        "taskprof_tasks_aborted_total",
+        "Task instances aborted (panicked or force-closed).",
+        "counter",
+        s.tasks_aborted,
+    );
+    prom_metric(
+        &mut out,
+        "taskprof_tasks_shed_total",
+        "Task instances degraded to counting-only by the live-tree cap.",
+        "counter",
+        s.tasks_shed,
+    );
+    prom_metric(
+        &mut out,
+        "taskprof_fragments_total",
+        "Task fragments executed (explicit-task resumptions).",
+        "counter",
+        s.fragments,
+    );
+    prom_metric(
+        &mut out,
+        "taskprof_stub_time_ns_total",
+        "Time spent executing task fragments, ns (live stub-node time).",
+        "counter",
+        s.stub_time_ns,
+    );
+    prom_metric(
+        &mut out,
+        "taskprof_live_instance_trees",
+        "Concurrently live task-instance trees, summed over threads.",
+        "gauge",
+        s.live_trees,
+    );
+    prom_metric(
+        &mut out,
+        "taskprof_live_instance_trees_hwm",
+        "High-water mark of per-thread live instance trees (paper Table II).",
+        "gauge",
+        s.live_trees_hwm,
+    );
+    prom_metric(
+        &mut out,
+        "taskprof_threads_active",
+        "Measurement threads currently between begin and end.",
+        "gauge",
+        s.threads_active,
+    );
+    prom_metric(
+        &mut out,
+        "taskprof_handoff_stack_depth",
+        "Finished thread snapshots published but not yet collected.",
+        "gauge",
+        s.handoff_depth,
+    );
+    prom_metric(
+        &mut out,
+        "taskprof_spare_arenas",
+        "Recycled arenas parked in the spare pool.",
+        "gauge",
+        s.spare_arenas,
+    );
+    prom_metric(
+        &mut out,
+        "taskprof_arenas_recycled_total",
+        "Region starts that stole a recycled arena.",
+        "counter",
+        s.arenas_recycled,
+    );
+    prom_metric(
+        &mut out,
+        "taskprof_arenas_allocated_total",
+        "Region starts that allocated a fresh arena.",
+        "counter",
+        s.arenas_allocated,
+    );
+    prom_class_metric(
+        &mut out,
+        "taskprof_perturbation_samples_total",
+        "Self-timed events by class (1-in-N perturbation sampling).",
+        "counter",
+        |c| s.perturb_samples[c.index()],
+    );
+    prom_class_metric(
+        &mut out,
+        "taskprof_perturbation_ns_total",
+        "Summed self-timed event cost by class, ns.",
+        "counter",
+        |c| s.perturb_ns[c.index()],
+    );
+    let _ = writeln!(
+        out,
+        "# HELP taskprof_estimated_overhead_ns Estimated total measurement perturbation, ns."
+    );
+    let _ = writeln!(out, "# TYPE taskprof_estimated_overhead_ns gauge");
+    let _ = writeln!(out, "taskprof_estimated_overhead_ns {}", s.estimated_overhead_ns());
+    out
+}
+
+/// Parse Prometheus text exposition format back into samples. Handles
+/// `# HELP`/`# TYPE` comments, unlabelled samples, and the single-level
+/// `{key="value",...}` label syntax this crate emits.
+pub fn parse_prometheus(text: &str) -> Result<Vec<PromSample>, ExportParseError> {
+    let mut out = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let lineno = i + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (name_part, value_part) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| err(lineno, "expected '<metric> <value>'"))?;
+        let value: f64 = value_part
+            .parse()
+            .map_err(|_| err(lineno, format!("bad sample value '{value_part}'")))?;
+        let (name, labels) = match name_part.split_once('{') {
+            None => (name_part.to_string(), Vec::new()),
+            Some((name, rest)) => {
+                let body = rest
+                    .strip_suffix('}')
+                    .ok_or_else(|| err(lineno, "unterminated label set"))?;
+                let mut labels = Vec::new();
+                for pair in body.split(',').filter(|p| !p.is_empty()) {
+                    let (k, v) = pair
+                        .split_once('=')
+                        .ok_or_else(|| err(lineno, format!("bad label pair '{pair}'")))?;
+                    let v = v
+                        .strip_prefix('"')
+                        .and_then(|v| v.strip_suffix('"'))
+                        .ok_or_else(|| err(lineno, format!("unquoted label value '{v}'")))?;
+                    labels.push((k.to_string(), v.to_string()));
+                }
+                (name.to_string(), labels)
+            }
+        };
+        if name.is_empty() || !name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':') {
+            return Err(err(lineno, format!("invalid metric name '{name}'")));
+        }
+        out.push(PromSample { name, labels, value });
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------
+// JSON lines
+// ---------------------------------------------------------------------
+
+/// A scalar snapshot field: JSONL key plus its accessor.
+type ScalarField = (&'static str, fn(&TelemetrySnapshot) -> u64);
+
+fn jsonl_keys() -> [ScalarField; 13] {
+    [
+        ("tasks_created", |s| s.tasks_created),
+        ("tasks_completed", |s| s.tasks_completed),
+        ("tasks_aborted", |s| s.tasks_aborted),
+        ("tasks_shed", |s| s.tasks_shed),
+        ("fragments", |s| s.fragments),
+        ("stub_time_ns", |s| s.stub_time_ns),
+        ("live_trees", |s| s.live_trees),
+        ("live_trees_hwm", |s| s.live_trees_hwm),
+        ("threads_active", |s| s.threads_active),
+        ("handoff_depth", |s| s.handoff_depth),
+        ("spare_arenas", |s| s.spare_arenas),
+        ("arenas_recycled", |s| s.arenas_recycled),
+        ("arenas_allocated", |s| s.arenas_allocated),
+    ]
+}
+
+/// Render one time-series point as a single JSON line: a flat object of
+/// numbers keyed by snake_case metric names, per-class values as
+/// `events.<class>` / `perturb_samples.<class>` / `perturb_ns.<class>`.
+pub fn to_jsonl_line(t_ns: u64, s: &TelemetrySnapshot) -> String {
+    let mut out = String::from("{");
+    let _ = write!(out, "\"t_ns\":{t_ns}");
+    for (key, get) in jsonl_keys() {
+        let _ = write!(out, ",\"{key}\":{}", get(s));
+    }
+    for class in EventClass::ALL {
+        let _ = write!(out, ",\"events.{}\":{}", class.label(), s.events[class.index()]);
+    }
+    for class in EventClass::ALL {
+        let _ = write!(
+            out,
+            ",\"perturb_samples.{}\":{}",
+            class.label(),
+            s.perturb_samples[class.index()]
+        );
+    }
+    for class in EventClass::ALL {
+        let _ = write!(
+            out,
+            ",\"perturb_ns.{}\":{}",
+            class.label(),
+            s.perturb_ns[class.index()]
+        );
+    }
+    out.push('}');
+    out
+}
+
+/// Parse one JSON line written by [`to_jsonl_line`] back into
+/// `(t_ns, snapshot)`. Unknown keys are ignored (forward compatibility);
+/// missing keys default to 0.
+pub fn parse_jsonl_line(line: &str) -> Result<(u64, TelemetrySnapshot), ExportParseError> {
+    let body = line
+        .trim()
+        .strip_prefix('{')
+        .and_then(|l| l.strip_suffix('}'))
+        .ok_or_else(|| err(1, "not a JSON object"))?;
+    let mut t_ns = 0u64;
+    let mut snap = TelemetrySnapshot::default();
+    for pair in body.split(',').filter(|p| !p.trim().is_empty()) {
+        let (k, v) = pair
+            .split_once(':')
+            .ok_or_else(|| err(1, format!("bad member '{pair}'")))?;
+        let key = k
+            .trim()
+            .strip_prefix('"')
+            .and_then(|k| k.strip_suffix('"'))
+            .ok_or_else(|| err(1, format!("unquoted key '{k}'")))?;
+        let value: u64 = v
+            .trim()
+            .parse()
+            .map_err(|_| err(1, format!("bad value for '{key}': '{}'", v.trim())))?;
+        if key == "t_ns" {
+            t_ns = value;
+            continue;
+        }
+        match key {
+            "tasks_created" => {
+                snap.tasks_created = value;
+                continue;
+            }
+            "tasks_completed" => {
+                snap.tasks_completed = value;
+                continue;
+            }
+            "tasks_aborted" => {
+                snap.tasks_aborted = value;
+                continue;
+            }
+            "tasks_shed" => {
+                snap.tasks_shed = value;
+                continue;
+            }
+            "fragments" => {
+                snap.fragments = value;
+                continue;
+            }
+            "stub_time_ns" => {
+                snap.stub_time_ns = value;
+                continue;
+            }
+            "live_trees" => {
+                snap.live_trees = value;
+                continue;
+            }
+            "live_trees_hwm" => {
+                snap.live_trees_hwm = value;
+                continue;
+            }
+            "threads_active" => {
+                snap.threads_active = value;
+                continue;
+            }
+            "handoff_depth" => {
+                snap.handoff_depth = value;
+                continue;
+            }
+            "spare_arenas" => {
+                snap.spare_arenas = value;
+                continue;
+            }
+            "arenas_recycled" => {
+                snap.arenas_recycled = value;
+                continue;
+            }
+            "arenas_allocated" => {
+                snap.arenas_allocated = value;
+                continue;
+            }
+            _ => {}
+        }
+        if let Some(label) = key.strip_prefix("events.") {
+            if let Some(class) = EventClass::from_label(label) {
+                snap.events[class.index()] = value;
+            }
+        } else if let Some(label) = key.strip_prefix("perturb_samples.") {
+            if let Some(class) = EventClass::from_label(label) {
+                snap.perturb_samples[class.index()] = value;
+            }
+        } else if let Some(label) = key.strip_prefix("perturb_ns.") {
+            if let Some(class) = EventClass::from_label(label) {
+                snap.perturb_ns[class.index()] = value;
+            }
+        }
+        // Unknown keys: ignored.
+    }
+    Ok((t_ns, snap))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_snapshot() -> TelemetrySnapshot {
+        let mut s = TelemetrySnapshot {
+            tasks_created: 42,
+            tasks_completed: 40,
+            tasks_aborted: 1,
+            tasks_shed: 3,
+            fragments: 57,
+            stub_time_ns: 123_456,
+            live_trees: 1,
+            live_trees_hwm: 9,
+            threads_active: 4,
+            handoff_depth: 2,
+            spare_arenas: 3,
+            arenas_recycled: 7,
+            arenas_allocated: 4,
+            ..TelemetrySnapshot::default()
+        };
+        for c in EventClass::ALL {
+            s.events[c.index()] = 100 + c.index() as u64;
+            s.perturb_samples[c.index()] = c.index() as u64;
+            s.perturb_ns[c.index()] = 10 * c.index() as u64;
+        }
+        s
+    }
+
+    #[test]
+    fn prometheus_round_trips() {
+        let s = sample_snapshot();
+        let text = to_prometheus(&s);
+        let samples = parse_prometheus(&text).expect("own output parses");
+        let find = |name: &str| -> f64 {
+            samples
+                .iter()
+                .find(|p| p.name == name && p.labels.is_empty())
+                .unwrap_or_else(|| panic!("missing {name}"))
+                .value
+        };
+        assert_eq!(find("taskprof_tasks_created_total"), 42.0);
+        assert_eq!(find("taskprof_live_instance_trees_hwm"), 9.0);
+        assert_eq!(find("taskprof_spare_arenas"), 3.0);
+        let enter = samples
+            .iter()
+            .find(|p| p.name == "taskprof_events_total" && p.label("class") == Some("enter"))
+            .expect("labelled class sample");
+        assert_eq!(enter.value, 100.0);
+        assert_eq!(
+            samples
+                .iter()
+                .filter(|p| p.name == "taskprof_events_total")
+                .count(),
+            EventClass::COUNT
+        );
+        // The derived overhead gauge is present and finite.
+        assert!(find("taskprof_estimated_overhead_ns").is_finite());
+    }
+
+    #[test]
+    fn prometheus_parser_rejects_garbage() {
+        assert!(parse_prometheus("metric_without_value").is_err());
+        assert!(parse_prometheus("name{unclosed 1").is_err());
+        assert!(parse_prometheus("na me 1").is_err());
+        assert!(parse_prometheus("ok_metric nope").is_err());
+        // Comments and blank lines are fine.
+        assert_eq!(parse_prometheus("# TYPE x counter\n\n").unwrap(), vec![]);
+    }
+
+    #[test]
+    fn jsonl_round_trips() {
+        let s = sample_snapshot();
+        let line = to_jsonl_line(777, &s);
+        assert!(line.starts_with('{') && line.ends_with('}'));
+        let (t, back) = parse_jsonl_line(&line).expect("own output parses");
+        assert_eq!(t, 777);
+        assert_eq!(back, s);
+        // Stable: re-serializing the parsed value reproduces the line.
+        assert_eq!(to_jsonl_line(777, &back), line);
+    }
+
+    #[test]
+    fn jsonl_parser_tolerates_unknown_and_missing_keys() {
+        let (t, s) = parse_jsonl_line(r#"{"t_ns":5,"tasks_created":2,"future_key":9}"#).unwrap();
+        assert_eq!(t, 5);
+        assert_eq!(s.tasks_created, 2);
+        assert_eq!(s.tasks_completed, 0);
+        assert!(parse_jsonl_line("not json").is_err());
+        assert!(parse_jsonl_line(r#"{"t_ns":-1}"#).is_err());
+    }
+}

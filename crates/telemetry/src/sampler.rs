@@ -1,0 +1,117 @@
+//! Optional background sampler: a thread that polls [`TelemetryCore`] at
+//! a fixed interval and accumulates a time series of snapshots.
+
+use crate::counters::TelemetryCore;
+use crate::snapshot::TelemetrySnapshot;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// One point of the sampler's time series.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TimedSnapshot {
+    /// Nanoseconds since the sampler started.
+    pub elapsed_ns: u64,
+    /// The aggregated telemetry at that instant.
+    pub snapshot: TelemetrySnapshot,
+}
+
+/// A background thread taking fixed-interval telemetry snapshots.
+///
+/// The sampler only *reads* the relaxed shard slots, so it perturbs the
+/// measurement no more than any other poller. Dropping the sampler
+/// without calling [`Sampler::stop`] stops the thread and discards the
+/// series.
+pub struct Sampler {
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<Vec<TimedSnapshot>>>,
+}
+
+impl Sampler {
+    /// Spawn a sampler polling `core` every `every`. Intervals below one
+    /// millisecond are clamped up to avoid a busy spin.
+    pub fn spawn(core: Arc<TelemetryCore>, every: Duration) -> Sampler {
+        let every = every.max(Duration::from_millis(1));
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("taskprof-telemetry-sampler".into())
+            .spawn(move || {
+                let start = Instant::now();
+                let mut series = Vec::new();
+                while !stop2.load(Ordering::Acquire) {
+                    std::thread::sleep(every);
+                    series.push(TimedSnapshot {
+                        elapsed_ns: start.elapsed().as_nanos() as u64,
+                        snapshot: core.snapshot(),
+                    });
+                }
+                // One final point so short runs still record something.
+                series.push(TimedSnapshot {
+                    elapsed_ns: start.elapsed().as_nanos() as u64,
+                    snapshot: core.snapshot(),
+                });
+                series
+            })
+            .expect("spawn telemetry sampler thread");
+        Sampler {
+            stop,
+            handle: Some(handle),
+        }
+    }
+
+    /// Stop the sampler thread and return the collected series (always at
+    /// least one point).
+    pub fn stop(mut self) -> Vec<TimedSnapshot> {
+        self.stop.store(true, Ordering::Release);
+        self.handle
+            .take()
+            .expect("sampler joined twice")
+            .join()
+            .unwrap_or_default()
+    }
+}
+
+impl Drop for Sampler {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counters::TelemetryConfig;
+    use pomp::EventClass;
+
+    #[test]
+    fn sampler_collects_monotone_series() {
+        let core = Arc::new(TelemetryCore::new(TelemetryConfig::default()));
+        let sampler = Sampler::spawn(Arc::clone(&core), Duration::from_millis(2));
+        let handle = core.thread_handle(0);
+        for _ in 0..1000 {
+            handle.tick(EventClass::Enter);
+            handle.task_created();
+        }
+        std::thread::sleep(Duration::from_millis(10));
+        let series = sampler.stop();
+        assert!(!series.is_empty());
+        let last = series.last().unwrap();
+        assert_eq!(last.snapshot.tasks_created, 1000);
+        for w in series.windows(2) {
+            assert!(w[1].elapsed_ns >= w[0].elapsed_ns);
+            assert!(w[1].snapshot.tasks_created >= w[0].snapshot.tasks_created);
+        }
+    }
+
+    #[test]
+    fn drop_without_stop_terminates_thread() {
+        let core = Arc::new(TelemetryCore::new(TelemetryConfig::default()));
+        let sampler = Sampler::spawn(core, Duration::from_millis(1));
+        drop(sampler); // must not hang
+    }
+}

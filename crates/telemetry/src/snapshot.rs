@@ -1,0 +1,121 @@
+//! Plain aggregated telemetry values, decoupled from the atomic core.
+
+use pomp::EventClass;
+
+/// One aggregated view of a session's telemetry, taken at some instant.
+/// All counters are cumulative since session start; `live_trees`,
+/// `threads_active`, `handoff_depth` and `spare_arenas` are gauges.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TelemetrySnapshot {
+    /// Hook invocations per [`EventClass`] (indexed by
+    /// [`EventClass::index`]).
+    pub events: [u64; EventClass::COUNT],
+    /// Perturbation sampling: self-timed events per class.
+    pub perturb_samples: [u64; EventClass::COUNT],
+    /// Perturbation sampling: summed self-timed cost per class, ns.
+    pub perturb_ns: [u64; EventClass::COUNT],
+    /// Deferred task instances created.
+    pub tasks_created: u64,
+    /// Task instances completed normally.
+    pub tasks_completed: u64,
+    /// Task instances aborted (panicked or force-closed).
+    pub tasks_aborted: u64,
+    /// Task instances degraded to counting-only by the live-tree cap.
+    pub tasks_shed: u64,
+    /// Task fragments executed (every resumption of an explicit task).
+    pub fragments: u64,
+    /// Total time spent executing explicit task fragments, ns (the live
+    /// stub-node time of the paper's Fig. 5 split).
+    pub stub_time_ns: u64,
+    /// Instance trees currently live, summed over threads (gauge).
+    pub live_trees: u64,
+    /// High-water mark of per-thread concurrently live instance trees
+    /// (paper Table II; max over threads).
+    pub live_trees_hwm: u64,
+    /// Measurement threads currently between begin and end (gauge).
+    pub threads_active: u64,
+    /// Finished per-thread snapshots published but not yet collected
+    /// (gauge; depth of the lock-free hand-off stack).
+    pub handoff_depth: u64,
+    /// Recycled arenas currently parked in the spare pool (gauge).
+    pub spare_arenas: u64,
+    /// Times a region start found a spare arena to steal.
+    pub arenas_recycled: u64,
+    /// Times a region start had to allocate a fresh arena.
+    pub arenas_allocated: u64,
+}
+
+impl TelemetrySnapshot {
+    /// Total hook invocations across all event classes.
+    pub fn total_events(&self) -> u64 {
+        self.events.iter().sum()
+    }
+
+    /// Task instances currently in flight: created but neither completed
+    /// nor aborted. (Shed instances still complete or abort, so they are
+    /// not subtracted.)
+    pub fn tasks_in_flight(&self) -> u64 {
+        self.tasks_created
+            .saturating_sub(self.tasks_completed + self.tasks_aborted)
+    }
+
+    /// Mean sampled self-cost of one `class` event, ns (`None` until a
+    /// sample of that class landed).
+    pub fn per_event_cost_ns(&self, class: EventClass) -> Option<f64> {
+        let i = class.index();
+        (self.perturb_samples[i] > 0)
+            .then(|| self.perturb_ns[i] as f64 / self.perturb_samples[i] as f64)
+    }
+
+    /// Estimated total measurement perturbation, ns: for each event class,
+    /// the mean sampled self-cost extrapolated to every event of that
+    /// class (the live analogue of the paper's Figs. 13–14 overhead
+    /// accounting). Classes without samples yet contribute 0.
+    pub fn estimated_overhead_ns(&self) -> f64 {
+        EventClass::ALL
+            .into_iter()
+            .map(|c| {
+                self.per_event_cost_ns(c)
+                    .map_or(0.0, |mean| mean * self.events[c.index()] as f64)
+            })
+            .sum()
+    }
+
+    /// Estimated perturbation as a fraction of `elapsed_ns` of wall time
+    /// (`None` when `elapsed_ns` is 0).
+    pub fn estimated_overhead_ratio(&self, elapsed_ns: u64) -> Option<f64> {
+        (elapsed_ns > 0).then(|| self.estimated_overhead_ns() / elapsed_ns as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overhead_extrapolates_sampled_cost() {
+        let mut s = TelemetrySnapshot::default();
+        let e = EventClass::Enter.index();
+        s.events[e] = 1000;
+        s.perturb_samples[e] = 10;
+        s.perturb_ns[e] = 500; // mean 50 ns
+        let x = EventClass::Exit.index();
+        s.events[x] = 100; // no samples: contributes 0
+        assert_eq!(s.estimated_overhead_ns(), 50.0 * 1000.0);
+        assert_eq!(s.estimated_overhead_ratio(0), None);
+        assert!((s.estimated_overhead_ratio(100_000).unwrap() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tasks_in_flight_saturates() {
+        let mut s = TelemetrySnapshot {
+            tasks_created: 5,
+            tasks_completed: 3,
+            tasks_aborted: 1,
+            ..TelemetrySnapshot::default()
+        };
+        assert_eq!(s.tasks_in_flight(), 1);
+        s.tasks_completed = 9; // stale-read skew must not underflow
+        assert_eq!(s.tasks_in_flight(), 0);
+    }
+}

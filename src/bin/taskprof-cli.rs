@@ -5,18 +5,23 @@
 //!                        [--cutoff] [--depth-param]
 //!                        [--render] [--csv] [--diagnose] [--trace]
 //!                        [--save FILE]
+//! taskprof-cli telemetry <app> [--threads N] [--scale test|small|medium]
+//!                              [--cutoff] [--interval-ms N]
+//!                              [--format dashboard|prometheus|jsonl]
 //! taskprof-cli diff <a.profile> <b.profile>
 //! taskprof-cli list
 //! ```
 //!
 //! `run` executes one BOTS code under the profiler (and optionally the
-//! tracer) and reports; `diff` compares two saved profiles; `list` shows
-//! the available codes.
+//! tracer) and reports; `telemetry` runs a code with live telemetry
+//! enabled, sampling the lock-free gauges while it executes; `diff`
+//! compares two saved profiles; `list` shows the available codes.
 
 use bots::{run_app, AppId, RunOpts, Scale, Variant, ALL_APPS};
 use cube::{
-    diagnose, diff_profiles, format_ns, read_profile, render_loads, render_profile, thread_loads,
-    to_csv, to_dot, write_profile, AggProfile, DiagnoseConfig, RenderOpts,
+    diagnose, diff_profiles, format_ns, read_profile, render_loads, render_profile,
+    render_telemetry, thread_loads, to_csv, to_dot, write_profile, AggProfile, DiagnoseConfig,
+    RenderOpts,
 };
 use taskprof_session::MeasurementSession;
 use taskprof_trace::{analyze, TraceMonitor};
@@ -25,6 +30,8 @@ fn usage() -> ! {
     eprintln!(
         "usage:\n  taskprof-cli run <app> [--threads N] [--scale test|small|medium] \
          [--cutoff] [--depth-param] [--render] [--csv] [--dot] [--diagnose] [--imbalance] [--trace] [--save FILE]\n  \
+         taskprof-cli telemetry <app> [--threads N] [--scale test|small|medium] [--cutoff] \
+         [--interval-ms N] [--format dashboard|prometheus|jsonl]\n  \
          taskprof-cli diff <a.profile> <b.profile>\n  taskprof-cli list"
     );
     std::process::exit(2);
@@ -173,6 +180,100 @@ fn cmd_run(args: &[String]) {
     }
 }
 
+fn cmd_telemetry(args: &[String]) {
+    let Some(app) = args.first().and_then(|n| app_by_name(n)) else {
+        eprintln!("unknown app; try 'taskprof-cli list'");
+        std::process::exit(2);
+    };
+    let mut opts = RunOpts::new(2);
+    let mut interval_ms: u64 = 50;
+    #[derive(PartialEq)]
+    enum Format {
+        Dashboard,
+        Prometheus,
+        Jsonl,
+    }
+    let mut format = Format::Dashboard;
+    let mut it = args[1..].iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--threads" => {
+                opts.threads = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--scale" => {
+                opts.scale = match it.next().map(String::as_str) {
+                    Some("test") => Scale::Test,
+                    Some("small") => Scale::Small,
+                    Some("medium") => Scale::Medium,
+                    _ => usage(),
+                }
+            }
+            "--cutoff" => opts.variant = Variant::Cutoff,
+            "--interval-ms" => {
+                interval_ms = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--format" => {
+                format = match it.next().map(String::as_str) {
+                    Some("dashboard") => Format::Dashboard,
+                    Some("prometheus") => Format::Prometheus,
+                    Some("jsonl") => Format::Jsonl,
+                    _ => usage(),
+                }
+            }
+            _ => usage(),
+        }
+    }
+
+    let session = MeasurementSession::builder("taskprof-cli-telemetry")
+        .threads(opts.threads)
+        .telemetry()
+        .build()
+        .expect("default session configuration is valid");
+    let telemetry = session
+        .telemetry()
+        .expect("telemetry was enabled on the builder");
+    let sampler = telemetry.start_sampler(std::time::Duration::from_millis(interval_ms.max(1)));
+    let out = run_app(app, session.monitor(), &opts);
+    let series = sampler.stop();
+    let elapsed = telemetry.elapsed_ns();
+    eprintln!(
+        "# {} scale={:?} threads={} kernel {:?} verified {} ({} samples at {interval_ms}ms)",
+        app.name(),
+        opts.scale,
+        opts.threads,
+        out.kernel,
+        out.verified,
+        series.len()
+    );
+    let report = session.finish();
+    let final_snapshot = report
+        .telemetry
+        .expect("telemetry-enabled session reports a final snapshot");
+    match format {
+        Format::Dashboard => {
+            print!("{}", render_telemetry(&final_snapshot, Some(elapsed)));
+        }
+        Format::Prometheus => {
+            print!("{}", taskprof_telemetry::to_prometheus(&final_snapshot));
+        }
+        Format::Jsonl => {
+            for point in &series {
+                println!(
+                    "{}",
+                    taskprof_telemetry::to_jsonl_line(point.elapsed_ns, &point.snapshot)
+                );
+            }
+            println!("{}", taskprof_telemetry::to_jsonl_line(elapsed, &final_snapshot));
+        }
+    }
+}
+
 fn cmd_diff(args: &[String]) {
     let [a_path, b_path] = args else { usage() };
     let load = |p: &String| {
@@ -205,6 +306,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("run") => cmd_run(&args[1..]),
+        Some("telemetry") => cmd_telemetry(&args[1..]),
         Some("diff") => cmd_diff(&args[1..]),
         Some("list") => cmd_list(),
         _ => usage(),

@@ -59,3 +59,64 @@ fn full_session_stack_overhead_is_bounded() {
          fast path has likely regressed (lock or allocation in a hook?)"
     );
 }
+
+/// Telemetry's contract is a ~free event path: relaxed stores on the
+/// thread's own cache line, no lock, no allocation. This guard compares
+/// telemetry-on vs telemetry-off *per-event cost* over a long in-process
+/// event stream (direct hook calls, so runtime scheduling noise is out of
+/// the picture). The release-mode numbers live in `BENCH_overhead.json`
+/// (`per_event.telemetry_*`); this debug-build bound is looser but still
+/// catches a lock or syscall sneaking onto the telemetry path.
+#[test]
+fn telemetry_per_event_overhead_is_bounded() {
+    use pomp::{Monitor, RegionId, TaskIdAllocator, ThreadHooks};
+    use taskprof::ProfMonitor;
+
+    const EVENTS_PER_REP: u64 = 60_000;
+    // 5% is the release-mode target; allow debug-build jitter on top.
+    const MAX_TELEMETRY_RATIO: f64 = 1.35;
+
+    fn drive(telemetry: bool) -> Duration {
+        let builder = ProfMonitor::builder();
+        let builder = if telemetry { builder.telemetry() } else { builder };
+        let monitor = builder.build().expect("valid configuration");
+        let par = RegionId(9100);
+        let work = RegionId(9101);
+        let task = RegionId(9102);
+        let ids = TaskIdAllocator::new();
+        monitor.parallel_fork(par, 1);
+        let th = monitor.thread_begin(0, 1, par);
+        let start = std::time::Instant::now();
+        for _ in 0..EVENTS_PER_REP / 6 {
+            let id = ids.alloc();
+            th.enter(work);
+            th.task_create_begin(work, task, id);
+            th.task_create_end(work, id);
+            th.task_begin(task, id);
+            th.task_end(task, id);
+            th.exit(work);
+        }
+        let elapsed = start.elapsed();
+        monitor.thread_end(0, th);
+        monitor.parallel_join(par);
+        let profile = monitor.take_profile().expect("region closed");
+        assert_eq!(profile.num_threads(), 1);
+        elapsed
+    }
+
+    // Warm up allocators and branch predictors once per mode, then take
+    // the min of interleaved reps so machine noise hits both modes alike.
+    drive(false);
+    drive(true);
+    let off = min_time(|| drive(false));
+    let on = min_time(|| drive(true));
+
+    let off = off.max(Duration::from_micros(200));
+    let ratio = on.as_secs_f64() / off.as_secs_f64();
+    assert!(
+        ratio < MAX_TELEMETRY_RATIO,
+        "telemetry-on event path is {ratio:.2}x telemetry-off \
+         (off {off:?}, on {on:?}); the telemetry tail must stay a few \
+         relaxed stores — no lock, no allocation, no syscall"
+    );
+}
