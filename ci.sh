@@ -25,4 +25,12 @@ echo "=== live telemetry smoke ==="
 cargo run --release --example live_telemetry | tee /tmp/live_telemetry.out
 grep -q "LIVE_TELEMETRY_OK" /tmp/live_telemetry.out
 
+echo "=== schedule exploration smoke ==="
+# Deterministic simulated schedules over the built-in workloads, every
+# run checked against the paper's profile invariants plus a differential
+# live-vs-replay comparison. TASKPROF_EXPLORE_SEEDS scales the sweep
+# (nightly runs use hundreds; the smoke default keeps CI fast).
+TASKPROF_EXPLORE_SEEDS="${TASKPROF_EXPLORE_SEEDS:-32}" \
+    cargo run --release --bin taskprof-cli -- explore --threads 2 --workload all --dfs 100
+
 echo "CI_OK"

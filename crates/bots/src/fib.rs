@@ -88,10 +88,16 @@ fn fib_task<'e, M: Monitor>(
 
 /// Run the benchmark.
 pub fn run<M: Monitor>(monitor: &M, opts: &RunOpts) -> Outcome {
+    run_with_team(monitor, &Team::new(opts.threads), opts)
+}
+
+/// Run the benchmark on a caller-supplied team — e.g. one carrying a
+/// deterministic [`taskrt::SchedulePolicy`] for schedule exploration.
+/// `opts.threads` is ignored in favour of the team's size.
+pub fn run_with_team<M: Monitor>(monitor: &M, team: &Team, opts: &RunOpts) -> Outcome {
     let n = input_n(opts.scale);
     let cutoff = (opts.variant == Variant::Cutoff).then_some(CUTOFF_DEPTH);
     let r = regions();
-    let team = Team::new(opts.threads);
     let mut result = 0u64;
     let pr = SendPtr::new(&mut result);
     let start = Instant::now();

@@ -123,13 +123,19 @@ fn nq_task<'e, M: Monitor>(
 
 /// Run the benchmark.
 pub fn run<M: Monitor>(monitor: &M, opts: &RunOpts) -> Outcome {
+    run_with_team(monitor, &Team::new(opts.threads), opts)
+}
+
+/// Run the benchmark on a caller-supplied team — e.g. one carrying a
+/// deterministic [`taskrt::SchedulePolicy`] for schedule exploration.
+/// `opts.threads` is ignored in favour of the team's size.
+pub fn run_with_team<M: Monitor>(monitor: &M, team: &Team, opts: &RunOpts) -> Outcome {
     let n = input_n(opts.scale);
     let cutoff = (opts.variant == Variant::Cutoff).then_some(CUTOFF_ROW);
     let r = regions();
     let count = AtomicU64::new(0);
     let count_ref = &count;
     let depth_param_on = opts.depth_param;
-    let team = Team::new(opts.threads);
     let start = Instant::now();
     team.parallel(monitor, &r.par, |ctx| {
         ctx.single(&r.single, |ctx| {

@@ -107,6 +107,14 @@ impl Replayer {
         self
     }
 
+    /// Configure tree-depth truncation for the replayed thread (mirrors
+    /// `ProfMonitor`'s `max_depth`, so offline replays can reproduce a
+    /// depth-limited live profile exactly).
+    pub fn set_max_depth(&mut self, depth: Option<usize>) -> &mut Self {
+        self.profile.set_max_depth(depth);
+        self
+    }
+
     /// Apply one event.
     pub fn apply(&mut self, ev: Event) {
         match ev {
@@ -194,6 +202,14 @@ impl TeamReplayer {
     pub fn set_max_live_trees(&mut self, limit: Option<usize>) -> &mut Self {
         for p in &mut self.threads {
             p.set_max_live_trees(limit);
+        }
+        self
+    }
+
+    /// Configure tree-depth truncation on every replayed thread.
+    pub fn set_max_depth(&mut self, depth: Option<usize>) -> &mut Self {
+        for p in &mut self.threads {
+            p.set_max_depth(depth);
         }
         self
     }

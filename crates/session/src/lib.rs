@@ -246,6 +246,7 @@ pub struct SessionBuilder<C: ClockSource = MonotonicClock> {
     unrestricted_taskwait: bool,
     name: String,
     prof: ProfMonitorBuilder<C>,
+    policy: Option<Arc<dyn taskrt::SchedulePolicy>>,
 }
 
 impl SessionBuilder<MonotonicClock> {
@@ -255,6 +256,7 @@ impl SessionBuilder<MonotonicClock> {
             unrestricted_taskwait: false,
             name: name.to_string(),
             prof: ProfMonitorBuilder::new(),
+            policy: None,
         }
     }
 }
@@ -280,7 +282,30 @@ impl<C: ClockSource + 'static> SessionBuilder<C> {
             unrestricted_taskwait: self.unrestricted_taskwait,
             name: self.name,
             prof: self.prof.clock(clock),
+            policy: self.policy,
         }
+    }
+
+    /// Make the whole session deterministic: install a seeded
+    /// [`simsched::SimScheduler`] as the team's scheduling policy and its
+    /// per-thread virtual clocks as the measurement clock. Two sessions
+    /// built with the same seed, threads, and workload produce
+    /// byte-identical profiles — see the `simsched` crate for the full
+    /// schedule-exploration machinery layered on top of this.
+    pub fn deterministic(self, seed: u64) -> SessionBuilder<simsched::SimClock> {
+        let sched = Arc::new(simsched::SimScheduler::new(seed));
+        let clock = sched.clock().clone();
+        let mut b = self.clock(clock);
+        b.policy = Some(sched);
+        b
+    }
+
+    /// Install an explicit [`taskrt::SchedulePolicy`] on the session's
+    /// team (the deterministic scheduler shortcut is
+    /// [`SessionBuilder::deterministic`]).
+    pub fn schedule_policy(mut self, policy: Arc<dyn taskrt::SchedulePolicy>) -> Self {
+        self.policy = Some(policy);
+        self
     }
 
     /// Attribution policy (default [`AssignPolicy::Executing`]).
@@ -326,6 +351,9 @@ impl<C: ClockSource + 'static> SessionBuilder<C> {
         let mut team = Team::new(self.threads);
         if self.unrestricted_taskwait {
             team = team.unrestricted_taskwait();
+        }
+        if let Some(policy) = self.policy {
+            team = team.with_policy(policy);
         }
         Ok(MeasurementSession {
             team,
@@ -569,6 +597,36 @@ mod tests {
         session.run(|_| {}).unwrap();
         let report = session.finish();
         assert_eq!(report.profile.num_threads(), 2, "two regions collected");
+    }
+
+    #[test]
+    fn deterministic_sessions_reproduce_profiles() {
+        fn one(seed: u64) -> Profile {
+            let task = TaskConstruct::new("session-det-task");
+            let tw = taskrt::taskwait_region("session-det!tw");
+            let session = MeasurementSession::builder("session-det")
+                .threads(2)
+                .deterministic(seed)
+                .build()
+                .unwrap();
+            session
+                .run(|ctx| {
+                    for _ in 0..3 {
+                        ctx.task(&task, |_| {});
+                    }
+                    ctx.taskwait(tw);
+                })
+                .unwrap();
+            session.finish().profile
+        }
+        let a = one(7);
+        let b = one(7);
+        assert_eq!(a.num_threads(), b.num_threads());
+        for (ta, tb) in a.threads.iter().zip(&b.threads) {
+            assert_eq!(ta.main, tb.main, "tid {} main tree differs", ta.tid);
+            assert_eq!(ta.task_trees, tb.task_trees, "tid {} task trees differ", ta.tid);
+            assert_eq!(ta.max_live_trees, tb.max_live_trees);
+        }
     }
 
     #[test]

@@ -1,0 +1,194 @@
+//! Differential event recording.
+//!
+//! [`EventRecorder`] is a [`pomp::Monitor`] that transcribes the hook
+//! stream of a simulated run into per-thread [`taskprof::Event`] lists
+//! (virtual-time deltas become `Event::Advance`). Pair it with the real
+//! profiler — `(&recorder, &prof)` with the recorder on the left so both
+//! observe identical clock values — then replay each stream through
+//! [`taskprof::Replayer`] and compare snapshots: the incremental profiler
+//! and the offline replayer must agree on every node, or one of them is
+//! wrong. That cross-check is the "differential" half of the invariant
+//! suite in [`crate::invariants`].
+
+use crate::clock::SimClock;
+use pomp::{ClockReader, Monitor, ParamId, RegionId, TaskId, TaskRef, ThreadHooks, VirtualClock};
+use std::cell::{Cell, RefCell};
+use std::sync::Mutex;
+use taskprof::Event;
+
+/// Per-thread transcriber: buffers the hook stream as replayable events.
+#[derive(Debug)]
+pub struct RecorderThread {
+    reader: VirtualClock,
+    last: Cell<u64>,
+    events: RefCell<Vec<Event>>,
+}
+
+impl RecorderThread {
+    fn emit(&self, ev: Event) {
+        let now = ClockReader::now(&self.reader);
+        let mut events = self.events.borrow_mut();
+        let last = self.last.get();
+        if now > last {
+            events.push(Event::Advance(now - last));
+            self.last.set(now);
+        }
+        events.push(ev);
+    }
+}
+
+impl ThreadHooks for RecorderThread {
+    fn enter(&self, region: RegionId) {
+        self.emit(Event::Enter(region));
+    }
+
+    fn exit(&self, region: RegionId) {
+        self.emit(Event::Exit(region));
+    }
+
+    fn task_create_begin(&self, create_region: RegionId, task_region: RegionId, new_task: TaskId) {
+        self.emit(Event::CreateBegin {
+            create: create_region,
+            task_region,
+            id: new_task,
+        });
+    }
+
+    fn task_create_end(&self, create_region: RegionId, new_task: TaskId) {
+        self.emit(Event::CreateEnd {
+            create: create_region,
+            id: new_task,
+        });
+    }
+
+    fn task_begin(&self, task_region: RegionId, task: TaskId) {
+        self.emit(Event::TaskBegin {
+            region: task_region,
+            id: task,
+        });
+    }
+
+    fn task_end(&self, task_region: RegionId, task: TaskId) {
+        self.emit(Event::TaskEnd {
+            region: task_region,
+            id: task,
+        });
+    }
+
+    fn task_abort(&self, task_region: RegionId, task: TaskId) {
+        self.emit(Event::TaskAbort {
+            region: task_region,
+            id: task,
+        });
+    }
+
+    fn task_switch(&self, resumed: TaskRef) {
+        self.emit(Event::Switch(resumed));
+    }
+
+    fn parameter_begin(&self, param: ParamId, value: i64) {
+        self.emit(Event::ParamBegin { param, value });
+    }
+
+    fn parameter_end(&self, param: ParamId) {
+        self.emit(Event::ParamEnd { param });
+    }
+}
+
+/// Monitor that records each simulated thread's event stream.
+#[derive(Debug, Default)]
+pub struct EventRecorder {
+    clock: SimClock,
+    streams: Mutex<Vec<(usize, Vec<Event>)>>,
+}
+
+impl EventRecorder {
+    /// A recorder reading timestamps from `clock` (clone of the
+    /// scheduler's [`SimClock`], so recorded deltas match what the paired
+    /// profiler measures).
+    pub fn new(clock: SimClock) -> Self {
+        Self {
+            clock,
+            streams: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The recorded per-thread streams, sorted by tid. Each stream covers
+    /// one thread's parallel region begin-to-end; a trailing
+    /// `Event::Advance` carries any time between the last hook and the
+    /// thread's end.
+    pub fn take_streams(&self) -> Vec<(usize, Vec<Event>)> {
+        let mut streams = std::mem::take(&mut *self.streams.lock().expect("recorder poisoned"));
+        streams.sort_by_key(|(tid, _)| *tid);
+        streams
+    }
+}
+
+impl Monitor for EventRecorder {
+    type Thread = RecorderThread;
+
+    fn thread_begin(&self, tid: usize, _nthreads: usize, _region: RegionId) -> RecorderThread {
+        let reader = self.clock.slot(tid);
+        let last = ClockReader::now(&reader);
+        RecorderThread {
+            reader,
+            last: Cell::new(last),
+            events: RefCell::new(Vec::new()),
+        }
+    }
+
+    fn thread_end(&self, tid: usize, thread: RecorderThread) {
+        let now = ClockReader::now(&thread.reader);
+        let mut events = thread.events.into_inner();
+        let last = thread.last.get();
+        if now > last {
+            events.push(Event::Advance(now - last));
+        }
+        self.streams
+            .lock()
+            .expect("recorder poisoned")
+            .push((tid, events));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::set_current_tid;
+
+    #[test]
+    fn records_deltas_not_absolutes() {
+        let clock = SimClock::new();
+        let rec = EventRecorder::new(clock.clone());
+        set_current_tid(Some(0));
+        let t = rec.thread_begin(0, 1, RegionId(1));
+        clock.work(10);
+        t.enter(RegionId(2));
+        clock.work(5);
+        t.exit(RegionId(2));
+        rec.thread_end(0, t);
+        set_current_tid(None);
+        let streams = rec.take_streams();
+        assert_eq!(streams.len(), 1);
+        let (tid, events) = &streams[0];
+        assert_eq!(*tid, 0);
+        assert!(matches!(events[0], Event::Advance(10)));
+        assert!(matches!(events[1], Event::Enter(RegionId(2))));
+        assert!(matches!(events[2], Event::Advance(5)));
+        assert!(matches!(events[3], Event::Exit(RegionId(2))));
+        assert_eq!(events.len(), 4);
+    }
+
+    #[test]
+    fn trailing_time_is_flushed_at_thread_end() {
+        let clock = SimClock::new();
+        let rec = EventRecorder::new(clock.clone());
+        set_current_tid(Some(3));
+        let t = rec.thread_begin(3, 4, RegionId(1));
+        clock.work(7);
+        rec.thread_end(3, t);
+        set_current_tid(None);
+        let streams = rec.take_streams();
+        assert!(matches!(streams[0].1[..], [Event::Advance(7)]));
+    }
+}

@@ -55,21 +55,21 @@ impl<'w, 'env, M: Monitor> TaskCtx<'w, 'env, M> {
         );
     }
 
-    /// Create a deferred tied task: an instance of `construct` whose body
-    /// may run on any team thread, at any scheduling point, but — being
-    /// tied — never migrates once started.
+    /// Create a tied task: an instance of `construct` whose body may run
+    /// on any team thread, at any scheduling point, but — being tied —
+    /// never migrates once started. Normally the task is deferred
+    /// (queued); a [`crate::SchedulePolicy`] may instead choose to run it
+    /// undeferred on the encountering thread, a freedom OpenMP grants the
+    /// runtime for any task.
     pub fn task<F>(&self, construct: &TaskConstruct, f: F)
     where
         F: for<'x> FnOnce(&TaskCtx<'x, 'env, M>) + Send + 'env,
     {
-        self.assert_current();
-        let boxed: crate::raw::ScopedClosure<'env, M> = Box::new(f);
-        // SAFETY: the implicit barrier at the end of the parallel region
-        // completes every deferred task before `Team::parallel` returns,
-        // i.e. before `'env` can end.
-        let erased = unsafe { erase_closure(boxed) };
-        self.worker
-            .spawn(construct.task, construct.create, &self.node, erased);
+        if self.worker.shared.policy.defer_task(self.worker.tid) {
+            self.task_deferred(construct, f);
+        } else {
+            self.task_undeferred(construct, f);
+        }
     }
 
     /// The `if` clause: when `cond` is false the task executes immediately
@@ -87,31 +87,55 @@ impl<'w, 'env, M: Monitor> TaskCtx<'w, 'env, M> {
         if cond {
             self.task(construct, f);
         } else {
-            self.assert_current();
-            let id = self.worker.shared.ids.alloc();
-            let child = TaskNode::child_of(&self.node, id);
-            let prev = self.worker.current.replace(child.clone());
-            self.worker.hooks.task_begin(construct.task, id);
-            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                f(&TaskCtx {
-                    worker: self.worker,
-                    node: child.clone(),
-                    _env: PhantomData,
-                });
-            }));
-            match outcome {
-                Ok(()) => self.worker.hooks.task_end(construct.task, id),
-                Err(payload) => {
-                    self.worker.hooks.task_abort(construct.task, id);
-                    self.worker.shared.task_panicked(payload);
-                }
-            }
-            child.complete();
-            if let Some(prev_id) = prev.id {
-                self.worker.hooks.task_switch(TaskRef::Explicit(prev_id));
-            }
-            *self.worker.current.borrow_mut() = prev;
+            self.task_undeferred(construct, f);
         }
+    }
+
+    /// Queue a deferred instance of `construct`.
+    fn task_deferred<F>(&self, construct: &TaskConstruct, f: F)
+    where
+        F: for<'x> FnOnce(&TaskCtx<'x, 'env, M>) + Send + 'env,
+    {
+        self.assert_current();
+        let boxed: crate::raw::ScopedClosure<'env, M> = Box::new(f);
+        // SAFETY: the implicit barrier at the end of the parallel region
+        // completes every deferred task before `Team::parallel` returns,
+        // i.e. before `'env` can end.
+        let erased = unsafe { erase_closure(boxed) };
+        self.worker
+            .spawn(construct.task, construct.create, &self.node, erased);
+    }
+
+    /// Execute an instance of `construct` immediately (undeferred) on the
+    /// encountering thread.
+    fn task_undeferred<F>(&self, construct: &TaskConstruct, f: F)
+    where
+        F: for<'x> FnOnce(&TaskCtx<'x, 'env, M>) + Send + 'env,
+    {
+        self.assert_current();
+        let id = self.worker.shared.ids.alloc();
+        let child = TaskNode::child_of(&self.node, id);
+        let prev = self.worker.current.replace(child.clone());
+        self.worker.hooks.task_begin(construct.task, id);
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            f(&TaskCtx {
+                worker: self.worker,
+                node: child.clone(),
+                _env: PhantomData,
+            });
+        }));
+        match outcome {
+            Ok(()) => self.worker.hooks.task_end(construct.task, id),
+            Err(payload) => {
+                self.worker.hooks.task_abort(construct.task, id);
+                self.worker.shared.task_panicked(payload);
+            }
+        }
+        child.complete();
+        if let Some(prev_id) = prev.id {
+            self.worker.hooks.task_switch(TaskRef::Explicit(prev_id));
+        }
+        *self.worker.current.borrow_mut() = prev;
     }
 
     /// Wait for the current task's direct children, executing eligible
@@ -143,6 +167,12 @@ impl<'w, 'env, M: Monitor> TaskCtx<'w, 'env, M> {
         assert!(self.node.is_implicit(), "single inside an explicit task");
         let k = self.worker.single_count.get();
         self.worker.single_count.set(k + 1);
+        // Let a simulating policy decide the arrival order — and thus the
+        // winner — of this `single` arbitration (no-op in production).
+        self.worker
+            .shared
+            .policy
+            .sched_point(self.worker.tid, crate::policy::SchedPoint::SingleEnter);
         self.worker.hooks.enter(construct.region);
         if self.worker.shared.singles.claim(k) {
             f(self);

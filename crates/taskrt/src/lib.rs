@@ -55,6 +55,7 @@
 mod constructs;
 mod ctx;
 mod outcome;
+mod policy;
 mod raw;
 mod sched;
 mod task;
@@ -67,6 +68,7 @@ pub use constructs::{
 };
 pub use ctx::TaskCtx;
 pub use outcome::ParallelOutcome;
+pub use policy::{AcquireOrder, SchedPoint, SchedulePolicy, WorkSteal};
 pub use task::TaskNode;
 pub use team::Team;
 

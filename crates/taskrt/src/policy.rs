@@ -1,0 +1,128 @@
+//! Pluggable scheduling decisions: one trait covering every point where
+//! the runtime makes a nondeterministic choice.
+//!
+//! The production scheduler ([`WorkSteal`]) and the deterministic
+//! simulation scheduler (`simsched::SimScheduler`) implement the same
+//! trait, so both drive the *same* worker/barrier/taskwait code paths —
+//! the schedule explorer exercises exactly the runtime it validates.
+//!
+//! Every method has a default that reproduces the production behaviour
+//! byte-for-byte, so `WorkSteal` is a unit struct and the hooks cost one
+//! predictable dynamic call at points that are already scheduling-heavy
+//! (queue operations, barrier polls); nothing is added to task bodies.
+
+/// A point in the runtime where the scheduler is consulted.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum SchedPoint {
+    /// A deferred task is being created (between `task_create_begin` and
+    /// `task_create_end`); the new task is already queued.
+    Spawn,
+    /// A `taskwait` wait loop finished executing one eligible task and is
+    /// about to look for the next.
+    TaskwaitPoll,
+    /// A barrier wait loop finished executing one task and is about to
+    /// look for the next.
+    BarrierPoll,
+    /// One iteration of a `taskwait` wait loop found nothing runnable —
+    /// the thread cannot make progress until another thread acts.
+    TaskwaitIdle,
+    /// One iteration of a barrier wait loop found nothing runnable (and
+    /// the barrier is not releasable yet).
+    BarrierIdle,
+    /// The thread just released a barrier (all arrived, no outstanding
+    /// tasks) — other threads waiting at it become runnable now.
+    BarrierRelease,
+    /// A thread is about to arbitrate a `single` construct.
+    SingleEnter,
+}
+
+/// Which task source a barrier scheduling point drains first.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AcquireOrder {
+    /// Own deque, then the injector, then steal (production order).
+    LocalFirst,
+    /// Steal first, then own deque, then the injector.
+    StealFirst,
+}
+
+/// Scheduling decisions a team consults during a parallel region.
+///
+/// Implementations must be `Send + Sync`: one policy value is shared by
+/// every thread of the team. The default body of every method reproduces
+/// the production work-stealing behaviour.
+pub trait SchedulePolicy: Send + Sync {
+    /// Thread `tid` of an `nthreads`-wide team is about to run its
+    /// implicit task (called before the monitor's `thread_begin`).
+    fn thread_start(&self, tid: usize, nthreads: usize) {
+        let _ = (tid, nthreads);
+    }
+
+    /// Thread `tid` finished the region (called after the monitor's
+    /// `thread_end`).
+    fn thread_stop(&self, tid: usize) {
+        let _ = tid;
+    }
+
+    /// The thread reached a task scheduling point. Returning `true` means
+    /// the policy performed its own wait/yield and the caller must skip
+    /// its backoff; `false` (the default) keeps the production
+    /// spin-then-snooze behaviour.
+    fn sched_point(&self, tid: usize, point: SchedPoint) -> bool {
+        let _ = (tid, point);
+        false
+    }
+
+    /// Whether a `task()` creation on `tid` defers (queues) the task.
+    /// `false` executes it immediately (undeferred) on the encountering
+    /// thread — the choice OpenMP runtimes are free to make for any task.
+    fn defer_task(&self, tid: usize) -> bool {
+        let _ = tid;
+        true
+    }
+
+    /// First victim index to probe when stealing. `round_robin` is the
+    /// thread's cursor (the victim after the last successful steal); the
+    /// production policy continues from it.
+    fn steal_start(&self, tid: usize, nthreads: usize, round_robin: usize) -> usize {
+        let _ = (tid, nthreads);
+        round_robin
+    }
+
+    /// Source order for barrier scheduling points.
+    fn acquire_order(&self, tid: usize) -> AcquireOrder {
+        let _ = tid;
+        AcquireOrder::LocalFirst
+    }
+}
+
+/// The production policy: plain work stealing, exactly the behaviour the
+/// runtime had before policies existed. Every method keeps its default.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct WorkSteal;
+
+impl SchedulePolicy for WorkSteal {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn worksteal_defaults_reproduce_production_choices() {
+        let p = WorkSteal;
+        p.thread_start(0, 2);
+        assert!(!p.sched_point(0, SchedPoint::TaskwaitPoll));
+        assert!(!p.sched_point(1, SchedPoint::BarrierPoll));
+        assert!(p.defer_task(0));
+        assert_eq!(p.steal_start(0, 4, 3), 3);
+        assert_eq!(p.acquire_order(0), AcquireOrder::LocalFirst);
+        p.thread_stop(0);
+    }
+
+    #[test]
+    fn policy_is_object_safe() {
+        let p: std::sync::Arc<dyn SchedulePolicy> = std::sync::Arc::new(WorkSteal);
+        assert!(p.defer_task(1));
+        assert!(!p.sched_point(0, SchedPoint::Spawn));
+    }
+}

@@ -2,12 +2,14 @@
 //! the `single` arbiter.
 
 use crate::constructs::ParallelConstruct;
+use crate::policy::{SchedulePolicy, WorkSteal};
 use crate::raw::RawTask;
 use crossbeam_deque::{Injector, Stealer};
 use parking_lot::Mutex;
 use pomp::{Monitor, TaskIdAllocator};
 use std::any::Any;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 /// State shared by all threads of one parallel region.
 pub(crate) struct Shared<M: Monitor> {
@@ -40,6 +42,10 @@ pub(crate) struct Shared<M: Monitor> {
     pub failed: AtomicUsize,
     /// Payload of the first panic observed anywhere in the team.
     pub first_panic: Mutex<Option<Box<dyn Any + Send>>>,
+    /// Scheduling decisions: production work stealing by default, or a
+    /// deterministic simulation policy installed via
+    /// [`crate::Team::with_policy`].
+    pub policy: Arc<dyn SchedulePolicy>,
 }
 
 impl<M: Monitor> Shared<M> {
@@ -62,6 +68,7 @@ impl<M: Monitor> Shared<M> {
             unrestricted_taskwait: false,
             failed: AtomicUsize::new(0),
             first_panic: Mutex::new(None),
+            policy: Arc::new(WorkSteal),
         }
     }
 

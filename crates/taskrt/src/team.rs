@@ -3,6 +3,7 @@
 use crate::constructs::ParallelConstruct;
 use crate::ctx::TaskCtx;
 use crate::outcome::ParallelOutcome;
+use crate::policy::SchedulePolicy;
 use crate::raw::RawTask;
 use crate::sched::Shared;
 use crate::task::TaskNode;
@@ -10,14 +11,26 @@ use crate::worker::WorkerState;
 use crossbeam_deque::Worker;
 use pomp::Monitor;
 use std::marker::PhantomData;
+use std::sync::Arc;
 
 /// A team configuration. Threads are spawned per parallel region (scoped),
 /// which keeps lifetimes simple; the overhead is outside the measured
 /// kernels, mirroring how BOTS measures only the parallel region body.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone)]
 pub struct Team {
     nthreads: usize,
     unrestricted_taskwait: bool,
+    policy: Option<Arc<dyn SchedulePolicy>>,
+}
+
+impl std::fmt::Debug for Team {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Team")
+            .field("nthreads", &self.nthreads)
+            .field("unrestricted_taskwait", &self.unrestricted_taskwait)
+            .field("policy", &self.policy.as_ref().map(|_| "custom"))
+            .finish()
+    }
 }
 
 impl Team {
@@ -27,6 +40,7 @@ impl Team {
         Self {
             nthreads,
             unrestricted_taskwait: false,
+            policy: None,
         }
     }
 
@@ -37,6 +51,14 @@ impl Team {
     /// (max concurrent instances) exposes the difference.
     pub fn unrestricted_taskwait(mut self) -> Self {
         self.unrestricted_taskwait = true;
+        self
+    }
+
+    /// Install a custom [`SchedulePolicy`] (e.g. the deterministic
+    /// simulation scheduler). Without one the team uses production work
+    /// stealing ([`crate::WorkSteal`]).
+    pub fn with_policy(mut self, policy: Arc<dyn SchedulePolicy>) -> Self {
+        self.policy = Some(policy);
         self
     }
 
@@ -75,6 +97,9 @@ impl Team {
         let stealers = locals.iter().map(Worker::stealer).collect();
         let mut shared = Shared::new(n, *construct, stealers);
         shared.unrestricted_taskwait = self.unrestricted_taskwait;
+        if let Some(policy) = &self.policy {
+            shared.policy = Arc::clone(policy);
+        }
         {
             let shared = &shared;
             let f = &f;
@@ -103,6 +128,10 @@ fn run_worker<'env, M, F>(
     M: Monitor,
     F: Fn(&TaskCtx<'_, 'env, M>) + Sync + 'env,
 {
+    // The policy is consulted before the monitor sees the thread and
+    // after it lets go, so a serializing policy (the simulation
+    // scheduler) covers the monitor's begin/end bookkeeping too.
+    shared.policy.thread_start(tid, shared.nthreads);
     let hooks = monitor.thread_begin(tid, shared.nthreads, shared.parallel.region);
     let implicit = TaskNode::implicit();
     let ws = WorkerState::new(shared, tid, local, hooks, implicit.clone());
@@ -128,4 +157,5 @@ fn run_worker<'env, M, F>(
         ws.barrier(shared.parallel.ibarrier);
     }
     monitor.thread_end(tid, ws.hooks);
+    shared.policy.thread_stop(tid);
 }

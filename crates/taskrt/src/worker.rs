@@ -1,6 +1,7 @@
 //! Per-thread worker: task execution, scheduling points, stealing.
 
 use crate::ctx::TaskCtx;
+use crate::policy::{AcquireOrder, SchedPoint};
 use crate::raw::{ErasedClosure, RawTask};
 use crate::sched::Shared;
 use crate::task::{is_descendant_of, TaskNode};
@@ -64,6 +65,10 @@ impl<'s, M: Monitor> WorkerState<'s, M> {
             region: task_region,
             body,
         });
+        // Task creation is a scheduling point; the simulation policy
+        // charges its deterministic creation cost here, inside the
+        // create_begin/create_end frame, and may switch simulated threads.
+        self.shared.policy.sched_point(self.tid, SchedPoint::Spawn);
         self.hooks.task_create_end(create_region, id);
     }
 
@@ -110,22 +115,30 @@ impl<'s, M: Monitor> WorkerState<'s, M> {
         *self.current.borrow_mut() = prev;
     }
 
-    /// Pop any runnable task: local LIFO first, then the injector, then
-    /// steal round-robin from other workers. Used by (implicit-task)
-    /// barriers, where the scheduling constraint allows any task.
-    pub fn pop_any(&self) -> Option<RawTask<M>> {
-        if let Some(t) = self.local.pop() {
-            return Some(t);
-        }
+    /// Pop from the thread's own LIFO deque.
+    fn pop_local(&self) -> Option<RawTask<M>> {
+        self.local.pop()
+    }
+
+    /// Pull from the shared injector (re-queued stashed tasks).
+    fn pop_injector(&self) -> Option<RawTask<M>> {
         loop {
             match self.shared.injector.steal_batch_and_pop(&self.local) {
                 Steal::Success(t) => return Some(t),
                 Steal::Retry => continue,
-                Steal::Empty => break,
+                Steal::Empty => return None,
             }
         }
+    }
+
+    /// Steal from other workers, starting at the policy-chosen victim and
+    /// continuing round-robin.
+    fn pop_steal(&self) -> Option<RawTask<M>> {
         let n = self.shared.stealers.len();
-        let start = self.steal_from.get();
+        let start = self
+            .shared
+            .policy
+            .steal_start(self.tid, n, self.steal_from.get());
         for k in 0..n {
             let victim = (start + k) % n;
             if victim == self.tid {
@@ -143,6 +156,23 @@ impl<'s, M: Monitor> WorkerState<'s, M> {
             }
         }
         None
+    }
+
+    /// Pop any runnable task: by default local LIFO first, then the
+    /// injector, then steal round-robin from other workers (the policy
+    /// may flip the order). Used by (implicit-task) barriers, where the
+    /// scheduling constraint allows any task.
+    pub fn pop_any(&self) -> Option<RawTask<M>> {
+        match self.shared.policy.acquire_order(self.tid) {
+            AcquireOrder::LocalFirst => self
+                .pop_local()
+                .or_else(|| self.pop_injector())
+                .or_else(|| self.pop_steal()),
+            AcquireOrder::StealFirst => self
+                .pop_steal()
+                .or_else(|| self.pop_local())
+                .or_else(|| self.pop_injector()),
+        }
     }
 
     /// `taskwait`: wait until the current task's direct children complete,
@@ -168,6 +198,12 @@ impl<'s, M: Monitor> WorkerState<'s, M> {
                         self.execute(t);
                         self.shared.task_retired();
                         backoff.reset();
+                        // Completed a task at the scheduling point: let a
+                        // simulating policy rotate to another thread
+                        // before the next pop (no-op in production).
+                        self.shared
+                            .policy
+                            .sched_point(self.tid, SchedPoint::TaskwaitPoll);
                     } else {
                         stash.push(t);
                     }
@@ -181,6 +217,9 @@ impl<'s, M: Monitor> WorkerState<'s, M> {
                             self.execute(t);
                             self.shared.task_retired();
                             backoff.reset();
+                            self.shared
+                                .policy
+                                .sched_point(self.tid, SchedPoint::TaskwaitPoll);
                         } else {
                             stash.push(t);
                         }
@@ -189,7 +228,13 @@ impl<'s, M: Monitor> WorkerState<'s, M> {
                     Steal::Retry => continue,
                     Steal::Empty => {}
                 }
-                backoff.snooze();
+                if !self
+                    .shared
+                    .policy
+                    .sched_point(self.tid, SchedPoint::TaskwaitIdle)
+                {
+                    backoff.snooze();
+                }
             }
             // Make stashed tasks schedulable again. They go back on the
             // local deque so that suspended ancestors (whose taskwait scans
@@ -222,17 +267,33 @@ impl<'s, M: Monitor> WorkerState<'s, M> {
                 self.execute(t);
                 self.shared.task_retired();
                 backoff.reset();
+                self.shared
+                    .policy
+                    .sched_point(self.tid, SchedPoint::BarrierPoll);
                 continue;
             }
             if b.all_arrived(gen, self.shared.nthreads)
                 && self.shared.outstanding.load(std::sync::atomic::Ordering::Acquire) == 0
             {
                 if b.try_release(gen) {
+                    // Releasing is a state change the other waiters cannot
+                    // observe through their own actions; tell the policy so
+                    // a simulating scheduler can wake them (no-op in
+                    // production).
+                    self.shared
+                        .policy
+                        .sched_point(self.tid, SchedPoint::BarrierRelease);
                     break;
                 }
                 continue;
             }
-            backoff.snooze();
+            if !self
+                .shared
+                .policy
+                .sched_point(self.tid, SchedPoint::BarrierIdle)
+            {
+                backoff.snooze();
+            }
         }
         self.hooks.exit(region);
     }

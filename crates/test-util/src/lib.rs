@@ -1,0 +1,16 @@
+//! Shared test utilities for the taskprof suite.
+//!
+//! Two generators live here so every property suite draws from the same
+//! distribution of task graphs:
+//!
+//! * [`shape`] — runtime-level task-tree shapes ([`shape::Shape`]): run
+//!   them on a real [`taskrt::Team`] (`shape::run_shape`), or convert
+//!   them to a [`simsched::TreeWorkload`] (`shape::steps`) for
+//!   deterministic schedule exploration.
+//! * [`body`] — profiler-level execution plans ([`body::Body`]): emit
+//!   them as event streams through [`taskprof::Replayer`].
+//!
+//! This is a dev-only crate: production crates must not depend on it.
+
+pub mod body;
+pub mod shape;

@@ -8,14 +8,21 @@
 //! taskprof-cli telemetry <app> [--threads N] [--scale test|small|medium]
 //!                              [--cutoff] [--interval-ms N]
 //!                              [--format dashboard|prometheus|jsonl]
+//! taskprof-cli explore [--seeds N] [--threads N]
+//!                      [--workload fib|flat|mixed|all] [--dfs BUDGET]
 //! taskprof-cli diff <a.profile> <b.profile>
 //! taskprof-cli list
 //! ```
 //!
 //! `run` executes one BOTS code under the profiler (and optionally the
 //! tracer) and reports; `telemetry` runs a code with live telemetry
-//! enabled, sampling the lock-free gauges while it executes; `diff`
-//! compares two saved profiles; `list` shows the available codes.
+//! enabled, sampling the lock-free gauges while it executes; `explore`
+//! runs the deterministic schedule explorer (`simsched`) over seeded
+//! simulated schedules and fails on any profile-invariant violation;
+//! `diff` compares two saved profiles; `list` shows the available codes.
+//!
+//! `explore --seeds` defaults to the `TASKPROF_EXPLORE_SEEDS`
+//! environment variable (or 64), which is how CI scales the sweep.
 
 use bots::{run_app, AppId, RunOpts, Scale, Variant, ALL_APPS};
 use cube::{
@@ -32,6 +39,7 @@ fn usage() -> ! {
          [--cutoff] [--depth-param] [--render] [--csv] [--dot] [--diagnose] [--imbalance] [--trace] [--save FILE]\n  \
          taskprof-cli telemetry <app> [--threads N] [--scale test|small|medium] [--cutoff] \
          [--interval-ms N] [--format dashboard|prometheus|jsonl]\n  \
+         taskprof-cli explore [--seeds N] [--threads N] [--workload fib|flat|mixed|all] [--dfs BUDGET]\n  \
          taskprof-cli diff <a.profile> <b.profile>\n  taskprof-cli list"
     );
     std::process::exit(2);
@@ -274,6 +282,87 @@ fn cmd_telemetry(args: &[String]) {
     }
 }
 
+fn cmd_explore(args: &[String]) {
+    let mut seeds: u64 = std::env::var("TASKPROF_EXPLORE_SEEDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64);
+    let mut threads: usize = 2;
+    let mut which = String::from("all");
+    let mut dfs_budget: Option<usize> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seeds" => {
+                seeds = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--threads" => {
+                threads = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--workload" => which = it.next().cloned().unwrap_or_else(|| usage()),
+            "--dfs" => {
+                dfs_budget = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                )
+            }
+            _ => usage(),
+        }
+    }
+    let workloads: Vec<simsched::TreeWorkload> = match which.as_str() {
+        "fib" => vec![simsched::workloads::fib_like(3)],
+        "flat" => vec![simsched::workloads::flat(6)],
+        "mixed" => vec![simsched::workloads::mixed()],
+        "all" => vec![
+            simsched::workloads::fib_like(3),
+            simsched::workloads::flat(6),
+            simsched::workloads::mixed(),
+        ],
+        _ => usage(),
+    };
+    let mut failed = false;
+    for w in &workloads {
+        let report = simsched::explore_seeds(w, threads, 0..seeds);
+        println!(
+            "# {:<12} threads={threads} seeds={seeds}: {} runs, {} distinct schedules, {} violations",
+            w.name(),
+            report.runs,
+            report.distinct_schedules,
+            report.violations.len()
+        );
+        for v in &report.violations {
+            println!("  violation: {v}");
+            failed = true;
+        }
+        if let Some(budget) = dfs_budget {
+            let (dfs, exhausted) = simsched::explore_dfs(w, threads, budget);
+            println!(
+                "# {:<12} dfs budget={budget}: {} schedules explored ({}), {} violations",
+                w.name(),
+                dfs.runs,
+                if exhausted { "exhaustive" } else { "truncated" },
+                dfs.violations.len()
+            );
+            for v in &dfs.violations {
+                println!("  violation: {v}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        eprintln!("schedule exploration found invariant violations");
+        std::process::exit(1);
+    }
+    println!("all explored schedules satisfy the profile invariants");
+}
+
 fn cmd_diff(args: &[String]) {
     let [a_path, b_path] = args else { usage() };
     let load = |p: &String| {
@@ -307,6 +396,7 @@ fn main() {
     match args.first().map(String::as_str) {
         Some("run") => cmd_run(&args[1..]),
         Some("telemetry") => cmd_telemetry(&args[1..]),
+        Some("explore") => cmd_explore(&args[1..]),
         Some("diff") => cmd_diff(&args[1..]),
         Some("list") => cmd_list(),
         _ => usage(),

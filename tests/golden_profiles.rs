@@ -1,0 +1,179 @@
+//! Golden-profile snapshot tests: canonical event streams and
+//! deterministically simulated benchmark runs must serialize to exactly
+//! the checked-in cube text under `tests/golden/`.
+//!
+//! Run with `BLESS=1 cargo test --test golden_profiles` to regenerate the
+//! goldens after an intentional format or algorithm change; the diff of
+//! the golden files then documents the change in review.
+
+use pomp::{RegionId, RegionKind, TaskIdAllocator};
+use std::path::PathBuf;
+use std::sync::Arc;
+use taskprof::{replay, AssignPolicy, Event, Profile, ProfMonitor};
+use taskrt::Team;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{name}.txt"))
+}
+
+fn check_golden(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if std::env::var("BLESS").is_ok() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|_| {
+        panic!(
+            "missing golden {}; run with BLESS=1 to create it",
+            path.display()
+        )
+    });
+    assert_eq!(
+        actual,
+        expected,
+        "golden '{name}' differs; regenerate with BLESS=1 if the change is intentional"
+    );
+}
+
+fn reg(name: &str, kind: RegionKind) -> RegionId {
+    pomp::registry().register(name, kind, file!(), line!())
+}
+
+/// The Fig. 5 stream (stub-node view): 113 s of task execution inside
+/// the barrier, 103 s management/idle, task tree split into 51.5 s
+/// exclusive + 25.8 s creating. Mirrors `tests/fig5_stub.rs` with
+/// registered (named) regions so the profile serializes.
+#[test]
+fn golden_fig5_stub_stream() {
+    let par = reg("golden-fig5!parallel", RegionKind::Parallel);
+    let task = reg("golden-fig5!task", RegionKind::Task);
+    let create = reg("golden-fig5!create", RegionKind::TaskCreate);
+    let barrier = reg("golden-fig5!ibarrier", RegionKind::ImplicitBarrier);
+    const S: u64 = 1_000_000_000;
+
+    let ids = TaskIdAllocator::new();
+    let mut events = vec![Event::Enter(barrier)];
+    let spec: [(u64, u64); 4] = [(300, 70), (300, 70), (300, 70), (230, 48)];
+    for (total, creating) in spec {
+        let id = ids.alloc();
+        let nested = ids.alloc();
+        let rest = total - creating;
+        events.extend([
+            Event::TaskBegin { region: task, id },
+            Event::Advance(rest / 2 * S / 10),
+            Event::CreateBegin {
+                create,
+                task_region: task,
+                id: nested,
+            },
+            Event::Advance(creating * S / 10),
+            Event::CreateEnd { create, id: nested },
+            Event::Advance((rest - rest / 2) * S / 10),
+            Event::TaskEnd { region: task, id },
+        ]);
+    }
+    events.push(Event::Advance(103 * S));
+    events.push(Event::Exit(barrier));
+    let snap = replay(par, AssignPolicy::Executing, events);
+    let profile = Profile {
+        threads: vec![snap],
+    };
+    check_golden("fig5_stub", &cube::write_profile(&profile));
+}
+
+/// The Figs. 6–11 walkthrough stream: two instances of construct A, the
+/// second starting at the first's taskwait. Mirrors
+/// `tests/algorithm_walkthrough.rs` with registered regions.
+#[test]
+fn golden_figs6_11_walkthrough_stream() {
+    let par = reg("golden-walk!parallel", RegionKind::Parallel);
+    let task_a = reg("golden-walk!taskA", RegionKind::Task);
+    let create_a = reg("golden-walk!createA", RegionKind::TaskCreate);
+    let barrier = reg("golden-walk!ibarrier", RegionKind::ImplicitBarrier);
+    let tw = reg("golden-walk!taskwait", RegionKind::Taskwait);
+
+    let ids = TaskIdAllocator::new();
+    let (i1, i2) = (ids.alloc(), ids.alloc());
+    let events = [
+        Event::Advance(2),
+        Event::CreateBegin {
+            create: create_a,
+            task_region: task_a,
+            id: i1,
+        },
+        Event::Advance(1),
+        Event::CreateEnd { create: create_a, id: i1 },
+        Event::CreateBegin {
+            create: create_a,
+            task_region: task_a,
+            id: i2,
+        },
+        Event::Advance(1),
+        Event::CreateEnd { create: create_a, id: i2 },
+        Event::Enter(barrier),
+        Event::Advance(1),
+        Event::TaskBegin { region: task_a, id: i1 },
+        Event::Advance(5),
+        Event::Enter(tw),
+        Event::Advance(1),
+        Event::TaskBegin { region: task_a, id: i2 },
+        Event::Advance(7),
+        Event::TaskEnd { region: task_a, id: i2 },
+        Event::Switch(pomp::TaskRef::Explicit(i1)),
+        Event::Advance(1),
+        Event::Exit(tw),
+        Event::Advance(2),
+        Event::TaskEnd { region: task_a, id: i1 },
+        Event::Advance(3),
+        Event::Exit(barrier),
+    ];
+    let snap = replay(par, AssignPolicy::Executing, events);
+    let profile = Profile {
+        threads: vec![snap],
+    };
+    check_golden("figs6_11_walkthrough", &cube::write_profile(&profile));
+}
+
+/// Run a BOTS code deterministically: seeded simulated schedule, virtual
+/// per-thread clocks (time advances only at task-creation scheduling
+/// points), two simulated threads.
+fn simulated_bots_profile(
+    run: impl Fn(&ProfMonitor<simsched::SimClock>, &Team) -> bots::Outcome,
+    seed: u64,
+) -> (Profile, bots::Outcome) {
+    let sched = Arc::new(simsched::SimScheduler::new(seed));
+    let clock = sched.clock().clone();
+    let team = Team::new(2).with_policy(sched);
+    let monitor = ProfMonitor::builder()
+        .clock(clock)
+        .build()
+        .expect("profiler config is valid");
+    let out = run(&monitor, &team);
+    let profile = monitor.take_profile().expect("region finished");
+    (profile, out)
+}
+
+#[test]
+fn golden_fib_tiny_fixed_seed() {
+    let opts = bots::RunOpts::new(2).scale(bots::Scale::Test);
+    let (profile, out) = simulated_bots_profile(
+        |monitor, team| bots::fib::run_with_team(monitor, team, &opts),
+        42,
+    );
+    assert!(out.verified, "simulated fib computed a wrong checksum");
+    check_golden("fib_test_seed42", &cube::write_profile(&profile));
+}
+
+#[test]
+fn golden_nqueens_tiny_fixed_seed() {
+    let opts = bots::RunOpts::new(2).scale(bots::Scale::Test);
+    let (profile, out) = simulated_bots_profile(
+        |monitor, team| bots::nqueens::run_with_team(monitor, team, &opts),
+        42,
+    );
+    assert!(out.verified, "simulated nqueens found a wrong solution count");
+    check_golden("nqueens_test_seed42", &cube::write_profile(&profile));
+}

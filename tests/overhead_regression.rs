@@ -6,6 +6,11 @@
 //! builds uninlined — but it catches the failure mode that matters: an
 //! accidental lock or allocation on the per-event fast path turns the
 //! multiplier into hundreds, not tens.
+//!
+//! Because these are wall-clock measurements, a violated bound only
+//! *fails* the test when `TASKPROF_BENCH_STRICT` is set (dedicated
+//! perf-CI); by default it is reported as a warning so a loaded share
+//! machine cannot fail an otherwise-deterministic test suite.
 
 use bots::{run_app, AppId, RunOpts, Scale, Variant};
 use pomp::NullMonitor;
@@ -19,6 +24,18 @@ const REPS: usize = 3;
 
 fn min_time(mut run: impl FnMut() -> Duration) -> Duration {
     (0..REPS).map(|_| run()).min().expect("REPS >= 1")
+}
+
+/// Enforce a timing bound: hard assert under `TASKPROF_BENCH_STRICT`,
+/// stderr warning otherwise.
+fn enforce_bound(ok: bool, message: String) {
+    if ok {
+        return;
+    }
+    if std::env::var_os("TASKPROF_BENCH_STRICT").is_some() {
+        panic!("{message}");
+    }
+    eprintln!("warning (set TASKPROF_BENCH_STRICT=1 to fail on this): {message}");
 }
 
 #[test]
@@ -52,11 +69,13 @@ fn full_session_stack_overhead_is_bounded() {
     // Guard against degenerate timer resolution on tiny baselines.
     let base = base.max(Duration::from_micros(50));
     let ratio = instrumented.as_secs_f64() / base.as_secs_f64();
-    assert!(
+    enforce_bound(
         ratio < MAX_OVERHEAD_RATIO,
-        "full measurement stack is {ratio:.1}x the uninstrumented run \
-         (base {base:?}, instrumented {instrumented:?}); the per-event \
-         fast path has likely regressed (lock or allocation in a hook?)"
+        format!(
+            "full measurement stack is {ratio:.1}x the uninstrumented run \
+             (base {base:?}, instrumented {instrumented:?}); the per-event \
+             fast path has likely regressed (lock or allocation in a hook?)"
+        ),
     );
 }
 
@@ -113,10 +132,12 @@ fn telemetry_per_event_overhead_is_bounded() {
 
     let off = off.max(Duration::from_micros(200));
     let ratio = on.as_secs_f64() / off.as_secs_f64();
-    assert!(
+    enforce_bound(
         ratio < MAX_TELEMETRY_RATIO,
-        "telemetry-on event path is {ratio:.2}x telemetry-off \
-         (off {off:?}, on {on:?}); the telemetry tail must stay a few \
-         relaxed stores — no lock, no allocation, no syscall"
+        format!(
+            "telemetry-on event path is {ratio:.2}x telemetry-off \
+             (off {off:?}, on {on:?}); the telemetry tail must stay a few \
+             relaxed stores — no lock, no allocation, no syscall"
+        ),
     );
 }

@@ -1,93 +1,15 @@
 //! Property-based tests of the tasking runtime: arbitrary task-tree
 //! shapes must execute every task exactly once, respect taskwait
 //! semantics, and produce profiler-consistent event streams.
+//!
+//! The shape generator and driver live in `test_util::shape` so the
+//! deterministic schedule explorer (`simsched`) can reuse them as a
+//! workload source.
 
-use pomp::{Monitor, NullMonitor};
+use pomp::NullMonitor;
 use proptest::prelude::*;
-use std::sync::atomic::{AtomicU64, Ordering};
 use taskprof::ProfMonitor;
-use taskrt::{taskwait_region, ParallelConstruct, TaskConstruct, TaskCtx, Team};
-
-/// A randomly shaped task tree: each node spawns children and optionally
-/// taskwaits between batches.
-#[derive(Clone, Debug)]
-struct Shape {
-    /// Children per node, by depth (empty → leaf).
-    fanout: Vec<u8>,
-    /// Whether each level taskwaits after spawning.
-    wait: Vec<bool>,
-    /// Work units burned per task.
-    work: u8,
-}
-
-fn shape_strategy() -> impl Strategy<Value = Shape> {
-    (
-        prop::collection::vec(0u8..4, 1..4),
-        prop::collection::vec(any::<bool>(), 4),
-        any::<u8>(),
-    )
-        .prop_map(|(fanout, wait, work)| Shape { fanout, wait, work })
-}
-
-fn expected_tasks(shape: &Shape) -> u64 {
-    // Root (implicit) spawns fanout[0] tasks, each spawns fanout[1], ...
-    let mut total = 0u64;
-    let mut level_count = 1u64;
-    for &f in &shape.fanout {
-        level_count *= f as u64;
-        total += level_count;
-        if level_count == 0 {
-            break;
-        }
-    }
-    total
-}
-
-fn spawn_level<'e, M: Monitor>(
-    ctx: &TaskCtx<'_, 'e, M>,
-    shape: &'e Shape,
-    depth: usize,
-    task: &'e TaskConstruct,
-    tw: pomp::RegionId,
-    executed: &'e AtomicU64,
-    work_sink: &'e AtomicU64,
-) {
-    if depth >= shape.fanout.len() {
-        return;
-    }
-    for _ in 0..shape.fanout[depth] {
-        ctx.task(task, move |ctx| {
-            executed.fetch_add(1, Ordering::Relaxed);
-            let mut acc = 0u64;
-            for i in 0..shape.work as u64 * 16 {
-                acc = acc.wrapping_mul(31).wrapping_add(i);
-            }
-            work_sink.fetch_add(acc, Ordering::Relaxed);
-            spawn_level(ctx, shape, depth + 1, task, tw, executed, work_sink);
-            if shape.wait.get(depth + 1).copied().unwrap_or(false) {
-                ctx.taskwait(tw);
-            }
-        });
-    }
-    if shape.wait.first().copied().unwrap_or(true) && depth == 0 {
-        ctx.taskwait(tw);
-    }
-}
-
-fn run_shape<M: Monitor>(monitor: &M, shape: &Shape, threads: usize) -> u64 {
-    let par = ParallelConstruct::new("pt-rt!parallel");
-    let task = TaskConstruct::new("pt-rt-task");
-    let tw = taskwait_region("pt-rt!tw");
-    let executed = AtomicU64::new(0);
-    let work_sink = AtomicU64::new(0);
-    let (exec_ref, sink_ref, shape_ref, task_ref) = (&executed, &work_sink, shape, &task);
-    Team::new(threads).parallel(monitor, &par, |ctx| {
-        if ctx.tid() == 0 {
-            spawn_level(ctx, shape_ref, 0, task_ref, tw, exec_ref, sink_ref);
-        }
-    });
-    executed.load(Ordering::Relaxed)
-}
+use test_util::shape::{expected_tasks, run_shape, shape_strategy};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]

@@ -9,6 +9,12 @@
 //! PRNG each run; failures report the failing input (and the seed) but are
 //! **not shrunk** — acceptable for an offline gate whose job is to catch
 //! violations at all.
+//!
+//! Failure persistence mirrors the real crate: the `proptest!` macro
+//! records its `file!()` in the config, persisted `cc` seeds from the
+//! sibling `.proptest-regressions` file are replayed before any novel
+//! cases, and a failing novel case prints the exact `cc` line to commit
+//! (the case seed lives in the first 16 hex digits of the token).
 
 pub mod arbitrary;
 pub mod collection;
@@ -117,7 +123,11 @@ macro_rules! proptest {
         $(
             $(#[$meta])*
             fn $name() {
-                let mut runner = $crate::test_runner::TestRunner::new($config);
+                let mut config = $config;
+                // Locate the sibling `.proptest-regressions` file so
+                // persisted failure seeds replay before novel cases.
+                config.source_file = ::core::option::Option::Some(file!());
+                let mut runner = $crate::test_runner::TestRunner::new(config);
                 let strategy = ($($strategy,)+);
                 let outcome = runner.run(&strategy, |($($arg,)+)| {
                     $body

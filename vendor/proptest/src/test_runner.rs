@@ -3,6 +3,7 @@
 use crate::strategy::Strategy;
 use std::fmt;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 
 /// Deterministic split-mix PRNG used for all generation. Seeded once per
 /// runner; printing the seed on failure makes a run reproducible via the
@@ -48,12 +49,22 @@ impl TestRng {
 pub struct Config {
     /// Number of generated cases per property.
     pub cases: u32,
+    /// Source file of the `proptest!` block (filled in by the macro via
+    /// `file!()`). When set, the sibling `<file>.proptest-regressions`
+    /// file is parsed and its persisted `cc` seeds are replayed before
+    /// any novel cases are generated — the same contract as the real
+    /// crate, with the case seed packed into the first 16 hex digits of
+    /// the `cc` token.
+    pub source_file: Option<&'static str>,
 }
 
 impl Config {
     /// Configuration running `cases` generated inputs per property.
     pub fn with_cases(cases: u32) -> Self {
-        Self { cases }
+        Self {
+            cases,
+            source_file: None,
+        }
     }
 }
 
@@ -63,8 +74,46 @@ impl Default for Config {
             .ok()
             .and_then(|v| v.parse().ok())
             .unwrap_or(256);
-        Self { cases }
+        Self {
+            cases,
+            source_file: None,
+        }
     }
+}
+
+/// The regressions file persisted next to a test source file
+/// (`tests/foo.rs` → `tests/foo.proptest-regressions`).
+pub fn regressions_path(source_file: &str) -> PathBuf {
+    PathBuf::from(source_file.strip_suffix(".rs").unwrap_or(source_file))
+        .with_extension("proptest-regressions")
+}
+
+/// Parse the case seed out of one `cc` token: the first 16 hex digits
+/// encode the u64 the failing case's RNG was seeded with.
+pub fn parse_cc_seed(token: &str) -> Option<u64> {
+    let head: String = token.chars().take(16).collect();
+    if head.len() < 16 {
+        return None;
+    }
+    u64::from_str_radix(&head, 16).ok()
+}
+
+/// Persisted regression seeds from a `.proptest-regressions` file
+/// (missing file → empty).
+pub fn load_regressions(source_file: &str) -> Vec<u64> {
+    let Ok(text) = std::fs::read_to_string(regressions_path(source_file)) else {
+        return Vec::new();
+    };
+    text.lines()
+        .filter_map(|line| line.trim().strip_prefix("cc "))
+        .filter_map(|rest| parse_cc_seed(rest.split_whitespace().next()?))
+        .collect()
+}
+
+/// Render a case seed as a 64-hex-digit `cc` token (seed in the first 16
+/// digits, zero-padded like the real crate's 32-byte tokens).
+pub fn cc_token(case_seed: u64) -> String {
+    format!("{case_seed:016x}{:048}", 0)
 }
 
 /// Why a single test case did not pass.
@@ -131,41 +180,159 @@ impl TestRunner {
         }
     }
 
-    /// Run `test` against generated inputs. Returns `Err` with a
-    /// human-readable report (failing input + seed) on the first
-    /// violation; panics inside the property are reported then propagated.
+    /// Run `test` against generated inputs: first every seed persisted in
+    /// the `.proptest-regressions` file (when the config carries a source
+    /// file), then `config.cases` novel ones. Each case gets its own RNG
+    /// seeded from the master stream, so a failure is replayable from the
+    /// single `cc` token printed in the report. Returns `Err` with a
+    /// human-readable report on the first violation; panics inside the
+    /// property are reported then propagated.
     pub fn run<S, F>(&mut self, strategy: &S, test: F) -> Result<(), String>
     where
         S: Strategy,
         F: Fn(S::Value) -> TestCaseResult,
     {
-        for case in 0..self.config.cases {
-            let value = strategy.generate(&mut self.rng);
-            let rendered = format!("{value:?}");
-            match catch_unwind(AssertUnwindSafe(|| test(value))) {
-                Ok(Ok(())) => {}
-                Ok(Err(TestCaseError::Reject(_))) => {}
-                Ok(Err(TestCaseError::Fail(message))) => {
-                    return Err(format!(
-                        "proptest: property failed: {message}\n  \
-                         case {case}/{total}, seed {seed} (set PROPTEST_SEED={seed} to replay)\n  \
-                         input: {rendered}",
-                        total = self.config.cases,
-                        seed = self.seed,
-                    ));
-                }
-                Err(payload) => {
-                    eprintln!(
-                        "proptest: property panicked\n  \
-                         case {case}/{total}, seed {seed} (set PROPTEST_SEED={seed} to replay)\n  \
-                         input: {rendered}",
-                        total = self.config.cases,
-                        seed = self.seed,
-                    );
-                    resume_unwind(payload);
-                }
+        if let Some(src) = self.config.source_file {
+            for (i, case_seed) in load_regressions(src).into_iter().enumerate() {
+                self.run_one(strategy, &test, case_seed, &|message, rendered| {
+                    format!(
+                        "proptest: persisted regression failed again: {message}\n  \
+                         cc {token} (entry {i} of {path})\n  input: {rendered}",
+                        token = cc_token(case_seed),
+                        path = regressions_path(src).display(),
+                    )
+                })?;
             }
         }
+        for case in 0..self.config.cases {
+            let case_seed = self.rng.next_u64();
+            self.run_one(strategy, &test, case_seed, &|message, rendered| {
+                let persist = match self.config.source_file {
+                    Some(src) => format!(
+                        "\n  to persist, add to {}:\n  cc {} # shrinks to {rendered}",
+                        regressions_path(src).display(),
+                        cc_token(case_seed),
+                    ),
+                    None => String::new(),
+                };
+                format!(
+                    "proptest: property failed: {message}\n  \
+                     case {case}/{total}, seed {seed} (set PROPTEST_SEED={seed} to replay){persist}\n  \
+                     input: {rendered}",
+                    total = self.config.cases,
+                    seed = self.seed,
+                )
+            })?;
+        }
         Ok(())
+    }
+
+    /// Generate and test the single case identified by `case_seed`.
+    fn run_one<S, F>(
+        &self,
+        strategy: &S,
+        test: &F,
+        case_seed: u64,
+        report: &dyn Fn(&str, &str) -> String,
+    ) -> Result<(), String>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> TestCaseResult,
+    {
+        let mut rng = TestRng::from_seed(case_seed);
+        let value = strategy.generate(&mut rng);
+        let rendered = format!("{value:?}");
+        match catch_unwind(AssertUnwindSafe(|| test(value))) {
+            Ok(Ok(())) | Ok(Err(TestCaseError::Reject(_))) => Ok(()),
+            Ok(Err(TestCaseError::Fail(message))) => Err(report(&message, &rendered)),
+            Err(payload) => {
+                eprintln!("{}", report("property panicked", &rendered));
+                resume_unwind(payload);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod persistence_tests {
+    use super::*;
+
+    #[test]
+    fn cc_tokens_round_trip() {
+        let seed = 0x6e69_49cb_79bb_0cc0u64;
+        let token = cc_token(seed);
+        assert_eq!(token.len(), 64);
+        assert_eq!(parse_cc_seed(&token), Some(seed));
+        // Real-crate tokens (arbitrary 64 hex digits) parse to their head.
+        assert_eq!(
+            parse_cc_seed("6e6949cb79bb0cc0b62f36bc2dc9bd8b3d08c1811bb641f68273df26c67dbfb8"),
+            Some(seed)
+        );
+        assert_eq!(parse_cc_seed("123"), None);
+    }
+
+    #[test]
+    fn regressions_path_is_sibling() {
+        assert_eq!(
+            regressions_path("tests/proptest_profiler.rs"),
+            PathBuf::from("tests/proptest_profiler.proptest-regressions")
+        );
+    }
+
+    #[test]
+    fn missing_regressions_file_is_empty() {
+        assert!(load_regressions("tests/no_such_file.rs").is_empty());
+    }
+
+    #[test]
+    fn persisted_seed_replays_before_novel_cases() {
+        // A persisted failing seed must be generated first and fail
+        // deterministically, regardless of the master seed.
+        let dir = std::env::temp_dir().join("proptest-regressions-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let src = dir.join("case.rs");
+        let src_str: &'static str = Box::leak(src.to_string_lossy().into_owned().into_boxed_str());
+        // Find a seed whose first generated u8 is odd, then persist it.
+        let strategy = (crate::arbitrary::any::<u8>(),);
+        let mut bad_seed = None;
+        for s in 0..64u64 {
+            let mut rng = TestRng::from_seed(s);
+            let (v,) = strategy.generate(&mut rng);
+            if v % 2 == 1 {
+                bad_seed = Some(s);
+                break;
+            }
+        }
+        let bad_seed = bad_seed.expect("some small seed yields an odd u8");
+        std::fs::write(
+            regressions_path(src_str),
+            format!("# persisted\ncc {}\n", cc_token(bad_seed)),
+        )
+        .unwrap();
+        let mut config = Config::with_cases(0); // no novel cases at all
+        config.source_file = Some(src_str);
+        let err = TestRunner::new(config)
+            .run(&strategy, |(v,)| {
+                crate::prop_assert!(v % 2 == 0, "odd value {v}");
+                Ok(())
+            })
+            .unwrap_err();
+        assert!(err.contains("persisted regression"), "got: {err}");
+        assert!(err.contains(&cc_token(bad_seed)), "got: {err}");
+        let _ = std::fs::remove_file(regressions_path(src_str));
+    }
+
+    #[test]
+    fn novel_failure_suggests_cc_line() {
+        let mut config = Config::with_cases(16);
+        config.source_file = Some("tests/no_such_file.rs");
+        let err = TestRunner::new(config)
+            .run(&(crate::arbitrary::any::<u8>(),), |(_v,)| {
+                crate::prop_assert!(false, "always fails");
+                Ok(())
+            })
+            .unwrap_err();
+        assert!(err.contains("to persist, add to"), "got: {err}");
+        assert!(err.contains("cc "), "got: {err}");
     }
 }
