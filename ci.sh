@@ -33,4 +33,26 @@ echo "=== schedule exploration smoke ==="
 TASKPROF_EXPLORE_SEEDS="${TASKPROF_EXPLORE_SEEDS:-32}" \
     cargo run --release --bin taskprof-cli -- explore --threads 2 --workload all --dfs 100
 
+echo "=== profile repository smoke ==="
+# Serve an empty store on an ephemeral port, ingest two deterministic
+# seeded runs over TCP, then gate on the regression query: a candidate
+# re-measured from the same seed must not regress against its own
+# baseline (exit 3 would mean the daemon flagged a regression).
+REPO_DIR="$(mktemp -d /tmp/profrepo-smoke.XXXXXX)"
+PORT_FILE="$REPO_DIR/port"
+cargo run --release --bin taskprof-cli -- serve \
+    --dir "$REPO_DIR/store" --addr 127.0.0.1:0 --port-file "$PORT_FILE" &
+SERVE_PID=$!
+trap 'kill "$SERVE_PID" 2>/dev/null || true; rm -rf "$REPO_DIR"' EXIT
+for _ in $(seq 1 300); do [ -s "$PORT_FILE" ] && break; sleep 0.2; done
+[ -s "$PORT_FILE" ] || { echo "serve daemon never published its port"; exit 1; }
+ADDR="127.0.0.1:$(cat "$PORT_FILE")"
+cargo run --release --bin taskprof-cli -- ingest \
+    --addr "$ADDR" --app fib --seed 41 --runs 2 --threads 2
+cargo run --release --bin taskprof-cli -- query top --addr "$ADDR" --bench fib --threads 2
+cargo run --release --bin taskprof-cli -- query regress \
+    --addr "$ADDR" --bench fib --threads 2 --app fib --seed 41
+kill "$SERVE_PID" 2>/dev/null || true
+wait "$SERVE_PID" 2>/dev/null || true
+
 echo "CI_OK"

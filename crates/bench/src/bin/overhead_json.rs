@@ -17,9 +17,9 @@ use bench::{
 };
 use bots::{run_app, AppId, RunOpts, Scale, Variant};
 use cube::AggProfile;
-use pomp::{Monitor, RegionKind, TaskIdAllocator, ThreadHooks};
+use pomp::{registry, Monitor, RegionKind, TaskIdAllocator, ThreadHooks};
 use std::time::{Duration, Instant};
-use taskprof::ProfMonitor;
+use taskprof::{AssignPolicy, Event, ProfMonitor, TeamReplayer};
 use taskprof_session::MeasurementSession;
 
 /// The paper's overhead kernels (Figs. 13-14 subset used for the
@@ -264,6 +264,114 @@ fn run_microbenches(reps: usize) -> (MicroResult, MicroResult, MicroResult) {
     (steady, machinery, cycle)
 }
 
+struct IngestThroughput {
+    profiles: u64,
+    profile_bytes: u64,
+    store_profiles_per_sec: f64,
+    store_bytes_per_sec: f64,
+    server_profiles_per_sec: f64,
+    server_bytes_per_sec: f64,
+}
+
+/// A mid-sized deterministic profile for the repository benches: two
+/// threads, a fan of tasks with nested child work, replayed on a virtual
+/// clock so every rep serializes to the same bytes.
+fn repository_profile() -> taskprof::Profile {
+    let reg = registry();
+    let par = reg.register("ovh-ingest!par", RegionKind::Parallel, "bench", 0);
+    let task = reg.register("ovh_ingest_task", RegionKind::Task, "bench", 0);
+    let child = reg.register("ovh_ingest_child", RegionKind::Task, "bench", 0);
+    let ids = TaskIdAllocator::new();
+    let mut team = TeamReplayer::new(2, par, AssignPolicy::Executing);
+    for tid in 0..2usize {
+        for k in 0..8u64 {
+            let outer = ids.alloc();
+            let inner = ids.alloc();
+            team.apply(tid, Event::TaskBegin { region: task, id: outer })
+                .advance(1_000 + k * 37)
+                .apply(tid, Event::TaskEnd { region: task, id: outer })
+                .apply(tid, Event::TaskBegin { region: child, id: inner })
+                .advance(500 + k * 11)
+                .apply(tid, Event::TaskEnd { region: child, id: inner });
+        }
+    }
+    team.finish()
+}
+
+fn bench_temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("overhead-json-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Profiles/sec and bytes/sec into the segment log — once straight through
+/// `ProfileStore::ingest`, once end-to-end through the TCP daemon (one
+/// client, line-delimited JSON framing, response awaited per ingest).
+fn ingest_throughput(reps: usize) -> IngestThroughput {
+    const PROFILES: u64 = 200;
+    let profile = repository_profile();
+    let text = cube::write_profile(&profile);
+    let profile_bytes = text.len() as u64;
+
+    let mut store_secs = f64::INFINITY;
+    let mut server_secs = f64::INFINITY;
+    for _ in 0..reps {
+        let dir = bench_temp_dir("store");
+        let mut store = profstore::ProfileStore::open_with(
+            &dir,
+            profstore::StoreConfig {
+                sync_writes: false,
+                ..profstore::StoreConfig::default()
+            },
+        )
+        .expect("open bench store");
+        let t0 = Instant::now();
+        for k in 0..PROFILES {
+            store
+                .ingest("ovh-ingest", 2, k, &profile)
+                .expect("bench ingest");
+        }
+        store_secs = store_secs.min(t0.elapsed().as_secs_f64());
+        drop(store);
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let dir = bench_temp_dir("serve");
+        let served = profstore::ProfileStore::open_with(
+            &dir,
+            profstore::StoreConfig {
+                sync_writes: false,
+                ..profstore::StoreConfig::default()
+            },
+        )
+        .expect("open bench store");
+        let (handle, join) =
+            profserve::Server::spawn("127.0.0.1:0", served, profserve::ServeConfig::default())
+                .expect("spawn bench server");
+        let mut client =
+            profserve::Client::connect(&handle.addr().to_string()).expect("connect bench client");
+        let t0 = Instant::now();
+        for k in 0..PROFILES {
+            client
+                .ingest("ovh-ingest", 2, Some(k), &text)
+                .expect("bench ingest over tcp");
+        }
+        server_secs = server_secs.min(t0.elapsed().as_secs_f64());
+        handle.stop();
+        drop(client);
+        join.join().expect("server thread").expect("server run");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    IngestThroughput {
+        profiles: PROFILES,
+        profile_bytes,
+        store_profiles_per_sec: PROFILES as f64 / store_secs,
+        store_bytes_per_sec: (PROFILES * profile_bytes) as f64 / store_secs,
+        server_profiles_per_sec: PROFILES as f64 / server_secs,
+        server_bytes_per_sec: (PROFILES * profile_bytes) as f64 / server_secs,
+    }
+}
+
 fn main() {
     let out_path = std::env::args()
         .nth(1)
@@ -427,10 +535,33 @@ fn main() {
         machinery.improvement_pct()
     ));
     json.push_str(&format!(
-        "  \"region_cycle\": {{ \"description\": \"thread_begin + 128 task events + thread_end, 4 concurrent threads: arena recycling and lock-free snapshot hand-off vs per-region allocation and mutex merge\", \"legacy_ns\": {:.2}, \"session_ns\": {:.2}, \"improvement_pct\": {:.2} }}\n",
+        "  \"region_cycle\": {{ \"description\": \"thread_begin + 128 task events + thread_end, 4 concurrent threads: arena recycling and lock-free snapshot hand-off vs per-region allocation and mutex merge\", \"legacy_ns\": {:.2}, \"session_ns\": {:.2}, \"improvement_pct\": {:.2} }},\n",
         cycle.legacy,
         cycle.session,
         cycle.improvement_pct()
+    ));
+
+    let ingest = ingest_throughput(cfg.reps);
+    println!(
+        "  profile ingest (store)   : {:.0} profiles/s, {:.1} MB/s",
+        ingest.store_profiles_per_sec,
+        ingest.store_bytes_per_sec / 1e6
+    );
+    println!(
+        "  profile ingest (tcp)     : {:.0} profiles/s, {:.1} MB/s",
+        ingest.server_profiles_per_sec,
+        ingest.server_bytes_per_sec / 1e6
+    );
+    json.push_str(&format!(
+        "  \"profile_ingest\": {{ \"description\": \"profile repository ingestion: {} identical 2-thread replayed profiles ({} bytes each) appended to the segment log, store = direct ProfileStore::ingest (sync_writes off), server = end-to-end through the TCP daemon, one client, response awaited per ingest\", \"profiles\": {}, \"profile_bytes\": {}, \"store_profiles_per_sec\": {:.1}, \"store_bytes_per_sec\": {:.0}, \"server_profiles_per_sec\": {:.1}, \"server_bytes_per_sec\": {:.0} }}\n",
+        ingest.profiles,
+        ingest.profile_bytes,
+        ingest.profiles,
+        ingest.profile_bytes,
+        ingest.store_profiles_per_sec,
+        ingest.store_bytes_per_sec,
+        ingest.server_profiles_per_sec,
+        ingest.server_bytes_per_sec
     ));
     json.push_str("}\n");
 

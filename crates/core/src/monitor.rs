@@ -42,13 +42,6 @@ pub const DEFAULT_PREALLOC_NODES: usize = 256;
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[non_exhaustive]
 pub enum ConfigError {
-    /// A deprecated post-construction setter (`with_max_depth`/
-    /// `with_max_live_trees`) ran after threads had already started using
-    /// the monitor: the change cannot be applied retroactively.
-    ReconfiguredAfterStart {
-        /// The setting that was being changed.
-        setting: &'static str,
-    },
     /// A setting's value is invalid regardless of timing.
     InvalidValue {
         /// The setting that was rejected.
@@ -64,8 +57,7 @@ impl ConfigError {
     /// The name of the rejected setting.
     pub fn setting(&self) -> &'static str {
         match self {
-            ConfigError::ReconfiguredAfterStart { setting }
-            | ConfigError::InvalidValue { setting, .. } => setting,
+            ConfigError::InvalidValue { setting, .. } => setting,
         }
     }
 }
@@ -73,10 +65,6 @@ impl ConfigError {
 impl std::fmt::Display for ConfigError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            ConfigError::ReconfiguredAfterStart { setting } => write!(
-                f,
-                "cannot change `{setting}`: monitor reconfigured after threads started using it"
-            ),
             ConfigError::InvalidValue {
                 setting,
                 value,
@@ -318,29 +306,9 @@ impl ProfMonitor<MonotonicClock> {
     pub fn builder() -> ProfMonitorBuilder<MonotonicClock> {
         ProfMonitorBuilder::new()
     }
-
-    /// Monitor with the real clock and an explicit attribution policy.
-    #[deprecated(note = "use ProfMonitor::builder().policy(..).build()")]
-    pub fn with_policy(policy: AssignPolicy) -> Self {
-        ProfMonitorBuilder::new()
-            .policy(policy)
-            .build()
-            .expect("policy-only configuration is valid")
-    }
 }
 
 impl<C: ClockSource> ProfMonitor<C> {
-    /// Monitor over an arbitrary clock (virtual clocks for deterministic
-    /// tests).
-    #[deprecated(note = "use ProfMonitor::builder().clock(..).policy(..).build()")]
-    pub fn with_clock(clock: C, policy: AssignPolicy) -> Self {
-        ProfMonitorBuilder::new()
-            .clock(clock)
-            .policy(policy)
-            .build()
-            .expect("clock+policy configuration is valid")
-    }
-
     /// The monitor's clock (e.g. to advance a shared
     /// [`pomp::VirtualClock`] from a test driver).
     pub fn clock(&self) -> &C {
@@ -357,50 +325,6 @@ impl<C: ClockSource> ProfMonitor<C> {
     /// from any thread at any time, including mid-measurement.
     pub fn telemetry_core(&self) -> Option<Arc<TelemetryCore>> {
         self.inner.telemetry.clone()
-    }
-
-    /// Apply a configuration change, failing cleanly (instead of
-    /// panicking) when threads already hold references to the monitor.
-    fn reconfigure(
-        self,
-        setting: &'static str,
-        apply: impl FnOnce(&mut Inner<C>),
-    ) -> Result<Self, ConfigError> {
-        match Arc::try_unwrap(self.inner) {
-            Ok(mut inner) => {
-                apply(&mut inner);
-                Ok(Self {
-                    inner: Arc::new(inner),
-                })
-            }
-            Err(_) => Err(ConfigError::ReconfiguredAfterStart { setting }),
-        }
-    }
-
-    /// Limit call-path depth per task body after construction.
-    #[deprecated(note = "use ProfMonitor::builder().max_depth(..).build()")]
-    pub fn with_max_depth(self, depth: usize) -> Result<Self, ConfigError> {
-        if depth == 0 {
-            return Err(ConfigError::InvalidValue {
-                setting: "max_depth",
-                value: 0,
-                reason: "a depth limit of 0 would truncate the parallel-region root itself",
-            });
-        }
-        self.reconfigure("max_depth", |i| i.max_depth = Some(depth))
-    }
-
-    /// Cap concurrently live instance trees after construction.
-    #[deprecated(note = "use ProfMonitor::builder().max_live_trees(..).build()")]
-    pub fn with_max_live_trees(self, cap: usize) -> Result<Self, ConfigError> {
-        if cap == 0 {
-            return Err(ConfigError::InvalidValue {
-                setting: "max_live_trees",
-                value: 0,
-                reason: "a live-tree cap of 0 would shed every task instance",
-            });
-        }
-        self.reconfigure("max_live_trees", |i| i.max_live_trees = Some(cap))
     }
 
     /// Drain the snapshots collected since the last call, as one profile
@@ -761,33 +685,6 @@ mod tests {
             .prealloc_nodes(0)
             .build()
             .is_ok());
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_still_work() {
-        let m = ProfMonitor::with_clock(VirtualClock::new(), AssignPolicy::Creating);
-        assert_eq!(m.policy(), AssignPolicy::Creating);
-        let m = m.with_max_depth(4).unwrap().with_max_live_trees(8).unwrap();
-        // Reconfiguring while a thread shard is live fails with the
-        // setting's name, not a panic.
-        let th = m.thread_begin(0, 1, RegionId(0));
-        let m2 = ProfMonitor::with_policy(AssignPolicy::Executing);
-        assert!(matches!(
-            m2.with_max_depth(0),
-            Err(ConfigError::InvalidValue { .. })
-        ));
-        drop(th);
-        let err = {
-            let extra = m.inner.clone();
-            let e = m.with_max_depth(5).unwrap_err();
-            drop(extra);
-            e
-        };
-        assert_eq!(
-            err,
-            ConfigError::ReconfiguredAfterStart { setting: "max_depth" }
-        );
     }
 
     #[test]

@@ -26,4 +26,4 @@ pub use query::{
     TaskConstructStats,
 };
 pub use render::{format_ns, render_profile, render_telemetry, render_tree, RenderOpts};
-pub use store::{read_profile, write_profile, ParseError};
+pub use store::{read_profile, write_profile, write_profile_to, ParseError};

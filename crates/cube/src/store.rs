@@ -161,6 +161,36 @@ pub fn write_profile(p: &Profile) -> String {
     out
 }
 
+/// Serialize a profile to `path` atomically: the text is written to a
+/// sibling temp file, flushed, and renamed into place, so a crash mid-save
+/// leaves either the previous file or the complete new one — never a torn
+/// profile. The temp file name embeds the process id so concurrent savers
+/// into the same directory do not collide.
+pub fn write_profile_to(path: &std::path::Path, p: &Profile) -> std::io::Result<()> {
+    use std::io::Write as _;
+
+    let dir = path.parent().filter(|d| !d.as_os_str().is_empty());
+    if let Some(dir) = dir {
+        std::fs::create_dir_all(dir)?;
+    }
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidInput, "path has no file name"))?
+        .to_string_lossy()
+        .into_owned();
+    let tmp = path.with_file_name(format!(".{file_name}.tmp-{}", std::process::id()));
+    let result = (|| {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(write_profile(p).as_bytes())?;
+        f.sync_all()?;
+        std::fs::rename(&tmp, path)
+    })();
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
+}
+
 struct Parser<'a> {
     lines: std::iter::Peekable<std::iter::Enumerate<std::str::Lines<'a>>>,
 }
@@ -507,6 +537,32 @@ mod tests {
         }
         // Idempotent: serialize again, identical text.
         assert_eq!(text, write_profile(&q));
+    }
+
+    #[test]
+    fn atomic_write_round_trips_and_leaves_no_temp() {
+        let dir = std::env::temp_dir().join(format!(
+            "cube-atomic-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("nested").join("profile.tpf");
+        let p = sample_profile();
+        write_profile_to(&path, &p).expect("atomic write");
+        let text = std::fs::read_to_string(&path).expect("read back");
+        assert_eq!(text, write_profile(&p));
+        // Overwrite in place: still atomic, still complete.
+        write_profile_to(&path, &p).expect("overwrite");
+        // No temp file left behind.
+        let leftovers: Vec<_> = std::fs::read_dir(path.parent().unwrap())
+            .expect("read dir")
+            .filter_map(|e| e.ok())
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .filter(|n| n.contains(".tmp-"))
+            .collect();
+        assert!(leftovers.is_empty(), "temp files left: {leftovers:?}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

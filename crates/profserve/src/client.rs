@@ -1,0 +1,186 @@
+//! A small blocking client for the line-delimited JSON protocol.
+//!
+//! The client is deliberately thin: it frames requests, reads one
+//! response line, and surfaces typed server errors ([`ClientError::Server`])
+//! distinctly from transport failures ([`ClientError::Io`]) and protocol
+//! violations ([`ClientError::Protocol`]). Higher layers (the CLI, the
+//! session exporter) decide what to do about each.
+
+use crate::json::{self, Json};
+use crate::protocol::{ErrorKind, Request};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The transport failed (connect, read, write).
+    Io(std::io::Error),
+    /// The server's bytes did not follow the protocol.
+    Protocol(String),
+    /// The server answered with a typed error.
+    Server {
+        /// The error category from the wire.
+        kind: ErrorKind,
+        /// The server's explanation.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "io: {e}"),
+            ClientError::Protocol(m) => write!(f, "protocol: {m}"),
+            ClientError::Server { kind, message } => {
+                write!(f, "server {}: {message}", kind.tag())
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// Acknowledgement returned by [`Client::ingest`].
+#[derive(Clone, Copy, Debug)]
+pub struct IngestAck {
+    /// Stable run id the server assigned.
+    pub run_id: u64,
+    /// Encoded record size in bytes.
+    pub bytes: u64,
+    /// Segment ordinal the record landed in.
+    pub segment: u64,
+}
+
+/// One connection to a `profserve` daemon. Requests are serialized on
+/// the connection; open more clients for concurrency.
+pub struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    /// Connect to `addr` (e.g. `127.0.0.1:7979`).
+    pub fn connect(addr: &str) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        // The protocol is strict request/response: Nagle would hold each
+        // one-line request hostage to the peer's delayed ACK.
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            writer,
+            reader: BufReader::new(stream),
+        })
+    }
+
+    /// Send one request, return the parsed `ok:true` response object.
+    pub fn call(&mut self, request: &Request) -> Result<Json, ClientError> {
+        writeln!(self.writer, "{}", request.to_line())?;
+        self.writer.flush()?;
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(ClientError::Protocol(
+                "connection closed before response".to_string(),
+            ));
+        }
+        let v = json::parse(line.trim_end())
+            .map_err(|e| ClientError::Protocol(e.to_string()))?;
+        match v.get("ok").and_then(Json::as_bool) {
+            Some(true) => Ok(v),
+            Some(false) => {
+                let err = v.get("error");
+                let kind = err
+                    .and_then(|e| e.get("kind"))
+                    .and_then(Json::as_str)
+                    .and_then(ErrorKind::from_tag)
+                    .unwrap_or(ErrorKind::Internal);
+                let message = err
+                    .and_then(|e| e.get("message"))
+                    .and_then(Json::as_str)
+                    .unwrap_or("unspecified")
+                    .to_string();
+                Err(ClientError::Server { kind, message })
+            }
+            None => Err(ClientError::Protocol("response lacks 'ok'".to_string())),
+        }
+    }
+
+    /// Upload one profile (text store format).
+    pub fn ingest(
+        &mut self,
+        benchmark: &str,
+        threads: u32,
+        timestamp_ns: Option<u64>,
+        profile_text: &str,
+    ) -> Result<IngestAck, ClientError> {
+        let v = self.call(&Request::Ingest {
+            benchmark: benchmark.to_string(),
+            threads,
+            timestamp_ns,
+            profile_text: profile_text.to_string(),
+        })?;
+        let field = |key: &str| {
+            v.get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| ClientError::Protocol(format!("ingest ack lacks '{key}'")))
+        };
+        Ok(IngestAck {
+            run_id: field("run_id")?,
+            bytes: field("bytes")?,
+            segment: field("segment")?,
+        })
+    }
+
+    /// Top-N regions by summed inclusive time; raw response object.
+    pub fn query_top(
+        &mut self,
+        benchmark: &str,
+        threads: u32,
+        n: usize,
+    ) -> Result<Json, ClientError> {
+        self.call(&Request::QueryTop {
+            benchmark: benchmark.to_string(),
+            threads,
+            n,
+        })
+    }
+
+    /// Cross-run scalar statistics; raw response object.
+    pub fn query_stats(&mut self, benchmark: &str, threads: u32) -> Result<Json, ClientError> {
+        self.call(&Request::QueryStats {
+            benchmark: benchmark.to_string(),
+            threads,
+        })
+    }
+
+    /// Regression check of a candidate profile against the stored
+    /// baseline; raw response object (see `regressed` member).
+    pub fn query_regress(
+        &mut self,
+        benchmark: &str,
+        threads: u32,
+        profile_text: &str,
+        threshold: Option<f64>,
+    ) -> Result<Json, ClientError> {
+        self.call(&Request::QueryRegress {
+            benchmark: benchmark.to_string(),
+            threads,
+            profile_text: profile_text.to_string(),
+            threshold,
+            min_runs: None,
+            min_delta_ns: None,
+        })
+    }
+
+    /// Server health; raw response object.
+    pub fn server_stats(&mut self) -> Result<Json, ClientError> {
+        self.call(&Request::Stats)
+    }
+}

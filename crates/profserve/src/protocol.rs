@@ -1,0 +1,429 @@
+//! The wire protocol: one JSON object per line, both directions.
+//!
+//! Requests:
+//!
+//! ```text
+//! {"cmd":"INGEST","benchmark":"fib","threads":2,"profile":"taskprof-profile v1\n…"}
+//!     optional: "timestamp_ns":N
+//! {"cmd":"QUERY","query":"top","benchmark":"fib","threads":2,"n":10}
+//! {"cmd":"QUERY","query":"stats","benchmark":"fib","threads":2}
+//! {"cmd":"QUERY","query":"regress","benchmark":"fib","threads":2,
+//!  "profile":"…","threshold":0.2}   optional: "min_runs":N,"min_delta_ns":N
+//! {"cmd":"STATS"}
+//! ```
+//!
+//! Every response is `{"ok":true,…}` or a typed error
+//! `{"ok":false,"error":{"kind":"<kind>","message":"…"}}` with kind one of
+//! `overloaded`, `bad_request`, `not_found`, `internal`. Profiles travel
+//! as the text store format (`cube::write_profile`) inside a JSON string,
+//! so one wire format serves both humans and machines and the server
+//! re-uses the hardened text parser for validation.
+
+use crate::json::Json;
+use profstore::{BenchAgg, MetricAgg, Regression, StoreStats};
+use taskprof_telemetry::ServiceSnapshot;
+
+/// Typed error categories a response can carry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// The connection permit gate is exhausted; retry later.
+    Overloaded,
+    /// The request line did not parse or lacked required fields.
+    BadRequest,
+    /// The referenced benchmark/run does not exist.
+    NotFound,
+    /// The handler failed (including isolated panics).
+    Internal,
+}
+
+impl ErrorKind {
+    /// Wire tag.
+    pub fn tag(self) -> &'static str {
+        match self {
+            ErrorKind::Overloaded => "overloaded",
+            ErrorKind::BadRequest => "bad_request",
+            ErrorKind::NotFound => "not_found",
+            ErrorKind::Internal => "internal",
+        }
+    }
+
+    /// Parse a wire tag.
+    pub fn from_tag(tag: &str) -> Option<Self> {
+        Some(match tag {
+            "overloaded" => ErrorKind::Overloaded,
+            "bad_request" => ErrorKind::BadRequest,
+            "not_found" => ErrorKind::NotFound,
+            "internal" => ErrorKind::Internal,
+            _ => return None,
+        })
+    }
+}
+
+/// One parsed request.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Upload one profile.
+    Ingest {
+        /// Benchmark name the run belongs to.
+        benchmark: String,
+        /// Thread count of the run.
+        threads: u32,
+        /// Caller timestamp; the server stamps its own clock when absent.
+        timestamp_ns: Option<u64>,
+        /// The profile, in the text store format.
+        profile_text: String,
+    },
+    /// Top-N constructs by summed inclusive time across stored runs.
+    QueryTop {
+        /// Benchmark name.
+        benchmark: String,
+        /// Thread count group.
+        threads: u32,
+        /// How many rows.
+        n: usize,
+    },
+    /// Cross-run scalar statistics of one group.
+    QueryStats {
+        /// Benchmark name.
+        benchmark: String,
+        /// Thread count group.
+        threads: u32,
+    },
+    /// Check a fresh run against the stored aggregate.
+    QueryRegress {
+        /// Benchmark name.
+        benchmark: String,
+        /// Thread count group.
+        threads: u32,
+        /// The candidate profile, text store format.
+        profile_text: String,
+        /// Relative threshold (default: the server's).
+        threshold: Option<f64>,
+        /// Minimum baseline runs (default: the server's).
+        min_runs: Option<u64>,
+        /// Absolute noise floor in ns (default: the server's).
+        min_delta_ns: Option<u64>,
+    },
+    /// Server health: service counters + store shape.
+    Stats,
+}
+
+fn need_str(v: &Json, key: &str) -> Result<String, String> {
+    v.get(key)
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| format!("missing or non-string '{key}'"))
+}
+
+fn need_u64(v: &Json, key: &str) -> Result<u64, String> {
+    v.get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| format!("missing or non-integer '{key}'"))
+}
+
+impl Request {
+    /// Parse one request line. `Err` carries a `bad_request` explanation.
+    pub fn parse(line: &str) -> Result<Request, String> {
+        let v = crate::json::parse(line).map_err(|e| e.to_string())?;
+        let cmd = need_str(&v, "cmd")?;
+        match cmd.as_str() {
+            "INGEST" => Ok(Request::Ingest {
+                benchmark: need_str(&v, "benchmark")?,
+                threads: u32::try_from(need_u64(&v, "threads")?)
+                    .map_err(|_| "threads out of range".to_string())?,
+                timestamp_ns: v.get("timestamp_ns").and_then(Json::as_u64),
+                profile_text: need_str(&v, "profile")?,
+            }),
+            "QUERY" => {
+                let query = need_str(&v, "query")?;
+                let benchmark = need_str(&v, "benchmark")?;
+                let threads = u32::try_from(need_u64(&v, "threads")?)
+                    .map_err(|_| "threads out of range".to_string())?;
+                match query.as_str() {
+                    "top" => Ok(Request::QueryTop {
+                        benchmark,
+                        threads,
+                        n: need_u64(&v, "n")? as usize,
+                    }),
+                    "stats" => Ok(Request::QueryStats { benchmark, threads }),
+                    "regress" => Ok(Request::QueryRegress {
+                        benchmark,
+                        threads,
+                        profile_text: need_str(&v, "profile")?,
+                        threshold: v.get("threshold").and_then(Json::as_f64),
+                        min_runs: v.get("min_runs").and_then(Json::as_u64),
+                        min_delta_ns: v.get("min_delta_ns").and_then(Json::as_u64),
+                    }),
+                    other => Err(format!("unknown query '{other}'")),
+                }
+            }
+            "STATS" => Ok(Request::Stats),
+            other => Err(format!("unknown cmd '{other}'")),
+        }
+    }
+
+    /// Serialize to one request line (the client side).
+    pub fn to_line(&self) -> String {
+        let v = match self {
+            Request::Ingest {
+                benchmark,
+                threads,
+                timestamp_ns,
+                profile_text,
+            } => {
+                let mut members = vec![
+                    ("cmd", Json::str("INGEST")),
+                    ("benchmark", Json::str(benchmark.clone())),
+                    ("threads", Json::num(u64::from(*threads))),
+                ];
+                if let Some(t) = timestamp_ns {
+                    members.push(("timestamp_ns", Json::num(*t)));
+                }
+                members.push(("profile", Json::str(profile_text.clone())));
+                Json::obj(members)
+            }
+            Request::QueryTop {
+                benchmark,
+                threads,
+                n,
+            } => Json::obj(vec![
+                ("cmd", Json::str("QUERY")),
+                ("query", Json::str("top")),
+                ("benchmark", Json::str(benchmark.clone())),
+                ("threads", Json::num(u64::from(*threads))),
+                ("n", Json::num(*n as u64)),
+            ]),
+            Request::QueryStats { benchmark, threads } => Json::obj(vec![
+                ("cmd", Json::str("QUERY")),
+                ("query", Json::str("stats")),
+                ("benchmark", Json::str(benchmark.clone())),
+                ("threads", Json::num(u64::from(*threads))),
+            ]),
+            Request::QueryRegress {
+                benchmark,
+                threads,
+                profile_text,
+                threshold,
+                min_runs,
+                min_delta_ns,
+            } => {
+                let mut members = vec![
+                    ("cmd", Json::str("QUERY")),
+                    ("query", Json::str("regress")),
+                    ("benchmark", Json::str(benchmark.clone())),
+                    ("threads", Json::num(u64::from(*threads))),
+                ];
+                if let Some(t) = threshold {
+                    members.push(("threshold", Json::num_f(*t)));
+                }
+                if let Some(m) = min_runs {
+                    members.push(("min_runs", Json::num(*m)));
+                }
+                if let Some(d) = min_delta_ns {
+                    members.push(("min_delta_ns", Json::num(*d)));
+                }
+                members.push(("profile", Json::str(profile_text.clone())));
+                Json::obj(members)
+            }
+            Request::Stats => Json::obj(vec![("cmd", Json::str("STATS"))]),
+        };
+        v.to_string()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Response builders (server side; also exercised by client tests)
+// ---------------------------------------------------------------------
+
+/// `{"ok":false,…}` with a typed error.
+pub fn error_line(kind: ErrorKind, message: &str) -> String {
+    Json::obj(vec![
+        ("ok", Json::Bool(false)),
+        (
+            "error",
+            Json::obj(vec![
+                ("kind", Json::str(kind.tag())),
+                ("message", Json::str(message)),
+            ]),
+        ),
+    ])
+    .to_string()
+}
+
+/// Acknowledgement of one ingest.
+pub fn ingest_line(run_id: u64, bytes: u64, segment: u64) -> String {
+    Json::obj(vec![
+        ("ok", Json::Bool(true)),
+        ("run_id", Json::num(run_id)),
+        ("bytes", Json::num(bytes)),
+        ("segment", Json::num(segment)),
+    ])
+    .to_string()
+}
+
+fn metric_obj(m: &MetricAgg) -> Json {
+    Json::obj(vec![
+        ("runs", Json::num(m.count)),
+        ("sum_ns", Json::num(m.sum)),
+        ("min_ns", Json::num(m.min().unwrap_or(0))),
+        ("max_ns", Json::num(m.max)),
+        ("mean_ns", Json::num_f(m.mean())),
+    ])
+}
+
+/// Top-N response from a cross-run aggregate.
+pub fn top_line(benchmark: &str, threads: u32, agg: &BenchAgg, n: usize) -> String {
+    let regions: Vec<Json> = agg
+        .top_regions(n)
+        .into_iter()
+        .map(|(name, m)| {
+            let mut members = vec![("region".to_string(), Json::str(name))];
+            if let Json::Obj(mm) = metric_obj(m) {
+                members.extend(mm);
+            }
+            Json::Obj(members)
+        })
+        .collect();
+    Json::obj(vec![
+        ("ok", Json::Bool(true)),
+        ("benchmark", Json::str(benchmark)),
+        ("threads", Json::num(u64::from(threads))),
+        ("runs", Json::num(agg.runs)),
+        ("regions", Json::Arr(regions)),
+    ])
+    .to_string()
+}
+
+/// Cross-run scalar statistics response.
+pub fn stats_line(benchmark: &str, threads: u32, agg: &BenchAgg) -> String {
+    Json::obj(vec![
+        ("ok", Json::Bool(true)),
+        ("benchmark", Json::str(benchmark)),
+        ("threads", Json::num(u64::from(threads))),
+        ("runs", Json::num(agg.runs)),
+        ("total_ns", metric_obj(&agg.total_ns)),
+        ("constructs", Json::num(agg.regions.len() as u64)),
+        ("tree_mismatches", Json::num(agg.tree_mismatches)),
+    ])
+    .to_string()
+}
+
+/// Regression verdict response.
+pub fn regress_line(verdict: &Regression) -> String {
+    let findings: Vec<Json> = verdict
+        .findings
+        .iter()
+        .map(|f| {
+            Json::obj(vec![
+                ("region", Json::str(f.region.clone())),
+                ("new_ns", Json::num(f.new_ns)),
+                ("mean_ns", Json::num_f(f.mean_ns)),
+                ("ratio", Json::num_f(f.ratio)),
+            ])
+        })
+        .collect();
+    Json::obj(vec![
+        ("ok", Json::Bool(true)),
+        ("regressed", Json::Bool(verdict.regressed)),
+        ("baseline_runs", Json::num(verdict.baseline_runs)),
+        ("threshold", Json::num_f(verdict.threshold)),
+        ("findings", Json::Arr(findings)),
+    ])
+    .to_string()
+}
+
+/// Server-health response (`STATS`).
+pub fn server_stats_line(service: &ServiceSnapshot, store: &StoreStats) -> String {
+    Json::obj(vec![
+        ("ok", Json::Bool(true)),
+        (
+            "server",
+            Json::obj(vec![
+                ("connections", Json::num(service.connections)),
+                ("shed_connections", Json::num(service.shed_connections)),
+                ("ingests", Json::num(service.ingests)),
+                ("ingest_bytes", Json::num(service.ingest_bytes)),
+                ("queries", Json::num(service.queries)),
+                ("errors", Json::num(service.errors)),
+                ("panics", Json::num(service.panics)),
+            ]),
+        ),
+        (
+            "store",
+            Json::obj(vec![
+                ("segments", Json::num(store.segments)),
+                ("runs", Json::num(store.runs)),
+                ("bytes", Json::num(store.bytes)),
+                ("recovered_tail_bytes", Json::num(store.recovered_tail_bytes)),
+                ("compacted_through", Json::num(store.compacted_through)),
+            ]),
+        ),
+    ])
+    .to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_round_trip() {
+        let reqs = [
+            Request::Ingest {
+                benchmark: "fib".into(),
+                threads: 2,
+                timestamp_ns: Some(7),
+                profile_text: "taskprof-profile v1\nthreads 0\n".into(),
+            },
+            Request::QueryTop {
+                benchmark: "nqueens".into(),
+                threads: 4,
+                n: 10,
+            },
+            Request::QueryStats {
+                benchmark: "fib".into(),
+                threads: 2,
+            },
+            Request::QueryRegress {
+                benchmark: "fib".into(),
+                threads: 2,
+                profile_text: "p".into(),
+                threshold: Some(0.25),
+                min_runs: Some(3),
+                min_delta_ns: None,
+            },
+            Request::Stats,
+        ];
+        for r in reqs {
+            let line = r.to_line();
+            assert!(!line.contains('\n'), "{line}");
+            assert_eq!(Request::parse(&line).expect("parse"), r);
+        }
+    }
+
+    #[test]
+    fn bad_requests_are_rejected_with_reason() {
+        assert!(Request::parse("not json").is_err());
+        assert!(Request::parse("{}").unwrap_err().contains("cmd"));
+        assert!(Request::parse("{\"cmd\":\"NOPE\"}").unwrap_err().contains("NOPE"));
+        assert!(Request::parse("{\"cmd\":\"INGEST\",\"benchmark\":\"x\"}")
+            .unwrap_err()
+            .contains("threads"));
+        assert!(
+            Request::parse("{\"cmd\":\"QUERY\",\"query\":\"nope\",\"benchmark\":\"x\",\"threads\":1}")
+                .unwrap_err()
+                .contains("nope")
+        );
+    }
+
+    #[test]
+    fn error_lines_are_typed() {
+        let line = error_line(ErrorKind::Overloaded, "permits exhausted");
+        let v = crate::json::parse(&line).expect("parse");
+        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(false));
+        let e = v.get("error").expect("error member");
+        assert_eq!(e.get("kind").and_then(Json::as_str), Some("overloaded"));
+        assert_eq!(ErrorKind::from_tag("bad_request"), Some(ErrorKind::BadRequest));
+        assert_eq!(ErrorKind::from_tag("???"), None);
+    }
+}

@@ -1,0 +1,364 @@
+//! The serving daemon: a `std::net` TCP accept loop, one handler thread
+//! per admitted connection, a bounded permit gate in front of admission,
+//! and per-request panic isolation.
+//!
+//! Backpressure policy: the accept loop itself never blocks on request
+//! work and never waits for a permit. When `max_connections` handlers are
+//! live, the next connection is answered immediately with a typed
+//! `overloaded` error line and closed, and the shed is counted — mirroring
+//! the profiler's overload shedding (degrade loudly, never stall the hot
+//! path). Handler panics are caught per request (`catch_unwind`, the PR 1
+//! pattern), answered with a typed `internal` error, and counted; the
+//! connection — and the daemon — keep serving.
+
+use crate::protocol::{
+    error_line, ingest_line, regress_line, server_stats_line, stats_line, top_line, ErrorKind,
+    Request,
+};
+use profstore::{ProfileStore, RegressConfig, RunSummary, StoreError};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::Duration;
+use taskprof_telemetry::ServiceCounters;
+
+/// Daemon configuration.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Concurrent-connection cap (the permit gate).
+    pub max_connections: usize,
+    /// Defaults for `regress` queries that omit tunables.
+    pub regress: RegressConfig,
+    /// Fold closed segments into the aggregate cache at this interval
+    /// (`None` disables background compaction).
+    pub compact_interval: Option<Duration>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            max_connections: 64,
+            regress: RegressConfig::default(),
+            compact_interval: Some(Duration::from_secs(2)),
+        }
+    }
+}
+
+struct Shared {
+    store: RwLock<ProfileStore>,
+    counters: Arc<ServiceCounters>,
+    permits: AtomicUsize,
+    stop: AtomicBool,
+    config: ServeConfig,
+}
+
+/// Cheap cloneable control handle for a running server.
+#[derive(Clone)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+}
+
+impl ServerHandle {
+    /// The bound address (use this after binding port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The daemon's service counters.
+    pub fn counters(&self) -> Arc<ServiceCounters> {
+        Arc::clone(&self.shared.counters)
+    }
+
+    /// Ask the accept loop to exit. Idempotent; returns once the flag is
+    /// set (the loop notices via a wake-up connection).
+    pub fn stop(&self) {
+        if self.shared.stop.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Unblock the blocking accept with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+/// The repository daemon. Bind, then [`Server::run`] (foreground) or
+/// [`Server::spawn`] (background thread + [`ServerHandle`]).
+pub struct Server {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+}
+
+impl Server {
+    /// Bind `addr` (e.g. `127.0.0.1:0` for an ephemeral port) over an
+    /// already-open store.
+    pub fn bind(addr: &str, store: ProfileStore, config: ServeConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let shared = Arc::new(Shared {
+            store: RwLock::new(store),
+            counters: ServiceCounters::new(),
+            permits: AtomicUsize::new(config.max_connections),
+            stop: AtomicBool::new(false),
+            config,
+        });
+        Ok(Server { listener, shared })
+    }
+
+    /// The bound address.
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A control handle (valid before and during [`Server::run`]).
+    pub fn handle(&self) -> std::io::Result<ServerHandle> {
+        Ok(ServerHandle {
+            addr: self.local_addr()?,
+            shared: Arc::clone(&self.shared),
+        })
+    }
+
+    /// Serve until [`ServerHandle::stop`]; joins all handler threads (and
+    /// the compactor) before returning.
+    pub fn run(self) -> std::io::Result<()> {
+        let workers: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>> =
+            Arc::new(Mutex::new(Vec::new()));
+        let compactor = self.shared.config.compact_interval.map(|every| {
+            let shared = Arc::clone(&self.shared);
+            std::thread::spawn(move || {
+                while !shared.stop.load(Ordering::SeqCst) {
+                    std::thread::sleep(every.min(Duration::from_millis(100)));
+                    // Sleep in small slices so stop stays responsive, but
+                    // only compact once per full interval.
+                    static TICKS: AtomicUsize = AtomicUsize::new(0);
+                    let slice = every.min(Duration::from_millis(100));
+                    let per_interval =
+                        (every.as_millis() / slice.as_millis().max(1)).max(1) as usize;
+                    if !TICKS.fetch_add(1, Ordering::Relaxed).is_multiple_of(per_interval) {
+                        continue;
+                    }
+                    if let Ok(mut store) = shared.store.write() {
+                        let _ = store.compact();
+                    }
+                }
+            })
+        });
+
+        for conn in self.listener.incoming() {
+            if self.shared.stop.load(Ordering::SeqCst) {
+                break;
+            }
+            let stream = match conn {
+                Ok(s) => s,
+                Err(_) => continue,
+            };
+            // Bounded admission: take a permit or shed, never block.
+            let admitted = self
+                .shared
+                .permits
+                .fetch_update(Ordering::AcqRel, Ordering::Acquire, |p| p.checked_sub(1))
+                .is_ok();
+            if !admitted {
+                self.shared.counters.shed();
+                let mut stream = stream;
+                let _ = writeln!(
+                    stream,
+                    "{}",
+                    error_line(ErrorKind::Overloaded, "connection limit reached; retry later")
+                );
+                continue;
+            }
+            self.shared.counters.connection();
+            let shared = Arc::clone(&self.shared);
+            let handle = std::thread::spawn(move || {
+                serve_connection(&shared, stream);
+                shared.permits.fetch_add(1, Ordering::AcqRel);
+            });
+            workers.lock().expect("worker list").push(handle);
+        }
+
+        for handle in workers.lock().expect("worker list").drain(..) {
+            let _ = handle.join();
+        }
+        if let Some(compactor) = compactor {
+            let _ = compactor.join();
+        }
+        Ok(())
+    }
+
+    /// Bind + run on a background thread; the returned handle stops it.
+    pub fn spawn(
+        addr: &str,
+        store: ProfileStore,
+        config: ServeConfig,
+    ) -> std::io::Result<(ServerHandle, std::thread::JoinHandle<std::io::Result<()>>)> {
+        let server = Server::bind(addr, store, config)?;
+        let handle = server.handle()?;
+        let join = std::thread::spawn(move || server.run());
+        Ok((handle, join))
+    }
+}
+
+fn serve_connection(shared: &Arc<Shared>, stream: TcpStream) {
+    // Responses are one line each; without nodelay they sit behind the
+    // peer's delayed ACK and cap the request/response rate at ~25/s.
+    let _ = stream.set_nodelay(true);
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        if shared.stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let line = match line {
+            Ok(l) => l,
+            Err(_) => break,
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        // Per-request panic isolation: a handler bug answers one request
+        // with `internal`, it does not take the daemon down.
+        let response = match catch_unwind(AssertUnwindSafe(|| handle_request(shared, &line))) {
+            Ok(resp) => resp,
+            Err(_) => {
+                shared.counters.panic();
+                error_line(ErrorKind::Internal, "request handler panicked (isolated)")
+            }
+        };
+        if writeln!(writer, "{response}").and_then(|()| writer.flush()).is_err() {
+            break;
+        }
+    }
+}
+
+fn now_ns() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0)
+}
+
+fn store_error(e: &StoreError) -> String {
+    match e {
+        StoreError::NotFound(_) => error_line(ErrorKind::NotFound, &e.to_string()),
+        _ => error_line(ErrorKind::Internal, &e.to_string()),
+    }
+}
+
+/// Aggregate one group, mapping an empty group to `not_found` — queries
+/// against a benchmark/threads pair nobody ingested should say so, not
+/// answer with all-zero statistics.
+fn aggregate_group(
+    shared: &Arc<Shared>,
+    benchmark: &str,
+    threads: u32,
+) -> Result<profstore::BenchAgg, String> {
+    let store = shared.store.read().expect("store lock");
+    match store.aggregate(benchmark, threads) {
+        Ok(agg) if agg.runs == 0 => {
+            shared.counters.error();
+            Err(error_line(
+                ErrorKind::NotFound,
+                &format!("no runs stored for benchmark '{benchmark}' at {threads} threads"),
+            ))
+        }
+        Ok(agg) => Ok(agg),
+        Err(e) => {
+            shared.counters.error();
+            Err(store_error(&e))
+        }
+    }
+}
+
+fn handle_request(shared: &Arc<Shared>, line: &str) -> String {
+    let request = match Request::parse(line) {
+        Ok(r) => r,
+        Err(reason) => {
+            shared.counters.error();
+            return error_line(ErrorKind::BadRequest, &reason);
+        }
+    };
+    match request {
+        Request::Ingest {
+            benchmark,
+            threads,
+            timestamp_ns,
+            profile_text,
+        } => {
+            let profile = match cube::read_profile(&profile_text) {
+                Ok(p) => p,
+                Err(e) => {
+                    shared.counters.error();
+                    return error_line(ErrorKind::BadRequest, &format!("profile: {e}"));
+                }
+            };
+            let timestamp = timestamp_ns.unwrap_or_else(now_ns);
+            let mut store = shared.store.write().expect("store lock");
+            match store.ingest(&benchmark, threads, timestamp, &profile) {
+                Ok(receipt) => {
+                    shared.counters.ingest(receipt.bytes);
+                    ingest_line(receipt.run_id, receipt.bytes, receipt.segment)
+                }
+                Err(e) => {
+                    shared.counters.error();
+                    store_error(&e)
+                }
+            }
+        }
+        Request::QueryTop {
+            benchmark,
+            threads,
+            n,
+        } => {
+            shared.counters.query();
+            match aggregate_group(shared, &benchmark, threads) {
+                Ok(agg) => top_line(&benchmark, threads, &agg, n),
+                Err(line) => line,
+            }
+        }
+        Request::QueryStats { benchmark, threads } => {
+            shared.counters.query();
+            match aggregate_group(shared, &benchmark, threads) {
+                Ok(agg) => stats_line(&benchmark, threads, &agg),
+                Err(line) => line,
+            }
+        }
+        Request::QueryRegress {
+            benchmark,
+            threads,
+            profile_text,
+            threshold,
+            min_runs,
+            min_delta_ns,
+        } => {
+            shared.counters.query();
+            let profile = match cube::read_profile(&profile_text) {
+                Ok(p) => p,
+                Err(e) => {
+                    shared.counters.error();
+                    return error_line(ErrorKind::BadRequest, &format!("profile: {e}"));
+                }
+            };
+            let config = RegressConfig {
+                threshold: threshold.unwrap_or(shared.config.regress.threshold),
+                min_runs: min_runs.unwrap_or(shared.config.regress.min_runs),
+                min_delta_ns: min_delta_ns.unwrap_or(shared.config.regress.min_delta_ns),
+            };
+            match aggregate_group(shared, &benchmark, threads) {
+                Ok(agg) => {
+                    let summary = RunSummary::from_profile(&profile);
+                    regress_line(&agg.check_regression(&summary, &config))
+                }
+                Err(line) => line,
+            }
+        }
+        Request::Stats => {
+            shared.counters.query();
+            let store = shared.store.read().expect("store lock");
+            server_stats_line(&shared.counters.snapshot(), &store.stats())
+        }
+    }
+}

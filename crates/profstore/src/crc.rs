@@ -1,0 +1,57 @@
+//! CRC-32 (IEEE 802.3, the zlib/PNG polynomial), table-driven.
+//!
+//! Vendored-only policy: no external crc crate, so the 256-entry table is
+//! computed once at first use. The reflected algorithm matches zlib's
+//! `crc32()`, pinned by the known test vector for `"123456789"`.
+
+use std::sync::OnceLock;
+
+const POLY: u32 = 0xEDB8_8320;
+
+fn table() -> &'static [u32; 256] {
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, slot) in t.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 { POLY ^ (c >> 1) } else { c >> 1 };
+            }
+            *slot = c;
+        }
+        t
+    })
+}
+
+/// CRC-32 of `data` (zlib-compatible).
+pub fn crc32(data: &[u8]) -> u32 {
+    let t = table();
+    let mut c = !0u32;
+    for &b in data {
+        c = t[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vector() {
+        // The canonical CRC-32 check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn sensitive_to_any_flip() {
+        let base = crc32(b"taskprof profile record");
+        let mut data = b"taskprof profile record".to_vec();
+        for i in 0..data.len() {
+            data[i] ^= 0x01;
+            assert_ne!(crc32(&data), base, "flip at byte {i} undetected");
+            data[i] ^= 0x01;
+        }
+    }
+}

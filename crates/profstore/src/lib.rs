@@ -1,0 +1,44 @@
+//! `profstore` — a durable repository of measurement runs.
+//!
+//! The paper's workflow ends at one CUBE file per run; this crate is the
+//! next layer: many runs, retained durably, aggregated across each other,
+//! and queryable online. The design is a classic append-only log:
+//!
+//! * [`codec`] — a compact length-prefixed binary encoding of a
+//!   [`taskprof::Profile`] plus its [`RunMeta`], varint-packed, with a
+//!   version byte and a CRC-32 per record.
+//! * [`segment`] — segment files (`seg-NNNNNN.log`): a magic header
+//!   followed by framed records. Only the newest segment is ever written;
+//!   older ("closed") segments are immutable.
+//! * [`ProfileStore`] — the repository: an in-memory index keyed by
+//!   (run id, benchmark, thread count, timestamp), crash-safe recovery
+//!   that truncates a torn tail record on open, size-based segment
+//!   rotation, and compaction that folds closed segments into
+//!   per-benchmark cross-run aggregates.
+//! * [`merge`] — a streaming k-way merge over per-segment cursors, so
+//!   aggregation visits runs one at a time in (timestamp, run id) order
+//!   and never materializes every profile at once.
+//! * [`agg`] — the cross-run statistics themselves: min/max/mean/sum of
+//!   the paper's per-construct metrics over runs (reusing `cube::agg`
+//!   for the structural tree merge), plus the regression check a serving
+//!   daemon runs against a freshly ingested profile.
+//!
+//! Durability contract: a record is either fully on disk (length,
+//! payload, CRC all intact) or it is dropped at the next
+//! [`ProfileStore::open`]. A crash mid-append therefore loses at most the
+//! in-flight record; everything previously acknowledged survives.
+
+#![warn(missing_docs)]
+
+pub mod agg;
+pub mod codec;
+pub mod crc;
+pub mod merge;
+pub mod segment;
+mod store;
+
+pub use agg::{BenchAgg, MetricAgg, RegressConfig, Regression, RegressionFinding, RunSummary};
+pub use codec::{decode_meta, decode_record, encode_record, CodecError, RunMeta, CODEC_VERSION};
+pub use merge::KWayMerge;
+pub use segment::{SegmentReader, SegmentWriter, RECORD_HEADER_BYTES, SEGMENT_MAGIC};
+pub use store::{IndexEntry, IngestReceipt, ProfileStore, StoreConfig, StoreError, StoreStats};

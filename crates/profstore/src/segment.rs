@@ -1,0 +1,309 @@
+//! Segment files: the on-disk unit of the append-only log.
+//!
+//! Layout:
+//!
+//! ```text
+//! segment := MAGIC (8 bytes) record*
+//! record  := len:u32le  payload[len]  crc32(payload):u32le
+//! ```
+//!
+//! The payload starts with the codec version byte (see [`crate::codec`]).
+//! Appends go through a [`SegmentWriter`] that flushes the full frame per
+//! record, so after a crash the file is a valid prefix plus at most one
+//! torn frame. [`SegmentReader::recover`] scans a file, validates every
+//! frame, and reports where the valid prefix ends so the store can
+//! truncate the tail on open.
+
+use crate::codec::MAX_RECORD_BYTES;
+use crate::crc::crc32;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// First 8 bytes of every segment file.
+pub const SEGMENT_MAGIC: &[u8; 8] = b"profseg1";
+
+/// Bytes of framing around a payload (length word + CRC word).
+pub const RECORD_HEADER_BYTES: u64 = 8;
+
+/// One record located inside a segment.
+#[derive(Debug, Clone)]
+pub struct RawRecord {
+    /// Byte offset of the frame (the length word) within the file.
+    pub offset: u64,
+    /// Decoded payload bytes.
+    pub payload: Vec<u8>,
+}
+
+/// Why a scan stopped before the end of the file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TailDefect {
+    /// Fewer bytes than a complete frame (torn length word or payload).
+    TornFrame,
+    /// Frame complete but the CRC does not match the payload.
+    CrcMismatch,
+    /// The length word is implausible (beyond [`MAX_RECORD_BYTES`]).
+    BadLength(u64),
+}
+
+impl std::fmt::Display for TailDefect {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TailDefect::TornFrame => write!(f, "torn frame"),
+            TailDefect::CrcMismatch => write!(f, "crc mismatch"),
+            TailDefect::BadLength(n) => write!(f, "implausible record length {n}"),
+        }
+    }
+}
+
+/// Result of scanning one segment file.
+#[derive(Debug)]
+pub struct SegmentScan {
+    /// All records with valid frames, in file order.
+    pub records: Vec<RawRecord>,
+    /// Offset one past the last valid frame (where appends may resume).
+    pub valid_len: u64,
+    /// The defect that ended the scan early, if the file has a bad tail.
+    pub tail_defect: Option<TailDefect>,
+}
+
+/// Sequential reader/recoverer for one segment file.
+pub struct SegmentReader;
+
+impl SegmentReader {
+    /// Scan `path`, validating the magic and every record frame.
+    ///
+    /// A file shorter than the magic, or with a wrong magic, is reported
+    /// as `valid_len == 0` with a tail defect, letting the caller decide
+    /// whether that is recoverable (an empty just-created file) or fatal.
+    pub fn scan(path: &Path) -> std::io::Result<SegmentScan> {
+        let mut file = File::open(path)?;
+        let mut data = Vec::new();
+        file.read_to_end(&mut data)?;
+        if data.len() < SEGMENT_MAGIC.len() || &data[..SEGMENT_MAGIC.len()] != SEGMENT_MAGIC {
+            return Ok(SegmentScan {
+                records: Vec::new(),
+                valid_len: 0,
+                tail_defect: Some(TailDefect::TornFrame),
+            });
+        }
+        let mut records = Vec::new();
+        let mut pos = SEGMENT_MAGIC.len();
+        let mut tail_defect = None;
+        while pos < data.len() {
+            if data.len() - pos < 4 {
+                tail_defect = Some(TailDefect::TornFrame);
+                break;
+            }
+            let len = u32::from_le_bytes(data[pos..pos + 4].try_into().expect("4 bytes")) as usize;
+            if len as u64 > MAX_RECORD_BYTES as u64 {
+                tail_defect = Some(TailDefect::BadLength(len as u64));
+                break;
+            }
+            if data.len() - pos < 4 + len + 4 {
+                tail_defect = Some(TailDefect::TornFrame);
+                break;
+            }
+            let payload = &data[pos + 4..pos + 4 + len];
+            let stored_crc = u32::from_le_bytes(
+                data[pos + 4 + len..pos + 8 + len].try_into().expect("4 bytes"),
+            );
+            if crc32(payload) != stored_crc {
+                tail_defect = Some(TailDefect::CrcMismatch);
+                break;
+            }
+            records.push(RawRecord {
+                offset: pos as u64,
+                payload: payload.to_vec(),
+            });
+            pos += 8 + len;
+        }
+        Ok(SegmentScan {
+            records,
+            valid_len: pos.min(data.len()) as u64,
+            tail_defect,
+        })
+    }
+
+    /// Read the single record at `offset` (as recorded in a store index).
+    pub fn read_at(path: &Path, offset: u64) -> std::io::Result<Option<Vec<u8>>> {
+        let mut file = File::open(path)?;
+        file.seek(SeekFrom::Start(offset))?;
+        let mut lenbuf = [0u8; 4];
+        if file.read_exact(&mut lenbuf).is_err() {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(lenbuf) as usize;
+        if len as u64 > MAX_RECORD_BYTES as u64 {
+            return Ok(None);
+        }
+        let mut payload = vec![0u8; len];
+        if file.read_exact(&mut payload).is_err() {
+            return Ok(None);
+        }
+        let mut crcbuf = [0u8; 4];
+        if file.read_exact(&mut crcbuf).is_err() {
+            return Ok(None);
+        }
+        if crc32(&payload) != u32::from_le_bytes(crcbuf) {
+            return Ok(None);
+        }
+        Ok(Some(payload))
+    }
+}
+
+/// Appender for the active segment.
+pub struct SegmentWriter {
+    path: PathBuf,
+    file: File,
+    len: u64,
+    sync: bool,
+}
+
+impl SegmentWriter {
+    /// Create a fresh segment (fails if `path` exists).
+    pub fn create(path: &Path, sync: bool) -> std::io::Result<Self> {
+        let mut file = OpenOptions::new().write(true).create_new(true).open(path)?;
+        file.write_all(SEGMENT_MAGIC)?;
+        file.flush()?;
+        if sync {
+            file.sync_all()?;
+        }
+        Ok(Self {
+            path: path.to_path_buf(),
+            file,
+            len: SEGMENT_MAGIC.len() as u64,
+            sync,
+        })
+    }
+
+    /// Reopen an existing segment for appends, first truncating it to
+    /// `valid_len` (the recovery step that drops a torn tail record).
+    pub fn recover(path: &Path, valid_len: u64, sync: bool) -> std::io::Result<Self> {
+        let file = OpenOptions::new().read(true).write(true).open(path)?;
+        file.set_len(valid_len)?;
+        let mut file = file;
+        file.seek(SeekFrom::End(0))?;
+        if sync {
+            file.sync_all()?;
+        }
+        Ok(Self {
+            path: path.to_path_buf(),
+            file,
+            len: valid_len,
+            sync,
+        })
+    }
+
+    /// Append one framed record; returns the frame's byte offset.
+    pub fn append(&mut self, payload: &[u8]) -> std::io::Result<u64> {
+        let offset = self.len;
+        let mut frame = Vec::with_capacity(payload.len() + 8);
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(payload);
+        frame.extend_from_slice(&crc32(payload).to_le_bytes());
+        self.file.write_all(&frame)?;
+        self.file.flush()?;
+        if self.sync {
+            self.file.sync_data()?;
+        }
+        self.len += frame.len() as u64;
+        Ok(offset)
+    }
+
+    /// Current file length in bytes.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// True when no record has been appended yet.
+    pub fn is_empty(&self) -> bool {
+        self.len <= SEGMENT_MAGIC.len() as u64
+    }
+
+    /// The segment's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "profstore-seg-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        dir
+    }
+
+    #[test]
+    fn append_scan_round_trip() {
+        let dir = tmpdir("rt");
+        let path = dir.join("seg-000001.log");
+        let mut w = SegmentWriter::create(&path, false).expect("create");
+        let a = w.append(b"first record").expect("append");
+        let b = w.append(b"second, longer record payload").expect("append");
+        assert!(b > a);
+        let scan = SegmentReader::scan(&path).expect("scan");
+        assert_eq!(scan.tail_defect, None);
+        assert_eq!(scan.records.len(), 2);
+        assert_eq!(scan.records[0].payload, b"first record");
+        assert_eq!(scan.records[1].payload, b"second, longer record payload");
+        assert_eq!(scan.valid_len, w.len());
+        assert_eq!(
+            SegmentReader::read_at(&path, b).expect("read_at"),
+            Some(b"second, longer record payload".to_vec())
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_is_detected_and_truncated() {
+        let dir = tmpdir("torn");
+        let path = dir.join("seg-000001.log");
+        let mut w = SegmentWriter::create(&path, false).expect("create");
+        w.append(b"kept").expect("append");
+        let good_len = w.len();
+        w.append(b"lost to the crash").expect("append");
+        drop(w);
+        // Simulate a crash mid-append: cut the file inside the last frame.
+        let full = std::fs::read(&path).expect("read");
+        std::fs::write(&path, &full[..full.len() - 5]).expect("write");
+        let scan = SegmentReader::scan(&path).expect("scan");
+        assert_eq!(scan.tail_defect, Some(TailDefect::TornFrame));
+        assert_eq!(scan.records.len(), 1);
+        assert_eq!(scan.valid_len, good_len);
+        // Recovery truncates and appends continue cleanly.
+        let mut w = SegmentWriter::recover(&path, scan.valid_len, false).expect("recover");
+        w.append(b"after recovery").expect("append");
+        let scan = SegmentReader::scan(&path).expect("scan");
+        assert_eq!(scan.tail_defect, None);
+        assert_eq!(scan.records.len(), 2);
+        assert_eq!(scan.records[1].payload, b"after recovery");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupted_payload_fails_crc() {
+        let dir = tmpdir("crc");
+        let path = dir.join("seg-000001.log");
+        let mut w = SegmentWriter::create(&path, false).expect("create");
+        let off = w.append(b"pristine payload bytes").expect("append");
+        drop(w);
+        let mut data = std::fs::read(&path).expect("read");
+        let idx = off as usize + 4 + 3; // a byte inside the payload
+        data[idx] ^= 0x40;
+        std::fs::write(&path, &data).expect("write");
+        let scan = SegmentReader::scan(&path).expect("scan");
+        assert_eq!(scan.tail_defect, Some(TailDefect::CrcMismatch));
+        assert!(scan.records.is_empty());
+        assert_eq!(SegmentReader::read_at(&path, off).expect("read_at"), None);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,607 @@
+//! The profile repository: segments + index + recovery + compaction.
+
+use crate::agg::BenchAgg;
+use crate::codec::{decode_meta, decode_record, encode_record, CodecError, RunMeta};
+use crate::merge::KWayMerge;
+use crate::segment::{SegmentReader, SegmentWriter, RECORD_HEADER_BYTES};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use taskprof::Profile;
+
+/// Repository tunables.
+#[derive(Clone, Copy, Debug)]
+pub struct StoreConfig {
+    /// Rotate the active segment once it would exceed this many bytes
+    /// (the segment a record lands in may exceed it by that one record).
+    pub segment_max_bytes: u64,
+    /// `fsync` after every append (durable against power loss, slower).
+    /// Off, the store still flushes each full frame to the OS, which is
+    /// durable against process crashes — the recovery tests' scenario.
+    pub sync_writes: bool,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        Self {
+            segment_max_bytes: 4 << 20,
+            sync_writes: false,
+        }
+    }
+}
+
+/// Anything the repository can fail with.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// A fully-framed record failed to decode — real corruption (CRC
+    /// passed, structure didn't), never a torn tail.
+    Codec {
+        /// Segment file name.
+        segment: String,
+        /// Frame offset within the segment.
+        offset: u64,
+        /// The decoder's complaint.
+        source: CodecError,
+    },
+    /// A *closed* (non-final) segment has a bad tail; appends only ever
+    /// went to the final segment, so this is damage, not a crash artifact.
+    Corrupt {
+        /// Segment file name.
+        segment: String,
+        /// What the scan found.
+        detail: String,
+    },
+    /// No run with the requested id.
+    NotFound(u64),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "store i/o error: {e}"),
+            StoreError::Codec {
+                segment,
+                offset,
+                source,
+            } => write!(f, "corrupt record in {segment} at offset {offset}: {source}"),
+            StoreError::Corrupt { segment, detail } => {
+                write!(f, "closed segment {segment} is corrupt: {detail}")
+            }
+            StoreError::NotFound(id) => write!(f, "run {id} not found"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+/// One stored run, as the in-memory index sees it.
+#[derive(Clone, Debug)]
+pub struct IndexEntry {
+    /// Store-assigned run id.
+    pub run_id: u64,
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Thread count of the run.
+    pub threads: u32,
+    /// Caller-supplied timestamp.
+    pub timestamp_ns: u64,
+    /// Segment number the record lives in.
+    pub segment: u64,
+    /// Frame offset within that segment.
+    pub offset: u64,
+    /// Framed size on disk (payload + length + CRC words).
+    pub bytes: u64,
+}
+
+/// Acknowledgement of one ingest.
+#[derive(Clone, Copy, Debug)]
+pub struct IngestReceipt {
+    /// The id the store assigned.
+    pub run_id: u64,
+    /// Bytes appended (full frame).
+    pub bytes: u64,
+    /// Segment the record landed in.
+    pub segment: u64,
+}
+
+/// Repository health/shape summary.
+#[derive(Clone, Debug, Default)]
+pub struct StoreStats {
+    /// Segment files on disk.
+    pub segments: u64,
+    /// Runs indexed.
+    pub runs: u64,
+    /// Total framed bytes across live records.
+    pub bytes: u64,
+    /// Bytes of torn tail truncated by the last [`ProfileStore::open`].
+    pub recovered_tail_bytes: u64,
+    /// Highest segment number folded into the compaction cache (0 =
+    /// nothing compacted yet).
+    pub compacted_through: u64,
+}
+
+fn segment_name(n: u64) -> String {
+    format!("seg-{n:06}.log")
+}
+
+fn parse_segment_name(name: &str) -> Option<u64> {
+    name.strip_prefix("seg-")?.strip_suffix(".log")?.parse().ok()
+}
+
+/// The durable multi-run repository. See the crate docs for the on-disk
+/// layout and the durability contract.
+pub struct ProfileStore {
+    dir: PathBuf,
+    config: StoreConfig,
+    writer: SegmentWriter,
+    active_segment: u64,
+    index: Vec<IndexEntry>,
+    next_run_id: u64,
+    recovered_tail_bytes: u64,
+    agg_cache: BTreeMap<(String, u32), BenchAgg>,
+    compacted_through: u64,
+}
+
+impl std::fmt::Debug for ProfileStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ProfileStore")
+            .field("dir", &self.dir)
+            .field("runs", &self.index.len())
+            .field("active_segment", &self.active_segment)
+            .field("compacted_through", &self.compacted_through)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ProfileStore {
+    /// Open (creating if needed) the repository at `dir` with default
+    /// configuration.
+    pub fn open(dir: &Path) -> Result<Self, StoreError> {
+        Self::open_with(dir, StoreConfig::default())
+    }
+
+    /// Open with explicit configuration. Recovery happens here: the final
+    /// segment's torn tail (if any) is truncated; damage anywhere else is
+    /// reported as an error rather than silently dropped.
+    pub fn open_with(dir: &Path, config: StoreConfig) -> Result<Self, StoreError> {
+        std::fs::create_dir_all(dir)?;
+        let mut numbers: Vec<u64> = std::fs::read_dir(dir)?
+            .filter_map(|e| e.ok())
+            .filter_map(|e| parse_segment_name(&e.file_name().to_string_lossy()))
+            .collect();
+        numbers.sort_unstable();
+
+        let mut index = Vec::new();
+        let mut next_run_id = 1;
+        let mut recovered_tail_bytes = 0;
+        for (i, &n) in numbers.iter().enumerate() {
+            let is_last = i + 1 == numbers.len();
+            let path = dir.join(segment_name(n));
+            let scan = SegmentReader::scan(&path)?;
+            if let Some(defect) = &scan.tail_defect {
+                if !is_last {
+                    return Err(StoreError::Corrupt {
+                        segment: segment_name(n),
+                        detail: defect.to_string(),
+                    });
+                }
+                let file_len = std::fs::metadata(&path)?.len();
+                recovered_tail_bytes = file_len.saturating_sub(scan.valid_len);
+            }
+            for rec in &scan.records {
+                let meta = decode_meta(&rec.payload).map_err(|source| StoreError::Codec {
+                    segment: segment_name(n),
+                    offset: rec.offset,
+                    source,
+                })?;
+                next_run_id = next_run_id.max(meta.run_id + 1);
+                index.push(IndexEntry {
+                    run_id: meta.run_id,
+                    benchmark: meta.benchmark,
+                    threads: meta.threads,
+                    timestamp_ns: meta.timestamp_ns,
+                    segment: n,
+                    offset: rec.offset,
+                    bytes: rec.payload.len() as u64 + RECORD_HEADER_BYTES,
+                });
+            }
+        }
+
+        // A torn tail is one in-flight record whose id was already handed
+        // out in an ingest receipt. Skip it so the id is never recycled:
+        // external references to the lost run must not alias a new one.
+        if recovered_tail_bytes > 0 {
+            next_run_id += 1;
+        }
+
+        let (writer, active_segment) = match numbers.last() {
+            Some(&last) => {
+                let path = dir.join(segment_name(last));
+                let scan = SegmentReader::scan(&path)?;
+                (
+                    SegmentWriter::recover(&path, scan.valid_len, config.sync_writes)?,
+                    last,
+                )
+            }
+            None => (
+                SegmentWriter::create(&dir.join(segment_name(1)), config.sync_writes)?,
+                1,
+            ),
+        };
+
+        Ok(Self {
+            dir: dir.to_path_buf(),
+            config,
+            writer,
+            active_segment,
+            index,
+            next_run_id,
+            recovered_tail_bytes,
+            agg_cache: BTreeMap::new(),
+            compacted_through: 0,
+        })
+    }
+
+    /// The repository directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Append one run; assigns and returns the next run id.
+    pub fn ingest(
+        &mut self,
+        benchmark: &str,
+        threads: u32,
+        timestamp_ns: u64,
+        profile: &Profile,
+    ) -> Result<IngestReceipt, StoreError> {
+        let meta = RunMeta {
+            run_id: self.next_run_id,
+            benchmark: benchmark.to_string(),
+            threads,
+            timestamp_ns,
+        };
+        let payload = encode_record(&meta, profile);
+        let frame_bytes = payload.len() as u64 + RECORD_HEADER_BYTES;
+        if !self.writer.is_empty() && self.writer.len() + frame_bytes > self.config.segment_max_bytes
+        {
+            self.rotate()?;
+        }
+        let offset = self.writer.append(&payload)?;
+        self.next_run_id += 1;
+        self.index.push(IndexEntry {
+            run_id: meta.run_id,
+            benchmark: meta.benchmark,
+            threads,
+            timestamp_ns,
+            segment: self.active_segment,
+            offset,
+            bytes: frame_bytes,
+        });
+        Ok(IngestReceipt {
+            run_id: meta.run_id,
+            bytes: frame_bytes,
+            segment: self.active_segment,
+        })
+    }
+
+    fn rotate(&mut self) -> Result<(), StoreError> {
+        let next = self.active_segment + 1;
+        self.writer = SegmentWriter::create(
+            &self.dir.join(segment_name(next)),
+            self.config.sync_writes,
+        )?;
+        self.active_segment = next;
+        Ok(())
+    }
+
+    /// The in-memory index, in ingest order.
+    pub fn index(&self) -> &[IndexEntry] {
+        &self.index
+    }
+
+    /// Number of stored runs.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// True when no run is stored.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// Load one run by id.
+    pub fn load(&self, run_id: u64) -> Result<(RunMeta, Profile), StoreError> {
+        let entry = self
+            .index
+            .iter()
+            .find(|e| e.run_id == run_id)
+            .ok_or(StoreError::NotFound(run_id))?;
+        self.load_entry(entry)
+    }
+
+    fn load_entry(&self, entry: &IndexEntry) -> Result<(RunMeta, Profile), StoreError> {
+        let path = self.dir.join(segment_name(entry.segment));
+        let payload = SegmentReader::read_at(&path, entry.offset)?.ok_or_else(|| {
+            StoreError::Corrupt {
+                segment: segment_name(entry.segment),
+                detail: format!("indexed record at offset {} unreadable", entry.offset),
+            }
+        })?;
+        decode_record(&payload).map_err(|source| StoreError::Codec {
+            segment: segment_name(entry.segment),
+            offset: entry.offset,
+            source,
+        })
+    }
+
+    /// Index entries of one (benchmark, threads) group, in ingest order.
+    pub fn runs_for(&self, benchmark: &str, threads: u32) -> Vec<&IndexEntry> {
+        self.index
+            .iter()
+            .filter(|e| e.benchmark == benchmark && e.threads == threads)
+            .collect()
+    }
+
+    /// Every distinct (benchmark, threads) group with its run count.
+    pub fn groups(&self) -> BTreeMap<(String, u32), u64> {
+        let mut out = BTreeMap::new();
+        for e in &self.index {
+            *out.entry((e.benchmark.clone(), e.threads)).or_insert(0) += 1;
+        }
+        out
+    }
+
+    /// Stream every run of a set of entries in (timestamp, run id) order,
+    /// one decoded profile at a time, applying `f` to each. This is the
+    /// k-way path: entries are grouped per segment, each group sorted by
+    /// key, and [`KWayMerge`] interleaves the groups; only one profile is
+    /// ever decoded at once.
+    fn stream_entries(
+        &self,
+        entries: &[&IndexEntry],
+        mut f: impl FnMut(&RunMeta, &Profile),
+    ) -> Result<(), StoreError> {
+        let mut per_segment: BTreeMap<u64, Vec<&IndexEntry>> = BTreeMap::new();
+        for e in entries {
+            per_segment.entry(e.segment).or_default().push(e);
+        }
+        let sources: Vec<std::vec::IntoIter<&IndexEntry>> = per_segment
+            .into_values()
+            .map(|mut v| {
+                v.sort_by_key(|e| (e.timestamp_ns, e.run_id));
+                v.into_iter()
+            })
+            .collect();
+        let merged = KWayMerge::new(sources, |e| (e.timestamp_ns, e.run_id));
+        for entry in merged {
+            let (meta, profile) = self.load_entry(entry)?;
+            f(&meta, &profile);
+        }
+        Ok(())
+    }
+
+    /// Fold every record of every *closed* segment (all but the active
+    /// one) into the per-benchmark aggregate cache. Returns how many runs
+    /// were newly folded. Queries after this only decode the active
+    /// segment's tail on demand.
+    pub fn compact(&mut self) -> Result<u64, StoreError> {
+        let upto = self.active_segment.saturating_sub(1);
+        if upto <= self.compacted_through {
+            return Ok(0);
+        }
+        let entries: Vec<&IndexEntry> = self
+            .index
+            .iter()
+            .filter(|e| e.segment > self.compacted_through && e.segment <= upto)
+            .collect();
+        let mut cache = std::mem::take(&mut self.agg_cache);
+        let folded = entries.len() as u64;
+        let result = self.stream_entries(&entries, |meta, profile| {
+            cache
+                .entry((meta.benchmark.clone(), meta.threads))
+                .or_default()
+                .fold(profile);
+        });
+        self.agg_cache = cache;
+        result?;
+        self.compacted_through = upto;
+        Ok(folded)
+    }
+
+    /// Cross-run aggregate of one (benchmark, threads) group: the
+    /// compacted cache plus a streaming fold of any runs not yet
+    /// compacted (the active segment, and closed segments if
+    /// [`ProfileStore::compact`] has not run).
+    pub fn aggregate(&self, benchmark: &str, threads: u32) -> Result<BenchAgg, StoreError> {
+        let mut agg = self
+            .agg_cache
+            .get(&(benchmark.to_string(), threads))
+            .cloned()
+            .unwrap_or_default();
+        let tail: Vec<&IndexEntry> = self
+            .index
+            .iter()
+            .filter(|e| {
+                e.segment > self.compacted_through && e.benchmark == benchmark && e.threads == threads
+            })
+            .collect();
+        self.stream_entries(&tail, |_, profile| agg.fold(profile))?;
+        Ok(agg)
+    }
+
+    /// Shape/health summary.
+    pub fn stats(&self) -> StoreStats {
+        StoreStats {
+            segments: {
+                let mut segs: Vec<u64> = self.index.iter().map(|e| e.segment).collect();
+                segs.push(self.active_segment);
+                segs.sort_unstable();
+                segs.dedup();
+                segs.len() as u64
+            },
+            runs: self.index.len() as u64,
+            bytes: self.index.iter().map(|e| e.bytes).sum(),
+            recovered_tail_bytes: self.recovered_tail_bytes,
+            compacted_through: self.compacted_through,
+        }
+    }
+
+    /// Bytes the last `open` truncated as a torn tail (0 for a clean
+    /// open) — surfaced so operators can tell a crash happened.
+    pub fn recovered_tail_bytes(&self) -> u64 {
+        self.recovered_tail_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pomp::{registry, RegionKind, TaskIdAllocator};
+    use taskprof::{AssignPolicy, Event, TeamReplayer};
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "profstore-store-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn profile(tag: &str, task_ns: u64) -> Profile {
+        let reg = registry();
+        let par = reg.register(&format!("{tag}-par"), RegionKind::Parallel, "t", 0);
+        let task = reg.register(&format!("{tag}-task"), RegionKind::Task, "t", 0);
+        let ids = TaskIdAllocator::new();
+        let mut team = TeamReplayer::new(1, par, AssignPolicy::Executing);
+        let id = ids.alloc();
+        team.apply(0, Event::TaskBegin { region: task, id })
+            .advance(task_ns)
+            .apply(0, Event::TaskEnd { region: task, id });
+        team.finish()
+    }
+
+    #[test]
+    fn ingest_load_round_trip_and_reopen() {
+        let dir = tmpdir("rt");
+        let p = profile("store-rt", 50);
+        let (id1, id2);
+        {
+            let mut store = ProfileStore::open(&dir).expect("open");
+            id1 = store.ingest("fib", 2, 100, &p).expect("ingest").run_id;
+            id2 = store.ingest("fib", 2, 200, &p).expect("ingest").run_id;
+            assert_eq!(store.len(), 2);
+            assert_ne!(id1, id2);
+        }
+        let store = ProfileStore::open(&dir).expect("reopen");
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.recovered_tail_bytes(), 0);
+        let (meta, q) = store.load(id2).expect("load");
+        assert_eq!(meta.benchmark, "fib");
+        assert_eq!(meta.threads, 2);
+        assert_eq!(meta.timestamp_ns, 200);
+        assert_eq!(q.threads[0].main, p.threads[0].main);
+        assert!(matches!(store.load(999), Err(StoreError::NotFound(999))));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rotation_spreads_runs_across_segments() {
+        let dir = tmpdir("rot");
+        let config = StoreConfig {
+            segment_max_bytes: 256,
+            sync_writes: false,
+        };
+        let mut store = ProfileStore::open_with(&dir, config).expect("open");
+        let p = profile("store-rot", 10);
+        for i in 0..10 {
+            store.ingest("fib", 2, i, &p).expect("ingest");
+        }
+        let stats = store.stats();
+        assert_eq!(stats.runs, 10);
+        assert!(stats.segments > 1, "expected rotation, got {stats:?}");
+        // Reopen sees all runs across all segments.
+        drop(store);
+        let store = ProfileStore::open_with(&dir, config).expect("reopen");
+        assert_eq!(store.len(), 10);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_loses_only_the_last_record() {
+        let dir = tmpdir("torn");
+        let p = profile("store-torn", 10);
+        {
+            let mut store = ProfileStore::open(&dir).expect("open");
+            for i in 0..3 {
+                store.ingest("fib", 2, i, &p).expect("ingest");
+            }
+        }
+        // Cut the active segment mid-record.
+        let seg = dir.join(segment_name(1));
+        let data = std::fs::read(&seg).expect("read");
+        std::fs::write(&seg, &data[..data.len() - 3]).expect("write");
+        let mut store = ProfileStore::open(&dir).expect("recovering open");
+        assert_eq!(store.len(), 2, "only the torn record is lost");
+        assert!(store.recovered_tail_bytes() > 0);
+        // The log accepts appends again and ids do not collide.
+        let r = store.ingest("fib", 2, 99, &p).expect("ingest");
+        assert!(store.index().iter().filter(|e| e.run_id == r.run_id).count() == 1);
+        drop(store);
+        let store = ProfileStore::open(&dir).expect("clean reopen");
+        assert_eq!(store.len(), 3);
+        assert_eq!(store.recovered_tail_bytes(), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compaction_matches_direct_aggregation() {
+        let dir = tmpdir("compact");
+        let config = StoreConfig {
+            segment_max_bytes: 300,
+            sync_writes: false,
+        };
+        let mut store = ProfileStore::open_with(&dir, config).expect("open");
+        for i in 0..8 {
+            store
+                .ingest("fib", 2, i, &profile("store-cmp", 100 + i))
+                .expect("ingest");
+        }
+        let direct = store.aggregate("fib", 2).expect("aggregate");
+        let folded = store.compact().expect("compact");
+        assert!(folded > 0, "multi-segment store should compact something");
+        let cached = store.aggregate("fib", 2).expect("aggregate");
+        assert_eq!(direct.runs, cached.runs);
+        assert_eq!(direct.total_ns, cached.total_ns);
+        assert_eq!(direct.regions, cached.regions);
+        assert_eq!(direct.merged_main, cached.merged_main);
+        assert_eq!(store.compact().expect("idempotent"), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn groups_are_keyed_by_benchmark_and_threads() {
+        let dir = tmpdir("groups");
+        let mut store = ProfileStore::open(&dir).expect("open");
+        let p = profile("store-grp", 10);
+        store.ingest("fib", 2, 1, &p).expect("ingest");
+        store.ingest("fib", 4, 2, &p).expect("ingest");
+        store.ingest("nqueens", 2, 3, &p).expect("ingest");
+        store.ingest("fib", 2, 4, &p).expect("ingest");
+        let groups = store.groups();
+        assert_eq!(groups.len(), 3);
+        assert_eq!(groups[&("fib".to_string(), 2)], 2);
+        assert_eq!(store.runs_for("fib", 2).len(), 2);
+        assert_eq!(store.runs_for("fib", 8).len(), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

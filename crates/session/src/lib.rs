@@ -34,6 +34,7 @@ use pomp::{
     ClockSource, CountingMonitor, Diagnostic, EventCounts, FilteredMonitor, Monitor,
     MonotonicClock, RegionFilter, ValidatingMonitor,
 };
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use taskprof::{
@@ -183,6 +184,115 @@ impl SessionTelemetry {
     }
 }
 
+/// Where a finished session's profile is exported on
+/// [`MeasurementSession::finish`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ExportTarget {
+    /// Append directly into a `profstore` segment directory (opened — or
+    /// created — on export).
+    Directory(PathBuf),
+    /// Ingest over TCP into a running `profserve` daemon at this address.
+    Server(String),
+}
+
+impl From<&str> for ExportTarget {
+    /// A socket address (`host:port`) exports to a server; anything else
+    /// is treated as a store directory.
+    fn from(s: &str) -> Self {
+        if s.parse::<std::net::SocketAddr>().is_ok() {
+            ExportTarget::Server(s.to_string())
+        } else {
+            ExportTarget::Directory(PathBuf::from(s))
+        }
+    }
+}
+
+impl From<PathBuf> for ExportTarget {
+    fn from(p: PathBuf) -> Self {
+        ExportTarget::Directory(p)
+    }
+}
+
+impl From<&Path> for ExportTarget {
+    fn from(p: &Path) -> Self {
+        ExportTarget::Directory(p.to_path_buf())
+    }
+}
+
+/// Why an export failed (the measurement itself is unaffected — the
+/// profile is still in the report).
+#[derive(Debug)]
+pub enum ExportError {
+    /// Writing into a local store directory failed.
+    Store(profstore::StoreError),
+    /// Talking to a `profserve` daemon failed.
+    Client(profserve::ClientError),
+}
+
+impl std::fmt::Display for ExportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExportError::Store(e) => write!(f, "store export: {e}"),
+            ExportError::Client(e) => write!(f, "server export: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ExportError {}
+
+/// Acknowledgement of one successful export.
+#[derive(Clone, Debug)]
+pub struct ExportReceipt {
+    /// Run id the repository assigned.
+    pub run_id: u64,
+    /// Encoded record size in bytes.
+    pub bytes: u64,
+    /// Where the profile went.
+    pub target: ExportTarget,
+}
+
+#[derive(Clone, Debug)]
+struct ExportPlan {
+    target: ExportTarget,
+    benchmark: String,
+    threads: u32,
+}
+
+fn wall_clock_ns() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0)
+}
+
+fn export_profile(plan: &ExportPlan, profile: &Profile) -> Result<ExportReceipt, ExportError> {
+    match &plan.target {
+        ExportTarget::Directory(dir) => {
+            let mut store = profstore::ProfileStore::open(dir).map_err(ExportError::Store)?;
+            let receipt = store
+                .ingest(&plan.benchmark, plan.threads, wall_clock_ns(), profile)
+                .map_err(ExportError::Store)?;
+            Ok(ExportReceipt {
+                run_id: receipt.run_id,
+                bytes: receipt.bytes,
+                target: plan.target.clone(),
+            })
+        }
+        ExportTarget::Server(addr) => {
+            let mut client = profserve::Client::connect(addr).map_err(ExportError::Client)?;
+            let text = cube::write_profile(profile);
+            let ack = client
+                .ingest(&plan.benchmark, plan.threads, None, &text)
+                .map_err(ExportError::Client)?;
+            Ok(ExportReceipt {
+                run_id: ack.run_id,
+                bytes: ack.bytes,
+                target: plan.target.clone(),
+            })
+        }
+    }
+}
+
 /// Everything a finished session measured.
 #[derive(Debug)]
 pub struct SessionReport {
@@ -197,6 +307,10 @@ pub struct SessionReport {
     /// Final telemetry counters, present when the session was built with
     /// [`SessionBuilder::telemetry`].
     pub telemetry: Option<TelemetrySnapshot>,
+    /// Outcome of the auto-export, present when the session was built with
+    /// [`SessionBuilder::export_to`]. A failed export never fails the
+    /// measurement — inspect this to find out.
+    pub export: Option<Result<ExportReceipt, ExportError>>,
 }
 
 impl SessionReport {
@@ -227,6 +341,7 @@ pub struct MeasurementSession<M: ProfStack> {
     construct: ParallelConstruct,
     monitor: M,
     counts: Option<CountingMonitor>,
+    export: Option<ExportPlan>,
 }
 
 impl<M: ProfStack> std::fmt::Debug for MeasurementSession<M> {
@@ -247,6 +362,7 @@ pub struct SessionBuilder<C: ClockSource = MonotonicClock> {
     name: String,
     prof: ProfMonitorBuilder<C>,
     policy: Option<Arc<dyn taskrt::SchedulePolicy>>,
+    export: Option<ExportTarget>,
 }
 
 impl SessionBuilder<MonotonicClock> {
@@ -257,6 +373,7 @@ impl SessionBuilder<MonotonicClock> {
             name: name.to_string(),
             prof: ProfMonitorBuilder::new(),
             policy: None,
+            export: None,
         }
     }
 }
@@ -283,6 +400,7 @@ impl<C: ClockSource + 'static> SessionBuilder<C> {
             name: self.name,
             prof: self.prof.clock(clock),
             policy: self.policy,
+            export: self.export,
         }
     }
 
@@ -346,6 +464,16 @@ impl<C: ClockSource + 'static> SessionBuilder<C> {
         self
     }
 
+    /// Auto-export the finished profile into a profile repository: a
+    /// `profstore` directory path, or a `host:port` address of a running
+    /// `profserve` daemon (a `&str` picks the right one — socket
+    /// addresses go to the server). The session name becomes the
+    /// benchmark key; the outcome lands in [`SessionReport::export`].
+    pub fn export_to(mut self, target: impl Into<ExportTarget>) -> Self {
+        self.export = Some(target.into());
+        self
+    }
+
     /// Validate the configuration and assemble the session.
     pub fn build(self) -> Result<MeasurementSession<ProfMonitor<C>>, ConfigError> {
         let mut team = Team::new(self.threads);
@@ -355,11 +483,17 @@ impl<C: ClockSource + 'static> SessionBuilder<C> {
         if let Some(policy) = self.policy {
             team = team.with_policy(policy);
         }
+        let export = self.export.map(|target| ExportPlan {
+            target,
+            benchmark: self.name.clone(),
+            threads: self.threads as u32,
+        });
         Ok(MeasurementSession {
             team,
             construct: ParallelConstruct::new(&self.name),
             monitor: self.prof.build()?,
             counts: None,
+            export,
         })
     }
 }
@@ -381,6 +515,7 @@ impl<M: ProfStack> MeasurementSession<M> {
             construct,
             monitor,
             counts: None,
+            export: None,
         }
     }
 
@@ -427,6 +562,7 @@ impl<M: ProfStack> MeasurementSession<M> {
             construct: self.construct,
             monitor: ValidatingMonitor::new(self.monitor),
             counts: self.counts,
+            export: self.export,
         }
     }
 
@@ -439,6 +575,7 @@ impl<M: ProfStack> MeasurementSession<M> {
             construct: self.construct,
             counts: Some(counter.clone()),
             monitor: (counter, self.monitor),
+            export: self.export,
         }
     }
 
@@ -450,6 +587,7 @@ impl<M: ProfStack> MeasurementSession<M> {
             construct: self.construct,
             monitor: FilteredMonitor::new(self.monitor, filter),
             counts: self.counts,
+            export: self.export,
         }
     }
 
@@ -461,6 +599,7 @@ impl<M: ProfStack> MeasurementSession<M> {
             construct: self.construct,
             monitor: (observer, self.monitor),
             counts: self.counts,
+            export: self.export,
         }
     }
 
@@ -502,11 +641,13 @@ impl<M: ProfStack> MeasurementSession<M> {
             .profiler()
             .telemetry_core()
             .map(|core| core.snapshot());
+        let export = self.export.as_ref().map(|plan| export_profile(plan, &profile));
         SessionReport {
             profile,
             diagnostics,
             counts: self.counts,
             telemetry,
+            export,
         }
     }
 }
@@ -626,6 +767,103 @@ mod tests {
             assert_eq!(ta.main, tb.main, "tid {} main tree differs", ta.tid);
             assert_eq!(ta.task_trees, tb.task_trees, "tid {} task trees differ", ta.tid);
             assert_eq!(ta.max_live_trees, tb.max_live_trees);
+        }
+    }
+
+    #[test]
+    fn export_target_from_str_discriminates() {
+        assert_eq!(
+            ExportTarget::from("127.0.0.1:7979"),
+            ExportTarget::Server("127.0.0.1:7979".to_string())
+        );
+        assert_eq!(
+            ExportTarget::from("/tmp/profiles"),
+            ExportTarget::Directory(PathBuf::from("/tmp/profiles"))
+        );
+        assert_eq!(
+            ExportTarget::from("relative/dir"),
+            ExportTarget::Directory(PathBuf::from("relative/dir"))
+        );
+    }
+
+    #[test]
+    fn export_to_directory_ingests_on_finish() {
+        let dir = std::env::temp_dir().join(format!(
+            "session-export-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        for expected_run in 1..=2u64 {
+            let session = MeasurementSession::builder("session-export")
+                .threads(2)
+                .export_to(dir.as_path())
+                .build()
+                .unwrap();
+            session.run(|_| {}).unwrap();
+            let report = session.finish();
+            let receipt = report
+                .export
+                .expect("export configured")
+                .expect("export succeeds");
+            assert_eq!(receipt.run_id, expected_run);
+            assert!(receipt.bytes > 0);
+        }
+        let store = profstore::ProfileStore::open(&dir).expect("reopen");
+        assert_eq!(store.stats().runs, 2);
+        let agg = store.aggregate("session-export", 2).expect("aggregate");
+        assert_eq!(agg.runs, 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn export_to_server_ingests_on_finish() {
+        let dir = std::env::temp_dir().join(format!(
+            "session-export-srv-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = profstore::ProfileStore::open(&dir).expect("open");
+        let (handle, join) =
+            profserve::Server::spawn("127.0.0.1:0", store, profserve::ServeConfig::default())
+                .expect("spawn");
+        let addr = handle.addr().to_string();
+
+        let session = MeasurementSession::builder("session-export-srv")
+            .threads(1)
+            .export_to(addr.as_str())
+            .build()
+            .unwrap();
+        session.run(|_| {}).unwrap();
+        let report = session.finish();
+        let receipt = report
+            .export
+            .expect("export configured")
+            .expect("export succeeds");
+        assert!(matches!(receipt.target, ExportTarget::Server(_)));
+        assert_eq!(receipt.run_id, 1);
+
+        handle.stop();
+        join.join().expect("join").expect("run");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn failed_export_does_not_fail_measurement() {
+        // Nothing listens on this address: connect must fail, the
+        // profile must still be in the report.
+        let session = MeasurementSession::builder("session-export-down")
+            .threads(1)
+            .export_to("127.0.0.1:1")
+            .build()
+            .unwrap();
+        session.run(|_| {}).unwrap();
+        let report = session.finish();
+        assert_eq!(report.profile.num_threads(), 1);
+        match report.export {
+            Some(Err(ExportError::Client(_))) => {}
+            other => panic!("expected client error, got {other:?}"),
         }
     }
 

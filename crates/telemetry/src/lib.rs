@@ -31,6 +31,7 @@
 pub mod counters;
 pub mod export;
 pub mod sampler;
+pub mod service;
 pub mod snapshot;
 
 pub use counters::{TelemetryConfig, TelemetryCore, ThreadTelemetry, MAX_TELEMETRY_SHARDS};
@@ -38,4 +39,5 @@ pub use export::{
     parse_jsonl_line, parse_prometheus, to_jsonl_line, to_prometheus, ExportParseError, PromSample,
 };
 pub use sampler::{Sampler, TimedSnapshot};
+pub use service::{service_to_prometheus, ServiceCounters, ServiceSnapshot};
 pub use snapshot::TelemetrySnapshot;

@@ -1,0 +1,213 @@
+//! Service-level counters for long-running daemons built on the suite
+//! (the profile repository server, most prominently).
+//!
+//! The measurement-path counters in [`crate::counters`] are sharded per
+//! measurement thread because they sit on a nanosecond-scale hot path; a
+//! network daemon's request path is microseconds at best, so these are
+//! plain relaxed atomics — still lock-free, still safe to scrape from any
+//! thread at any time, just without the cache-line choreography.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Lock-free counters describing a serving daemon's lifetime totals.
+#[derive(Debug, Default)]
+pub struct ServiceCounters {
+    /// Connections accepted and admitted past the permit gate.
+    pub connections: AtomicU64,
+    /// Connections rejected because the permit gate was exhausted
+    /// (backpressure shedding — the accept loop never blocks).
+    pub shed_connections: AtomicU64,
+    /// Profiles ingested.
+    pub ingests: AtomicU64,
+    /// Bytes of ingested records appended to the store.
+    pub ingest_bytes: AtomicU64,
+    /// Query requests served.
+    pub queries: AtomicU64,
+    /// Requests that returned a typed error (bad request, not found…).
+    pub errors: AtomicU64,
+    /// Requests whose handler panicked and was isolated.
+    pub panics: AtomicU64,
+}
+
+/// Point-in-time copy of [`ServiceCounters`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServiceSnapshot {
+    /// Connections admitted.
+    pub connections: u64,
+    /// Connections shed by backpressure.
+    pub shed_connections: u64,
+    /// Profiles ingested.
+    pub ingests: u64,
+    /// Ingested bytes.
+    pub ingest_bytes: u64,
+    /// Queries served.
+    pub queries: u64,
+    /// Typed errors returned.
+    pub errors: u64,
+    /// Panics isolated.
+    pub panics: u64,
+}
+
+impl ServiceCounters {
+    /// Fresh zeroed counters behind an `Arc` (handlers clone the arc).
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Bump one counter by `n` (relaxed; totals are monotonic).
+    fn bump(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Count an admitted connection.
+    pub fn connection(&self) {
+        Self::bump(&self.connections, 1);
+    }
+
+    /// Count a shed connection.
+    pub fn shed(&self) {
+        Self::bump(&self.shed_connections, 1);
+    }
+
+    /// Count one ingest of `bytes` appended bytes.
+    pub fn ingest(&self, bytes: u64) {
+        Self::bump(&self.ingests, 1);
+        Self::bump(&self.ingest_bytes, bytes);
+    }
+
+    /// Count a served query.
+    pub fn query(&self) {
+        Self::bump(&self.queries, 1);
+    }
+
+    /// Count a typed error response.
+    pub fn error(&self) {
+        Self::bump(&self.errors, 1);
+    }
+
+    /// Count an isolated handler panic.
+    pub fn panic(&self) {
+        Self::bump(&self.panics, 1);
+    }
+
+    /// Consistent-enough copy of all counters (each is individually
+    /// atomic; cross-counter skew is bounded by in-flight requests).
+    pub fn snapshot(&self) -> ServiceSnapshot {
+        ServiceSnapshot {
+            connections: self.connections.load(Ordering::Relaxed),
+            shed_connections: self.shed_connections.load(Ordering::Relaxed),
+            ingests: self.ingests.load(Ordering::Relaxed),
+            ingest_bytes: self.ingest_bytes.load(Ordering::Relaxed),
+            queries: self.queries.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            panics: self.panics.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Render a service snapshot in the Prometheus text exposition format,
+/// name-spaced `profserve_*` so it can be exposed alongside the
+/// measurement metrics without collisions.
+pub fn service_to_prometheus(s: &ServiceSnapshot) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let mut metric = |name: &str, help: &str, value: u64| {
+        let _ = writeln!(out, "# HELP {name} {help}");
+        let _ = writeln!(out, "# TYPE {name} counter");
+        let _ = writeln!(out, "{name} {value}");
+    };
+    metric(
+        "profserve_connections_total",
+        "Connections admitted past the permit gate.",
+        s.connections,
+    );
+    metric(
+        "profserve_shed_connections_total",
+        "Connections rejected by backpressure.",
+        s.shed_connections,
+    );
+    metric("profserve_ingests_total", "Profiles ingested.", s.ingests);
+    metric(
+        "profserve_ingest_bytes_total",
+        "Bytes appended to the store by ingests.",
+        s.ingest_bytes,
+    );
+    metric("profserve_queries_total", "Query requests served.", s.queries);
+    metric(
+        "profserve_errors_total",
+        "Requests answered with a typed error.",
+        s.errors,
+    );
+    metric(
+        "profserve_panics_total",
+        "Handler panics isolated by the per-request boundary.",
+        s.panics,
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_snapshot() {
+        let c = ServiceCounters::new();
+        c.connection();
+        c.connection();
+        c.shed();
+        c.ingest(100);
+        c.ingest(50);
+        c.query();
+        c.error();
+        c.panic();
+        let s = c.snapshot();
+        assert_eq!(s.connections, 2);
+        assert_eq!(s.shed_connections, 1);
+        assert_eq!(s.ingests, 2);
+        assert_eq!(s.ingest_bytes, 150);
+        assert_eq!(s.queries, 1);
+        assert_eq!(s.errors, 1);
+        assert_eq!(s.panics, 1);
+    }
+
+    #[test]
+    fn concurrent_bumps_lose_nothing() {
+        let c = ServiceCounters::new();
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let c = Arc::clone(&c);
+                scope.spawn(move || {
+                    for _ in 0..1000 {
+                        c.ingest(3);
+                        c.query();
+                    }
+                });
+            }
+        });
+        let s = c.snapshot();
+        assert_eq!(s.ingests, 8000);
+        assert_eq!(s.ingest_bytes, 24_000);
+        assert_eq!(s.queries, 8000);
+    }
+
+    #[test]
+    fn prometheus_export_parses_back() {
+        let c = ServiceCounters::new();
+        c.ingest(42);
+        c.shed();
+        let text = service_to_prometheus(&c.snapshot());
+        let samples = crate::export::parse_prometheus(&text).expect("parse");
+        let get = |name: &str| {
+            samples
+                .iter()
+                .find(|s| s.name == name)
+                .unwrap_or_else(|| panic!("{name} missing"))
+                .value
+        };
+        assert_eq!(get("profserve_ingests_total") as u64, 1);
+        assert_eq!(get("profserve_ingest_bytes_total") as u64, 42);
+        assert_eq!(get("profserve_shed_connections_total") as u64, 1);
+    }
+}

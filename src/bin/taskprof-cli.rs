@@ -12,6 +12,12 @@
 //!                      [--workload fib|flat|mixed|all] [--dfs BUDGET]
 //! taskprof-cli diff <a.profile> <b.profile>
 //! taskprof-cli list
+//! taskprof-cli serve --dir DIR [--addr HOST:PORT] [--max-conns N]
+//!                    [--port-file FILE]
+//! taskprof-cli ingest --addr HOST:PORT (--file F --bench NAME | --app fib|nqueens
+//!                     [--seed S] [--runs K]) [--threads N]
+//! taskprof-cli query top|stats|regress --addr HOST:PORT --bench NAME
+//!                   [--threads N] [--n N] [--file F] [--threshold T]
 //! ```
 //!
 //! `run` executes one BOTS code under the profiler (and optionally the
@@ -21,17 +27,27 @@
 //! simulated schedules and fails on any profile-invariant violation;
 //! `diff` compares two saved profiles; `list` shows the available codes.
 //!
+//! The profile-repository commands: `serve` runs the `profserve` daemon
+//! over a `profstore` directory (`--addr 127.0.0.1:0` binds an ephemeral
+//! port, `--port-file` writes the bound port for scripting); `ingest`
+//! uploads saved profiles or deterministic seeded runs of the simulated
+//! BOTS codes; `query` prints the server's response line verbatim —
+//! `regress` additionally exits 3 when the candidate regressed, so CI can
+//! gate on the exit code.
+//!
 //! `explore --seeds` defaults to the `TASKPROF_EXPLORE_SEEDS`
 //! environment variable (or 64), which is how CI scales the sweep.
 
 use bots::{run_app, AppId, RunOpts, Scale, Variant, ALL_APPS};
 use cube::{
     diagnose, diff_profiles, format_ns, read_profile, render_loads, render_profile,
-    render_telemetry, thread_loads, to_csv, to_dot, write_profile, AggProfile, DiagnoseConfig,
-    RenderOpts,
+    render_telemetry, thread_loads, to_csv, to_dot, write_profile, write_profile_to, AggProfile,
+    DiagnoseConfig, RenderOpts,
 };
+use std::sync::Arc;
 use taskprof_session::MeasurementSession;
 use taskprof_trace::{analyze, TraceMonitor};
+use taskrt::Team;
 
 fn usage() -> ! {
     eprintln!(
@@ -40,7 +56,10 @@ fn usage() -> ! {
          taskprof-cli telemetry <app> [--threads N] [--scale test|small|medium] [--cutoff] \
          [--interval-ms N] [--format dashboard|prometheus|jsonl]\n  \
          taskprof-cli explore [--seeds N] [--threads N] [--workload fib|flat|mixed|all] [--dfs BUDGET]\n  \
-         taskprof-cli diff <a.profile> <b.profile>\n  taskprof-cli list"
+         taskprof-cli diff <a.profile> <b.profile>\n  taskprof-cli list\n  \
+         taskprof-cli serve --dir DIR [--addr HOST:PORT] [--max-conns N] [--port-file FILE]\n  \
+         taskprof-cli ingest --addr HOST:PORT (--file F --bench NAME | --app fib|nqueens [--seed S] [--runs K]) [--threads N]\n  \
+         taskprof-cli query top|stats|regress --addr HOST:PORT --bench NAME [--threads N] [--n N] [--file F] [--threshold T]"
     );
     std::process::exit(2);
 }
@@ -180,7 +199,7 @@ fn cmd_run(args: &[String]) {
         }
     }
     if let Some(path) = save {
-        if let Err(e) = std::fs::write(&path, write_profile(&profile)) {
+        if let Err(e) = write_profile_to(std::path::Path::new(&path), &profile) {
             eprintln!("cannot write {path}: {e}");
             std::process::exit(1);
         }
@@ -391,6 +410,283 @@ fn cmd_diff(args: &[String]) {
     }
 }
 
+fn cmd_serve(args: &[String]) {
+    let mut dir: Option<String> = None;
+    let mut addr = String::from("127.0.0.1:7979");
+    let mut max_conns: usize = 64;
+    let mut port_file: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--dir" => dir = Some(it.next().cloned().unwrap_or_else(|| usage())),
+            "--addr" => addr = it.next().cloned().unwrap_or_else(|| usage()),
+            "--max-conns" => {
+                max_conns = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--port-file" => port_file = Some(it.next().cloned().unwrap_or_else(|| usage())),
+            _ => usage(),
+        }
+    }
+    let Some(dir) = dir else { usage() };
+    let store = profstore::ProfileStore::open(std::path::Path::new(&dir)).unwrap_or_else(|e| {
+        eprintln!("cannot open store {dir}: {e}");
+        std::process::exit(1);
+    });
+    let stats = store.stats();
+    let config = profserve::ServeConfig {
+        max_connections: max_conns,
+        ..profserve::ServeConfig::default()
+    };
+    let server = profserve::Server::bind(&addr, store, config).unwrap_or_else(|e| {
+        eprintln!("cannot bind {addr}: {e}");
+        std::process::exit(1);
+    });
+    let bound = server.local_addr().expect("bound address");
+    if let Some(pf) = port_file {
+        // Written atomically so a polling script never reads a half
+        // written port number.
+        let tmp = format!("{pf}.tmp-{}", std::process::id());
+        if std::fs::write(&tmp, format!("{}\n", bound.port()))
+            .and_then(|()| std::fs::rename(&tmp, &pf))
+            .is_err()
+        {
+            eprintln!("cannot write port file {pf}");
+            std::process::exit(1);
+        }
+    }
+    eprintln!(
+        "# profserve listening on {bound}, store {dir} ({} runs in {} segments)",
+        stats.runs, stats.segments
+    );
+    if let Err(e) = server.run() {
+        eprintln!("server error: {e}");
+        std::process::exit(1);
+    }
+}
+
+/// One deterministic seeded run of a simulated BOTS code, profiled under
+/// the seeded `simsched` scheduler and its virtual clocks: the same
+/// (app, seed, threads) always yields a byte-identical profile.
+fn deterministic_profile(app: &str, seed: u64, threads: usize) -> taskprof::Profile {
+    let sched = Arc::new(simsched::SimScheduler::new(seed));
+    let clock = sched.clock().clone();
+    let team = Team::new(threads).with_policy(sched);
+    let monitor = taskprof::ProfMonitor::builder()
+        .clock(clock)
+        .build()
+        .expect("profiler config is valid");
+    let opts = RunOpts::new(threads);
+    match app {
+        "fib" => {
+            bots::fib::run_with_team(&monitor, &team, &opts);
+        }
+        "nqueens" => {
+            bots::nqueens::run_with_team(&monitor, &team, &opts);
+        }
+        _ => {
+            eprintln!("--app must be fib or nqueens (simulated deterministic codes)");
+            std::process::exit(2);
+        }
+    }
+    monitor.take_profile().expect("region finished")
+}
+
+fn connect_or_die(addr: &str) -> profserve::Client {
+    profserve::Client::connect(addr).unwrap_or_else(|e| {
+        eprintln!("cannot connect to {addr}: {e}");
+        std::process::exit(1);
+    })
+}
+
+fn cmd_ingest(args: &[String]) {
+    let mut addr: Option<String> = None;
+    let mut files: Vec<String> = Vec::new();
+    let mut bench: Option<String> = None;
+    let mut app: Option<String> = None;
+    let mut threads: usize = 2;
+    let mut seed: u64 = 42;
+    let mut runs: u64 = 1;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--addr" => addr = Some(it.next().cloned().unwrap_or_else(|| usage())),
+            "--file" => files.push(it.next().cloned().unwrap_or_else(|| usage())),
+            "--bench" => bench = Some(it.next().cloned().unwrap_or_else(|| usage())),
+            "--app" => app = Some(it.next().cloned().unwrap_or_else(|| usage())),
+            "--threads" => {
+                threads = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--seed" => {
+                seed = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--runs" => {
+                runs = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            _ => usage(),
+        }
+    }
+    let Some(addr) = addr else { usage() };
+    let mut client = connect_or_die(&addr);
+    if let Some(app) = app {
+        // Deterministic seeded runs: timestamps derive from the seed so
+        // identical sweeps produce byte-identical stored indexes.
+        for k in 0..runs {
+            let run_seed = seed + k;
+            let profile = deterministic_profile(&app, run_seed, threads);
+            let text = write_profile(&profile);
+            let bench_name = bench.clone().unwrap_or_else(|| app.clone());
+            match client.ingest(&bench_name, threads as u32, Some(run_seed * 1_000), &text) {
+                Ok(ack) => println!(
+                    "ingested {bench_name} seed={run_seed} as run {} ({} bytes, segment {})",
+                    ack.run_id, ack.bytes, ack.segment
+                ),
+                Err(e) => {
+                    eprintln!("ingest failed: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+    } else if !files.is_empty() {
+        let Some(bench) = bench else {
+            eprintln!("--file requires --bench NAME");
+            std::process::exit(2);
+        };
+        for f in &files {
+            let text = std::fs::read_to_string(f).unwrap_or_else(|e| {
+                eprintln!("cannot read {f}: {e}");
+                std::process::exit(1);
+            });
+            match client.ingest(&bench, threads as u32, None, &text) {
+                Ok(ack) => println!(
+                    "ingested {f} as run {} ({} bytes, segment {})",
+                    ack.run_id, ack.bytes, ack.segment
+                ),
+                Err(e) => {
+                    eprintln!("ingest of {f} failed: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+    } else {
+        usage();
+    }
+}
+
+#[allow(clippy::too_many_lines)]
+fn cmd_query(args: &[String]) {
+    let Some(what) = args.first().map(String::as_str) else {
+        usage()
+    };
+    let mut addr: Option<String> = None;
+    let mut bench: Option<String> = None;
+    let mut threads: usize = 2;
+    let mut n: usize = 10;
+    let mut file: Option<String> = None;
+    let mut app: Option<String> = None;
+    let mut seed: u64 = 42;
+    let mut threshold: Option<f64> = None;
+    let mut it = args[1..].iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--addr" => addr = Some(it.next().cloned().unwrap_or_else(|| usage())),
+            "--bench" => bench = Some(it.next().cloned().unwrap_or_else(|| usage())),
+            "--threads" => {
+                threads = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--n" => {
+                n = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--file" => file = Some(it.next().cloned().unwrap_or_else(|| usage())),
+            "--app" => app = Some(it.next().cloned().unwrap_or_else(|| usage())),
+            "--seed" => {
+                seed = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--threshold" => {
+                threshold = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                )
+            }
+            _ => usage(),
+        }
+    }
+    let Some(addr) = addr else { usage() };
+    let mut client = connect_or_die(&addr);
+    let die = |e: profserve::ClientError| -> ! {
+        eprintln!("query failed: {e}");
+        std::process::exit(1);
+    };
+    match what {
+        "top" => {
+            let Some(bench) = bench else { usage() };
+            let v = client
+                .query_top(&bench, threads as u32, n)
+                .unwrap_or_else(|e| die(e));
+            println!("{v}");
+        }
+        "stats" => {
+            if let Some(bench) = bench {
+                let v = client
+                    .query_stats(&bench, threads as u32)
+                    .unwrap_or_else(|e| die(e));
+                println!("{v}");
+            } else {
+                // Without --bench, report server health.
+                let v = client.server_stats().unwrap_or_else(|e| die(e));
+                println!("{v}");
+            }
+        }
+        "regress" => {
+            let Some(bench) = bench else { usage() };
+            let text = if let Some(f) = file {
+                std::fs::read_to_string(&f).unwrap_or_else(|e| {
+                    eprintln!("cannot read {f}: {e}");
+                    std::process::exit(1);
+                })
+            } else if let Some(app) = app {
+                write_profile(&deterministic_profile(&app, seed, threads))
+            } else {
+                eprintln!("regress needs --file F or --app fib|nqueens");
+                std::process::exit(2);
+            };
+            let v = client
+                .query_regress(&bench, threads as u32, &text, threshold)
+                .unwrap_or_else(|e| die(e));
+            println!("{v}");
+            let regressed = v
+                .get("regressed")
+                .and_then(profserve::Json::as_bool)
+                .unwrap_or(false);
+            if regressed {
+                std::process::exit(3);
+            }
+        }
+        _ => usage(),
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
@@ -399,6 +695,9 @@ fn main() {
         Some("explore") => cmd_explore(&args[1..]),
         Some("diff") => cmd_diff(&args[1..]),
         Some("list") => cmd_list(),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("ingest") => cmd_ingest(&args[1..]),
+        Some("query") => cmd_query(&args[1..]),
         _ => usage(),
     }
 }

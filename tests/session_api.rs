@@ -1,6 +1,6 @@
 //! End-to-end coverage of the `MeasurementSession` front door: builder
-//! validation, the static monitor-stack combinators, shard hand-off at
-//! region end, and the deprecated constructor shims.
+//! validation, the static monitor-stack combinators, and shard hand-off
+//! at region end.
 
 use bots::{run_app, AppId, RunOpts, Scale, Variant};
 use cube::AggProfile;
@@ -151,18 +151,19 @@ fn take_profile_mid_region_is_rejected_with_live_counts() {
     );
 }
 
-#[allow(deprecated)]
 #[test]
-fn deprecated_constructor_shims_still_measure() {
+fn builder_configured_monitor_measures() {
     use pomp::VirtualClock;
     use taskprof::AssignPolicy;
 
     let clock = VirtualClock::new();
-    let monitor = ProfMonitor::with_clock(clock.clone(), AssignPolicy::Executing)
-        .with_max_depth(16)
-        .expect("configured before any region")
-        .with_max_live_trees(1024)
-        .expect("configured before any region");
+    let monitor = ProfMonitor::builder()
+        .clock(clock.clone())
+        .policy(AssignPolicy::Executing)
+        .max_depth(16)
+        .max_live_trees(1024)
+        .build()
+        .expect("valid configuration");
 
     let single = SingleConstruct::new("sapi-dep!single");
     let task = TaskConstruct::new("sapi_dep_task");
