@@ -20,7 +20,7 @@ use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{Arc, RwLock};
 use std::time::Duration;
 use taskprof_telemetry::ServiceCounters;
 
@@ -121,20 +121,21 @@ impl Server {
     /// Serve until [`ServerHandle::stop`]; joins all handler threads (and
     /// the compactor) before returning.
     pub fn run(self) -> std::io::Result<()> {
-        let workers: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>> =
-            Arc::new(Mutex::new(Vec::new()));
+        let mut workers: Vec<std::thread::JoinHandle<()>> = Vec::new();
         let compactor = self.shared.config.compact_interval.map(|every| {
             let shared = Arc::clone(&self.shared);
             std::thread::spawn(move || {
+                // Sleep in small slices so stop stays responsive, but
+                // only compact once per full interval. The tick counter
+                // is per-server state: a process running several servers
+                // (tests) must not skew each other's compaction cadence.
+                let slice = every.min(Duration::from_millis(100));
+                let per_interval = (every.as_millis() / slice.as_millis().max(1)).max(1) as usize;
+                let mut ticks: usize = 0;
                 while !shared.stop.load(Ordering::SeqCst) {
-                    std::thread::sleep(every.min(Duration::from_millis(100)));
-                    // Sleep in small slices so stop stays responsive, but
-                    // only compact once per full interval.
-                    static TICKS: AtomicUsize = AtomicUsize::new(0);
-                    let slice = every.min(Duration::from_millis(100));
-                    let per_interval =
-                        (every.as_millis() / slice.as_millis().max(1)).max(1) as usize;
-                    if !TICKS.fetch_add(1, Ordering::Relaxed).is_multiple_of(per_interval) {
+                    std::thread::sleep(slice);
+                    ticks += 1;
+                    if !ticks.is_multiple_of(per_interval) {
                         continue;
                     }
                     if let Ok(mut store) = shared.store.write() {
@@ -174,10 +175,14 @@ impl Server {
                 serve_connection(&shared, stream);
                 shared.permits.fetch_add(1, Ordering::AcqRel);
             });
-            workers.lock().expect("worker list").push(handle);
+            // Reap finished handlers so a long-running daemon's handle
+            // list tracks live connections (bounded by the permit gate),
+            // not total connections ever served.
+            workers.retain(|h| !h.is_finished());
+            workers.push(handle);
         }
 
-        for handle in workers.lock().expect("worker list").drain(..) {
+        for handle in workers {
             let _ = handle.join();
         }
         if let Some(compactor) = compactor {

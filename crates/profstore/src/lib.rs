@@ -27,6 +27,13 @@
 //! payload, CRC all intact) or it is dropped at the next
 //! [`ProfileStore::open`]. A crash mid-append therefore loses at most the
 //! in-flight record; everything previously acknowledged survives.
+//!
+//! Single-writer contract: opening a store takes an exclusive advisory
+//! lock on the directory (a `LOCK` file, held for the store's lifetime
+//! and released by the OS even on crash). A second concurrent open —
+//! from this process or another — fails with [`StoreError::Locked`]
+//! rather than letting two writers interleave frames on the same active
+//! segment.
 
 #![warn(missing_docs)]
 

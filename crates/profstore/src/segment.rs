@@ -179,18 +179,33 @@ impl SegmentWriter {
 
     /// Reopen an existing segment for appends, first truncating it to
     /// `valid_len` (the recovery step that drops a torn tail record).
+    ///
+    /// A `valid_len` shorter than the magic means the header itself never
+    /// made it to disk (a crash between `create_new` and the magic write)
+    /// or was destroyed: the file is truncated and the magic rewritten, so
+    /// appends resume into a well-formed segment. Without this, every
+    /// record appended after recovery would sit behind a bad header and be
+    /// discarded wholesale by the next scan.
     pub fn recover(path: &Path, valid_len: u64, sync: bool) -> std::io::Result<Self> {
-        let file = OpenOptions::new().read(true).write(true).open(path)?;
-        file.set_len(valid_len)?;
-        let mut file = file;
-        file.seek(SeekFrom::End(0))?;
+        let mut file = OpenOptions::new().read(true).write(true).open(path)?;
+        let len = if valid_len < SEGMENT_MAGIC.len() as u64 {
+            file.set_len(0)?;
+            file.seek(SeekFrom::Start(0))?;
+            file.write_all(SEGMENT_MAGIC)?;
+            file.flush()?;
+            SEGMENT_MAGIC.len() as u64
+        } else {
+            file.set_len(valid_len)?;
+            file.seek(SeekFrom::End(0))?;
+            valid_len
+        };
         if sync {
             file.sync_all()?;
         }
         Ok(Self {
             path: path.to_path_buf(),
             file,
-            len: valid_len,
+            len,
             sync,
         })
     }
@@ -286,6 +301,32 @@ mod tests {
         assert_eq!(scan.tail_defect, None);
         assert_eq!(scan.records.len(), 2);
         assert_eq!(scan.records[1].payload, b"after recovery");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn recovery_at_zero_rewrites_the_magic_header() {
+        let dir = tmpdir("zero");
+        let path = dir.join("seg-000001.log");
+        // A crash between create_new and the magic write leaves an empty
+        // (or partial-header) file; its scan reports valid_len == 0.
+        std::fs::write(&path, b"pro").expect("write partial header");
+        let scan = SegmentReader::scan(&path).expect("scan");
+        assert_eq!(scan.valid_len, 0);
+        let mut w = SegmentWriter::recover(&path, scan.valid_len, false).expect("recover");
+        let off = w.append(b"post-recovery record").expect("append");
+        drop(w);
+        // The segment is well-formed again: the magic is back and the
+        // appended record survives the next scan instead of being
+        // discarded behind a bad header.
+        let scan = SegmentReader::scan(&path).expect("rescan");
+        assert_eq!(scan.tail_defect, None);
+        assert_eq!(scan.records.len(), 1);
+        assert_eq!(scan.records[0].payload, b"post-recovery record");
+        assert_eq!(
+            SegmentReader::read_at(&path, off).expect("read_at"),
+            Some(b"post-recovery record".to_vec())
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -54,6 +54,14 @@ pub enum StoreError {
     },
     /// No run with the requested id.
     NotFound(u64),
+    /// Another `ProfileStore` (in this process or another) holds the
+    /// directory's writer lock. The log is strictly single-writer: two
+    /// independent writers on the same active segment would interleave
+    /// frames at overlapping offsets and assign duplicate run ids.
+    Locked {
+        /// The contended repository directory.
+        dir: PathBuf,
+    },
 }
 
 impl std::fmt::Display for StoreError {
@@ -69,6 +77,11 @@ impl std::fmt::Display for StoreError {
                 write!(f, "closed segment {segment} is corrupt: {detail}")
             }
             StoreError::NotFound(id) => write!(f, "run {id} not found"),
+            StoreError::Locked { dir } => write!(
+                f,
+                "store directory {} is locked by another writer (close the other store or daemon first)",
+                dir.display()
+            ),
         }
     }
 }
@@ -127,6 +140,10 @@ pub struct StoreStats {
     pub compacted_through: u64,
 }
 
+/// Name of the advisory lock file guarding the directory against a
+/// second concurrent writer.
+const LOCK_FILE: &str = "LOCK";
+
 fn segment_name(n: u64) -> String {
     format!("seg-{n:06}.log")
 }
@@ -147,6 +164,9 @@ pub struct ProfileStore {
     recovered_tail_bytes: u64,
     agg_cache: BTreeMap<(String, u32), BenchAgg>,
     compacted_through: u64,
+    /// Held for the store's lifetime; the OS releases the advisory lock
+    /// when the file closes, so a crash never leaves the directory stale.
+    _lock: std::fs::File,
 }
 
 impl std::fmt::Debug for ProfileStore {
@@ -170,8 +190,27 @@ impl ProfileStore {
     /// Open with explicit configuration. Recovery happens here: the final
     /// segment's torn tail (if any) is truncated; damage anywhere else is
     /// reported as an error rather than silently dropped.
+    ///
+    /// The open takes an exclusive advisory lock on a `LOCK` file in the
+    /// directory and holds it for the store's lifetime; a second open of
+    /// the same directory — from this process or another — fails with
+    /// [`StoreError::Locked`] instead of corrupting the active segment.
     pub fn open_with(dir: &Path, config: StoreConfig) -> Result<Self, StoreError> {
         std::fs::create_dir_all(dir)?;
+        let lock = std::fs::OpenOptions::new()
+            .create(true)
+            .truncate(false)
+            .write(true)
+            .open(dir.join(LOCK_FILE))?;
+        match lock.try_lock() {
+            Ok(()) => {}
+            Err(std::fs::TryLockError::WouldBlock) => {
+                return Err(StoreError::Locked {
+                    dir: dir.to_path_buf(),
+                })
+            }
+            Err(std::fs::TryLockError::Error(e)) => return Err(StoreError::Io(e)),
+        }
         let mut numbers: Vec<u64> = std::fs::read_dir(dir)?
             .filter_map(|e| e.ok())
             .filter_map(|e| parse_segment_name(&e.file_name().to_string_lossy()))
@@ -246,6 +285,7 @@ impl ProfileStore {
             recovered_tail_bytes,
             agg_cache: BTreeMap::new(),
             compacted_through: 0,
+            _lock: lock,
         })
     }
 
@@ -392,6 +432,11 @@ impl ProfileStore {
     /// one) into the per-benchmark aggregate cache. Returns how many runs
     /// were newly folded. Queries after this only decode the active
     /// segment's tail on demand.
+    ///
+    /// All-or-nothing: on a mid-stream I/O or decode error nothing is
+    /// committed — the folding happens in a scratch copy of the cache, so
+    /// a retry (the daemon's background compactor retries every interval)
+    /// never folds the same run twice.
     pub fn compact(&mut self) -> Result<u64, StoreError> {
         let upto = self.active_segment.saturating_sub(1);
         if upto <= self.compacted_through {
@@ -402,16 +447,15 @@ impl ProfileStore {
             .iter()
             .filter(|e| e.segment > self.compacted_through && e.segment <= upto)
             .collect();
-        let mut cache = std::mem::take(&mut self.agg_cache);
+        let mut cache = self.agg_cache.clone();
         let folded = entries.len() as u64;
-        let result = self.stream_entries(&entries, |meta, profile| {
+        self.stream_entries(&entries, |meta, profile| {
             cache
                 .entry((meta.benchmark.clone(), meta.threads))
                 .or_default()
                 .fold(profile);
-        });
+        })?;
         self.agg_cache = cache;
-        result?;
         self.compacted_through = upto;
         Ok(folded)
     }
@@ -585,6 +629,79 @@ mod tests {
         assert_eq!(direct.regions, cached.regions);
         assert_eq!(direct.merged_main, cached.merged_main);
         assert_eq!(store.compact().expect("idempotent"), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn second_writer_on_the_same_directory_is_refused() {
+        let dir = tmpdir("lock");
+        let store = ProfileStore::open(&dir).expect("first open");
+        match ProfileStore::open(&dir) {
+            Err(StoreError::Locked { dir: d }) => assert_eq!(d, dir),
+            other => panic!("expected Locked, got {other:?}"),
+        }
+        // Dropping the holder releases the lock.
+        drop(store);
+        ProfileStore::open(&dir).expect("reopen after release");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn failed_compaction_commits_nothing_so_retries_never_double_fold() {
+        let dir = tmpdir("compact-retry");
+        let config = StoreConfig {
+            segment_max_bytes: 1, // one record per segment
+            sync_writes: false,
+        };
+        let mut store = ProfileStore::open_with(&dir, config).expect("open");
+        for i in 0..8 {
+            store
+                .ingest("fib", 2, i, &profile("store-retry", 100 + i))
+                .expect("ingest");
+        }
+        let direct = store.aggregate("fib", 2).expect("aggregate");
+        // Hide the *last* closed segment: the stream folds earlier runs
+        // before erroring on it, which must not leak into the cache.
+        let hidden = dir.join(segment_name(7));
+        let aside = dir.join("seg-000007.hidden");
+        std::fs::rename(&hidden, &aside).expect("hide segment");
+        assert!(store.compact().is_err(), "compaction must fail");
+        std::fs::rename(&aside, &hidden).expect("restore segment");
+        // The retry folds every closed run exactly once.
+        assert_eq!(store.compact().expect("retry"), 7);
+        let cached = store.aggregate("fib", 2).expect("aggregate");
+        assert_eq!(direct.runs, cached.runs);
+        assert_eq!(direct.total_ns, cached.total_ns);
+        assert_eq!(direct.merged_main, cached.merged_main);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn garbled_magic_in_final_segment_recovers_and_keeps_new_appends() {
+        let dir = tmpdir("badmagic");
+        let p = profile("store-magic", 25);
+        {
+            let mut store = ProfileStore::open(&dir).expect("open");
+            store.ingest("fib", 2, 1, &p).expect("ingest");
+        }
+        // Destroy the magic header of the (only, final) segment.
+        let seg = dir.join(segment_name(1));
+        let mut data = std::fs::read(&seg).expect("read");
+        data[0] ^= 0xFF;
+        std::fs::write(&seg, &data).expect("write");
+        // Recovery treats the whole segment as a lost tail, but must leave
+        // behind a well-formed segment: records appended afterwards have
+        // to survive the next open instead of vanishing behind the bad
+        // header.
+        let mut store = ProfileStore::open(&dir).expect("recovering open");
+        assert_eq!(store.len(), 0);
+        assert!(store.recovered_tail_bytes() > 0);
+        let r = store.ingest("fib", 2, 2, &p).expect("post-recovery ingest");
+        drop(store);
+        let store = ProfileStore::open(&dir).expect("clean reopen");
+        assert_eq!(store.recovered_tail_bytes(), 0, "no residual damage");
+        assert_eq!(store.len(), 1, "post-recovery append survives reopen");
+        store.load(r.run_id).expect("post-recovery run loads");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -195,11 +195,34 @@ pub enum ExportTarget {
     Server(String),
 }
 
+/// Syntactic `host:port` check for the server/directory decision. A
+/// plain `SocketAddr` parse is not enough: hostnames (`localhost:7979`)
+/// never parse as socket addresses even though [`profserve::Client`]
+/// resolves them fine via `ToSocketAddrs` — routing them to a directory
+/// would silently create a local store literally named `localhost:7979`.
+fn looks_like_host_port(s: &str) -> bool {
+    if s.parse::<std::net::SocketAddr>().is_ok() {
+        return true;
+    }
+    if s.contains('/') || s.contains('\\') {
+        return false;
+    }
+    match s.rsplit_once(':') {
+        Some((host, port)) => {
+            !host.is_empty() && !host.contains(':') && port.parse::<u16>().is_ok()
+        }
+        None => false,
+    }
+}
+
 impl From<&str> for ExportTarget {
-    /// A socket address (`host:port`) exports to a server; anything else
-    /// is treated as a store directory.
+    /// Anything shaped like `host:port` (socket address or resolvable
+    /// hostname, no path separators) exports to a server; anything else
+    /// is treated as a store directory. For a directory whose name
+    /// happens to look like `host:port`, pick
+    /// [`ExportTarget::Directory`] explicitly.
     fn from(s: &str) -> Self {
-        if s.parse::<std::net::SocketAddr>().is_ok() {
+        if looks_like_host_port(s) {
             ExportTarget::Server(s.to_string())
         } else {
             ExportTarget::Directory(PathBuf::from(s))
@@ -466,9 +489,10 @@ impl<C: ClockSource + 'static> SessionBuilder<C> {
 
     /// Auto-export the finished profile into a profile repository: a
     /// `profstore` directory path, or a `host:port` address of a running
-    /// `profserve` daemon (a `&str` picks the right one — socket
-    /// addresses go to the server). The session name becomes the
-    /// benchmark key; the outcome lands in [`SessionReport::export`].
+    /// `profserve` daemon (a `&str` picks the right one — anything
+    /// shaped like `host:port`, hostnames included, goes to the server).
+    /// The session name becomes the benchmark key; the outcome lands in
+    /// [`SessionReport::export`].
     pub fn export_to(mut self, target: impl Into<ExportTarget>) -> Self {
         self.export = Some(target.into());
         self
@@ -776,6 +800,16 @@ mod tests {
             ExportTarget::from("127.0.0.1:7979"),
             ExportTarget::Server("127.0.0.1:7979".to_string())
         );
+        // Hostnames don't parse as SocketAddr but must still reach the
+        // server — Client::connect resolves them via ToSocketAddrs.
+        assert_eq!(
+            ExportTarget::from("localhost:7979"),
+            ExportTarget::Server("localhost:7979".to_string())
+        );
+        assert_eq!(
+            ExportTarget::from("[::1]:7979"),
+            ExportTarget::Server("[::1]:7979".to_string())
+        );
         assert_eq!(
             ExportTarget::from("/tmp/profiles"),
             ExportTarget::Directory(PathBuf::from("/tmp/profiles"))
@@ -783,6 +817,16 @@ mod tests {
         assert_eq!(
             ExportTarget::from("relative/dir"),
             ExportTarget::Directory(PathBuf::from("relative/dir"))
+        );
+        // Path separators always mean a directory, ports or not.
+        assert_eq!(
+            ExportTarget::from("profiles/host:7979"),
+            ExportTarget::Directory(PathBuf::from("profiles/host:7979"))
+        );
+        // A trailing segment that is not a valid port is a directory.
+        assert_eq!(
+            ExportTarget::from("profiles:latest"),
+            ExportTarget::Directory(PathBuf::from("profiles:latest"))
         );
     }
 

@@ -106,6 +106,9 @@ fn concurrent_clients_lose_and_duplicate_nothing() {
     handle.stop();
     drop(client);
     join.join().expect("join").expect("run");
+    // The handle keeps the server's store (and its directory lock)
+    // alive; release it before reopening the log as a new writer.
+    drop(handle);
 
     // And the segment log on disk survives a cold reopen with all runs.
     let store = ProfileStore::open(&dir).expect("reopen");

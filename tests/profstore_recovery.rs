@@ -128,6 +128,52 @@ fn recovered_store_keeps_ingesting_and_reuses_no_run_id() {
 }
 
 #[test]
+fn zero_length_final_segment_recovers_with_a_fresh_header() {
+    let dir = temp_dir("zero-final");
+    {
+        // Tiny segments force rotation so earlier runs live in closed
+        // segments that must survive untouched.
+        let mut store = ProfileStore::open_with(
+            &dir,
+            StoreConfig {
+                segment_max_bytes: 1,
+                sync_writes: false,
+            },
+        )
+        .expect("open");
+        for k in 0..3u64 {
+            store
+                .ingest("zero-bench", 2, k, &deterministic_profile("z", 40 + k))
+                .expect("ingest");
+        }
+    }
+    // Simulate a crash between segment creation and the magic write
+    // during rotation: the final segment exists but is empty.
+    let seg = last_segment(&dir);
+    std::fs::OpenOptions::new()
+        .write(true)
+        .open(&seg)
+        .expect("open segment")
+        .set_len(0)
+        .expect("truncate to zero");
+
+    let mut store = ProfileStore::open(&dir).expect("recovering open");
+    assert_eq!(store.stats().runs, 2, "closed-segment runs survive");
+    let receipt = store
+        .ingest("zero-bench", 2, 99, &deterministic_profile("z", 400))
+        .expect("post-recovery ingest");
+
+    // The recovered segment got its header back: records appended after
+    // recovery survive the next open instead of being discarded behind a
+    // missing magic.
+    drop(store);
+    let store = ProfileStore::open(&dir).expect("clean reopen");
+    assert_eq!(store.stats().recovered_tail_bytes, 0);
+    assert_eq!(store.stats().runs, 3);
+    store.load(receipt.run_id).expect("post-recovery run loads");
+}
+
+#[test]
 fn corruption_in_a_closed_segment_is_an_error_not_a_silent_drop() {
     let dir = temp_dir("closed-corrupt");
     {
