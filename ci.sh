@@ -52,7 +52,29 @@ cargo run --release --bin taskprof-cli -- ingest \
 cargo run --release --bin taskprof-cli -- query top --addr "$ADDR" --bench fib --threads 2
 cargo run --release --bin taskprof-cli -- query regress \
     --addr "$ADDR" --bench fib --threads 2 --app fib --seed 41
+echo "=== resilient export smoke (spool while down, drain when back) ==="
+# Daemon still up: an ingest pointed at a *dead* port with --spool must
+# exit 0 and leave a frame file; `drain` against the live daemon must
+# deliver it exactly once and empty the spool.
+SPOOL_DIR="$REPO_DIR/spool"
+DEAD_ADDR="127.0.0.1:1"
+cargo run --release --bin taskprof-cli -- ingest \
+    --addr "$DEAD_ADDR" --app fib --seed 77 --runs 1 --threads 2 \
+    --spool "$SPOOL_DIR" --deadline-ms 500
+FRAMES=$(find "$SPOOL_DIR" -name '*.frame' | wc -l)
+[ "$FRAMES" -eq 1 ] || { echo "expected 1 spooled frame, found $FRAMES"; exit 1; }
+cargo run --release --bin taskprof-cli -- drain --addr "$ADDR" --spool "$SPOOL_DIR"
+FRAMES=$(find "$SPOOL_DIR" -name '*.frame' | wc -l)
+[ "$FRAMES" -eq 0 ] || { echo "spool not drained: $FRAMES frame(s) left"; exit 1; }
+# Draining an empty spool is a no-op success (exactly-once).
+cargo run --release --bin taskprof-cli -- drain --addr "$ADDR" --spool "$SPOOL_DIR"
 kill "$SERVE_PID" 2>/dev/null || true
 wait "$SERVE_PID" 2>/dev/null || true
+
+echo "=== fault-injection torture (pinned seed) ==="
+# Crash-at-every-injection-point over the store's VFS seam; the pinned
+# seed keeps nightly logs comparable while the in-tree seeds rotate.
+TASKPROF_TORTURE_SEED="${TASKPROF_TORTURE_SEED:-20260808}" \
+    cargo test --release --test profstore_torture -q
 
 echo "CI_OK"

@@ -9,7 +9,42 @@
 use crate::json::{self, Json};
 use crate::protocol::{ErrorKind, Request};
 use std::io::{BufRead, BufReader, Write};
-use std::net::TcpStream;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Client-side deadlines. `None` members mean "block forever" (the
+/// pre-hardening behavior); [`ClientTimeouts::default`] bounds every
+/// phase so a dead or wedged daemon can never hang the caller.
+#[derive(Clone, Copy, Debug)]
+pub struct ClientTimeouts {
+    /// Deadline for establishing the TCP connection.
+    pub connect: Option<Duration>,
+    /// Deadline for reading one response line.
+    pub read: Option<Duration>,
+    /// Deadline for writing one request line.
+    pub write: Option<Duration>,
+}
+
+impl Default for ClientTimeouts {
+    fn default() -> Self {
+        Self {
+            connect: Some(Duration::from_millis(500)),
+            read: Some(Duration::from_secs(5)),
+            write: Some(Duration::from_secs(5)),
+        }
+    }
+}
+
+impl ClientTimeouts {
+    /// No deadlines anywhere (block forever).
+    pub fn unbounded() -> Self {
+        Self {
+            connect: None,
+            read: None,
+            write: None,
+        }
+    }
+}
 
 /// Why a client call failed.
 #[derive(Debug)]
@@ -66,12 +101,47 @@ pub struct Client {
 }
 
 impl Client {
-    /// Connect to `addr` (e.g. `127.0.0.1:7979`).
+    /// Connect to `addr` (e.g. `127.0.0.1:7979`) with no deadlines (the
+    /// original blocking behavior; prefer [`Client::connect_with`] from
+    /// anything that must not hang on a dead daemon).
     pub fn connect(addr: &str) -> Result<Client, ClientError> {
-        let stream = TcpStream::connect(addr)?;
+        Self::connect_with(addr, ClientTimeouts::unbounded())
+    }
+
+    /// Connect with explicit deadlines on every transport phase.
+    pub fn connect_with(addr: &str, timeouts: ClientTimeouts) -> Result<Client, ClientError> {
+        let stream = match timeouts.connect {
+            Some(deadline) => {
+                // `connect_timeout` wants a resolved address; try each
+                // resolution until one connects within the deadline.
+                let addrs: Vec<_> = addr.to_socket_addrs()?.collect();
+                let mut last = None;
+                let mut stream = None;
+                for a in addrs {
+                    match TcpStream::connect_timeout(&a, deadline) {
+                        Ok(s) => {
+                            stream = Some(s);
+                            break;
+                        }
+                        Err(e) => last = Some(e),
+                    }
+                }
+                stream.ok_or_else(|| {
+                    last.unwrap_or_else(|| {
+                        std::io::Error::new(
+                            std::io::ErrorKind::InvalidInput,
+                            format!("address '{addr}' resolved to nothing"),
+                        )
+                    })
+                })?
+            }
+            None => TcpStream::connect(addr)?,
+        };
         // The protocol is strict request/response: Nagle would hold each
         // one-line request hostage to the peer's delayed ACK.
         stream.set_nodelay(true)?;
+        stream.set_read_timeout(timeouts.read)?;
+        stream.set_write_timeout(timeouts.write)?;
         let writer = stream.try_clone()?;
         Ok(Client {
             writer,

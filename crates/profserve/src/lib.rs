@@ -19,6 +19,12 @@
 //! blocks on request work. Each request runs under `catch_unwind`, so a
 //! handler bug answers one request with `internal` instead of killing
 //! the daemon.
+//!
+//! Failure model: per-connection read/write deadlines (slow-loris
+//! defense, counted in `timeout_connections`), a capped request-line
+//! buffer (typed `too_large`), graceful shutdown that answers in-flight
+//! requests before closing, and `ENOSPC`-triggered read-only degradation
+//! (typed `read_only`, surfaced in `STATS`). See [`server`] for details.
 
 #![warn(missing_docs)]
 
@@ -27,7 +33,7 @@ pub mod json;
 pub mod protocol;
 pub mod server;
 
-pub use client::{Client, ClientError, IngestAck};
+pub use client::{Client, ClientError, ClientTimeouts, IngestAck};
 pub use json::{parse as parse_json, Json, JsonError};
 pub use protocol::{ErrorKind, Request};
 pub use server::{ServeConfig, Server, ServerHandle};
@@ -199,6 +205,151 @@ mod tests {
 
         handle.stop();
         drop(first);
+        join.join().expect("join").expect("run");
+    }
+
+    #[test]
+    fn oversized_request_line_gets_too_large_and_connection_closes() {
+        let dir = temp_dir("toolarge");
+        let store = open_store(&dir);
+        let config = ServeConfig {
+            max_request_bytes: 1024,
+            ..ServeConfig::default()
+        };
+        let (handle, join) = Server::spawn("127.0.0.1:0", store, config).expect("spawn");
+
+        use std::io::{BufRead, BufReader, Read, Write};
+        let mut raw = std::net::TcpStream::connect(handle.addr()).expect("connect");
+        // A newline-less flood larger than the cap: the old reader would
+        // buffer it forever; the bounded reader answers and closes.
+        raw.write_all(&vec![b'x'; 4096]).expect("write");
+        raw.flush().expect("flush");
+        let mut reader = BufReader::new(raw.try_clone().expect("clone"));
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("read");
+        assert!(line.contains("too_large"), "{line}");
+        // The server closed the connection (no resync inside a torn line).
+        let mut rest = Vec::new();
+        reader.read_to_end(&mut rest).expect("read_to_end");
+        assert!(rest.is_empty(), "connection should be closed");
+
+        // The daemon itself is fine: a fresh connection still serves.
+        let mut client = Client::connect(&handle.addr().to_string()).expect("connect");
+        client.server_stats().expect("stats after too_large");
+        handle.stop();
+        drop((client, raw, reader));
+        join.join().expect("join").expect("run");
+    }
+
+    #[test]
+    fn slow_loris_connection_is_dropped_by_the_read_deadline() {
+        let dir = temp_dir("loris");
+        let store = open_store(&dir);
+        let config = ServeConfig {
+            read_timeout: Some(std::time::Duration::from_millis(60)),
+            ..ServeConfig::default()
+        };
+        let (handle, join) = Server::spawn("127.0.0.1:0", store, config).expect("spawn");
+
+        use std::io::{Read, Write};
+        let mut raw = std::net::TcpStream::connect(handle.addr()).expect("connect");
+        // Send a partial request and go silent — the classic slow loris.
+        raw.write_all(b"{\"cmd\":\"STA").expect("write");
+        raw.flush().expect("flush");
+        // The deadline fires and the server closes the connection: the
+        // read returns EOF rather than blocking forever.
+        raw.set_read_timeout(Some(std::time::Duration::from_secs(5)))
+            .expect("set timeout");
+        let mut buf = Vec::new();
+        raw.read_to_end(&mut buf).expect("read_to_end");
+        assert!(buf.is_empty(), "server should close without a reply");
+        // The drop is visible in telemetry and STATS.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        while handle.counters().snapshot().timeout_connections == 0 {
+            assert!(std::time::Instant::now() < deadline, "timeout never counted");
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        let mut client = Client::connect(&handle.addr().to_string()).expect("connect");
+        let health = client.server_stats().expect("stats");
+        let server = health.get("server").expect("server member");
+        assert!(
+            server.get("timeout_connections").and_then(Json::as_u64) >= Some(1),
+            "{health}"
+        );
+        handle.stop();
+        drop((client, raw));
+        join.join().expect("join").expect("run");
+    }
+
+    #[test]
+    fn enospc_degrades_the_daemon_to_read_only() {
+        use profstore::{FaultIo, FaultKind, FaultPlan};
+        let dir = temp_dir("readonly");
+        let (io, fault) = FaultIo::with_plan(FaultPlan::observe());
+        let store = ProfileStore::open_with_io(
+            &dir,
+            StoreConfig {
+                segment_max_bytes: 1 << 20,
+                sync_writes: false,
+            },
+            io,
+        )
+        .expect("open store");
+        let (handle, join) =
+            Server::spawn("127.0.0.1:0", store, ServeConfig::default()).expect("spawn");
+        let mut client = Client::connect(&handle.addr().to_string()).expect("connect");
+
+        // Baseline data while the disk is healthy.
+        let profile = sample_profile_text("readonly", 500);
+        client.ingest("fib", 2, Some(1), &profile).expect("ingest");
+
+        // The disk fills: the next ingest trips read-only mode.
+        fault.arm(FaultKind::Enospc);
+        match client.ingest("fib", 2, Some(2), &profile) {
+            Err(ClientError::Server { kind, .. }) => assert_eq!(kind, ErrorKind::ReadOnly),
+            other => panic!("expected read_only, got {other:?}"),
+        }
+        assert!(handle.read_only());
+
+        // Sticky until restart: even after space frees up, ingests are
+        // refused (an operator decision, not a silent flap) …
+        fault.disarm();
+        match client.ingest("fib", 2, Some(3), &profile) {
+            Err(ClientError::Server { kind, .. }) => assert_eq!(kind, ErrorKind::ReadOnly),
+            other => panic!("expected read_only, got {other:?}"),
+        }
+        // … but queries keep serving the intact data, and STATS says why.
+        let stats = client.query_stats("fib", 2).expect("query in read-only");
+        assert_eq!(stats.get("runs").and_then(Json::as_u64), Some(1));
+        let health = client.server_stats().expect("stats");
+        let server = health.get("server").expect("server member");
+        assert_eq!(server.get("read_only").and_then(Json::as_bool), Some(true));
+
+        handle.stop();
+        drop(client);
+        join.join().expect("join").expect("run");
+    }
+
+    #[test]
+    fn graceful_shutdown_answers_the_in_flight_request() {
+        let dir = temp_dir("drain");
+        let store = open_store(&dir);
+        let (handle, join) =
+            Server::spawn("127.0.0.1:0", store, ServeConfig::default()).expect("spawn");
+        let mut client = Client::connect(&handle.addr().to_string()).expect("connect");
+        client.server_stats().expect("stats before stop");
+
+        // Stop the daemon, then send one more request on the connection
+        // that was already open: draining must answer it before closing.
+        handle.stop();
+        let health = client.server_stats().expect("request drained across stop");
+        assert_eq!(health.get("ok").and_then(Json::as_bool), Some(true));
+        // After the drained reply the server closes the connection.
+        match client.server_stats() {
+            Err(_) => {}
+            Ok(v) => panic!("connection should be closed after drain, got {v}"),
+        }
+        drop(client);
         join.join().expect("join").expect("run");
     }
 }

@@ -14,7 +14,8 @@
 //!
 //! Every response is `{"ok":true,…}` or a typed error
 //! `{"ok":false,"error":{"kind":"<kind>","message":"…"}}` with kind one of
-//! `overloaded`, `bad_request`, `not_found`, `internal`. Profiles travel
+//! `overloaded`, `bad_request`, `not_found`, `internal`, `too_large`,
+//! `read_only`. Profiles travel
 //! as the text store format (`cube::write_profile`) inside a JSON string,
 //! so one wire format serves both humans and machines and the server
 //! re-uses the hardened text parser for validation.
@@ -34,6 +35,13 @@ pub enum ErrorKind {
     NotFound,
     /// The handler failed (including isolated panics).
     Internal,
+    /// The request line exceeded the configured size cap; the connection
+    /// is closed after this reply (there is no way to resync mid-line).
+    TooLarge,
+    /// The store hit `ENOSPC` and the daemon degraded to read-only:
+    /// queries still work, ingests are refused until an operator frees
+    /// disk space and restarts (or the store recovers).
+    ReadOnly,
 }
 
 impl ErrorKind {
@@ -44,6 +52,8 @@ impl ErrorKind {
             ErrorKind::BadRequest => "bad_request",
             ErrorKind::NotFound => "not_found",
             ErrorKind::Internal => "internal",
+            ErrorKind::TooLarge => "too_large",
+            ErrorKind::ReadOnly => "read_only",
         }
     }
 
@@ -54,6 +64,8 @@ impl ErrorKind {
             "bad_request" => ErrorKind::BadRequest,
             "not_found" => ErrorKind::NotFound,
             "internal" => ErrorKind::Internal,
+            "too_large" => ErrorKind::TooLarge,
+            "read_only" => ErrorKind::ReadOnly,
             _ => return None,
         })
     }
@@ -333,7 +345,7 @@ pub fn regress_line(verdict: &Regression) -> String {
 }
 
 /// Server-health response (`STATS`).
-pub fn server_stats_line(service: &ServiceSnapshot, store: &StoreStats) -> String {
+pub fn server_stats_line(service: &ServiceSnapshot, store: &StoreStats, read_only: bool) -> String {
     Json::obj(vec![
         ("ok", Json::Bool(true)),
         (
@@ -341,11 +353,13 @@ pub fn server_stats_line(service: &ServiceSnapshot, store: &StoreStats) -> Strin
             Json::obj(vec![
                 ("connections", Json::num(service.connections)),
                 ("shed_connections", Json::num(service.shed_connections)),
+                ("timeout_connections", Json::num(service.timeout_connections)),
                 ("ingests", Json::num(service.ingests)),
                 ("ingest_bytes", Json::num(service.ingest_bytes)),
                 ("queries", Json::num(service.queries)),
                 ("errors", Json::num(service.errors)),
                 ("panics", Json::num(service.panics)),
+                ("read_only", Json::Bool(read_only)),
             ]),
         ),
         (

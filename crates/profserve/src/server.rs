@@ -10,12 +10,31 @@
 //! path). Handler panics are caught per request (`catch_unwind`, the PR 1
 //! pattern), answered with a typed `internal` error, and counted; the
 //! connection — and the daemon — keep serving.
+//!
+//! Failure model (PR 6):
+//!
+//! * **Slow-loris defense** — every connection carries read/write
+//!   deadlines ([`ServeConfig::read_timeout`] / `write_timeout`); a peer
+//!   that trickles bytes (or goes silent mid-request) is dropped when the
+//!   deadline fires, counted in `timeout_connections`.
+//! * **Bounded request lines** — the line reader caps the buffer at
+//!   [`ServeConfig::max_request_bytes`]; an over-long line gets a typed
+//!   `too_large` error and the connection closes (there is no way to
+//!   resync inside an unterminated line), instead of growing a `Vec`
+//!   until OOM.
+//! * **Graceful shutdown** — after [`ServerHandle::stop`] every handler
+//!   finishes (and answers) the request it already received before
+//!   closing; the deadlines bound how long draining can take.
+//! * **Read-only degradation** — an `ENOSPC` from the store flips the
+//!   daemon into read-only mode: further ingests get a typed `read_only`
+//!   error, queries keep working, and `STATS` reports `"read_only":true`
+//!   so operators see the degradation instead of a crash loop.
 
 use crate::protocol::{
     error_line, ingest_line, regress_line, server_stats_line, stats_line, top_line, ErrorKind,
     Request,
 };
-use profstore::{ProfileStore, RegressConfig, RunSummary, StoreError};
+use profstore::{is_enospc, ProfileStore, RegressConfig, RunSummary, StoreError};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -34,6 +53,14 @@ pub struct ServeConfig {
     /// Fold closed segments into the aggregate cache at this interval
     /// (`None` disables background compaction).
     pub compact_interval: Option<Duration>,
+    /// Drop a connection whose next request does not arrive within this
+    /// deadline (`None` waits forever — the pre-hardening behavior).
+    pub read_timeout: Option<Duration>,
+    /// Deadline for writing one response line back to the peer.
+    pub write_timeout: Option<Duration>,
+    /// Reject request lines longer than this many bytes with a typed
+    /// `too_large` error (profiles travel inline, so the cap is generous).
+    pub max_request_bytes: usize,
 }
 
 impl Default for ServeConfig {
@@ -42,6 +69,9 @@ impl Default for ServeConfig {
             max_connections: 64,
             regress: RegressConfig::default(),
             compact_interval: Some(Duration::from_secs(2)),
+            read_timeout: Some(Duration::from_secs(10)),
+            write_timeout: Some(Duration::from_secs(10)),
+            max_request_bytes: 32 << 20,
         }
     }
 }
@@ -51,6 +81,9 @@ struct Shared {
     counters: Arc<ServiceCounters>,
     permits: AtomicUsize,
     stop: AtomicBool,
+    /// Set on the first `ENOSPC` from the store; ingests are refused
+    /// (typed `read_only`) until the daemon restarts with free disk.
+    read_only: AtomicBool,
     config: ServeConfig,
 }
 
@@ -73,13 +106,20 @@ impl ServerHandle {
     }
 
     /// Ask the accept loop to exit. Idempotent; returns once the flag is
-    /// set (the loop notices via a wake-up connection).
+    /// set (the loop notices via a wake-up connection). Handlers drain:
+    /// each finishes and answers the request it already received before
+    /// closing its connection.
     pub fn stop(&self) {
         if self.shared.stop.swap(true, Ordering::SeqCst) {
             return;
         }
         // Unblock the blocking accept with a throwaway connection.
         let _ = TcpStream::connect(self.addr);
+    }
+
+    /// True once an `ENOSPC` degraded the daemon to read-only mode.
+    pub fn read_only(&self) -> bool {
+        self.shared.read_only.load(Ordering::SeqCst)
     }
 }
 
@@ -100,6 +140,7 @@ impl Server {
             counters: ServiceCounters::new(),
             permits: AtomicUsize::new(config.max_connections),
             stop: AtomicBool::new(false),
+            read_only: AtomicBool::new(false),
             config,
         });
         Ok(Server { listener, shared })
@@ -204,22 +245,105 @@ impl Server {
     }
 }
 
+/// How one attempt to read a request line ended.
+enum LineOutcome {
+    /// A complete line (newline stripped).
+    Line(String),
+    /// Clean end of stream.
+    Eof,
+    /// The line exceeded the size cap before its newline arrived.
+    TooLarge,
+    /// The read deadline fired (slow or silent peer).
+    TimedOut,
+    /// Any other I/O failure.
+    Failed,
+}
+
+/// Read one `\n`-terminated line without ever buffering more than `max`
+/// bytes — the fix for the unbounded-growth path where a newline-less
+/// peer could balloon a `Vec` until OOM.
+fn read_bounded_line(reader: &mut BufReader<TcpStream>, max: usize) -> LineOutcome {
+    let mut line: Vec<u8> = Vec::new();
+    loop {
+        let chunk = match reader.fill_buf() {
+            Ok(c) => c,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                return LineOutcome::TimedOut
+            }
+            Err(_) => return LineOutcome::Failed,
+        };
+        if chunk.is_empty() {
+            // EOF. A final unterminated line is still a request (mirrors
+            // `BufRead::lines`), unless nothing arrived at all.
+            return if line.is_empty() {
+                LineOutcome::Eof
+            } else {
+                match String::from_utf8(std::mem::take(&mut line)) {
+                    Ok(s) => LineOutcome::Line(s),
+                    Err(_) => LineOutcome::Failed,
+                }
+            };
+        }
+        let newline = chunk.iter().position(|&b| b == b'\n');
+        let take = newline.map_or(chunk.len(), |i| i);
+        if line.len() + take > max {
+            return LineOutcome::TooLarge;
+        }
+        line.extend_from_slice(&chunk[..take]);
+        let consumed = newline.map_or(take, |i| i + 1);
+        reader.consume(consumed);
+        if newline.is_some() {
+            if line.last() == Some(&b'\r') {
+                line.pop();
+            }
+            return match String::from_utf8(line) {
+                Ok(s) => LineOutcome::Line(s),
+                Err(_) => LineOutcome::Failed,
+            };
+        }
+    }
+}
+
 fn serve_connection(shared: &Arc<Shared>, stream: TcpStream) {
     // Responses are one line each; without nodelay they sit behind the
     // peer's delayed ACK and cap the request/response rate at ~25/s.
     let _ = stream.set_nodelay(true);
+    // Per-connection deadlines: a peer that trickles bytes or never
+    // drains its receive buffer cannot pin this handler forever.
+    let _ = stream.set_read_timeout(shared.config.read_timeout);
+    let _ = stream.set_write_timeout(shared.config.write_timeout);
     let mut writer = match stream.try_clone() {
         Ok(w) => w,
         Err(_) => return,
     };
-    let reader = BufReader::new(stream);
-    for line in reader.lines() {
-        if shared.stop.load(Ordering::SeqCst) {
-            break;
-        }
-        let line = match line {
-            Ok(l) => l,
-            Err(_) => break,
+    let mut reader = BufReader::new(stream);
+    loop {
+        let line = match read_bounded_line(&mut reader, shared.config.max_request_bytes) {
+            LineOutcome::Line(l) => l,
+            LineOutcome::Eof | LineOutcome::Failed => break,
+            LineOutcome::TimedOut => {
+                // During a graceful shutdown an idle connection timing out
+                // is the drain completing, not a misbehaving peer.
+                if !shared.stop.load(Ordering::SeqCst) {
+                    shared.counters.timeout();
+                }
+                break;
+            }
+            LineOutcome::TooLarge => {
+                shared.counters.error();
+                let reply = error_line(
+                    ErrorKind::TooLarge,
+                    &format!(
+                        "request line exceeds {} bytes; connection closed",
+                        shared.config.max_request_bytes
+                    ),
+                );
+                let _ = writeln!(writer, "{reply}").and_then(|()| writer.flush());
+                break;
+            }
         };
         if line.trim().is_empty() {
             continue;
@@ -234,6 +358,11 @@ fn serve_connection(shared: &Arc<Shared>, stream: TcpStream) {
             }
         };
         if writeln!(writer, "{response}").and_then(|()| writer.flush()).is_err() {
+            break;
+        }
+        // Graceful drain: the request in flight was answered; only now
+        // does a shutdown close the connection.
+        if shared.stop.load(Ordering::SeqCst) {
             break;
         }
     }
@@ -300,12 +429,30 @@ fn handle_request(shared: &Arc<Shared>, line: &str) -> String {
                     return error_line(ErrorKind::BadRequest, &format!("profile: {e}"));
                 }
             };
+            if shared.read_only.load(Ordering::SeqCst) {
+                shared.counters.error();
+                return error_line(
+                    ErrorKind::ReadOnly,
+                    "store degraded to read-only after ENOSPC; ingests refused",
+                );
+            }
             let timestamp = timestamp_ns.unwrap_or_else(now_ns);
             let mut store = shared.store.write().expect("store lock");
             match store.ingest(&benchmark, threads, timestamp, &profile) {
                 Ok(receipt) => {
                     shared.counters.ingest(receipt.bytes);
                     ingest_line(receipt.run_id, receipt.bytes, receipt.segment)
+                }
+                Err(StoreError::Io(e)) if is_enospc(&e) => {
+                    // The disk is full: degrade loudly to read-only rather
+                    // than answering `internal` forever. Queries keep
+                    // working off the intact prefix of the log.
+                    shared.read_only.store(true, Ordering::SeqCst);
+                    shared.counters.error();
+                    error_line(
+                        ErrorKind::ReadOnly,
+                        "disk full (ENOSPC): store degraded to read-only",
+                    )
                 }
                 Err(e) => {
                     shared.counters.error();
@@ -363,7 +510,11 @@ fn handle_request(shared: &Arc<Shared>, line: &str) -> String {
         Request::Stats => {
             shared.counters.query();
             let store = shared.store.read().expect("store lock");
-            server_stats_line(&shared.counters.snapshot(), &store.stats())
+            server_stats_line(
+                &shared.counters.snapshot(),
+                &store.stats(),
+                shared.read_only.load(Ordering::SeqCst),
+            )
         }
     }
 }

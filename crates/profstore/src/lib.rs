@@ -22,6 +22,13 @@
 //!   the paper's per-construct metrics over runs (reusing `cube::agg`
 //!   for the structural tree merge), plus the regression check a serving
 //!   daemon runs against a freshly ingested profile.
+//! * [`io`] — the injectable I/O seam: every file operation goes through
+//!   a [`StoreIo`] handle ([`RealIo`] in production, a zero-cost
+//!   passthrough), so [`FaultIo`] can deterministically inject short
+//!   writes, `ENOSPC`, `EIO`, and crash-at-point torn frames from a
+//!   splitmix64-seeded [`FaultPlan`]. The torture tests crash the store
+//!   at *every* mutating operation and prove recovery never loses or
+//!   duplicates an acknowledged run.
 //!
 //! Durability contract: a record is either fully on disk (length,
 //! payload, CRC all intact) or it is dropped at the next
@@ -40,12 +47,16 @@
 pub mod agg;
 pub mod codec;
 pub mod crc;
+pub mod io;
 pub mod merge;
 pub mod segment;
 mod store;
 
 pub use agg::{BenchAgg, MetricAgg, RegressConfig, Regression, RegressionFinding, RunSummary};
 pub use codec::{decode_meta, decode_record, encode_record, CodecError, RunMeta, CODEC_VERSION};
+pub use io::{
+    is_enospc, FaultHandle, FaultIo, FaultKind, FaultMode, FaultPlan, RealIo, StoreFile, StoreIo,
+};
 pub use merge::KWayMerge;
 pub use segment::{SegmentReader, SegmentWriter, RECORD_HEADER_BYTES, SEGMENT_MAGIC};
 pub use store::{IndexEntry, IngestReceipt, ProfileStore, StoreConfig, StoreError, StoreStats};

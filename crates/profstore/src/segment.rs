@@ -10,14 +10,16 @@
 //! The payload starts with the codec version byte (see [`crate::codec`]).
 //! Appends go through a [`SegmentWriter`] that flushes the full frame per
 //! record, so after a crash the file is a valid prefix plus at most one
-//! torn frame. [`SegmentReader::recover`] scans a file, validates every
-//! frame, and reports where the valid prefix ends so the store can
-//! truncate the tail on open.
+//! torn frame. [`SegmentReader::scan`] validates every frame and reports
+//! where the valid prefix ends so the store can truncate the tail on open.
+//!
+//! Every file operation goes through a [`StoreIo`] handle so the fault
+//! injector ([`crate::FaultIo`]) can tear or fail any of them; production
+//! passes [`crate::RealIo`](crate::RealIo).
 
 use crate::codec::MAX_RECORD_BYTES;
 use crate::crc::crc32;
-use std::fs::{File, OpenOptions};
-use std::io::{Read, Seek, SeekFrom, Write};
+use crate::io::{StoreFile, StoreIo};
 use std::path::{Path, PathBuf};
 
 /// First 8 bytes of every segment file.
@@ -76,10 +78,8 @@ impl SegmentReader {
     /// A file shorter than the magic, or with a wrong magic, is reported
     /// as `valid_len == 0` with a tail defect, letting the caller decide
     /// whether that is recoverable (an empty just-created file) or fatal.
-    pub fn scan(path: &Path) -> std::io::Result<SegmentScan> {
-        let mut file = File::open(path)?;
-        let mut data = Vec::new();
-        file.read_to_end(&mut data)?;
+    pub fn scan(io: &dyn StoreIo, path: &Path) -> std::io::Result<SegmentScan> {
+        let data = io.read_all(path)?;
         if data.len() < SEGMENT_MAGIC.len() || &data[..SEGMENT_MAGIC.len()] != SEGMENT_MAGIC {
             return Ok(SegmentScan {
                 records: Vec::new(),
@@ -126,44 +126,40 @@ impl SegmentReader {
     }
 
     /// Read the single record at `offset` (as recorded in a store index).
-    pub fn read_at(path: &Path, offset: u64) -> std::io::Result<Option<Vec<u8>>> {
-        let mut file = File::open(path)?;
-        file.seek(SeekFrom::Start(offset))?;
-        let mut lenbuf = [0u8; 4];
-        if file.read_exact(&mut lenbuf).is_err() {
+    pub fn read_at(io: &dyn StoreIo, path: &Path, offset: u64) -> std::io::Result<Option<Vec<u8>>> {
+        let lenbuf = io.read_range(path, offset, 4)?;
+        if lenbuf.len() < 4 {
             return Ok(None);
         }
-        let len = u32::from_le_bytes(lenbuf) as usize;
+        let len = u32::from_le_bytes(lenbuf[..4].try_into().expect("4 bytes")) as usize;
         if len as u64 > MAX_RECORD_BYTES as u64 {
             return Ok(None);
         }
-        let mut payload = vec![0u8; len];
-        if file.read_exact(&mut payload).is_err() {
+        let body = io.read_range(path, offset + 4, len + 4)?;
+        if body.len() < len + 4 {
             return Ok(None);
         }
-        let mut crcbuf = [0u8; 4];
-        if file.read_exact(&mut crcbuf).is_err() {
+        let payload = &body[..len];
+        let stored_crc = u32::from_le_bytes(body[len..len + 4].try_into().expect("4 bytes"));
+        if crc32(payload) != stored_crc {
             return Ok(None);
         }
-        if crc32(&payload) != u32::from_le_bytes(crcbuf) {
-            return Ok(None);
-        }
-        Ok(Some(payload))
+        Ok(Some(payload.to_vec()))
     }
 }
 
 /// Appender for the active segment.
 pub struct SegmentWriter {
     path: PathBuf,
-    file: File,
+    file: Box<dyn StoreFile>,
     len: u64,
     sync: bool,
 }
 
 impl SegmentWriter {
     /// Create a fresh segment (fails if `path` exists).
-    pub fn create(path: &Path, sync: bool) -> std::io::Result<Self> {
-        let mut file = OpenOptions::new().write(true).create_new(true).open(path)?;
+    pub fn create(io: &dyn StoreIo, path: &Path, sync: bool) -> std::io::Result<Self> {
+        let mut file = io.create_new(path)?;
         file.write_all(SEGMENT_MAGIC)?;
         file.flush()?;
         if sync {
@@ -186,17 +182,22 @@ impl SegmentWriter {
     /// appends resume into a well-formed segment. Without this, every
     /// record appended after recovery would sit behind a bad header and be
     /// discarded wholesale by the next scan.
-    pub fn recover(path: &Path, valid_len: u64, sync: bool) -> std::io::Result<Self> {
-        let mut file = OpenOptions::new().read(true).write(true).open(path)?;
+    pub fn recover(
+        io: &dyn StoreIo,
+        path: &Path,
+        valid_len: u64,
+        sync: bool,
+    ) -> std::io::Result<Self> {
+        let mut file = io.open_rw(path)?;
         let len = if valid_len < SEGMENT_MAGIC.len() as u64 {
             file.set_len(0)?;
-            file.seek(SeekFrom::Start(0))?;
+            file.seek_to(0)?;
             file.write_all(SEGMENT_MAGIC)?;
             file.flush()?;
             SEGMENT_MAGIC.len() as u64
         } else {
             file.set_len(valid_len)?;
-            file.seek(SeekFrom::End(0))?;
+            file.seek_to(valid_len)?;
             valid_len
         };
         if sync {
@@ -211,16 +212,33 @@ impl SegmentWriter {
     }
 
     /// Append one framed record; returns the frame's byte offset.
+    ///
+    /// On failure the writer repairs itself best-effort: the file is
+    /// truncated back to the last good frame and the cursor reseated, so
+    /// a transient error (`ENOSPC` while the disk fills, `EIO` on one
+    /// sector) leaves a well-formed log and the *next* append can
+    /// succeed. If the repair itself fails (the process is "dead" in a
+    /// crash simulation, or the device is gone) the partial frame stays
+    /// behind as a torn tail — exactly what scan-and-truncate recovery on
+    /// the next open handles.
     pub fn append(&mut self, payload: &[u8]) -> std::io::Result<u64> {
         let offset = self.len;
         let mut frame = Vec::with_capacity(payload.len() + 8);
         frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
         frame.extend_from_slice(payload);
         frame.extend_from_slice(&crc32(payload).to_le_bytes());
-        self.file.write_all(&frame)?;
-        self.file.flush()?;
-        if self.sync {
-            self.file.sync_data()?;
+        let result = (|| {
+            self.file.write_all(&frame)?;
+            self.file.flush()?;
+            if self.sync {
+                self.file.sync_data()?;
+            }
+            Ok(())
+        })();
+        if let Err(e) = result {
+            let _ = self.file.set_len(self.len);
+            let _ = self.file.seek_to(self.len);
+            return Err(e);
         }
         self.len += frame.len() as u64;
         Ok(offset)
@@ -245,6 +263,7 @@ impl SegmentWriter {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::io::{FaultIo, FaultKind, FaultPlan, RealIo};
 
     fn tmpdir(tag: &str) -> PathBuf {
         let dir = std::env::temp_dir().join(format!(
@@ -261,18 +280,19 @@ mod tests {
     fn append_scan_round_trip() {
         let dir = tmpdir("rt");
         let path = dir.join("seg-000001.log");
-        let mut w = SegmentWriter::create(&path, false).expect("create");
+        let io = RealIo;
+        let mut w = SegmentWriter::create(&io, &path, false).expect("create");
         let a = w.append(b"first record").expect("append");
         let b = w.append(b"second, longer record payload").expect("append");
         assert!(b > a);
-        let scan = SegmentReader::scan(&path).expect("scan");
+        let scan = SegmentReader::scan(&io, &path).expect("scan");
         assert_eq!(scan.tail_defect, None);
         assert_eq!(scan.records.len(), 2);
         assert_eq!(scan.records[0].payload, b"first record");
         assert_eq!(scan.records[1].payload, b"second, longer record payload");
         assert_eq!(scan.valid_len, w.len());
         assert_eq!(
-            SegmentReader::read_at(&path, b).expect("read_at"),
+            SegmentReader::read_at(&io, &path, b).expect("read_at"),
             Some(b"second, longer record payload".to_vec())
         );
         let _ = std::fs::remove_dir_all(&dir);
@@ -282,7 +302,8 @@ mod tests {
     fn torn_tail_is_detected_and_truncated() {
         let dir = tmpdir("torn");
         let path = dir.join("seg-000001.log");
-        let mut w = SegmentWriter::create(&path, false).expect("create");
+        let io = RealIo;
+        let mut w = SegmentWriter::create(&io, &path, false).expect("create");
         w.append(b"kept").expect("append");
         let good_len = w.len();
         w.append(b"lost to the crash").expect("append");
@@ -290,14 +311,14 @@ mod tests {
         // Simulate a crash mid-append: cut the file inside the last frame.
         let full = std::fs::read(&path).expect("read");
         std::fs::write(&path, &full[..full.len() - 5]).expect("write");
-        let scan = SegmentReader::scan(&path).expect("scan");
+        let scan = SegmentReader::scan(&io, &path).expect("scan");
         assert_eq!(scan.tail_defect, Some(TailDefect::TornFrame));
         assert_eq!(scan.records.len(), 1);
         assert_eq!(scan.valid_len, good_len);
         // Recovery truncates and appends continue cleanly.
-        let mut w = SegmentWriter::recover(&path, scan.valid_len, false).expect("recover");
+        let mut w = SegmentWriter::recover(&io, &path, scan.valid_len, false).expect("recover");
         w.append(b"after recovery").expect("append");
-        let scan = SegmentReader::scan(&path).expect("scan");
+        let scan = SegmentReader::scan(&io, &path).expect("scan");
         assert_eq!(scan.tail_defect, None);
         assert_eq!(scan.records.len(), 2);
         assert_eq!(scan.records[1].payload, b"after recovery");
@@ -308,23 +329,24 @@ mod tests {
     fn recovery_at_zero_rewrites_the_magic_header() {
         let dir = tmpdir("zero");
         let path = dir.join("seg-000001.log");
+        let io = RealIo;
         // A crash between create_new and the magic write leaves an empty
         // (or partial-header) file; its scan reports valid_len == 0.
         std::fs::write(&path, b"pro").expect("write partial header");
-        let scan = SegmentReader::scan(&path).expect("scan");
+        let scan = SegmentReader::scan(&io, &path).expect("scan");
         assert_eq!(scan.valid_len, 0);
-        let mut w = SegmentWriter::recover(&path, scan.valid_len, false).expect("recover");
+        let mut w = SegmentWriter::recover(&io, &path, scan.valid_len, false).expect("recover");
         let off = w.append(b"post-recovery record").expect("append");
         drop(w);
         // The segment is well-formed again: the magic is back and the
         // appended record survives the next scan instead of being
         // discarded behind a bad header.
-        let scan = SegmentReader::scan(&path).expect("rescan");
+        let scan = SegmentReader::scan(&io, &path).expect("rescan");
         assert_eq!(scan.tail_defect, None);
         assert_eq!(scan.records.len(), 1);
         assert_eq!(scan.records[0].payload, b"post-recovery record");
         assert_eq!(
-            SegmentReader::read_at(&path, off).expect("read_at"),
+            SegmentReader::read_at(&io, &path, off).expect("read_at"),
             Some(b"post-recovery record".to_vec())
         );
         let _ = std::fs::remove_dir_all(&dir);
@@ -334,17 +356,42 @@ mod tests {
     fn corrupted_payload_fails_crc() {
         let dir = tmpdir("crc");
         let path = dir.join("seg-000001.log");
-        let mut w = SegmentWriter::create(&path, false).expect("create");
+        let io = RealIo;
+        let mut w = SegmentWriter::create(&io, &path, false).expect("create");
         let off = w.append(b"pristine payload bytes").expect("append");
         drop(w);
         let mut data = std::fs::read(&path).expect("read");
         let idx = off as usize + 4 + 3; // a byte inside the payload
         data[idx] ^= 0x40;
         std::fs::write(&path, &data).expect("write");
-        let scan = SegmentReader::scan(&path).expect("scan");
+        let scan = SegmentReader::scan(&io, &path).expect("scan");
         assert_eq!(scan.tail_defect, Some(TailDefect::CrcMismatch));
         assert!(scan.records.is_empty());
-        assert_eq!(SegmentReader::read_at(&path, off).expect("read_at"), None);
+        assert_eq!(SegmentReader::read_at(&io, &path, off).expect("read_at"), None);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn failed_append_repairs_the_tail_and_the_next_append_succeeds() {
+        let dir = tmpdir("repair");
+        let path = dir.join("seg-000001.log");
+        // Ops: 0 create_new, 1 magic write, 2 good append, 3 torn append.
+        let (io, _handle) = FaultIo::with_plan(FaultPlan::fail_at(11, 3, FaultKind::Enospc));
+        let mut w = SegmentWriter::create(&*io, &path, false).expect("create");
+        let a = w.append(b"survives").expect("append");
+        let err = w.append(b"hits the full disk").expect_err("injected enospc");
+        assert!(crate::io::is_enospc(&err), "{err}");
+        // The repair truncated the torn prefix: the file is well-formed
+        // and the next append lands cleanly at the same offset.
+        let b = w.append(b"after the disk recovered").expect("append");
+        assert_eq!(w.len(), b + 24 + RECORD_HEADER_BYTES);
+        drop(w);
+        let scan = SegmentReader::scan(&RealIo, &path).expect("scan");
+        assert_eq!(scan.tail_defect, None, "repair left no torn tail");
+        assert_eq!(scan.records.len(), 2);
+        assert_eq!(scan.records[0].payload, b"survives");
+        assert_eq!(scan.records[0].offset, a);
+        assert_eq!(scan.records[1].payload, b"after the disk recovered");
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

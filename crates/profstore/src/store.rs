@@ -2,10 +2,12 @@
 
 use crate::agg::BenchAgg;
 use crate::codec::{decode_meta, decode_record, encode_record, CodecError, RunMeta};
+use crate::io::{RealIo, StoreIo};
 use crate::merge::KWayMerge;
 use crate::segment::{SegmentReader, SegmentWriter, RECORD_HEADER_BYTES};
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 use taskprof::Profile;
 
 /// Repository tunables.
@@ -157,6 +159,7 @@ fn parse_segment_name(name: &str) -> Option<u64> {
 pub struct ProfileStore {
     dir: PathBuf,
     config: StoreConfig,
+    io: Arc<dyn StoreIo>,
     writer: SegmentWriter,
     active_segment: u64,
     index: Vec<IndexEntry>,
@@ -196,7 +199,22 @@ impl ProfileStore {
     /// the same directory — from this process or another — fails with
     /// [`StoreError::Locked`] instead of corrupting the active segment.
     pub fn open_with(dir: &Path, config: StoreConfig) -> Result<Self, StoreError> {
-        std::fs::create_dir_all(dir)?;
+        Self::open_with_io(dir, config, RealIo::handle())
+    }
+
+    /// Open with an explicit [`StoreIo`] implementation — the seam the
+    /// fault-injection tests use ([`crate::FaultIo`]); production goes
+    /// through [`ProfileStore::open_with`], which passes the passthrough
+    /// [`RealIo`]. The advisory `LOCK` file stays on real `std::fs`
+    /// either way: it is liveness metadata, not durable state, and a
+    /// simulated crash must still release it the way a real process death
+    /// would.
+    pub fn open_with_io(
+        dir: &Path,
+        config: StoreConfig,
+        io: Arc<dyn StoreIo>,
+    ) -> Result<Self, StoreError> {
+        io.create_dir_all(dir)?;
         let lock = std::fs::OpenOptions::new()
             .create(true)
             .truncate(false)
@@ -211,9 +229,10 @@ impl ProfileStore {
             }
             Err(std::fs::TryLockError::Error(e)) => return Err(StoreError::Io(e)),
         }
-        let mut numbers: Vec<u64> = std::fs::read_dir(dir)?
-            .filter_map(|e| e.ok())
-            .filter_map(|e| parse_segment_name(&e.file_name().to_string_lossy()))
+        let mut numbers: Vec<u64> = io
+            .list_dir(dir)?
+            .iter()
+            .filter_map(|name| parse_segment_name(name))
             .collect();
         numbers.sort_unstable();
 
@@ -223,7 +242,7 @@ impl ProfileStore {
         for (i, &n) in numbers.iter().enumerate() {
             let is_last = i + 1 == numbers.len();
             let path = dir.join(segment_name(n));
-            let scan = SegmentReader::scan(&path)?;
+            let scan = SegmentReader::scan(&*io, &path)?;
             if let Some(defect) = &scan.tail_defect {
                 if !is_last {
                     return Err(StoreError::Corrupt {
@@ -231,7 +250,7 @@ impl ProfileStore {
                         detail: defect.to_string(),
                     });
                 }
-                let file_len = std::fs::metadata(&path)?.len();
+                let file_len = io.file_len(&path)?;
                 recovered_tail_bytes = file_len.saturating_sub(scan.valid_len);
             }
             for rec in &scan.records {
@@ -263,14 +282,14 @@ impl ProfileStore {
         let (writer, active_segment) = match numbers.last() {
             Some(&last) => {
                 let path = dir.join(segment_name(last));
-                let scan = SegmentReader::scan(&path)?;
+                let scan = SegmentReader::scan(&*io, &path)?;
                 (
-                    SegmentWriter::recover(&path, scan.valid_len, config.sync_writes)?,
+                    SegmentWriter::recover(&*io, &path, scan.valid_len, config.sync_writes)?,
                     last,
                 )
             }
             None => (
-                SegmentWriter::create(&dir.join(segment_name(1)), config.sync_writes)?,
+                SegmentWriter::create(&*io, &dir.join(segment_name(1)), config.sync_writes)?,
                 1,
             ),
         };
@@ -278,6 +297,7 @@ impl ProfileStore {
         Ok(Self {
             dir: dir.to_path_buf(),
             config,
+            io,
             writer,
             active_segment,
             index,
@@ -335,6 +355,7 @@ impl ProfileStore {
     fn rotate(&mut self) -> Result<(), StoreError> {
         let next = self.active_segment + 1;
         self.writer = SegmentWriter::create(
+            &*self.io,
             &self.dir.join(segment_name(next)),
             self.config.sync_writes,
         )?;
@@ -369,7 +390,7 @@ impl ProfileStore {
 
     fn load_entry(&self, entry: &IndexEntry) -> Result<(RunMeta, Profile), StoreError> {
         let path = self.dir.join(segment_name(entry.segment));
-        let payload = SegmentReader::read_at(&path, entry.offset)?.ok_or_else(|| {
+        let payload = SegmentReader::read_at(&*self.io, &path, entry.offset)?.ok_or_else(|| {
             StoreError::Corrupt {
                 segment: segment_name(entry.segment),
                 detail: format!("indexed record at offset {} unreadable", entry.offset),

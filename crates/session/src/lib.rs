@@ -34,7 +34,7 @@ use pomp::{
     ClockSource, CountingMonitor, Diagnostic, EventCounts, FilteredMonitor, Monitor,
     MonotonicClock, RegionFilter, ValidatingMonitor,
 };
-use std::path::{Path, PathBuf};
+use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use taskprof::{
@@ -184,137 +184,14 @@ impl SessionTelemetry {
     }
 }
 
-/// Where a finished session's profile is exported on
-/// [`MeasurementSession::finish`].
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub enum ExportTarget {
-    /// Append directly into a `profstore` segment directory (opened — or
-    /// created — on export).
-    Directory(PathBuf),
-    /// Ingest over TCP into a running `profserve` daemon at this address.
-    Server(String),
-}
+pub mod export;
 
-/// Syntactic `host:port` check for the server/directory decision. A
-/// plain `SocketAddr` parse is not enough: hostnames (`localhost:7979`)
-/// never parse as socket addresses even though [`profserve::Client`]
-/// resolves them fine via `ToSocketAddrs` — routing them to a directory
-/// would silently create a local store literally named `localhost:7979`.
-fn looks_like_host_port(s: &str) -> bool {
-    if s.parse::<std::net::SocketAddr>().is_ok() {
-        return true;
-    }
-    if s.contains('/') || s.contains('\\') {
-        return false;
-    }
-    match s.rsplit_once(':') {
-        Some((host, port)) => {
-            !host.is_empty() && !host.contains(':') && port.parse::<u16>().is_ok()
-        }
-        None => false,
-    }
-}
+pub use export::{
+    drain_spool, spool_profile, DrainReport, ExportError, ExportPolicy, ExportReceipt,
+    ExportTarget,
+};
 
-impl From<&str> for ExportTarget {
-    /// Anything shaped like `host:port` (socket address or resolvable
-    /// hostname, no path separators) exports to a server; anything else
-    /// is treated as a store directory. For a directory whose name
-    /// happens to look like `host:port`, pick
-    /// [`ExportTarget::Directory`] explicitly.
-    fn from(s: &str) -> Self {
-        if looks_like_host_port(s) {
-            ExportTarget::Server(s.to_string())
-        } else {
-            ExportTarget::Directory(PathBuf::from(s))
-        }
-    }
-}
-
-impl From<PathBuf> for ExportTarget {
-    fn from(p: PathBuf) -> Self {
-        ExportTarget::Directory(p)
-    }
-}
-
-impl From<&Path> for ExportTarget {
-    fn from(p: &Path) -> Self {
-        ExportTarget::Directory(p.to_path_buf())
-    }
-}
-
-/// Why an export failed (the measurement itself is unaffected — the
-/// profile is still in the report).
-#[derive(Debug)]
-pub enum ExportError {
-    /// Writing into a local store directory failed.
-    Store(profstore::StoreError),
-    /// Talking to a `profserve` daemon failed.
-    Client(profserve::ClientError),
-}
-
-impl std::fmt::Display for ExportError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            ExportError::Store(e) => write!(f, "store export: {e}"),
-            ExportError::Client(e) => write!(f, "server export: {e}"),
-        }
-    }
-}
-
-impl std::error::Error for ExportError {}
-
-/// Acknowledgement of one successful export.
-#[derive(Clone, Debug)]
-pub struct ExportReceipt {
-    /// Run id the repository assigned.
-    pub run_id: u64,
-    /// Encoded record size in bytes.
-    pub bytes: u64,
-    /// Where the profile went.
-    pub target: ExportTarget,
-}
-
-#[derive(Clone, Debug)]
-struct ExportPlan {
-    target: ExportTarget,
-    benchmark: String,
-    threads: u32,
-}
-
-fn wall_clock_ns() -> u64 {
-    std::time::SystemTime::now()
-        .duration_since(std::time::UNIX_EPOCH)
-        .map(|d| d.as_nanos() as u64)
-        .unwrap_or(0)
-}
-
-fn export_profile(plan: &ExportPlan, profile: &Profile) -> Result<ExportReceipt, ExportError> {
-    match &plan.target {
-        ExportTarget::Directory(dir) => {
-            let mut store = profstore::ProfileStore::open(dir).map_err(ExportError::Store)?;
-            let receipt = store
-                .ingest(&plan.benchmark, plan.threads, wall_clock_ns(), profile)
-                .map_err(ExportError::Store)?;
-            Ok(ExportReceipt {
-                run_id: receipt.run_id,
-                bytes: receipt.bytes,
-                target: plan.target.clone(),
-            })
-        }
-        ExportTarget::Server(addr) => {
-            let mut client = profserve::Client::connect(addr).map_err(ExportError::Client)?;
-            let text = cube::write_profile(profile);
-            let ack = client
-                .ingest(&plan.benchmark, plan.threads, None, &text)
-                .map_err(ExportError::Client)?;
-            Ok(ExportReceipt {
-                run_id: ack.run_id,
-                bytes: ack.bytes,
-                target: plan.target.clone(),
-            })
-        }
-    }
-}
+use export::{export_profile, ExportPlan};
 
 /// Everything a finished session measured.
 #[derive(Debug)]
@@ -386,6 +263,7 @@ pub struct SessionBuilder<C: ClockSource = MonotonicClock> {
     prof: ProfMonitorBuilder<C>,
     policy: Option<Arc<dyn taskrt::SchedulePolicy>>,
     export: Option<ExportTarget>,
+    export_policy: ExportPolicy,
 }
 
 impl SessionBuilder<MonotonicClock> {
@@ -397,6 +275,7 @@ impl SessionBuilder<MonotonicClock> {
             prof: ProfMonitorBuilder::new(),
             policy: None,
             export: None,
+            export_policy: ExportPolicy::default(),
         }
     }
 }
@@ -424,6 +303,7 @@ impl<C: ClockSource + 'static> SessionBuilder<C> {
             prof: self.prof.clock(clock),
             policy: self.policy,
             export: self.export,
+            export_policy: self.export_policy,
         }
     }
 
@@ -498,6 +378,31 @@ impl<C: ClockSource + 'static> SessionBuilder<C> {
         self
     }
 
+    /// Replace the whole server-export [`ExportPolicy`] (deadlines,
+    /// retry shape, spool fallback). Only affects
+    /// [`ExportTarget::Server`]; directory exports are local appends.
+    pub fn export_policy(mut self, policy: ExportPolicy) -> Self {
+        self.export_policy = policy;
+        self
+    }
+
+    /// Total wall-clock budget for the server export on `finish()`
+    /// (connects, sends, retries, and backoff sleeps all included).
+    pub fn export_deadline(mut self, deadline: Duration) -> Self {
+        self.export_policy.deadline = deadline;
+        self
+    }
+
+    /// Degrade to a local spool directory when the daemon stays
+    /// unreachable past the export deadline: the profile lands in `dir`
+    /// as a CRC-framed file instead of being dropped, and is delivered
+    /// on the next successful export ([`drain_spool`] on success) or by
+    /// `taskprof-cli drain`.
+    pub fn export_spool(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.export_policy.spool_dir = Some(dir.into());
+        self
+    }
+
     /// Validate the configuration and assemble the session.
     pub fn build(self) -> Result<MeasurementSession<ProfMonitor<C>>, ConfigError> {
         let mut team = Team::new(self.threads);
@@ -511,6 +416,7 @@ impl<C: ClockSource + 'static> SessionBuilder<C> {
             target,
             benchmark: self.name.clone(),
             threads: self.threads as u32,
+            policy: self.export_policy.clone(),
         });
         Ok(MeasurementSession {
             team,
@@ -850,8 +756,10 @@ mod tests {
                 .export
                 .expect("export configured")
                 .expect("export succeeds");
-            assert_eq!(receipt.run_id, expected_run);
+            assert_eq!(receipt.run_id, Some(expected_run));
             assert!(receipt.bytes > 0);
+            assert!(!receipt.spooled);
+            assert_eq!(receipt.attempts, 1);
         }
         let store = profstore::ProfileStore::open(&dir).expect("reopen");
         assert_eq!(store.stats().runs, 2);
@@ -886,7 +794,10 @@ mod tests {
             .expect("export configured")
             .expect("export succeeds");
         assert!(matches!(receipt.target, ExportTarget::Server(_)));
-        assert_eq!(receipt.run_id, 1);
+        assert_eq!(receipt.run_id, Some(1));
+        assert_eq!(receipt.attempts, 1);
+        assert!(!receipt.spooled);
+        assert_eq!(receipt.drained, 0);
 
         handle.stop();
         join.join().expect("join").expect("run");

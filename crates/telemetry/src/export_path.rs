@@ -1,0 +1,164 @@
+//! Counters for the *client-side* resilient export path: retries against
+//! an unreachable daemon, profiles degraded to the local spool, and
+//! spooled profiles later drained to the server.
+//!
+//! These are process-global (one export pipeline per process, shared by
+//! every `MeasurementSession` and the CLI's `drain` command) and follow
+//! the same relaxed-atomic discipline as [`crate::service`]: the export
+//! path is milliseconds-scale, so plain atomics are free.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Lock-free totals for the resilient export pipeline.
+#[derive(Debug, Default)]
+pub struct ExportCounters {
+    /// Delivery attempts beyond the first (i.e. retries after a
+    /// connect/send failure).
+    pub retries: AtomicU64,
+    /// Profiles written to the local spool because the daemon stayed
+    /// unreachable within the export deadline.
+    pub spooled: AtomicU64,
+    /// Spooled profiles later delivered to the daemon (by
+    /// drain-on-next-success or `taskprof-cli drain`).
+    pub drained: AtomicU64,
+}
+
+/// Point-in-time copy of [`ExportCounters`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ExportSnapshot {
+    /// Retry attempts.
+    pub retries: u64,
+    /// Profiles spooled.
+    pub spooled: u64,
+    /// Spooled profiles drained.
+    pub drained: u64,
+}
+
+impl ExportCounters {
+    /// Count `n` retry attempts.
+    pub fn retry(&self, n: u64) {
+        self.retries.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Count one profile spooled locally.
+    pub fn spool(&self) {
+        self.spooled.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count `n` spooled profiles drained to the daemon.
+    pub fn drain(&self, n: u64) {
+        self.drained.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Copy of the totals.
+    pub fn snapshot(&self) -> ExportSnapshot {
+        ExportSnapshot {
+            retries: self.retries.load(Ordering::Relaxed),
+            spooled: self.spooled.load(Ordering::Relaxed),
+            drained: self.drained.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// The process-global export counters.
+pub fn export_counters() -> &'static ExportCounters {
+    static GLOBAL: ExportCounters = ExportCounters {
+        retries: AtomicU64::new(0),
+        spooled: AtomicU64::new(0),
+        drained: AtomicU64::new(0),
+    };
+    &GLOBAL
+}
+
+/// Render an export snapshot in the Prometheus text exposition format
+/// (`taskprof_export_*` namespace).
+pub fn export_to_prometheus(s: &ExportSnapshot) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let mut metric = |name: &str, help: &str, value: u64| {
+        let _ = writeln!(out, "# HELP {name} {help}");
+        let _ = writeln!(out, "# TYPE {name} counter");
+        let _ = writeln!(out, "{name} {value}");
+    };
+    metric(
+        "taskprof_export_retries_total",
+        "Export delivery retries after a connect/send failure.",
+        s.retries,
+    );
+    metric(
+        "taskprof_export_spooled_total",
+        "Profiles degraded to the local spool.",
+        s.spooled,
+    );
+    metric(
+        "taskprof_export_drained_total",
+        "Spooled profiles later delivered to the daemon.",
+        s.drained,
+    );
+    out
+}
+
+/// Render an export snapshot as one JSON-lines record (same style as the
+/// measurement-path JSONL exporter).
+pub fn export_to_jsonl_line(s: &ExportSnapshot) -> String {
+    format!(
+        "{{\"export_retries\":{},\"export_spooled\":{},\"export_drained\":{}}}",
+        s.retries, s.spooled, s.drained
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let c = ExportCounters::default();
+        c.retry(2);
+        c.retry(1);
+        c.spool();
+        c.drain(3);
+        let s = c.snapshot();
+        assert_eq!(s.retries, 3);
+        assert_eq!(s.spooled, 1);
+        assert_eq!(s.drained, 3);
+    }
+
+    #[test]
+    fn prometheus_export_parses_back() {
+        let c = ExportCounters::default();
+        c.retry(4);
+        c.spool();
+        c.spool();
+        let text = export_to_prometheus(&c.snapshot());
+        let samples = crate::export::parse_prometheus(&text).expect("parse");
+        let get = |name: &str| {
+            samples
+                .iter()
+                .find(|s| s.name == name)
+                .unwrap_or_else(|| panic!("{name} missing"))
+                .value
+        };
+        assert_eq!(get("taskprof_export_retries_total") as u64, 4);
+        assert_eq!(get("taskprof_export_spooled_total") as u64, 2);
+        assert_eq!(get("taskprof_export_drained_total") as u64, 0);
+    }
+
+    #[test]
+    fn jsonl_line_is_one_object() {
+        let line = export_to_jsonl_line(&ExportSnapshot {
+            retries: 1,
+            spooled: 2,
+            drained: 3,
+        });
+        assert!(!line.contains('\n'));
+        assert!(line.contains("\"export_spooled\":2"), "{line}");
+    }
+
+    #[test]
+    fn global_counters_are_shared() {
+        let before = export_counters().snapshot().drained;
+        export_counters().drain(1);
+        assert_eq!(export_counters().snapshot().drained, before + 1);
+    }
+}

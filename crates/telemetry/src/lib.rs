@@ -30,6 +30,7 @@
 
 pub mod counters;
 pub mod export;
+pub mod export_path;
 pub mod sampler;
 pub mod service;
 pub mod snapshot;
@@ -37,6 +38,9 @@ pub mod snapshot;
 pub use counters::{TelemetryConfig, TelemetryCore, ThreadTelemetry, MAX_TELEMETRY_SHARDS};
 pub use export::{
     parse_jsonl_line, parse_prometheus, to_jsonl_line, to_prometheus, ExportParseError, PromSample,
+};
+pub use export_path::{
+    export_counters, export_to_jsonl_line, export_to_prometheus, ExportCounters, ExportSnapshot,
 };
 pub use sampler::{Sampler, TimedSnapshot};
 pub use service::{service_to_prometheus, ServiceCounters, ServiceSnapshot};

@@ -18,6 +18,9 @@ pub struct ServiceCounters {
     /// Connections rejected because the permit gate was exhausted
     /// (backpressure shedding — the accept loop never blocks).
     pub shed_connections: AtomicU64,
+    /// Connections dropped because a read or write exceeded the
+    /// per-connection deadline (slow-loris defense).
+    pub timeouts: AtomicU64,
     /// Profiles ingested.
     pub ingests: AtomicU64,
     /// Bytes of ingested records appended to the store.
@@ -37,6 +40,8 @@ pub struct ServiceSnapshot {
     pub connections: u64,
     /// Connections shed by backpressure.
     pub shed_connections: u64,
+    /// Connections dropped by the per-connection deadline.
+    pub timeout_connections: u64,
     /// Profiles ingested.
     pub ingests: u64,
     /// Ingested bytes.
@@ -70,6 +75,11 @@ impl ServiceCounters {
         Self::bump(&self.shed_connections, 1);
     }
 
+    /// Count a connection dropped by its read/write deadline.
+    pub fn timeout(&self) {
+        Self::bump(&self.timeouts, 1);
+    }
+
     /// Count one ingest of `bytes` appended bytes.
     pub fn ingest(&self, bytes: u64) {
         Self::bump(&self.ingests, 1);
@@ -97,6 +107,7 @@ impl ServiceCounters {
         ServiceSnapshot {
             connections: self.connections.load(Ordering::Relaxed),
             shed_connections: self.shed_connections.load(Ordering::Relaxed),
+            timeout_connections: self.timeouts.load(Ordering::Relaxed),
             ingests: self.ingests.load(Ordering::Relaxed),
             ingest_bytes: self.ingest_bytes.load(Ordering::Relaxed),
             queries: self.queries.load(Ordering::Relaxed),
@@ -126,6 +137,11 @@ pub fn service_to_prometheus(s: &ServiceSnapshot) -> String {
         "profserve_shed_connections_total",
         "Connections rejected by backpressure.",
         s.shed_connections,
+    );
+    metric(
+        "profserve_timeout_connections_total",
+        "Connections dropped by the per-connection read/write deadline.",
+        s.timeout_connections,
     );
     metric("profserve_ingests_total", "Profiles ingested.", s.ingests);
     metric(

@@ -16,6 +16,8 @@
 //!                    [--port-file FILE]
 //! taskprof-cli ingest --addr HOST:PORT (--file F --bench NAME | --app fib|nqueens
 //!                     [--seed S] [--runs K]) [--threads N]
+//!                     [--spool DIR] [--deadline-ms N]
+//! taskprof-cli drain --addr HOST:PORT --spool DIR [--deadline-ms N]
 //! taskprof-cli query top|stats|regress --addr HOST:PORT --bench NAME
 //!                   [--threads N] [--n N] [--file F] [--threshold T]
 //! ```
@@ -34,6 +36,13 @@
 //! BOTS codes; `query` prints the server's response line verbatim —
 //! `regress` additionally exits 3 when the candidate regressed, so CI can
 //! gate on the exit code.
+//!
+//! Resilience: `ingest --spool DIR` degrades gracefully when the daemon
+//! is unreachable — instead of failing, profiles land in `DIR` as
+//! CRC-framed spool files (`--deadline-ms` bounds how long delivery may
+//! try first). `drain` re-delivers a spool directory to a (recovered)
+//! daemon, deleting each frame only after the server acks it, and exits
+//! 1 while frames remain spooled so scripts can retry.
 //!
 //! `explore --seeds` defaults to the `TASKPROF_EXPLORE_SEEDS`
 //! environment variable (or 64), which is how CI scales the sweep.
@@ -58,7 +67,8 @@ fn usage() -> ! {
          taskprof-cli explore [--seeds N] [--threads N] [--workload fib|flat|mixed|all] [--dfs BUDGET]\n  \
          taskprof-cli diff <a.profile> <b.profile>\n  taskprof-cli list\n  \
          taskprof-cli serve --dir DIR [--addr HOST:PORT] [--max-conns N] [--port-file FILE]\n  \
-         taskprof-cli ingest --addr HOST:PORT (--file F --bench NAME | --app fib|nqueens [--seed S] [--runs K]) [--threads N]\n  \
+         taskprof-cli ingest --addr HOST:PORT (--file F --bench NAME | --app fib|nqueens [--seed S] [--runs K]) [--threads N] [--spool DIR] [--deadline-ms N]\n  \
+         taskprof-cli drain --addr HOST:PORT --spool DIR [--deadline-ms N]\n  \
          taskprof-cli query top|stats|regress --addr HOST:PORT --bench NAME [--threads N] [--n N] [--file F] [--threshold T]"
     );
     std::process::exit(2);
@@ -501,6 +511,27 @@ fn connect_or_die(addr: &str) -> profserve::Client {
     })
 }
 
+/// Translate a delivery policy into per-phase client timeouts (never
+/// zero: `set_read_timeout` rejects a zero duration).
+fn policy_timeouts(policy: &taskprof_session::ExportPolicy) -> profserve::ClientTimeouts {
+    let floor = std::time::Duration::from_millis(1);
+    profserve::ClientTimeouts {
+        connect: Some(policy.connect_timeout.min(policy.deadline).max(floor)),
+        read: Some(policy.io_timeout.min(policy.deadline).max(floor)),
+        write: Some(policy.io_timeout.min(policy.deadline).max(floor)),
+    }
+}
+
+fn delivery_policy(deadline_ms: Option<u64>, spool: Option<&String>) -> taskprof_session::ExportPolicy {
+    let mut policy = taskprof_session::ExportPolicy::default();
+    if let Some(ms) = deadline_ms {
+        policy.deadline = std::time::Duration::from_millis(ms.max(1));
+    }
+    policy.spool_dir = spool.map(std::path::PathBuf::from);
+    policy
+}
+
+#[allow(clippy::too_many_lines)]
 fn cmd_ingest(args: &[String]) {
     let mut addr: Option<String> = None;
     let mut files: Vec<String> = Vec::new();
@@ -509,6 +540,8 @@ fn cmd_ingest(args: &[String]) {
     let mut threads: usize = 2;
     let mut seed: u64 = 42;
     let mut runs: u64 = 1;
+    let mut spool: Option<String> = None;
+    let mut deadline_ms: Option<u64> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -534,29 +567,31 @@ fn cmd_ingest(args: &[String]) {
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage())
             }
+            "--spool" => spool = Some(it.next().cloned().unwrap_or_else(|| usage())),
+            "--deadline-ms" => {
+                deadline_ms = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                )
+            }
             _ => usage(),
         }
     }
     let Some(addr) = addr else { usage() };
-    let mut client = connect_or_die(&addr);
+    let policy = delivery_policy(deadline_ms, spool.as_ref());
+
+    // Collect (bench, timestamp, profile) upfront so a dead daemon can
+    // still spool every one of them.
+    let mut items: Vec<(String, Option<u64>, taskprof::Profile)> = Vec::new();
     if let Some(app) = app {
         // Deterministic seeded runs: timestamps derive from the seed so
         // identical sweeps produce byte-identical stored indexes.
         for k in 0..runs {
             let run_seed = seed + k;
             let profile = deterministic_profile(&app, run_seed, threads);
-            let text = write_profile(&profile);
             let bench_name = bench.clone().unwrap_or_else(|| app.clone());
-            match client.ingest(&bench_name, threads as u32, Some(run_seed * 1_000), &text) {
-                Ok(ack) => println!(
-                    "ingested {bench_name} seed={run_seed} as run {} ({} bytes, segment {})",
-                    ack.run_id, ack.bytes, ack.segment
-                ),
-                Err(e) => {
-                    eprintln!("ingest failed: {e}");
-                    std::process::exit(1);
-                }
-            }
+            items.push((bench_name, Some(run_seed * 1_000), profile));
         }
     } else if !files.is_empty() {
         let Some(bench) = bench else {
@@ -568,19 +603,115 @@ fn cmd_ingest(args: &[String]) {
                 eprintln!("cannot read {f}: {e}");
                 std::process::exit(1);
             });
-            match client.ingest(&bench, threads as u32, None, &text) {
-                Ok(ack) => println!(
-                    "ingested {f} as run {} ({} bytes, segment {})",
-                    ack.run_id, ack.bytes, ack.segment
-                ),
-                Err(e) => {
-                    eprintln!("ingest of {f} failed: {e}");
-                    std::process::exit(1);
-                }
-            }
+            let profile = read_profile(&text).unwrap_or_else(|e| {
+                eprintln!("cannot parse {f}: {e}");
+                std::process::exit(1);
+            });
+            items.push((bench.clone(), None, profile));
         }
     } else {
         usage();
+    }
+
+    // Degrade the whole batch to the spool when the daemon is down.
+    let spool_item = |bench: &str, ts: Option<u64>, profile: &taskprof::Profile| {
+        let dir = policy.spool_dir.as_deref().expect("spool configured");
+        let ts = ts.unwrap_or_else(|| {
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_nanos() as u64)
+                .unwrap_or(0)
+        });
+        match taskprof_session::spool_profile(dir, bench, threads as u32, ts, profile) {
+            Ok(path) => println!("daemon unreachable; spooled {bench} to {}", path.display()),
+            Err(e) => {
+                eprintln!("cannot spool {bench}: {e}");
+                std::process::exit(1);
+            }
+        }
+    };
+
+    let mut client = match profserve::Client::connect_with(&addr, policy_timeouts(&policy)) {
+        Ok(c) => Some(c),
+        Err(e) if policy.spool_dir.is_some() => {
+            eprintln!("cannot connect to {addr}: {e}");
+            None
+        }
+        Err(e) => {
+            eprintln!("cannot connect to {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    for (bench_name, ts, profile) in &items {
+        match client.as_mut() {
+            Some(c) => {
+                let text = write_profile(profile);
+                match c.ingest(bench_name, threads as u32, *ts, &text) {
+                    Ok(ack) => println!(
+                        "ingested {bench_name} as run {} ({} bytes, segment {})",
+                        ack.run_id, ack.bytes, ack.segment
+                    ),
+                    Err(profserve::ClientError::Io(e)) if policy.spool_dir.is_some() => {
+                        eprintln!("ingest transport failed: {e}");
+                        client = None;
+                        spool_item(bench_name, *ts, profile);
+                    }
+                    Err(e) => {
+                        eprintln!("ingest of {bench_name} failed: {e}");
+                        std::process::exit(1);
+                    }
+                }
+            }
+            None => spool_item(bench_name, *ts, profile),
+        }
+    }
+    // Drain-on-success: a reachable daemon also gets anything spooled
+    // by earlier, less lucky invocations.
+    if client.is_some() {
+        if let Some(dir) = policy.spool_dir.as_deref() {
+            if dir.is_dir() {
+                let report = taskprof_session::drain_spool(dir, &addr, &policy);
+                if report.delivered > 0 || report.quarantined > 0 {
+                    println!(
+                        "drained {} spooled frame(s), {} quarantined, {} remaining",
+                        report.delivered, report.quarantined, report.remaining
+                    );
+                }
+            }
+        }
+    }
+}
+
+fn cmd_drain(args: &[String]) {
+    let mut addr: Option<String> = None;
+    let mut spool: Option<String> = None;
+    let mut deadline_ms: Option<u64> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--addr" => addr = Some(it.next().cloned().unwrap_or_else(|| usage())),
+            "--spool" => spool = Some(it.next().cloned().unwrap_or_else(|| usage())),
+            "--deadline-ms" => {
+                deadline_ms = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                )
+            }
+            _ => usage(),
+        }
+    }
+    let (Some(addr), Some(spool)) = (addr, spool) else {
+        usage()
+    };
+    let policy = delivery_policy(deadline_ms, None);
+    let report = taskprof_session::drain_spool(std::path::Path::new(&spool), &addr, &policy);
+    println!(
+        "drained {} frame(s), {} quarantined (.bad), {} remaining",
+        report.delivered, report.quarantined, report.remaining
+    );
+    if report.remaining > 0 {
+        std::process::exit(1);
     }
 }
 
@@ -697,6 +828,7 @@ fn main() {
         Some("list") => cmd_list(),
         Some("serve") => cmd_serve(&args[1..]),
         Some("ingest") => cmd_ingest(&args[1..]),
+        Some("drain") => cmd_drain(&args[1..]),
         Some("query") => cmd_query(&args[1..]),
         _ => usage(),
     }

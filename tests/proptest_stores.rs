@@ -7,6 +7,21 @@ use proptest::prelude::*;
 use taskprof::{AssignPolicy, Event, Profile, TeamReplayer};
 use taskprof_trace::{read_trace, write_trace, EventKind, Trace, TraceEvent};
 
+use profstore::segment::{SegmentReader, SegmentWriter};
+use profstore::{decode_record, encode_record, RealIo, RunMeta};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A unique scratch path per proptest case (cases run concurrently
+/// within one process and leftovers from failed cases must not alias).
+fn scratch_path(tag: &str) -> std::path::PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    std::env::temp_dir().join(format!(
+        "taskprof-proptest-{tag}-{}-{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
 
 /// Generate a valid random profile via replay.
 fn arb_profile() -> impl Strategy<Value = Profile> {
@@ -110,5 +125,111 @@ proptest! {
             prop_assert_eq!(a.tid, b.tid);
             prop_assert_eq!(a.kind, b.kind);
         }
+    }
+
+    /// Every proper prefix of an encoded record (LEB128 varints + length
+    /// prefixed strings inside) must decode to a typed error — never a
+    /// panic, never a bogus success.
+    #[test]
+    fn record_codec_truncation_is_always_a_typed_error(
+        p in arb_profile(),
+        cut in 0.0f64..1.0,
+    ) {
+        let meta = RunMeta {
+            run_id: 7,
+            benchmark: "proptest".to_string(),
+            threads: p.threads.len() as u32,
+            timestamp_ns: 1234,
+        };
+        let payload = encode_record(&meta, &p);
+        let keep = ((payload.len() as f64 * cut) as usize).min(payload.len() - 1);
+        prop_assert!(
+            decode_record(&payload[..keep]).is_err(),
+            "a {keep}-byte prefix of a {}-byte record decoded successfully",
+            payload.len()
+        );
+    }
+
+    /// A single flipped bit anywhere in a record payload must not panic
+    /// the decoder (it may still decode when the flip lands in a
+    /// non-load-bearing byte, e.g. a benchmark-name character — the CRC
+    /// layer above the codec is what detects those).
+    #[test]
+    fn record_codec_bit_flip_never_panics(
+        p in arb_profile(),
+        pos in 0.0f64..1.0,
+        bit in 0u8..8,
+    ) {
+        let meta = RunMeta {
+            run_id: 1,
+            benchmark: "proptest-flip".to_string(),
+            threads: p.threads.len() as u32,
+            timestamp_ns: 1,
+        };
+        let mut payload = encode_record(&meta, &p);
+        let at = ((payload.len() as f64 * pos) as usize).min(payload.len() - 1);
+        payload[at] ^= 1 << bit;
+        let _ = decode_record(&payload);
+    }
+
+    /// A single flipped bit in a CRC-framed segment is always detected:
+    /// the scan stops with a tail defect instead of serving the damaged
+    /// frame (a flip inside the magic voids the whole file).
+    #[test]
+    fn segment_bit_flip_is_always_detected_by_scan(
+        payloads in prop::collection::vec(prop::collection::vec(any::<u8>(), 1..60), 1..5),
+        pos in 0.0f64..1.0,
+        bit in 0u8..8,
+    ) {
+        let path = scratch_path("flip");
+        let io = RealIo;
+        {
+            let mut w = SegmentWriter::create(&io, &path, false).expect("create");
+            for p in &payloads {
+                w.append(p).expect("append");
+            }
+        }
+        let mut bytes = std::fs::read(&path).expect("read");
+        let at = ((bytes.len() as f64 * pos) as usize).min(bytes.len() - 1);
+        bytes[at] ^= 1 << bit;
+        std::fs::write(&path, &bytes).expect("rewrite");
+
+        let scan = SegmentReader::scan(&io, &path).expect("scan is total");
+        prop_assert!(
+            scan.tail_defect.is_some(),
+            "flipped bit {bit} at byte {at} went undetected \
+             ({} of {} records scanned clean)",
+            scan.records.len(),
+            payloads.len()
+        );
+        prop_assert!(scan.records.len() < payloads.len() || scan.valid_len == 0);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// Truncating a segment at any byte never panics the scan, never
+    /// yields more records than were written, and never claims valid
+    /// bytes past the truncation point.
+    #[test]
+    fn segment_truncation_never_panics_scan(
+        payloads in prop::collection::vec(prop::collection::vec(any::<u8>(), 1..60), 1..5),
+        cut in 0.0f64..1.0,
+    ) {
+        let path = scratch_path("trunc");
+        let io = RealIo;
+        {
+            let mut w = SegmentWriter::create(&io, &path, false).expect("create");
+            for p in &payloads {
+                w.append(p).expect("append");
+            }
+        }
+        let bytes = std::fs::read(&path).expect("read");
+        let keep = ((bytes.len() as f64 * cut) as usize).min(bytes.len() - 1);
+        std::fs::write(&path, &bytes[..keep]).expect("rewrite");
+
+        let scan = SegmentReader::scan(&io, &path).expect("scan is total");
+        prop_assert!(scan.records.len() < payloads.len());
+        prop_assert!(scan.valid_len <= keep as u64);
+        prop_assert!(scan.tail_defect.is_some() || scan.valid_len == keep as u64);
+        let _ = std::fs::remove_file(&path);
     }
 }
