@@ -17,6 +17,11 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "=== overhead bench smoke (test scale) ==="
 BENCH_SCALE="${BENCH_SCALE:-test}" BENCH_REPS="${BENCH_REPS:-1}" \
     cargo run --release -p bench --bin overhead_json -- /tmp/BENCH_overhead.smoke.json
+# The profile_ingest section must carry the paired per-protocol daemon
+# numbers (JSON lines vs. TPF1 binary) next to the direct-store rate.
+grep -q '"server_json_profiles_per_sec"' /tmp/BENCH_overhead.smoke.json
+grep -q '"server_bin_profiles_per_sec"' /tmp/BENCH_overhead.smoke.json
+grep -q '"server_bin_profiles_per_sec"' BENCH_overhead.json
 echo "(full run: BENCH_SCALE=small cargo run --release -p bench --bin overhead_json)"
 
 echo "=== live telemetry smoke ==="
@@ -47,9 +52,21 @@ trap 'kill "$SERVE_PID" 2>/dev/null || true; rm -rf "$REPO_DIR"' EXIT
 for _ in $(seq 1 300); do [ -s "$PORT_FILE" ] && break; sleep 0.2; done
 [ -s "$PORT_FILE" ] || { echo "serve daemon never published its port"; exit 1; }
 ADDR="127.0.0.1:$(cat "$PORT_FILE")"
+# Exercise both wire protocols against the same daemon: the binary
+# TPF1 framing and the JSON-lines fallback must store runs in one log
+# and answer queries byte-identically.
 cargo run --release --bin taskprof-cli -- ingest \
-    --addr "$ADDR" --app fib --seed 41 --runs 2 --threads 2
-cargo run --release --bin taskprof-cli -- query top --addr "$ADDR" --bench fib --threads 2
+    --addr "$ADDR" --app fib --seed 41 --runs 2 --threads 2 --proto bin
+cargo run --release --bin taskprof-cli -- ingest \
+    --addr "$ADDR" --app fib --seed 43 --runs 1 --threads 2 --proto json
+cargo run --release --bin taskprof-cli -- query top \
+    --addr "$ADDR" --bench fib --threads 2 --proto bin | tee /tmp/top.bin.out
+cargo run --release --bin taskprof-cli -- query top \
+    --addr "$ADDR" --bench fib --threads 2 --proto json | tee /tmp/top.json.out
+cmp /tmp/top.bin.out /tmp/top.json.out \
+    || { echo "query output differs between wire protocols"; exit 1; }
+grep -q '"runs":3' /tmp/top.bin.out \
+    || { echo "expected 3 runs across both protocols"; exit 1; }
 cargo run --release --bin taskprof-cli -- query regress \
     --addr "$ADDR" --bench fib --threads 2 --app fib --seed 41
 echo "=== resilient export smoke (spool while down, drain when back) ==="

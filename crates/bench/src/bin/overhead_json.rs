@@ -34,13 +34,29 @@ struct Row {
     events: u64,
 }
 
+/// Below this many events the instrumentation delta is dominated by
+/// scheduler and timer noise, so a per-event quotient would be garbage
+/// (historically it rendered as a misleading `0.00`). Such apps report
+/// `null` and are excluded from the kernel aggregate.
+const PER_EVENT_FLOOR: u64 = 10_000;
+
 impl Row {
-    fn per_event_ns(&self, instr: Duration) -> f64 {
-        if self.events == 0 {
-            return 0.0;
+    fn per_event_ns(&self, instr: Duration) -> Option<f64> {
+        if self.events < PER_EVENT_FLOOR {
+            return None;
         }
-        (instr.as_nanos() as f64 - self.base.as_nanos() as f64).max(0.0) / self.events as f64
+        Some((instr.as_nanos() as f64 - self.base.as_nanos() as f64).max(0.0) / self.events as f64)
     }
+}
+
+/// Render an optional per-event figure for the console table.
+fn fmt_opt_ns(v: Option<f64>) -> String {
+    v.map_or_else(|| "n/a".to_string(), |x| format!("{x:.1}"))
+}
+
+/// Render an optional figure as a JSON number or `null`.
+fn json_opt(v: Option<f64>) -> String {
+    v.map_or_else(|| "null".to_string(), |x| format!("{x:.2}"))
 }
 
 /// Minimum kernel time over `reps` runs under the sharded session path.
@@ -269,8 +285,21 @@ struct IngestThroughput {
     profile_bytes: u64,
     store_profiles_per_sec: f64,
     store_bytes_per_sec: f64,
-    server_profiles_per_sec: f64,
-    server_bytes_per_sec: f64,
+    server_json_profiles_per_sec: f64,
+    server_json_bytes_per_sec: f64,
+    server_bin_profiles_per_sec: f64,
+    server_bin_bytes_per_sec: f64,
+}
+
+impl IngestThroughput {
+    /// Binary-over-JSON ingest speedup (the tentpole number).
+    fn bin_speedup(&self) -> f64 {
+        if self.server_json_profiles_per_sec > 0.0 {
+            self.server_bin_profiles_per_sec / self.server_json_profiles_per_sec
+        } else {
+            0.0
+        }
+    }
 }
 
 /// A mid-sized deterministic profile for the repository benches: two
@@ -304,17 +333,66 @@ fn bench_temp_dir(tag: &str) -> std::path::PathBuf {
     dir
 }
 
-/// Profiles/sec and bytes/sec into the segment log — once straight through
-/// `ProfileStore::ingest`, once end-to-end through the TCP daemon (one
-/// client, line-delimited JSON framing, response awaited per ingest).
+/// Records per binary `INGEST_BATCH` acknowledgement.
+const INGEST_BATCH: usize = 64;
+
+/// One end-to-end daemon measurement: spawn a fresh server over a fresh
+/// store, run `ingest` against it, return elapsed seconds.
+fn serve_secs(
+    tag: &str,
+    ingest: impl FnOnce(&mut profserve::Client),
+    proto: profserve::WireProtocol,
+) -> f64 {
+    let dir = bench_temp_dir(tag);
+    let served = profstore::ProfileStore::open_with(
+        &dir,
+        profstore::StoreConfig {
+            sync_writes: false,
+            ..profstore::StoreConfig::default()
+        },
+    )
+    .expect("open bench store");
+    let (handle, join) =
+        profserve::Server::spawn("127.0.0.1:0", served, profserve::ServeConfig::default())
+            .expect("spawn bench server");
+    let mut client = profserve::Client::connect_proto(
+        &handle.addr().to_string(),
+        proto,
+        profserve::ClientTimeouts::unbounded(),
+    )
+    .expect("connect bench client");
+    let t0 = Instant::now();
+    ingest(&mut client);
+    let secs = t0.elapsed().as_secs_f64();
+    handle.stop();
+    drop(client);
+    join.join().expect("server thread").expect("server run");
+    let _ = std::fs::remove_dir_all(&dir);
+    secs
+}
+
+/// Profiles/sec and bytes/sec into the segment log — once straight
+/// through `ProfileStore::ingest`, then end-to-end through the TCP
+/// daemon on both wire protocols: line-delimited JSON (one response
+/// awaited per ingest) and TPF1 binary framing with batched `INGEST`
+/// (one acknowledgement per batch).
 fn ingest_throughput(reps: usize) -> IngestThroughput {
     const PROFILES: u64 = 200;
     let profile = repository_profile();
     let text = cube::write_profile(&profile);
     let profile_bytes = text.len() as u64;
+    // Pre-built outside the timed loops for both protocols: JSON carries
+    // the profile as rendered text, binary as the store's record bytes.
+    let json_records: Vec<profserve::Record> = (0..PROFILES)
+        .map(|k| profserve::Record::from_text("ovh-ingest", 2, Some(k), &text))
+        .collect();
+    let bin_records: Vec<profserve::Record> = (0..PROFILES)
+        .map(|k| profserve::Record::from_profile("ovh-ingest", 2, Some(k), &profile))
+        .collect();
 
     let mut store_secs = f64::INFINITY;
-    let mut server_secs = f64::INFINITY;
+    let mut json_secs = f64::INFINITY;
+    let mut bin_secs = f64::INFINITY;
     for _ in 0..reps {
         let dir = bench_temp_dir("store");
         let mut store = profstore::ProfileStore::open_with(
@@ -335,31 +413,24 @@ fn ingest_throughput(reps: usize) -> IngestThroughput {
         drop(store);
         let _ = std::fs::remove_dir_all(&dir);
 
-        let dir = bench_temp_dir("serve");
-        let served = profstore::ProfileStore::open_with(
-            &dir,
-            profstore::StoreConfig {
-                sync_writes: false,
-                ..profstore::StoreConfig::default()
+        json_secs = json_secs.min(serve_secs(
+            "serve-json",
+            |client| {
+                for record in &json_records {
+                    client.ingest_record(record).expect("bench ingest over json");
+                }
             },
-        )
-        .expect("open bench store");
-        let (handle, join) =
-            profserve::Server::spawn("127.0.0.1:0", served, profserve::ServeConfig::default())
-                .expect("spawn bench server");
-        let mut client =
-            profserve::Client::connect(&handle.addr().to_string()).expect("connect bench client");
-        let t0 = Instant::now();
-        for k in 0..PROFILES {
-            client
-                .ingest("ovh-ingest", 2, Some(k), &text)
-                .expect("bench ingest over tcp");
-        }
-        server_secs = server_secs.min(t0.elapsed().as_secs_f64());
-        handle.stop();
-        drop(client);
-        join.join().expect("server thread").expect("server run");
-        let _ = std::fs::remove_dir_all(&dir);
+            profserve::WireProtocol::Json,
+        ));
+        bin_secs = bin_secs.min(serve_secs(
+            "serve-bin",
+            |client| {
+                for chunk in bin_records.chunks(INGEST_BATCH) {
+                    client.ingest_batch(chunk).expect("bench ingest over tpf1");
+                }
+            },
+            profserve::WireProtocol::Binary,
+        ));
     }
 
     IngestThroughput {
@@ -367,8 +438,10 @@ fn ingest_throughput(reps: usize) -> IngestThroughput {
         profile_bytes,
         store_profiles_per_sec: PROFILES as f64 / store_secs,
         store_bytes_per_sec: (PROFILES * profile_bytes) as f64 / store_secs,
-        server_profiles_per_sec: PROFILES as f64 / server_secs,
-        server_bytes_per_sec: (PROFILES * profile_bytes) as f64 / server_secs,
+        server_json_profiles_per_sec: PROFILES as f64 / json_secs,
+        server_json_bytes_per_sec: (PROFILES * profile_bytes) as f64 / json_secs,
+        server_bin_profiles_per_sec: PROFILES as f64 / bin_secs,
+        server_bin_bytes_per_sec: (PROFILES * profile_bytes) as f64 / bin_secs,
     }
 }
 
@@ -419,8 +492,8 @@ fn main() {
                 fmt_secs(r.session),
                 fmt_pct(overhead_pct(r.legacy, r.base)),
                 fmt_pct(overhead_pct(r.session, r.base)),
-                format!("{:.1}", r.per_event_ns(r.legacy)),
-                format!("{:.1}", r.per_event_ns(r.session)),
+                fmt_opt_ns(r.per_event_ns(r.legacy)),
+                fmt_opt_ns(r.per_event_ns(r.session)),
             ]
         })
         .collect();
@@ -446,13 +519,12 @@ fn main() {
     for (i, r) in rows.iter().enumerate() {
         let legacy_pe = r.per_event_ns(r.legacy);
         let session_pe = r.per_event_ns(r.session);
-        let improvement = if legacy_pe > 0.0 {
-            (1.0 - session_pe / legacy_pe) * 100.0
-        } else {
-            0.0
+        let improvement = match (legacy_pe, session_pe) {
+            (Some(l), Some(s)) if l > 0.0 => Some((1.0 - s / l) * 100.0),
+            _ => None,
         };
         json.push_str(&format!(
-            "    {{ \"app\": \"{}\", \"events\": {}, \"base_s\": {:.6}, \"legacy_s\": {:.6}, \"session_s\": {:.6}, \"legacy_overhead_pct\": {:.2}, \"session_overhead_pct\": {:.2}, \"legacy_per_event_ns\": {:.2}, \"session_per_event_ns\": {:.2}, \"per_event_improvement_pct\": {:.2} }}{}\n",
+            "    {{ \"app\": \"{}\", \"events\": {}, \"base_s\": {:.6}, \"legacy_s\": {:.6}, \"session_s\": {:.6}, \"legacy_overhead_pct\": {:.2}, \"session_overhead_pct\": {:.2}, \"legacy_per_event_ns\": {}, \"session_per_event_ns\": {}, \"per_event_improvement_pct\": {} }}{}\n",
             json_escape(r.app),
             r.events,
             r.base.as_secs_f64(),
@@ -460,9 +532,9 @@ fn main() {
             r.session.as_secs_f64(),
             overhead_pct(r.legacy, r.base),
             overhead_pct(r.session, r.base),
-            legacy_pe,
-            session_pe,
-            improvement,
+            json_opt(legacy_pe),
+            json_opt(session_pe),
+            json_opt(improvement),
             if i + 1 < rows.len() { "," } else { "" }
         ));
     }
@@ -471,10 +543,18 @@ fn main() {
     // Events-weighted aggregate over the kernels: total instrumentation
     // time added over total events. End-to-end numbers carry scheduler /
     // thermal noise; the microbench sections below are the controlled
-    // measurement of what the sharding changed.
-    let total_events: u64 = rows.iter().map(|r| r.events).sum();
+    // measurement of what the sharding changed. Apps below the per-event
+    // floor are excluded — their delta is noise, not signal.
+    let counted: Vec<&Row> = rows.iter().filter(|r| r.events >= PER_EVENT_FLOOR).collect();
+    let excluded: Vec<String> = rows
+        .iter()
+        .filter(|r| r.events < PER_EVENT_FLOOR)
+        .map(|r| format!("\"{}\"", json_escape(r.app)))
+        .collect();
+    let total_events: u64 = counted.iter().map(|r| r.events).sum();
     let added = |instr: fn(&Row) -> Duration| -> f64 {
-        rows.iter()
+        counted
+            .iter()
             .map(|r| (instr(r).as_nanos() as f64 - r.base.as_nanos() as f64).max(0.0))
             .sum::<f64>()
     };
@@ -486,7 +566,8 @@ fn main() {
         0.0
     };
     json.push_str(&format!(
-        "  \"kernel_aggregate\": {{ \"events\": {total_events}, \"legacy_per_event_ns\": {legacy_agg:.2}, \"session_per_event_ns\": {session_agg:.2}, \"per_event_improvement_pct\": {agg_improvement:.2} }},\n"
+        "  \"kernel_aggregate\": {{ \"events\": {total_events}, \"per_event_floor\": {PER_EVENT_FLOOR}, \"excluded_apps\": [{}], \"legacy_per_event_ns\": {legacy_agg:.2}, \"session_per_event_ns\": {session_agg:.2}, \"per_event_improvement_pct\": {agg_improvement:.2} }},\n",
+        excluded.join(", ")
     ));
 
     println!("\n-- hot-path microbenches (direct ThreadHooks driving, min of {} reps) --", cfg.reps);
@@ -548,20 +629,30 @@ fn main() {
         ingest.store_bytes_per_sec / 1e6
     );
     println!(
-        "  profile ingest (tcp)     : {:.0} profiles/s, {:.1} MB/s",
-        ingest.server_profiles_per_sec,
-        ingest.server_bytes_per_sec / 1e6
+        "  profile ingest (tcp json): {:.0} profiles/s, {:.1} MB/s",
+        ingest.server_json_profiles_per_sec,
+        ingest.server_json_bytes_per_sec / 1e6
+    );
+    println!(
+        "  profile ingest (tcp bin) : {:.0} profiles/s, {:.1} MB/s ({:.1}x over json)",
+        ingest.server_bin_profiles_per_sec,
+        ingest.server_bin_bytes_per_sec / 1e6,
+        ingest.bin_speedup()
     );
     json.push_str(&format!(
-        "  \"profile_ingest\": {{ \"description\": \"profile repository ingestion: {} identical 2-thread replayed profiles ({} bytes each) appended to the segment log, store = direct ProfileStore::ingest (sync_writes off), server = end-to-end through the TCP daemon, one client, response awaited per ingest\", \"profiles\": {}, \"profile_bytes\": {}, \"store_profiles_per_sec\": {:.1}, \"store_bytes_per_sec\": {:.0}, \"server_profiles_per_sec\": {:.1}, \"server_bytes_per_sec\": {:.0} }}\n",
+        "  \"profile_ingest\": {{ \"description\": \"profile repository ingestion: {} identical 2-thread replayed profiles ({} bytes each) appended to the segment log; store = direct ProfileStore::ingest (sync_writes off); server_json = end-to-end through the TCP daemon over line-delimited JSON, one client, response awaited per ingest; server_bin = same daemon over the TPF1 binary framing, {} records per batched INGEST acknowledgement\", \"profiles\": {}, \"profile_bytes\": {}, \"store_profiles_per_sec\": {:.1}, \"store_bytes_per_sec\": {:.0}, \"server_json_profiles_per_sec\": {:.1}, \"server_json_bytes_per_sec\": {:.0}, \"server_bin_profiles_per_sec\": {:.1}, \"server_bin_bytes_per_sec\": {:.0}, \"bin_speedup\": {:.2} }}\n",
         ingest.profiles,
         ingest.profile_bytes,
+        INGEST_BATCH,
         ingest.profiles,
         ingest.profile_bytes,
         ingest.store_profiles_per_sec,
         ingest.store_bytes_per_sec,
-        ingest.server_profiles_per_sec,
-        ingest.server_bytes_per_sec
+        ingest.server_json_profiles_per_sec,
+        ingest.server_json_bytes_per_sec,
+        ingest.server_bin_profiles_per_sec,
+        ingest.server_bin_bytes_per_sec,
+        ingest.bin_speedup()
     ));
     json.push_str("}\n");
 

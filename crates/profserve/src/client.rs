@@ -1,14 +1,34 @@
-//! A small blocking client for the line-delimited JSON protocol.
+//! The typed blocking client.
 //!
-//! The client is deliberately thin: it frames requests, reads one
-//! response line, and surfaces typed server errors ([`ClientError::Server`])
-//! distinctly from transport failures ([`ClientError::Io`]) and protocol
-//! violations ([`ClientError::Protocol`]). Higher layers (the CLI, the
-//! session exporter) decide what to do about each.
+//! One [`Client`] is one connection speaking one negotiated protocol —
+//! TPF1 binary frames or JSON lines — behind a protocol-agnostic typed
+//! API: requests go in as [`Request`] values (or through the typed
+//! convenience methods), results come back as the typed report structs
+//! from [`crate::protocol`], and failures are split into transport
+//! errors ([`ClientError::Io`]), protocol violations
+//! ([`ClientError::Protocol`]), and typed server errors
+//! ([`ClientError::Server`]).
+//!
+//! Protocol selection ([`WireProtocol`]):
+//!
+//! * `Auto` (the default) — try the TPF1 handshake (magic + `HELLO`);
+//!   if the server refuses or the handshake doesn't parse, reconnect
+//!   and speak JSON lines. Typed server errors during the handshake
+//!   (e.g. `overloaded` shedding) surface as errors, not fallback —
+//!   a JSON retry would be shed identically.
+//! * `Binary` / `Json` — speak exactly that protocol or fail.
+//!
+//! The old line-oriented surface survives as thin deprecated shims
+//! ([`Client::call`], [`Client::ingest`]) so existing callers keep
+//! compiling while they migrate.
 
 use crate::json::{self, Json};
-use crate::protocol::{ErrorKind, Request};
-use std::io::{BufRead, BufReader, Write};
+use crate::protocol::{
+    ErrorKind, IngestReceipt, ProfilePayload, Record, RegressReport, Request, Response,
+    ServerStatsReport, StatsReport, TopReport, WireProtocol,
+};
+use crate::wire;
+use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
@@ -19,9 +39,9 @@ use std::time::Duration;
 pub struct ClientTimeouts {
     /// Deadline for establishing the TCP connection.
     pub connect: Option<Duration>,
-    /// Deadline for reading one response line.
+    /// Deadline for reading one response (line or frame).
     pub read: Option<Duration>,
-    /// Deadline for writing one request line.
+    /// Deadline for writing one request.
     pub write: Option<Duration>,
 }
 
@@ -82,7 +102,8 @@ impl From<std::io::Error> for ClientError {
     }
 }
 
-/// Acknowledgement returned by [`Client::ingest`].
+/// Acknowledgement returned by the deprecated [`Client::ingest`] shim;
+/// new code reads the richer [`IngestReceipt`].
 #[derive(Clone, Copy, Debug)]
 pub struct IngestAck {
     /// Stable run id the server assigned.
@@ -93,23 +114,79 @@ pub struct IngestAck {
     pub segment: u64,
 }
 
+/// Which protocol a connection settled on.
+enum ActiveProto {
+    Json,
+    Binary {
+        /// Feature bits both sides agreed on during `HELLO`.
+        features: u64,
+    },
+}
+
+/// How a binary handshake failed.
+enum Handshake {
+    /// The server (or the wire) refused TPF1; `Auto` may retry as JSON.
+    Refused(ClientError),
+    /// A real answer that a JSON retry would reproduce (e.g. shedding);
+    /// surface it.
+    Fatal(ClientError),
+}
+
 /// One connection to a `profserve` daemon. Requests are serialized on
 /// the connection; open more clients for concurrency.
 pub struct Client {
     writer: TcpStream,
     reader: BufReader<TcpStream>,
+    proto: ActiveProto,
 }
 
 impl Client {
     /// Connect to `addr` (e.g. `127.0.0.1:7979`) with no deadlines (the
     /// original blocking behavior; prefer [`Client::connect_with`] from
-    /// anything that must not hang on a dead daemon).
+    /// anything that must not hang on a dead daemon). Negotiates the
+    /// protocol ([`WireProtocol::Auto`]).
     pub fn connect(addr: &str) -> Result<Client, ClientError> {
         Self::connect_with(addr, ClientTimeouts::unbounded())
     }
 
-    /// Connect with explicit deadlines on every transport phase.
+    /// Connect with explicit deadlines; negotiates the protocol
+    /// ([`WireProtocol::Auto`]).
     pub fn connect_with(addr: &str, timeouts: ClientTimeouts) -> Result<Client, ClientError> {
+        Self::connect_proto(addr, WireProtocol::Auto, timeouts)
+    }
+
+    /// Connect speaking exactly `proto` (`Auto` negotiates: TPF1 first,
+    /// JSON lines if the handshake is refused).
+    pub fn connect_proto(
+        addr: &str,
+        proto: WireProtocol,
+        timeouts: ClientTimeouts,
+    ) -> Result<Client, ClientError> {
+        match proto {
+            WireProtocol::Json => {
+                let stream = Self::connect_stream(addr, timeouts)?;
+                Self::from_stream(stream, ActiveProto::Json)
+            }
+            WireProtocol::Binary | WireProtocol::Auto => {
+                let stream = Self::connect_stream(addr, timeouts)?;
+                match Self::handshake_binary(stream) {
+                    Ok(client) => Ok(client),
+                    Err(Handshake::Fatal(e)) => Err(e),
+                    Err(Handshake::Refused(e)) => {
+                        if proto == WireProtocol::Binary {
+                            return Err(e);
+                        }
+                        // Auto: reconnect and speak JSON. The failed
+                        // socket is abandoned (the server closes it).
+                        let stream = Self::connect_stream(addr, timeouts)?;
+                        Self::from_stream(stream, ActiveProto::Json)
+                    }
+                }
+            }
+        }
+    }
+
+    fn connect_stream(addr: &str, timeouts: ClientTimeouts) -> Result<TcpStream, ClientError> {
         let stream = match timeouts.connect {
             Some(deadline) => {
                 // `connect_timeout` wants a resolved address; try each
@@ -138,21 +215,88 @@ impl Client {
             None => TcpStream::connect(addr)?,
         };
         // The protocol is strict request/response: Nagle would hold each
-        // one-line request hostage to the peer's delayed ACK.
+        // small request hostage to the peer's delayed ACK.
         stream.set_nodelay(true)?;
         stream.set_read_timeout(timeouts.read)?;
         stream.set_write_timeout(timeouts.write)?;
+        Ok(stream)
+    }
+
+    fn from_stream(stream: TcpStream, proto: ActiveProto) -> Result<Client, ClientError> {
         let writer = stream.try_clone()?;
         Ok(Client {
             writer,
             reader: BufReader::new(stream),
+            proto,
         })
     }
 
-    /// Send one request, return the parsed `ok:true` response object.
-    pub fn call(&mut self, request: &Request) -> Result<Json, ClientError> {
-        writeln!(self.writer, "{}", request.to_line())?;
-        self.writer.flush()?;
+    /// Send magic + `HELLO`, read the server's verdict.
+    fn handshake_binary(stream: TcpStream) -> Result<Client, Handshake> {
+        let mut client =
+            Self::from_stream(stream, ActiveProto::Binary { features: 0 }).map_err(Handshake::Refused)?;
+        let hello = Request::Hello {
+            version: wire::WIRE_VERSION,
+            features: wire::FEATURE_BATCH_INGEST,
+        };
+        let mut opening = Vec::with_capacity(64);
+        opening.extend_from_slice(&wire::WIRE_MAGIC);
+        opening.extend_from_slice(&wire::frame(&wire::encode_request(&hello)));
+        client
+            .writer
+            .write_all(&opening)
+            .and_then(|()| client.writer.flush())
+            .map_err(|e| Handshake::Refused(ClientError::Io(e)))?;
+        match client.read_response_binary() {
+            Ok(Response::Hello { version, features }) => {
+                if version != wire::WIRE_VERSION {
+                    return Err(Handshake::Refused(ClientError::Protocol(format!(
+                        "server speaks TPF version {version}, client speaks {}",
+                        wire::WIRE_VERSION
+                    ))));
+                }
+                client.proto = ActiveProto::Binary { features };
+                Ok(client)
+            }
+            Ok(other) => Err(Handshake::Refused(ClientError::Protocol(format!(
+                "expected HELLO, got {other:?}"
+            )))),
+            // `bad_request` is how a `--proto json` server refuses the
+            // magic — fall back. Anything else (shedding, read-only…)
+            // is a real answer.
+            Err(ClientError::Server { kind, message }) => {
+                let e = ClientError::Server { kind, message };
+                match kind {
+                    ErrorKind::BadRequest => Err(Handshake::Refused(e)),
+                    _ => Err(Handshake::Fatal(e)),
+                }
+            }
+            Err(e) => Err(Handshake::Refused(e)),
+        }
+    }
+
+    /// The protocol this connection negotiated.
+    pub fn protocol(&self) -> WireProtocol {
+        match self.proto {
+            ActiveProto::Json => WireProtocol::Json,
+            ActiveProto::Binary { .. } => WireProtocol::Binary,
+        }
+    }
+
+    /// Feature bits agreed during `HELLO` (0 on JSON connections, which
+    /// don't negotiate).
+    pub fn features(&self) -> u64 {
+        match self.proto {
+            ActiveProto::Json => 0,
+            ActiveProto::Binary { features } => features,
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Transport
+    // -----------------------------------------------------------------
+
+    fn read_response_json(&mut self) -> Result<Response, ClientError> {
         let mut line = String::new();
         let n = self.reader.read_line(&mut line)?;
         if n == 0 {
@@ -160,29 +304,190 @@ impl Client {
                 "connection closed before response".to_string(),
             ));
         }
-        let v = json::parse(line.trim_end())
-            .map_err(|e| ClientError::Protocol(e.to_string()))?;
-        match v.get("ok").and_then(Json::as_bool) {
-            Some(true) => Ok(v),
-            Some(false) => {
-                let err = v.get("error");
-                let kind = err
-                    .and_then(|e| e.get("kind"))
-                    .and_then(Json::as_str)
-                    .and_then(ErrorKind::from_tag)
-                    .unwrap_or(ErrorKind::Internal);
-                let message = err
-                    .and_then(|e| e.get("message"))
-                    .and_then(Json::as_str)
-                    .unwrap_or("unspecified")
-                    .to_string();
-                Err(ClientError::Server { kind, message })
+        Response::from_json_line(line.trim_end()).map_err(ClientError::Protocol)
+    }
+
+    /// Read one binary response frame. A leading `{` means the server
+    /// answered in JSON despite the binary handshake — the shed path
+    /// writes its `overloaded` line before sniffing — so parse that line
+    /// and surface whatever it says.
+    fn read_response_binary(&mut self) -> Result<Response, ClientError> {
+        let first = {
+            let buf = self.reader.fill_buf()?;
+            if buf.is_empty() {
+                return Err(ClientError::Protocol(
+                    "connection closed before response".to_string(),
+                ));
             }
-            None => Err(ClientError::Protocol("response lacks 'ok'".to_string())),
+            buf[0]
+        };
+        if first == b'{' {
+            return match self.read_response_json()? {
+                Response::Error { kind, message } => Err(ClientError::Server { kind, message }),
+                other => Err(ClientError::Protocol(format!(
+                    "json response on a binary connection: {other:?}"
+                ))),
+            };
+        }
+        let mut head = [0u8; 4];
+        self.reader.read_exact(&mut head)?;
+        let len = u32::from_le_bytes(head) as usize;
+        if len > wire::MAX_RESPONSE_BYTES {
+            return Err(ClientError::Protocol(format!(
+                "response frame of {len} bytes exceeds cap of {}",
+                wire::MAX_RESPONSE_BYTES
+            )));
+        }
+        let mut rest = vec![0u8; len + 4];
+        self.reader.read_exact(&mut rest)?;
+        let payload = &rest[..len];
+        let crc = u32::from_le_bytes([rest[len], rest[len + 1], rest[len + 2], rest[len + 3]]);
+        if crc != profstore::codec::payload_crc(payload) {
+            return Err(ClientError::Protocol("response frame crc mismatch".into()));
+        }
+        wire::decode_response(payload).map_err(|e| ClientError::Protocol(e.to_string()))
+    }
+
+    /// Send one typed request, read one typed response. Server-side
+    /// typed errors come back as `Ok(Response::Error{..})`; the typed
+    /// convenience methods convert them to [`ClientError::Server`].
+    pub fn request(&mut self, request: &Request) -> Result<Response, ClientError> {
+        match self.proto {
+            ActiveProto::Json => {
+                let line = request.to_json_line();
+                self.writer
+                    .write_all(line.as_bytes())
+                    .and_then(|()| self.writer.write_all(b"\n"))
+                    .and_then(|()| self.writer.flush())?;
+                self.read_response_json()
+            }
+            ActiveProto::Binary { .. } => {
+                let framed = wire::frame(&wire::encode_request(request));
+                self.writer
+                    .write_all(&framed)
+                    .and_then(|()| self.writer.flush())?;
+                self.read_response_binary()
+            }
         }
     }
 
+    fn expect(&mut self, request: &Request) -> Result<Response, ClientError> {
+        match self.request(request)? {
+            Response::Error { kind, message } => Err(ClientError::Server { kind, message }),
+            other => Ok(other),
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Typed API
+    // -----------------------------------------------------------------
+
+    /// Upload one profile; see [`Record::from_text`] /
+    /// [`Record::from_profile`] for building the argument.
+    pub fn ingest_record(&mut self, record: &Record) -> Result<IngestReceipt, ClientError> {
+        match self.expect(&Request::Ingest(record.clone()))? {
+            Response::Ingest(receipt) => Ok(receipt),
+            other => Err(ClientError::Protocol(format!(
+                "expected ingest receipt, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Upload many profiles under one acknowledgement — the bulk path.
+    /// Records are stored in order; on a typed error nothing after the
+    /// count reported in the error message was stored.
+    pub fn ingest_batch(&mut self, records: &[Record]) -> Result<IngestReceipt, ClientError> {
+        match self.expect(&Request::IngestBatch(records.to_vec()))? {
+            Response::Ingest(receipt) => Ok(receipt),
+            other => Err(ClientError::Protocol(format!(
+                "expected ingest receipt, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Top-N regions by summed inclusive time.
+    pub fn query_top(
+        &mut self,
+        benchmark: &str,
+        threads: u32,
+        n: usize,
+    ) -> Result<TopReport, ClientError> {
+        match self.expect(&Request::QueryTop {
+            benchmark: benchmark.to_string(),
+            threads,
+            n,
+        })? {
+            Response::Top(report) => Ok(report),
+            other => Err(ClientError::Protocol(format!(
+                "expected top report, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Cross-run scalar statistics.
+    pub fn query_stats(&mut self, benchmark: &str, threads: u32) -> Result<StatsReport, ClientError> {
+        match self.expect(&Request::QueryStats {
+            benchmark: benchmark.to_string(),
+            threads,
+        })? {
+            Response::Stats(report) => Ok(report),
+            other => Err(ClientError::Protocol(format!(
+                "expected stats report, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Regression check of a candidate profile against the stored
+    /// baseline. `None` tunables use the server's defaults.
+    pub fn query_regress(
+        &mut self,
+        benchmark: &str,
+        threads: u32,
+        profile: ProfilePayload,
+        threshold: Option<f64>,
+        min_runs: Option<u64>,
+        min_delta_ns: Option<u64>,
+    ) -> Result<RegressReport, ClientError> {
+        match self.expect(&Request::QueryRegress {
+            benchmark: benchmark.to_string(),
+            threads,
+            profile,
+            threshold,
+            min_runs,
+            min_delta_ns,
+        })? {
+            Response::Regress(report) => Ok(report),
+            other => Err(ClientError::Protocol(format!(
+                "expected regress report, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Server health: service counters, read-only flag, store shape.
+    pub fn server_stats(&mut self) -> Result<ServerStatsReport, ClientError> {
+        match self.expect(&Request::Stats)? {
+            Response::ServerStats(report) => Ok(report),
+            other => Err(ClientError::Protocol(format!(
+                "expected server stats, got {other:?}"
+            ))),
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Deprecated line-oriented shims
+    // -----------------------------------------------------------------
+
+    /// Send one request, return the response as a raw JSON object
+    /// (whatever protocol the connection speaks — binary responses are
+    /// re-rendered through the JSON codec).
+    #[deprecated(note = "use `request` and the typed `Response`, or the typed query methods")]
+    pub fn call(&mut self, request: &Request) -> Result<Json, ClientError> {
+        let response = self.expect(request)?;
+        json::parse(&response.to_json_line()).map_err(|e| ClientError::Protocol(e.to_string()))
+    }
+
     /// Upload one profile (text store format).
+    #[deprecated(note = "use `ingest_record` (or `ingest_batch`) with a typed `Record`")]
     pub fn ingest(
         &mut self,
         benchmark: &str,
@@ -190,67 +495,12 @@ impl Client {
         timestamp_ns: Option<u64>,
         profile_text: &str,
     ) -> Result<IngestAck, ClientError> {
-        let v = self.call(&Request::Ingest {
-            benchmark: benchmark.to_string(),
-            threads,
-            timestamp_ns,
-            profile_text: profile_text.to_string(),
-        })?;
-        let field = |key: &str| {
-            v.get(key)
-                .and_then(Json::as_u64)
-                .ok_or_else(|| ClientError::Protocol(format!("ingest ack lacks '{key}'")))
-        };
+        let receipt =
+            self.ingest_record(&Record::from_text(benchmark, threads, timestamp_ns, profile_text))?;
         Ok(IngestAck {
-            run_id: field("run_id")?,
-            bytes: field("bytes")?,
-            segment: field("segment")?,
+            run_id: receipt.run_id(),
+            bytes: receipt.bytes,
+            segment: receipt.segment,
         })
-    }
-
-    /// Top-N regions by summed inclusive time; raw response object.
-    pub fn query_top(
-        &mut self,
-        benchmark: &str,
-        threads: u32,
-        n: usize,
-    ) -> Result<Json, ClientError> {
-        self.call(&Request::QueryTop {
-            benchmark: benchmark.to_string(),
-            threads,
-            n,
-        })
-    }
-
-    /// Cross-run scalar statistics; raw response object.
-    pub fn query_stats(&mut self, benchmark: &str, threads: u32) -> Result<Json, ClientError> {
-        self.call(&Request::QueryStats {
-            benchmark: benchmark.to_string(),
-            threads,
-        })
-    }
-
-    /// Regression check of a candidate profile against the stored
-    /// baseline; raw response object (see `regressed` member).
-    pub fn query_regress(
-        &mut self,
-        benchmark: &str,
-        threads: u32,
-        profile_text: &str,
-        threshold: Option<f64>,
-    ) -> Result<Json, ClientError> {
-        self.call(&Request::QueryRegress {
-            benchmark: benchmark.to_string(),
-            threads,
-            profile_text: profile_text.to_string(),
-            threshold,
-            min_runs: None,
-            min_delta_ns: None,
-        })
-    }
-
-    /// Server health; raw response object.
-    pub fn server_stats(&mut self) -> Result<Json, ClientError> {
-        self.call(&Request::Stats)
     }
 }

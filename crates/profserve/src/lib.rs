@@ -2,40 +2,58 @@
 //!
 //! A measurement produces one profile per run; a *repository* makes runs
 //! comparable across time. This crate serves a [`profstore::ProfileStore`]
-//! over TCP with a line-delimited JSON protocol (std::net only — the
-//! build is offline, vendored-only):
+//! over TCP (std::net only — the build is offline, vendored-only) with
+//! two interchangeable encodings of one typed protocol surface
+//! ([`protocol`]):
 //!
-//! * `INGEST` — upload a profile (text store format inside a JSON
-//!   string) into the append-only segment log.
-//! * `QUERY top|stats|regress` — top-N constructs across stored runs,
-//!   cross-run scalar statistics, or a regression verdict for a fresh
-//!   run against the stored baseline mean.
-//! * `STATS` — server health (service counters from
-//!   `taskprof-telemetry`) plus store shape.
+//! * **JSON lines** — one JSON object per line, both directions.
+//!   Human-readable, `nc`-able, the original protocol.
+//! * **TPF1 binary frames** ([`wire`]) — length-prefixed CRC-framed
+//!   payloads sharing the store's LEB128 codec, opened by the 4-byte
+//!   magic `"TPF1"`. Supports pipelining and `INGEST_BATCH` (one
+//!   acknowledgement per batch) — the bulk-ingest path.
 //!
-//! Concurrency model: one handler thread per connection behind a bounded
-//! permit gate. When the gate is exhausted, new connections are shed
-//! immediately with a typed `overloaded` error — the accept loop never
-//! blocks on request work. Each request runs under `catch_unwind`, so a
-//! handler bug answers one request with `internal` instead of killing
-//! the daemon.
+//! Both live on the same port: the server sniffs the first bytes of each
+//! connection. The requests are the same either way — `INGEST` /
+//! `INGEST_BATCH` append profiles to the segment log, `QUERY
+//! top|stats|regress` read the cross-run aggregates, `STATS` reports
+//! daemon health.
+//!
+//! Concurrency model: a single-threaded readiness reactor ([`server`],
+//! `reactor`) multiplexes the listener and every connection — epoll on
+//! Linux, poll(2) elsewhere on unix — with per-connection state machines
+//! and nonblocking sockets. Beyond `max_connections` live connections,
+//! new ones are shed immediately with a typed `overloaded` error; each
+//! request runs under `catch_unwind`, so a handler bug answers one
+//! request with `internal` instead of killing the daemon.
 //!
 //! Failure model: per-connection read/write deadlines (slow-loris
-//! defense, counted in `timeout_connections`), a capped request-line
-//! buffer (typed `too_large`), graceful shutdown that answers in-flight
+//! defense, counted in `timeout_connections`), capped request sizes
+//! (typed `too_large`), graceful shutdown that answers in-flight
 //! requests before closing, and `ENOSPC`-triggered read-only degradation
 //! (typed `read_only`, surfaced in `STATS`). See [`server`] for details.
+//!
+//! The [`Client`] negotiates the protocol ([`protocol::WireProtocol`]):
+//! by default it tries the TPF1 handshake and falls back to JSON lines,
+//! and exposes typed methods ([`Client::ingest_batch`],
+//! [`Client::query_top`], …) returning the report structs from
+//! [`protocol`].
 
 #![warn(missing_docs)]
 
 pub mod client;
 pub mod json;
 pub mod protocol;
+mod reactor;
 pub mod server;
+pub mod wire;
 
 pub use client::{Client, ClientError, ClientTimeouts, IngestAck};
 pub use json::{parse as parse_json, Json, JsonError};
-pub use protocol::{ErrorKind, Request};
+pub use protocol::{
+    ErrorKind, IngestReceipt, ProfilePayload, Record, RegressReport, Request, Response,
+    ServerStatsReport, StatsReport, TopReport, WireProtocol,
+};
 pub use server::{ServeConfig, Server, ServerHandle};
 
 #[cfg(test)]
@@ -90,23 +108,108 @@ mod tests {
         let addr = handle.addr().to_string();
 
         let mut client = Client::connect(&addr).expect("connect");
+        // The default connect negotiates TPF1 against an Auto server.
+        assert_eq!(client.protocol(), WireProtocol::Binary);
         let profile = sample_profile_text("basic", 1_000);
-        let ack = client.ingest("fib", 2, Some(111), &profile).expect("ingest");
-        assert_eq!(ack.run_id, 1);
-        let ack2 = client.ingest("fib", 2, Some(222), &profile).expect("ingest");
-        assert_eq!(ack2.run_id, 2);
+        let ack = client
+            .ingest_record(&Record::from_text("fib", 2, Some(111), &profile))
+            .expect("ingest");
+        assert_eq!(ack.run_id(), 1);
+        let ack2 = client
+            .ingest_record(&Record::from_text("fib", 2, Some(222), &profile))
+            .expect("ingest");
+        assert_eq!(ack2.run_id(), 2);
 
         let top = client.query_top("fib", 2, 5).expect("top");
-        assert_eq!(top.get("runs").and_then(Json::as_u64), Some(2));
-        let regions = top.get("regions").and_then(Json::as_arr).expect("regions");
-        assert!(!regions.is_empty());
+        assert_eq!(top.runs, 2);
+        assert!(!top.regions.is_empty());
 
         let stats = client.query_stats("fib", 2).expect("stats");
-        assert_eq!(stats.get("runs").and_then(Json::as_u64), Some(2));
+        assert_eq!(stats.runs, 2);
 
         let health = client.server_stats().expect("server stats");
-        let server = health.get("server").expect("server member");
-        assert_eq!(server.get("ingests").and_then(Json::as_u64), Some(2));
+        assert_eq!(health.service.ingests, 2);
+        assert!(health.service.bin_requests >= 5, "{:?}", health.service);
+
+        handle.stop();
+        drop(client);
+        join.join().expect("join").expect("run");
+    }
+
+    #[test]
+    fn forced_protocols_both_serve() {
+        let dir = temp_dir("proto");
+        let store = open_store(&dir);
+        let (handle, join) =
+            Server::spawn("127.0.0.1:0", store, ServeConfig::default()).expect("spawn");
+        let addr = handle.addr().to_string();
+        let profile = sample_profile_text("proto", 750);
+
+        let mut bin = Client::connect_proto(&addr, WireProtocol::Binary, ClientTimeouts::default())
+            .expect("binary connect");
+        assert_eq!(bin.protocol(), WireProtocol::Binary);
+        bin.ingest_record(&Record::from_text("px", 2, Some(1), &profile))
+            .expect("binary ingest");
+
+        // A JSON client sees what the binary client wrote, and both
+        // protocol counters advance.
+        let mut json = Client::connect_proto(&addr, WireProtocol::Json, ClientTimeouts::default())
+            .expect("json connect");
+        assert_eq!(json.protocol(), WireProtocol::Json);
+        let stats = json.query_stats("px", 2).expect("json stats");
+        assert_eq!(stats.runs, 1);
+        let health = json.server_stats().expect("health");
+        assert!(health.service.bin_requests >= 1, "{:?}", health.service);
+        assert!(health.service.json_requests >= 1, "{:?}", health.service);
+
+        handle.stop();
+        drop((bin, json));
+        join.join().expect("join").expect("run");
+    }
+
+    #[test]
+    fn ingest_batch_amortizes_acknowledgements() {
+        let dir = temp_dir("batch");
+        let store = open_store(&dir);
+        let (handle, join) =
+            Server::spawn("127.0.0.1:0", store, ServeConfig::default()).expect("spawn");
+        let mut client = Client::connect(&handle.addr().to_string()).expect("connect");
+
+        let profile = sample_profile_text("batch", 400);
+        let records: Vec<Record> = (0..10)
+            .map(|i| Record::from_text("bulk", 4, Some(i + 1), &profile))
+            .collect();
+        let receipt = client.ingest_batch(&records).expect("batch");
+        assert_eq!(receipt.count, 10);
+        assert_eq!(receipt.first_run_id, 1);
+        assert!(receipt.bytes > 0);
+
+        let stats = client.query_stats("bulk", 4).expect("stats");
+        assert_eq!(stats.runs, 10);
+        let health = client.server_stats().expect("health");
+        assert_eq!(health.service.ingests, 10);
+        assert_eq!(health.service.ingest_batches, 1);
+
+        handle.stop();
+        drop(client);
+        join.join().expect("join").expect("run");
+    }
+
+    #[test]
+    fn deprecated_shims_still_work() {
+        #![allow(deprecated)]
+        let dir = temp_dir("shim");
+        let store = open_store(&dir);
+        let (handle, join) =
+            Server::spawn("127.0.0.1:0", store, ServeConfig::default()).expect("spawn");
+        let mut client = Client::connect(&handle.addr().to_string()).expect("connect");
+
+        let profile = sample_profile_text("shim", 600);
+        let ack = client.ingest("legacy", 2, Some(7), &profile).expect("shim ingest");
+        assert_eq!(ack.run_id, 1);
+        let v = client.call(&Request::Stats).expect("shim call");
+        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true));
+        assert!(v.get("server").is_some(), "{v}");
 
         handle.stop();
         drop(client);
@@ -145,7 +248,7 @@ mod tests {
         reader.read_line(&mut line).expect("read");
         assert!(line.contains("bad_request"), "{line}");
         // Same connection still serves valid requests.
-        writeln!(raw, "{}", Request::Stats.to_line()).expect("write");
+        writeln!(raw, "{}", Request::Stats.to_json_line()).expect("write");
         line.clear();
         reader.read_line(&mut line).expect("read");
         assert!(line.contains("\"ok\":true"), "{line}");
@@ -161,6 +264,41 @@ mod tests {
     }
 
     #[test]
+    fn corrupt_binary_frame_gets_typed_error_and_close() {
+        let dir = temp_dir("badframe");
+        let store = open_store(&dir);
+        let (handle, join) =
+            Server::spawn("127.0.0.1:0", store, ServeConfig::default()).expect("spawn");
+
+        use std::io::{Read, Write};
+        let mut raw = std::net::TcpStream::connect(handle.addr()).expect("connect");
+        raw.write_all(&wire::WIRE_MAGIC).expect("magic");
+        let mut framed = wire::frame(&wire::encode_request(&Request::Stats));
+        let flip = framed.len() / 2;
+        framed[flip] ^= 0x40; // corrupt the payload; the CRC must catch it
+        raw.write_all(&framed).expect("write");
+        raw.flush().expect("flush");
+
+        let mut head = [0u8; 4];
+        raw.read_exact(&mut head).expect("len");
+        let len = u32::from_le_bytes(head) as usize;
+        let mut rest = vec![0u8; len + 4];
+        raw.read_exact(&mut rest).expect("payload");
+        match wire::decode_response(&rest[..len]).expect("decode") {
+            Response::Error { kind, .. } => assert_eq!(kind, ErrorKind::BadRequest),
+            other => panic!("expected error frame, got {other:?}"),
+        }
+        // The frame stream cannot resync: the server closes.
+        let mut restbuf = Vec::new();
+        raw.read_to_end(&mut restbuf).expect("read_to_end");
+        assert!(restbuf.is_empty(), "connection should be closed");
+
+        handle.stop();
+        drop(raw);
+        join.join().expect("join").expect("run");
+    }
+
+    #[test]
     fn overload_sheds_with_typed_error() {
         let dir = temp_dir("shed");
         let store = open_store(&dir);
@@ -171,20 +309,21 @@ mod tests {
         let (handle, join) = Server::spawn("127.0.0.1:0", store, config).expect("spawn");
         let addr = handle.addr().to_string();
 
-        // First connection holds the only permit.
+        // First connection holds the only slot.
         let mut first = Client::connect(&addr).expect("connect");
         let _ = first.server_stats().expect("stats");
 
-        // Subsequent connections are shed with a typed overloaded error.
-        // The accept loop may take a beat to hand off the first stream, so
-        // retry until the shed response is observed.
+        // Subsequent connections are shed with a typed overloaded error
+        // (the negotiating client surfaces it from connect, a JSON client
+        // from its first call). The reactor may take a beat to register
+        // the first connection, so retry until the shed is observed.
         let mut shed_seen = false;
         for _ in 0..50 {
-            let mut extra = match Client::connect(&addr) {
-                Ok(c) => c,
-                Err(_) => continue,
-            };
-            match extra.server_stats() {
+            let outcome = Client::connect(&addr).and_then(|mut extra| {
+                extra.server_stats()?;
+                Ok(())
+            });
+            match outcome {
                 Err(ClientError::Server {
                     kind: ErrorKind::Overloaded,
                     ..
@@ -192,12 +331,7 @@ mod tests {
                     shed_seen = true;
                     break;
                 }
-                Err(ClientError::Protocol(_)) | Err(ClientError::Io(_)) => {
-                    std::thread::sleep(std::time::Duration::from_millis(10));
-                }
-                Ok(_) | Err(ClientError::Server { .. }) => {
-                    std::thread::sleep(std::time::Duration::from_millis(10));
-                }
+                _ => std::thread::sleep(std::time::Duration::from_millis(10)),
             }
         }
         assert!(shed_seen, "no shed observed under max_connections=1");
@@ -271,11 +405,7 @@ mod tests {
         }
         let mut client = Client::connect(&handle.addr().to_string()).expect("connect");
         let health = client.server_stats().expect("stats");
-        let server = health.get("server").expect("server member");
-        assert!(
-            server.get("timeout_connections").and_then(Json::as_u64) >= Some(1),
-            "{health}"
-        );
+        assert!(health.service.timeout_connections >= 1, "{:?}", health.service);
         handle.stop();
         drop((client, raw));
         join.join().expect("join").expect("run");
@@ -301,11 +431,13 @@ mod tests {
 
         // Baseline data while the disk is healthy.
         let profile = sample_profile_text("readonly", 500);
-        client.ingest("fib", 2, Some(1), &profile).expect("ingest");
+        client
+            .ingest_record(&Record::from_text("fib", 2, Some(1), &profile))
+            .expect("ingest");
 
         // The disk fills: the next ingest trips read-only mode.
         fault.arm(FaultKind::Enospc);
-        match client.ingest("fib", 2, Some(2), &profile) {
+        match client.ingest_record(&Record::from_text("fib", 2, Some(2), &profile)) {
             Err(ClientError::Server { kind, .. }) => assert_eq!(kind, ErrorKind::ReadOnly),
             other => panic!("expected read_only, got {other:?}"),
         }
@@ -314,16 +446,15 @@ mod tests {
         // Sticky until restart: even after space frees up, ingests are
         // refused (an operator decision, not a silent flap) …
         fault.disarm();
-        match client.ingest("fib", 2, Some(3), &profile) {
+        match client.ingest_record(&Record::from_text("fib", 2, Some(3), &profile)) {
             Err(ClientError::Server { kind, .. }) => assert_eq!(kind, ErrorKind::ReadOnly),
             other => panic!("expected read_only, got {other:?}"),
         }
         // … but queries keep serving the intact data, and STATS says why.
         let stats = client.query_stats("fib", 2).expect("query in read-only");
-        assert_eq!(stats.get("runs").and_then(Json::as_u64), Some(1));
+        assert_eq!(stats.runs, 1);
         let health = client.server_stats().expect("stats");
-        let server = health.get("server").expect("server member");
-        assert_eq!(server.get("read_only").and_then(Json::as_bool), Some(true));
+        assert!(health.read_only);
 
         handle.stop();
         drop(client);
@@ -343,11 +474,11 @@ mod tests {
         // that was already open: draining must answer it before closing.
         handle.stop();
         let health = client.server_stats().expect("request drained across stop");
-        assert_eq!(health.get("ok").and_then(Json::as_bool), Some(true));
+        assert!(health.service.connections >= 1);
         // After the drained reply the server closes the connection.
         match client.server_stats() {
             Err(_) => {}
-            Ok(v) => panic!("connection should be closed after drain, got {v}"),
+            Ok(v) => panic!("connection should be closed after drain, got {v:?}"),
         }
         drop(client);
         join.join().expect("join").expect("run");

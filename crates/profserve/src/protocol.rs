@@ -1,10 +1,21 @@
-//! The wire protocol: one JSON object per line, both directions.
+//! The protocol surface: one shared, typed request/response model with
+//! two interchangeable encodings.
 //!
-//! Requests:
+//! * **JSON lines** (this module): one JSON object per line, both
+//!   directions — human-readable, `nc`-able, the original protocol.
+//! * **TPF1 binary frames** ([`crate::wire`]): length-prefixed CRC-framed
+//!   payloads sharing the store's LEB128 codec — the bulk-ingest path.
+//!
+//! Both codecs encode the same [`Request`] / [`Response`] enums, so the
+//! server core and the typed [`crate::Client`] are protocol-agnostic.
+//!
+//! JSON requests:
 //!
 //! ```text
+//! {"cmd":"HELLO","version":1,"features":0}
 //! {"cmd":"INGEST","benchmark":"fib","threads":2,"profile":"taskprof-profile v1\n…"}
 //!     optional: "timestamp_ns":N
+//! {"cmd":"INGEST_BATCH","items":[{"benchmark":…,"threads":…,"profile":…},…]}
 //! {"cmd":"QUERY","query":"top","benchmark":"fib","threads":2,"n":10}
 //! {"cmd":"QUERY","query":"stats","benchmark":"fib","threads":2}
 //! {"cmd":"QUERY","query":"regress","benchmark":"fib","threads":2,
@@ -12,16 +23,17 @@
 //! {"cmd":"STATS"}
 //! ```
 //!
-//! Every response is `{"ok":true,…}` or a typed error
+//! Every JSON response is `{"ok":true,…}` or a typed error
 //! `{"ok":false,"error":{"kind":"<kind>","message":"…"}}` with kind one of
 //! `overloaded`, `bad_request`, `not_found`, `internal`, `too_large`,
-//! `read_only`. Profiles travel
-//! as the text store format (`cube::write_profile`) inside a JSON string,
-//! so one wire format serves both humans and machines and the server
-//! re-uses the hardened text parser for validation.
+//! `read_only`. Over JSON, profiles travel as the text store format
+//! (`cube::write_profile`) inside a JSON string; over TPF1 they travel as
+//! the store's binary record payload. [`ProfilePayload`] carries either
+//! form and the server decodes whichever arrives.
 
 use crate::json::Json;
-use profstore::{BenchAgg, MetricAgg, Regression, StoreStats};
+use profstore::{BenchAgg, MetricAgg, Regression, RunMeta, StoreStats};
+use taskprof::Profile;
 use taskprof_telemetry::ServiceSnapshot;
 
 /// Typed error categories a response can carry.
@@ -71,20 +83,188 @@ impl ErrorKind {
     }
 }
 
-/// One parsed request.
+/// Transport selection knob shared by the client, the server, the CLI
+/// (`--proto`), and the session exporter.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum WireProtocol {
+    /// Negotiate. A client tries TPF1 and falls back to JSON lines if
+    /// the handshake fails; a server sniffs the first bytes of each
+    /// connection and speaks whichever protocol arrives.
+    #[default]
+    Auto,
+    /// JSON lines only.
+    Json,
+    /// TPF1 binary frames only.
+    Binary,
+}
+
+impl WireProtocol {
+    /// Parse a CLI/config spelling (`auto`, `json`, `bin`/`binary`).
+    pub fn parse(s: &str) -> Option<Self> {
+        Some(match s {
+            "auto" => WireProtocol::Auto,
+            "json" => WireProtocol::Json,
+            "bin" | "binary" => WireProtocol::Binary,
+            _ => return None,
+        })
+    }
+
+    /// Canonical spelling (round-trips through [`WireProtocol::parse`]).
+    pub fn name(self) -> &'static str {
+        match self {
+            WireProtocol::Auto => "auto",
+            WireProtocol::Json => "json",
+            WireProtocol::Binary => "bin",
+        }
+    }
+}
+
+impl std::str::FromStr for WireProtocol {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        WireProtocol::parse(s)
+            .ok_or_else(|| format!("unknown wire protocol '{s}' (expected auto|json|bin)"))
+    }
+}
+
+impl std::fmt::Display for WireProtocol {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Payloads and requests
+// ---------------------------------------------------------------------
+
+/// A profile in transit, in whichever encoding the protocol chose.
+///
+/// JSON carries [`Text`](ProfilePayload::Text) (the `cube` text store
+/// format); TPF1 carries [`Record`](ProfilePayload::Record) (the
+/// `profstore` record codec payload, run id 0 — the store assigns the
+/// real id on ingest). The server accepts either on either protocol; the
+/// explicit benchmark/threads/timestamp fields on the request always win
+/// over whatever metadata a record payload embeds.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ProfilePayload {
+    /// `cube::write_profile` text.
+    Text(String),
+    /// `profstore::encode_record` payload bytes.
+    Record(Vec<u8>),
+}
+
+impl ProfilePayload {
+    /// Decode to an in-memory [`Profile`]; `Err` carries a `bad_request`
+    /// explanation.
+    pub fn decode(&self) -> Result<Profile, String> {
+        match self {
+            ProfilePayload::Text(text) => {
+                cube::read_profile(text).map_err(|e| format!("bad profile: {e}"))
+            }
+            ProfilePayload::Record(bytes) => profstore::decode_record(bytes)
+                .map(|(_, p)| p)
+                .map_err(|e| format!("bad profile record: {e}")),
+        }
+    }
+
+    /// Render as text-store format (re-encoding a binary record if
+    /// needed) — what the JSON codec puts on the wire.
+    pub fn to_text(&self) -> Result<String, String> {
+        match self {
+            ProfilePayload::Text(text) => Ok(text.clone()),
+            ProfilePayload::Record(_) => Ok(cube::write_profile(&self.decode()?)),
+        }
+    }
+
+    /// Approximate in-transit size, for accounting and size caps.
+    pub fn len(&self) -> usize {
+        match self {
+            ProfilePayload::Text(t) => t.len(),
+            ProfilePayload::Record(b) => b.len(),
+        }
+    }
+
+    /// True when the payload is empty (vacuous, but clippy insists a
+    /// `len` has an `is_empty`).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// One profile to ingest: group identity plus the payload. This is the
+/// item type of [`Request::Ingest`] and [`Request::IngestBatch`], and the
+/// argument to [`crate::Client::ingest_batch`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct Record {
+    /// Benchmark / workload name the run belongs to.
+    pub benchmark: String,
+    /// Team thread count of the run.
+    pub threads: u32,
+    /// Caller timestamp; the server stamps its own clock when absent.
+    pub timestamp_ns: Option<u64>,
+    /// The profile itself.
+    pub profile: ProfilePayload,
+}
+
+impl Record {
+    /// A record from text-store-format profile text.
+    pub fn from_text(
+        benchmark: impl Into<String>,
+        threads: u32,
+        timestamp_ns: Option<u64>,
+        profile_text: impl Into<String>,
+    ) -> Self {
+        Record {
+            benchmark: benchmark.into(),
+            threads,
+            timestamp_ns,
+            profile: ProfilePayload::Text(profile_text.into()),
+        }
+    }
+
+    /// A record from an in-memory profile, encoded as the compact binary
+    /// record payload (run id 0; the store assigns the real one).
+    pub fn from_profile(
+        benchmark: impl Into<String>,
+        threads: u32,
+        timestamp_ns: Option<u64>,
+        profile: &Profile,
+    ) -> Self {
+        let benchmark = benchmark.into();
+        let meta = RunMeta {
+            run_id: 0,
+            benchmark: benchmark.clone(),
+            threads,
+            timestamp_ns: timestamp_ns.unwrap_or(0),
+        };
+        Record {
+            benchmark,
+            threads,
+            timestamp_ns,
+            profile: ProfilePayload::Record(profstore::encode_record(&meta, profile)),
+        }
+    }
+}
+
+/// One parsed request, protocol-independent.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Request {
-    /// Upload one profile.
-    Ingest {
-        /// Benchmark name the run belongs to.
-        benchmark: String,
-        /// Thread count of the run.
-        threads: u32,
-        /// Caller timestamp; the server stamps its own clock when absent.
-        timestamp_ns: Option<u64>,
-        /// The profile, in the text store format.
-        profile_text: String,
+    /// Version/feature negotiation (sent first on binary connections;
+    /// legal but unnecessary over JSON).
+    Hello {
+        /// Highest protocol version the client speaks.
+        version: u32,
+        /// Feature bitmask the client understands (see [`crate::wire`]).
+        features: u64,
     },
+    /// Upload one profile.
+    Ingest(Record),
+    /// Upload many profiles under one acknowledgement — the pipelined
+    /// bulk path. Items are ingested in order; the first failure aborts
+    /// the rest and the error reply tells the client nothing after the
+    /// reported count was stored.
+    IngestBatch(Vec<Record>),
     /// Top-N constructs by summed inclusive time across stored runs.
     QueryTop {
         /// Benchmark name.
@@ -107,8 +287,8 @@ pub enum Request {
         benchmark: String,
         /// Thread count group.
         threads: u32,
-        /// The candidate profile, text store format.
-        profile_text: String,
+        /// The candidate profile.
+        profile: ProfilePayload,
         /// Relative threshold (default: the server's).
         threshold: Option<f64>,
         /// Minimum baseline runs (default: the server's).
@@ -119,6 +299,221 @@ pub enum Request {
     /// Server health: service counters + store shape.
     Stats,
 }
+
+// ---------------------------------------------------------------------
+// Typed responses
+// ---------------------------------------------------------------------
+
+/// Acknowledgement of one ingest (or one whole batch).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IngestReceipt {
+    /// Run id of the first profile stored (ids are consecutive within a
+    /// batch).
+    pub first_run_id: u64,
+    /// Profiles stored under this acknowledgement.
+    pub count: u64,
+    /// Framed bytes appended across the batch.
+    pub bytes: u64,
+    /// Segment the last record landed in.
+    pub segment: u64,
+}
+
+impl IngestReceipt {
+    /// The single run id, for one-profile ingests.
+    pub fn run_id(&self) -> u64 {
+        self.first_run_id
+    }
+}
+
+/// Cross-run aggregate of one scalar metric.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct MetricReport {
+    /// Runs aggregated.
+    pub runs: u64,
+    /// Sum over runs, ns.
+    pub sum_ns: u64,
+    /// Minimum over runs, ns (0 when no runs).
+    pub min_ns: u64,
+    /// Maximum over runs, ns.
+    pub max_ns: u64,
+    /// Mean over runs, ns.
+    pub mean_ns: f64,
+}
+
+impl MetricReport {
+    fn from_agg(m: &MetricAgg) -> Self {
+        MetricReport {
+            runs: m.count,
+            sum_ns: m.sum,
+            min_ns: m.min().unwrap_or(0),
+            max_ns: m.max,
+            mean_ns: m.mean(),
+        }
+    }
+}
+
+/// One row of a top-N report.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RegionRow {
+    /// Construct (region) name.
+    pub region: String,
+    /// Summed-inclusive-time aggregate across runs.
+    pub metric: MetricReport,
+}
+
+/// `QUERY top` result.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TopReport {
+    /// Benchmark queried.
+    pub benchmark: String,
+    /// Thread count group queried.
+    pub threads: u32,
+    /// Runs in the aggregate.
+    pub runs: u64,
+    /// Rows, hottest first.
+    pub regions: Vec<RegionRow>,
+}
+
+impl TopReport {
+    /// Build from a store aggregate.
+    pub fn from_agg(benchmark: &str, threads: u32, agg: &BenchAgg, n: usize) -> Self {
+        TopReport {
+            benchmark: benchmark.to_string(),
+            threads,
+            runs: agg.runs,
+            regions: agg
+                .top_regions(n)
+                .into_iter()
+                .map(|(name, m)| RegionRow {
+                    region: name.to_string(),
+                    metric: MetricReport::from_agg(m),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// `QUERY stats` result.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StatsReport {
+    /// Benchmark queried.
+    pub benchmark: String,
+    /// Thread count group queried.
+    pub threads: u32,
+    /// Runs in the aggregate.
+    pub runs: u64,
+    /// Total inclusive time across runs.
+    pub total_ns: MetricReport,
+    /// Distinct constructs seen.
+    pub constructs: u64,
+    /// Runs whose tree shape disagreed with the aggregate.
+    pub tree_mismatches: u64,
+}
+
+impl StatsReport {
+    /// Build from a store aggregate.
+    pub fn from_agg(benchmark: &str, threads: u32, agg: &BenchAgg) -> Self {
+        StatsReport {
+            benchmark: benchmark.to_string(),
+            threads,
+            runs: agg.runs,
+            total_ns: MetricReport::from_agg(&agg.total_ns),
+            constructs: agg.regions.len() as u64,
+            tree_mismatches: agg.tree_mismatches,
+        }
+    }
+}
+
+/// One construct flagged by the regression check.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RegressFinding {
+    /// Construct name.
+    pub region: String,
+    /// Candidate's inclusive time, ns.
+    pub new_ns: u64,
+    /// Baseline mean, ns.
+    pub mean_ns: f64,
+    /// `new / mean`.
+    pub ratio: f64,
+}
+
+/// `QUERY regress` verdict.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RegressReport {
+    /// True when any construct exceeded the threshold.
+    pub regressed: bool,
+    /// Runs the baseline was built from.
+    pub baseline_runs: u64,
+    /// Relative threshold applied.
+    pub threshold: f64,
+    /// Flagged constructs, worst first.
+    pub findings: Vec<RegressFinding>,
+}
+
+impl RegressReport {
+    /// Build from a store verdict.
+    pub fn from_verdict(v: &Regression) -> Self {
+        RegressReport {
+            regressed: v.regressed,
+            baseline_runs: v.baseline_runs,
+            threshold: v.threshold,
+            findings: v
+                .findings
+                .iter()
+                .map(|f| RegressFinding {
+                    region: f.region.clone(),
+                    new_ns: f.new_ns,
+                    mean_ns: f.mean_ns,
+                    ratio: f.ratio,
+                })
+                .collect(),
+        }
+    }
+}
+
+/// `STATS` result: daemon counters plus store shape.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ServerStatsReport {
+    /// Service counters since daemon start.
+    pub service: ServiceSnapshot,
+    /// True when the daemon degraded to read-only after `ENOSPC`.
+    pub read_only: bool,
+    /// Store shape.
+    pub store: StoreStats,
+}
+
+/// One parsed response, protocol-independent.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Response {
+    /// Negotiation reply: the version/features the server will speak.
+    Hello {
+        /// Protocol version the server chose.
+        version: u32,
+        /// Feature bitmask both sides support.
+        features: u64,
+    },
+    /// Ingest (or batch) acknowledgement.
+    Ingest(IngestReceipt),
+    /// Top-N rows.
+    Top(TopReport),
+    /// Scalar statistics.
+    Stats(StatsReport),
+    /// Regression verdict.
+    Regress(RegressReport),
+    /// Server health.
+    ServerStats(ServerStatsReport),
+    /// Typed failure.
+    Error {
+        /// Category.
+        kind: ErrorKind,
+        /// Human-readable explanation.
+        message: String,
+    },
+}
+
+// ---------------------------------------------------------------------
+// JSON codec — requests
+// ---------------------------------------------------------------------
 
 fn need_str(v: &Json, key: &str) -> Result<String, String> {
     v.get(key)
@@ -133,24 +528,64 @@ fn need_u64(v: &Json, key: &str) -> Result<u64, String> {
         .ok_or_else(|| format!("missing or non-integer '{key}'"))
 }
 
+fn need_threads(v: &Json) -> Result<u32, String> {
+    u32::try_from(need_u64(v, "threads")?).map_err(|_| "threads out of range".to_string())
+}
+
+fn record_from_json(v: &Json) -> Result<Record, String> {
+    Ok(Record {
+        benchmark: need_str(v, "benchmark")?,
+        threads: need_threads(v)?,
+        timestamp_ns: v.get("timestamp_ns").and_then(Json::as_u64),
+        profile: ProfilePayload::Text(need_str(v, "profile")?),
+    })
+}
+
+fn record_to_json(r: &Record, cmd: Option<&str>) -> Json {
+    let mut members = Vec::new();
+    if let Some(cmd) = cmd {
+        members.push(("cmd", Json::str(cmd)));
+    }
+    members.push(("benchmark", Json::str(r.benchmark.clone())));
+    members.push(("threads", Json::num(u64::from(r.threads))));
+    if let Some(t) = r.timestamp_ns {
+        members.push(("timestamp_ns", Json::num(t)));
+    }
+    members.push((
+        "profile",
+        Json::str(r.profile.to_text().unwrap_or_default()),
+    ));
+    Json::obj(members)
+}
+
 impl Request {
-    /// Parse one request line. `Err` carries a `bad_request` explanation.
-    pub fn parse(line: &str) -> Result<Request, String> {
+    /// Parse one JSON request line. `Err` carries a `bad_request`
+    /// explanation.
+    pub fn from_json_line(line: &str) -> Result<Request, String> {
         let v = crate::json::parse(line).map_err(|e| e.to_string())?;
         let cmd = need_str(&v, "cmd")?;
         match cmd.as_str() {
-            "INGEST" => Ok(Request::Ingest {
-                benchmark: need_str(&v, "benchmark")?,
-                threads: u32::try_from(need_u64(&v, "threads")?)
-                    .map_err(|_| "threads out of range".to_string())?,
-                timestamp_ns: v.get("timestamp_ns").and_then(Json::as_u64),
-                profile_text: need_str(&v, "profile")?,
+            "HELLO" => Ok(Request::Hello {
+                version: u32::try_from(need_u64(&v, "version")?)
+                    .map_err(|_| "version out of range".to_string())?,
+                features: v.get("features").and_then(Json::as_u64).unwrap_or(0),
             }),
+            "INGEST" => Ok(Request::Ingest(record_from_json(&v)?)),
+            "INGEST_BATCH" => {
+                let items = v
+                    .get("items")
+                    .and_then(Json::as_arr)
+                    .ok_or_else(|| "missing or non-array 'items'".to_string())?;
+                items
+                    .iter()
+                    .map(record_from_json)
+                    .collect::<Result<Vec<_>, _>>()
+                    .map(Request::IngestBatch)
+            }
             "QUERY" => {
                 let query = need_str(&v, "query")?;
                 let benchmark = need_str(&v, "benchmark")?;
-                let threads = u32::try_from(need_u64(&v, "threads")?)
-                    .map_err(|_| "threads out of range".to_string())?;
+                let threads = need_threads(&v)?;
                 match query.as_str() {
                     "top" => Ok(Request::QueryTop {
                         benchmark,
@@ -161,7 +596,7 @@ impl Request {
                     "regress" => Ok(Request::QueryRegress {
                         benchmark,
                         threads,
-                        profile_text: need_str(&v, "profile")?,
+                        profile: ProfilePayload::Text(need_str(&v, "profile")?),
                         threshold: v.get("threshold").and_then(Json::as_f64),
                         min_runs: v.get("min_runs").and_then(Json::as_u64),
                         min_delta_ns: v.get("min_delta_ns").and_then(Json::as_u64),
@@ -174,26 +609,24 @@ impl Request {
         }
     }
 
-    /// Serialize to one request line (the client side).
-    pub fn to_line(&self) -> String {
+    /// Serialize to one JSON request line (the client side). Binary
+    /// record payloads are re-rendered as profile text, since JSON
+    /// strings cannot carry raw bytes.
+    pub fn to_json_line(&self) -> String {
         let v = match self {
-            Request::Ingest {
-                benchmark,
-                threads,
-                timestamp_ns,
-                profile_text,
-            } => {
-                let mut members = vec![
-                    ("cmd", Json::str("INGEST")),
-                    ("benchmark", Json::str(benchmark.clone())),
-                    ("threads", Json::num(u64::from(*threads))),
-                ];
-                if let Some(t) = timestamp_ns {
-                    members.push(("timestamp_ns", Json::num(*t)));
-                }
-                members.push(("profile", Json::str(profile_text.clone())));
-                Json::obj(members)
-            }
+            Request::Hello { version, features } => Json::obj(vec![
+                ("cmd", Json::str("HELLO")),
+                ("version", Json::num(u64::from(*version))),
+                ("features", Json::num(*features)),
+            ]),
+            Request::Ingest(record) => record_to_json(record, Some("INGEST")),
+            Request::IngestBatch(items) => Json::obj(vec![
+                ("cmd", Json::str("INGEST_BATCH")),
+                (
+                    "items",
+                    Json::Arr(items.iter().map(|r| record_to_json(r, None)).collect()),
+                ),
+            ]),
             Request::QueryTop {
                 benchmark,
                 threads,
@@ -214,7 +647,7 @@ impl Request {
             Request::QueryRegress {
                 benchmark,
                 threads,
-                profile_text,
+                profile,
                 threshold,
                 min_runs,
                 min_delta_ns,
@@ -234,7 +667,7 @@ impl Request {
                 if let Some(d) = min_delta_ns {
                     members.push(("min_delta_ns", Json::num(*d)));
                 }
-                members.push(("profile", Json::str(profile_text.clone())));
+                members.push(("profile", Json::str(profile.to_text().unwrap_or_default())));
                 Json::obj(members)
             }
             Request::Stats => Json::obj(vec![("cmd", Json::str("STATS"))]),
@@ -244,136 +677,289 @@ impl Request {
 }
 
 // ---------------------------------------------------------------------
-// Response builders (server side; also exercised by client tests)
+// JSON codec — responses
 // ---------------------------------------------------------------------
 
-/// `{"ok":false,…}` with a typed error.
+/// `{"ok":false,…}` with a typed error — also used bare by the server
+/// for pre-parse failures (overload shedding, oversized lines).
 pub fn error_line(kind: ErrorKind, message: &str) -> String {
-    Json::obj(vec![
-        ("ok", Json::Bool(false)),
-        (
-            "error",
-            Json::obj(vec![
-                ("kind", Json::str(kind.tag())),
-                ("message", Json::str(message)),
-            ]),
-        ),
-    ])
-    .to_string()
+    Response::Error {
+        kind,
+        message: message.to_string(),
+    }
+    .to_json_line()
 }
 
-/// Acknowledgement of one ingest.
-pub fn ingest_line(run_id: u64, bytes: u64, segment: u64) -> String {
+fn metric_obj(m: &MetricReport) -> Json {
     Json::obj(vec![
-        ("ok", Json::Bool(true)),
-        ("run_id", Json::num(run_id)),
-        ("bytes", Json::num(bytes)),
-        ("segment", Json::num(segment)),
-    ])
-    .to_string()
-}
-
-fn metric_obj(m: &MetricAgg) -> Json {
-    Json::obj(vec![
-        ("runs", Json::num(m.count)),
-        ("sum_ns", Json::num(m.sum)),
-        ("min_ns", Json::num(m.min().unwrap_or(0))),
-        ("max_ns", Json::num(m.max)),
-        ("mean_ns", Json::num_f(m.mean())),
+        ("runs", Json::num(m.runs)),
+        ("sum_ns", Json::num(m.sum_ns)),
+        ("min_ns", Json::num(m.min_ns)),
+        ("max_ns", Json::num(m.max_ns)),
+        ("mean_ns", Json::num_f(m.mean_ns)),
     ])
 }
 
-/// Top-N response from a cross-run aggregate.
-pub fn top_line(benchmark: &str, threads: u32, agg: &BenchAgg, n: usize) -> String {
-    let regions: Vec<Json> = agg
-        .top_regions(n)
-        .into_iter()
-        .map(|(name, m)| {
-            let mut members = vec![("region".to_string(), Json::str(name))];
-            if let Json::Obj(mm) = metric_obj(m) {
-                members.extend(mm);
-            }
-            Json::Obj(members)
-        })
-        .collect();
-    Json::obj(vec![
-        ("ok", Json::Bool(true)),
-        ("benchmark", Json::str(benchmark)),
-        ("threads", Json::num(u64::from(threads))),
-        ("runs", Json::num(agg.runs)),
-        ("regions", Json::Arr(regions)),
-    ])
-    .to_string()
+fn metric_from_json(v: &Json) -> Result<MetricReport, String> {
+    Ok(MetricReport {
+        runs: need_u64(v, "runs")?,
+        sum_ns: need_u64(v, "sum_ns")?,
+        min_ns: need_u64(v, "min_ns")?,
+        max_ns: need_u64(v, "max_ns")?,
+        mean_ns: v
+            .get("mean_ns")
+            .and_then(Json::as_f64)
+            .ok_or("missing 'mean_ns'")?,
+    })
 }
 
-/// Cross-run scalar statistics response.
-pub fn stats_line(benchmark: &str, threads: u32, agg: &BenchAgg) -> String {
-    Json::obj(vec![
-        ("ok", Json::Bool(true)),
-        ("benchmark", Json::str(benchmark)),
-        ("threads", Json::num(u64::from(threads))),
-        ("runs", Json::num(agg.runs)),
-        ("total_ns", metric_obj(&agg.total_ns)),
-        ("constructs", Json::num(agg.regions.len() as u64)),
-        ("tree_mismatches", Json::num(agg.tree_mismatches)),
-    ])
-    .to_string()
-}
-
-/// Regression verdict response.
-pub fn regress_line(verdict: &Regression) -> String {
-    let findings: Vec<Json> = verdict
-        .findings
-        .iter()
-        .map(|f| {
-            Json::obj(vec![
-                ("region", Json::str(f.region.clone())),
-                ("new_ns", Json::num(f.new_ns)),
-                ("mean_ns", Json::num_f(f.mean_ns)),
-                ("ratio", Json::num_f(f.ratio)),
+impl Response {
+    /// Serialize to one JSON response line (the server side).
+    pub fn to_json_line(&self) -> String {
+        match self {
+            Response::Hello { version, features } => Json::obj(vec![
+                ("ok", Json::Bool(true)),
+                (
+                    "hello",
+                    Json::obj(vec![
+                        ("version", Json::num(u64::from(*version))),
+                        ("features", Json::num(*features)),
+                    ]),
+                ),
             ])
-        })
-        .collect();
-    Json::obj(vec![
-        ("ok", Json::Bool(true)),
-        ("regressed", Json::Bool(verdict.regressed)),
-        ("baseline_runs", Json::num(verdict.baseline_runs)),
-        ("threshold", Json::num_f(verdict.threshold)),
-        ("findings", Json::Arr(findings)),
-    ])
-    .to_string()
-}
+            .to_string(),
+            Response::Ingest(r) => Json::obj(vec![
+                ("ok", Json::Bool(true)),
+                ("run_id", Json::num(r.first_run_id)),
+                ("count", Json::num(r.count)),
+                ("bytes", Json::num(r.bytes)),
+                ("segment", Json::num(r.segment)),
+            ])
+            .to_string(),
+            Response::Top(t) => {
+                let regions: Vec<Json> = t
+                    .regions
+                    .iter()
+                    .map(|row| {
+                        let mut members = vec![("region".to_string(), Json::str(row.region.clone()))];
+                        if let Json::Obj(mm) = metric_obj(&row.metric) {
+                            members.extend(mm);
+                        }
+                        Json::Obj(members)
+                    })
+                    .collect();
+                Json::obj(vec![
+                    ("ok", Json::Bool(true)),
+                    ("benchmark", Json::str(t.benchmark.clone())),
+                    ("threads", Json::num(u64::from(t.threads))),
+                    ("runs", Json::num(t.runs)),
+                    ("regions", Json::Arr(regions)),
+                ])
+                .to_string()
+            }
+            Response::Stats(s) => Json::obj(vec![
+                ("ok", Json::Bool(true)),
+                ("benchmark", Json::str(s.benchmark.clone())),
+                ("threads", Json::num(u64::from(s.threads))),
+                ("runs", Json::num(s.runs)),
+                ("total_ns", metric_obj(&s.total_ns)),
+                ("constructs", Json::num(s.constructs)),
+                ("tree_mismatches", Json::num(s.tree_mismatches)),
+            ])
+            .to_string(),
+            Response::Regress(r) => {
+                let findings: Vec<Json> = r
+                    .findings
+                    .iter()
+                    .map(|f| {
+                        Json::obj(vec![
+                            ("region", Json::str(f.region.clone())),
+                            ("new_ns", Json::num(f.new_ns)),
+                            ("mean_ns", Json::num_f(f.mean_ns)),
+                            ("ratio", Json::num_f(f.ratio)),
+                        ])
+                    })
+                    .collect();
+                Json::obj(vec![
+                    ("ok", Json::Bool(true)),
+                    ("regressed", Json::Bool(r.regressed)),
+                    ("baseline_runs", Json::num(r.baseline_runs)),
+                    ("threshold", Json::num_f(r.threshold)),
+                    ("findings", Json::Arr(findings)),
+                ])
+                .to_string()
+            }
+            Response::ServerStats(h) => {
+                let s = &h.service;
+                Json::obj(vec![
+                    ("ok", Json::Bool(true)),
+                    (
+                        "server",
+                        Json::obj(vec![
+                            ("connections", Json::num(s.connections)),
+                            ("shed_connections", Json::num(s.shed_connections)),
+                            ("timeout_connections", Json::num(s.timeout_connections)),
+                            ("ingests", Json::num(s.ingests)),
+                            ("ingest_bytes", Json::num(s.ingest_bytes)),
+                            ("queries", Json::num(s.queries)),
+                            ("errors", Json::num(s.errors)),
+                            ("panics", Json::num(s.panics)),
+                            ("json_requests", Json::num(s.json_requests)),
+                            ("bin_requests", Json::num(s.bin_requests)),
+                            ("ingest_batches", Json::num(s.ingest_batches)),
+                            ("read_only", Json::Bool(h.read_only)),
+                        ]),
+                    ),
+                    (
+                        "store",
+                        Json::obj(vec![
+                            ("segments", Json::num(h.store.segments)),
+                            ("runs", Json::num(h.store.runs)),
+                            ("bytes", Json::num(h.store.bytes)),
+                            (
+                                "recovered_tail_bytes",
+                                Json::num(h.store.recovered_tail_bytes),
+                            ),
+                            ("compacted_through", Json::num(h.store.compacted_through)),
+                        ]),
+                    ),
+                ])
+                .to_string()
+            }
+            Response::Error { kind, message } => Json::obj(vec![
+                ("ok", Json::Bool(false)),
+                (
+                    "error",
+                    Json::obj(vec![
+                        ("kind", Json::str(kind.tag())),
+                        ("message", Json::str(message.clone())),
+                    ]),
+                ),
+            ])
+            .to_string(),
+        }
+    }
 
-/// Server-health response (`STATS`).
-pub fn server_stats_line(service: &ServiceSnapshot, store: &StoreStats, read_only: bool) -> String {
-    Json::obj(vec![
-        ("ok", Json::Bool(true)),
-        (
-            "server",
-            Json::obj(vec![
-                ("connections", Json::num(service.connections)),
-                ("shed_connections", Json::num(service.shed_connections)),
-                ("timeout_connections", Json::num(service.timeout_connections)),
-                ("ingests", Json::num(service.ingests)),
-                ("ingest_bytes", Json::num(service.ingest_bytes)),
-                ("queries", Json::num(service.queries)),
-                ("errors", Json::num(service.errors)),
-                ("panics", Json::num(service.panics)),
-                ("read_only", Json::Bool(read_only)),
-            ]),
-        ),
-        (
-            "store",
-            Json::obj(vec![
-                ("segments", Json::num(store.segments)),
-                ("runs", Json::num(store.runs)),
-                ("bytes", Json::num(store.bytes)),
-                ("recovered_tail_bytes", Json::num(store.recovered_tail_bytes)),
-                ("compacted_through", Json::num(store.compacted_through)),
-            ]),
-        ),
-    ])
-    .to_string()
+    /// Parse one JSON response line back into the typed form (the client
+    /// side). The response kind is recovered from its distinguishing
+    /// fields, so no out-of-band context is needed.
+    pub fn from_json_line(line: &str) -> Result<Response, String> {
+        let v = crate::json::parse(line).map_err(|e| e.to_string())?;
+        let ok = v
+            .get("ok")
+            .and_then(Json::as_bool)
+            .ok_or("missing or non-bool 'ok'")?;
+        if !ok {
+            let e = v.get("error").ok_or("error response without 'error'")?;
+            let tag = need_str(e, "kind")?;
+            return Ok(Response::Error {
+                kind: ErrorKind::from_tag(&tag).ok_or_else(|| format!("unknown kind '{tag}'"))?,
+                message: need_str(e, "message")?,
+            });
+        }
+        if let Some(h) = v.get("hello") {
+            return Ok(Response::Hello {
+                version: u32::try_from(need_u64(h, "version")?)
+                    .map_err(|_| "version out of range".to_string())?,
+                features: h.get("features").and_then(Json::as_u64).unwrap_or(0),
+            });
+        }
+        if v.get("run_id").is_some() {
+            return Ok(Response::Ingest(IngestReceipt {
+                first_run_id: need_u64(&v, "run_id")?,
+                count: v.get("count").and_then(Json::as_u64).unwrap_or(1),
+                bytes: need_u64(&v, "bytes")?,
+                segment: need_u64(&v, "segment")?,
+            }));
+        }
+        if let Some(regions) = v.get("regions").and_then(Json::as_arr) {
+            return Ok(Response::Top(TopReport {
+                benchmark: need_str(&v, "benchmark")?,
+                threads: need_threads(&v)?,
+                runs: need_u64(&v, "runs")?,
+                regions: regions
+                    .iter()
+                    .map(|row| {
+                        Ok(RegionRow {
+                            region: need_str(row, "region")?,
+                            metric: metric_from_json(row)?,
+                        })
+                    })
+                    .collect::<Result<Vec<_>, String>>()?,
+            }));
+        }
+        if v.get("regressed").is_some() {
+            let findings = v
+                .get("findings")
+                .and_then(Json::as_arr)
+                .ok_or("missing 'findings'")?;
+            return Ok(Response::Regress(RegressReport {
+                regressed: v
+                    .get("regressed")
+                    .and_then(Json::as_bool)
+                    .ok_or("non-bool 'regressed'")?,
+                baseline_runs: need_u64(&v, "baseline_runs")?,
+                threshold: v
+                    .get("threshold")
+                    .and_then(Json::as_f64)
+                    .ok_or("missing 'threshold'")?,
+                findings: findings
+                    .iter()
+                    .map(|f| {
+                        Ok(RegressFinding {
+                            region: need_str(f, "region")?,
+                            new_ns: need_u64(f, "new_ns")?,
+                            mean_ns: f
+                                .get("mean_ns")
+                                .and_then(Json::as_f64)
+                                .ok_or("missing 'mean_ns'")?,
+                            ratio: f
+                                .get("ratio")
+                                .and_then(Json::as_f64)
+                                .ok_or("missing 'ratio'")?,
+                        })
+                    })
+                    .collect::<Result<Vec<_>, String>>()?,
+            }));
+        }
+        if let Some(total) = v.get("total_ns") {
+            return Ok(Response::Stats(StatsReport {
+                benchmark: need_str(&v, "benchmark")?,
+                threads: need_threads(&v)?,
+                runs: need_u64(&v, "runs")?,
+                total_ns: metric_from_json(total)?,
+                constructs: need_u64(&v, "constructs")?,
+                tree_mismatches: need_u64(&v, "tree_mismatches")?,
+            }));
+        }
+        if let Some(s) = v.get("server") {
+            let store = v.get("store").ok_or("missing 'store'")?;
+            return Ok(Response::ServerStats(ServerStatsReport {
+                service: ServiceSnapshot {
+                    connections: need_u64(s, "connections")?,
+                    shed_connections: need_u64(s, "shed_connections")?,
+                    timeout_connections: need_u64(s, "timeout_connections")?,
+                    ingests: need_u64(s, "ingests")?,
+                    ingest_bytes: need_u64(s, "ingest_bytes")?,
+                    queries: need_u64(s, "queries")?,
+                    errors: need_u64(s, "errors")?,
+                    panics: need_u64(s, "panics")?,
+                    json_requests: s.get("json_requests").and_then(Json::as_u64).unwrap_or(0),
+                    bin_requests: s.get("bin_requests").and_then(Json::as_u64).unwrap_or(0),
+                    ingest_batches: s.get("ingest_batches").and_then(Json::as_u64).unwrap_or(0),
+                },
+                read_only: s.get("read_only").and_then(Json::as_bool).unwrap_or(false),
+                store: StoreStats {
+                    segments: need_u64(store, "segments")?,
+                    runs: need_u64(store, "runs")?,
+                    bytes: need_u64(store, "bytes")?,
+                    recovered_tail_bytes: need_u64(store, "recovered_tail_bytes")?,
+                    compacted_through: need_u64(store, "compacted_through")?,
+                },
+            }));
+        }
+        Err("unrecognized response shape".to_string())
+    }
 }
 
 #[cfg(test)]
@@ -383,12 +969,20 @@ mod tests {
     #[test]
     fn requests_round_trip() {
         let reqs = [
-            Request::Ingest {
-                benchmark: "fib".into(),
-                threads: 2,
-                timestamp_ns: Some(7),
-                profile_text: "taskprof-profile v1\nthreads 0\n".into(),
+            Request::Hello {
+                version: 1,
+                features: 1,
             },
+            Request::Ingest(Record::from_text(
+                "fib",
+                2,
+                Some(7),
+                "taskprof-profile v1\nthreads 0\n",
+            )),
+            Request::IngestBatch(vec![
+                Record::from_text("fib", 2, Some(1), "taskprof-profile v1\nthreads 0\n"),
+                Record::from_text("fib", 2, None, "taskprof-profile v1\nthreads 0\n"),
+            ]),
             Request::QueryTop {
                 benchmark: "nqueens".into(),
                 threads: 4,
@@ -401,7 +995,7 @@ mod tests {
             Request::QueryRegress {
                 benchmark: "fib".into(),
                 threads: 2,
-                profile_text: "p".into(),
+                profile: ProfilePayload::Text("p".into()),
                 threshold: Some(0.25),
                 min_runs: Some(3),
                 min_delta_ns: None,
@@ -409,25 +1003,115 @@ mod tests {
             Request::Stats,
         ];
         for r in reqs {
-            let line = r.to_line();
+            let line = r.to_json_line();
             assert!(!line.contains('\n'), "{line}");
-            assert_eq!(Request::parse(&line).expect("parse"), r);
+            assert_eq!(Request::from_json_line(&line).expect("parse"), r);
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let resps = [
+            Response::Hello {
+                version: 1,
+                features: 1,
+            },
+            Response::Ingest(IngestReceipt {
+                first_run_id: 41,
+                count: 3,
+                bytes: 1234,
+                segment: 2,
+            }),
+            Response::Top(TopReport {
+                benchmark: "fib".into(),
+                threads: 2,
+                runs: 5,
+                regions: vec![RegionRow {
+                    region: "fib!task".into(),
+                    metric: MetricReport {
+                        runs: 5,
+                        sum_ns: 100,
+                        min_ns: 10,
+                        max_ns: 30,
+                        mean_ns: 20.0,
+                    },
+                }],
+            }),
+            Response::Stats(StatsReport {
+                benchmark: "fib".into(),
+                threads: 2,
+                runs: 5,
+                total_ns: MetricReport {
+                    runs: 5,
+                    sum_ns: 500,
+                    min_ns: 90,
+                    max_ns: 110,
+                    mean_ns: 100.0,
+                },
+                constructs: 3,
+                tree_mismatches: 0,
+            }),
+            Response::Regress(RegressReport {
+                regressed: true,
+                baseline_runs: 4,
+                threshold: 0.25,
+                findings: vec![RegressFinding {
+                    region: "fib!task".into(),
+                    new_ns: 150,
+                    mean_ns: 100.0,
+                    ratio: 1.5,
+                }],
+            }),
+            Response::ServerStats(ServerStatsReport {
+                service: ServiceSnapshot {
+                    connections: 2,
+                    ingests: 7,
+                    json_requests: 4,
+                    bin_requests: 3,
+                    ingest_batches: 1,
+                    ..ServiceSnapshot::default()
+                },
+                read_only: false,
+                store: StoreStats {
+                    segments: 1,
+                    runs: 7,
+                    bytes: 999,
+                    recovered_tail_bytes: 0,
+                    compacted_through: 0,
+                },
+            }),
+            Response::Error {
+                kind: ErrorKind::NotFound,
+                message: "no such group".into(),
+            },
+        ];
+        for r in resps {
+            let line = r.to_json_line();
+            assert!(!line.contains('\n'), "{line}");
+            assert_eq!(Response::from_json_line(&line).expect("parse"), r);
         }
     }
 
     #[test]
     fn bad_requests_are_rejected_with_reason() {
-        assert!(Request::parse("not json").is_err());
-        assert!(Request::parse("{}").unwrap_err().contains("cmd"));
-        assert!(Request::parse("{\"cmd\":\"NOPE\"}").unwrap_err().contains("NOPE"));
-        assert!(Request::parse("{\"cmd\":\"INGEST\",\"benchmark\":\"x\"}")
+        assert!(Request::from_json_line("not json").is_err());
+        assert!(Request::from_json_line("{}").unwrap_err().contains("cmd"));
+        assert!(Request::from_json_line("{\"cmd\":\"NOPE\"}")
             .unwrap_err()
-            .contains("threads"));
+            .contains("NOPE"));
         assert!(
-            Request::parse("{\"cmd\":\"QUERY\",\"query\":\"nope\",\"benchmark\":\"x\",\"threads\":1}")
+            Request::from_json_line("{\"cmd\":\"INGEST\",\"benchmark\":\"x\"}")
                 .unwrap_err()
-                .contains("nope")
+                .contains("threads")
         );
+        assert!(Request::from_json_line(
+            "{\"cmd\":\"QUERY\",\"query\":\"nope\",\"benchmark\":\"x\",\"threads\":1}"
+        )
+        .unwrap_err()
+        .contains("nope"));
+        assert!(Request::from_json_line("{\"cmd\":\"INGEST_BATCH\",\"items\":7}")
+            .unwrap_err()
+            .contains("items"));
     }
 
     #[test]
@@ -439,5 +1123,25 @@ mod tests {
         assert_eq!(e.get("kind").and_then(Json::as_str), Some("overloaded"));
         assert_eq!(ErrorKind::from_tag("bad_request"), Some(ErrorKind::BadRequest));
         assert_eq!(ErrorKind::from_tag("???"), None);
+    }
+
+    #[test]
+    fn binary_record_payloads_rerender_as_text_over_json() {
+        // A Record built from an in-memory profile carries the compact
+        // binary payload; pushing it through the JSON codec must fall
+        // back to the text rendering and still parse as the same profile.
+        let profile = Profile::default();
+        let r = Record::from_profile("fib", 2, Some(5), &profile);
+        assert!(matches!(r.profile, ProfilePayload::Record(_)));
+        let line = Request::Ingest(r).to_json_line();
+        let back = Request::from_json_line(&line).expect("parse");
+        match back {
+            Request::Ingest(rec) => {
+                assert_eq!(rec.benchmark, "fib");
+                let p = rec.profile.decode().expect("decode");
+                assert_eq!(p.threads.len(), 0);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
     }
 }

@@ -1,43 +1,46 @@
-//! The serving daemon: a `std::net` TCP accept loop, one handler thread
-//! per admitted connection, a bounded permit gate in front of admission,
-//! and per-request panic isolation.
+//! The serving daemon: an epoll-style reactor (see [`crate::reactor`])
+//! multiplexing every connection on one thread, with first-byte protocol
+//! sniffing (JSON lines vs TPF1 binary frames on the same port), a
+//! bounded admission gate, and per-request panic isolation.
 //!
-//! Backpressure policy: the accept loop itself never blocks on request
-//! work and never waits for a permit. When `max_connections` handlers are
-//! live, the next connection is answered immediately with a typed
-//! `overloaded` error line and closed, and the shed is counted — mirroring
-//! the profiler's overload shedding (degrade loudly, never stall the hot
-//! path). Handler panics are caught per request (`catch_unwind`, the PR 1
-//! pattern), answered with a typed `internal` error, and counted; the
-//! connection — and the daemon — keep serving.
+//! Backpressure policy: admission never blocks on request work. When
+//! `max_connections` connections are live, the next connection is
+//! answered immediately with a typed `overloaded` error line and closed,
+//! and the shed is counted — mirroring the profiler's overload shedding
+//! (degrade loudly, never stall the hot path). Handler panics are caught
+//! per request (`catch_unwind`, the PR 1 pattern), answered with a typed
+//! `internal` error, and counted; the connection — and the daemon — keep
+//! serving.
 //!
-//! Failure model (PR 6):
+//! Failure model (PR 6, semantics preserved across the reactor rewrite):
 //!
 //! * **Slow-loris defense** — every connection carries read/write
 //!   deadlines ([`ServeConfig::read_timeout`] / `write_timeout`); a peer
 //!   that trickles bytes (or goes silent mid-request) is dropped when the
 //!   deadline fires, counted in `timeout_connections`.
-//! * **Bounded request lines** — the line reader caps the buffer at
-//!   [`ServeConfig::max_request_bytes`]; an over-long line gets a typed
-//!   `too_large` error and the connection closes (there is no way to
-//!   resync inside an unterminated line), instead of growing a `Vec`
-//!   until OOM.
-//! * **Graceful shutdown** — after [`ServerHandle::stop`] every handler
-//!   finishes (and answers) the request it already received before
-//!   closing; the deadlines bound how long draining can take.
+//! * **Bounded requests** — the JSON path caps a request line at
+//!   [`ServeConfig::max_request_bytes`] (typed `too_large`, then close:
+//!   there is no way to resync inside an unterminated line); the binary
+//!   path applies the same cap to a frame's length word.
+//! * **Graceful shutdown** — after [`ServerHandle::stop`] every
+//!   connection finishes (and answers) at most one request it already
+//!   received before closing; the deadlines bound how long draining can
+//!   take.
 //! * **Read-only degradation** — an `ENOSPC` from the store flips the
 //!   daemon into read-only mode: further ingests get a typed `read_only`
 //!   error, queries keep working, and `STATS` reports `"read_only":true`
 //!   so operators see the degradation instead of a crash loop.
+//!
+//! On non-unix hosts (no `poll`/`epoll`) a legacy thread-per-connection
+//! loop serves the JSON protocol only.
 
 use crate::protocol::{
-    error_line, ingest_line, regress_line, server_stats_line, stats_line, top_line, ErrorKind,
-    Request,
+    ErrorKind, IngestReceipt, Record, RegressReport, Request, Response, ServerStatsReport,
+    StatsReport, TopReport, WireProtocol,
 };
+use crate::wire;
 use profstore::{is_enospc, ProfileStore, RegressConfig, RunSummary, StoreError};
-use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, RwLock};
 use std::time::Duration;
@@ -46,7 +49,7 @@ use taskprof_telemetry::ServiceCounters;
 /// Daemon configuration.
 #[derive(Clone, Debug)]
 pub struct ServeConfig {
-    /// Concurrent-connection cap (the permit gate).
+    /// Concurrent-connection cap (the admission gate).
     pub max_connections: usize,
     /// Defaults for `regress` queries that omit tunables.
     pub regress: RegressConfig,
@@ -56,11 +59,16 @@ pub struct ServeConfig {
     /// Drop a connection whose next request does not arrive within this
     /// deadline (`None` waits forever — the pre-hardening behavior).
     pub read_timeout: Option<Duration>,
-    /// Deadline for writing one response line back to the peer.
+    /// Deadline for draining one response back to the peer.
     pub write_timeout: Option<Duration>,
-    /// Reject request lines longer than this many bytes with a typed
-    /// `too_large` error (profiles travel inline, so the cap is generous).
+    /// Reject JSON request lines (or binary frame payloads) longer than
+    /// this many bytes with a typed `too_large` error (profiles travel
+    /// inline, so the cap is generous).
     pub max_request_bytes: usize,
+    /// Which wire protocols to accept: [`WireProtocol::Auto`] sniffs
+    /// both on the same port; `Json`/`Binary` refuse the other with a
+    /// typed `bad_request`.
+    pub protocols: WireProtocol,
 }
 
 impl Default for ServeConfig {
@@ -72,19 +80,21 @@ impl Default for ServeConfig {
             read_timeout: Some(Duration::from_secs(10)),
             write_timeout: Some(Duration::from_secs(10)),
             max_request_bytes: 32 << 20,
+            protocols: WireProtocol::Auto,
         }
     }
 }
 
-struct Shared {
-    store: RwLock<ProfileStore>,
-    counters: Arc<ServiceCounters>,
-    permits: AtomicUsize,
-    stop: AtomicBool,
+pub(crate) struct Shared {
+    pub(crate) store: RwLock<ProfileStore>,
+    pub(crate) counters: Arc<ServiceCounters>,
+    #[cfg_attr(unix, allow(dead_code))]
+    pub(crate) permits: AtomicUsize,
+    pub(crate) stop: AtomicBool,
     /// Set on the first `ENOSPC` from the store; ingests are refused
     /// (typed `read_only`) until the daemon restarts with free disk.
-    read_only: AtomicBool,
-    config: ServeConfig,
+    pub(crate) read_only: AtomicBool,
+    pub(crate) config: ServeConfig,
 }
 
 /// Cheap cloneable control handle for a running server.
@@ -105,15 +115,16 @@ impl ServerHandle {
         Arc::clone(&self.shared.counters)
     }
 
-    /// Ask the accept loop to exit. Idempotent; returns once the flag is
-    /// set (the loop notices via a wake-up connection). Handlers drain:
-    /// each finishes and answers the request it already received before
-    /// closing its connection.
+    /// Ask the reactor to exit. Idempotent; returns once the flag is set
+    /// (the loop notices via a wake-up connection). Connections drain:
+    /// each answers at most one request it already received before
+    /// closing.
     pub fn stop(&self) {
         if self.shared.stop.swap(true, Ordering::SeqCst) {
             return;
         }
-        // Unblock the blocking accept with a throwaway connection.
+        // Unblock the waiting reactor (or accept loop) with a throwaway
+        // connection.
         let _ = TcpStream::connect(self.addr);
     }
 
@@ -159,10 +170,9 @@ impl Server {
         })
     }
 
-    /// Serve until [`ServerHandle::stop`]; joins all handler threads (and
-    /// the compactor) before returning.
+    /// Serve until [`ServerHandle::stop`]; joins the compactor (and, on
+    /// the legacy path, all handler threads) before returning.
     pub fn run(self) -> std::io::Result<()> {
-        let mut workers: Vec<std::thread::JoinHandle<()>> = Vec::new();
         let compactor = self.shared.config.compact_interval.map(|every| {
             let shared = Arc::clone(&self.shared);
             std::thread::spawn(move || {
@@ -186,50 +196,22 @@ impl Server {
             })
         });
 
-        for conn in self.listener.incoming() {
-            if self.shared.stop.load(Ordering::SeqCst) {
-                break;
-            }
-            let stream = match conn {
-                Ok(s) => s,
-                Err(_) => continue,
-            };
-            // Bounded admission: take a permit or shed, never block.
-            let admitted = self
-                .shared
-                .permits
-                .fetch_update(Ordering::AcqRel, Ordering::Acquire, |p| p.checked_sub(1))
-                .is_ok();
-            if !admitted {
-                self.shared.counters.shed();
-                let mut stream = stream;
-                let _ = writeln!(
-                    stream,
-                    "{}",
-                    error_line(ErrorKind::Overloaded, "connection limit reached; retry later")
-                );
-                continue;
-            }
-            self.shared.counters.connection();
-            let shared = Arc::clone(&self.shared);
-            let handle = std::thread::spawn(move || {
-                serve_connection(&shared, stream);
-                shared.permits.fetch_add(1, Ordering::AcqRel);
-            });
-            // Reap finished handlers so a long-running daemon's handle
-            // list tracks live connections (bounded by the permit gate),
-            // not total connections ever served.
-            workers.retain(|h| !h.is_finished());
-            workers.push(handle);
-        }
+        let result = self.serve();
 
-        for handle in workers {
-            let _ = handle.join();
-        }
         if let Some(compactor) = compactor {
             let _ = compactor.join();
         }
-        Ok(())
+        result
+    }
+
+    #[cfg(unix)]
+    fn serve(self) -> std::io::Result<()> {
+        crate::reactor::run(self.listener, Arc::clone(&self.shared))
+    }
+
+    #[cfg(not(unix))]
+    fn serve(self) -> std::io::Result<()> {
+        legacy::serve(self.listener, Arc::clone(&self.shared))
     }
 
     /// Bind + run on a background thread; the returned handle stops it.
@@ -245,128 +227,9 @@ impl Server {
     }
 }
 
-/// How one attempt to read a request line ended.
-enum LineOutcome {
-    /// A complete line (newline stripped).
-    Line(String),
-    /// Clean end of stream.
-    Eof,
-    /// The line exceeded the size cap before its newline arrived.
-    TooLarge,
-    /// The read deadline fired (slow or silent peer).
-    TimedOut,
-    /// Any other I/O failure.
-    Failed,
-}
-
-/// Read one `\n`-terminated line without ever buffering more than `max`
-/// bytes — the fix for the unbounded-growth path where a newline-less
-/// peer could balloon a `Vec` until OOM.
-fn read_bounded_line(reader: &mut BufReader<TcpStream>, max: usize) -> LineOutcome {
-    let mut line: Vec<u8> = Vec::new();
-    loop {
-        let chunk = match reader.fill_buf() {
-            Ok(c) => c,
-            Err(e)
-                if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut =>
-            {
-                return LineOutcome::TimedOut
-            }
-            Err(_) => return LineOutcome::Failed,
-        };
-        if chunk.is_empty() {
-            // EOF. A final unterminated line is still a request (mirrors
-            // `BufRead::lines`), unless nothing arrived at all.
-            return if line.is_empty() {
-                LineOutcome::Eof
-            } else {
-                match String::from_utf8(std::mem::take(&mut line)) {
-                    Ok(s) => LineOutcome::Line(s),
-                    Err(_) => LineOutcome::Failed,
-                }
-            };
-        }
-        let newline = chunk.iter().position(|&b| b == b'\n');
-        let take = newline.map_or(chunk.len(), |i| i);
-        if line.len() + take > max {
-            return LineOutcome::TooLarge;
-        }
-        line.extend_from_slice(&chunk[..take]);
-        let consumed = newline.map_or(take, |i| i + 1);
-        reader.consume(consumed);
-        if newline.is_some() {
-            if line.last() == Some(&b'\r') {
-                line.pop();
-            }
-            return match String::from_utf8(line) {
-                Ok(s) => LineOutcome::Line(s),
-                Err(_) => LineOutcome::Failed,
-            };
-        }
-    }
-}
-
-fn serve_connection(shared: &Arc<Shared>, stream: TcpStream) {
-    // Responses are one line each; without nodelay they sit behind the
-    // peer's delayed ACK and cap the request/response rate at ~25/s.
-    let _ = stream.set_nodelay(true);
-    // Per-connection deadlines: a peer that trickles bytes or never
-    // drains its receive buffer cannot pin this handler forever.
-    let _ = stream.set_read_timeout(shared.config.read_timeout);
-    let _ = stream.set_write_timeout(shared.config.write_timeout);
-    let mut writer = match stream.try_clone() {
-        Ok(w) => w,
-        Err(_) => return,
-    };
-    let mut reader = BufReader::new(stream);
-    loop {
-        let line = match read_bounded_line(&mut reader, shared.config.max_request_bytes) {
-            LineOutcome::Line(l) => l,
-            LineOutcome::Eof | LineOutcome::Failed => break,
-            LineOutcome::TimedOut => {
-                // During a graceful shutdown an idle connection timing out
-                // is the drain completing, not a misbehaving peer.
-                if !shared.stop.load(Ordering::SeqCst) {
-                    shared.counters.timeout();
-                }
-                break;
-            }
-            LineOutcome::TooLarge => {
-                shared.counters.error();
-                let reply = error_line(
-                    ErrorKind::TooLarge,
-                    &format!(
-                        "request line exceeds {} bytes; connection closed",
-                        shared.config.max_request_bytes
-                    ),
-                );
-                let _ = writeln!(writer, "{reply}").and_then(|()| writer.flush());
-                break;
-            }
-        };
-        if line.trim().is_empty() {
-            continue;
-        }
-        // Per-request panic isolation: a handler bug answers one request
-        // with `internal`, it does not take the daemon down.
-        let response = match catch_unwind(AssertUnwindSafe(|| handle_request(shared, &line))) {
-            Ok(resp) => resp,
-            Err(_) => {
-                shared.counters.panic();
-                error_line(ErrorKind::Internal, "request handler panicked (isolated)")
-            }
-        };
-        if writeln!(writer, "{response}").and_then(|()| writer.flush()).is_err() {
-            break;
-        }
-        // Graceful drain: the request in flight was answered; only now
-        // does a shutdown close the connection.
-        if shared.stop.load(Ordering::SeqCst) {
-            break;
-        }
-    }
-}
+// ---------------------------------------------------------------------
+// The protocol-agnostic request core
+// ---------------------------------------------------------------------
 
 fn now_ns() -> u64 {
     std::time::SystemTime::now()
@@ -375,90 +238,114 @@ fn now_ns() -> u64 {
         .unwrap_or(0)
 }
 
-fn store_error(e: &StoreError) -> String {
+fn error(kind: ErrorKind, message: impl Into<String>) -> Response {
+    Response::Error {
+        kind,
+        message: message.into(),
+    }
+}
+
+fn store_error(e: &StoreError) -> Response {
     match e {
-        StoreError::NotFound(_) => error_line(ErrorKind::NotFound, &e.to_string()),
-        _ => error_line(ErrorKind::Internal, &e.to_string()),
+        StoreError::NotFound(_) => error(ErrorKind::NotFound, e.to_string()),
+        _ => error(ErrorKind::Internal, e.to_string()),
     }
 }
 
 /// Aggregate one group, mapping an empty group to `not_found` — queries
 /// against a benchmark/threads pair nobody ingested should say so, not
 /// answer with all-zero statistics.
+// The Err is the ready-to-send error Response; it exists for one frame
+// on the request path, so boxing it buys nothing.
+#[allow(clippy::result_large_err)]
 fn aggregate_group(
-    shared: &Arc<Shared>,
+    shared: &Shared,
     benchmark: &str,
     threads: u32,
-) -> Result<profstore::BenchAgg, String> {
+) -> Result<profstore::BenchAgg, Response> {
     let store = shared.store.read().expect("store lock");
     match store.aggregate(benchmark, threads) {
-        Ok(agg) if agg.runs == 0 => {
-            shared.counters.error();
-            Err(error_line(
-                ErrorKind::NotFound,
-                &format!("no runs stored for benchmark '{benchmark}' at {threads} threads"),
-            ))
-        }
+        Ok(agg) if agg.runs == 0 => Err(error(
+            ErrorKind::NotFound,
+            format!("no runs stored for benchmark '{benchmark}' at {threads} threads"),
+        )),
         Ok(agg) => Ok(agg),
-        Err(e) => {
-            shared.counters.error();
-            Err(store_error(&e))
-        }
+        Err(e) => Err(store_error(&e)),
     }
 }
 
-fn handle_request(shared: &Arc<Shared>, line: &str) -> String {
-    let request = match Request::parse(line) {
-        Ok(r) => r,
-        Err(reason) => {
-            shared.counters.error();
-            return error_line(ErrorKind::BadRequest, &reason);
+/// Ingest a slice of records under one receipt. Items are stored in
+/// order; validation happens up front so a malformed item refuses the
+/// whole batch before anything lands, while a mid-batch store failure
+/// reports how many records were already durable.
+fn ingest_records(shared: &Shared, items: &[Record]) -> Response {
+    let mut profiles = Vec::with_capacity(items.len());
+    for (index, record) in items.iter().enumerate() {
+        match record.profile.decode() {
+            Ok(p) => profiles.push(p),
+            Err(e) => {
+                return error(ErrorKind::BadRequest, format!("item {index}: {e}"));
+            }
         }
-    };
-    match request {
-        Request::Ingest {
-            benchmark,
-            threads,
-            timestamp_ns,
-            profile_text,
-        } => {
-            let profile = match cube::read_profile(&profile_text) {
-                Ok(p) => p,
-                Err(e) => {
-                    shared.counters.error();
-                    return error_line(ErrorKind::BadRequest, &format!("profile: {e}"));
+    }
+    if shared.read_only.load(Ordering::SeqCst) {
+        return error(
+            ErrorKind::ReadOnly,
+            "store degraded to read-only after ENOSPC; ingests refused",
+        );
+    }
+    let mut receipt = IngestReceipt::default();
+    let mut store = shared.store.write().expect("store lock");
+    for (record, profile) in items.iter().zip(&profiles) {
+        let timestamp = record.timestamp_ns.unwrap_or_else(now_ns);
+        match store.ingest(&record.benchmark, record.threads, timestamp, profile) {
+            Ok(r) => {
+                shared.counters.ingest(r.bytes);
+                if receipt.count == 0 {
+                    receipt.first_run_id = r.run_id;
                 }
-            };
-            if shared.read_only.load(Ordering::SeqCst) {
-                shared.counters.error();
-                return error_line(
+                receipt.count += 1;
+                receipt.bytes += r.bytes;
+                receipt.segment = r.segment;
+            }
+            Err(StoreError::Io(e)) if is_enospc(&e) => {
+                // The disk is full: degrade loudly to read-only rather
+                // than answering `internal` forever. Queries keep
+                // working off the intact prefix of the log.
+                shared.read_only.store(true, Ordering::SeqCst);
+                return error(
                     ErrorKind::ReadOnly,
-                    "store degraded to read-only after ENOSPC; ingests refused",
+                    format!(
+                        "disk full (ENOSPC): store degraded to read-only \
+                         ({} of {} batch records stored)",
+                        receipt.count,
+                        items.len()
+                    ),
                 );
             }
-            let timestamp = timestamp_ns.unwrap_or_else(now_ns);
-            let mut store = shared.store.write().expect("store lock");
-            match store.ingest(&benchmark, threads, timestamp, &profile) {
-                Ok(receipt) => {
-                    shared.counters.ingest(receipt.bytes);
-                    ingest_line(receipt.run_id, receipt.bytes, receipt.segment)
-                }
-                Err(StoreError::Io(e)) if is_enospc(&e) => {
-                    // The disk is full: degrade loudly to read-only rather
-                    // than answering `internal` forever. Queries keep
-                    // working off the intact prefix of the log.
-                    shared.read_only.store(true, Ordering::SeqCst);
-                    shared.counters.error();
-                    error_line(
-                        ErrorKind::ReadOnly,
-                        "disk full (ENOSPC): store degraded to read-only",
-                    )
-                }
-                Err(e) => {
-                    shared.counters.error();
-                    store_error(&e)
-                }
+            Err(e) => return store_error(&e),
+        }
+    }
+    Response::Ingest(receipt)
+}
+
+/// Answer one typed request. Protocol codecs sit on either side of this;
+/// it neither parses nor serializes.
+pub(crate) fn respond(shared: &Shared, request: Request) -> Response {
+    match request {
+        Request::Hello { features, .. } => Response::Hello {
+            // v1 is the only version this build speaks; the feature set
+            // is the intersection, so unknown client bits vanish.
+            version: wire::WIRE_VERSION,
+            features: features & wire::FEATURE_BATCH_INGEST,
+        },
+        Request::Ingest(record) => ingest_records(shared, std::slice::from_ref(&record)),
+        Request::IngestBatch(items) => {
+            shared.counters.ingest_batch();
+            if items.is_empty() {
+                return error(ErrorKind::BadRequest, "empty ingest batch");
             }
+            ingest_records(shared, &items)
         }
         Request::QueryTop {
             benchmark,
@@ -467,32 +354,29 @@ fn handle_request(shared: &Arc<Shared>, line: &str) -> String {
         } => {
             shared.counters.query();
             match aggregate_group(shared, &benchmark, threads) {
-                Ok(agg) => top_line(&benchmark, threads, &agg, n),
-                Err(line) => line,
+                Ok(agg) => Response::Top(TopReport::from_agg(&benchmark, threads, &agg, n)),
+                Err(resp) => resp,
             }
         }
         Request::QueryStats { benchmark, threads } => {
             shared.counters.query();
             match aggregate_group(shared, &benchmark, threads) {
-                Ok(agg) => stats_line(&benchmark, threads, &agg),
-                Err(line) => line,
+                Ok(agg) => Response::Stats(StatsReport::from_agg(&benchmark, threads, &agg)),
+                Err(resp) => resp,
             }
         }
         Request::QueryRegress {
             benchmark,
             threads,
-            profile_text,
+            profile,
             threshold,
             min_runs,
             min_delta_ns,
         } => {
             shared.counters.query();
-            let profile = match cube::read_profile(&profile_text) {
+            let profile = match profile.decode() {
                 Ok(p) => p,
-                Err(e) => {
-                    shared.counters.error();
-                    return error_line(ErrorKind::BadRequest, &format!("profile: {e}"));
-                }
+                Err(e) => return error(ErrorKind::BadRequest, format!("profile: {e}")),
             };
             let config = RegressConfig {
                 threshold: threshold.unwrap_or(shared.config.regress.threshold),
@@ -502,19 +386,207 @@ fn handle_request(shared: &Arc<Shared>, line: &str) -> String {
             match aggregate_group(shared, &benchmark, threads) {
                 Ok(agg) => {
                     let summary = RunSummary::from_profile(&profile);
-                    regress_line(&agg.check_regression(&summary, &config))
+                    Response::Regress(RegressReport::from_verdict(
+                        &agg.check_regression(&summary, &config),
+                    ))
                 }
-                Err(line) => line,
+                Err(resp) => resp,
             }
         }
         Request::Stats => {
             shared.counters.query();
             let store = shared.store.read().expect("store lock");
-            server_stats_line(
-                &shared.counters.snapshot(),
-                &store.stats(),
-                shared.read_only.load(Ordering::SeqCst),
-            )
+            Response::ServerStats(ServerStatsReport {
+                service: shared.counters.snapshot(),
+                read_only: shared.read_only.load(Ordering::SeqCst),
+                store: store.stats(),
+            })
+        }
+    }
+}
+
+fn count_errors(shared: &Shared, response: &Response) {
+    if matches!(response, Response::Error { .. }) {
+        shared.counters.error();
+    }
+}
+
+/// Serve one JSON request line: parse, dispatch, serialize. Returns the
+/// response line (no trailing newline).
+pub(crate) fn handle_json_line(shared: &Shared, line: &str) -> String {
+    shared.counters.json_request();
+    let response = match Request::from_json_line(line) {
+        Ok(request) => respond(shared, request),
+        Err(reason) => error(ErrorKind::BadRequest, reason),
+    };
+    count_errors(shared, &response);
+    response.to_json_line()
+}
+
+/// Serve one TPF1 request payload: decode, dispatch. The caller frames
+/// the returned response.
+pub(crate) fn handle_bin_payload(shared: &Shared, payload: &[u8]) -> Response {
+    shared.counters.bin_request();
+    let response = match wire::decode_request(payload) {
+        Ok(request) => respond(shared, request),
+        Err(e) => error(ErrorKind::BadRequest, e.to_string()),
+    };
+    count_errors(shared, &response);
+    response
+}
+
+// ---------------------------------------------------------------------
+// Legacy thread-per-connection loop (non-unix hosts only): JSON lines
+// only, no reactor. Kept so the crate still builds where poll(2) is
+// unavailable; the reactor path is the product.
+// ---------------------------------------------------------------------
+
+#[cfg(not(unix))]
+mod legacy {
+    use super::*;
+    use crate::protocol::error_line;
+    use std::io::{BufRead, BufReader, Write};
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    pub(super) fn serve(listener: TcpListener, shared: Arc<Shared>) -> std::io::Result<()> {
+        let mut workers: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        for conn in listener.incoming() {
+            if shared.stop.load(Ordering::SeqCst) {
+                break;
+            }
+            let stream = match conn {
+                Ok(s) => s,
+                Err(_) => continue,
+            };
+            let admitted = shared
+                .permits
+                .fetch_update(Ordering::AcqRel, Ordering::Acquire, |p| p.checked_sub(1))
+                .is_ok();
+            if !admitted {
+                shared.counters.shed();
+                let mut stream = stream;
+                let _ = writeln!(
+                    stream,
+                    "{}",
+                    error_line(ErrorKind::Overloaded, "connection limit reached; retry later")
+                );
+                continue;
+            }
+            shared.counters.connection();
+            let shared = Arc::clone(&shared);
+            let handle = std::thread::spawn(move || {
+                serve_connection(&shared, stream);
+                shared.permits.fetch_add(1, Ordering::AcqRel);
+            });
+            workers.retain(|h| !h.is_finished());
+            workers.push(handle);
+        }
+        for handle in workers {
+            let _ = handle.join();
+        }
+        Ok(())
+    }
+
+    enum LineOutcome {
+        Line(String),
+        Eof,
+        TooLarge,
+        TimedOut,
+        Failed,
+    }
+
+    fn read_bounded_line(reader: &mut BufReader<TcpStream>, max: usize) -> LineOutcome {
+        let mut line: Vec<u8> = Vec::new();
+        loop {
+            let chunk = match reader.fill_buf() {
+                Ok(c) => c,
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    return LineOutcome::TimedOut
+                }
+                Err(_) => return LineOutcome::Failed,
+            };
+            if chunk.is_empty() {
+                return if line.is_empty() {
+                    LineOutcome::Eof
+                } else {
+                    match String::from_utf8(std::mem::take(&mut line)) {
+                        Ok(s) => LineOutcome::Line(s),
+                        Err(_) => LineOutcome::Failed,
+                    }
+                };
+            }
+            let newline = chunk.iter().position(|&b| b == b'\n');
+            let take = newline.map_or(chunk.len(), |i| i);
+            if line.len() + take > max {
+                return LineOutcome::TooLarge;
+            }
+            line.extend_from_slice(&chunk[..take]);
+            let consumed = newline.map_or(take, |i| i + 1);
+            reader.consume(consumed);
+            if newline.is_some() {
+                if line.last() == Some(&b'\r') {
+                    line.pop();
+                }
+                return match String::from_utf8(line) {
+                    Ok(s) => LineOutcome::Line(s),
+                    Err(_) => LineOutcome::Failed,
+                };
+            }
+        }
+    }
+
+    fn serve_connection(shared: &Arc<Shared>, stream: TcpStream) {
+        let _ = stream.set_nodelay(true);
+        let _ = stream.set_read_timeout(shared.config.read_timeout);
+        let _ = stream.set_write_timeout(shared.config.write_timeout);
+        let mut writer = match stream.try_clone() {
+            Ok(w) => w,
+            Err(_) => return,
+        };
+        let mut reader = BufReader::new(stream);
+        loop {
+            let line = match read_bounded_line(&mut reader, shared.config.max_request_bytes) {
+                LineOutcome::Line(l) => l,
+                LineOutcome::Eof | LineOutcome::Failed => break,
+                LineOutcome::TimedOut => {
+                    if !shared.stop.load(Ordering::SeqCst) {
+                        shared.counters.timeout();
+                    }
+                    break;
+                }
+                LineOutcome::TooLarge => {
+                    shared.counters.error();
+                    let reply = error_line(
+                        ErrorKind::TooLarge,
+                        &format!(
+                            "request line exceeds {} bytes; connection closed",
+                            shared.config.max_request_bytes
+                        ),
+                    );
+                    let _ = writeln!(writer, "{reply}").and_then(|()| writer.flush());
+                    break;
+                }
+            };
+            if line.trim().is_empty() {
+                continue;
+            }
+            let response = match catch_unwind(AssertUnwindSafe(|| handle_json_line(shared, &line)))
+            {
+                Ok(resp) => resp,
+                Err(_) => {
+                    shared.counters.panic();
+                    error_line(ErrorKind::Internal, "request handler panicked (isolated)")
+                }
+            };
+            if writeln!(writer, "{response}").and_then(|()| writer.flush()).is_err() {
+                break;
+            }
+            if shared.stop.load(Ordering::SeqCst) {
+                break;
+            }
         }
     }
 }

@@ -1,0 +1,783 @@
+//! TPF1 — the compact binary wire protocol.
+//!
+//! A binary connection opens with the 4-byte magic `"TPF1"` (how the
+//! server's first-byte sniffer tells it apart from a JSON line, which
+//! always starts with `{`), followed by frames in both directions:
+//!
+//! ```text
+//! frame   := len:u32le  payload[len]  crc32(payload):u32le
+//! payload := tag:u8  body
+//! ```
+//!
+//! This is exactly the store's segment framing, and the body reuses the
+//! store's LEB128 codec (`profstore::codec`): unsigned varints,
+//! length-prefixed UTF-8 strings, and `f64` as 8 raw little-endian bytes.
+//! Request tags live below `0x80`, response tags at or above it, so a
+//! frame's direction is self-evident in a capture.
+//!
+//! Negotiation: the client's first frame must be `HELLO{version,features}`;
+//! the server answers `HELLO` with the version it will speak and the
+//! intersection of feature bits. Unknown feature bits are ignored, which
+//! is what makes the mask forward-compatible.
+//!
+//! Pipelining: a client may write any number of request frames before
+//! reading; the server answers strictly in order. `INGEST_BATCH` goes
+//! further and amortizes one acknowledgement over a whole batch of
+//! records — the bulk path that closes the store-vs-daemon ingest gap.
+//!
+//! Profiles travel as the store's record payload
+//! (`profstore::encode_record`, run id 0 — the store assigns the real
+//! one), so a spooled frame can be forwarded byte-for-byte without
+//! re-encoding.
+
+use crate::protocol::{
+    ErrorKind, IngestReceipt, MetricReport, ProfilePayload, Record, RegionRow, RegressFinding,
+    RegressReport, Request, Response, ServerStatsReport, StatsReport, TopReport,
+};
+use profstore::codec::{put_str, put_uv, Reader};
+use profstore::{CodecError, StoreStats};
+use taskprof_telemetry::ServiceSnapshot;
+
+/// Connection preamble distinguishing TPF1 from JSON lines.
+pub const WIRE_MAGIC: [u8; 4] = *b"TPF1";
+
+/// Protocol version this build speaks.
+pub const WIRE_VERSION: u32 = 1;
+
+/// Feature bit: the server accepts `INGEST_BATCH`.
+pub const FEATURE_BATCH_INGEST: u64 = 1;
+
+/// Bytes of framing around a payload (length word + CRC word).
+pub const FRAME_OVERHEAD: usize = 8;
+
+/// Default ceiling on a response payload a client will accept.
+pub const MAX_RESPONSE_BYTES: usize = 64 << 20;
+
+// Request tags (< 0x80).
+const TAG_HELLO: u8 = 0x01;
+const TAG_INGEST: u8 = 0x02;
+const TAG_INGEST_BATCH: u8 = 0x03;
+const TAG_QUERY_TOP: u8 = 0x04;
+const TAG_QUERY_STATS: u8 = 0x05;
+const TAG_QUERY_REGRESS: u8 = 0x06;
+const TAG_STATS: u8 = 0x07;
+
+// Response tags (>= 0x80).
+const TAG_R_HELLO: u8 = 0x81;
+const TAG_R_INGEST: u8 = 0x82;
+const TAG_R_TOP: u8 = 0x83;
+const TAG_R_STATS: u8 = 0x84;
+const TAG_R_REGRESS: u8 = 0x85;
+const TAG_R_SERVER_STATS: u8 = 0x86;
+const TAG_R_ERROR: u8 = 0xEE;
+
+// Profile payload kinds.
+const PAYLOAD_TEXT: u8 = 0;
+const PAYLOAD_RECORD: u8 = 1;
+
+/// A frame or payload could not be decoded.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// The length word announces a payload beyond the configured cap —
+    /// corruption, or a JSON client talking to a binary parser.
+    FrameTooLarge {
+        /// Announced payload length.
+        len: usize,
+        /// Configured ceiling.
+        max: usize,
+    },
+    /// The CRC-32 over the payload does not match the trailer.
+    CrcMismatch,
+    /// The payload structure was truncated, mistyped, or out of range.
+    Malformed(String),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::FrameTooLarge { len, max } => {
+                write!(f, "frame payload of {len} bytes exceeds cap of {max}")
+            }
+            WireError::CrcMismatch => write!(f, "frame crc mismatch"),
+            WireError::Malformed(what) => write!(f, "malformed frame: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<CodecError> for WireError {
+    fn from(e: CodecError) -> Self {
+        WireError::Malformed(e.to_string())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Framing
+// ---------------------------------------------------------------------
+
+/// Wrap a payload in the `len|payload|crc32` frame.
+pub fn frame(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(payload.len() + FRAME_OVERHEAD);
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(payload);
+    out.extend_from_slice(&profstore::codec::payload_crc(payload).to_le_bytes());
+    out
+}
+
+/// Try to strip one frame off the front of `buf`.
+///
+/// * `Ok(None)` — the buffer holds only a prefix of a frame; read more.
+/// * `Ok(Some((payload, consumed)))` — one whole frame; the caller
+///   drains `consumed` bytes.
+/// * `Err` — the stream is unrecoverable (oversized length word or CRC
+///   failure); close the connection after a typed reply.
+pub fn try_frame(buf: &[u8], max_payload: usize) -> Result<Option<(Vec<u8>, usize)>, WireError> {
+    if buf.len() < 4 {
+        return Ok(None);
+    }
+    let len = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
+    if len > max_payload {
+        return Err(WireError::FrameTooLarge {
+            len,
+            max: max_payload,
+        });
+    }
+    let total = 4 + len + 4;
+    if buf.len() < total {
+        return Ok(None);
+    }
+    let payload = &buf[4..4 + len];
+    let crc = u32::from_le_bytes([buf[4 + len], buf[5 + len], buf[6 + len], buf[7 + len]]);
+    if crc != profstore::codec::payload_crc(payload) {
+        return Err(WireError::CrcMismatch);
+    }
+    Ok(Some((payload.to_vec(), total)))
+}
+
+// ---------------------------------------------------------------------
+// Body primitives
+// ---------------------------------------------------------------------
+
+fn put_opt_uv(out: &mut Vec<u8>, v: Option<u64>) {
+    match v {
+        Some(v) => {
+            out.push(1);
+            put_uv(out, v);
+        }
+        None => out.push(0),
+    }
+}
+
+fn read_opt_uv(r: &mut Reader<'_>) -> Result<Option<u64>, WireError> {
+    match r.byte()? {
+        0 => Ok(None),
+        1 => Ok(Some(r.uv()?)),
+        _ => Err(WireError::Malformed("bad option flag".into())),
+    }
+}
+
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+fn read_f64(r: &mut Reader<'_>) -> Result<f64, WireError> {
+    let b = r.bytes(8)?;
+    Ok(f64::from_bits(u64::from_le_bytes([
+        b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+    ])))
+}
+
+fn put_opt_f64(out: &mut Vec<u8>, v: Option<f64>) {
+    match v {
+        Some(v) => {
+            out.push(1);
+            put_f64(out, v);
+        }
+        None => out.push(0),
+    }
+}
+
+fn read_opt_f64(r: &mut Reader<'_>) -> Result<Option<f64>, WireError> {
+    match r.byte()? {
+        0 => Ok(None),
+        1 => Ok(Some(read_f64(r)?)),
+        _ => Err(WireError::Malformed("bad option flag".into())),
+    }
+}
+
+fn put_payload(out: &mut Vec<u8>, p: &ProfilePayload) {
+    match p {
+        ProfilePayload::Text(text) => {
+            out.push(PAYLOAD_TEXT);
+            put_str(out, text);
+        }
+        ProfilePayload::Record(bytes) => {
+            out.push(PAYLOAD_RECORD);
+            put_uv(out, bytes.len() as u64);
+            out.extend_from_slice(bytes);
+        }
+    }
+}
+
+fn read_payload(r: &mut Reader<'_>) -> Result<ProfilePayload, WireError> {
+    match r.byte()? {
+        PAYLOAD_TEXT => Ok(ProfilePayload::Text(r.str()?)),
+        PAYLOAD_RECORD => {
+            let len = r.uv()? as usize;
+            Ok(ProfilePayload::Record(r.bytes(len)?.to_vec()))
+        }
+        _ => Err(WireError::Malformed("bad payload kind".into())),
+    }
+}
+
+fn put_record(out: &mut Vec<u8>, rec: &Record) {
+    put_str(out, &rec.benchmark);
+    put_uv(out, u64::from(rec.threads));
+    put_opt_uv(out, rec.timestamp_ns);
+    put_payload(out, &rec.profile);
+}
+
+fn read_record(r: &mut Reader<'_>) -> Result<Record, WireError> {
+    Ok(Record {
+        benchmark: r.str()?,
+        threads: read_threads(r)?,
+        timestamp_ns: read_opt_uv(r)?,
+        profile: read_payload(r)?,
+    })
+}
+
+fn read_threads(r: &mut Reader<'_>) -> Result<u32, WireError> {
+    u32::try_from(r.uv()?).map_err(|_| WireError::Malformed("threads out of range".into()))
+}
+
+fn kind_to_byte(k: ErrorKind) -> u8 {
+    match k {
+        ErrorKind::Overloaded => 0,
+        ErrorKind::BadRequest => 1,
+        ErrorKind::NotFound => 2,
+        ErrorKind::Internal => 3,
+        ErrorKind::TooLarge => 4,
+        ErrorKind::ReadOnly => 5,
+    }
+}
+
+fn kind_from_byte(b: u8) -> Result<ErrorKind, WireError> {
+    Ok(match b {
+        0 => ErrorKind::Overloaded,
+        1 => ErrorKind::BadRequest,
+        2 => ErrorKind::NotFound,
+        3 => ErrorKind::Internal,
+        4 => ErrorKind::TooLarge,
+        5 => ErrorKind::ReadOnly,
+        _ => return Err(WireError::Malformed("unknown error kind".into())),
+    })
+}
+
+fn put_metric(out: &mut Vec<u8>, m: &MetricReport) {
+    put_uv(out, m.runs);
+    put_uv(out, m.sum_ns);
+    put_uv(out, m.min_ns);
+    put_uv(out, m.max_ns);
+    put_f64(out, m.mean_ns);
+}
+
+fn read_metric(r: &mut Reader<'_>) -> Result<MetricReport, WireError> {
+    Ok(MetricReport {
+        runs: r.uv()?,
+        sum_ns: r.uv()?,
+        min_ns: r.uv()?,
+        max_ns: r.uv()?,
+        mean_ns: read_f64(r)?,
+    })
+}
+
+/// Guard a decoded element count against the bytes actually present, so
+/// a corrupt count cannot become a huge allocation.
+fn checked_count(r: &Reader<'_>, n: u64) -> Result<usize, WireError> {
+    let n = n as usize;
+    if n > r.remaining() {
+        return Err(WireError::Malformed("count exceeds payload".into()));
+    }
+    Ok(n)
+}
+
+// ---------------------------------------------------------------------
+// Requests
+// ---------------------------------------------------------------------
+
+/// Encode a request payload (unframed; pass to [`frame`]).
+pub fn encode_request(req: &Request) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64);
+    match req {
+        Request::Hello { version, features } => {
+            out.push(TAG_HELLO);
+            put_uv(&mut out, u64::from(*version));
+            put_uv(&mut out, *features);
+        }
+        Request::Ingest(rec) => {
+            out.push(TAG_INGEST);
+            put_record(&mut out, rec);
+        }
+        Request::IngestBatch(items) => {
+            out.push(TAG_INGEST_BATCH);
+            put_uv(&mut out, items.len() as u64);
+            for rec in items {
+                put_record(&mut out, rec);
+            }
+        }
+        Request::QueryTop {
+            benchmark,
+            threads,
+            n,
+        } => {
+            out.push(TAG_QUERY_TOP);
+            put_str(&mut out, benchmark);
+            put_uv(&mut out, u64::from(*threads));
+            put_uv(&mut out, *n as u64);
+        }
+        Request::QueryStats { benchmark, threads } => {
+            out.push(TAG_QUERY_STATS);
+            put_str(&mut out, benchmark);
+            put_uv(&mut out, u64::from(*threads));
+        }
+        Request::QueryRegress {
+            benchmark,
+            threads,
+            profile,
+            threshold,
+            min_runs,
+            min_delta_ns,
+        } => {
+            out.push(TAG_QUERY_REGRESS);
+            put_str(&mut out, benchmark);
+            put_uv(&mut out, u64::from(*threads));
+            put_opt_f64(&mut out, *threshold);
+            put_opt_uv(&mut out, *min_runs);
+            put_opt_uv(&mut out, *min_delta_ns);
+            put_payload(&mut out, profile);
+        }
+        Request::Stats => out.push(TAG_STATS),
+    }
+    out
+}
+
+/// Decode a request payload produced by [`encode_request`].
+pub fn decode_request(payload: &[u8]) -> Result<Request, WireError> {
+    let mut r = Reader::new(payload);
+    let req = match r.byte()? {
+        TAG_HELLO => Request::Hello {
+            version: u32::try_from(r.uv()?)
+                .map_err(|_| WireError::Malformed("version out of range".into()))?,
+            features: r.uv()?,
+        },
+        TAG_INGEST => Request::Ingest(read_record(&mut r)?),
+        TAG_INGEST_BATCH => {
+            let count = r.uv()?;
+            let n = checked_count(&r, count)?;
+            let mut items = Vec::with_capacity(n);
+            for _ in 0..n {
+                items.push(read_record(&mut r)?);
+            }
+            Request::IngestBatch(items)
+        }
+        TAG_QUERY_TOP => Request::QueryTop {
+            benchmark: r.str()?,
+            threads: read_threads(&mut r)?,
+            n: r.uv()? as usize,
+        },
+        TAG_QUERY_STATS => Request::QueryStats {
+            benchmark: r.str()?,
+            threads: read_threads(&mut r)?,
+        },
+        TAG_QUERY_REGRESS => Request::QueryRegress {
+            benchmark: r.str()?,
+            threads: read_threads(&mut r)?,
+            threshold: read_opt_f64(&mut r)?,
+            min_runs: read_opt_uv(&mut r)?,
+            min_delta_ns: read_opt_uv(&mut r)?,
+            profile: read_payload(&mut r)?,
+        },
+        TAG_STATS => Request::Stats,
+        tag => return Err(WireError::Malformed(format!("unknown request tag {tag:#x}"))),
+    };
+    if !r.done() {
+        return Err(WireError::Malformed("trailing bytes after request".into()));
+    }
+    Ok(req)
+}
+
+// ---------------------------------------------------------------------
+// Responses
+// ---------------------------------------------------------------------
+
+/// Encode a response payload (unframed; pass to [`frame`]).
+pub fn encode_response(resp: &Response) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64);
+    match resp {
+        Response::Hello { version, features } => {
+            out.push(TAG_R_HELLO);
+            put_uv(&mut out, u64::from(*version));
+            put_uv(&mut out, *features);
+        }
+        Response::Ingest(rcpt) => {
+            out.push(TAG_R_INGEST);
+            put_uv(&mut out, rcpt.first_run_id);
+            put_uv(&mut out, rcpt.count);
+            put_uv(&mut out, rcpt.bytes);
+            put_uv(&mut out, rcpt.segment);
+        }
+        Response::Top(t) => {
+            out.push(TAG_R_TOP);
+            put_str(&mut out, &t.benchmark);
+            put_uv(&mut out, u64::from(t.threads));
+            put_uv(&mut out, t.runs);
+            put_uv(&mut out, t.regions.len() as u64);
+            for row in &t.regions {
+                put_str(&mut out, &row.region);
+                put_metric(&mut out, &row.metric);
+            }
+        }
+        Response::Stats(s) => {
+            out.push(TAG_R_STATS);
+            put_str(&mut out, &s.benchmark);
+            put_uv(&mut out, u64::from(s.threads));
+            put_uv(&mut out, s.runs);
+            put_metric(&mut out, &s.total_ns);
+            put_uv(&mut out, s.constructs);
+            put_uv(&mut out, s.tree_mismatches);
+        }
+        Response::Regress(v) => {
+            out.push(TAG_R_REGRESS);
+            out.push(u8::from(v.regressed));
+            put_uv(&mut out, v.baseline_runs);
+            put_f64(&mut out, v.threshold);
+            put_uv(&mut out, v.findings.len() as u64);
+            for f in &v.findings {
+                put_str(&mut out, &f.region);
+                put_uv(&mut out, f.new_ns);
+                put_f64(&mut out, f.mean_ns);
+                put_f64(&mut out, f.ratio);
+            }
+        }
+        Response::ServerStats(h) => {
+            out.push(TAG_R_SERVER_STATS);
+            let s = &h.service;
+            for v in [
+                s.connections,
+                s.shed_connections,
+                s.timeout_connections,
+                s.ingests,
+                s.ingest_bytes,
+                s.queries,
+                s.errors,
+                s.panics,
+                s.json_requests,
+                s.bin_requests,
+                s.ingest_batches,
+            ] {
+                put_uv(&mut out, v);
+            }
+            out.push(u8::from(h.read_only));
+            for v in [
+                h.store.segments,
+                h.store.runs,
+                h.store.bytes,
+                h.store.recovered_tail_bytes,
+                h.store.compacted_through,
+            ] {
+                put_uv(&mut out, v);
+            }
+        }
+        Response::Error { kind, message } => {
+            out.push(TAG_R_ERROR);
+            out.push(kind_to_byte(*kind));
+            put_str(&mut out, message);
+        }
+    }
+    out
+}
+
+/// Decode a response payload produced by [`encode_response`].
+pub fn decode_response(payload: &[u8]) -> Result<Response, WireError> {
+    let mut r = Reader::new(payload);
+    let resp = match r.byte()? {
+        TAG_R_HELLO => Response::Hello {
+            version: u32::try_from(r.uv()?)
+                .map_err(|_| WireError::Malformed("version out of range".into()))?,
+            features: r.uv()?,
+        },
+        TAG_R_INGEST => Response::Ingest(IngestReceipt {
+            first_run_id: r.uv()?,
+            count: r.uv()?,
+            bytes: r.uv()?,
+            segment: r.uv()?,
+        }),
+        TAG_R_TOP => {
+            let benchmark = r.str()?;
+            let threads = read_threads(&mut r)?;
+            let runs = r.uv()?;
+            let count = r.uv()?;
+            let n = checked_count(&r, count)?;
+            let mut regions = Vec::with_capacity(n);
+            for _ in 0..n {
+                regions.push(RegionRow {
+                    region: r.str()?,
+                    metric: read_metric(&mut r)?,
+                });
+            }
+            Response::Top(TopReport {
+                benchmark,
+                threads,
+                runs,
+                regions,
+            })
+        }
+        TAG_R_STATS => Response::Stats(StatsReport {
+            benchmark: r.str()?,
+            threads: read_threads(&mut r)?,
+            runs: r.uv()?,
+            total_ns: read_metric(&mut r)?,
+            constructs: r.uv()?,
+            tree_mismatches: r.uv()?,
+        }),
+        TAG_R_REGRESS => {
+            let regressed = match r.byte()? {
+                0 => false,
+                1 => true,
+                _ => return Err(WireError::Malformed("bad bool".into())),
+            };
+            let baseline_runs = r.uv()?;
+            let threshold = read_f64(&mut r)?;
+            let count = r.uv()?;
+            let n = checked_count(&r, count)?;
+            let mut findings = Vec::with_capacity(n);
+            for _ in 0..n {
+                findings.push(RegressFinding {
+                    region: r.str()?,
+                    new_ns: r.uv()?,
+                    mean_ns: read_f64(&mut r)?,
+                    ratio: read_f64(&mut r)?,
+                });
+            }
+            Response::Regress(RegressReport {
+                regressed,
+                baseline_runs,
+                threshold,
+                findings,
+            })
+        }
+        TAG_R_SERVER_STATS => {
+            let service = ServiceSnapshot {
+                connections: r.uv()?,
+                shed_connections: r.uv()?,
+                timeout_connections: r.uv()?,
+                ingests: r.uv()?,
+                ingest_bytes: r.uv()?,
+                queries: r.uv()?,
+                errors: r.uv()?,
+                panics: r.uv()?,
+                json_requests: r.uv()?,
+                bin_requests: r.uv()?,
+                ingest_batches: r.uv()?,
+            };
+            let read_only = match r.byte()? {
+                0 => false,
+                1 => true,
+                _ => return Err(WireError::Malformed("bad bool".into())),
+            };
+            let store = StoreStats {
+                segments: r.uv()?,
+                runs: r.uv()?,
+                bytes: r.uv()?,
+                recovered_tail_bytes: r.uv()?,
+                compacted_through: r.uv()?,
+            };
+            Response::ServerStats(ServerStatsReport {
+                service,
+                read_only,
+                store,
+            })
+        }
+        TAG_R_ERROR => Response::Error {
+            kind: kind_from_byte(r.byte()?)?,
+            message: r.str()?,
+        },
+        tag => {
+            return Err(WireError::Malformed(format!(
+                "unknown response tag {tag:#x}"
+            )))
+        }
+    };
+    if !r.done() {
+        return Err(WireError::Malformed("trailing bytes after response".into()));
+    }
+    Ok(resp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_requests() -> Vec<Request> {
+        vec![
+            Request::Hello {
+                version: 1,
+                features: FEATURE_BATCH_INGEST,
+            },
+            Request::Ingest(Record::from_text("fib", 2, Some(7), "taskprof-profile v1\n")),
+            Request::IngestBatch(vec![
+                Record {
+                    benchmark: "fib".into(),
+                    threads: 2,
+                    timestamp_ns: None,
+                    profile: ProfilePayload::Record(vec![1, 2, 3]),
+                },
+                Record::from_text("sort", 4, Some(9), "x"),
+            ]),
+            Request::QueryTop {
+                benchmark: "nqueens".into(),
+                threads: 4,
+                n: 10,
+            },
+            Request::QueryStats {
+                benchmark: "fib".into(),
+                threads: 2,
+            },
+            Request::QueryRegress {
+                benchmark: "fib".into(),
+                threads: 2,
+                profile: ProfilePayload::Record(vec![0xAA; 16]),
+                threshold: Some(0.25),
+                min_runs: Some(3),
+                min_delta_ns: None,
+            },
+            Request::Stats,
+        ]
+    }
+
+    fn sample_responses() -> Vec<Response> {
+        vec![
+            Response::Hello {
+                version: 1,
+                features: FEATURE_BATCH_INGEST,
+            },
+            Response::Ingest(IngestReceipt {
+                first_run_id: 41,
+                count: 3,
+                bytes: 1234,
+                segment: 2,
+            }),
+            Response::Top(TopReport {
+                benchmark: "fib".into(),
+                threads: 2,
+                runs: 5,
+                regions: vec![RegionRow {
+                    region: "fib!task".into(),
+                    metric: MetricReport {
+                        runs: 5,
+                        sum_ns: 100,
+                        min_ns: 10,
+                        max_ns: 30,
+                        mean_ns: 20.0,
+                    },
+                }],
+            }),
+            Response::Regress(RegressReport {
+                regressed: true,
+                baseline_runs: 4,
+                threshold: 0.25,
+                findings: vec![RegressFinding {
+                    region: "fib!task".into(),
+                    new_ns: 150,
+                    mean_ns: 100.0,
+                    ratio: 1.5,
+                }],
+            }),
+            Response::ServerStats(ServerStatsReport::default()),
+            Response::Error {
+                kind: ErrorKind::ReadOnly,
+                message: "disk full".into(),
+            },
+        ]
+    }
+
+    #[test]
+    fn requests_round_trip_through_frames() {
+        for req in sample_requests() {
+            let framed = frame(&encode_request(&req));
+            let (payload, consumed) = try_frame(&framed, 1 << 20).expect("frame").expect("whole");
+            assert_eq!(consumed, framed.len());
+            assert_eq!(decode_request(&payload).expect("decode"), req);
+        }
+    }
+
+    #[test]
+    fn responses_round_trip_through_frames() {
+        for resp in sample_responses() {
+            let framed = frame(&encode_response(&resp));
+            let (payload, consumed) = try_frame(&framed, 1 << 20).expect("frame").expect("whole");
+            assert_eq!(consumed, framed.len());
+            assert_eq!(decode_response(&payload).expect("decode"), resp);
+        }
+    }
+
+    #[test]
+    fn partial_frames_ask_for_more() {
+        let framed = frame(&encode_request(&Request::Stats));
+        for cut in 0..framed.len() {
+            assert_eq!(try_frame(&framed[..cut], 1 << 20).expect("no error"), None);
+        }
+    }
+
+    #[test]
+    fn oversized_length_word_is_rejected() {
+        let framed = frame(&[0u8; 100]);
+        assert!(matches!(
+            try_frame(&framed, 10),
+            Err(WireError::FrameTooLarge { len: 100, max: 10 })
+        ));
+    }
+
+    #[test]
+    fn payload_corruption_is_detected_by_crc() {
+        let mut framed = frame(&encode_request(&Request::QueryStats {
+            benchmark: "fib".into(),
+            threads: 2,
+        }));
+        // Flip one bit in every payload byte position in turn.
+        for at in 4..framed.len() - 4 {
+            framed[at] ^= 0x10;
+            assert_eq!(try_frame(&framed, 1 << 20), Err(WireError::CrcMismatch));
+            framed[at] ^= 0x10;
+        }
+    }
+
+    #[test]
+    fn pipelined_frames_decode_in_order() {
+        let reqs = sample_requests();
+        let mut stream = Vec::new();
+        for req in &reqs {
+            stream.extend_from_slice(&frame(&encode_request(req)));
+        }
+        let mut decoded = Vec::new();
+        let mut pos = 0;
+        while let Some((payload, consumed)) = try_frame(&stream[pos..], 1 << 20).expect("frame") {
+            decoded.push(decode_request(&payload).expect("decode"));
+            pos += consumed;
+        }
+        assert_eq!(pos, stream.len());
+        assert_eq!(decoded, reqs);
+    }
+
+    #[test]
+    fn garbage_payloads_never_decode_as_requests() {
+        assert!(decode_request(&[]).is_err());
+        assert!(decode_request(&[0x7F]).is_err());
+        assert!(decode_request(&[TAG_INGEST, 0xFF, 0xFF]).is_err());
+        // Trailing bytes after a valid structure are rejected.
+        let mut p = encode_request(&Request::Stats);
+        p.push(0);
+        assert!(decode_request(&p).is_err());
+    }
+}

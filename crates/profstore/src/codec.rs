@@ -63,7 +63,12 @@ impl std::error::Error for CodecError {}
 // Primitives
 // ---------------------------------------------------------------------
 
-fn put_uv(out: &mut Vec<u8>, mut v: u64) {
+/// Append a LEB128-encoded unsigned varint.
+///
+/// Public so sibling layers (the wire protocol in `profserve`) can share
+/// one integer encoding with the record codec instead of inventing a
+/// second one.
+pub fn put_uv(out: &mut Vec<u8>, mut v: u64) {
     loop {
         let byte = (v & 0x7F) as u8;
         v >>= 7;
@@ -75,33 +80,41 @@ fn put_uv(out: &mut Vec<u8>, mut v: u64) {
     }
 }
 
-fn put_str(out: &mut Vec<u8>, s: &str) {
+/// Append a length-prefixed UTF-8 string (varint length, then bytes).
+pub fn put_str(out: &mut Vec<u8>, s: &str) {
     put_uv(out, s.len() as u64);
     out.extend_from_slice(s.as_bytes());
 }
 
-fn put_iv(out: &mut Vec<u8>, v: i64) {
+/// Append a ZigZag-encoded signed varint.
+pub fn put_iv(out: &mut Vec<u8>, v: i64) {
     // ZigZag so small negative parameter values stay short.
     put_uv(out, ((v << 1) ^ (v >> 63)) as u64);
 }
 
-struct Reader<'a> {
+/// Bounds-checked cursor over an encoded payload. Every read returns a
+/// typed [`CodecError`] instead of panicking, so arbitrary bytes are safe
+/// to feed in. Shared with the `profserve` wire protocol.
+pub struct Reader<'a> {
     buf: &'a [u8],
     pos: usize,
 }
 
 impl<'a> Reader<'a> {
-    fn new(buf: &'a [u8]) -> Self {
+    /// Start reading at the beginning of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
         Self { buf, pos: 0 }
     }
 
-    fn byte(&mut self) -> Result<u8, CodecError> {
+    /// Read one raw byte.
+    pub fn byte(&mut self) -> Result<u8, CodecError> {
         let b = *self.buf.get(self.pos).ok_or(CodecError::Truncated)?;
         self.pos += 1;
         Ok(b)
     }
 
-    fn uv(&mut self) -> Result<u64, CodecError> {
+    /// Read a LEB128 unsigned varint (see [`put_uv`]).
+    pub fn uv(&mut self) -> Result<u64, CodecError> {
         let mut v = 0u64;
         let mut shift = 0u32;
         loop {
@@ -120,12 +133,14 @@ impl<'a> Reader<'a> {
         }
     }
 
-    fn iv(&mut self) -> Result<i64, CodecError> {
+    /// Read a ZigZag signed varint (see [`put_iv`]).
+    pub fn iv(&mut self) -> Result<i64, CodecError> {
         let z = self.uv()?;
         Ok(((z >> 1) as i64) ^ -((z & 1) as i64))
     }
 
-    fn str(&mut self) -> Result<String, CodecError> {
+    /// Read a length-prefixed UTF-8 string (see [`put_str`]).
+    pub fn str(&mut self) -> Result<String, CodecError> {
         let len = self.uv()? as usize;
         if len > self.buf.len().saturating_sub(self.pos) {
             return Err(CodecError::Truncated);
@@ -137,8 +152,24 @@ impl<'a> Reader<'a> {
         Ok(s)
     }
 
-    fn done(&self) -> bool {
+    /// True when every byte has been consumed.
+    pub fn done(&self) -> bool {
         self.pos == self.buf.len()
+    }
+
+    /// Bytes left to read.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Read exactly `len` raw bytes.
+    pub fn bytes(&mut self, len: usize) -> Result<&'a [u8], CodecError> {
+        if len > self.remaining() {
+            return Err(CodecError::Truncated);
+        }
+        let s = &self.buf[self.pos..self.pos + len];
+        self.pos += len;
+        Ok(s)
     }
 }
 

@@ -53,7 +53,10 @@ pub mod segment;
 mod store;
 
 pub use agg::{BenchAgg, MetricAgg, RegressConfig, Regression, RegressionFinding, RunSummary};
-pub use codec::{decode_meta, decode_record, encode_record, CodecError, RunMeta, CODEC_VERSION};
+pub use codec::{
+    decode_meta, decode_record, encode_record, put_iv, put_str, put_uv, CodecError,
+    Reader as PayloadReader, RunMeta, CODEC_VERSION, MAX_RECORD_BYTES,
+};
 pub use io::{
     is_enospc, FaultHandle, FaultIo, FaultKind, FaultMode, FaultPlan, RealIo, StoreFile, StoreIo,
 };

@@ -127,7 +127,7 @@ pub struct IngestReceipt {
 }
 
 /// Repository health/shape summary.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct StoreStats {
     /// Segment files on disk.
     pub segments: u64,

@@ -27,7 +27,9 @@
 //! on drain and quarantined with a `.bad` suffix rather than re-sent or
 //! silently skipped.
 
-use profserve::{ClientError, ClientTimeouts, ErrorKind};
+use profserve::{
+    ClientError, ClientTimeouts, ErrorKind, IngestReceipt, ProfilePayload, Record, WireProtocol,
+};
 use profstore::{crc::crc32, decode_record, encode_record, RunMeta};
 use simsched::SplitMix64;
 use std::path::{Path, PathBuf};
@@ -126,6 +128,11 @@ pub struct ExportPolicy {
     /// unreachable; `None` (default) means a failed export is reported
     /// as an error instead.
     pub spool_dir: Option<PathBuf>,
+    /// Protocol to speak to the daemon. The default
+    /// ([`WireProtocol::Auto`]) negotiates TPF1 binary frames and falls
+    /// back to JSON lines; spooled frames forward their record payloads
+    /// without a text re-encode when the connection is binary.
+    pub wire_protocol: WireProtocol,
 }
 
 impl Default for ExportPolicy {
@@ -138,6 +145,7 @@ impl Default for ExportPolicy {
             base_backoff: Duration::from_millis(50),
             jitter_seed: 0x7a5c_f00d,
             spool_dir: None,
+            wire_protocol: WireProtocol::Auto,
         }
     }
 }
@@ -247,12 +255,9 @@ fn clamp_timeout(configured: Duration, remaining: Duration) -> Option<Duration> 
 /// and the attempt count, or the last error and the attempt count.
 fn deliver_to_server(
     addr: &str,
-    benchmark: &str,
-    threads: u32,
-    timestamp_ns: u64,
-    profile_text: &str,
+    record: &Record,
     policy: &ExportPolicy,
-) -> Result<(profserve::IngestAck, u32), (ClientError, u32)> {
+) -> Result<(IngestReceipt, u32), (ClientError, u32)> {
     let start = Instant::now();
     let max_attempts = policy.max_attempts.max(1);
     let mut jitter = SplitMix64::new(policy.jitter_seed);
@@ -272,11 +277,10 @@ fn deliver_to_server(
             read: clamp_timeout(policy.io_timeout, remaining),
             write: clamp_timeout(policy.io_timeout, remaining),
         };
-        let result = profserve::Client::connect_with(addr, timeouts).and_then(|mut client| {
-            client.ingest(benchmark, threads, Some(timestamp_ns), profile_text)
-        });
+        let result = profserve::Client::connect_proto(addr, policy.wire_protocol, timeouts)
+            .and_then(|mut client| client.ingest_record(record));
         match result {
-            Ok(ack) => return Ok((ack, attempts)),
+            Ok(receipt) => return Ok((receipt, attempts)),
             Err(e) if is_transport(&e) && attempts < max_attempts => {
                 last_err = Some(e);
                 let exp = policy.base_backoff.saturating_mul(1u32 << (attempts - 1).min(16));
@@ -344,8 +348,10 @@ pub fn spool_profile(
     Ok(final_path)
 }
 
-/// Parse one spool frame file back into its record, or say why not.
-fn parse_spool_frame(bytes: &[u8]) -> Result<(RunMeta, Profile), String> {
+/// Parse one spool frame file back into its record, or say why not. The
+/// returned payload bytes are the store record payload verbatim, so a
+/// binary drain can forward them without re-encoding.
+fn parse_spool_frame(bytes: &[u8]) -> Result<(RunMeta, Profile, Vec<u8>), String> {
     if bytes.len() < 8 {
         return Err("frame shorter than header + trailer".to_string());
     }
@@ -367,7 +373,9 @@ fn parse_spool_frame(bytes: &[u8]) -> Result<(RunMeta, Profile), String> {
     if crc32(payload) != stored_crc {
         return Err("frame crc mismatch".to_string());
     }
-    decode_record(payload).map_err(|e| format!("record decode: {e}"))
+    decode_record(payload)
+        .map(|(meta, profile)| (meta, profile, payload.to_vec()))
+        .map_err(|e| format!("record decode: {e}"))
 }
 
 /// Spool frame files in `dir`, oldest first (names sort by timestamp).
@@ -387,15 +395,44 @@ fn list_spool_frames(dir: &Path) -> std::io::Result<Vec<PathBuf>> {
     Ok(frames)
 }
 
-/// Deliver every spooled frame in `dir` to the daemon at `addr`.
+/// Frames per `INGEST_BATCH` during a drain — enough to amortize the
+/// round trip, small enough that one batch is never a huge request.
+const DRAIN_BATCH: usize = 32;
+
+fn quarantine_frame(path: &Path, report: &mut DrainReport) {
+    let bad = path.with_extension("frame.bad");
+    let _ = std::fs::rename(path, &bad);
+    report.quarantined += 1;
+}
+
+/// How many records of a failed batch the daemon stored before halting.
+/// The server's mid-batch `read_only` error reports its durable prefix
+/// as `"(N of M batch records stored)"`; anything unparsable counts as
+/// zero, which only errs toward re-sending (never toward dropping).
+fn stored_prefix_from_message(message: &str) -> u64 {
+    message
+        .rsplit_once(" batch records stored)")
+        .and_then(|(head, _)| head.rsplit_once('('))
+        .and_then(|(_, tail)| tail.split_once(" of "))
+        .and_then(|(n, _)| n.trim().parse::<u64>().ok())
+        .unwrap_or(0)
+}
+
+/// Deliver every spooled frame in `dir` to the daemon at `addr`, in
+/// batches of [`DRAIN_BATCH`] (one acknowledgement per batch — on a
+/// binary connection the frames' record payloads are forwarded without a
+/// text re-encode).
 ///
 /// Exactly-once discipline: a frame is deleted only *after* the daemon
 /// acks it, so a crash mid-drain re-sends at most the un-acked frames
-/// and never loses an acked one. Corrupt frames (truncation, bit flips,
-/// undecodable records) and frames the daemon rejects as malformed are
-/// renamed with a `.bad` suffix so they stop the drain never and the
-/// operator can inspect them. A transport failure or a read-only daemon
-/// stops the drain with the rest counted as `remaining`.
+/// and never loses an acked one. When a batch fails mid-way (`ENOSPC`
+/// read-only degradation) the daemon reports its durable prefix and
+/// exactly those frames are deleted. A batch the daemon refuses outright
+/// is replayed frame by frame to isolate the rejects, which are
+/// quarantined with a `.bad` suffix — like corrupt frames (truncation,
+/// bit flips, undecodable records), which never travel at all. A
+/// transport failure or a read-only daemon stops the drain with the rest
+/// counted as `remaining`.
 pub fn drain_spool(dir: &Path, addr: &str, policy: &ExportPolicy) -> DrainReport {
     let mut report = DrainReport::default();
     let frames = match list_spool_frames(dir) {
@@ -410,54 +447,111 @@ pub fn drain_spool(dir: &Path, addr: &str, policy: &ExportPolicy) -> DrainReport
         read: Some(policy.io_timeout.max(Duration::from_millis(1))),
         write: Some(policy.io_timeout.max(Duration::from_millis(1))),
     };
-    let mut client = match profserve::Client::connect_with(addr, timeouts) {
+    let mut client = match profserve::Client::connect_proto(addr, policy.wire_protocol, timeouts) {
         Ok(c) => c,
         Err(_) => {
             report.remaining = frames.len() as u64;
             return report;
         }
     };
-    let mut pending = frames.iter();
-    for path in pending.by_ref() {
-        let quarantine = |report: &mut DrainReport| {
-            let bad = path.with_extension("frame.bad");
-            let _ = std::fs::rename(path, &bad);
-            report.quarantined += 1;
+
+    // Validate locally first: corrupt frames are quarantined and never
+    // put on the wire.
+    let mut pending: Vec<(&PathBuf, Record)> = Vec::new();
+    for path in &frames {
+        let parsed = std::fs::read(path)
+            .map_err(|e| e.to_string())
+            .and_then(|bytes| parse_spool_frame(&bytes));
+        match parsed {
+            Ok((meta, _profile, payload)) => pending.push((
+                path,
+                Record {
+                    benchmark: meta.benchmark,
+                    threads: meta.threads,
+                    timestamp_ns: Some(meta.timestamp_ns),
+                    profile: ProfilePayload::Record(payload),
+                },
+            )),
+            Err(_) => quarantine_frame(path, &mut report),
+        }
+    }
+
+    let total = pending.len();
+    let mut next = 0;
+    let mut halted = false;
+    while next < total && !halted {
+        let end = (next + DRAIN_BATCH).min(total);
+        let chunk = &pending[next..end];
+        let outcome = if chunk.len() == 1 {
+            client.ingest_record(&chunk[0].1)
+        } else {
+            let records: Vec<Record> = chunk.iter().map(|(_, r)| r.clone()).collect();
+            client.ingest_batch(&records)
         };
-        let bytes = match std::fs::read(path) {
-            Ok(b) => b,
-            Err(_) => {
-                quarantine(&mut report);
-                continue;
-            }
-        };
-        let (meta, profile) = match parse_spool_frame(&bytes) {
-            Ok(rec) => rec,
-            Err(_) => {
-                quarantine(&mut report);
-                continue;
-            }
-        };
-        let text = cube::write_profile(&profile);
-        match client.ingest(&meta.benchmark, meta.threads, Some(meta.timestamp_ns), &text) {
+        match outcome {
             Ok(_) => {
-                let _ = std::fs::remove_file(path);
-                report.delivered += 1;
+                for (path, _) in chunk {
+                    let _ = std::fs::remove_file(path);
+                    report.delivered += 1;
+                }
+                next = end;
             }
-            Err(ClientError::Server { kind, .. }) if kind != ErrorKind::ReadOnly => {
-                // The daemon looked at this frame and refused it; it
-                // will refuse it tomorrow too.
-                quarantine(&mut report);
+            Err(ClientError::Server {
+                kind: ErrorKind::ReadOnly,
+                message,
+            }) => {
+                // Mid-batch ENOSPC: the daemon stored a durable prefix
+                // before degrading; delete exactly that prefix so acked
+                // frames are never re-sent as duplicates.
+                let stored = stored_prefix_from_message(&message).min(chunk.len() as u64) as usize;
+                for (path, _) in &chunk[..stored] {
+                    let _ = std::fs::remove_file(path);
+                    report.delivered += 1;
+                }
+                next += stored;
+                halted = true;
+            }
+            Err(ClientError::Server { .. }) => {
+                // The daemon refused the whole batch without storing
+                // anything; replay frame by frame to isolate the rejects.
+                let mut k = next;
+                while k < end {
+                    let (path, record) = &pending[k];
+                    match client.ingest_record(record) {
+                        Ok(_) => {
+                            let _ = std::fs::remove_file(path);
+                            report.delivered += 1;
+                            k += 1;
+                        }
+                        Err(ClientError::Server {
+                            kind: ErrorKind::ReadOnly,
+                            ..
+                        }) => {
+                            halted = true;
+                            break;
+                        }
+                        Err(ClientError::Server { .. }) => {
+                            // Refused individually; it will be refused
+                            // tomorrow too.
+                            quarantine_frame(path, &mut report);
+                            k += 1;
+                        }
+                        Err(_) => {
+                            halted = true;
+                            break;
+                        }
+                    }
+                }
+                next = k;
             }
             Err(_) => {
-                // Transport gone or daemon degraded: keep the frame and
-                // everything after it for a later drain.
-                report.remaining += 1;
-                break;
+                // Transport gone: keep the chunk and everything after it
+                // for a later drain.
+                halted = true;
             }
         }
     }
-    report.remaining += pending.count() as u64;
+    report.remaining += (total - next) as u64;
     if report.delivered > 0 {
         export_counters().drain(report.delivered);
     }
@@ -485,16 +579,13 @@ pub(crate) fn export_profile(
             })
         }
         ExportTarget::Server(addr) => {
-            let text = cube::write_profile(profile);
             let timestamp_ns = wall_clock_ns();
-            match deliver_to_server(
-                addr,
-                &plan.benchmark,
-                plan.threads,
-                timestamp_ns,
-                &text,
-                &plan.policy,
-            ) {
+            // The compact record payload travels either way: a binary
+            // connection forwards it verbatim; a JSON fallback re-renders
+            // it as text inside the codec.
+            let record =
+                Record::from_profile(&plan.benchmark, plan.threads, Some(timestamp_ns), profile);
+            match deliver_to_server(addr, &record, &plan.policy) {
                 Ok((ack, attempts)) => {
                     let drained = match &plan.policy.spool_dir {
                         Some(dir) if dir.is_dir() => {
@@ -503,7 +594,7 @@ pub(crate) fn export_profile(
                         _ => 0,
                     };
                     Ok(ExportReceipt {
-                        run_id: Some(ack.run_id),
+                        run_id: Some(ack.run_id()),
                         bytes: ack.bytes,
                         target: plan.target.clone(),
                         attempts,
@@ -567,7 +658,8 @@ mod tests {
         let profile = Profile::default();
         let path = spool_profile(&dir, "bench", 4, 123, &profile).expect("spool");
         let bytes = std::fs::read(&path).expect("read");
-        let (meta, decoded) = parse_spool_frame(&bytes).expect("parse");
+        let (meta, decoded, payload) = parse_spool_frame(&bytes).expect("parse");
+        assert!(!payload.is_empty());
         assert_eq!(meta.benchmark, "bench");
         assert_eq!(meta.threads, 4);
         assert_eq!(meta.timestamp_ns, 123);
@@ -605,7 +697,8 @@ mod tests {
             ..ExportPolicy::default()
         };
         let start = Instant::now();
-        let err = deliver_to_server("127.0.0.1:1", "b", 1, 0, "", &policy);
+        let record = Record::from_text("b", 1, Some(0), "");
+        let err = deliver_to_server("127.0.0.1:1", &record, &policy);
         assert!(err.is_err());
         let (e, attempts) = err.err().unwrap();
         assert!(is_transport(&e), "got {e}");

@@ -190,6 +190,7 @@ pub use export::{
     drain_spool, spool_profile, DrainReport, ExportError, ExportPolicy, ExportReceipt,
     ExportTarget,
 };
+pub use profserve::WireProtocol;
 
 use export::{export_profile, ExportPlan};
 
@@ -400,6 +401,14 @@ impl<C: ClockSource + 'static> SessionBuilder<C> {
     /// `taskprof-cli drain`.
     pub fn export_spool(mut self, dir: impl Into<PathBuf>) -> Self {
         self.export_policy.spool_dir = Some(dir.into());
+        self
+    }
+
+    /// Protocol for server exports: [`WireProtocol::Auto`] (the default)
+    /// negotiates TPF1 binary frames and falls back to JSON lines;
+    /// `Json`/`Binary` pin one. Only affects [`ExportTarget::Server`].
+    pub fn export_protocol(mut self, proto: WireProtocol) -> Self {
+        self.export_policy.wire_protocol = proto;
         self
     }
 

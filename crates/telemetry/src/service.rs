@@ -31,6 +31,13 @@ pub struct ServiceCounters {
     pub errors: AtomicU64,
     /// Requests whose handler panicked and was isolated.
     pub panics: AtomicU64,
+    /// Requests that arrived over the JSON line protocol.
+    pub json_requests: AtomicU64,
+    /// Requests that arrived over the TPF1 binary protocol.
+    pub bin_requests: AtomicU64,
+    /// Batched ingest requests (each may carry many profiles; the
+    /// per-profile totals still land in `ingests`/`ingest_bytes`).
+    pub ingest_batches: AtomicU64,
 }
 
 /// Point-in-time copy of [`ServiceCounters`].
@@ -52,6 +59,12 @@ pub struct ServiceSnapshot {
     pub errors: u64,
     /// Panics isolated.
     pub panics: u64,
+    /// Requests served over the JSON line protocol.
+    pub json_requests: u64,
+    /// Requests served over the TPF1 binary protocol.
+    pub bin_requests: u64,
+    /// Batched ingest requests served.
+    pub ingest_batches: u64,
 }
 
 impl ServiceCounters {
@@ -101,6 +114,21 @@ impl ServiceCounters {
         Self::bump(&self.panics, 1);
     }
 
+    /// Count a request served over the JSON line protocol.
+    pub fn json_request(&self) {
+        Self::bump(&self.json_requests, 1);
+    }
+
+    /// Count a request served over the TPF1 binary protocol.
+    pub fn bin_request(&self) {
+        Self::bump(&self.bin_requests, 1);
+    }
+
+    /// Count one batched ingest request.
+    pub fn ingest_batch(&self) {
+        Self::bump(&self.ingest_batches, 1);
+    }
+
     /// Consistent-enough copy of all counters (each is individually
     /// atomic; cross-counter skew is bounded by in-flight requests).
     pub fn snapshot(&self) -> ServiceSnapshot {
@@ -113,6 +141,9 @@ impl ServiceCounters {
             queries: self.queries.load(Ordering::Relaxed),
             errors: self.errors.load(Ordering::Relaxed),
             panics: self.panics.load(Ordering::Relaxed),
+            json_requests: self.json_requests.load(Ordering::Relaxed),
+            bin_requests: self.bin_requests.load(Ordering::Relaxed),
+            ingest_batches: self.ingest_batches.load(Ordering::Relaxed),
         }
     }
 }
@@ -160,6 +191,21 @@ pub fn service_to_prometheus(s: &ServiceSnapshot) -> String {
         "Handler panics isolated by the per-request boundary.",
         s.panics,
     );
+    metric(
+        "profserve_json_requests_total",
+        "Requests served over the JSON line protocol.",
+        s.json_requests,
+    );
+    metric(
+        "profserve_bin_requests_total",
+        "Requests served over the TPF1 binary protocol.",
+        s.bin_requests,
+    );
+    metric(
+        "profserve_ingest_batches_total",
+        "Batched ingest requests served.",
+        s.ingest_batches,
+    );
     out
 }
 
@@ -178,6 +224,10 @@ mod tests {
         c.query();
         c.error();
         c.panic();
+        c.json_request();
+        c.bin_request();
+        c.bin_request();
+        c.ingest_batch();
         let s = c.snapshot();
         assert_eq!(s.connections, 2);
         assert_eq!(s.shed_connections, 1);
@@ -186,6 +236,9 @@ mod tests {
         assert_eq!(s.queries, 1);
         assert_eq!(s.errors, 1);
         assert_eq!(s.panics, 1);
+        assert_eq!(s.json_requests, 1);
+        assert_eq!(s.bin_requests, 2);
+        assert_eq!(s.ingest_batches, 1);
     }
 
     #[test]

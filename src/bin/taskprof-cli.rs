@@ -13,13 +13,15 @@
 //! taskprof-cli diff <a.profile> <b.profile>
 //! taskprof-cli list
 //! taskprof-cli serve --dir DIR [--addr HOST:PORT] [--max-conns N]
-//!                    [--port-file FILE]
+//!                    [--port-file FILE] [--proto json|bin|auto]
 //! taskprof-cli ingest --addr HOST:PORT (--file F --bench NAME | --app fib|nqueens
 //!                     [--seed S] [--runs K]) [--threads N]
-//!                     [--spool DIR] [--deadline-ms N]
+//!                     [--spool DIR] [--deadline-ms N] [--proto json|bin|auto]
 //! taskprof-cli drain --addr HOST:PORT --spool DIR [--deadline-ms N]
+//!                    [--proto json|bin|auto]
 //! taskprof-cli query top|stats|regress --addr HOST:PORT --bench NAME
 //!                   [--threads N] [--n N] [--file F] [--threshold T]
+//!                   [--proto json|bin|auto]
 //! ```
 //!
 //! `run` executes one BOTS code under the profiler (and optionally the
@@ -36,6 +38,12 @@
 //! BOTS codes; `query` prints the server's response line verbatim —
 //! `regress` additionally exits 3 when the candidate regressed, so CI can
 //! gate on the exit code.
+//!
+//! All repository commands take `--proto json|bin|auto` (default `auto`):
+//! `serve` restricts which wire protocols the daemon accepts, while the
+//! client commands pick the protocol they speak — `auto` attempts the
+//! compact TPF1 binary framing and falls back to JSON lines when the
+//! server refuses the handshake.
 //!
 //! Resilience: `ingest --spool DIR` degrades gracefully when the daemon
 //! is unreachable — instead of failing, profiles land in `DIR` as
@@ -66,10 +74,10 @@ fn usage() -> ! {
          [--interval-ms N] [--format dashboard|prometheus|jsonl]\n  \
          taskprof-cli explore [--seeds N] [--threads N] [--workload fib|flat|mixed|all] [--dfs BUDGET]\n  \
          taskprof-cli diff <a.profile> <b.profile>\n  taskprof-cli list\n  \
-         taskprof-cli serve --dir DIR [--addr HOST:PORT] [--max-conns N] [--port-file FILE]\n  \
-         taskprof-cli ingest --addr HOST:PORT (--file F --bench NAME | --app fib|nqueens [--seed S] [--runs K]) [--threads N] [--spool DIR] [--deadline-ms N]\n  \
-         taskprof-cli drain --addr HOST:PORT --spool DIR [--deadline-ms N]\n  \
-         taskprof-cli query top|stats|regress --addr HOST:PORT --bench NAME [--threads N] [--n N] [--file F] [--threshold T]"
+         taskprof-cli serve --dir DIR [--addr HOST:PORT] [--max-conns N] [--port-file FILE] [--proto json|bin|auto]\n  \
+         taskprof-cli ingest --addr HOST:PORT (--file F --bench NAME | --app fib|nqueens [--seed S] [--runs K]) [--threads N] [--spool DIR] [--deadline-ms N] [--proto json|bin|auto]\n  \
+         taskprof-cli drain --addr HOST:PORT --spool DIR [--deadline-ms N] [--proto json|bin|auto]\n  \
+         taskprof-cli query top|stats|regress --addr HOST:PORT --bench NAME [--threads N] [--n N] [--file F] [--threshold T] [--proto json|bin|auto]"
     );
     std::process::exit(2);
 }
@@ -420,11 +428,21 @@ fn cmd_diff(args: &[String]) {
     }
 }
 
+/// Parse a `--proto` value, dying with usage on anything unknown.
+fn parse_proto(value: Option<&String>) -> profserve::WireProtocol {
+    let Some(v) = value else { usage() };
+    v.parse().unwrap_or_else(|e: String| {
+        eprintln!("{e}");
+        usage()
+    })
+}
+
 fn cmd_serve(args: &[String]) {
     let mut dir: Option<String> = None;
     let mut addr = String::from("127.0.0.1:7979");
     let mut max_conns: usize = 64;
     let mut port_file: Option<String> = None;
+    let mut proto = profserve::WireProtocol::Auto;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -437,6 +455,7 @@ fn cmd_serve(args: &[String]) {
                     .unwrap_or_else(|| usage())
             }
             "--port-file" => port_file = Some(it.next().cloned().unwrap_or_else(|| usage())),
+            "--proto" => proto = parse_proto(it.next()),
             _ => usage(),
         }
     }
@@ -448,6 +467,7 @@ fn cmd_serve(args: &[String]) {
     let stats = store.stats();
     let config = profserve::ServeConfig {
         max_connections: max_conns,
+        protocols: proto,
         ..profserve::ServeConfig::default()
     };
     let server = profserve::Server::bind(&addr, store, config).unwrap_or_else(|e| {
@@ -468,7 +488,7 @@ fn cmd_serve(args: &[String]) {
         }
     }
     eprintln!(
-        "# profserve listening on {bound}, store {dir} ({} runs in {} segments)",
+        "# profserve listening on {bound} (protocols {proto}), store {dir} ({} runs in {} segments)",
         stats.runs, stats.segments
     );
     if let Err(e) = server.run() {
@@ -504,11 +524,12 @@ fn deterministic_profile(app: &str, seed: u64, threads: usize) -> taskprof::Prof
     monitor.take_profile().expect("region finished")
 }
 
-fn connect_or_die(addr: &str) -> profserve::Client {
-    profserve::Client::connect(addr).unwrap_or_else(|e| {
-        eprintln!("cannot connect to {addr}: {e}");
-        std::process::exit(1);
-    })
+fn connect_or_die(addr: &str, proto: profserve::WireProtocol) -> profserve::Client {
+    profserve::Client::connect_proto(addr, proto, profserve::ClientTimeouts::unbounded())
+        .unwrap_or_else(|e| {
+            eprintln!("cannot connect to {addr}: {e}");
+            std::process::exit(1);
+        })
 }
 
 /// Translate a delivery policy into per-phase client timeouts (never
@@ -522,12 +543,17 @@ fn policy_timeouts(policy: &taskprof_session::ExportPolicy) -> profserve::Client
     }
 }
 
-fn delivery_policy(deadline_ms: Option<u64>, spool: Option<&String>) -> taskprof_session::ExportPolicy {
+fn delivery_policy(
+    deadline_ms: Option<u64>,
+    spool: Option<&String>,
+    proto: profserve::WireProtocol,
+) -> taskprof_session::ExportPolicy {
     let mut policy = taskprof_session::ExportPolicy::default();
     if let Some(ms) = deadline_ms {
         policy.deadline = std::time::Duration::from_millis(ms.max(1));
     }
     policy.spool_dir = spool.map(std::path::PathBuf::from);
+    policy.wire_protocol = proto;
     policy
 }
 
@@ -542,6 +568,7 @@ fn cmd_ingest(args: &[String]) {
     let mut runs: u64 = 1;
     let mut spool: Option<String> = None;
     let mut deadline_ms: Option<u64> = None;
+    let mut proto = profserve::WireProtocol::Auto;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -575,11 +602,12 @@ fn cmd_ingest(args: &[String]) {
                         .unwrap_or_else(|| usage()),
                 )
             }
+            "--proto" => proto = parse_proto(it.next()),
             _ => usage(),
         }
     }
     let Some(addr) = addr else { usage() };
-    let policy = delivery_policy(deadline_ms, spool.as_ref());
+    let policy = delivery_policy(deadline_ms, spool.as_ref(), proto);
 
     // Collect (bench, timestamp, profile) upfront so a dead daemon can
     // still spool every one of them.
@@ -631,25 +659,28 @@ fn cmd_ingest(args: &[String]) {
         }
     };
 
-    let mut client = match profserve::Client::connect_with(&addr, policy_timeouts(&policy)) {
-        Ok(c) => Some(c),
-        Err(e) if policy.spool_dir.is_some() => {
-            eprintln!("cannot connect to {addr}: {e}");
-            None
-        }
-        Err(e) => {
-            eprintln!("cannot connect to {addr}: {e}");
-            std::process::exit(1);
-        }
-    };
+    let mut client =
+        match profserve::Client::connect_proto(&addr, proto, policy_timeouts(&policy)) {
+            Ok(c) => Some(c),
+            Err(e) if policy.spool_dir.is_some() => {
+                eprintln!("cannot connect to {addr}: {e}");
+                None
+            }
+            Err(e) => {
+                eprintln!("cannot connect to {addr}: {e}");
+                std::process::exit(1);
+            }
+        };
     for (bench_name, ts, profile) in &items {
         match client.as_mut() {
             Some(c) => {
-                let text = write_profile(profile);
-                match c.ingest(bench_name, threads as u32, *ts, &text) {
-                    Ok(ack) => println!(
+                let record = profserve::Record::from_profile(bench_name, threads as u32, *ts, profile);
+                match c.ingest_record(&record) {
+                    Ok(receipt) => println!(
                         "ingested {bench_name} as run {} ({} bytes, segment {})",
-                        ack.run_id, ack.bytes, ack.segment
+                        receipt.run_id(),
+                        receipt.bytes,
+                        receipt.segment
                     ),
                     Err(profserve::ClientError::Io(e)) if policy.spool_dir.is_some() => {
                         eprintln!("ingest transport failed: {e}");
@@ -686,6 +717,7 @@ fn cmd_drain(args: &[String]) {
     let mut addr: Option<String> = None;
     let mut spool: Option<String> = None;
     let mut deadline_ms: Option<u64> = None;
+    let mut proto = profserve::WireProtocol::Auto;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -698,13 +730,14 @@ fn cmd_drain(args: &[String]) {
                         .unwrap_or_else(|| usage()),
                 )
             }
+            "--proto" => proto = parse_proto(it.next()),
             _ => usage(),
         }
     }
     let (Some(addr), Some(spool)) = (addr, spool) else {
         usage()
     };
-    let policy = delivery_policy(deadline_ms, None);
+    let policy = delivery_policy(deadline_ms, None, proto);
     let report = taskprof_session::drain_spool(std::path::Path::new(&spool), &addr, &policy);
     println!(
         "drained {} frame(s), {} quarantined (.bad), {} remaining",
@@ -728,9 +761,11 @@ fn cmd_query(args: &[String]) {
     let mut app: Option<String> = None;
     let mut seed: u64 = 42;
     let mut threshold: Option<f64> = None;
+    let mut proto = profserve::WireProtocol::Auto;
     let mut it = args[1..].iter();
     while let Some(a) = it.next() {
         match a.as_str() {
+            "--proto" => proto = parse_proto(it.next()),
             "--addr" => addr = Some(it.next().cloned().unwrap_or_else(|| usage())),
             "--bench" => bench = Some(it.next().cloned().unwrap_or_else(|| usage())),
             "--threads" => {
@@ -764,29 +799,31 @@ fn cmd_query(args: &[String]) {
         }
     }
     let Some(addr) = addr else { usage() };
-    let mut client = connect_or_die(&addr);
+    let mut client = connect_or_die(&addr, proto);
     let die = |e: profserve::ClientError| -> ! {
         eprintln!("query failed: {e}");
         std::process::exit(1);
     };
+    // Typed reports are printed as the canonical JSON response line, so
+    // scripted consumers see identical output on both wire protocols.
     match what {
         "top" => {
             let Some(bench) = bench else { usage() };
-            let v = client
+            let report = client
                 .query_top(&bench, threads as u32, n)
                 .unwrap_or_else(|e| die(e));
-            println!("{v}");
+            println!("{}", profserve::Response::Top(report).to_json_line());
         }
         "stats" => {
             if let Some(bench) = bench {
-                let v = client
+                let report = client
                     .query_stats(&bench, threads as u32)
                     .unwrap_or_else(|e| die(e));
-                println!("{v}");
+                println!("{}", profserve::Response::Stats(report).to_json_line());
             } else {
                 // Without --bench, report server health.
-                let v = client.server_stats().unwrap_or_else(|e| die(e));
-                println!("{v}");
+                let report = client.server_stats().unwrap_or_else(|e| die(e));
+                println!("{}", profserve::Response::ServerStats(report).to_json_line());
             }
         }
         "regress" => {
@@ -802,14 +839,18 @@ fn cmd_query(args: &[String]) {
                 eprintln!("regress needs --file F or --app fib|nqueens");
                 std::process::exit(2);
             };
-            let v = client
-                .query_regress(&bench, threads as u32, &text, threshold)
+            let report = client
+                .query_regress(
+                    &bench,
+                    threads as u32,
+                    profserve::ProfilePayload::Text(text),
+                    threshold,
+                    None,
+                    None,
+                )
                 .unwrap_or_else(|e| die(e));
-            println!("{v}");
-            let regressed = v
-                .get("regressed")
-                .and_then(profserve::Json::as_bool)
-                .unwrap_or(false);
+            let regressed = report.regressed;
+            println!("{}", profserve::Response::Regress(report).to_json_line());
             if regressed {
                 std::process::exit(3);
             }

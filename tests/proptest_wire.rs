@@ -1,0 +1,145 @@
+//! Robustness of the TPF1 wire codec: arbitrary and corrupted bytes must
+//! never panic the decoder, truncated frames must wait for more data
+//! instead of yielding garbage, single-bit corruption must never pass the
+//! frame check undetected, and encode→decode must round-trip every
+//! request shape.
+
+use profserve::wire::{decode_request, decode_response, encode_request, frame, try_frame};
+use profserve::{ProfilePayload, Record, Request};
+use proptest::prelude::*;
+
+/// Decoder-side payload cap used by every property: large enough that no
+/// generated frame ever trips it, so `FrameTooLarge` only appears when
+/// corruption inflates the length header.
+const MAX_PAYLOAD: usize = 1 << 20;
+
+fn arb_payload() -> impl Strategy<Value = ProfilePayload> {
+    prop_oneof![
+        ".{0,80}".prop_map(ProfilePayload::Text),
+        prop::collection::vec(any::<u8>(), 0..120).prop_map(ProfilePayload::Record),
+    ]
+}
+
+/// `Option<u64>` out of primitives (the vendored proptest has no
+/// `prop::option`).
+fn arb_opt_u64() -> impl Strategy<Value = Option<u64>> {
+    (any::<bool>(), any::<u64>()).prop_map(|(some, v)| some.then_some(v))
+}
+
+fn arb_record() -> impl Strategy<Value = Record> {
+    ("[a-z_]{1,12}", 1u32..8, arb_opt_u64(), arb_payload()).prop_map(
+        |(benchmark, threads, timestamp_ns, profile)| Record {
+            benchmark,
+            threads,
+            timestamp_ns,
+            profile,
+        },
+    )
+}
+
+fn arb_request() -> impl Strategy<Value = Request> {
+    prop_oneof![
+        (any::<u32>(), any::<u64>())
+            .prop_map(|(version, features)| Request::Hello { version, features }),
+        arb_record().prop_map(Request::Ingest),
+        prop::collection::vec(arb_record(), 0..4).prop_map(Request::IngestBatch),
+        ("[a-z]{1,12}", 1u32..8, 0usize..50)
+            .prop_map(|(benchmark, threads, n)| Request::QueryTop { benchmark, threads, n }),
+        ("[a-z]{1,12}", 1u32..8)
+            .prop_map(|(benchmark, threads)| Request::QueryStats { benchmark, threads }),
+        (
+            "[a-z]{1,12}",
+            1u32..8,
+            arb_payload(),
+            (any::<bool>(), 0.0f64..10.0).prop_map(|(some, v)| some.then_some(v)),
+            arb_opt_u64(),
+            arb_opt_u64(),
+        )
+            .prop_map(
+                |(benchmark, threads, profile, threshold, min_runs, min_delta_ns)| {
+                    Request::QueryRegress {
+                        benchmark,
+                        threads,
+                        profile,
+                        threshold,
+                        min_runs,
+                        min_delta_ns,
+                    }
+                },
+            ),
+        Just(Request::Stats),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn frame_parser_never_panics_on_arbitrary_bytes(
+        bytes in prop::collection::vec(any::<u8>(), 0..600),
+    ) {
+        let _ = try_frame(&bytes, MAX_PAYLOAD);
+    }
+
+    #[test]
+    fn payload_decoders_never_panic_on_arbitrary_bytes(
+        bytes in prop::collection::vec(any::<u8>(), 0..600),
+    ) {
+        let _ = decode_request(&bytes);
+        let _ = decode_response(&bytes);
+    }
+
+    #[test]
+    fn requests_round_trip_through_frame_and_codec(req in arb_request()) {
+        let framed = frame(&encode_request(&req));
+        let (payload, consumed) = try_frame(&framed, MAX_PAYLOAD)
+            .expect("valid frame")
+            .expect("complete frame");
+        prop_assert_eq!(consumed, framed.len());
+        prop_assert_eq!(decode_request(&payload).expect("valid payload"), req);
+    }
+
+    #[test]
+    fn truncated_frames_wait_for_more_data(req in arb_request(), cut in 0.0f64..1.0) {
+        // Any strict prefix of a valid frame is an incomplete read, never
+        // a decoded frame and never an error: the reactor must keep the
+        // connection open and wait for the remaining bytes.
+        let framed = frame(&encode_request(&req));
+        let keep = ((framed.len() as f64 * cut) as usize).min(framed.len() - 1);
+        prop_assert!(matches!(try_frame(&framed[..keep], MAX_PAYLOAD), Ok(None)));
+    }
+
+    #[test]
+    fn bit_flips_never_pass_undetected(
+        req in arb_request(),
+        pos in any::<usize>(),
+        bit in 0u8..8,
+    ) {
+        let framed = frame(&encode_request(&req));
+        let original = try_frame(&framed, MAX_PAYLOAD)
+            .expect("valid frame")
+            .expect("complete frame")
+            .0;
+        let mut corrupt = framed.clone();
+        let idx = pos % corrupt.len();
+        corrupt[idx] ^= 1 << bit;
+        // A flipped length header may legitimately look like an
+        // incomplete frame (Ok(None)) or an oversized one (Err); a
+        // flipped payload or checksum must fail the CRC. What must never
+        // happen is the original payload coming back as if intact.
+        if let Ok(Some((payload, _))) = try_frame(&corrupt, MAX_PAYLOAD) {
+            prop_assert!(payload != original, "bit flip at byte {} went undetected", idx);
+        }
+    }
+
+    #[test]
+    fn truncated_payloads_never_decode_to_the_original(req in arb_request(), cut in 0.0f64..1.0) {
+        let payload = encode_request(&req);
+        if payload.len() > 1 {
+            let keep = ((payload.len() as f64 * cut) as usize).min(payload.len() - 1);
+            if let Ok(decoded) = decode_request(&payload[..keep]) {
+                prop_assert_ne!(decoded, req);
+            }
+        }
+    }
+}
