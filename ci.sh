@@ -14,6 +14,12 @@ cargo test -q
 echo "=== clippy (workspace, all targets) ==="
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "=== clippy (portable clock path) ==="
+# Compile-check the non-TSC clock fallback other architectures take,
+# without needing a cross toolchain (see crates/pomp/src/clock.rs).
+RUSTFLAGS="--cfg taskprof_portable_clock" \
+    cargo clippy -p pomp --all-targets -- -D warnings
+
 echo "=== overhead bench smoke (test scale) ==="
 BENCH_SCALE="${BENCH_SCALE:-test}" BENCH_REPS="${BENCH_REPS:-1}" \
     cargo run --release -p bench --bin overhead_json -- /tmp/BENCH_overhead.smoke.json
@@ -69,6 +75,47 @@ grep -q '"runs":3' /tmp/top.bin.out \
     || { echo "expected 3 runs across both protocols"; exit 1; }
 cargo run --release --bin taskprof-cli -- query regress \
     --addr "$ADDR" --bench fib --threads 2 --app fib --seed 41
+
+echo "=== live subscription smoke ==="
+# One subscriber per wire protocol; each must observe the ingest
+# notification pushed mid-stream plus periodic telemetry snapshots.
+# Use the already-built binary directly: cargo's file locks would eat
+# the subscription window while the watchers count frames.
+CLI=target/release/taskprof-cli
+"$CLI" watch \
+    --addr "$ADDR" --proto json --interval-ms 200 --frames 20 --format jsonl \
+    > /tmp/watch.json.out &
+WATCH_JSON_PID=$!
+"$CLI" watch \
+    --addr "$ADDR" --proto bin --interval-ms 200 --frames 20 --format jsonl \
+    > /tmp/watch.bin.out &
+WATCH_BIN_PID=$!
+# Hold the upload until both subscribers are attached; they then keep
+# watching for ~4s, so the fan-out provably reaches them.
+for _ in $(seq 1 100); do
+    "$CLI" query stats --prometheus --addr "$ADDR" > /tmp/prom.out
+    SUBS=$(awk '$1 == "profserve_subscriptions_total" { print $2 }' /tmp/prom.out)
+    [ "${SUBS:-0}" -ge 2 ] && break
+    sleep 0.1
+done
+[ "${SUBS:-0}" -ge 2 ] || { echo "subscribers never attached"; exit 1; }
+"$CLI" ingest \
+    --addr "$ADDR" --app fib --seed 45 --runs 1 --threads 2 --proto bin
+wait "$WATCH_JSON_PID" || { echo "json watch failed"; exit 1; }
+wait "$WATCH_BIN_PID" || { echo "binary watch failed"; exit 1; }
+for OUT in /tmp/watch.json.out /tmp/watch.bin.out; do
+    grep -q '"event":"ingest"' "$OUT" \
+        || { echo "$OUT: no ingest notification observed"; exit 1; }
+    grep -q '"event":"telemetry"' "$OUT" \
+        || { echo "$OUT: no telemetry snapshot observed"; exit 1; }
+done
+# The Prometheus scrape must expose the request-latency histograms.
+"$CLI" query stats --prometheus --addr "$ADDR" > /tmp/prom.out
+grep -q '^profserve_request_latency_ns_bucket' /tmp/prom.out \
+    || { echo "no latency histogram in prometheus scrape"; exit 1; }
+grep -q '^profserve_store_runs' /tmp/prom.out \
+    || { echo "no store gauges in prometheus scrape"; exit 1; }
+
 echo "=== resilient export smoke (spool while down, drain when back) ==="
 # Daemon still up: an ingest pointed at a *dead* port with --spool must
 # exit 0 and leave a frame file; `drain` against the live daemon must

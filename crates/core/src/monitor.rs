@@ -206,7 +206,7 @@ impl<C: ClockSource> ProfMonitorBuilder<C> {
     }
 
     /// Enable live telemetry with default settings (lock-free shard
-    /// gauges, 1-in-64 perturbation sampling). See
+    /// gauges, 1-in-256 perturbation sampling). See
     /// [`ProfMonitor::telemetry_core`] for reading it.
     pub fn telemetry(self) -> Self {
         self.telemetry_config(TelemetryConfig::default())

@@ -25,5 +25,8 @@ pub use query::{
     param_table, region_excl_by_kind, region_excl_by_name, stub_time_under_kind, task_stats,
     TaskConstructStats,
 };
-pub use render::{format_ns, render_profile, render_telemetry, render_tree, RenderOpts};
+pub use render::{
+    format_ns, render_fleet, render_profile, render_telemetry, render_tree, FleetLatencyRow,
+    FleetStats, RenderOpts,
+};
 pub use store::{read_profile, write_profile, write_profile_to, ParseError};

@@ -21,6 +21,11 @@
 //! [`VirtualClock`] readers share the underlying atomic counter, so
 //! deterministic tests still observe `set`/`advance` calls made from the
 //! driver.
+//!
+//! The portable (non-TSC) fallback can be forced on x86-64 with
+//! `--cfg taskprof_portable_clock` (`RUSTFLAGS`), which is how CI
+//! compile-checks the path other architectures take without needing a
+//! cross toolchain.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -73,7 +78,7 @@ impl MonotonicClock {
         // Force the process-wide TSC calibration here, at measurement
         // setup, so the one-time spin never lands inside a timed region
         // via the first `thread_reader()` call.
-        #[cfg(target_arch = "x86_64")]
+        #[cfg(all(target_arch = "x86_64", not(taskprof_portable_clock)))]
         tsc::ns_per_tick();
         Self {
             origin: Instant::now(),
@@ -89,7 +94,7 @@ impl Clock for MonotonicClock {
 }
 
 /// Calibrated time-stamp-counter access (x86-64 only).
-#[cfg(target_arch = "x86_64")]
+#[cfg(all(target_arch = "x86_64", not(taskprof_portable_clock)))]
 mod tsc {
     use std::sync::OnceLock;
     use std::time::{Duration, Instant};
@@ -125,7 +130,7 @@ mod tsc {
 
 /// A TSC anchor pinning a reader's cycle counter to the source clock's
 /// nanosecond timeline at reader creation.
-#[cfg(target_arch = "x86_64")]
+#[cfg(all(target_arch = "x86_64", not(taskprof_portable_clock)))]
 #[derive(Clone, Copy, Debug)]
 struct TscAnchor {
     /// Clock time (ns since the source's origin) when the anchor was set.
@@ -148,14 +153,14 @@ struct TscAnchor {
 #[derive(Clone, Copy, Debug)]
 pub struct MonotonicReader {
     origin: Instant,
-    #[cfg(target_arch = "x86_64")]
+    #[cfg(all(target_arch = "x86_64", not(taskprof_portable_clock)))]
     tsc: Option<TscAnchor>,
 }
 
 impl ClockReader for MonotonicReader {
     #[inline]
     fn now(&self) -> u64 {
-        #[cfg(target_arch = "x86_64")]
+        #[cfg(all(target_arch = "x86_64", not(taskprof_portable_clock)))]
         if let Some(a) = self.tsc {
             let dticks = tsc::read().wrapping_sub(a.origin_tick);
             return a.origin_ns + (dticks as f64 * a.ns_per_tick) as u64;
@@ -171,7 +176,7 @@ impl ClockSource for MonotonicClock {
     fn thread_reader(&self) -> MonotonicReader {
         MonotonicReader {
             origin: self.origin,
-            #[cfg(target_arch = "x86_64")]
+            #[cfg(all(target_arch = "x86_64", not(taskprof_portable_clock)))]
             tsc: tsc::ns_per_tick().map(|ns_per_tick| TscAnchor {
                 origin_ns: self.origin.elapsed().as_nanos() as u64,
                 origin_tick: tsc::read(),

@@ -24,10 +24,11 @@
 
 use crate::json::{self, Json};
 use crate::protocol::{
-    ErrorKind, IngestReceipt, ProfilePayload, Record, RegressReport, Request, Response,
-    ServerStatsReport, StatsReport, TopReport, WireProtocol,
+    ErrorKind, IngestReceipt, Notification, ProfilePayload, Record, RegressReport, Request,
+    Response, ServerStatsReport, StatsReport, TopReport, TrendReport, WireProtocol,
 };
 use crate::wire;
+use profstore::RunWindow;
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
@@ -405,17 +406,29 @@ impl Client {
         }
     }
 
-    /// Top-N regions by summed inclusive time.
+    /// Top-N regions by summed inclusive time across all stored runs.
     pub fn query_top(
         &mut self,
         benchmark: &str,
         threads: u32,
         n: usize,
     ) -> Result<TopReport, ClientError> {
+        self.query_top_window(benchmark, threads, n, RunWindow::default())
+    }
+
+    /// Top-N regions, restricted to the runs selected by `window`.
+    pub fn query_top_window(
+        &mut self,
+        benchmark: &str,
+        threads: u32,
+        n: usize,
+        window: RunWindow,
+    ) -> Result<TopReport, ClientError> {
         match self.expect(&Request::QueryTop {
             benchmark: benchmark.to_string(),
             threads,
             n,
+            window,
         })? {
             Response::Top(report) => Ok(report),
             other => Err(ClientError::Protocol(format!(
@@ -424,11 +437,23 @@ impl Client {
         }
     }
 
-    /// Cross-run scalar statistics.
+    /// Cross-run scalar statistics across all stored runs.
     pub fn query_stats(&mut self, benchmark: &str, threads: u32) -> Result<StatsReport, ClientError> {
+        self.query_stats_window(benchmark, threads, RunWindow::default())
+    }
+
+    /// Cross-run scalar statistics, restricted to the runs selected by
+    /// `window`.
+    pub fn query_stats_window(
+        &mut self,
+        benchmark: &str,
+        threads: u32,
+        window: RunWindow,
+    ) -> Result<StatsReport, ClientError> {
         match self.expect(&Request::QueryStats {
             benchmark: benchmark.to_string(),
             threads,
+            window,
         })? {
             Response::Stats(report) => Ok(report),
             other => Err(ClientError::Protocol(format!(
@@ -448,6 +473,31 @@ impl Client {
         min_runs: Option<u64>,
         min_delta_ns: Option<u64>,
     ) -> Result<RegressReport, ClientError> {
+        self.query_regress_window(
+            benchmark,
+            threads,
+            profile,
+            threshold,
+            min_runs,
+            min_delta_ns,
+            RunWindow::default(),
+        )
+    }
+
+    /// Regression check against the baseline formed by the runs `window`
+    /// selects — `last N` gates against recent history instead of the
+    /// all-time mean.
+    #[allow(clippy::too_many_arguments)]
+    pub fn query_regress_window(
+        &mut self,
+        benchmark: &str,
+        threads: u32,
+        profile: ProfilePayload,
+        threshold: Option<f64>,
+        min_runs: Option<u64>,
+        min_delta_ns: Option<u64>,
+        window: RunWindow,
+    ) -> Result<RegressReport, ClientError> {
         match self.expect(&Request::QueryRegress {
             benchmark: benchmark.to_string(),
             threads,
@@ -455,6 +505,7 @@ impl Client {
             threshold,
             min_runs,
             min_delta_ns,
+            window,
         })? {
             Response::Regress(report) => Ok(report),
             other => Err(ClientError::Protocol(format!(
@@ -463,12 +514,70 @@ impl Client {
         }
     }
 
-    /// Server health: service counters, read-only flag, store shape.
+    /// Per-window total-time aggregates of one group — the sparkline
+    /// query. `window` bounds the runs considered, `buckets` is how many
+    /// equal-count slices to split them into (oldest first).
+    pub fn query_trend(
+        &mut self,
+        benchmark: &str,
+        threads: u32,
+        buckets: u32,
+        window: RunWindow,
+    ) -> Result<TrendReport, ClientError> {
+        match self.expect(&Request::QueryTrend {
+            benchmark: benchmark.to_string(),
+            threads,
+            buckets,
+            window,
+        })? {
+            Response::Trend(report) => Ok(report),
+            other => Err(ClientError::Protocol(format!(
+                "expected trend report, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Server health: service counters, read-only flag, store shape,
+    /// request-latency summaries.
     pub fn server_stats(&mut self) -> Result<ServerStatsReport, ClientError> {
         match self.expect(&Request::Stats)? {
             Response::ServerStats(report) => Ok(report),
             other => Err(ClientError::Protocol(format!(
                 "expected server stats, got {other:?}"
+            ))),
+        }
+    }
+
+    /// The `STATS prometheus` scrape document (text exposition format).
+    pub fn server_stats_prometheus(&mut self) -> Result<String, ClientError> {
+        match self.expect(&Request::StatsPrometheus)? {
+            Response::Prometheus(text) => Ok(text),
+            other => Err(ClientError::Protocol(format!(
+                "expected prometheus text, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Upgrade this connection to a live subscription. Consumes the
+    /// client: after the server acknowledges, the connection carries
+    /// pushed [`Notification`] events (periodic telemetry snapshots,
+    /// ingest notices, and `lagged` notices if this subscriber falls
+    /// behind) and no further requests can be sent on it. Returns the
+    /// subscription plus the telemetry interval the server settled on
+    /// (the request is clamped to the server's push tick).
+    ///
+    /// Callers that want to block on events indefinitely should connect
+    /// with an unbounded (or interval-sized) read timeout.
+    pub fn subscribe(
+        mut self,
+        interval_ms: Option<u64>,
+    ) -> Result<(Subscription, u64), ClientError> {
+        match self.expect(&Request::Subscribe { interval_ms })? {
+            Response::Subscribed { interval_ms } => {
+                Ok((Subscription { client: self }, interval_ms))
+            }
+            other => Err(ClientError::Protocol(format!(
+                "expected subscription ack, got {other:?}"
             ))),
         }
     }
@@ -502,5 +611,39 @@ impl Client {
             bytes: receipt.bytes,
             segment: receipt.segment,
         })
+    }
+}
+
+/// A live event stream, produced by [`Client::subscribe`]. Each call to
+/// [`Subscription::next_event`] blocks (subject to the connection's read
+/// timeout) until the server pushes the next [`Notification`].
+pub struct Subscription {
+    client: Client,
+}
+
+impl Subscription {
+    /// Block until the next pushed event arrives.
+    ///
+    /// A read timeout on the underlying connection surfaces as
+    /// [`ClientError::Io`] with kind `WouldBlock`/`TimedOut`; the
+    /// subscription stays usable afterwards (the push simply had not
+    /// arrived yet).
+    pub fn next_event(&mut self) -> Result<Notification, ClientError> {
+        let response = match self.client.proto {
+            ActiveProto::Json => self.client.read_response_json()?,
+            ActiveProto::Binary { .. } => self.client.read_response_binary()?,
+        };
+        match response {
+            Response::Event(event) => Ok(event),
+            Response::Error { kind, message } => Err(ClientError::Server { kind, message }),
+            other => Err(ClientError::Protocol(format!(
+                "expected pushed event, got {other:?}"
+            ))),
+        }
+    }
+
+    /// The protocol the underlying connection speaks.
+    pub fn protocol(&self) -> WireProtocol {
+        self.client.protocol()
     }
 }

@@ -2,10 +2,11 @@
 //!
 //! The wire protocol is line-delimited JSON and the build is offline
 //! (vendored-only policy, no serde), so this is a small hand-rolled
-//! implementation: full string escaping (including `\uXXXX`), numbers as
-//! `f64` with exact round-tripping for the integer range the protocol
-//! uses, and objects that preserve insertion order so responses serialize
-//! byte-stably.
+//! implementation: full string escaping (including `\uXXXX`), exact
+//! round-tripping for the full `u64` range (nanosecond epoch timestamps
+//! exceed 2^53, so counters ride a dedicated integer variant rather than
+//! `f64`), and objects that preserve insertion order so responses
+//! serialize byte-stably.
 
 /// A JSON value.
 #[derive(Clone, Debug, PartialEq)]
@@ -14,7 +15,10 @@ pub enum Json {
     Null,
     /// `true` / `false`
     Bool(bool),
-    /// Any number (integers in the protocol stay exact up to 2^53).
+    /// A non-negative integer, exact across the full `u64` range —
+    /// epoch-nanosecond timestamps do not survive an `f64` round trip.
+    UInt(u64),
+    /// Any other number (floats, negatives; exact up to 2^53).
     Num(f64),
     /// A string.
     Str(String),
@@ -44,6 +48,7 @@ impl Json {
     /// Numeric value as u64, if this is a non-negative integral number.
     pub fn as_u64(&self) -> Option<u64> {
         match self {
+            Json::UInt(n) => Some(*n),
             Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= 2f64.powi(53) => {
                 Some(*n as u64)
             }
@@ -54,6 +59,7 @@ impl Json {
     /// Numeric value, if this is a number.
     pub fn as_f64(&self) -> Option<f64> {
         match self {
+            Json::UInt(n) => Some(*n as f64),
             Json::Num(n) => Some(*n),
             _ => None,
         }
@@ -80,6 +86,7 @@ impl Json {
             Json::Null => out.push_str("null"),
             Json::Bool(true) => out.push_str("true"),
             Json::Bool(false) => out.push_str("false"),
+            Json::UInt(n) => out.push_str(&format!("{n}")),
             Json::Num(n) => {
                 if !n.is_finite() {
                     out.push_str("null");
@@ -276,6 +283,11 @@ impl<'a> P<'a> {
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos])
             .map_err(|_| self.err("non-utf8 number"))?;
+        // Plain non-negative integer tokens stay exact (u64); anything
+        // with a sign, fraction, or exponent takes the f64 path.
+        if let Ok(n) = text.parse::<u64>() {
+            return Ok(Json::UInt(n));
+        }
         text.parse::<f64>()
             .map(Json::Num)
             .map_err(|_| self.err(format!("bad number '{text}'")))
@@ -361,7 +373,7 @@ impl Json {
 
     /// An unsigned integer value.
     pub fn num(n: u64) -> Json {
-        Json::Num(n as f64)
+        Json::UInt(n)
     }
 
     /// A float value rounded to 4 decimals so responses stay byte-stable
@@ -412,6 +424,14 @@ mod tests {
         assert_eq!(parse("-1").unwrap().as_u64(), None);
         assert_eq!(parse("1.5").unwrap().as_f64(), Some(1.5));
         assert_eq!(Json::num(1 << 52).to_string(), format!("{}", 1u64 << 52));
+        // Epoch-nanosecond territory: beyond 2^53, must stay exact.
+        let t_ns = 1_754_640_000_123_456_789u64;
+        assert_eq!(Json::num(t_ns).to_string(), t_ns.to_string());
+        assert_eq!(parse(&t_ns.to_string()).unwrap().as_u64(), Some(t_ns));
+        assert_eq!(
+            parse(&u64::MAX.to_string()).unwrap().as_u64(),
+            Some(u64::MAX)
+        );
     }
 
     #[test]

@@ -46,13 +46,14 @@ pub mod json;
 pub mod protocol;
 mod reactor;
 pub mod server;
+mod trace;
 pub mod wire;
 
-pub use client::{Client, ClientError, ClientTimeouts, IngestAck};
+pub use client::{Client, ClientError, ClientTimeouts, IngestAck, Subscription};
 pub use json::{parse as parse_json, Json, JsonError};
 pub use protocol::{
-    ErrorKind, IngestReceipt, ProfilePayload, Record, RegressReport, Request, Response,
-    ServerStatsReport, StatsReport, TopReport, WireProtocol,
+    ErrorKind, IngestReceipt, LatencyStat, Notification, ProfilePayload, Record, RegressReport,
+    Request, Response, ServerStatsReport, StatsReport, TopReport, TrendReport, WireProtocol,
 };
 pub use server::{ServeConfig, Server, ServerHandle};
 

@@ -20,8 +20,20 @@
 //! {"cmd":"QUERY","query":"stats","benchmark":"fib","threads":2}
 //! {"cmd":"QUERY","query":"regress","benchmark":"fib","threads":2,
 //!  "profile":"…","threshold":0.2}   optional: "min_runs":N,"min_delta_ns":N
-//! {"cmd":"STATS"}
+//! {"cmd":"QUERY","query":"trend","benchmark":"fib","threads":2,"buckets":16}
+//! {"cmd":"STATS"}                   or: "format":"prometheus"
+//! {"cmd":"SUBSCRIBE"}               optional: "interval_ms":N
 //! ```
+//!
+//! Every `QUERY` additionally accepts an optional run window:
+//! `"last":N` (newest N runs) and/or `"since_ns":T` (runs stamped at or
+//! after `T`) — evaluated against the store index before aggregation.
+//!
+//! `SUBSCRIBE` upgrades the connection to a push stream: the server
+//! acknowledges with `{"ok":true,"subscribed":true,…}` and then sends
+//! unsolicited [`Response::Event`] lines/frames — periodic telemetry
+//! snapshots, ingest notifications, and `lagged` notices when a slow
+//! subscriber's queue overflowed and events were shed.
 //!
 //! Every JSON response is `{"ok":true,…}` or a typed error
 //! `{"ok":false,"error":{"kind":"<kind>","message":"…"}}` with kind one of
@@ -32,7 +44,7 @@
 //! form and the server decodes whichever arrives.
 
 use crate::json::Json;
-use profstore::{BenchAgg, MetricAgg, Regression, RunMeta, StoreStats};
+use profstore::{BenchAgg, MetricAgg, Regression, RunMeta, RunWindow, StoreStats, TrendBucket};
 use taskprof::Profile;
 use taskprof_telemetry::ServiceSnapshot;
 
@@ -273,6 +285,8 @@ pub enum Request {
         threads: u32,
         /// How many rows.
         n: usize,
+        /// Run window the aggregate is computed over.
+        window: RunWindow,
     },
     /// Cross-run scalar statistics of one group.
     QueryStats {
@@ -280,6 +294,8 @@ pub enum Request {
         benchmark: String,
         /// Thread count group.
         threads: u32,
+        /// Run window the aggregate is computed over.
+        window: RunWindow,
     },
     /// Check a fresh run against the stored aggregate.
     QueryRegress {
@@ -295,9 +311,30 @@ pub enum Request {
         min_runs: Option<u64>,
         /// Absolute noise floor in ns (default: the server's).
         min_delta_ns: Option<u64>,
+        /// Run window the baseline is built from.
+        window: RunWindow,
+    },
+    /// Per-bucket run-total aggregates over the window, ingest order —
+    /// the sparkline/trend-dashboard query.
+    QueryTrend {
+        /// Benchmark name.
+        benchmark: String,
+        /// Thread count group.
+        threads: u32,
+        /// Maximum number of trend buckets.
+        buckets: u32,
+        /// Run window the trend is computed over.
+        window: RunWindow,
     },
     /// Server health: service counters + store shape.
     Stats,
+    /// Server health in the Prometheus text exposition format.
+    StatsPrometheus,
+    /// Upgrade this connection to a live event stream (reactor only).
+    Subscribe {
+        /// Telemetry snapshot period in ms (`None` = server default).
+        interval_ms: Option<u64>,
+    },
 }
 
 // ---------------------------------------------------------------------
@@ -471,6 +508,39 @@ impl RegressReport {
     }
 }
 
+/// `QUERY trend` result.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TrendReport {
+    /// Benchmark queried.
+    pub benchmark: String,
+    /// Thread count group queried.
+    pub threads: u32,
+    /// Runs in the window (sum over buckets).
+    pub runs: u64,
+    /// Consecutive ingest-order buckets, oldest first.
+    pub buckets: Vec<TrendBucket>,
+}
+
+/// Request-latency summary of one (verb, protocol) pair, distilled from
+/// the daemon's log2-bucket histogram.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct LatencyStat {
+    /// Request verb (`ingest`, `query_top`, `stats`, …).
+    pub verb: String,
+    /// Protocol the requests arrived over (`json` or `bin`).
+    pub proto: String,
+    /// Requests traced.
+    pub count: u64,
+    /// Summed handling time, ns.
+    pub sum_ns: u64,
+    /// Slowest request, ns.
+    pub max_ns: u64,
+    /// Median upper bound, ns (log2-bucket resolution).
+    pub p50_ns: u64,
+    /// 99th-percentile upper bound, ns (log2-bucket resolution).
+    pub p99_ns: u64,
+}
+
 /// `STATS` result: daemon counters plus store shape.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct ServerStatsReport {
@@ -480,6 +550,45 @@ pub struct ServerStatsReport {
     pub read_only: bool,
     /// Store shape.
     pub store: StoreStats,
+    /// Wall clock (unix epoch ns) when the served store was opened —
+    /// the anchor for `since_ns` trend windows.
+    pub open_timestamp_ns: u64,
+    /// Seconds the daemon has been serving.
+    pub uptime_secs: u64,
+    /// Per-(verb, protocol) request-latency summaries; only pairs that
+    /// served at least one request appear.
+    pub latency: Vec<LatencyStat>,
+}
+
+/// One event pushed over a live subscription (see [`Request::Subscribe`]).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Notification {
+    /// Periodic health snapshot (same shape as a `STATS` reply).
+    Telemetry {
+        /// Server wall clock at snapshot time, unix epoch ns.
+        t_ns: u64,
+        /// The snapshot.
+        stats: ServerStatsReport,
+    },
+    /// Runs landed in the store.
+    Ingest {
+        /// Run id of the first profile stored.
+        first_run_id: u64,
+        /// Profiles stored under the triggering request.
+        count: u64,
+        /// Framed bytes appended.
+        bytes: u64,
+        /// Benchmark the runs belong to.
+        benchmark: String,
+        /// Thread count group.
+        threads: u32,
+    },
+    /// This subscriber fell behind and `dropped` events were shed from
+    /// its queue (the stream resumes with fresh events).
+    Lagged {
+        /// Events dropped since the last successful push.
+        dropped: u64,
+    },
 }
 
 /// One parsed response, protocol-independent.
@@ -500,8 +609,19 @@ pub enum Response {
     Stats(StatsReport),
     /// Regression verdict.
     Regress(RegressReport),
+    /// Trend buckets.
+    Trend(TrendReport),
     /// Server health.
     ServerStats(ServerStatsReport),
+    /// Server health as Prometheus text exposition.
+    Prometheus(String),
+    /// Subscription accepted; unsolicited [`Response::Event`]s follow.
+    Subscribed {
+        /// Telemetry push period granted, ms.
+        interval_ms: u64,
+    },
+    /// One pushed subscription event.
+    Event(Notification),
     /// Typed failure.
     Error {
         /// Category.
@@ -530,6 +650,22 @@ fn need_u64(v: &Json, key: &str) -> Result<u64, String> {
 
 fn need_threads(v: &Json) -> Result<u32, String> {
     u32::try_from(need_u64(v, "threads")?).map_err(|_| "threads out of range".to_string())
+}
+
+fn window_from_json(v: &Json) -> RunWindow {
+    RunWindow {
+        last: v.get("last").and_then(Json::as_u64),
+        since_ns: v.get("since_ns").and_then(Json::as_u64),
+    }
+}
+
+fn push_window(members: &mut Vec<(&str, Json)>, w: &RunWindow) {
+    if let Some(last) = w.last {
+        members.push(("last", Json::num(last)));
+    }
+    if let Some(since) = w.since_ns {
+        members.push(("since_ns", Json::num(since)));
+    }
 }
 
 fn record_from_json(v: &Json) -> Result<Record, String> {
@@ -586,13 +722,19 @@ impl Request {
                 let query = need_str(&v, "query")?;
                 let benchmark = need_str(&v, "benchmark")?;
                 let threads = need_threads(&v)?;
+                let window = window_from_json(&v);
                 match query.as_str() {
                     "top" => Ok(Request::QueryTop {
                         benchmark,
                         threads,
                         n: need_u64(&v, "n")? as usize,
+                        window,
                     }),
-                    "stats" => Ok(Request::QueryStats { benchmark, threads }),
+                    "stats" => Ok(Request::QueryStats {
+                        benchmark,
+                        threads,
+                        window,
+                    }),
                     "regress" => Ok(Request::QueryRegress {
                         benchmark,
                         threads,
@@ -600,11 +742,26 @@ impl Request {
                         threshold: v.get("threshold").and_then(Json::as_f64),
                         min_runs: v.get("min_runs").and_then(Json::as_u64),
                         min_delta_ns: v.get("min_delta_ns").and_then(Json::as_u64),
+                        window,
+                    }),
+                    "trend" => Ok(Request::QueryTrend {
+                        benchmark,
+                        threads,
+                        buckets: u32::try_from(need_u64(&v, "buckets")?)
+                            .map_err(|_| "buckets out of range".to_string())?,
+                        window,
                     }),
                     other => Err(format!("unknown query '{other}'")),
                 }
             }
-            "STATS" => Ok(Request::Stats),
+            "STATS" => match v.get("format").and_then(Json::as_str) {
+                None => Ok(Request::Stats),
+                Some("prometheus") => Ok(Request::StatsPrometheus),
+                Some(other) => Err(format!("unknown stats format '{other}'")),
+            },
+            "SUBSCRIBE" => Ok(Request::Subscribe {
+                interval_ms: v.get("interval_ms").and_then(Json::as_u64),
+            }),
             other => Err(format!("unknown cmd '{other}'")),
         }
     }
@@ -631,19 +788,32 @@ impl Request {
                 benchmark,
                 threads,
                 n,
-            } => Json::obj(vec![
-                ("cmd", Json::str("QUERY")),
-                ("query", Json::str("top")),
-                ("benchmark", Json::str(benchmark.clone())),
-                ("threads", Json::num(u64::from(*threads))),
-                ("n", Json::num(*n as u64)),
-            ]),
-            Request::QueryStats { benchmark, threads } => Json::obj(vec![
-                ("cmd", Json::str("QUERY")),
-                ("query", Json::str("stats")),
-                ("benchmark", Json::str(benchmark.clone())),
-                ("threads", Json::num(u64::from(*threads))),
-            ]),
+                window,
+            } => {
+                let mut members = vec![
+                    ("cmd", Json::str("QUERY")),
+                    ("query", Json::str("top")),
+                    ("benchmark", Json::str(benchmark.clone())),
+                    ("threads", Json::num(u64::from(*threads))),
+                    ("n", Json::num(*n as u64)),
+                ];
+                push_window(&mut members, window);
+                Json::obj(members)
+            }
+            Request::QueryStats {
+                benchmark,
+                threads,
+                window,
+            } => {
+                let mut members = vec![
+                    ("cmd", Json::str("QUERY")),
+                    ("query", Json::str("stats")),
+                    ("benchmark", Json::str(benchmark.clone())),
+                    ("threads", Json::num(u64::from(*threads))),
+                ];
+                push_window(&mut members, window);
+                Json::obj(members)
+            }
             Request::QueryRegress {
                 benchmark,
                 threads,
@@ -651,6 +821,7 @@ impl Request {
                 threshold,
                 min_runs,
                 min_delta_ns,
+                window,
             } => {
                 let mut members = vec![
                     ("cmd", Json::str("QUERY")),
@@ -667,10 +838,38 @@ impl Request {
                 if let Some(d) = min_delta_ns {
                     members.push(("min_delta_ns", Json::num(*d)));
                 }
+                push_window(&mut members, window);
                 members.push(("profile", Json::str(profile.to_text().unwrap_or_default())));
                 Json::obj(members)
             }
+            Request::QueryTrend {
+                benchmark,
+                threads,
+                buckets,
+                window,
+            } => {
+                let mut members = vec![
+                    ("cmd", Json::str("QUERY")),
+                    ("query", Json::str("trend")),
+                    ("benchmark", Json::str(benchmark.clone())),
+                    ("threads", Json::num(u64::from(*threads))),
+                    ("buckets", Json::num(u64::from(*buckets))),
+                ];
+                push_window(&mut members, window);
+                Json::obj(members)
+            }
             Request::Stats => Json::obj(vec![("cmd", Json::str("STATS"))]),
+            Request::StatsPrometheus => Json::obj(vec![
+                ("cmd", Json::str("STATS")),
+                ("format", Json::str("prometheus")),
+            ]),
+            Request::Subscribe { interval_ms } => {
+                let mut members = vec![("cmd", Json::str("SUBSCRIBE"))];
+                if let Some(ms) = interval_ms {
+                    members.push(("interval_ms", Json::num(*ms)));
+                }
+                Json::obj(members)
+            }
         };
         v.to_string()
     }
@@ -710,6 +909,139 @@ fn metric_from_json(v: &Json) -> Result<MetricReport, String> {
             .get("mean_ns")
             .and_then(Json::as_f64)
             .ok_or("missing 'mean_ns'")?,
+    })
+}
+
+/// The `STATS` body members (`server`, `store`, `latency`) — shared
+/// between the `STATS` reply and the `telemetry` subscription event.
+fn server_stats_members(h: &ServerStatsReport) -> Vec<(&'static str, Json)> {
+    let s = &h.service;
+    let latency: Vec<Json> = h
+        .latency
+        .iter()
+        .map(|l| {
+            Json::obj(vec![
+                ("verb", Json::str(l.verb.clone())),
+                ("proto", Json::str(l.proto.clone())),
+                ("count", Json::num(l.count)),
+                ("sum_ns", Json::num(l.sum_ns)),
+                ("max_ns", Json::num(l.max_ns)),
+                ("p50_ns", Json::num(l.p50_ns)),
+                ("p99_ns", Json::num(l.p99_ns)),
+            ])
+        })
+        .collect();
+    vec![
+        (
+            "server",
+            Json::obj(vec![
+                ("connections", Json::num(s.connections)),
+                ("shed_connections", Json::num(s.shed_connections)),
+                ("timeout_connections", Json::num(s.timeout_connections)),
+                ("ingests", Json::num(s.ingests)),
+                ("ingest_bytes", Json::num(s.ingest_bytes)),
+                ("queries", Json::num(s.queries)),
+                ("errors", Json::num(s.errors)),
+                ("panics", Json::num(s.panics)),
+                ("json_requests", Json::num(s.json_requests)),
+                ("bin_requests", Json::num(s.bin_requests)),
+                ("ingest_batches", Json::num(s.ingest_batches)),
+                ("subscriptions", Json::num(s.subscriptions)),
+                ("sub_events", Json::num(s.sub_events)),
+                ("sub_lagged", Json::num(s.sub_lagged)),
+                ("read_only", Json::Bool(h.read_only)),
+                ("open_timestamp_ns", Json::num(h.open_timestamp_ns)),
+                ("uptime_secs", Json::num(h.uptime_secs)),
+            ]),
+        ),
+        (
+            "store",
+            Json::obj(vec![
+                ("segments", Json::num(h.store.segments)),
+                ("runs", Json::num(h.store.runs)),
+                ("bytes", Json::num(h.store.bytes)),
+                (
+                    "recovered_tail_bytes",
+                    Json::num(h.store.recovered_tail_bytes),
+                ),
+                ("compacted_through", Json::num(h.store.compacted_through)),
+            ]),
+        ),
+        ("latency", Json::Arr(latency)),
+    ]
+}
+
+fn server_stats_from_json(v: &Json) -> Result<ServerStatsReport, String> {
+    let s = v.get("server").ok_or("missing 'server'")?;
+    let store = v.get("store").ok_or("missing 'store'")?;
+    let latency = match v.get("latency").and_then(Json::as_arr) {
+        Some(rows) => rows
+            .iter()
+            .map(|l| {
+                Ok(LatencyStat {
+                    verb: need_str(l, "verb")?,
+                    proto: need_str(l, "proto")?,
+                    count: need_u64(l, "count")?,
+                    sum_ns: need_u64(l, "sum_ns")?,
+                    max_ns: need_u64(l, "max_ns")?,
+                    p50_ns: need_u64(l, "p50_ns")?,
+                    p99_ns: need_u64(l, "p99_ns")?,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?,
+        None => Vec::new(),
+    };
+    let opt = |key: &str| s.get(key).and_then(Json::as_u64).unwrap_or(0);
+    Ok(ServerStatsReport {
+        service: ServiceSnapshot {
+            connections: need_u64(s, "connections")?,
+            shed_connections: need_u64(s, "shed_connections")?,
+            timeout_connections: need_u64(s, "timeout_connections")?,
+            ingests: need_u64(s, "ingests")?,
+            ingest_bytes: need_u64(s, "ingest_bytes")?,
+            queries: need_u64(s, "queries")?,
+            errors: need_u64(s, "errors")?,
+            panics: need_u64(s, "panics")?,
+            json_requests: opt("json_requests"),
+            bin_requests: opt("bin_requests"),
+            ingest_batches: opt("ingest_batches"),
+            subscriptions: opt("subscriptions"),
+            sub_events: opt("sub_events"),
+            sub_lagged: opt("sub_lagged"),
+        },
+        read_only: s.get("read_only").and_then(Json::as_bool).unwrap_or(false),
+        store: StoreStats {
+            segments: need_u64(store, "segments")?,
+            runs: need_u64(store, "runs")?,
+            bytes: need_u64(store, "bytes")?,
+            recovered_tail_bytes: need_u64(store, "recovered_tail_bytes")?,
+            compacted_through: need_u64(store, "compacted_through")?,
+        },
+        open_timestamp_ns: opt("open_timestamp_ns"),
+        uptime_secs: opt("uptime_secs"),
+        latency,
+    })
+}
+
+fn trend_bucket_obj(b: &TrendBucket) -> Json {
+    Json::obj(vec![
+        ("runs", Json::num(b.runs)),
+        ("sum_ns", Json::num(b.sum_ns)),
+        ("min_ns", Json::num(b.min_ns)),
+        ("max_ns", Json::num(b.max_ns)),
+        ("first_timestamp_ns", Json::num(b.first_timestamp_ns)),
+        ("last_timestamp_ns", Json::num(b.last_timestamp_ns)),
+    ])
+}
+
+fn trend_bucket_from_json(v: &Json) -> Result<TrendBucket, String> {
+    Ok(TrendBucket {
+        runs: need_u64(v, "runs")?,
+        sum_ns: need_u64(v, "sum_ns")?,
+        min_ns: need_u64(v, "min_ns")?,
+        max_ns: need_u64(v, "max_ns")?,
+        first_timestamp_ns: need_u64(v, "first_timestamp_ns")?,
+        last_timestamp_ns: need_u64(v, "last_timestamp_ns")?,
     })
 }
 
@@ -789,42 +1121,61 @@ impl Response {
                 ])
                 .to_string()
             }
+            Response::Trend(t) => Json::obj(vec![
+                ("ok", Json::Bool(true)),
+                ("benchmark", Json::str(t.benchmark.clone())),
+                ("threads", Json::num(u64::from(t.threads))),
+                ("runs", Json::num(t.runs)),
+                (
+                    "trend",
+                    Json::Arr(t.buckets.iter().map(trend_bucket_obj).collect()),
+                ),
+            ])
+            .to_string(),
             Response::ServerStats(h) => {
-                let s = &h.service;
-                Json::obj(vec![
-                    ("ok", Json::Bool(true)),
-                    (
-                        "server",
-                        Json::obj(vec![
-                            ("connections", Json::num(s.connections)),
-                            ("shed_connections", Json::num(s.shed_connections)),
-                            ("timeout_connections", Json::num(s.timeout_connections)),
-                            ("ingests", Json::num(s.ingests)),
-                            ("ingest_bytes", Json::num(s.ingest_bytes)),
-                            ("queries", Json::num(s.queries)),
-                            ("errors", Json::num(s.errors)),
-                            ("panics", Json::num(s.panics)),
-                            ("json_requests", Json::num(s.json_requests)),
-                            ("bin_requests", Json::num(s.bin_requests)),
-                            ("ingest_batches", Json::num(s.ingest_batches)),
-                            ("read_only", Json::Bool(h.read_only)),
-                        ]),
-                    ),
-                    (
-                        "store",
-                        Json::obj(vec![
-                            ("segments", Json::num(h.store.segments)),
-                            ("runs", Json::num(h.store.runs)),
-                            ("bytes", Json::num(h.store.bytes)),
-                            (
-                                "recovered_tail_bytes",
-                                Json::num(h.store.recovered_tail_bytes),
-                            ),
-                            ("compacted_through", Json::num(h.store.compacted_through)),
-                        ]),
-                    ),
-                ])
-                .to_string()
+                let mut members = vec![("ok", Json::Bool(true))];
+                members.extend(server_stats_members(h));
+                Json::obj(members).to_string()
+            }
+            Response::Prometheus(text) => Json::obj(vec![
+                ("ok", Json::Bool(true)),
+                ("prometheus", Json::str(text.clone())),
+            ])
+            .to_string(),
+            Response::Subscribed { interval_ms } => Json::obj(vec![
+                ("ok", Json::Bool(true)),
+                ("subscribed", Json::Bool(true)),
+                ("interval_ms", Json::num(*interval_ms)),
+            ])
+            .to_string(),
+            Response::Event(n) => {
+                let mut members = vec![("ok", Json::Bool(true))];
+                match n {
+                    Notification::Telemetry { t_ns, stats } => {
+                        members.push(("event", Json::str("telemetry")));
+                        members.push(("t_ns", Json::num(*t_ns)));
+                        members.extend(server_stats_members(stats));
+                    }
+                    Notification::Ingest {
+                        first_run_id,
+                        count,
+                        bytes,
+                        benchmark,
+                        threads,
+                    } => {
+                        members.push(("event", Json::str("ingest")));
+                        members.push(("run_id", Json::num(*first_run_id)));
+                        members.push(("count", Json::num(*count)));
+                        members.push(("bytes", Json::num(*bytes)));
+                        members.push(("benchmark", Json::str(benchmark.clone())));
+                        members.push(("threads", Json::num(u64::from(*threads))));
+                    }
+                    Notification::Lagged { dropped } => {
+                        members.push(("event", Json::str("lagged")));
+                        members.push(("dropped", Json::num(*dropped)));
+                    }
+                }
+                Json::obj(members).to_string()
             }
             Response::Error { kind, message } => Json::obj(vec![
                 ("ok", Json::Bool(false)),
@@ -856,6 +1207,47 @@ impl Response {
                 kind: ErrorKind::from_tag(&tag).ok_or_else(|| format!("unknown kind '{tag}'"))?,
                 message: need_str(e, "message")?,
             });
+        }
+        // Events first: a telemetry event embeds the whole server-stats
+        // shape and an ingest event embeds "run_id", so any later check
+        // would misclassify them.
+        if let Some(event) = v.get("event").and_then(Json::as_str) {
+            return match event {
+                "telemetry" => Ok(Response::Event(Notification::Telemetry {
+                    t_ns: need_u64(&v, "t_ns")?,
+                    stats: server_stats_from_json(&v)?,
+                })),
+                "ingest" => Ok(Response::Event(Notification::Ingest {
+                    first_run_id: need_u64(&v, "run_id")?,
+                    count: v.get("count").and_then(Json::as_u64).unwrap_or(1),
+                    bytes: need_u64(&v, "bytes")?,
+                    benchmark: need_str(&v, "benchmark")?,
+                    threads: need_threads(&v)?,
+                })),
+                "lagged" => Ok(Response::Event(Notification::Lagged {
+                    dropped: need_u64(&v, "dropped")?,
+                })),
+                other => Err(format!("unknown event '{other}'")),
+            };
+        }
+        if v.get("subscribed").is_some() {
+            return Ok(Response::Subscribed {
+                interval_ms: need_u64(&v, "interval_ms")?,
+            });
+        }
+        if let Some(text) = v.get("prometheus").and_then(Json::as_str) {
+            return Ok(Response::Prometheus(text.to_string()));
+        }
+        if let Some(buckets) = v.get("trend").and_then(Json::as_arr) {
+            return Ok(Response::Trend(TrendReport {
+                benchmark: need_str(&v, "benchmark")?,
+                threads: need_threads(&v)?,
+                runs: need_u64(&v, "runs")?,
+                buckets: buckets
+                    .iter()
+                    .map(trend_bucket_from_json)
+                    .collect::<Result<Vec<_>, String>>()?,
+            }));
         }
         if let Some(h) = v.get("hello") {
             return Ok(Response::Hello {
@@ -932,31 +1324,8 @@ impl Response {
                 tree_mismatches: need_u64(&v, "tree_mismatches")?,
             }));
         }
-        if let Some(s) = v.get("server") {
-            let store = v.get("store").ok_or("missing 'store'")?;
-            return Ok(Response::ServerStats(ServerStatsReport {
-                service: ServiceSnapshot {
-                    connections: need_u64(s, "connections")?,
-                    shed_connections: need_u64(s, "shed_connections")?,
-                    timeout_connections: need_u64(s, "timeout_connections")?,
-                    ingests: need_u64(s, "ingests")?,
-                    ingest_bytes: need_u64(s, "ingest_bytes")?,
-                    queries: need_u64(s, "queries")?,
-                    errors: need_u64(s, "errors")?,
-                    panics: need_u64(s, "panics")?,
-                    json_requests: s.get("json_requests").and_then(Json::as_u64).unwrap_or(0),
-                    bin_requests: s.get("bin_requests").and_then(Json::as_u64).unwrap_or(0),
-                    ingest_batches: s.get("ingest_batches").and_then(Json::as_u64).unwrap_or(0),
-                },
-                read_only: s.get("read_only").and_then(Json::as_bool).unwrap_or(false),
-                store: StoreStats {
-                    segments: need_u64(store, "segments")?,
-                    runs: need_u64(store, "runs")?,
-                    bytes: need_u64(store, "bytes")?,
-                    recovered_tail_bytes: need_u64(store, "recovered_tail_bytes")?,
-                    compacted_through: need_u64(store, "compacted_through")?,
-                },
-            }));
+        if v.get("server").is_some() {
+            return Ok(Response::ServerStats(server_stats_from_json(&v)?));
         }
         Err("unrecognized response shape".to_string())
     }
@@ -965,6 +1334,52 @@ impl Response {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn sample_server_stats() -> ServerStatsReport {
+        ServerStatsReport {
+            service: ServiceSnapshot {
+                connections: 2,
+                ingests: 7,
+                json_requests: 4,
+                bin_requests: 3,
+                ingest_batches: 1,
+                subscriptions: 1,
+                sub_events: 9,
+                sub_lagged: 2,
+                ..ServiceSnapshot::default()
+            },
+            read_only: false,
+            store: StoreStats {
+                segments: 1,
+                runs: 7,
+                bytes: 999,
+                recovered_tail_bytes: 0,
+                compacted_through: 0,
+            },
+            open_timestamp_ns: 1_700_000_000_000,
+            uptime_secs: 321,
+            latency: vec![
+                LatencyStat {
+                    verb: "ingest".into(),
+                    proto: "bin".into(),
+                    count: 7,
+                    sum_ns: 7_000,
+                    max_ns: 2_000,
+                    p50_ns: 1_023,
+                    p99_ns: 2_000,
+                },
+                LatencyStat {
+                    verb: "stats".into(),
+                    proto: "json".into(),
+                    count: 1,
+                    sum_ns: 400,
+                    max_ns: 400,
+                    p50_ns: 400,
+                    p99_ns: 400,
+                },
+            ],
+        }
+    }
 
     #[test]
     fn requests_round_trip() {
@@ -987,10 +1402,24 @@ mod tests {
                 benchmark: "nqueens".into(),
                 threads: 4,
                 n: 10,
+                window: RunWindow::default(),
+            },
+            Request::QueryTop {
+                benchmark: "nqueens".into(),
+                threads: 4,
+                n: 10,
+                window: RunWindow {
+                    last: Some(20),
+                    since_ns: None,
+                },
             },
             Request::QueryStats {
                 benchmark: "fib".into(),
                 threads: 2,
+                window: RunWindow {
+                    last: Some(5),
+                    since_ns: Some(1_000_000),
+                },
             },
             Request::QueryRegress {
                 benchmark: "fib".into(),
@@ -999,8 +1428,26 @@ mod tests {
                 threshold: Some(0.25),
                 min_runs: Some(3),
                 min_delta_ns: None,
+                window: RunWindow {
+                    last: Some(50),
+                    since_ns: None,
+                },
+            },
+            Request::QueryTrend {
+                benchmark: "fib".into(),
+                threads: 2,
+                buckets: 16,
+                window: RunWindow {
+                    last: None,
+                    since_ns: Some(42),
+                },
             },
             Request::Stats,
+            Request::StatsPrometheus,
+            Request::Subscribe { interval_ms: None },
+            Request::Subscribe {
+                interval_ms: Some(250),
+            },
         ];
         for r in reqs {
             let line = r.to_json_line();
@@ -1062,24 +1509,49 @@ mod tests {
                     ratio: 1.5,
                 }],
             }),
-            Response::ServerStats(ServerStatsReport {
-                service: ServiceSnapshot {
-                    connections: 2,
-                    ingests: 7,
-                    json_requests: 4,
-                    bin_requests: 3,
-                    ingest_batches: 1,
-                    ..ServiceSnapshot::default()
-                },
-                read_only: false,
-                store: StoreStats {
-                    segments: 1,
-                    runs: 7,
-                    bytes: 999,
-                    recovered_tail_bytes: 0,
-                    compacted_through: 0,
-                },
+            Response::Trend(TrendReport {
+                benchmark: "fib".into(),
+                threads: 2,
+                runs: 7,
+                buckets: vec![
+                    TrendBucket {
+                        runs: 4,
+                        sum_ns: 400,
+                        min_ns: 90,
+                        max_ns: 110,
+                        first_timestamp_ns: 10,
+                        last_timestamp_ns: 13,
+                    },
+                    TrendBucket {
+                        runs: 3,
+                        sum_ns: 600,
+                        min_ns: 190,
+                        max_ns: 210,
+                        first_timestamp_ns: 14,
+                        last_timestamp_ns: 16,
+                    },
+                ],
             }),
+            Response::ServerStats(sample_server_stats()),
+            Response::Prometheus(
+                "# HELP profserve_ingests_total Profiles ingested.\n\
+                 # TYPE profserve_ingests_total counter\n\
+                 profserve_ingests_total 7\n"
+                    .into(),
+            ),
+            Response::Subscribed { interval_ms: 500 },
+            Response::Event(Notification::Telemetry {
+                t_ns: 123_456,
+                stats: sample_server_stats(),
+            }),
+            Response::Event(Notification::Ingest {
+                first_run_id: 41,
+                count: 2,
+                bytes: 900,
+                benchmark: "fib".into(),
+                threads: 2,
+            }),
+            Response::Event(Notification::Lagged { dropped: 17 }),
             Response::Error {
                 kind: ErrorKind::NotFound,
                 message: "no such group".into(),

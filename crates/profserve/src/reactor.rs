@@ -27,12 +27,21 @@
 //!   typed `internal` reply, `panics` counter;
 //! * graceful stop — after [`crate::ServerHandle::stop`] each connection
 //!   answers at most one more request and then closes once its output
-//!   drains; the reactor exits when the table empties.
+//!   drains; the reactor exits when the table empties;
+//! * live subscriptions — a connection that sends `SUBSCRIBE` flips to
+//!   push mode: the reactor delivers periodic `telemetry` snapshots and
+//!   fans out an `ingest` notification after every stored run. Pushes
+//!   are bounded by `subscriber_queue_bytes`; a subscriber that cannot
+//!   drain fast enough has events dropped (never buffered without
+//!   bound, never blocking ingest) and receives a typed `lagged` notice
+//!   once it catches up.
 
 #![cfg(unix)]
 
-use crate::protocol::{error_line, ErrorKind, Response, WireProtocol};
-use crate::server::{handle_bin_payload, handle_json_line, Shared};
+use crate::protocol::{error_line, ErrorKind, Notification, Response, WireProtocol};
+use crate::server::{
+    now_ns, serve_bin_payload, serve_json_line, server_stats_report, Shared, REACTOR_TICK,
+};
 use crate::wire;
 use std::collections::HashMap;
 use std::io::{Read, Write};
@@ -43,9 +52,9 @@ use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-/// Cap on one `wait` tick so the loop re-checks the stop flag and
-/// deadlines even when no event arrives.
-const TICK: Duration = Duration::from_millis(50);
+/// Cap on one `wait` tick so the loop re-checks the stop flag, the
+/// deadlines, and due subscription pushes even when no event arrives.
+const TICK: Duration = REACTOR_TICK;
 
 /// Upper bound on bytes pulled off one socket per readiness event, so a
 /// single fire-hose peer cannot starve the rest of the table. Readiness
@@ -379,6 +388,13 @@ struct Conn {
     want_write: bool,
     /// Connection is finished; reap it after the event is processed.
     dead: bool,
+    /// `SUBSCRIBE` accepted: telemetry push period.
+    sub_interval: Option<Duration>,
+    /// When the next telemetry snapshot is due (subscribers only).
+    next_push: Instant,
+    /// Events shed since the subscriber last kept up; reported in a
+    /// `lagged` notice once the queue drains below the cap.
+    sub_dropped: u64,
 }
 
 impl Conn {
@@ -396,10 +412,19 @@ impl Conn {
             close_after_flush: false,
             want_write: false,
             dead: false,
+            sub_interval: None,
+            next_push: Instant::now(),
+            sub_dropped: 0,
         }
     }
 
     fn arm_read_deadline(&mut self, config_read: Option<Duration>) {
+        // Subscribers idle by design: the read deadline is a slow-loris
+        // guard for request traffic, not for push-mode connections.
+        if self.sub_interval.is_some() {
+            self.deadline = None;
+            return;
+        }
         self.deadline = config_read.map(|t| Instant::now() + t);
         self.deadline_kind = DeadlineKind::Read;
     }
@@ -442,8 +467,21 @@ fn run_with<P: Poller>(
                 let _ = poller.remove(listener_fd);
                 listening = false;
             }
-            for conn in conns.values_mut() {
+            let mut drained: Vec<RawFd> = Vec::new();
+            for (&fd, conn) in conns.iter_mut() {
                 conn.draining = true;
+                if conn.sub_interval.is_some() {
+                    // Subscribers have no pending request to answer;
+                    // close them as soon as their queue drains.
+                    conn.close_after_flush = true;
+                    if conn.out_pos >= conn.out.len() {
+                        conn.dead = true;
+                        drained.push(fd);
+                    }
+                }
+            }
+            for fd in drained {
+                reap(fd, &mut poller, &mut conns);
             }
             if conns.is_empty() {
                 break;
@@ -467,18 +505,26 @@ fn run_with<P: Poller>(
             let Some(conn) = conns.get_mut(&fd) else {
                 continue;
             };
+            let mut ingests = Vec::new();
             if readiness.writable {
                 flush(conn, &mut poller, &shared);
             }
             if (readiness.readable || readiness.hangup) && !conn.dead {
                 fill(conn, &mut scratch, shared.config.read_timeout);
-                process(conn, &shared);
+                ingests = process(conn, &shared);
                 flush(conn, &mut poller, &shared);
             }
             if conn.dead {
                 reap(fd, &mut poller, &mut conns);
             }
+            for event in &ingests {
+                fan_out(&mut conns, &mut poller, &shared, event);
+            }
         }
+
+        // Telemetry push sweep: one snapshot is built per due tick and
+        // delivered to every subscriber whose period elapsed.
+        push_due_telemetry(&mut conns, &mut poller, &shared);
 
         // Deadline sweep. Draining (post-stop) closures are not
         // slow-loris timeouts — don't count those.
@@ -583,40 +629,67 @@ fn fill(conn: &mut Conn, scratch: &mut [u8], read_timeout: Option<Duration>) {
     }
 }
 
+/// Apply connection-level effects of one served request: flip to push
+/// mode on an accepted `SUBSCRIBE`, surface an ingest notification for
+/// the reactor to fan out.
+fn apply_effects(conn: &mut Conn, effects: crate::server::ServeEffects) -> Option<Notification> {
+    if let Some(interval) = effects.subscribed {
+        conn.sub_interval = Some(interval);
+        conn.next_push = Instant::now() + interval;
+        // Push-mode connections idle between events by design.
+        conn.deadline = None;
+    }
+    effects.ingested
+}
+
 /// Serve one JSON line through the shared core with panic isolation.
-fn serve_json(conn: &mut Conn, shared: &Arc<Shared>, line: &str) {
-    let reply = match catch_unwind(AssertUnwindSafe(|| handle_json_line(shared, line))) {
-        Ok(reply) => reply,
-        Err(_) => {
-            shared.counters.panic();
-            error_line(ErrorKind::Internal, "request handler panicked (isolated)")
-        }
-    };
+/// Returns an ingest notification to fan out, if the request stored runs.
+fn serve_json(conn: &mut Conn, shared: &Arc<Shared>, line: &str) -> Option<Notification> {
+    let (reply, effects) =
+        match catch_unwind(AssertUnwindSafe(|| serve_json_line(shared, line, true))) {
+            Ok(pair) => pair,
+            Err(_) => {
+                shared.counters.panic();
+                (
+                    error_line(ErrorKind::Internal, "request handler panicked (isolated)"),
+                    Default::default(),
+                )
+            }
+        };
     conn.out.extend_from_slice(reply.as_bytes());
     conn.out.push(b'\n');
+    apply_effects(conn, effects)
 }
 
 /// Serve one binary payload through the shared core with panic isolation.
-fn serve_bin(conn: &mut Conn, shared: &Arc<Shared>, payload: &[u8]) {
-    let response = match catch_unwind(AssertUnwindSafe(|| handle_bin_payload(shared, payload))) {
-        Ok(response) => response,
-        Err(_) => {
-            shared.counters.panic();
-            Response::Error {
-                kind: ErrorKind::Internal,
-                message: "request handler panicked (isolated)".into(),
+/// Returns an ingest notification to fan out, if the request stored runs.
+fn serve_bin(conn: &mut Conn, shared: &Arc<Shared>, payload: &[u8]) -> Option<Notification> {
+    let (response, effects) =
+        match catch_unwind(AssertUnwindSafe(|| serve_bin_payload(shared, payload, true))) {
+            Ok(pair) => pair,
+            Err(_) => {
+                shared.counters.panic();
+                (
+                    Response::Error {
+                        kind: ErrorKind::Internal,
+                        message: "request handler panicked (isolated)".into(),
+                    },
+                    Default::default(),
+                )
             }
-        }
-    };
+        };
     conn.out
         .extend_from_slice(&wire::frame(&wire::encode_response(&response)));
+    apply_effects(conn, effects)
 }
 
 /// Advance the connection's protocol state machine over whatever is
-/// buffered, appending replies to `out`.
-fn process(conn: &mut Conn, shared: &Arc<Shared>) {
+/// buffered, appending replies to `out`. Returns the ingest
+/// notifications produced by the served requests, for fan-out.
+fn process(conn: &mut Conn, shared: &Arc<Shared>) -> Vec<Notification> {
+    let mut ingests = Vec::new();
     if conn.dead {
-        return;
+        return ingests;
     }
     let mut served = 0usize;
     loop {
@@ -627,12 +700,12 @@ fn process(conn: &mut Conn, shared: &Arc<Shared>) {
                         conn.dead = conn.out_pos >= conn.out.len();
                         conn.close_after_flush = true;
                     }
-                    return;
+                    return ingests;
                 }
                 if conn.buf[0] == wire::WIRE_MAGIC[0] {
                     if conn.buf.len() < wire::WIRE_MAGIC.len() && !conn.eof {
                         // Could still be the magic; wait for 4 bytes.
-                        return;
+                        return ingests;
                     }
                     if conn.buf.starts_with(&wire::WIRE_MAGIC) {
                         if shared.config.protocols == WireProtocol::Json {
@@ -673,7 +746,7 @@ fn process(conn: &mut Conn, shared: &Arc<Shared>) {
                         let line = String::from_utf8_lossy(&conn.buf).into_owned();
                         conn.buf.clear();
                         if !line.trim().is_empty() {
-                            serve_json(conn, shared, line.trim_end_matches('\r'));
+                            ingests.extend(serve_json(conn, shared, line.trim_end_matches('\r')));
                             served += 1;
                         }
                         conn.close_after_flush = true;
@@ -691,7 +764,7 @@ fn process(conn: &mut Conn, shared: &Arc<Shared>) {
                 if line.trim().is_empty() {
                     continue;
                 }
-                serve_json(conn, shared, &line);
+                ingests.extend(serve_json(conn, shared, &line));
                 served += 1;
                 // Load the stop flag directly: stop may land between the
                 // loop-top `draining` sweep and this event, and the old
@@ -705,7 +778,7 @@ fn process(conn: &mut Conn, shared: &Arc<Shared>) {
                 match wire::try_frame(&conn.buf, shared.config.max_request_bytes) {
                     Ok(Some((payload, consumed))) => {
                         conn.buf.drain(..consumed);
-                        serve_bin(conn, shared, &payload);
+                        ingests.extend(serve_bin(conn, shared, &payload));
                         served += 1;
                         if conn.draining || shared.stop.load(Ordering::SeqCst) {
                             conn.close_after_flush = true;
@@ -745,6 +818,118 @@ fn process(conn: &mut Conn, shared: &Arc<Shared>) {
     if served > 0 && !conn.close_after_flush {
         // A fresh request window: restart the slow-loris clock.
         conn.arm_read_deadline(shared.config.read_timeout);
+    }
+    ingests
+}
+
+// ---------------------------------------------------------------------
+// Subscription pushes
+// ---------------------------------------------------------------------
+
+/// Encode one subscription event for the connection's protocol.
+fn encode_event(event: &Notification, proto: &Proto) -> Vec<u8> {
+    let response = Response::Event(event.clone());
+    match proto {
+        Proto::Bin => wire::frame(&wire::encode_response(&response)),
+        // Sniff cannot happen for a subscriber (SUBSCRIBE resolved the
+        // protocol); encode as JSON if it somehow does.
+        Proto::Json | Proto::Sniff => {
+            let mut line = response.to_json_line().into_bytes();
+            line.push(b'\n');
+            line
+        }
+    }
+}
+
+/// Queue one event on a subscriber, shedding instead of buffering
+/// without bound: if the unflushed queue already exceeds
+/// `subscriber_queue_bytes` the event is dropped and counted, and the
+/// subscriber gets one `lagged` notice when it next keeps up. Events for
+/// non-subscribers are ignored.
+fn push_event<P: Poller>(
+    conn: &mut Conn,
+    poller: &mut P,
+    shared: &Arc<Shared>,
+    event: &Notification,
+) {
+    if conn.dead || conn.sub_interval.is_none() || conn.close_after_flush {
+        return;
+    }
+    let queued = conn.out.len() - conn.out_pos;
+    if queued > shared.config.subscriber_queue_bytes {
+        conn.sub_dropped += 1;
+        shared.counters.sub_lag(1);
+        return;
+    }
+    if conn.sub_dropped > 0 {
+        let lagged = Notification::Lagged {
+            dropped: conn.sub_dropped,
+        };
+        conn.out.extend_from_slice(&encode_event(&lagged, &conn.proto));
+        shared.counters.sub_events(1);
+        conn.sub_dropped = 0;
+    }
+    conn.out.extend_from_slice(&encode_event(event, &conn.proto));
+    shared.counters.sub_events(1);
+    flush(conn, poller, shared);
+}
+
+/// Deliver one ingest notification to every live subscriber.
+fn fan_out<P: Poller>(
+    conns: &mut HashMap<RawFd, Conn>,
+    poller: &mut P,
+    shared: &Arc<Shared>,
+    event: &Notification,
+) {
+    let mut dead: Vec<RawFd> = Vec::new();
+    for (&fd, conn) in conns.iter_mut() {
+        if conn.sub_interval.is_some() {
+            push_event(conn, poller, shared, event);
+            if conn.dead {
+                dead.push(fd);
+            }
+        }
+    }
+    for fd in dead {
+        reap(fd, poller, conns);
+    }
+}
+
+/// Push a telemetry snapshot to every subscriber whose period elapsed.
+/// The (store-lock-taking) snapshot is built at most once per sweep, and
+/// only when someone is actually due.
+fn push_due_telemetry<P: Poller>(
+    conns: &mut HashMap<RawFd, Conn>,
+    poller: &mut P,
+    shared: &Arc<Shared>,
+) {
+    let now = Instant::now();
+    if !conns
+        .values()
+        .any(|c| c.sub_interval.is_some() && !c.dead && c.next_push <= now)
+    {
+        return;
+    }
+    let event = Notification::Telemetry {
+        t_ns: now_ns(),
+        stats: server_stats_report(shared),
+    };
+    let mut dead: Vec<RawFd> = Vec::new();
+    for (&fd, conn) in conns.iter_mut() {
+        let Some(interval) = conn.sub_interval else {
+            continue;
+        };
+        if conn.dead || conn.next_push > now {
+            continue;
+        }
+        push_event(conn, poller, shared, &event);
+        conn.next_push = now + interval;
+        if conn.dead {
+            dead.push(fd);
+        }
+    }
+    for fd in dead {
+        reap(fd, poller, conns);
     }
 }
 
@@ -826,6 +1011,9 @@ mod tests {
             stop: std::sync::atomic::AtomicBool::new(false),
             read_only: std::sync::atomic::AtomicBool::new(false),
             config: crate::ServeConfig::default(),
+            latency: crate::trace::RequestLatency::default(),
+            open_ns: now_ns(),
+            started: Instant::now(),
         });
         let loop_shared = Arc::clone(&shared);
         let join = std::thread::spawn(move || {

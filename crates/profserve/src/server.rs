@@ -35,15 +35,16 @@
 //! loop serves the JSON protocol only.
 
 use crate::protocol::{
-    ErrorKind, IngestReceipt, Record, RegressReport, Request, Response, ServerStatsReport,
-    StatsReport, TopReport, WireProtocol,
+    ErrorKind, IngestReceipt, Notification, Record, RegressReport, Request, Response,
+    ServerStatsReport, StatsReport, TopReport, TrendReport, WireProtocol,
 };
+use crate::trace::{verb_index, ReqProto, RequestLatency};
 use crate::wire;
 use profstore::{is_enospc, ProfileStore, RegressConfig, RunSummary, StoreError};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, RwLock};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 use taskprof_telemetry::ServiceCounters;
 
 /// Daemon configuration.
@@ -69,6 +70,14 @@ pub struct ServeConfig {
     /// both on the same port; `Json`/`Binary` refuse the other with a
     /// typed `bad_request`.
     pub protocols: WireProtocol,
+    /// Default telemetry push period for `SUBSCRIBE` when the client
+    /// does not request one (clamped below at the reactor tick).
+    pub subscribe_interval: Duration,
+    /// Per-subscriber outbound queue cap in bytes. A push that would
+    /// grow a subscriber's pending output beyond this is shed (and later
+    /// reported with a typed `lagged` notice) so a stalled subscriber
+    /// never blocks ingest or other connections.
+    pub subscriber_queue_bytes: usize,
 }
 
 impl Default for ServeConfig {
@@ -81,9 +90,15 @@ impl Default for ServeConfig {
             write_timeout: Some(Duration::from_secs(10)),
             max_request_bytes: 32 << 20,
             protocols: WireProtocol::Auto,
+            subscribe_interval: Duration::from_millis(500),
+            subscriber_queue_bytes: 256 << 10,
         }
     }
 }
+
+/// The reactor's poll tick — also the floor on subscription push
+/// periods (defined here so the non-unix build sees it too).
+pub(crate) const REACTOR_TICK: Duration = Duration::from_millis(50);
 
 pub(crate) struct Shared {
     pub(crate) store: RwLock<ProfileStore>,
@@ -94,6 +109,13 @@ pub(crate) struct Shared {
     /// Set on the first `ENOSPC` from the store; ingests are refused
     /// (typed `read_only`) until the daemon restarts with free disk.
     pub(crate) read_only: AtomicBool,
+    /// Per-(verb, protocol) request-latency histograms.
+    pub(crate) latency: RequestLatency,
+    /// Wall clock (unix epoch ns) when the store was opened for serving
+    /// — the anchor reported in `STATS` for `since_ns` windows.
+    pub(crate) open_ns: u64,
+    /// Monotonic start instant, for `uptime_secs`.
+    pub(crate) started: Instant,
     pub(crate) config: ServeConfig,
 }
 
@@ -132,6 +154,21 @@ impl ServerHandle {
     pub fn read_only(&self) -> bool {
         self.shared.read_only.load(Ordering::SeqCst)
     }
+
+    /// True once [`ServerHandle::stop`] was called.
+    pub fn stopped(&self) -> bool {
+        self.shared.stop.load(Ordering::SeqCst)
+    }
+
+    /// One JSONL record of the daemon's request-latency histograms
+    /// (`{"t_ns":…,"latency":{"<verb>.<proto>":{…}}}`), in the telemetry
+    /// crate's latency schema — append these to the same sink as
+    /// measurement-path [`taskprof_telemetry::to_jsonl_line`] records and
+    /// read them back with
+    /// [`taskprof_telemetry::parse_latency_jsonl_line`].
+    pub fn latency_jsonl_line(&self, t_ns: u64) -> String {
+        taskprof_telemetry::latency_to_jsonl_line(t_ns, &self.shared.latency.jsonl_series())
+    }
 }
 
 /// The repository daemon. Bind, then [`Server::run`] (foreground) or
@@ -152,6 +189,9 @@ impl Server {
             permits: AtomicUsize::new(config.max_connections),
             stop: AtomicBool::new(false),
             read_only: AtomicBool::new(false),
+            latency: RequestLatency::default(),
+            open_ns: now_ns(),
+            started: Instant::now(),
             config,
         });
         Ok(Server { listener, shared })
@@ -231,7 +271,7 @@ impl Server {
 // The protocol-agnostic request core
 // ---------------------------------------------------------------------
 
-fn now_ns() -> u64 {
+pub(crate) fn now_ns() -> u64 {
     std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
         .map(|d| d.as_nanos() as u64)
@@ -262,16 +302,68 @@ fn aggregate_group(
     shared: &Shared,
     benchmark: &str,
     threads: u32,
+    window: &profstore::RunWindow,
 ) -> Result<profstore::BenchAgg, Response> {
     let store = shared.store.read().expect("store lock");
-    match store.aggregate(benchmark, threads) {
+    match store.aggregate_window(benchmark, threads, window) {
         Ok(agg) if agg.runs == 0 => Err(error(
             ErrorKind::NotFound,
-            format!("no runs stored for benchmark '{benchmark}' at {threads} threads"),
+            format!("no runs stored for benchmark '{benchmark}' at {threads} threads (in window)"),
         )),
         Ok(agg) => Ok(agg),
         Err(e) => Err(store_error(&e)),
     }
+}
+
+/// The full `STATS` report — also pushed verbatim inside `telemetry`
+/// subscription events.
+pub(crate) fn server_stats_report(shared: &Shared) -> ServerStatsReport {
+    let store = shared.store.read().expect("store lock");
+    ServerStatsReport {
+        service: shared.counters.snapshot(),
+        read_only: shared.read_only.load(Ordering::SeqCst),
+        store: store.stats(),
+        open_timestamp_ns: shared.open_ns,
+        uptime_secs: shared.started.elapsed().as_secs(),
+        latency: shared.latency.stats(),
+    }
+}
+
+/// The `STATS prometheus` text: service counters, the request-latency
+/// histograms, and store/uptime gauges in one scrape-ready document.
+fn stats_prometheus(shared: &Shared) -> String {
+    use std::fmt::Write as _;
+    let report = server_stats_report(shared);
+    let mut text = taskprof_telemetry::service_to_prometheus(&report.service);
+    text.push_str(&shared.latency.to_prometheus());
+    for (name, help, value) in [
+        ("profserve_store_runs", "Runs in the store.", report.store.runs),
+        (
+            "profserve_store_segments",
+            "Segments in the store.",
+            report.store.segments,
+        ),
+        (
+            "profserve_store_bytes",
+            "Bytes across the store's segments.",
+            report.store.bytes,
+        ),
+        (
+            "profserve_uptime_seconds",
+            "Seconds since the daemon started serving.",
+            report.uptime_secs,
+        ),
+        (
+            "profserve_read_only",
+            "1 when degraded to read-only after ENOSPC.",
+            u64::from(report.read_only),
+        ),
+    ] {
+        let _ = writeln!(text, "# HELP {name} {help}");
+        let _ = writeln!(text, "# TYPE {name} gauge");
+        let _ = writeln!(text, "{name} {value}");
+    }
+    text
 }
 
 /// Ingest a slice of records under one receipt. Items are stored in
@@ -351,16 +443,21 @@ pub(crate) fn respond(shared: &Shared, request: Request) -> Response {
             benchmark,
             threads,
             n,
+            window,
         } => {
             shared.counters.query();
-            match aggregate_group(shared, &benchmark, threads) {
+            match aggregate_group(shared, &benchmark, threads, &window) {
                 Ok(agg) => Response::Top(TopReport::from_agg(&benchmark, threads, &agg, n)),
                 Err(resp) => resp,
             }
         }
-        Request::QueryStats { benchmark, threads } => {
+        Request::QueryStats {
+            benchmark,
+            threads,
+            window,
+        } => {
             shared.counters.query();
-            match aggregate_group(shared, &benchmark, threads) {
+            match aggregate_group(shared, &benchmark, threads, &window) {
                 Ok(agg) => Response::Stats(StatsReport::from_agg(&benchmark, threads, &agg)),
                 Err(resp) => resp,
             }
@@ -372,6 +469,7 @@ pub(crate) fn respond(shared: &Shared, request: Request) -> Response {
             threshold,
             min_runs,
             min_delta_ns,
+            window,
         } => {
             shared.counters.query();
             let profile = match profile.decode() {
@@ -383,7 +481,7 @@ pub(crate) fn respond(shared: &Shared, request: Request) -> Response {
                 min_runs: min_runs.unwrap_or(shared.config.regress.min_runs),
                 min_delta_ns: min_delta_ns.unwrap_or(shared.config.regress.min_delta_ns),
             };
-            match aggregate_group(shared, &benchmark, threads) {
+            match aggregate_group(shared, &benchmark, threads, &window) {
                 Ok(agg) => {
                     let summary = RunSummary::from_profile(&profile);
                     Response::Regress(RegressReport::from_verdict(
@@ -393,15 +491,52 @@ pub(crate) fn respond(shared: &Shared, request: Request) -> Response {
                 Err(resp) => resp,
             }
         }
+        Request::QueryTrend {
+            benchmark,
+            threads,
+            buckets,
+            window,
+        } => {
+            shared.counters.query();
+            if buckets == 0 {
+                return error(ErrorKind::BadRequest, "trend needs at least one bucket");
+            }
+            let trend = {
+                let store = shared.store.read().expect("store lock");
+                store.trend(&benchmark, threads, &window, buckets as usize)
+            };
+            match trend {
+                Ok(b) if b.is_empty() => error(
+                    ErrorKind::NotFound,
+                    format!(
+                        "no runs stored for benchmark '{benchmark}' at {threads} threads (in window)"
+                    ),
+                ),
+                Ok(b) => Response::Trend(TrendReport {
+                    benchmark,
+                    threads,
+                    runs: b.iter().map(|x| x.runs).sum(),
+                    buckets: b,
+                }),
+                Err(e) => store_error(&e),
+            }
+        }
         Request::Stats => {
             shared.counters.query();
-            let store = shared.store.read().expect("store lock");
-            Response::ServerStats(ServerStatsReport {
-                service: shared.counters.snapshot(),
-                read_only: shared.read_only.load(Ordering::SeqCst),
-                store: store.stats(),
-            })
+            Response::ServerStats(server_stats_report(shared))
         }
+        Request::StatsPrometheus => {
+            shared.counters.query();
+            Response::Prometheus(stats_prometheus(shared))
+        }
+        // SUBSCRIBE is connection-level: only the streaming reactor can
+        // upgrade a connection to push mode (it intercepts the verb
+        // before dispatch). Reaching this dispatch means the transport
+        // cannot stream.
+        Request::Subscribe { .. } => error(
+            ErrorKind::BadRequest,
+            "SUBSCRIBE requires the streaming reactor transport",
+        ),
     }
 }
 
@@ -411,28 +546,114 @@ fn count_errors(shared: &Shared, response: &Response) {
     }
 }
 
-/// Serve one JSON request line: parse, dispatch, serialize. Returns the
-/// response line (no trailing newline).
-pub(crate) fn handle_json_line(shared: &Shared, line: &str) -> String {
-    shared.counters.json_request();
-    let response = match Request::from_json_line(line) {
-        Ok(request) => respond(shared, request),
+/// Connection-level side effects of one served request, for the reactor:
+/// the request core answers, the reactor acts.
+#[derive(Default)]
+pub(crate) struct ServeEffects {
+    /// The request was an accepted `SUBSCRIBE`: upgrade the connection
+    /// to push mode with this telemetry period.
+    pub(crate) subscribed: Option<Duration>,
+    /// The request stored runs: fan this notification out to live
+    /// subscribers.
+    pub(crate) ingested: Option<Notification>,
+}
+
+/// Dispatch one parsed (or unparsable) request, recording the handling
+/// span in the latency grid. `allow_subscribe` is true only on the
+/// streaming reactor path; elsewhere `SUBSCRIBE` gets a typed refusal.
+fn serve_parsed(
+    shared: &Shared,
+    parsed: Result<Request, String>,
+    proto: ReqProto,
+    allow_subscribe: bool,
+) -> (Response, ServeEffects) {
+    let mut effects = ServeEffects::default();
+    let response = match parsed {
+        Ok(request) => {
+            let verb = verb_index(&request);
+            let start = Instant::now();
+            let response = match request {
+                Request::Subscribe { interval_ms } if allow_subscribe => {
+                    // Clamp below at the reactor tick: pushes cannot be
+                    // more frequent than the loop that emits them.
+                    let ms = interval_ms
+                        .unwrap_or(shared.config.subscribe_interval.as_millis() as u64)
+                        .max(REACTOR_TICK.as_millis() as u64);
+                    shared.counters.subscription();
+                    effects.subscribed = Some(Duration::from_millis(ms));
+                    Response::Subscribed { interval_ms: ms }
+                }
+                request => {
+                    let group = match &request {
+                        Request::Ingest(r) => Some((r.benchmark.clone(), r.threads)),
+                        Request::IngestBatch(items) => {
+                            items.first().map(|r| (r.benchmark.clone(), r.threads))
+                        }
+                        _ => None,
+                    };
+                    let response = respond(shared, request);
+                    if let (Some((benchmark, threads)), Response::Ingest(receipt)) =
+                        (group, &response)
+                    {
+                        effects.ingested = Some(Notification::Ingest {
+                            first_run_id: receipt.first_run_id,
+                            count: receipt.count,
+                            bytes: receipt.bytes,
+                            benchmark,
+                            threads,
+                        });
+                    }
+                    response
+                }
+            };
+            shared
+                .latency
+                .record(verb, proto, start.elapsed().as_nanos() as u64);
+            response
+        }
         Err(reason) => error(ErrorKind::BadRequest, reason),
     };
     count_errors(shared, &response);
-    response.to_json_line()
+    (response, effects)
+}
+
+/// Serve one JSON request line: parse, dispatch, serialize. Returns the
+/// response line (no trailing newline) plus connection-level effects.
+pub(crate) fn serve_json_line(
+    shared: &Shared,
+    line: &str,
+    allow_subscribe: bool,
+) -> (String, ServeEffects) {
+    shared.counters.json_request();
+    let (response, effects) = serve_parsed(
+        shared,
+        Request::from_json_line(line),
+        ReqProto::Json,
+        allow_subscribe,
+    );
+    (response.to_json_line(), effects)
 }
 
 /// Serve one TPF1 request payload: decode, dispatch. The caller frames
 /// the returned response.
-pub(crate) fn handle_bin_payload(shared: &Shared, payload: &[u8]) -> Response {
+pub(crate) fn serve_bin_payload(
+    shared: &Shared,
+    payload: &[u8],
+    allow_subscribe: bool,
+) -> (Response, ServeEffects) {
     shared.counters.bin_request();
-    let response = match wire::decode_request(payload) {
-        Ok(request) => respond(shared, request),
-        Err(e) => error(ErrorKind::BadRequest, e.to_string()),
-    };
-    count_errors(shared, &response);
-    response
+    serve_parsed(
+        shared,
+        wire::decode_request(payload).map_err(|e| e.to_string()),
+        ReqProto::Bin,
+        allow_subscribe,
+    )
+}
+
+/// Serve one JSON request line without streaming support (legacy path).
+#[cfg_attr(unix, allow(dead_code))]
+pub(crate) fn handle_json_line(shared: &Shared, line: &str) -> String {
+    serve_json_line(shared, line, false).0
 }
 
 // ---------------------------------------------------------------------

@@ -31,11 +31,12 @@
 //! re-encoding.
 
 use crate::protocol::{
-    ErrorKind, IngestReceipt, MetricReport, ProfilePayload, Record, RegionRow, RegressFinding,
-    RegressReport, Request, Response, ServerStatsReport, StatsReport, TopReport,
+    ErrorKind, IngestReceipt, LatencyStat, MetricReport, Notification, ProfilePayload, Record,
+    RegionRow, RegressFinding, RegressReport, Request, Response, ServerStatsReport, StatsReport,
+    TopReport, TrendReport,
 };
 use profstore::codec::{put_str, put_uv, Reader};
-use profstore::{CodecError, StoreStats};
+use profstore::{CodecError, RunWindow, StoreStats, TrendBucket};
 use taskprof_telemetry::ServiceSnapshot;
 
 /// Connection preamble distinguishing TPF1 from JSON lines.
@@ -61,6 +62,9 @@ const TAG_QUERY_TOP: u8 = 0x04;
 const TAG_QUERY_STATS: u8 = 0x05;
 const TAG_QUERY_REGRESS: u8 = 0x06;
 const TAG_STATS: u8 = 0x07;
+const TAG_QUERY_TREND: u8 = 0x08;
+const TAG_STATS_PROM: u8 = 0x09;
+const TAG_SUBSCRIBE: u8 = 0x0A;
 
 // Response tags (>= 0x80).
 const TAG_R_HELLO: u8 = 0x81;
@@ -69,7 +73,16 @@ const TAG_R_TOP: u8 = 0x83;
 const TAG_R_STATS: u8 = 0x84;
 const TAG_R_REGRESS: u8 = 0x85;
 const TAG_R_SERVER_STATS: u8 = 0x86;
+const TAG_R_TREND: u8 = 0x87;
+const TAG_R_PROMETHEUS: u8 = 0x88;
+const TAG_R_SUBSCRIBED: u8 = 0x89;
+const TAG_R_EVENT: u8 = 0x8A;
 const TAG_R_ERROR: u8 = 0xEE;
+
+// Event subtypes inside a TAG_R_EVENT frame.
+const EVENT_TELEMETRY: u8 = 0;
+const EVENT_INGEST: u8 = 1;
+const EVENT_LAGGED: u8 = 2;
 
 // Profile payload kinds.
 const PAYLOAD_TEXT: u8 = 0;
@@ -251,6 +264,18 @@ fn read_threads(r: &mut Reader<'_>) -> Result<u32, WireError> {
     u32::try_from(r.uv()?).map_err(|_| WireError::Malformed("threads out of range".into()))
 }
 
+fn put_window(out: &mut Vec<u8>, w: &RunWindow) {
+    put_opt_uv(out, w.last);
+    put_opt_uv(out, w.since_ns);
+}
+
+fn read_window(r: &mut Reader<'_>) -> Result<RunWindow, WireError> {
+    Ok(RunWindow {
+        last: read_opt_uv(r)?,
+        since_ns: read_opt_uv(r)?,
+    })
+}
+
 fn kind_to_byte(k: ErrorKind) -> u8 {
     match k {
         ErrorKind::Overloaded => 0,
@@ -302,6 +327,107 @@ fn checked_count(r: &Reader<'_>, n: u64) -> Result<usize, WireError> {
     Ok(n)
 }
 
+/// The `STATS` body — shared between the `STATS` reply and the
+/// `telemetry` subscription event.
+fn put_server_stats(out: &mut Vec<u8>, h: &ServerStatsReport) {
+    let s = &h.service;
+    for v in [
+        s.connections,
+        s.shed_connections,
+        s.timeout_connections,
+        s.ingests,
+        s.ingest_bytes,
+        s.queries,
+        s.errors,
+        s.panics,
+        s.json_requests,
+        s.bin_requests,
+        s.ingest_batches,
+        s.subscriptions,
+        s.sub_events,
+        s.sub_lagged,
+    ] {
+        put_uv(out, v);
+    }
+    out.push(u8::from(h.read_only));
+    for v in [
+        h.store.segments,
+        h.store.runs,
+        h.store.bytes,
+        h.store.recovered_tail_bytes,
+        h.store.compacted_through,
+    ] {
+        put_uv(out, v);
+    }
+    put_uv(out, h.open_timestamp_ns);
+    put_uv(out, h.uptime_secs);
+    put_uv(out, h.latency.len() as u64);
+    for l in &h.latency {
+        put_str(out, &l.verb);
+        put_str(out, &l.proto);
+        put_uv(out, l.count);
+        put_uv(out, l.sum_ns);
+        put_uv(out, l.max_ns);
+        put_uv(out, l.p50_ns);
+        put_uv(out, l.p99_ns);
+    }
+}
+
+fn read_server_stats(r: &mut Reader<'_>) -> Result<ServerStatsReport, WireError> {
+    let service = ServiceSnapshot {
+        connections: r.uv()?,
+        shed_connections: r.uv()?,
+        timeout_connections: r.uv()?,
+        ingests: r.uv()?,
+        ingest_bytes: r.uv()?,
+        queries: r.uv()?,
+        errors: r.uv()?,
+        panics: r.uv()?,
+        json_requests: r.uv()?,
+        bin_requests: r.uv()?,
+        ingest_batches: r.uv()?,
+        subscriptions: r.uv()?,
+        sub_events: r.uv()?,
+        sub_lagged: r.uv()?,
+    };
+    let read_only = match r.byte()? {
+        0 => false,
+        1 => true,
+        _ => return Err(WireError::Malformed("bad bool".into())),
+    };
+    let store = StoreStats {
+        segments: r.uv()?,
+        runs: r.uv()?,
+        bytes: r.uv()?,
+        recovered_tail_bytes: r.uv()?,
+        compacted_through: r.uv()?,
+    };
+    let open_timestamp_ns = r.uv()?;
+    let uptime_secs = r.uv()?;
+    let count = r.uv()?;
+    let n = checked_count(r, count)?;
+    let mut latency = Vec::with_capacity(n);
+    for _ in 0..n {
+        latency.push(LatencyStat {
+            verb: r.str()?,
+            proto: r.str()?,
+            count: r.uv()?,
+            sum_ns: r.uv()?,
+            max_ns: r.uv()?,
+            p50_ns: r.uv()?,
+            p99_ns: r.uv()?,
+        });
+    }
+    Ok(ServerStatsReport {
+        service,
+        read_only,
+        store,
+        open_timestamp_ns,
+        uptime_secs,
+        latency,
+    })
+}
+
 // ---------------------------------------------------------------------
 // Requests
 // ---------------------------------------------------------------------
@@ -330,16 +456,23 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
             benchmark,
             threads,
             n,
+            window,
         } => {
             out.push(TAG_QUERY_TOP);
             put_str(&mut out, benchmark);
             put_uv(&mut out, u64::from(*threads));
             put_uv(&mut out, *n as u64);
+            put_window(&mut out, window);
         }
-        Request::QueryStats { benchmark, threads } => {
+        Request::QueryStats {
+            benchmark,
+            threads,
+            window,
+        } => {
             out.push(TAG_QUERY_STATS);
             put_str(&mut out, benchmark);
             put_uv(&mut out, u64::from(*threads));
+            put_window(&mut out, window);
         }
         Request::QueryRegress {
             benchmark,
@@ -348,6 +481,7 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
             threshold,
             min_runs,
             min_delta_ns,
+            window,
         } => {
             out.push(TAG_QUERY_REGRESS);
             put_str(&mut out, benchmark);
@@ -355,9 +489,27 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
             put_opt_f64(&mut out, *threshold);
             put_opt_uv(&mut out, *min_runs);
             put_opt_uv(&mut out, *min_delta_ns);
+            put_window(&mut out, window);
             put_payload(&mut out, profile);
         }
+        Request::QueryTrend {
+            benchmark,
+            threads,
+            buckets,
+            window,
+        } => {
+            out.push(TAG_QUERY_TREND);
+            put_str(&mut out, benchmark);
+            put_uv(&mut out, u64::from(*threads));
+            put_uv(&mut out, u64::from(*buckets));
+            put_window(&mut out, window);
+        }
         Request::Stats => out.push(TAG_STATS),
+        Request::StatsPrometheus => out.push(TAG_STATS_PROM),
+        Request::Subscribe { interval_ms } => {
+            out.push(TAG_SUBSCRIBE);
+            put_opt_uv(&mut out, *interval_ms);
+        }
     }
     out
 }
@@ -385,10 +537,12 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, WireError> {
             benchmark: r.str()?,
             threads: read_threads(&mut r)?,
             n: r.uv()? as usize,
+            window: read_window(&mut r)?,
         },
         TAG_QUERY_STATS => Request::QueryStats {
             benchmark: r.str()?,
             threads: read_threads(&mut r)?,
+            window: read_window(&mut r)?,
         },
         TAG_QUERY_REGRESS => Request::QueryRegress {
             benchmark: r.str()?,
@@ -396,9 +550,21 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, WireError> {
             threshold: read_opt_f64(&mut r)?,
             min_runs: read_opt_uv(&mut r)?,
             min_delta_ns: read_opt_uv(&mut r)?,
+            window: read_window(&mut r)?,
             profile: read_payload(&mut r)?,
         },
+        TAG_QUERY_TREND => Request::QueryTrend {
+            benchmark: r.str()?,
+            threads: read_threads(&mut r)?,
+            buckets: u32::try_from(r.uv()?)
+                .map_err(|_| WireError::Malformed("buckets out of range".into()))?,
+            window: read_window(&mut r)?,
+        },
         TAG_STATS => Request::Stats,
+        TAG_STATS_PROM => Request::StatsPrometheus,
+        TAG_SUBSCRIBE => Request::Subscribe {
+            interval_ms: read_opt_uv(&mut r)?,
+        },
         tag => return Err(WireError::Malformed(format!("unknown request tag {tag:#x}"))),
     };
     if !r.done() {
@@ -460,33 +626,59 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
                 put_f64(&mut out, f.ratio);
             }
         }
+        Response::Trend(t) => {
+            out.push(TAG_R_TREND);
+            put_str(&mut out, &t.benchmark);
+            put_uv(&mut out, u64::from(t.threads));
+            put_uv(&mut out, t.runs);
+            put_uv(&mut out, t.buckets.len() as u64);
+            for b in &t.buckets {
+                put_uv(&mut out, b.runs);
+                put_uv(&mut out, b.sum_ns);
+                put_uv(&mut out, b.min_ns);
+                put_uv(&mut out, b.max_ns);
+                put_uv(&mut out, b.first_timestamp_ns);
+                put_uv(&mut out, b.last_timestamp_ns);
+            }
+        }
         Response::ServerStats(h) => {
             out.push(TAG_R_SERVER_STATS);
-            let s = &h.service;
-            for v in [
-                s.connections,
-                s.shed_connections,
-                s.timeout_connections,
-                s.ingests,
-                s.ingest_bytes,
-                s.queries,
-                s.errors,
-                s.panics,
-                s.json_requests,
-                s.bin_requests,
-                s.ingest_batches,
-            ] {
-                put_uv(&mut out, v);
-            }
-            out.push(u8::from(h.read_only));
-            for v in [
-                h.store.segments,
-                h.store.runs,
-                h.store.bytes,
-                h.store.recovered_tail_bytes,
-                h.store.compacted_through,
-            ] {
-                put_uv(&mut out, v);
+            put_server_stats(&mut out, h);
+        }
+        Response::Prometheus(text) => {
+            out.push(TAG_R_PROMETHEUS);
+            put_str(&mut out, text);
+        }
+        Response::Subscribed { interval_ms } => {
+            out.push(TAG_R_SUBSCRIBED);
+            put_uv(&mut out, *interval_ms);
+        }
+        Response::Event(n) => {
+            out.push(TAG_R_EVENT);
+            match n {
+                Notification::Telemetry { t_ns, stats } => {
+                    out.push(EVENT_TELEMETRY);
+                    put_uv(&mut out, *t_ns);
+                    put_server_stats(&mut out, stats);
+                }
+                Notification::Ingest {
+                    first_run_id,
+                    count,
+                    bytes,
+                    benchmark,
+                    threads,
+                } => {
+                    out.push(EVENT_INGEST);
+                    put_uv(&mut out, *first_run_id);
+                    put_uv(&mut out, *count);
+                    put_uv(&mut out, *bytes);
+                    put_str(&mut out, benchmark);
+                    put_uv(&mut out, u64::from(*threads));
+                }
+                Notification::Lagged { dropped } => {
+                    out.push(EVENT_LAGGED);
+                    put_uv(&mut out, *dropped);
+                }
             }
         }
         Response::Error { kind, message } => {
@@ -567,38 +759,50 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, WireError> {
                 findings,
             })
         }
-        TAG_R_SERVER_STATS => {
-            let service = ServiceSnapshot {
-                connections: r.uv()?,
-                shed_connections: r.uv()?,
-                timeout_connections: r.uv()?,
-                ingests: r.uv()?,
-                ingest_bytes: r.uv()?,
-                queries: r.uv()?,
-                errors: r.uv()?,
-                panics: r.uv()?,
-                json_requests: r.uv()?,
-                bin_requests: r.uv()?,
-                ingest_batches: r.uv()?,
-            };
-            let read_only = match r.byte()? {
-                0 => false,
-                1 => true,
-                _ => return Err(WireError::Malformed("bad bool".into())),
-            };
-            let store = StoreStats {
-                segments: r.uv()?,
-                runs: r.uv()?,
-                bytes: r.uv()?,
-                recovered_tail_bytes: r.uv()?,
-                compacted_through: r.uv()?,
-            };
-            Response::ServerStats(ServerStatsReport {
-                service,
-                read_only,
-                store,
+        TAG_R_TREND => {
+            let benchmark = r.str()?;
+            let threads = read_threads(&mut r)?;
+            let runs = r.uv()?;
+            let count = r.uv()?;
+            let n = checked_count(&r, count)?;
+            let mut buckets = Vec::with_capacity(n);
+            for _ in 0..n {
+                buckets.push(TrendBucket {
+                    runs: r.uv()?,
+                    sum_ns: r.uv()?,
+                    min_ns: r.uv()?,
+                    max_ns: r.uv()?,
+                    first_timestamp_ns: r.uv()?,
+                    last_timestamp_ns: r.uv()?,
+                });
+            }
+            Response::Trend(TrendReport {
+                benchmark,
+                threads,
+                runs,
+                buckets,
             })
         }
+        TAG_R_SERVER_STATS => Response::ServerStats(read_server_stats(&mut r)?),
+        TAG_R_PROMETHEUS => Response::Prometheus(r.str()?),
+        TAG_R_SUBSCRIBED => Response::Subscribed {
+            interval_ms: r.uv()?,
+        },
+        TAG_R_EVENT => Response::Event(match r.byte()? {
+            EVENT_TELEMETRY => Notification::Telemetry {
+                t_ns: r.uv()?,
+                stats: read_server_stats(&mut r)?,
+            },
+            EVENT_INGEST => Notification::Ingest {
+                first_run_id: r.uv()?,
+                count: r.uv()?,
+                bytes: r.uv()?,
+                benchmark: r.str()?,
+                threads: read_threads(&mut r)?,
+            },
+            EVENT_LAGGED => Notification::Lagged { dropped: r.uv()? },
+            b => return Err(WireError::Malformed(format!("unknown event subtype {b}"))),
+        }),
         TAG_R_ERROR => Response::Error {
             kind: kind_from_byte(r.byte()?)?,
             message: r.str()?,
@@ -639,10 +843,15 @@ mod tests {
                 benchmark: "nqueens".into(),
                 threads: 4,
                 n: 10,
+                window: RunWindow::default(),
             },
             Request::QueryStats {
                 benchmark: "fib".into(),
                 threads: 2,
+                window: RunWindow {
+                    last: Some(30),
+                    since_ns: Some(7_000),
+                },
             },
             Request::QueryRegress {
                 benchmark: "fib".into(),
@@ -651,8 +860,26 @@ mod tests {
                 threshold: Some(0.25),
                 min_runs: Some(3),
                 min_delta_ns: None,
+                window: RunWindow {
+                    last: Some(10),
+                    since_ns: None,
+                },
+            },
+            Request::QueryTrend {
+                benchmark: "fib".into(),
+                threads: 2,
+                buckets: 16,
+                window: RunWindow {
+                    last: None,
+                    since_ns: Some(99),
+                },
             },
             Request::Stats,
+            Request::StatsPrometheus,
+            Request::Subscribe {
+                interval_ms: Some(500),
+            },
+            Request::Subscribe { interval_ms: None },
         ]
     }
 
@@ -694,7 +921,58 @@ mod tests {
                     ratio: 1.5,
                 }],
             }),
+            Response::Trend(TrendReport {
+                benchmark: "fib".into(),
+                threads: 2,
+                runs: 6,
+                buckets: vec![
+                    TrendBucket {
+                        runs: 3,
+                        sum_ns: 300,
+                        min_ns: 90,
+                        max_ns: 110,
+                        first_timestamp_ns: 1,
+                        last_timestamp_ns: 3,
+                    },
+                    TrendBucket {
+                        runs: 3,
+                        sum_ns: 330,
+                        min_ns: 100,
+                        max_ns: 120,
+                        first_timestamp_ns: 4,
+                        last_timestamp_ns: 6,
+                    },
+                ],
+            }),
             Response::ServerStats(ServerStatsReport::default()),
+            Response::ServerStats(ServerStatsReport {
+                open_timestamp_ns: 1_700_000_000,
+                uptime_secs: 42,
+                latency: vec![LatencyStat {
+                    verb: "ingest".into(),
+                    proto: "bin".into(),
+                    count: 5,
+                    sum_ns: 5_000,
+                    max_ns: 1_500,
+                    p50_ns: 1_023,
+                    p99_ns: 1_500,
+                }],
+                ..ServerStatsReport::default()
+            }),
+            Response::Prometheus("profserve_ingests_total 7\n".into()),
+            Response::Subscribed { interval_ms: 500 },
+            Response::Event(Notification::Telemetry {
+                t_ns: 12_345,
+                stats: ServerStatsReport::default(),
+            }),
+            Response::Event(Notification::Ingest {
+                first_run_id: 9,
+                count: 2,
+                bytes: 800,
+                benchmark: "fib".into(),
+                threads: 2,
+            }),
+            Response::Event(Notification::Lagged { dropped: 3 }),
             Response::Error {
                 kind: ErrorKind::ReadOnly,
                 message: "disk full".into(),
@@ -744,6 +1022,7 @@ mod tests {
         let mut framed = frame(&encode_request(&Request::QueryStats {
             benchmark: "fib".into(),
             threads: 2,
+            window: RunWindow::default(),
         }));
         // Flip one bit in every payload byte position in turn.
         for at in 4..framed.len() - 4 {

@@ -62,4 +62,7 @@ pub use io::{
 };
 pub use merge::KWayMerge;
 pub use segment::{SegmentReader, SegmentWriter, RECORD_HEADER_BYTES, SEGMENT_MAGIC};
-pub use store::{IndexEntry, IngestReceipt, ProfileStore, StoreConfig, StoreError, StoreStats};
+pub use store::{
+    IndexEntry, IngestReceipt, ProfileStore, RunWindow, StoreConfig, StoreError, StoreStats,
+    TrendBucket,
+};

@@ -142,6 +142,50 @@ pub struct StoreStats {
     pub compacted_through: u64,
 }
 
+/// A window over one (benchmark, threads) group's runs. Both members
+/// compose: the timestamp filter applies first, then the ingest-order
+/// tail. The default (`None`/`None`) keeps everything.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RunWindow {
+    /// Keep only the newest N matching runs (ingest-order tail).
+    pub last: Option<u64>,
+    /// Keep only runs whose caller timestamp is `>= since_ns`.
+    pub since_ns: Option<u64>,
+}
+
+impl RunWindow {
+    /// True when the window filters nothing.
+    pub fn is_unbounded(&self) -> bool {
+        self.last.is_none() && self.since_ns.is_none()
+    }
+}
+
+/// One bucket of a [`ProfileStore::trend`] sweep: a span of consecutive
+/// runs (ingest order) reduced to their run-total statistics — the
+/// sparkline shape of a benchmark over time.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TrendBucket {
+    /// Runs folded into this bucket.
+    pub runs: u64,
+    /// Sum of run totals (root inclusive nanoseconds).
+    pub sum_ns: u64,
+    /// Smallest run total in the bucket.
+    pub min_ns: u64,
+    /// Largest run total in the bucket.
+    pub max_ns: u64,
+    /// Caller timestamp of the bucket's first run.
+    pub first_timestamp_ns: u64,
+    /// Caller timestamp of the bucket's last run.
+    pub last_timestamp_ns: u64,
+}
+
+impl TrendBucket {
+    /// Mean run total over the bucket (0 while empty).
+    pub fn mean_ns(&self) -> u64 {
+        self.sum_ns.checked_div(self.runs).unwrap_or(0)
+    }
+}
+
 /// Name of the advisory lock file guarding the directory against a
 /// second concurrent writer.
 const LOCK_FILE: &str = "LOCK";
@@ -502,6 +546,101 @@ impl ProfileStore {
         Ok(agg)
     }
 
+    /// Index entries of one group after applying `window`: the
+    /// timestamp filter first, then the ingest-order tail of
+    /// [`RunWindow::last`] runs. Ingest order, like
+    /// [`ProfileStore::runs_for`].
+    pub fn runs_in_window(
+        &self,
+        benchmark: &str,
+        threads: u32,
+        window: &RunWindow,
+    ) -> Vec<&IndexEntry> {
+        let mut entries: Vec<&IndexEntry> = self
+            .index
+            .iter()
+            .filter(|e| {
+                e.benchmark == benchmark
+                    && e.threads == threads
+                    && window.since_ns.is_none_or(|s| e.timestamp_ns >= s)
+            })
+            .collect();
+        if let Some(last) = window.last {
+            let keep = last.min(entries.len() as u64) as usize;
+            entries.drain(..entries.len() - keep);
+        }
+        entries
+    }
+
+    /// Cross-run aggregate of a windowed subset of one group. The
+    /// compaction cache holds whole-history aggregates and cannot serve
+    /// a window, so a bounded window always stream-folds the matching
+    /// entries from disk; an unbounded one takes the cached
+    /// [`ProfileStore::aggregate`] path.
+    pub fn aggregate_window(
+        &self,
+        benchmark: &str,
+        threads: u32,
+        window: &RunWindow,
+    ) -> Result<BenchAgg, StoreError> {
+        if window.is_unbounded() {
+            return self.aggregate(benchmark, threads);
+        }
+        let entries = self.runs_in_window(benchmark, threads, window);
+        let mut agg = BenchAgg::default();
+        self.stream_entries(&entries, |_, profile| agg.fold(profile))?;
+        Ok(agg)
+    }
+
+    /// Reduce a windowed group to at most `buckets` consecutive
+    /// ingest-order spans of run-total statistics — the data behind a
+    /// sparkline. Earlier buckets absorb the remainder when the run
+    /// count does not divide evenly, so the newest bucket is never
+    /// artificially small. Streams one decoded profile at a time.
+    pub fn trend(
+        &self,
+        benchmark: &str,
+        threads: u32,
+        window: &RunWindow,
+        buckets: usize,
+    ) -> Result<Vec<TrendBucket>, StoreError> {
+        let entries = self.runs_in_window(benchmark, threads, window);
+        if entries.is_empty() || buckets == 0 {
+            return Ok(Vec::new());
+        }
+        let buckets = buckets.min(entries.len());
+        let base = entries.len() / buckets;
+        let extra = entries.len() % buckets;
+        // Bucket boundaries in ingest order; bucket i gets base runs,
+        // the first `extra` buckets one more.
+        let mut bounds = Vec::with_capacity(buckets);
+        let mut start = 0;
+        for i in 0..buckets {
+            let len = base + usize::from(i < extra);
+            bounds.push((start, start + len));
+            start += len;
+        }
+        let mut out = vec![TrendBucket::default(); buckets];
+        for (i, &(lo, hi)) in bounds.iter().enumerate() {
+            let span = &entries[lo..hi];
+            let bucket = &mut out[i];
+            bucket.min_ns = u64::MAX;
+            bucket.first_timestamp_ns = span.first().map(|e| e.timestamp_ns).unwrap_or(0);
+            bucket.last_timestamp_ns = span.last().map(|e| e.timestamp_ns).unwrap_or(0);
+            self.stream_entries(span, |_, profile| {
+                let total = crate::agg::RunSummary::from_profile(profile).total_ns;
+                bucket.runs += 1;
+                bucket.sum_ns += total;
+                bucket.min_ns = bucket.min_ns.min(total);
+                bucket.max_ns = bucket.max_ns.max(total);
+            })?;
+            if bucket.runs == 0 {
+                bucket.min_ns = 0;
+            }
+        }
+        Ok(out)
+    }
+
     /// Shape/health summary.
     pub fn stats(&self) -> StoreStats {
         StoreStats {
@@ -723,6 +862,110 @@ mod tests {
         assert_eq!(store.recovered_tail_bytes(), 0, "no residual damage");
         assert_eq!(store.len(), 1, "post-recovery append survives reopen");
         store.load(r.run_id).expect("post-recovery run loads");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn windowed_aggregation_sees_only_the_window() {
+        let dir = tmpdir("window");
+        let config = StoreConfig {
+            segment_max_bytes: 300, // force rotation so the agg cache engages
+            sync_writes: false,
+        };
+        let mut store = ProfileStore::open_with(&dir, config).expect("open");
+        // Old epoch: 5 slow runs at timestamps 100..104; new epoch: 3
+        // fast runs at 1000..1002.
+        for i in 0..5u64 {
+            store
+                .ingest("fib", 2, 100 + i, &profile("store-win", 1_000))
+                .expect("ingest");
+        }
+        for i in 0..3u64 {
+            store
+                .ingest("fib", 2, 1_000 + i, &profile("store-win", 100))
+                .expect("ingest");
+        }
+        store.compact().expect("compact");
+
+        let full = store
+            .aggregate_window("fib", 2, &RunWindow::default())
+            .expect("full");
+        assert_eq!(full.runs, 8, "unbounded window aggregates everything");
+
+        let last3 = RunWindow {
+            last: Some(3),
+            since_ns: None,
+        };
+        let agg = store.aggregate_window("fib", 2, &last3).expect("last 3");
+        assert_eq!(agg.runs, 3);
+        assert!(
+            agg.total_ns.max < full.total_ns.max,
+            "window must exclude the slow old runs"
+        );
+
+        let since = RunWindow {
+            last: None,
+            since_ns: Some(1_000),
+        };
+        assert_eq!(store.runs_in_window("fib", 2, &since).len(), 3);
+        // Composition: timestamp filter first, then the tail.
+        let both = RunWindow {
+            last: Some(2),
+            since_ns: Some(1_000),
+        };
+        let entries = store.runs_in_window("fib", 2, &both);
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].timestamp_ns, 1_001);
+        // Oversized `last` clamps; other groups stay invisible.
+        let big = RunWindow {
+            last: Some(99),
+            since_ns: None,
+        };
+        assert_eq!(store.runs_in_window("fib", 2, &big).len(), 8);
+        assert!(store.runs_in_window("fib", 8, &big).is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn trend_buckets_follow_ingest_order() {
+        let dir = tmpdir("trend");
+        let mut store = ProfileStore::open(&dir).expect("open");
+        // Run totals step up over time: 100, 200, ..., 700.
+        for i in 0..7u64 {
+            store
+                .ingest("fib", 2, 10 + i, &profile("store-trend", 100 * (i + 1)))
+                .expect("ingest");
+        }
+        let buckets = store
+            .trend("fib", 2, &RunWindow::default(), 3)
+            .expect("trend");
+        // 7 runs over 3 buckets: 3 + 2 + 2.
+        assert_eq!(buckets.len(), 3);
+        assert_eq!(buckets.iter().map(|b| b.runs).collect::<Vec<_>>(), [3, 2, 2]);
+        assert_eq!(buckets.iter().map(|b| b.runs).sum::<u64>(), 7);
+        assert!(
+            buckets[0].mean_ns() < buckets[1].mean_ns()
+                && buckets[1].mean_ns() < buckets[2].mean_ns(),
+            "rising totals must rise across buckets: {buckets:?}"
+        );
+        assert!(buckets[0].min_ns <= buckets[0].max_ns);
+        assert_eq!(buckets[0].first_timestamp_ns, 10);
+        assert_eq!(buckets[2].last_timestamp_ns, 16);
+        // More buckets than runs degrades to one run per bucket.
+        let fine = store
+            .trend("fib", 2, &RunWindow::default(), 100)
+            .expect("trend");
+        assert_eq!(fine.len(), 7);
+        assert!(fine.iter().all(|b| b.runs == 1));
+        // Empty group / zero buckets are empty, not an error.
+        assert!(store
+            .trend("nope", 2, &RunWindow::default(), 3)
+            .expect("trend")
+            .is_empty());
+        assert!(store
+            .trend("fib", 2, &RunWindow::default(), 0)
+            .expect("trend")
+            .is_empty());
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -355,7 +355,7 @@ impl<C: ClockSource + 'static> SessionBuilder<C> {
     }
 
     /// Enable live telemetry with default settings: lock-free shard
-    /// gauges and 1-in-64 perturbation sampling. Poll it with
+    /// gauges and 1-in-256 perturbation sampling. Poll it with
     /// [`MeasurementSession::telemetry`].
     pub fn telemetry(mut self) -> Self {
         self.prof = self.prof.telemetry();

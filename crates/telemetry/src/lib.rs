@@ -25,12 +25,16 @@
 //!   series, both with parsers so round-trips are testable.
 //! * [`Sampler`] — an optional background thread producing fixed-interval
 //!   time-series snapshots.
+//! * [`histogram`] — lock-free log2-bucket latency histograms (the
+//!   serving daemon's request-tracing substrate), with Prometheus
+//!   histogram and JSONL renderings that parse back.
 
 #![warn(missing_docs)]
 
 pub mod counters;
 pub mod export;
 pub mod export_path;
+pub mod histogram;
 pub mod sampler;
 pub mod service;
 pub mod snapshot;
@@ -38,6 +42,10 @@ pub mod snapshot;
 pub use counters::{TelemetryConfig, TelemetryCore, ThreadTelemetry, MAX_TELEMETRY_SHARDS};
 pub use export::{
     parse_jsonl_line, parse_prometheus, to_jsonl_line, to_prometheus, ExportParseError, PromSample,
+};
+pub use histogram::{
+    latency_to_jsonl_line, latency_to_prometheus, parse_latency_jsonl_line, HistogramSnapshot,
+    LatencyHistogram, HISTOGRAM_BUCKETS,
 };
 pub use export_path::{
     export_counters, export_to_jsonl_line, export_to_prometheus, ExportCounters, ExportSnapshot,

@@ -38,6 +38,13 @@ pub struct ServiceCounters {
     /// Batched ingest requests (each may carry many profiles; the
     /// per-profile totals still land in `ingests`/`ingest_bytes`).
     pub ingest_batches: AtomicU64,
+    /// Live-stream subscriptions accepted (`SUBSCRIBE`).
+    pub subscriptions: AtomicU64,
+    /// Events pushed to subscribers (snapshots + notifications).
+    pub sub_events: AtomicU64,
+    /// Events dropped because a subscriber's queue was full (slow
+    /// consumers are shed, never allowed to block ingest).
+    pub sub_lagged: AtomicU64,
 }
 
 /// Point-in-time copy of [`ServiceCounters`].
@@ -65,6 +72,12 @@ pub struct ServiceSnapshot {
     pub bin_requests: u64,
     /// Batched ingest requests served.
     pub ingest_batches: u64,
+    /// Live-stream subscriptions accepted.
+    pub subscriptions: u64,
+    /// Events pushed to subscribers.
+    pub sub_events: u64,
+    /// Events dropped on slow subscribers.
+    pub sub_lagged: u64,
 }
 
 impl ServiceCounters {
@@ -129,6 +142,21 @@ impl ServiceCounters {
         Self::bump(&self.ingest_batches, 1);
     }
 
+    /// Count one accepted subscription.
+    pub fn subscription(&self) {
+        Self::bump(&self.subscriptions, 1);
+    }
+
+    /// Count `n` events pushed to subscribers.
+    pub fn sub_events(&self, n: u64) {
+        Self::bump(&self.sub_events, n);
+    }
+
+    /// Count `n` events dropped on a lagging subscriber.
+    pub fn sub_lag(&self, n: u64) {
+        Self::bump(&self.sub_lagged, n);
+    }
+
     /// Consistent-enough copy of all counters (each is individually
     /// atomic; cross-counter skew is bounded by in-flight requests).
     pub fn snapshot(&self) -> ServiceSnapshot {
@@ -144,6 +172,9 @@ impl ServiceCounters {
             json_requests: self.json_requests.load(Ordering::Relaxed),
             bin_requests: self.bin_requests.load(Ordering::Relaxed),
             ingest_batches: self.ingest_batches.load(Ordering::Relaxed),
+            subscriptions: self.subscriptions.load(Ordering::Relaxed),
+            sub_events: self.sub_events.load(Ordering::Relaxed),
+            sub_lagged: self.sub_lagged.load(Ordering::Relaxed),
         }
     }
 }
@@ -206,6 +237,21 @@ pub fn service_to_prometheus(s: &ServiceSnapshot) -> String {
         "Batched ingest requests served.",
         s.ingest_batches,
     );
+    metric(
+        "profserve_subscriptions_total",
+        "Live-stream subscriptions accepted.",
+        s.subscriptions,
+    );
+    metric(
+        "profserve_sub_events_total",
+        "Events pushed to live subscribers.",
+        s.sub_events,
+    );
+    metric(
+        "profserve_sub_lagged_total",
+        "Events dropped on slow subscribers.",
+        s.sub_lagged,
+    );
     out
 }
 
@@ -228,6 +274,9 @@ mod tests {
         c.bin_request();
         c.bin_request();
         c.ingest_batch();
+        c.subscription();
+        c.sub_events(5);
+        c.sub_lag(2);
         let s = c.snapshot();
         assert_eq!(s.connections, 2);
         assert_eq!(s.shed_connections, 1);
@@ -239,6 +288,9 @@ mod tests {
         assert_eq!(s.json_requests, 1);
         assert_eq!(s.bin_requests, 2);
         assert_eq!(s.ingest_batches, 1);
+        assert_eq!(s.subscriptions, 1);
+        assert_eq!(s.sub_events, 5);
+        assert_eq!(s.sub_lagged, 2);
     }
 
     #[test]

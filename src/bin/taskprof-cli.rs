@@ -14,14 +14,18 @@
 //! taskprof-cli list
 //! taskprof-cli serve --dir DIR [--addr HOST:PORT] [--max-conns N]
 //!                    [--port-file FILE] [--proto json|bin|auto]
+//!                    [--telemetry-jsonl FILE] [--telemetry-interval-ms N]
 //! taskprof-cli ingest --addr HOST:PORT (--file F --bench NAME | --app fib|nqueens
 //!                     [--seed S] [--runs K]) [--threads N]
 //!                     [--spool DIR] [--deadline-ms N] [--proto json|bin|auto]
 //! taskprof-cli drain --addr HOST:PORT --spool DIR [--deadline-ms N]
 //!                    [--proto json|bin|auto]
-//! taskprof-cli query top|stats|regress --addr HOST:PORT --bench NAME
+//! taskprof-cli query top|stats|regress|trend --addr HOST:PORT --bench NAME
 //!                   [--threads N] [--n N] [--file F] [--threshold T]
-//!                   [--proto json|bin|auto]
+//!                   [--last N] [--since-ns T] [--buckets N]
+//!                   [--prometheus] [--proto json|bin|auto]
+//! taskprof-cli watch --addr HOST:PORT [--interval-ms N] [--frames N]
+//!                    [--format dashboard|jsonl] [--proto json|bin|auto]
 //! ```
 //!
 //! `run` executes one BOTS code under the profiler (and optionally the
@@ -44,6 +48,20 @@
 //! client commands pick the protocol they speak — `auto` attempts the
 //! compact TPF1 binary framing and falls back to JSON lines when the
 //! server refuses the handshake.
+//!
+//! Observability: every repository query takes a run *window* — `--last
+//! N` restricts the aggregate to the N most recent runs, `--since-ns T`
+//! to runs stamped at or after `T` (combine both to intersect); `query
+//! trend` slices the windowed runs into `--buckets` per-window aggregates
+//! for sparkline dashboards. `query stats --prometheus` (no `--bench`)
+//! prints the daemon's full scrape document, including its per-verb
+//! request-latency histograms. `watch` attaches a live subscription and
+//! renders pushed telemetry snapshots and ingest notifications —
+//! `--format jsonl` emits the raw event lines for scripts, `--frames N`
+//! exits after N telemetry snapshots. `serve --telemetry-jsonl FILE`
+//! appends the daemon's request-latency histograms to FILE as JSONL
+//! records (one per `--telemetry-interval-ms`), the same sink format as
+//! `telemetry --format jsonl`.
 //!
 //! Resilience: `ingest --spool DIR` degrades gracefully when the daemon
 //! is unreachable — instead of failing, profiles land in `DIR` as
@@ -74,10 +92,11 @@ fn usage() -> ! {
          [--interval-ms N] [--format dashboard|prometheus|jsonl]\n  \
          taskprof-cli explore [--seeds N] [--threads N] [--workload fib|flat|mixed|all] [--dfs BUDGET]\n  \
          taskprof-cli diff <a.profile> <b.profile>\n  taskprof-cli list\n  \
-         taskprof-cli serve --dir DIR [--addr HOST:PORT] [--max-conns N] [--port-file FILE] [--proto json|bin|auto]\n  \
+         taskprof-cli serve --dir DIR [--addr HOST:PORT] [--max-conns N] [--port-file FILE] [--proto json|bin|auto] [--telemetry-jsonl FILE] [--telemetry-interval-ms N]\n  \
          taskprof-cli ingest --addr HOST:PORT (--file F --bench NAME | --app fib|nqueens [--seed S] [--runs K]) [--threads N] [--spool DIR] [--deadline-ms N] [--proto json|bin|auto]\n  \
          taskprof-cli drain --addr HOST:PORT --spool DIR [--deadline-ms N] [--proto json|bin|auto]\n  \
-         taskprof-cli query top|stats|regress --addr HOST:PORT --bench NAME [--threads N] [--n N] [--file F] [--threshold T] [--proto json|bin|auto]"
+         taskprof-cli query top|stats|regress|trend --addr HOST:PORT --bench NAME [--threads N] [--n N] [--file F] [--threshold T] [--last N] [--since-ns T] [--buckets N] [--prometheus] [--proto json|bin|auto]\n  \
+         taskprof-cli watch --addr HOST:PORT [--interval-ms N] [--frames N] [--format dashboard|jsonl] [--proto json|bin|auto]"
     );
     std::process::exit(2);
 }
@@ -443,6 +462,8 @@ fn cmd_serve(args: &[String]) {
     let mut max_conns: usize = 64;
     let mut port_file: Option<String> = None;
     let mut proto = profserve::WireProtocol::Auto;
+    let mut telemetry_jsonl: Option<String> = None;
+    let mut telemetry_interval_ms: u64 = 1_000;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -456,6 +477,15 @@ fn cmd_serve(args: &[String]) {
             }
             "--port-file" => port_file = Some(it.next().cloned().unwrap_or_else(|| usage())),
             "--proto" => proto = parse_proto(it.next()),
+            "--telemetry-jsonl" => {
+                telemetry_jsonl = Some(it.next().cloned().unwrap_or_else(|| usage()))
+            }
+            "--telemetry-interval-ms" => {
+                telemetry_interval_ms = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
             _ => usage(),
         }
     }
@@ -486,6 +516,37 @@ fn cmd_serve(args: &[String]) {
             eprintln!("cannot write port file {pf}");
             std::process::exit(1);
         }
+    }
+    // Daemon-side JSONL telemetry: a sampler thread appends the
+    // request-latency histograms to the configured sink at a fixed
+    // cadence, in the same format family as `telemetry --format jsonl`.
+    if let Some(path) = telemetry_jsonl {
+        let handle = server.handle().expect("server handle");
+        let every = std::time::Duration::from_millis(telemetry_interval_ms.max(50));
+        std::thread::spawn(move || {
+            use std::io::Write as _;
+            let mut file = match std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&path)
+            {
+                Ok(f) => f,
+                Err(e) => {
+                    eprintln!("cannot open telemetry sink {path}: {e}");
+                    return;
+                }
+            };
+            while !handle.stopped() {
+                std::thread::sleep(every);
+                let t_ns = std::time::SystemTime::now()
+                    .duration_since(std::time::UNIX_EPOCH)
+                    .map(|d| d.as_nanos() as u64)
+                    .unwrap_or(0);
+                if writeln!(file, "{}", handle.latency_jsonl_line(t_ns)).is_err() {
+                    return;
+                }
+            }
+        });
     }
     eprintln!(
         "# profserve listening on {bound} (protocols {proto}), store {dir} ({} runs in {} segments)",
@@ -762,6 +823,10 @@ fn cmd_query(args: &[String]) {
     let mut seed: u64 = 42;
     let mut threshold: Option<f64> = None;
     let mut proto = profserve::WireProtocol::Auto;
+    let mut last: Option<u64> = None;
+    let mut since_ns: Option<u64> = None;
+    let mut buckets: u32 = 8;
+    let mut prometheus = false;
     let mut it = args[1..].iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -795,10 +860,32 @@ fn cmd_query(args: &[String]) {
                         .unwrap_or_else(|| usage()),
                 )
             }
+            "--last" => {
+                last = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                )
+            }
+            "--since-ns" => {
+                since_ns = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                )
+            }
+            "--buckets" => {
+                buckets = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--prometheus" => prometheus = true,
             _ => usage(),
         }
     }
     let Some(addr) = addr else { usage() };
+    let window = profstore::RunWindow { last, since_ns };
     let mut client = connect_or_die(&addr, proto);
     let die = |e: profserve::ClientError| -> ! {
         eprintln!("query failed: {e}");
@@ -810,21 +897,32 @@ fn cmd_query(args: &[String]) {
         "top" => {
             let Some(bench) = bench else { usage() };
             let report = client
-                .query_top(&bench, threads as u32, n)
+                .query_top_window(&bench, threads as u32, n, window)
                 .unwrap_or_else(|e| die(e));
             println!("{}", profserve::Response::Top(report).to_json_line());
         }
         "stats" => {
             if let Some(bench) = bench {
                 let report = client
-                    .query_stats(&bench, threads as u32)
+                    .query_stats_window(&bench, threads as u32, window)
                     .unwrap_or_else(|e| die(e));
                 println!("{}", profserve::Response::Stats(report).to_json_line());
+            } else if prometheus {
+                // Scrape document: the verbatim text, not a JSON line.
+                let text = client.server_stats_prometheus().unwrap_or_else(|e| die(e));
+                print!("{text}");
             } else {
                 // Without --bench, report server health.
                 let report = client.server_stats().unwrap_or_else(|e| die(e));
                 println!("{}", profserve::Response::ServerStats(report).to_json_line());
             }
+        }
+        "trend" => {
+            let Some(bench) = bench else { usage() };
+            let report = client
+                .query_trend(&bench, threads as u32, buckets, window)
+                .unwrap_or_else(|e| die(e));
+            println!("{}", profserve::Response::Trend(report).to_json_line());
         }
         "regress" => {
             let Some(bench) = bench else { usage() };
@@ -840,13 +938,14 @@ fn cmd_query(args: &[String]) {
                 std::process::exit(2);
             };
             let report = client
-                .query_regress(
+                .query_regress_window(
                     &bench,
                     threads as u32,
                     profserve::ProfilePayload::Text(text),
                     threshold,
                     None,
                     None,
+                    window,
                 )
                 .unwrap_or_else(|e| die(e));
             let regressed = report.regressed;
@@ -856,6 +955,127 @@ fn cmd_query(args: &[String]) {
             }
         }
         _ => usage(),
+    }
+}
+
+/// `watch`: attach a live subscription and render pushed events.
+fn cmd_watch(args: &[String]) {
+    let mut addr: Option<String> = None;
+    let mut interval_ms: Option<u64> = None;
+    let mut frames: Option<u64> = None;
+    let mut jsonl = false;
+    let mut proto = profserve::WireProtocol::Auto;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--addr" => addr = Some(it.next().cloned().unwrap_or_else(|| usage())),
+            "--interval-ms" => {
+                interval_ms = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                )
+            }
+            "--frames" => {
+                frames = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                )
+            }
+            "--format" => {
+                jsonl = match it.next().map(String::as_str) {
+                    Some("dashboard") => false,
+                    Some("jsonl") => true,
+                    _ => usage(),
+                }
+            }
+            "--proto" => proto = parse_proto(it.next()),
+            _ => usage(),
+        }
+    }
+    let Some(addr) = addr else { usage() };
+    let client = connect_or_die(&addr, proto);
+    let (mut sub, granted_ms) = client.subscribe(interval_ms).unwrap_or_else(|e| {
+        eprintln!("cannot subscribe: {e}");
+        std::process::exit(1);
+    });
+    eprintln!(
+        "# watching {addr} over {} (telemetry every {granted_ms}ms{})",
+        sub.protocol(),
+        frames.map(|f| format!(", exiting after {f} frames")).unwrap_or_default()
+    );
+    let mut seen_frames: u64 = 0;
+    loop {
+        let event = match sub.next_event() {
+            Ok(event) => event,
+            Err(e) => {
+                eprintln!("subscription ended: {e}");
+                std::process::exit(1);
+            }
+        };
+        if jsonl {
+            // Raw event lines for scripts, identical on both protocols.
+            println!("{}", profserve::Response::Event(event.clone()).to_json_line());
+        } else {
+            match &event {
+                profserve::Notification::Telemetry { t_ns, stats } => {
+                    print!("{}", cube::render_fleet(&fleet_stats(*t_ns, stats)));
+                }
+                profserve::Notification::Ingest {
+                    first_run_id,
+                    count,
+                    bytes,
+                    benchmark,
+                    threads,
+                } => {
+                    println!(
+                        "ingest: {count} run(s) of {benchmark}@{threads} from run id {first_run_id} ({bytes} bytes)"
+                    );
+                }
+                profserve::Notification::Lagged { dropped } => {
+                    println!("lagged: {dropped} event(s) dropped (subscriber fell behind)");
+                }
+            }
+        }
+        if let profserve::Notification::Telemetry { .. } = event {
+            seen_frames += 1;
+            if frames.is_some_and(|f| seen_frames >= f) {
+                return;
+            }
+        }
+    }
+}
+
+/// Adapt a daemon `STATS` report to the plain-field dashboard struct.
+fn fleet_stats(t_ns: u64, s: &profserve::ServerStatsReport) -> cube::FleetStats {
+    cube::FleetStats {
+        t_ns,
+        uptime_secs: s.uptime_secs,
+        read_only: s.read_only,
+        connections: s.service.connections,
+        ingests: s.service.ingests,
+        ingest_bytes: s.service.ingest_bytes,
+        queries: s.service.queries,
+        errors: s.service.errors,
+        subscriptions: s.service.subscriptions,
+        sub_events: s.service.sub_events,
+        sub_lagged: s.service.sub_lagged,
+        store_runs: s.store.runs,
+        store_segments: s.store.segments,
+        store_bytes: s.store.bytes,
+        latency: s
+            .latency
+            .iter()
+            .map(|l| cube::FleetLatencyRow {
+                verb: l.verb.clone(),
+                proto: l.proto.clone(),
+                count: l.count,
+                p50_ns: l.p50_ns,
+                p99_ns: l.p99_ns,
+                max_ns: l.max_ns,
+            })
+            .collect(),
     }
 }
 
@@ -871,6 +1091,7 @@ fn main() {
         Some("ingest") => cmd_ingest(&args[1..]),
         Some("drain") => cmd_drain(&args[1..]),
         Some("query") => cmd_query(&args[1..]),
+        Some("watch") => cmd_watch(&args[1..]),
         _ => usage(),
     }
 }

@@ -6,6 +6,7 @@
 
 use profserve::wire::{decode_request, decode_response, encode_request, frame, try_frame};
 use profserve::{ProfilePayload, Record, Request};
+use profstore::RunWindow;
 use proptest::prelude::*;
 
 /// Decoder-side payload cap used by every property: large enough that no
@@ -26,6 +27,10 @@ fn arb_opt_u64() -> impl Strategy<Value = Option<u64>> {
     (any::<bool>(), any::<u64>()).prop_map(|(some, v)| some.then_some(v))
 }
 
+fn arb_window() -> impl Strategy<Value = RunWindow> {
+    (arb_opt_u64(), arb_opt_u64()).prop_map(|(last, since_ns)| RunWindow { last, since_ns })
+}
+
 fn arb_record() -> impl Strategy<Value = Record> {
     ("[a-z_]{1,12}", 1u32..8, arb_opt_u64(), arb_payload()).prop_map(
         |(benchmark, threads, timestamp_ns, profile)| Record {
@@ -43,20 +48,32 @@ fn arb_request() -> impl Strategy<Value = Request> {
             .prop_map(|(version, features)| Request::Hello { version, features }),
         arb_record().prop_map(Request::Ingest),
         prop::collection::vec(arb_record(), 0..4).prop_map(Request::IngestBatch),
-        ("[a-z]{1,12}", 1u32..8, 0usize..50)
-            .prop_map(|(benchmark, threads, n)| Request::QueryTop { benchmark, threads, n }),
-        ("[a-z]{1,12}", 1u32..8)
-            .prop_map(|(benchmark, threads)| Request::QueryStats { benchmark, threads }),
+        ("[a-z]{1,12}", 1u32..8, 0usize..50, arb_window()).prop_map(
+            |(benchmark, threads, n, window)| Request::QueryTop {
+                benchmark,
+                threads,
+                n,
+                window,
+            }
+        ),
+        ("[a-z]{1,12}", 1u32..8, arb_window()).prop_map(|(benchmark, threads, window)| {
+            Request::QueryStats {
+                benchmark,
+                threads,
+                window,
+            }
+        }),
         (
-            "[a-z]{1,12}",
-            1u32..8,
-            arb_payload(),
-            (any::<bool>(), 0.0f64..10.0).prop_map(|(some, v)| some.then_some(v)),
-            arb_opt_u64(),
-            arb_opt_u64(),
+            ("[a-z]{1,12}", 1u32..8, arb_payload()),
+            (
+                (any::<bool>(), 0.0f64..10.0).prop_map(|(some, v)| some.then_some(v)),
+                arb_opt_u64(),
+                arb_opt_u64(),
+                arb_window(),
+            ),
         )
             .prop_map(
-                |(benchmark, threads, profile, threshold, min_runs, min_delta_ns)| {
+                |((benchmark, threads, profile), (threshold, min_runs, min_delta_ns, window))| {
                     Request::QueryRegress {
                         benchmark,
                         threads,
@@ -64,10 +81,21 @@ fn arb_request() -> impl Strategy<Value = Request> {
                         threshold,
                         min_runs,
                         min_delta_ns,
+                        window,
                     }
                 },
             ),
+        ("[a-z]{1,12}", 1u32..8, 1u32..16, arb_window()).prop_map(
+            |(benchmark, threads, buckets, window)| Request::QueryTrend {
+                benchmark,
+                threads,
+                buckets,
+                window,
+            }
+        ),
         Just(Request::Stats),
+        Just(Request::StatsPrometheus),
+        arb_opt_u64().prop_map(|interval_ms| Request::Subscribe { interval_ms }),
     ]
 }
 
