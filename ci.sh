@@ -135,8 +135,54 @@ cargo run --release --bin taskprof-cli -- drain --addr "$ADDR" --spool "$SPOOL_D
 kill "$SERVE_PID" 2>/dev/null || true
 wait "$SERVE_PID" 2>/dev/null || true
 
+echo "=== replication smoke (two daemons, auth, sharded follower) ==="
+# A leader and a sharded follower on ephemeral ports, both requiring the
+# shared secret; `replicate` pumps the leader's log over, and the
+# replicas must answer the canonical query byte-identically. A second
+# pump must be exactly-once (nothing new to apply).
+LEAD_PORT_FILE="$REPO_DIR/lead-port"
+FOLW_PORT_FILE="$REPO_DIR/folw-port"
+"$CLI" serve --dir "$REPO_DIR/leader" --addr 127.0.0.1:0 \
+    --port-file "$LEAD_PORT_FILE" --auth hunter2 &
+LEAD_PID=$!
+"$CLI" serve --dir "$REPO_DIR/follower" --addr 127.0.0.1:0 \
+    --port-file "$FOLW_PORT_FILE" --auth hunter2 --shards 2 --keep-last 100 &
+FOLW_PID=$!
+trap 'kill "$SERVE_PID" "$LEAD_PID" "$FOLW_PID" 2>/dev/null || true; rm -rf "$REPO_DIR"' EXIT
+for _ in $(seq 1 300); do
+    [ -s "$LEAD_PORT_FILE" ] && [ -s "$FOLW_PORT_FILE" ] && break
+    sleep 0.2
+done
+{ [ -s "$LEAD_PORT_FILE" ] && [ -s "$FOLW_PORT_FILE" ]; } \
+    || { echo "replication daemons never published their ports"; exit 1; }
+LEAD_ADDR="127.0.0.1:$(cat "$LEAD_PORT_FILE")"
+FOLW_ADDR="127.0.0.1:$(cat "$FOLW_PORT_FILE")"
+# The wrong secret must be refused before any data moves.
+if "$CLI" query stats --addr "$LEAD_ADDR" --auth wrong 2>/dev/null; then
+    echo "wrong secret was accepted"; exit 1
+fi
+"$CLI" ingest --addr "$LEAD_ADDR" --app fib --seed 61 --runs 3 --threads 2 \
+    --proto bin --auth hunter2
+"$CLI" replicate --from "$LEAD_ADDR" --to "$FOLW_ADDR" --auth hunter2 --batch 2
+"$CLI" query top --addr "$LEAD_ADDR" --bench fib --threads 2 --auth hunter2 \
+    > /tmp/top.lead.out
+"$CLI" query top --addr "$FOLW_ADDR" --bench fib --threads 2 --auth hunter2 \
+    > /tmp/top.folw.out
+cmp /tmp/top.lead.out /tmp/top.folw.out \
+    || { echo "replica query output diverges from the leader"; exit 1; }
+grep -q '"runs":3' /tmp/top.folw.out \
+    || { echo "follower missed replicated runs"; exit 1; }
+"$CLI" replicate --from "$LEAD_ADDR" --to "$FOLW_ADDR" --auth hunter2 \
+    | tee /tmp/replicate.out
+grep -q ' 0 frame(s) applied' /tmp/replicate.out \
+    || { echo "re-pump was not a no-op"; exit 1; }
+kill "$LEAD_PID" "$FOLW_PID" 2>/dev/null || true
+wait "$LEAD_PID" 2>/dev/null || true
+wait "$FOLW_PID" 2>/dev/null || true
+
 echo "=== fault-injection torture (pinned seed) ==="
-# Crash-at-every-injection-point over the store's VFS seam; the pinned
+# Crash-at-every-injection-point over the store's VFS seam — single
+# store, plus the sharded leader/follower replication sweeps; the pinned
 # seed keeps nightly logs comparable while the in-tree seeds rotate.
 TASKPROF_TORTURE_SEED="${TASKPROF_TORTURE_SEED:-20260808}" \
     cargo test --release --test profstore_torture -q

@@ -60,7 +60,13 @@ fn json_opt(v: Option<f64>) -> String {
 }
 
 /// Minimum kernel time over `reps` runs under the sharded session path.
-fn session_time(app: AppId, threads: usize, scale: Scale, variant: Variant, reps: usize) -> Duration {
+fn session_time(
+    app: AppId,
+    threads: usize,
+    scale: Scale,
+    variant: Variant,
+    reps: usize,
+) -> Duration {
     let opts = RunOpts::new(threads).scale(scale).variant(variant);
     (0..reps)
         .map(|_| {
@@ -316,15 +322,45 @@ fn repository_profile() -> taskprof::Profile {
         for k in 0..8u64 {
             let outer = ids.alloc();
             let inner = ids.alloc();
-            team.apply(tid, Event::TaskBegin { region: task, id: outer })
-                .advance(1_000 + k * 37)
-                .apply(tid, Event::TaskEnd { region: task, id: outer })
-                .apply(tid, Event::TaskBegin { region: child, id: inner })
-                .advance(500 + k * 11)
-                .apply(tid, Event::TaskEnd { region: child, id: inner });
+            team.apply(
+                tid,
+                Event::TaskBegin {
+                    region: task,
+                    id: outer,
+                },
+            )
+            .advance(1_000 + k * 37)
+            .apply(
+                tid,
+                Event::TaskEnd {
+                    region: task,
+                    id: outer,
+                },
+            )
+            .apply(
+                tid,
+                Event::TaskBegin {
+                    region: child,
+                    id: inner,
+                },
+            )
+            .advance(500 + k * 11)
+            .apply(
+                tid,
+                Event::TaskEnd {
+                    region: child,
+                    id: inner,
+                },
+            );
         }
     }
     team.finish()
+}
+
+/// Logical CPUs the host exposes — recorded next to the concurrency
+/// numbers, which cannot exceed what the scheduler has to offer.
+fn host_cpus() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
 }
 
 fn bench_temp_dir(tag: &str) -> std::path::PathBuf {
@@ -417,7 +453,9 @@ fn ingest_throughput(reps: usize) -> IngestThroughput {
             "serve-json",
             |client| {
                 for record in &json_records {
-                    client.ingest_record(record).expect("bench ingest over json");
+                    client
+                        .ingest_record(record)
+                        .expect("bench ingest over json");
                 }
             },
             profserve::WireProtocol::Json,
@@ -445,6 +483,141 @@ fn ingest_throughput(reps: usize) -> IngestThroughput {
     }
 }
 
+struct ShardedIngest {
+    writers: usize,
+    shards: u32,
+    profiles: u64,
+    sequential_profiles_per_sec: f64,
+    contended_profiles_per_sec: f64,
+    sharded_profiles_per_sec: f64,
+}
+
+impl ShardedIngest {
+    /// Routed-shards over contended-single-log aggregate speedup under
+    /// the same concurrent offered load.
+    fn speedup(&self) -> f64 {
+        if self.contended_profiles_per_sec > 0.0 {
+            self.sharded_profiles_per_sec / self.contended_profiles_per_sec
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Run `writers` concurrent ingest threads, one benchmark name each,
+/// against a sharded repository with `shards` shards; returns elapsed
+/// seconds for the whole offered load.
+fn concurrent_ingest_secs(
+    tag: &str,
+    shards: u32,
+    names: &[String],
+    per_writer: u64,
+    profile: &taskprof::Profile,
+    config: profstore::StoreConfig,
+) -> f64 {
+    let dir = bench_temp_dir(tag);
+    let store =
+        profstore::ShardedStore::open_with(&dir, shards, config).expect("open bench sharded store");
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        for name in names {
+            let store = &store;
+            s.spawn(move || {
+                for k in 0..per_writer {
+                    store
+                        .ingest(name, 2, k, profile)
+                        .expect("bench sharded ingest");
+                }
+            });
+        }
+    });
+    let secs = t0.elapsed().as_secs_f64();
+    assert_eq!(store.len(), names.len() * per_writer as usize);
+    drop(store);
+    let _ = std::fs::remove_dir_all(&dir);
+    secs
+}
+
+/// Aggregate ingest throughput under a four-writer concurrent load:
+/// all writers serializing on one log's lock (a one-shard repository —
+/// the single-store behavior) vs. the same load fanned over four shards
+/// where each writer appends under its own lock. A sequential
+/// single-store pass is included as the uncontended reference. Run ids
+/// stay globally unique in every configuration.
+fn sharded_ingest_throughput(reps: usize) -> ShardedIngest {
+    const SHARDS: u32 = 4;
+    const WRITERS: usize = 4;
+    const PER_WRITER: u64 = 100;
+    let profile = repository_profile();
+    // Durable appends: an acknowledged replicated ingest means fsync'd,
+    // and the fsync wait is exactly what independent shard locks let
+    // concurrent writers overlap (even a single-core host overlaps the
+    // device flushes; the page-cache path is measured above).
+    let config = profstore::StoreConfig {
+        sync_writes: true,
+        ..profstore::StoreConfig::default()
+    };
+    // Benchmark names that provably cover all four shards, so the
+    // routed writers never contend on one shard's lock.
+    let mut names: Vec<String> = Vec::new();
+    let mut covered = [false; SHARDS as usize];
+    for k in 0u64.. {
+        let name = format!("ovh-shard-{k}");
+        let route = profstore::ShardedStore::route(&name, 0, SHARDS as usize);
+        if !covered[route] {
+            covered[route] = true;
+            names.push(name);
+            if names.len() == WRITERS {
+                break;
+            }
+        }
+    }
+
+    let mut sequential_secs = f64::INFINITY;
+    let mut contended_secs = f64::INFINITY;
+    let mut sharded_secs = f64::INFINITY;
+    for _ in 0..reps {
+        let dir = bench_temp_dir("seq-agg");
+        let mut store = profstore::ProfileStore::open_with(&dir, config).expect("open bench store");
+        let t0 = Instant::now();
+        for name in &names {
+            for k in 0..PER_WRITER {
+                store.ingest(name, 2, k, &profile).expect("bench ingest");
+            }
+        }
+        sequential_secs = sequential_secs.min(t0.elapsed().as_secs_f64());
+        drop(store);
+        let _ = std::fs::remove_dir_all(&dir);
+
+        contended_secs = contended_secs.min(concurrent_ingest_secs(
+            "contended-agg",
+            1,
+            &names,
+            PER_WRITER,
+            &profile,
+            config,
+        ));
+        sharded_secs = sharded_secs.min(concurrent_ingest_secs(
+            "sharded-agg",
+            SHARDS,
+            &names,
+            PER_WRITER,
+            &profile,
+            config,
+        ));
+    }
+
+    let profiles = WRITERS as u64 * PER_WRITER;
+    ShardedIngest {
+        writers: WRITERS,
+        shards: SHARDS,
+        profiles,
+        sequential_profiles_per_sec: profiles as f64 / sequential_secs,
+        contended_profiles_per_sec: profiles as f64 / contended_secs,
+        sharded_profiles_per_sec: profiles as f64 / sharded_secs,
+    }
+}
+
 fn main() {
     let out_path = std::env::args()
         .nth(1)
@@ -469,7 +642,9 @@ fn main() {
         let mut session = Duration::MAX;
         for _ in 0..cfg.reps {
             base = base.min(uninstrumented_time(app, threads, cfg.scale, variant, 1));
-            legacy = legacy.min(legacy_instrumented_time(app, threads, cfg.scale, variant, 1));
+            legacy = legacy.min(legacy_instrumented_time(
+                app, threads, cfg.scale, variant, 1,
+            ));
             session = session.min(session_time(app, threads, cfg.scale, variant, 1));
         }
         let events = count_events(app, threads, cfg.scale, variant);
@@ -499,8 +674,14 @@ fn main() {
         .collect();
     print_table(
         &[
-            "app", "base s", "legacy s", "session s", "legacy ovh", "session ovh",
-            "legacy ns/ev", "session ns/ev",
+            "app",
+            "base s",
+            "legacy s",
+            "session s",
+            "legacy ovh",
+            "session ovh",
+            "legacy ns/ev",
+            "session ns/ev",
         ],
         &table,
     );
@@ -545,7 +726,10 @@ fn main() {
     // thermal noise; the microbench sections below are the controlled
     // measurement of what the sharding changed. Apps below the per-event
     // floor are excluded — their delta is noise, not signal.
-    let counted: Vec<&Row> = rows.iter().filter(|r| r.events >= PER_EVENT_FLOOR).collect();
+    let counted: Vec<&Row> = rows
+        .iter()
+        .filter(|r| r.events >= PER_EVENT_FLOOR)
+        .collect();
     let excluded: Vec<String> = rows
         .iter()
         .filter(|r| r.events < PER_EVENT_FLOOR)
@@ -570,7 +754,10 @@ fn main() {
         excluded.join(", ")
     ));
 
-    println!("\n-- hot-path microbenches (direct ThreadHooks driving, min of {} reps) --", cfg.reps);
+    println!(
+        "\n-- hot-path microbenches (direct ThreadHooks driving, min of {} reps) --",
+        cfg.reps
+    );
     let (steady, machinery, cycle) = run_microbenches(cfg.reps);
     let telemetry = telemetry_pair(cfg.reps);
     let telemetry_overhead_pct = if telemetry.legacy > 0.0 {
@@ -640,7 +827,7 @@ fn main() {
         ingest.bin_speedup()
     );
     json.push_str(&format!(
-        "  \"profile_ingest\": {{ \"description\": \"profile repository ingestion: {} identical 2-thread replayed profiles ({} bytes each) appended to the segment log; store = direct ProfileStore::ingest (sync_writes off); server_json = end-to-end through the TCP daemon over line-delimited JSON, one client, response awaited per ingest; server_bin = same daemon over the TPF1 binary framing, {} records per batched INGEST acknowledgement\", \"profiles\": {}, \"profile_bytes\": {}, \"store_profiles_per_sec\": {:.1}, \"store_bytes_per_sec\": {:.0}, \"server_json_profiles_per_sec\": {:.1}, \"server_json_bytes_per_sec\": {:.0}, \"server_bin_profiles_per_sec\": {:.1}, \"server_bin_bytes_per_sec\": {:.0}, \"bin_speedup\": {:.2} }}\n",
+        "  \"profile_ingest\": {{ \"description\": \"profile repository ingestion: {} identical 2-thread replayed profiles ({} bytes each) appended to the segment log; store = direct ProfileStore::ingest (sync_writes off); server_json = end-to-end through the TCP daemon over line-delimited JSON, one client, response awaited per ingest; server_bin = same daemon over the TPF1 binary framing, {} records per batched INGEST acknowledgement\", \"profiles\": {}, \"profile_bytes\": {}, \"store_profiles_per_sec\": {:.1}, \"store_bytes_per_sec\": {:.0}, \"server_json_profiles_per_sec\": {:.1}, \"server_json_bytes_per_sec\": {:.0}, \"server_bin_profiles_per_sec\": {:.1}, \"server_bin_bytes_per_sec\": {:.0}, \"bin_speedup\": {:.2} }},\n",
         ingest.profiles,
         ingest.profile_bytes,
         INGEST_BATCH,
@@ -653,6 +840,31 @@ fn main() {
         ingest.server_bin_profiles_per_sec,
         ingest.server_bin_bytes_per_sec,
         ingest.bin_speedup()
+    ));
+
+    let sharded = sharded_ingest_throughput(cfg.reps);
+    println!(
+        "  profile ingest (sharded) : {} writers: 1 shard {:.0} -> {} shards {:.0} profiles/s ({:.1}x; sequential ref {:.0})",
+        sharded.writers,
+        sharded.contended_profiles_per_sec,
+        sharded.shards,
+        sharded.sharded_profiles_per_sec,
+        sharded.speedup(),
+        sharded.sequential_profiles_per_sec
+    );
+    json.push_str(&format!(
+        "  \"sharded_ingest\": {{ \"description\": \"durable aggregate ingest (fsync per append, the acked-replication path) under a {}-writer concurrent load, one benchmark per writer: contended = all writers serializing on a one-shard repository's single log lock (the single-store behavior); sharded = the same load routed over {} shards, each writer appending — and overlapping its device flush — under its own lock; sequential = one thread on a plain single store, the uncontended reference; speedup = sharded over contended and additionally scales with available cores (this host exposes {})\", \"writers\": {}, \"shards\": {}, \"profiles\": {}, \"host_cpus\": {}, \"sequential_profiles_per_sec\": {:.1}, \"contended_profiles_per_sec\": {:.1}, \"sharded_profiles_per_sec\": {:.1}, \"speedup\": {:.2} }}\n",
+        sharded.writers,
+        sharded.shards,
+        host_cpus(),
+        sharded.writers,
+        sharded.shards,
+        sharded.profiles,
+        host_cpus(),
+        sharded.sequential_profiles_per_sec,
+        sharded.contended_profiles_per_sec,
+        sharded.sharded_profiles_per_sec,
+        sharded.speedup()
     ));
     json.push_str("}\n");
 

@@ -103,6 +103,33 @@ impl From<std::io::Error> for ClientError {
     }
 }
 
+/// One page of the bulk `EXPORT` stream: raw CRC-framed record frames
+/// plus the resume cursor.
+#[derive(Clone, Debug)]
+pub struct ExportPage {
+    /// Raw store frames (`len|payload|crc`), ascending run id.
+    pub frames: Vec<Vec<u8>>,
+    /// Highest run id covered by this page — pass as `after` to resume.
+    pub watermark: u64,
+    /// True when no runs exist beyond `watermark` (the follower has
+    /// caught up; poll again later for new ingests).
+    pub done: bool,
+}
+
+/// Acknowledgement of a bulk `APPLY`: how the follower disposed of the
+/// shipped frames and where its cursor now stands.
+#[derive(Clone, Copy, Debug)]
+pub struct ApplyAck {
+    /// Frames written (run ids the follower had not yet seen).
+    pub applied: u64,
+    /// Frames skipped as already present (`run_id <= watermark`) —
+    /// the exactly-once guarantee under retries.
+    pub skipped: u64,
+    /// The follower's replication cursor after the apply (its highest
+    /// indexed run id).
+    pub watermark: u64,
+}
+
 /// Acknowledgement returned by the deprecated [`Client::ingest`] shim;
 /// new code reads the richer [`IngestReceipt`].
 #[derive(Clone, Copy, Debug)]
@@ -163,14 +190,32 @@ impl Client {
         proto: WireProtocol,
         timeouts: ClientTimeouts,
     ) -> Result<Client, ClientError> {
+        Self::connect_proto_auth(addr, proto, timeouts, None)
+    }
+
+    /// Connect and authenticate. When `auth` is `Some`, the shared
+    /// secret travels in the `HELLO` — inside the TPF1 handshake on
+    /// binary connections, as an explicit `HELLO` line on JSON ones —
+    /// so every later request on the connection is authorized. A wrong
+    /// secret surfaces as a typed `unauthorized` server error.
+    pub fn connect_proto_auth(
+        addr: &str,
+        proto: WireProtocol,
+        timeouts: ClientTimeouts,
+        auth: Option<&str>,
+    ) -> Result<Client, ClientError> {
         match proto {
             WireProtocol::Json => {
                 let stream = Self::connect_stream(addr, timeouts)?;
-                Self::from_stream(stream, ActiveProto::Json)
+                let mut client = Self::from_stream(stream, ActiveProto::Json)?;
+                if let Some(secret) = auth {
+                    client.hello_json(secret)?;
+                }
+                Ok(client)
             }
             WireProtocol::Binary | WireProtocol::Auto => {
                 let stream = Self::connect_stream(addr, timeouts)?;
-                match Self::handshake_binary(stream) {
+                match Self::handshake_binary(stream, auth) {
                     Ok(client) => Ok(client),
                     Err(Handshake::Fatal(e)) => Err(e),
                     Err(Handshake::Refused(e)) => {
@@ -180,7 +225,11 @@ impl Client {
                         // Auto: reconnect and speak JSON. The failed
                         // socket is abandoned (the server closes it).
                         let stream = Self::connect_stream(addr, timeouts)?;
-                        Self::from_stream(stream, ActiveProto::Json)
+                        let mut client = Self::from_stream(stream, ActiveProto::Json)?;
+                        if let Some(secret) = auth {
+                            client.hello_json(secret)?;
+                        }
+                        Ok(client)
                     }
                 }
             }
@@ -232,13 +281,30 @@ impl Client {
         })
     }
 
+    /// Authenticate a JSON connection: send a `HELLO` line carrying the
+    /// shared secret and expect the hello acknowledgement back. A wrong
+    /// secret answers with a typed `unauthorized` error.
+    fn hello_json(&mut self, secret: &str) -> Result<(), ClientError> {
+        match self.expect(&Request::Hello {
+            version: wire::WIRE_VERSION,
+            features: 0,
+            auth: Some(secret.to_string()),
+        })? {
+            Response::Hello { .. } => Ok(()),
+            other => Err(ClientError::Protocol(format!(
+                "expected HELLO ack, got {other:?}"
+            ))),
+        }
+    }
+
     /// Send magic + `HELLO`, read the server's verdict.
-    fn handshake_binary(stream: TcpStream) -> Result<Client, Handshake> {
-        let mut client =
-            Self::from_stream(stream, ActiveProto::Binary { features: 0 }).map_err(Handshake::Refused)?;
+    fn handshake_binary(stream: TcpStream, auth: Option<&str>) -> Result<Client, Handshake> {
+        let mut client = Self::from_stream(stream, ActiveProto::Binary { features: 0 })
+            .map_err(Handshake::Refused)?;
         let hello = Request::Hello {
             version: wire::WIRE_VERSION,
             features: wire::FEATURE_BATCH_INGEST,
+            auth: auth.map(str::to_string),
         };
         let mut opening = Vec::with_capacity(64);
         opening.extend_from_slice(&wire::WIRE_MAGIC);
@@ -258,6 +324,16 @@ impl Client {
                 }
                 client.proto = ActiveProto::Binary { features };
                 Ok(client)
+            }
+            // A typed error inside the handshake frame (e.g. a wrong
+            // shared secret) is a real answer, not a refusal — a JSON
+            // retry would be refused identically.
+            Ok(Response::Error { kind, message }) => {
+                let e = ClientError::Server { kind, message };
+                match kind {
+                    ErrorKind::BadRequest => Err(Handshake::Refused(e)),
+                    _ => Err(Handshake::Fatal(e)),
+                }
             }
             Ok(other) => Err(Handshake::Refused(ClientError::Protocol(format!(
                 "expected HELLO, got {other:?}"
@@ -438,7 +514,11 @@ impl Client {
     }
 
     /// Cross-run scalar statistics across all stored runs.
-    pub fn query_stats(&mut self, benchmark: &str, threads: u32) -> Result<StatsReport, ClientError> {
+    pub fn query_stats(
+        &mut self,
+        benchmark: &str,
+        threads: u32,
+    ) -> Result<StatsReport, ClientError> {
         self.query_stats_window(benchmark, threads, RunWindow::default())
     }
 
@@ -558,6 +638,54 @@ impl Client {
         }
     }
 
+    /// Pull one page of raw record frames with run id > `after`, at
+    /// most `max` of them (the server additionally caps the page). The
+    /// returned watermark is the resume cursor for the next page.
+    pub fn export_frames(&mut self, after: u64, max: u64) -> Result<ExportPage, ClientError> {
+        match self.expect(&Request::Export { after, max })? {
+            Response::ExportChunk {
+                frames,
+                watermark,
+                done,
+            } => Ok(ExportPage {
+                frames,
+                watermark,
+                done,
+            }),
+            other => Err(ClientError::Protocol(format!(
+                "expected export chunk, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Ship raw record frames (from [`Client::export_frames`] against a
+    /// leader) to this server. Frames whose run id the server already
+    /// holds are skipped, making retries after a partition safe.
+    pub fn apply_frames(&mut self, frames: &[Vec<u8>]) -> Result<ApplyAck, ClientError> {
+        match self.expect(&Request::Apply {
+            frames: frames.to_vec(),
+        })? {
+            Response::Applied {
+                applied,
+                skipped,
+                watermark,
+            } => Ok(ApplyAck {
+                applied,
+                skipped,
+                watermark,
+            }),
+            other => Err(ClientError::Protocol(format!(
+                "expected apply ack, got {other:?}"
+            ))),
+        }
+    }
+
+    /// The server's replication cursor (highest indexed run id) — an
+    /// empty `APPLY` probes without writing.
+    pub fn replication_cursor(&mut self) -> Result<u64, ClientError> {
+        Ok(self.apply_frames(&[])?.watermark)
+    }
+
     /// Upgrade this connection to a live subscription. Consumes the
     /// client: after the server acknowledges, the connection carries
     /// pushed [`Notification`] events (periodic telemetry snapshots,
@@ -604,8 +732,12 @@ impl Client {
         timestamp_ns: Option<u64>,
         profile_text: &str,
     ) -> Result<IngestAck, ClientError> {
-        let receipt =
-            self.ingest_record(&Record::from_text(benchmark, threads, timestamp_ns, profile_text))?;
+        let receipt = self.ingest_record(&Record::from_text(
+            benchmark,
+            threads,
+            timestamp_ns,
+            profile_text,
+        ))?;
         Ok(IngestAck {
             run_id: receipt.run_id(),
             bytes: receipt.bytes,

@@ -45,16 +45,20 @@ pub mod client;
 pub mod json;
 pub mod protocol;
 mod reactor;
+pub mod replica;
 pub mod server;
 mod trace;
 pub mod wire;
 
-pub use client::{Client, ClientError, ClientTimeouts, IngestAck, Subscription};
+pub use client::{
+    ApplyAck, Client, ClientError, ClientTimeouts, ExportPage, IngestAck, Subscription,
+};
 pub use json::{parse as parse_json, Json, JsonError};
 pub use protocol::{
     ErrorKind, IngestReceipt, LatencyStat, Notification, ProfilePayload, Record, RegressReport,
     Request, Response, ServerStatsReport, StatsReport, TopReport, TrendReport, WireProtocol,
 };
+pub use replica::{replicate, ReplicaConfig, ReplicaReport};
 pub use server::{ServeConfig, Server, ServerHandle};
 
 #[cfg(test)]
@@ -206,7 +210,9 @@ mod tests {
         let mut client = Client::connect(&handle.addr().to_string()).expect("connect");
 
         let profile = sample_profile_text("shim", 600);
-        let ack = client.ingest("legacy", 2, Some(7), &profile).expect("shim ingest");
+        let ack = client
+            .ingest("legacy", 2, Some(7), &profile)
+            .expect("shim ingest");
         assert_eq!(ack.run_id, 1);
         let v = client.call(&Request::Stats).expect("shim call");
         assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true));
@@ -401,12 +407,19 @@ mod tests {
         // The drop is visible in telemetry and STATS.
         let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
         while handle.counters().snapshot().timeout_connections == 0 {
-            assert!(std::time::Instant::now() < deadline, "timeout never counted");
+            assert!(
+                std::time::Instant::now() < deadline,
+                "timeout never counted"
+            );
             std::thread::sleep(std::time::Duration::from_millis(5));
         }
         let mut client = Client::connect(&handle.addr().to_string()).expect("connect");
         let health = client.server_stats().expect("stats");
-        assert!(health.service.timeout_connections >= 1, "{:?}", health.service);
+        assert!(
+            health.service.timeout_connections >= 1,
+            "{:?}",
+            health.service
+        );
         handle.stop();
         drop((client, raw));
         join.join().expect("join").expect("run");

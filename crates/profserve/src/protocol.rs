@@ -23,7 +23,19 @@
 //! {"cmd":"QUERY","query":"trend","benchmark":"fib","threads":2,"buckets":16}
 //! {"cmd":"STATS"}                   or: "format":"prometheus"
 //! {"cmd":"SUBSCRIBE"}               optional: "interval_ms":N
+//! {"cmd":"EXPORT","after":N,"max":N}
+//! {"cmd":"APPLY","frames":["<hex>",…]}
 //! ```
+//!
+//! `HELLO` additionally accepts an optional `"auth":"<secret>"` member —
+//! required (on both protocols) when the server is configured with a
+//! shared secret; unauthenticated connections are limited to `HELLO`.
+//!
+//! `EXPORT`/`APPLY` are the replication verbs: a leader streams raw
+//! CRC-framed store record frames out of `EXPORT` pages and a follower
+//! ingests them via `APPLY`, exactly-once, resuming from its own
+//! watermark after any interruption. Over JSON the frames travel
+//! hex-encoded; over TPF1 they travel as raw bytes.
 //!
 //! Every `QUERY` additionally accepts an optional run window:
 //! `"last":N` (newest N runs) and/or `"since_ns":T` (runs stamped at or
@@ -66,6 +78,10 @@ pub enum ErrorKind {
     /// queries still work, ingests are refused until an operator frees
     /// disk space and restarts (or the store recovers).
     ReadOnly,
+    /// The server requires a shared secret and this connection has not
+    /// presented it (or presented the wrong one) in its `HELLO`.
+    /// Unauthenticated connections may only negotiate.
+    Unauthorized,
 }
 
 impl ErrorKind {
@@ -78,6 +94,7 @@ impl ErrorKind {
             ErrorKind::Internal => "internal",
             ErrorKind::TooLarge => "too_large",
             ErrorKind::ReadOnly => "read_only",
+            ErrorKind::Unauthorized => "unauthorized",
         }
     }
 
@@ -90,6 +107,7 @@ impl ErrorKind {
             "internal" => ErrorKind::Internal,
             "too_large" => ErrorKind::TooLarge,
             "read_only" => ErrorKind::ReadOnly,
+            "unauthorized" => ErrorKind::Unauthorized,
             _ => return None,
         })
     }
@@ -263,12 +281,17 @@ impl Record {
 #[derive(Clone, Debug, PartialEq)]
 pub enum Request {
     /// Version/feature negotiation (sent first on binary connections;
-    /// legal but unnecessary over JSON).
+    /// legal but optional over JSON — required there too when the server
+    /// is configured with a shared secret).
     Hello {
         /// Highest protocol version the client speaks.
         version: u32,
         /// Feature bitmask the client understands (see [`crate::wire`]).
         features: u64,
+        /// Shared secret authenticating this connection. A server with
+        /// no secret configured ignores it; a server with one refuses
+        /// everything but `HELLO` until a valid secret arrives.
+        auth: Option<String>,
     },
     /// Upload one profile.
     Ingest(Record),
@@ -334,6 +357,21 @@ pub enum Request {
     Subscribe {
         /// Telemetry snapshot period in ms (`None` = server default).
         interval_ms: Option<u64>,
+    },
+    /// One page of the bulk replication stream: raw store record frames
+    /// with run ids above `after`, ascending.
+    Export {
+        /// Replication cursor — highest run id the follower has applied.
+        after: u64,
+        /// Maximum frames in this page.
+        max: u64,
+    },
+    /// Apply exported record frames to this (follower) store. An empty
+    /// frame list is a cursor probe: the reply reports the follower's
+    /// current watermark without writing anything.
+    Apply {
+        /// Raw `len|payload|crc` record frames from [`Request::Export`].
+        frames: Vec<Vec<u8>>,
     },
 }
 
@@ -622,6 +660,26 @@ pub enum Response {
     },
     /// One pushed subscription event.
     Event(Notification),
+    /// One page of the replication stream (reply to [`Request::Export`]).
+    ExportChunk {
+        /// Raw `len|payload|crc` record frames, ascending run id.
+        frames: Vec<Vec<u8>>,
+        /// Highest run id included (or the request's `after` when the
+        /// page is empty) — the follower's next cursor.
+        watermark: u64,
+        /// True when no further frames existed past `watermark` at the
+        /// time of the export.
+        done: bool,
+    },
+    /// Apply acknowledgement (reply to [`Request::Apply`]).
+    Applied {
+        /// Frames written by this request.
+        applied: u64,
+        /// Frames skipped as already present (exactly-once replays).
+        skipped: u64,
+        /// The follower's highest applied run id after this request.
+        watermark: u64,
+    },
     /// Typed failure.
     Error {
         /// Category.
@@ -634,6 +692,39 @@ pub enum Response {
 // ---------------------------------------------------------------------
 // JSON codec — requests
 // ---------------------------------------------------------------------
+
+/// Lowercase hex rendering of raw bytes — how replication frames travel
+/// inside JSON strings (JSON cannot carry raw bytes).
+pub fn hex_encode(bytes: &[u8]) -> String {
+    const HEX: &[u8; 16] = b"0123456789abcdef";
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for &b in bytes {
+        out.push(HEX[usize::from(b >> 4)] as char);
+        out.push(HEX[usize::from(b & 0x0F)] as char);
+    }
+    out
+}
+
+/// Inverse of [`hex_encode`]; `Err` carries a `bad_request` explanation.
+pub fn hex_decode(s: &str) -> Result<Vec<u8>, String> {
+    fn nibble(c: u8) -> Result<u8, String> {
+        match c {
+            b'0'..=b'9' => Ok(c - b'0'),
+            b'a'..=b'f' => Ok(c - b'a' + 10),
+            b'A'..=b'F' => Ok(c - b'A' + 10),
+            _ => Err(format!("bad hex digit {:?}", c as char)),
+        }
+    }
+    let s = s.as_bytes();
+    if !s.len().is_multiple_of(2) {
+        return Err("odd hex length".to_string());
+    }
+    let mut out = Vec::with_capacity(s.len() / 2);
+    for pair in s.chunks_exact(2) {
+        out.push((nibble(pair[0])? << 4) | nibble(pair[1])?);
+    }
+    Ok(out)
+}
 
 fn need_str(v: &Json, key: &str) -> Result<String, String> {
     v.get(key)
@@ -705,6 +796,7 @@ impl Request {
                 version: u32::try_from(need_u64(&v, "version")?)
                     .map_err(|_| "version out of range".to_string())?,
                 features: v.get("features").and_then(Json::as_u64).unwrap_or(0),
+                auth: v.get("auth").and_then(Json::as_str).map(str::to_string),
             }),
             "INGEST" => Ok(Request::Ingest(record_from_json(&v)?)),
             "INGEST_BATCH" => {
@@ -762,6 +854,25 @@ impl Request {
             "SUBSCRIBE" => Ok(Request::Subscribe {
                 interval_ms: v.get("interval_ms").and_then(Json::as_u64),
             }),
+            "EXPORT" => Ok(Request::Export {
+                after: need_u64(&v, "after")?,
+                max: need_u64(&v, "max")?,
+            }),
+            "APPLY" => {
+                let frames = v
+                    .get("frames")
+                    .and_then(Json::as_arr)
+                    .ok_or_else(|| "missing or non-array 'frames'".to_string())?;
+                frames
+                    .iter()
+                    .map(|f| {
+                        f.as_str()
+                            .ok_or_else(|| "non-string frame".to_string())
+                            .and_then(hex_decode)
+                    })
+                    .collect::<Result<Vec<_>, _>>()
+                    .map(|frames| Request::Apply { frames })
+            }
             other => Err(format!("unknown cmd '{other}'")),
         }
     }
@@ -771,11 +882,21 @@ impl Request {
     /// strings cannot carry raw bytes.
     pub fn to_json_line(&self) -> String {
         let v = match self {
-            Request::Hello { version, features } => Json::obj(vec![
-                ("cmd", Json::str("HELLO")),
-                ("version", Json::num(u64::from(*version))),
-                ("features", Json::num(*features)),
-            ]),
+            Request::Hello {
+                version,
+                features,
+                auth,
+            } => {
+                let mut members = vec![
+                    ("cmd", Json::str("HELLO")),
+                    ("version", Json::num(u64::from(*version))),
+                    ("features", Json::num(*features)),
+                ];
+                if let Some(secret) = auth {
+                    members.push(("auth", Json::str(secret.clone())));
+                }
+                Json::obj(members)
+            }
             Request::Ingest(record) => record_to_json(record, Some("INGEST")),
             Request::IngestBatch(items) => Json::obj(vec![
                 ("cmd", Json::str("INGEST_BATCH")),
@@ -870,6 +991,18 @@ impl Request {
                 }
                 Json::obj(members)
             }
+            Request::Export { after, max } => Json::obj(vec![
+                ("cmd", Json::str("EXPORT")),
+                ("after", Json::num(*after)),
+                ("max", Json::num(*max)),
+            ]),
+            Request::Apply { frames } => Json::obj(vec![
+                ("cmd", Json::str("APPLY")),
+                (
+                    "frames",
+                    Json::Arr(frames.iter().map(|f| Json::str(hex_encode(f))).collect()),
+                ),
+            ]),
         };
         v.to_string()
     }
@@ -1073,7 +1206,8 @@ impl Response {
                     .regions
                     .iter()
                     .map(|row| {
-                        let mut members = vec![("region".to_string(), Json::str(row.region.clone()))];
+                        let mut members =
+                            vec![("region".to_string(), Json::str(row.region.clone()))];
                         if let Json::Obj(mm) = metric_obj(&row.metric) {
                             members.extend(mm);
                         }
@@ -1177,6 +1311,31 @@ impl Response {
                 }
                 Json::obj(members).to_string()
             }
+            Response::ExportChunk {
+                frames,
+                watermark,
+                done,
+            } => Json::obj(vec![
+                ("ok", Json::Bool(true)),
+                (
+                    "frames",
+                    Json::Arr(frames.iter().map(|f| Json::str(hex_encode(f))).collect()),
+                ),
+                ("watermark", Json::num(*watermark)),
+                ("done", Json::Bool(*done)),
+            ])
+            .to_string(),
+            Response::Applied {
+                applied,
+                skipped,
+                watermark,
+            } => Json::obj(vec![
+                ("ok", Json::Bool(true)),
+                ("applied", Json::num(*applied)),
+                ("skipped", Json::num(*skipped)),
+                ("watermark", Json::num(*watermark)),
+            ])
+            .to_string(),
             Response::Error { kind, message } => Json::obj(vec![
                 ("ok", Json::Bool(false)),
                 (
@@ -1254,6 +1413,27 @@ impl Response {
                 version: u32::try_from(need_u64(h, "version")?)
                     .map_err(|_| "version out of range".to_string())?,
                 features: h.get("features").and_then(Json::as_u64).unwrap_or(0),
+            });
+        }
+        if let Some(frames) = v.get("frames").and_then(Json::as_arr) {
+            return Ok(Response::ExportChunk {
+                frames: frames
+                    .iter()
+                    .map(|f| {
+                        f.as_str()
+                            .ok_or_else(|| "non-string frame".to_string())
+                            .and_then(hex_decode)
+                    })
+                    .collect::<Result<Vec<_>, String>>()?,
+                watermark: need_u64(&v, "watermark")?,
+                done: v.get("done").and_then(Json::as_bool).unwrap_or(false),
+            });
+        }
+        if v.get("applied").is_some() {
+            return Ok(Response::Applied {
+                applied: need_u64(&v, "applied")?,
+                skipped: need_u64(&v, "skipped")?,
+                watermark: need_u64(&v, "watermark")?,
             });
         }
         if v.get("run_id").is_some() {
@@ -1387,6 +1567,17 @@ mod tests {
             Request::Hello {
                 version: 1,
                 features: 1,
+                auth: None,
+            },
+            Request::Hello {
+                version: 1,
+                features: 1,
+                auth: Some("s3cret".into()),
+            },
+            Request::Export { after: 7, max: 512 },
+            Request::Apply { frames: Vec::new() },
+            Request::Apply {
+                frames: vec![vec![0x00, 0xFF, 0x10], vec![0xAB]],
             },
             Request::Ingest(Record::from_text(
                 "fib",
@@ -1552,9 +1743,28 @@ mod tests {
                 threads: 2,
             }),
             Response::Event(Notification::Lagged { dropped: 17 }),
+            Response::ExportChunk {
+                frames: vec![vec![1, 2, 3, 254], Vec::new()],
+                watermark: 41,
+                done: false,
+            },
+            Response::ExportChunk {
+                frames: Vec::new(),
+                watermark: 41,
+                done: true,
+            },
+            Response::Applied {
+                applied: 12,
+                skipped: 3,
+                watermark: 41,
+            },
             Response::Error {
                 kind: ErrorKind::NotFound,
                 message: "no such group".into(),
+            },
+            Response::Error {
+                kind: ErrorKind::Unauthorized,
+                message: "auth required".into(),
             },
         ];
         for r in resps {
@@ -1581,9 +1791,30 @@ mod tests {
         )
         .unwrap_err()
         .contains("nope"));
-        assert!(Request::from_json_line("{\"cmd\":\"INGEST_BATCH\",\"items\":7}")
+        assert!(
+            Request::from_json_line("{\"cmd\":\"INGEST_BATCH\",\"items\":7}")
+                .unwrap_err()
+                .contains("items")
+        );
+        assert!(Request::from_json_line("{\"cmd\":\"APPLY\",\"frames\":7}")
             .unwrap_err()
-            .contains("items"));
+            .contains("frames"));
+        assert!(
+            Request::from_json_line("{\"cmd\":\"APPLY\",\"frames\":[\"xy\"]}")
+                .unwrap_err()
+                .contains("hex")
+        );
+    }
+
+    #[test]
+    fn hex_round_trips_and_rejects_garbage() {
+        for bytes in [&b""[..], &[0u8][..], &[0x00, 0x7F, 0x80, 0xFF][..]] {
+            let s = hex_encode(bytes);
+            assert_eq!(hex_decode(&s).expect("decode"), bytes);
+        }
+        assert_eq!(hex_decode("AbCd").expect("mixed case"), vec![0xAB, 0xCD]);
+        assert!(hex_decode("a").is_err());
+        assert!(hex_decode("zz").is_err());
     }
 
     #[test]
@@ -1593,7 +1824,10 @@ mod tests {
         assert_eq!(v.get("ok").and_then(Json::as_bool), Some(false));
         let e = v.get("error").expect("error member");
         assert_eq!(e.get("kind").and_then(Json::as_str), Some("overloaded"));
-        assert_eq!(ErrorKind::from_tag("bad_request"), Some(ErrorKind::BadRequest));
+        assert_eq!(
+            ErrorKind::from_tag("bad_request"),
+            Some(ErrorKind::BadRequest)
+        );
         assert_eq!(ErrorKind::from_tag("???"), None);
     }
 

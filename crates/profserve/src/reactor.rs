@@ -302,11 +302,12 @@ mod pollfd {
             events: &mut Vec<(RawFd, Readiness)>,
         ) -> std::io::Result<()> {
             self.scratch.clear();
-            self.scratch.extend(self.interest.iter().map(|&(fd, w)| PollFd {
-                fd,
-                events: POLLIN | if w { POLLOUT } else { 0 },
-                revents: 0,
-            }));
+            self.scratch
+                .extend(self.interest.iter().map(|&(fd, w)| PollFd {
+                    fd,
+                    events: POLLIN | if w { POLLOUT } else { 0 },
+                    revents: 0,
+                }));
             let timeout_ms = timeout.as_millis().min(i32::MAX as u128) as i32;
             let n = unsafe { poll(self.scratch.as_mut_ptr(), self.scratch.len(), timeout_ms) };
             if n < 0 {
@@ -395,6 +396,10 @@ struct Conn {
     /// Events shed since the subscriber last kept up; reported in a
     /// `lagged` notice once the queue drains below the cap.
     sub_dropped: u64,
+    /// A `HELLO` on this connection presented the server's shared
+    /// secret (always false when no secret is configured — the gate is
+    /// then never consulted).
+    authed: bool,
 }
 
 impl Conn {
@@ -415,6 +420,7 @@ impl Conn {
             sub_interval: None,
             next_push: Instant::now(),
             sub_dropped: 0,
+            authed: false,
         }
     }
 
@@ -492,7 +498,9 @@ fn run_with<P: Poller>(
             .values()
             .filter_map(|c| c.deadline)
             .min()
-            .map_or(TICK, |d| d.saturating_duration_since(Instant::now()).min(TICK));
+            .map_or(TICK, |d| {
+                d.saturating_duration_since(Instant::now()).min(TICK)
+            });
 
         events.clear();
         poller.wait(timeout, &mut events)?;
@@ -580,7 +588,10 @@ fn accept_ready<P: Poller>(
             let _ = writeln!(
                 stream,
                 "{}",
-                error_line(ErrorKind::Overloaded, "connection limit reached; retry later")
+                error_line(
+                    ErrorKind::Overloaded,
+                    "connection limit reached; retry later"
+                )
             );
             continue;
         }
@@ -639,23 +650,26 @@ fn apply_effects(conn: &mut Conn, effects: crate::server::ServeEffects) -> Optio
         // Push-mode connections idle between events by design.
         conn.deadline = None;
     }
+    conn.authed |= effects.authed;
     effects.ingested
 }
 
 /// Serve one JSON line through the shared core with panic isolation.
 /// Returns an ingest notification to fan out, if the request stored runs.
 fn serve_json(conn: &mut Conn, shared: &Arc<Shared>, line: &str) -> Option<Notification> {
-    let (reply, effects) =
-        match catch_unwind(AssertUnwindSafe(|| serve_json_line(shared, line, true))) {
-            Ok(pair) => pair,
-            Err(_) => {
-                shared.counters.panic();
-                (
-                    error_line(ErrorKind::Internal, "request handler panicked (isolated)"),
-                    Default::default(),
-                )
-            }
-        };
+    let authed = conn.authed;
+    let (reply, effects) = match catch_unwind(AssertUnwindSafe(|| {
+        serve_json_line(shared, line, true, authed)
+    })) {
+        Ok(pair) => pair,
+        Err(_) => {
+            shared.counters.panic();
+            (
+                error_line(ErrorKind::Internal, "request handler panicked (isolated)"),
+                Default::default(),
+            )
+        }
+    };
     conn.out.extend_from_slice(reply.as_bytes());
     conn.out.push(b'\n');
     apply_effects(conn, effects)
@@ -664,20 +678,22 @@ fn serve_json(conn: &mut Conn, shared: &Arc<Shared>, line: &str) -> Option<Notif
 /// Serve one binary payload through the shared core with panic isolation.
 /// Returns an ingest notification to fan out, if the request stored runs.
 fn serve_bin(conn: &mut Conn, shared: &Arc<Shared>, payload: &[u8]) -> Option<Notification> {
-    let (response, effects) =
-        match catch_unwind(AssertUnwindSafe(|| serve_bin_payload(shared, payload, true))) {
-            Ok(pair) => pair,
-            Err(_) => {
-                shared.counters.panic();
-                (
-                    Response::Error {
-                        kind: ErrorKind::Internal,
-                        message: "request handler panicked (isolated)".into(),
-                    },
-                    Default::default(),
-                )
-            }
-        };
+    let authed = conn.authed;
+    let (response, effects) = match catch_unwind(AssertUnwindSafe(|| {
+        serve_bin_payload(shared, payload, true, authed)
+    })) {
+        Ok(pair) => pair,
+        Err(_) => {
+            shared.counters.panic();
+            (
+                Response::Error {
+                    kind: ErrorKind::Internal,
+                    message: "request handler panicked (isolated)".into(),
+                },
+                Default::default(),
+            )
+        }
+    };
     conn.out
         .extend_from_slice(&wire::frame(&wire::encode_response(&response)));
     apply_effects(conn, effects)
@@ -709,7 +725,10 @@ fn process(conn: &mut Conn, shared: &Arc<Shared>) -> Vec<Notification> {
                     }
                     if conn.buf.starts_with(&wire::WIRE_MAGIC) {
                         if shared.config.protocols == WireProtocol::Json {
-                            refuse(conn, "binary protocol disabled on this server (--proto json)");
+                            refuse(
+                                conn,
+                                "binary protocol disabled on this server (--proto json)",
+                            );
                             break;
                         }
                         conn.buf.drain(..wire::WIRE_MAGIC.len());
@@ -865,11 +884,13 @@ fn push_event<P: Poller>(
         let lagged = Notification::Lagged {
             dropped: conn.sub_dropped,
         };
-        conn.out.extend_from_slice(&encode_event(&lagged, &conn.proto));
+        conn.out
+            .extend_from_slice(&encode_event(&lagged, &conn.proto));
         shared.counters.sub_events(1);
         conn.sub_dropped = 0;
     }
-    conn.out.extend_from_slice(&encode_event(event, &conn.proto));
+    conn.out
+        .extend_from_slice(&encode_event(event, &conn.proto));
     shared.counters.sub_events(1);
     flush(conn, poller, shared);
 }
@@ -1005,7 +1026,7 @@ mod tests {
         ));
         let store = profstore::ProfileStore::open(&dir).expect("store");
         let shared = Arc::new(Shared {
-            store: std::sync::RwLock::new(store),
+            store: std::sync::RwLock::new(store.into()),
             counters: taskprof_telemetry::ServiceCounters::new(),
             permits: std::sync::atomic::AtomicUsize::new(4),
             stop: std::sync::atomic::AtomicBool::new(false),
@@ -1014,6 +1035,8 @@ mod tests {
             latency: crate::trace::RequestLatency::default(),
             open_ns: now_ns(),
             started: Instant::now(),
+            exported_frames: std::sync::atomic::AtomicU64::new(0),
+            applied_frames: std::sync::atomic::AtomicU64::new(0),
         });
         let loop_shared = Arc::clone(&shared);
         let join = std::thread::spawn(move || {
@@ -1026,7 +1049,10 @@ mod tests {
         let mut reader = BufReader::new(json.try_clone().expect("clone"));
         let mut line = String::new();
         reader.read_line(&mut line).expect("read");
-        assert!(line.contains("\"ok\":true"), "stats over poll backend: {line}");
+        assert!(
+            line.contains("\"ok\":true"),
+            "stats over poll backend: {line}"
+        );
 
         // Binary frame in, binary frame out.
         let mut bin = TcpStream::connect(addr).expect("connect");
@@ -1034,6 +1060,7 @@ mod tests {
         let hello = wire::encode_request(&crate::protocol::Request::Hello {
             version: wire::WIRE_VERSION,
             features: wire::FEATURE_BATCH_INGEST,
+            auth: None,
         });
         bin.write_all(&wire::frame(&hello)).expect("hello");
         let mut head = [0u8; 4];

@@ -40,9 +40,9 @@ use crate::protocol::{
 };
 use crate::trace::{verb_index, ReqProto, RequestLatency};
 use crate::wire;
-use profstore::{is_enospc, ProfileStore, RegressConfig, RunSummary, StoreError};
+use profstore::{is_enospc, RegressConfig, Repo, RetentionPolicy, RunSummary, StoreError};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, RwLock};
 use std::time::{Duration, Instant};
 use taskprof_telemetry::ServiceCounters;
@@ -78,6 +78,15 @@ pub struct ServeConfig {
     /// reported with a typed `lagged` notice) so a stalled subscriber
     /// never blocks ingest or other connections.
     pub subscriber_queue_bytes: usize,
+    /// Shared secret required from every connection (`None` = open).
+    /// When set, a connection may only `HELLO` until it presents the
+    /// secret; everything else earns a typed `unauthorized` error.
+    /// Compared constant-time, so the reply latency leaks nothing about
+    /// how many leading bytes matched.
+    pub auth_secret: Option<String>,
+    /// Retention policy applied by the background compactor (`None`
+    /// keeps everything forever). GC runs on the compaction cadence.
+    pub retention: Option<RetentionPolicy>,
 }
 
 impl Default for ServeConfig {
@@ -92,6 +101,8 @@ impl Default for ServeConfig {
             protocols: WireProtocol::Auto,
             subscribe_interval: Duration::from_millis(500),
             subscriber_queue_bytes: 256 << 10,
+            auth_secret: None,
+            retention: None,
         }
     }
 }
@@ -101,7 +112,7 @@ impl Default for ServeConfig {
 pub(crate) const REACTOR_TICK: Duration = Duration::from_millis(50);
 
 pub(crate) struct Shared {
-    pub(crate) store: RwLock<ProfileStore>,
+    pub(crate) store: RwLock<Repo>,
     pub(crate) counters: Arc<ServiceCounters>,
     #[cfg_attr(unix, allow(dead_code))]
     pub(crate) permits: AtomicUsize,
@@ -116,6 +127,10 @@ pub(crate) struct Shared {
     pub(crate) open_ns: u64,
     /// Monotonic start instant, for `uptime_secs`.
     pub(crate) started: Instant,
+    /// Frames handed out through `EXPORT` since start (leader side).
+    pub(crate) exported_frames: AtomicU64,
+    /// Frames written through `APPLY` since start (follower side).
+    pub(crate) applied_frames: AtomicU64,
     pub(crate) config: ServeConfig,
 }
 
@@ -180,11 +195,16 @@ pub struct Server {
 
 impl Server {
     /// Bind `addr` (e.g. `127.0.0.1:0` for an ephemeral port) over an
-    /// already-open store.
-    pub fn bind(addr: &str, store: ProfileStore, config: ServeConfig) -> std::io::Result<Server> {
+    /// already-open repository (a bare [`profstore::ProfileStore`] or a
+    /// [`profstore::ShardedStore`] — both convert into [`Repo`]).
+    pub fn bind(
+        addr: &str,
+        store: impl Into<Repo>,
+        config: ServeConfig,
+    ) -> std::io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let shared = Arc::new(Shared {
-            store: RwLock::new(store),
+            store: RwLock::new(store.into()),
             counters: ServiceCounters::new(),
             permits: AtomicUsize::new(config.max_connections),
             stop: AtomicBool::new(false),
@@ -192,6 +212,8 @@ impl Server {
             latency: RequestLatency::default(),
             open_ns: now_ns(),
             started: Instant::now(),
+            exported_frames: AtomicU64::new(0),
+            applied_frames: AtomicU64::new(0),
             config,
         });
         Ok(Server { listener, shared })
@@ -231,6 +253,9 @@ impl Server {
                     }
                     if let Ok(mut store) = shared.store.write() {
                         let _ = store.compact();
+                        if let Some(policy) = &shared.config.retention {
+                            let _ = store.gc(policy);
+                        }
                     }
                 }
             })
@@ -257,7 +282,7 @@ impl Server {
     /// Bind + run on a background thread; the returned handle stops it.
     pub fn spawn(
         addr: &str,
-        store: ProfileStore,
+        store: impl Into<Repo>,
         config: ServeConfig,
     ) -> std::io::Result<(ServerHandle, std::thread::JoinHandle<std::io::Result<()>>)> {
         let server = Server::bind(addr, store, config)?;
@@ -288,9 +313,30 @@ fn error(kind: ErrorKind, message: impl Into<String>) -> Response {
 fn store_error(e: &StoreError) -> Response {
     match e {
         StoreError::NotFound(_) => error(ErrorKind::NotFound, e.to_string()),
+        StoreError::BadFrame { .. } => error(ErrorKind::BadRequest, e.to_string()),
         _ => error(ErrorKind::Internal, e.to_string()),
     }
 }
+
+/// Constant-time string equality: fold every byte position with XOR so
+/// the comparison touches the same bytes whether or not prefixes match,
+/// leaking only the configured secret's length.
+pub(crate) fn constant_time_eq(configured: &str, presented: &str) -> bool {
+    let a = configured.as_bytes();
+    let b = presented.as_bytes();
+    let mut diff = a.len() ^ b.len();
+    for i in 0..a.len().max(b.len()) {
+        let x = a.get(i).copied().unwrap_or(0);
+        let y = b.get(i).copied().unwrap_or(0);
+        diff |= usize::from(x ^ y);
+    }
+    diff == 0
+}
+
+/// Frames-per-page ceiling the `EXPORT` handler enforces regardless of
+/// what the client asked for, so one reply never approaches the
+/// response size cap.
+const EXPORT_MAX_FRAMES: u64 = 4096;
 
 /// Aggregate one group, mapping an empty group to `not_found` — queries
 /// against a benchmark/threads pair nobody ingested should say so, not
@@ -334,10 +380,18 @@ pub(crate) fn server_stats_report(shared: &Shared) -> ServerStatsReport {
 fn stats_prometheus(shared: &Shared) -> String {
     use std::fmt::Write as _;
     let report = server_stats_report(shared);
+    let (per_shard, watermark) = {
+        let store = shared.store.read().expect("store lock");
+        (store.per_shard_stats(), store.max_run_id())
+    };
     let mut text = taskprof_telemetry::service_to_prometheus(&report.service);
     text.push_str(&shared.latency.to_prometheus());
     for (name, help, value) in [
-        ("profserve_store_runs", "Runs in the store.", report.store.runs),
+        (
+            "profserve_store_runs",
+            "Runs in the store.",
+            report.store.runs,
+        ),
         (
             "profserve_store_segments",
             "Segments in the store.",
@@ -358,10 +412,56 @@ fn stats_prometheus(shared: &Shared) -> String {
             "1 when degraded to read-only after ENOSPC.",
             u64::from(report.read_only),
         ),
+        (
+            "profserve_store_max_run_id",
+            "Highest run id indexed (the replication watermark).",
+            watermark,
+        ),
     ] {
         let _ = writeln!(text, "# HELP {name} {help}");
         let _ = writeln!(text, "# TYPE {name} gauge");
         let _ = writeln!(text, "{name} {value}");
+    }
+    for (name, help, value) in [
+        (
+            "profserve_export_frames_total",
+            "Record frames streamed out through EXPORT.",
+            shared.exported_frames.load(Ordering::Relaxed),
+        ),
+        (
+            "profserve_apply_frames_total",
+            "Record frames written through APPLY.",
+            shared.applied_frames.load(Ordering::Relaxed),
+        ),
+    ] {
+        let _ = writeln!(text, "# HELP {name} {help}");
+        let _ = writeln!(text, "# TYPE {name} counter");
+        let _ = writeln!(text, "{name} {value}");
+    }
+    // Per-shard shape gauges (one series per shard; a single store is
+    // shard 0), so an operator can see imbalance at a glance.
+    for (metric, help, pick) in [
+        (
+            "profserve_shard_runs",
+            "Runs indexed in one shard.",
+            (|s: &profstore::StoreStats| s.runs) as fn(&profstore::StoreStats) -> u64,
+        ),
+        (
+            "profserve_shard_segments",
+            "Segments in one shard.",
+            |s: &profstore::StoreStats| s.segments,
+        ),
+        (
+            "profserve_shard_bytes",
+            "Bytes across one shard's segments.",
+            |s: &profstore::StoreStats| s.bytes,
+        ),
+    ] {
+        let _ = writeln!(text, "# HELP {metric} {help}");
+        let _ = writeln!(text, "# TYPE {metric} gauge");
+        for (k, stats) in per_shard.iter().enumerate() {
+            let _ = writeln!(text, "{metric}{{shard=\"{k}\"}} {}", pick(stats));
+        }
     }
     text
 }
@@ -537,6 +637,76 @@ pub(crate) fn respond(shared: &Shared, request: Request) -> Response {
             ErrorKind::BadRequest,
             "SUBSCRIBE requires the streaming reactor transport",
         ),
+        Request::Export { after, max } => {
+            shared.counters.query();
+            if max == 0 {
+                return error(ErrorKind::BadRequest, "export needs max > 0");
+            }
+            let page = {
+                let store = shared.store.read().expect("store lock");
+                store.export_frames(after, max.min(EXPORT_MAX_FRAMES) as usize)
+            };
+            match page {
+                Ok(batch) => {
+                    shared
+                        .exported_frames
+                        .fetch_add(batch.frames.len() as u64, Ordering::Relaxed);
+                    Response::ExportChunk {
+                        frames: batch.frames,
+                        watermark: batch.watermark,
+                        done: batch.done,
+                    }
+                }
+                Err(e) => store_error(&e),
+            }
+        }
+        Request::Apply { frames } => {
+            if frames.is_empty() {
+                // Cursor probe: report the watermark, write nothing.
+                let store = shared.store.read().expect("store lock");
+                return Response::Applied {
+                    applied: 0,
+                    skipped: 0,
+                    watermark: store.max_run_id(),
+                };
+            }
+            if shared.read_only.load(Ordering::SeqCst) {
+                return error(
+                    ErrorKind::ReadOnly,
+                    "store degraded to read-only after ENOSPC; applies refused",
+                );
+            }
+            let mut applied = 0u64;
+            let mut skipped = 0u64;
+            let mut store = shared.store.write().expect("store lock");
+            for frame in &frames {
+                match store.apply_frame(frame) {
+                    Ok(Some(receipt)) => {
+                        applied += 1;
+                        shared.counters.ingest(receipt.bytes);
+                        shared.applied_frames.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Ok(None) => skipped += 1,
+                    Err(StoreError::Io(e)) if is_enospc(&e) => {
+                        shared.read_only.store(true, Ordering::SeqCst);
+                        return error(
+                            ErrorKind::ReadOnly,
+                            format!(
+                                "disk full (ENOSPC): store degraded to read-only \
+                                 ({applied} of {} frames applied)",
+                                frames.len()
+                            ),
+                        );
+                    }
+                    Err(e) => return store_error(&e),
+                }
+            }
+            Response::Applied {
+                applied,
+                skipped,
+                watermark: store.max_run_id(),
+            }
+        }
     }
 }
 
@@ -556,6 +726,37 @@ pub(crate) struct ServeEffects {
     /// The request stored runs: fan this notification out to live
     /// subscribers.
     pub(crate) ingested: Option<Notification>,
+    /// The request was a `HELLO` carrying the configured shared secret:
+    /// mark the connection authenticated for its remaining lifetime.
+    pub(crate) authed: bool,
+}
+
+/// Enforce the shared-secret gate, if one is configured. Returns the
+/// refusal to send, or `None` to let the request through (setting
+/// `effects.authed` when a `HELLO` presents the right secret).
+fn auth_gate(
+    shared: &Shared,
+    request: &Request,
+    authed: bool,
+    effects: &mut ServeEffects,
+) -> Option<Response> {
+    let secret = shared.config.auth_secret.as_deref()?;
+    match request {
+        Request::Hello { auth, .. } => match auth.as_deref() {
+            Some(presented) if constant_time_eq(secret, presented) => {
+                effects.authed = true;
+                None
+            }
+            Some(_) => Some(error(ErrorKind::Unauthorized, "invalid auth secret")),
+            // A bare HELLO still negotiates — it just grants nothing.
+            None => None,
+        },
+        _ if authed => None,
+        _ => Some(error(
+            ErrorKind::Unauthorized,
+            "auth required: HELLO with the shared secret first",
+        )),
+    }
 }
 
 /// Dispatch one parsed (or unparsable) request, recording the handling
@@ -566,45 +767,49 @@ fn serve_parsed(
     parsed: Result<Request, String>,
     proto: ReqProto,
     allow_subscribe: bool,
+    authed: bool,
 ) -> (Response, ServeEffects) {
     let mut effects = ServeEffects::default();
     let response = match parsed {
         Ok(request) => {
             let verb = verb_index(&request);
             let start = Instant::now();
-            let response = match request {
-                Request::Subscribe { interval_ms } if allow_subscribe => {
-                    // Clamp below at the reactor tick: pushes cannot be
-                    // more frequent than the loop that emits them.
-                    let ms = interval_ms
-                        .unwrap_or(shared.config.subscribe_interval.as_millis() as u64)
-                        .max(REACTOR_TICK.as_millis() as u64);
-                    shared.counters.subscription();
-                    effects.subscribed = Some(Duration::from_millis(ms));
-                    Response::Subscribed { interval_ms: ms }
-                }
-                request => {
-                    let group = match &request {
-                        Request::Ingest(r) => Some((r.benchmark.clone(), r.threads)),
-                        Request::IngestBatch(items) => {
-                            items.first().map(|r| (r.benchmark.clone(), r.threads))
-                        }
-                        _ => None,
-                    };
-                    let response = respond(shared, request);
-                    if let (Some((benchmark, threads)), Response::Ingest(receipt)) =
-                        (group, &response)
-                    {
-                        effects.ingested = Some(Notification::Ingest {
-                            first_run_id: receipt.first_run_id,
-                            count: receipt.count,
-                            bytes: receipt.bytes,
-                            benchmark,
-                            threads,
-                        });
+            let response = match auth_gate(shared, &request, authed, &mut effects) {
+                Some(refusal) => refusal,
+                None => match request {
+                    Request::Subscribe { interval_ms } if allow_subscribe => {
+                        // Clamp below at the reactor tick: pushes cannot be
+                        // more frequent than the loop that emits them.
+                        let ms = interval_ms
+                            .unwrap_or(shared.config.subscribe_interval.as_millis() as u64)
+                            .max(REACTOR_TICK.as_millis() as u64);
+                        shared.counters.subscription();
+                        effects.subscribed = Some(Duration::from_millis(ms));
+                        Response::Subscribed { interval_ms: ms }
                     }
-                    response
-                }
+                    request => {
+                        let group = match &request {
+                            Request::Ingest(r) => Some((r.benchmark.clone(), r.threads)),
+                            Request::IngestBatch(items) => {
+                                items.first().map(|r| (r.benchmark.clone(), r.threads))
+                            }
+                            _ => None,
+                        };
+                        let response = respond(shared, request);
+                        if let (Some((benchmark, threads)), Response::Ingest(receipt)) =
+                            (group, &response)
+                        {
+                            effects.ingested = Some(Notification::Ingest {
+                                first_run_id: receipt.first_run_id,
+                                count: receipt.count,
+                                bytes: receipt.bytes,
+                                benchmark,
+                                threads,
+                            });
+                        }
+                        response
+                    }
+                },
             };
             shared
                 .latency
@@ -623,6 +828,7 @@ pub(crate) fn serve_json_line(
     shared: &Shared,
     line: &str,
     allow_subscribe: bool,
+    authed: bool,
 ) -> (String, ServeEffects) {
     shared.counters.json_request();
     let (response, effects) = serve_parsed(
@@ -630,6 +836,7 @@ pub(crate) fn serve_json_line(
         Request::from_json_line(line),
         ReqProto::Json,
         allow_subscribe,
+        authed,
     );
     (response.to_json_line(), effects)
 }
@@ -640,6 +847,7 @@ pub(crate) fn serve_bin_payload(
     shared: &Shared,
     payload: &[u8],
     allow_subscribe: bool,
+    authed: bool,
 ) -> (Response, ServeEffects) {
     shared.counters.bin_request();
     serve_parsed(
@@ -647,13 +855,16 @@ pub(crate) fn serve_bin_payload(
         wire::decode_request(payload).map_err(|e| e.to_string()),
         ReqProto::Bin,
         allow_subscribe,
+        authed,
     )
 }
 
-/// Serve one JSON request line without streaming support (legacy path).
+/// Serve one JSON request line without streaming support (legacy path);
+/// returns the response line plus the connection's updated auth state.
 #[cfg_attr(unix, allow(dead_code))]
-pub(crate) fn handle_json_line(shared: &Shared, line: &str) -> String {
-    serve_json_line(shared, line, false).0
+pub(crate) fn handle_json_line(shared: &Shared, line: &str, authed: bool) -> (String, bool) {
+    let (line, effects) = serve_json_line(shared, line, false, authed);
+    (line, authed || effects.authed)
 }
 
 // ---------------------------------------------------------------------
@@ -689,7 +900,10 @@ mod legacy {
                 let _ = writeln!(
                     stream,
                     "{}",
-                    error_line(ErrorKind::Overloaded, "connection limit reached; retry later")
+                    error_line(
+                        ErrorKind::Overloaded,
+                        "connection limit reached; retry later"
+                    )
                 );
                 continue;
             }
@@ -768,6 +982,7 @@ mod legacy {
             Err(_) => return,
         };
         let mut reader = BufReader::new(stream);
+        let mut authed = false;
         loop {
             let line = match read_bounded_line(&mut reader, shared.config.max_request_bytes) {
                 LineOutcome::Line(l) => l,
@@ -794,15 +1009,21 @@ mod legacy {
             if line.trim().is_empty() {
                 continue;
             }
-            let response = match catch_unwind(AssertUnwindSafe(|| handle_json_line(shared, &line)))
+            let response =
+                match catch_unwind(AssertUnwindSafe(|| handle_json_line(shared, &line, authed))) {
+                    Ok((resp, now_authed)) => {
+                        authed = now_authed;
+                        resp
+                    }
+                    Err(_) => {
+                        shared.counters.panic();
+                        error_line(ErrorKind::Internal, "request handler panicked (isolated)")
+                    }
+                };
+            if writeln!(writer, "{response}")
+                .and_then(|()| writer.flush())
+                .is_err()
             {
-                Ok(resp) => resp,
-                Err(_) => {
-                    shared.counters.panic();
-                    error_line(ErrorKind::Internal, "request handler panicked (isolated)")
-                }
-            };
-            if writeln!(writer, "{response}").and_then(|()| writer.flush()).is_err() {
                 break;
             }
             if shared.stop.load(Ordering::SeqCst) {

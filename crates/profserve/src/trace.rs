@@ -19,7 +19,7 @@ use crate::protocol::{LatencyStat, Request};
 use taskprof_telemetry::{HistogramSnapshot, LatencyHistogram};
 
 /// Request verbs the daemon traces, in display order.
-pub(crate) const VERBS: [&str; 9] = [
+pub(crate) const VERBS: [&str; 11] = [
     "hello",
     "ingest",
     "ingest_batch",
@@ -29,6 +29,8 @@ pub(crate) const VERBS: [&str; 9] = [
     "query_trend",
     "stats",
     "subscribe",
+    "export",
+    "apply",
 ];
 
 /// Protocol axis of the grid.
@@ -68,6 +70,8 @@ pub(crate) fn verb_index(req: &Request) -> usize {
         Request::QueryTrend { .. } => 6,
         Request::Stats | Request::StatsPrometheus => 7,
         Request::Subscribe { .. } => 8,
+        Request::Export { .. } => 9,
+        Request::Apply { .. } => 10,
     }
 }
 
@@ -182,10 +186,13 @@ mod tests {
             Request::Hello {
                 version: 1,
                 features: 0,
+                auth: None,
             },
             Request::Stats,
             Request::StatsPrometheus,
             Request::Subscribe { interval_ms: None },
+            Request::Export { after: 0, max: 1 },
+            Request::Apply { frames: Vec::new() },
         ];
         for r in &reqs {
             assert!(verb_index(r) < VERBS.len());

@@ -65,6 +65,8 @@ const TAG_STATS: u8 = 0x07;
 const TAG_QUERY_TREND: u8 = 0x08;
 const TAG_STATS_PROM: u8 = 0x09;
 const TAG_SUBSCRIBE: u8 = 0x0A;
+const TAG_EXPORT: u8 = 0x0B;
+const TAG_APPLY: u8 = 0x0C;
 
 // Response tags (>= 0x80).
 const TAG_R_HELLO: u8 = 0x81;
@@ -77,6 +79,8 @@ const TAG_R_TREND: u8 = 0x87;
 const TAG_R_PROMETHEUS: u8 = 0x88;
 const TAG_R_SUBSCRIBED: u8 = 0x89;
 const TAG_R_EVENT: u8 = 0x8A;
+const TAG_R_EXPORT: u8 = 0x8B;
+const TAG_R_APPLIED: u8 = 0x8C;
 const TAG_R_ERROR: u8 = 0xEE;
 
 // Event subtypes inside a TAG_R_EVENT frame.
@@ -276,6 +280,27 @@ fn read_window(r: &mut Reader<'_>) -> Result<RunWindow, WireError> {
     })
 }
 
+/// Replication frame lists (raw store record frames) — shared between
+/// the `APPLY` request and the `EXPORT` response.
+fn put_frames(out: &mut Vec<u8>, frames: &[Vec<u8>]) {
+    put_uv(out, frames.len() as u64);
+    for f in frames {
+        put_uv(out, f.len() as u64);
+        out.extend_from_slice(f);
+    }
+}
+
+fn read_frames(r: &mut Reader<'_>) -> Result<Vec<Vec<u8>>, WireError> {
+    let count = r.uv()?;
+    let n = checked_count(r, count)?;
+    let mut frames = Vec::with_capacity(n);
+    for _ in 0..n {
+        let len = r.uv()? as usize;
+        frames.push(r.bytes(len)?.to_vec());
+    }
+    Ok(frames)
+}
+
 fn kind_to_byte(k: ErrorKind) -> u8 {
     match k {
         ErrorKind::Overloaded => 0,
@@ -284,6 +309,7 @@ fn kind_to_byte(k: ErrorKind) -> u8 {
         ErrorKind::Internal => 3,
         ErrorKind::TooLarge => 4,
         ErrorKind::ReadOnly => 5,
+        ErrorKind::Unauthorized => 6,
     }
 }
 
@@ -295,6 +321,7 @@ fn kind_from_byte(b: u8) -> Result<ErrorKind, WireError> {
         3 => ErrorKind::Internal,
         4 => ErrorKind::TooLarge,
         5 => ErrorKind::ReadOnly,
+        6 => ErrorKind::Unauthorized,
         _ => return Err(WireError::Malformed("unknown error kind".into())),
     })
 }
@@ -436,10 +463,24 @@ fn read_server_stats(r: &mut Reader<'_>) -> Result<ServerStatsReport, WireError>
 pub fn encode_request(req: &Request) -> Vec<u8> {
     let mut out = Vec::with_capacity(64);
     match req {
-        Request::Hello { version, features } => {
+        Request::Hello {
+            version,
+            features,
+            auth,
+        } => {
             out.push(TAG_HELLO);
             put_uv(&mut out, u64::from(*version));
             put_uv(&mut out, *features);
+            // Auth extension: a presence byte plus the secret. Absent
+            // entirely in pre-auth encoders, so the decoder treats a
+            // HELLO that ends here as carrying no secret.
+            match auth {
+                Some(secret) => {
+                    out.push(1);
+                    put_str(&mut out, secret);
+                }
+                None => out.push(0),
+            }
         }
         Request::Ingest(rec) => {
             out.push(TAG_INGEST);
@@ -510,6 +551,15 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
             out.push(TAG_SUBSCRIBE);
             put_opt_uv(&mut out, *interval_ms);
         }
+        Request::Export { after, max } => {
+            out.push(TAG_EXPORT);
+            put_uv(&mut out, *after);
+            put_uv(&mut out, *max);
+        }
+        Request::Apply { frames } => {
+            out.push(TAG_APPLY);
+            put_frames(&mut out, frames);
+        }
     }
     out
 }
@@ -518,11 +568,25 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
 pub fn decode_request(payload: &[u8]) -> Result<Request, WireError> {
     let mut r = Reader::new(payload);
     let req = match r.byte()? {
-        TAG_HELLO => Request::Hello {
-            version: u32::try_from(r.uv()?)
-                .map_err(|_| WireError::Malformed("version out of range".into()))?,
-            features: r.uv()?,
-        },
+        TAG_HELLO => {
+            let version = u32::try_from(r.uv()?)
+                .map_err(|_| WireError::Malformed("version out of range".into()))?;
+            let features = r.uv()?;
+            let auth = if r.done() {
+                None
+            } else {
+                match r.byte()? {
+                    0 => None,
+                    1 => Some(r.str()?),
+                    _ => return Err(WireError::Malformed("bad auth flag".into())),
+                }
+            };
+            Request::Hello {
+                version,
+                features,
+                auth,
+            }
+        }
         TAG_INGEST => Request::Ingest(read_record(&mut r)?),
         TAG_INGEST_BATCH => {
             let count = r.uv()?;
@@ -565,7 +629,18 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, WireError> {
         TAG_SUBSCRIBE => Request::Subscribe {
             interval_ms: read_opt_uv(&mut r)?,
         },
-        tag => return Err(WireError::Malformed(format!("unknown request tag {tag:#x}"))),
+        TAG_EXPORT => Request::Export {
+            after: r.uv()?,
+            max: r.uv()?,
+        },
+        TAG_APPLY => Request::Apply {
+            frames: read_frames(&mut r)?,
+        },
+        tag => {
+            return Err(WireError::Malformed(format!(
+                "unknown request tag {tag:#x}"
+            )))
+        }
     };
     if !r.done() {
         return Err(WireError::Malformed("trailing bytes after request".into()));
@@ -680,6 +755,26 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
                     put_uv(&mut out, *dropped);
                 }
             }
+        }
+        Response::ExportChunk {
+            frames,
+            watermark,
+            done,
+        } => {
+            out.push(TAG_R_EXPORT);
+            put_frames(&mut out, frames);
+            put_uv(&mut out, *watermark);
+            out.push(u8::from(*done));
+        }
+        Response::Applied {
+            applied,
+            skipped,
+            watermark,
+        } => {
+            out.push(TAG_R_APPLIED);
+            put_uv(&mut out, *applied);
+            put_uv(&mut out, *skipped);
+            put_uv(&mut out, *watermark);
         }
         Response::Error { kind, message } => {
             out.push(TAG_R_ERROR);
@@ -803,6 +898,25 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, WireError> {
             EVENT_LAGGED => Notification::Lagged { dropped: r.uv()? },
             b => return Err(WireError::Malformed(format!("unknown event subtype {b}"))),
         }),
+        TAG_R_EXPORT => {
+            let frames = read_frames(&mut r)?;
+            let watermark = r.uv()?;
+            let done = match r.byte()? {
+                0 => false,
+                1 => true,
+                _ => return Err(WireError::Malformed("bad bool".into())),
+            };
+            Response::ExportChunk {
+                frames,
+                watermark,
+                done,
+            }
+        }
+        TAG_R_APPLIED => Response::Applied {
+            applied: r.uv()?,
+            skipped: r.uv()?,
+            watermark: r.uv()?,
+        },
         TAG_R_ERROR => Response::Error {
             kind: kind_from_byte(r.byte()?)?,
             message: r.str()?,
@@ -828,8 +942,27 @@ mod tests {
             Request::Hello {
                 version: 1,
                 features: FEATURE_BATCH_INGEST,
+                auth: None,
             },
-            Request::Ingest(Record::from_text("fib", 2, Some(7), "taskprof-profile v1\n")),
+            Request::Hello {
+                version: 1,
+                features: FEATURE_BATCH_INGEST,
+                auth: Some("hunter2".into()),
+            },
+            Request::Export {
+                after: 99,
+                max: 512,
+            },
+            Request::Apply { frames: Vec::new() },
+            Request::Apply {
+                frames: vec![vec![0xDE, 0xAD], vec![], vec![0x00; 32]],
+            },
+            Request::Ingest(Record::from_text(
+                "fib",
+                2,
+                Some(7),
+                "taskprof-profile v1\n",
+            )),
             Request::IngestBatch(vec![
                 Record {
                     benchmark: "fib".into(),
@@ -888,6 +1021,16 @@ mod tests {
             Response::Hello {
                 version: 1,
                 features: FEATURE_BATCH_INGEST,
+            },
+            Response::ExportChunk {
+                frames: vec![vec![9, 8, 7], Vec::new()],
+                watermark: 41,
+                done: true,
+            },
+            Response::Applied {
+                applied: 5,
+                skipped: 2,
+                watermark: 41,
             },
             Response::Ingest(IngestReceipt {
                 first_run_id: 41,
@@ -977,7 +1120,28 @@ mod tests {
                 kind: ErrorKind::ReadOnly,
                 message: "disk full".into(),
             },
+            Response::Error {
+                kind: ErrorKind::Unauthorized,
+                message: "auth required".into(),
+            },
         ]
+    }
+
+    #[test]
+    fn pre_auth_hello_payloads_still_decode() {
+        // A HELLO frame from an encoder predating the auth extension
+        // ends after the feature mask; it must decode as "no secret".
+        let mut payload = vec![TAG_HELLO];
+        put_uv(&mut payload, 1);
+        put_uv(&mut payload, FEATURE_BATCH_INGEST);
+        assert_eq!(
+            decode_request(&payload).expect("decode"),
+            Request::Hello {
+                version: 1,
+                features: FEATURE_BATCH_INGEST,
+                auth: None,
+            }
+        );
     }
 
     #[test]

@@ -96,6 +96,10 @@ pub trait StoreIo: Send + Sync + std::fmt::Debug {
     fn list_dir(&self, dir: &Path) -> std::io::Result<Vec<String>>;
     /// Create a directory and its parents.
     fn create_dir_all(&self, dir: &Path) -> std::io::Result<()>;
+    /// Atomically rename `from` over `to` (the GC rewrite commit point).
+    fn rename(&self, from: &Path, to: &Path) -> std::io::Result<()>;
+    /// Unlink a file (reclaiming a fully-dead segment).
+    fn remove_file(&self, path: &Path) -> std::io::Result<()>;
 }
 
 // ---------------------------------------------------------------------
@@ -187,6 +191,14 @@ impl StoreIo for RealIo {
 
     fn create_dir_all(&self, dir: &Path) -> std::io::Result<()> {
         std::fs::create_dir_all(dir)
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> std::io::Result<()> {
+        std::fs::rename(from, to)
+    }
+
+    fn remove_file(&self, path: &Path) -> std::io::Result<()> {
+        std::fs::remove_file(path)
     }
 }
 
@@ -502,6 +514,25 @@ impl StoreIo for FaultIo {
     fn create_dir_all(&self, dir: &Path) -> std::io::Result<()> {
         // Directory creation is idempotent setup, not a torture point.
         RealIo.create_dir_all(dir)
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> std::io::Result<()> {
+        // A crash before rename(2) returns leaves the old name intact:
+        // the fault models that by failing without touching either path.
+        match self.state.mutate(0) {
+            Verdict::Proceed => {}
+            Verdict::Tear(_, err) => return Err(err),
+        }
+        RealIo.rename(from, to)
+    }
+
+    fn remove_file(&self, path: &Path) -> std::io::Result<()> {
+        // Same model: a crash before unlink(2) leaves the file behind.
+        match self.state.mutate(0) {
+            Verdict::Proceed => {}
+            Verdict::Tear(_, err) => return Err(err),
+        }
+        RealIo.remove_file(path)
     }
 }
 

@@ -49,7 +49,9 @@ pub mod codec;
 pub mod crc;
 pub mod io;
 pub mod merge;
+mod repo;
 pub mod segment;
+mod shard;
 mod store;
 
 pub use agg::{BenchAgg, MetricAgg, RegressConfig, Regression, RegressionFinding, RunSummary};
@@ -61,8 +63,10 @@ pub use io::{
     is_enospc, FaultHandle, FaultIo, FaultKind, FaultMode, FaultPlan, RealIo, StoreFile, StoreIo,
 };
 pub use merge::KWayMerge;
+pub use repo::Repo;
 pub use segment::{SegmentReader, SegmentWriter, RECORD_HEADER_BYTES, SEGMENT_MAGIC};
+pub use shard::ShardedStore;
 pub use store::{
-    IndexEntry, IngestReceipt, ProfileStore, RunWindow, StoreConfig, StoreError, StoreStats,
-    TrendBucket,
+    ExportBatch, GcReport, IndexEntry, IngestReceipt, ProfileStore, RetentionPolicy, RunWindow,
+    StoreConfig, StoreError, StoreStats, TrendBucket,
 };

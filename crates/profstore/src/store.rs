@@ -64,6 +64,23 @@ pub enum StoreError {
         /// The contended repository directory.
         dir: PathBuf,
     },
+    /// A sharded repository was opened with a shard count that differs
+    /// from the one recorded on disk. Routing is a function of the
+    /// count, so honoring the request would strand runs in shards the
+    /// router no longer selects.
+    ShardMismatch {
+        /// The sharded repository root.
+        dir: PathBuf,
+        /// Shard count recorded in the `SHARDS` file.
+        on_disk: u32,
+        /// Shard count the open requested.
+        requested: u32,
+    },
+    /// A replication frame failed its CRC or framing check before apply.
+    BadFrame {
+        /// What was wrong with the frame.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for StoreError {
@@ -84,6 +101,19 @@ impl std::fmt::Display for StoreError {
                 "store directory {} is locked by another writer (close the other store or daemon first)",
                 dir.display()
             ),
+            StoreError::ShardMismatch {
+                dir,
+                on_disk,
+                requested,
+            } => write!(
+                f,
+                "sharded store {} holds {on_disk} shard(s) but {requested} were requested \
+                 (the shard count is fixed at creation)",
+                dir.display()
+            ),
+            StoreError::BadFrame { detail } => {
+                write!(f, "replication frame rejected: {detail}")
+            }
         }
     }
 }
@@ -186,6 +216,62 @@ impl TrendBucket {
     }
 }
 
+/// One `EXPORT` page: raw CRC-framed record frames in ascending run-id
+/// order, plus the cursor the follower acknowledges.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ExportBatch {
+    /// Raw frames (`len:u32le | payload | crc32:u32le`), byte-identical
+    /// to the leader's on-disk framing.
+    pub frames: Vec<Vec<u8>>,
+    /// Highest run id included (equal to the requested cursor when the
+    /// batch is empty). The follower's next request resumes after it.
+    pub watermark: u64,
+    /// True when no runs beyond this batch remain.
+    pub done: bool,
+}
+
+/// What the retention sweep keeps. Filters compose by union of their
+/// drop sets: a run is garbage-collected when *any* configured filter
+/// rejects it. The default keeps everything.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RetentionPolicy {
+    /// Keep only the newest N runs (ingest order) of each
+    /// (benchmark, threads) group.
+    pub keep_last: Option<u64>,
+    /// Drop runs whose caller timestamp is older than this cutoff.
+    /// Runs at or after the cutoff are never removed by this filter.
+    pub min_timestamp_ns: Option<u64>,
+}
+
+impl RetentionPolicy {
+    /// True when the policy filters nothing.
+    pub fn is_noop(&self) -> bool {
+        self.keep_last.is_none() && self.min_timestamp_ns.is_none()
+    }
+}
+
+/// What one [`ProfileStore::gc`] sweep reclaimed.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GcReport {
+    /// Runs removed from the index (and from disk).
+    pub dropped_runs: u64,
+    /// Disk bytes reclaimed (removed files plus rewrite shrinkage).
+    pub reclaimed_bytes: u64,
+    /// Closed segments rewritten in place (live frames carried over).
+    pub rewritten_segments: u64,
+    /// Closed segments unlinked outright (no live frames).
+    pub removed_segments: u64,
+}
+
+impl GcReport {
+    pub(crate) fn absorb(&mut self, other: GcReport) {
+        self.dropped_runs += other.dropped_runs;
+        self.reclaimed_bytes += other.reclaimed_bytes;
+        self.rewritten_segments += other.rewritten_segments;
+        self.removed_segments += other.removed_segments;
+    }
+}
+
 /// Name of the advisory lock file guarding the directory against a
 /// second concurrent writer.
 const LOCK_FILE: &str = "LOCK";
@@ -195,7 +281,10 @@ fn segment_name(n: u64) -> String {
 }
 
 fn parse_segment_name(name: &str) -> Option<u64> {
-    name.strip_prefix("seg-")?.strip_suffix(".log")?.parse().ok()
+    name.strip_prefix("seg-")?
+        .strip_suffix(".log")?
+        .parse()
+        .ok()
 }
 
 /// The durable multi-run repository. See the crate docs for the on-disk
@@ -273,8 +362,18 @@ impl ProfileStore {
             }
             Err(std::fs::TryLockError::Error(e)) => return Err(StoreError::Io(e)),
         }
-        let mut numbers: Vec<u64> = io
-            .list_dir(dir)?
+        let names = io.list_dir(dir)?;
+        for name in &names {
+            if let Some(stem) = name.strip_suffix(".tmp") {
+                if parse_segment_name(stem).is_some() {
+                    // A GC rewrite died before its atomic rename. The
+                    // half-written replacement is inert (recovery only
+                    // reads `seg-*.log`) — reclaim the space.
+                    let _ = io.remove_file(&dir.join(name));
+                }
+            }
+        }
+        let mut numbers: Vec<u64> = names
             .iter()
             .filter_map(|name| parse_segment_name(name))
             .collect();
@@ -366,25 +465,51 @@ impl ProfileStore {
         timestamp_ns: u64,
         profile: &Profile,
     ) -> Result<IngestReceipt, StoreError> {
+        self.ingest_with_id(self.next_run_id, benchmark, threads, timestamp_ns, profile)
+    }
+
+    /// Append one run under a caller-chosen id — the sharded store's
+    /// path, where ids are allocated globally so shards never collide.
+    /// Bumps the local id counter past `run_id` so a later plain
+    /// [`ProfileStore::ingest`] cannot reuse it.
+    pub fn ingest_with_id(
+        &mut self,
+        run_id: u64,
+        benchmark: &str,
+        threads: u32,
+        timestamp_ns: u64,
+        profile: &Profile,
+    ) -> Result<IngestReceipt, StoreError> {
         let meta = RunMeta {
-            run_id: self.next_run_id,
+            run_id,
             benchmark: benchmark.to_string(),
             threads,
             timestamp_ns,
         };
         let payload = encode_record(&meta, profile);
+        self.append_payload(&meta, &payload)
+    }
+
+    /// Append an already-encoded payload under `meta`'s identity,
+    /// rotating the active segment as needed.
+    fn append_payload(
+        &mut self,
+        meta: &RunMeta,
+        payload: &[u8],
+    ) -> Result<IngestReceipt, StoreError> {
         let frame_bytes = payload.len() as u64 + RECORD_HEADER_BYTES;
-        if !self.writer.is_empty() && self.writer.len() + frame_bytes > self.config.segment_max_bytes
+        if !self.writer.is_empty()
+            && self.writer.len() + frame_bytes > self.config.segment_max_bytes
         {
             self.rotate()?;
         }
-        let offset = self.writer.append(&payload)?;
-        self.next_run_id += 1;
+        let offset = self.writer.append(payload)?;
+        self.next_run_id = self.next_run_id.max(meta.run_id + 1);
         self.index.push(IndexEntry {
             run_id: meta.run_id,
-            benchmark: meta.benchmark,
-            threads,
-            timestamp_ns,
+            benchmark: meta.benchmark.clone(),
+            threads: meta.threads,
+            timestamp_ns: meta.timestamp_ns,
             segment: self.active_segment,
             offset,
             bytes: frame_bytes,
@@ -394,6 +519,20 @@ impl ProfileStore {
             bytes: frame_bytes,
             segment: self.active_segment,
         })
+    }
+
+    /// The id the next [`ProfileStore::ingest`] will assign.
+    pub fn next_run_id(&self) -> u64 {
+        self.next_run_id
+    }
+
+    /// Highest run id currently indexed (0 when empty). This — not
+    /// [`ProfileStore::next_run_id`] — is a follower's replication
+    /// cursor: recovery from a torn tail bumps `next_run_id` past an id
+    /// that never durably landed, and a cursor derived from it would
+    /// silently skip the legitimate re-send of that frame.
+    pub fn max_run_id(&self) -> u64 {
+        self.index.iter().map(|e| e.run_id).max().unwrap_or(0)
     }
 
     fn rotate(&mut self) -> Result<(), StoreError> {
@@ -539,7 +678,9 @@ impl ProfileStore {
             .index
             .iter()
             .filter(|e| {
-                e.segment > self.compacted_through && e.benchmark == benchmark && e.threads == threads
+                e.segment > self.compacted_through
+                    && e.benchmark == benchmark
+                    && e.threads == threads
             })
             .collect();
         self.stream_entries(&tail, |_, profile| agg.fold(profile))?;
@@ -663,6 +804,193 @@ impl ProfileStore {
     pub fn recovered_tail_bytes(&self) -> u64 {
         self.recovered_tail_bytes
     }
+
+    /// One page of the replication stream: up to `max` raw CRC frames
+    /// for runs with `run_id > after`, in ascending run-id order. The
+    /// frames are byte-identical to the leader's on-disk framing, so a
+    /// follower's [`ProfileStore::apply_frame`] re-verifies the same
+    /// CRC the leader wrote.
+    pub fn export_frames(&self, after: u64, max: usize) -> Result<ExportBatch, StoreError> {
+        let mut entries: Vec<&IndexEntry> =
+            self.index.iter().filter(|e| e.run_id > after).collect();
+        entries.sort_by_key(|e| e.run_id);
+        let done = entries.len() <= max;
+        entries.truncate(max);
+        let mut batch = ExportBatch {
+            frames: Vec::with_capacity(entries.len()),
+            watermark: after,
+            done,
+        };
+        for entry in entries {
+            let path = self.dir.join(segment_name(entry.segment));
+            let payload =
+                SegmentReader::read_at(&*self.io, &path, entry.offset)?.ok_or_else(|| {
+                    StoreError::Corrupt {
+                        segment: segment_name(entry.segment),
+                        detail: format!("indexed record at offset {} unreadable", entry.offset),
+                    }
+                })?;
+            let mut frame = Vec::with_capacity(payload.len() + RECORD_HEADER_BYTES as usize);
+            frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+            frame.extend_from_slice(&payload);
+            frame.extend_from_slice(&crate::crc::crc32(&payload).to_le_bytes());
+            batch.frames.push(frame);
+            batch.watermark = entry.run_id;
+        }
+        Ok(batch)
+    }
+
+    /// Apply one replicated frame, keeping the leader's run id.
+    /// Exactly-once by construction: a frame whose id is already
+    /// indexed — or at or below the highest indexed id, which an
+    /// in-order stream implies was applied before a crash — is skipped
+    /// with `Ok(None)`. The frame's CRC and structure are verified
+    /// before anything touches disk.
+    pub fn apply_frame(&mut self, frame: &[u8]) -> Result<Option<IngestReceipt>, StoreError> {
+        let header = RECORD_HEADER_BYTES as usize;
+        if frame.len() < header {
+            return Err(StoreError::BadFrame {
+                detail: format!("{} bytes is shorter than the frame header", frame.len()),
+            });
+        }
+        let len = u32::from_le_bytes(frame[..4].try_into().expect("4 bytes")) as usize;
+        if frame.len() != len + header {
+            return Err(StoreError::BadFrame {
+                detail: format!(
+                    "length word says {len} payload bytes but the frame carries {}",
+                    frame.len().saturating_sub(header)
+                ),
+            });
+        }
+        let payload = &frame[4..4 + len];
+        let stored_crc = u32::from_le_bytes(frame[4 + len..].try_into().expect("4 bytes"));
+        if crate::crc::crc32(payload) != stored_crc {
+            return Err(StoreError::BadFrame {
+                detail: "crc mismatch".to_string(),
+            });
+        }
+        let meta = decode_meta(payload).map_err(|e| StoreError::BadFrame {
+            detail: format!("undecodable record: {e}"),
+        })?;
+        if meta.run_id <= self.max_run_id() {
+            return Ok(None);
+        }
+        self.append_payload(&meta, payload).map(Some)
+    }
+
+    /// Garbage-collect runs the retention `policy` rejects, reclaiming
+    /// their disk space. Fully-dead closed segments are unlinked; mixed
+    /// segments are rewritten (live frames copied into a fresh file that
+    /// atomically replaces the original via `rename`, the PR 6 VFS seam
+    /// gating both steps). The active segment is rotated out first when
+    /// it holds dead runs, so the live writer never races a rewrite.
+    ///
+    /// Crash-safe: a rewrite builds `seg-N.log.tmp`, which recovery
+    /// ignores and the next open deletes; the index only switches to the
+    /// new offsets after the rename commits. A crash at any point leaves
+    /// either the old or the new file — never a mix.
+    pub fn gc(&mut self, policy: &RetentionPolicy) -> Result<GcReport, StoreError> {
+        if policy.is_noop() {
+            return Ok(GcReport::default());
+        }
+        let mut dead: std::collections::BTreeSet<u64> = std::collections::BTreeSet::new();
+        if let Some(cutoff) = policy.min_timestamp_ns {
+            dead.extend(
+                self.index
+                    .iter()
+                    .filter(|e| e.timestamp_ns < cutoff)
+                    .map(|e| e.run_id),
+            );
+        }
+        if let Some(keep) = policy.keep_last {
+            let mut groups: BTreeMap<(&str, u32), Vec<u64>> = BTreeMap::new();
+            for e in &self.index {
+                groups
+                    .entry((e.benchmark.as_str(), e.threads))
+                    .or_default()
+                    .push(e.run_id);
+            }
+            for ids in groups.values() {
+                if ids.len() as u64 > keep {
+                    dead.extend(&ids[..ids.len() - keep as usize]);
+                }
+            }
+        }
+        if dead.is_empty() {
+            return Ok(GcReport::default());
+        }
+        if self
+            .index
+            .iter()
+            .any(|e| e.segment == self.active_segment && dead.contains(&e.run_id))
+        {
+            self.rotate()?;
+        }
+        let segments: std::collections::BTreeSet<u64> = self
+            .index
+            .iter()
+            .filter(|e| dead.contains(&e.run_id))
+            .map(|e| e.segment)
+            .collect();
+        let mut report = GcReport::default();
+        for seg in segments {
+            let path = self.dir.join(segment_name(seg));
+            // Indices of this segment's live entries, in offset order
+            // (index order within a segment is append order).
+            let live: Vec<usize> = self
+                .index
+                .iter()
+                .enumerate()
+                .filter(|(_, e)| e.segment == seg && !dead.contains(&e.run_id))
+                .map(|(i, _)| i)
+                .collect();
+            if live.is_empty() {
+                let old_len = self.io.file_len(&path)?;
+                self.io.remove_file(&path)?;
+                report.removed_segments += 1;
+                report.reclaimed_bytes += old_len;
+            } else {
+                let tmp = self.dir.join(format!("{}.tmp", segment_name(seg)));
+                match self.io.remove_file(&tmp) {
+                    Ok(()) => {}
+                    Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                    Err(e) => return Err(e.into()),
+                }
+                // Sync the rewrite regardless of the store's append
+                // policy: the rename commit must never point at frames
+                // still sitting in a volatile cache.
+                let mut writer = SegmentWriter::create(&*self.io, &tmp, true)?;
+                let mut new_offsets = Vec::with_capacity(live.len());
+                for &i in &live {
+                    let entry = &self.index[i];
+                    let payload = SegmentReader::read_at(&*self.io, &path, entry.offset)?
+                        .ok_or_else(|| StoreError::Corrupt {
+                            segment: segment_name(seg),
+                            detail: format!("indexed record at offset {} unreadable", entry.offset),
+                        })?;
+                    new_offsets.push(writer.append(&payload)?);
+                }
+                let old_len = self.io.file_len(&path)?;
+                let new_len = writer.len();
+                drop(writer);
+                self.io.rename(&tmp, &path)?;
+                for (&i, &offset) in live.iter().zip(&new_offsets) {
+                    self.index[i].offset = offset;
+                }
+                report.rewritten_segments += 1;
+                report.reclaimed_bytes += old_len.saturating_sub(new_len);
+            }
+            let before = self.index.len();
+            self.index
+                .retain(|e| e.segment != seg || !dead.contains(&e.run_id));
+            report.dropped_runs += (before - self.index.len()) as u64;
+        }
+        // The aggregate cache may have folded now-dropped runs; rebuild
+        // it from scratch on the next compaction pass.
+        self.agg_cache.clear();
+        self.compacted_through = 0;
+        Ok(report)
+    }
 }
 
 #[cfg(test)]
@@ -759,7 +1087,14 @@ mod tests {
         assert!(store.recovered_tail_bytes() > 0);
         // The log accepts appends again and ids do not collide.
         let r = store.ingest("fib", 2, 99, &p).expect("ingest");
-        assert!(store.index().iter().filter(|e| e.run_id == r.run_id).count() == 1);
+        assert!(
+            store
+                .index()
+                .iter()
+                .filter(|e| e.run_id == r.run_id)
+                .count()
+                == 1
+        );
         drop(store);
         let store = ProfileStore::open(&dir).expect("clean reopen");
         assert_eq!(store.len(), 3);
@@ -941,7 +1276,10 @@ mod tests {
             .expect("trend");
         // 7 runs over 3 buckets: 3 + 2 + 2.
         assert_eq!(buckets.len(), 3);
-        assert_eq!(buckets.iter().map(|b| b.runs).collect::<Vec<_>>(), [3, 2, 2]);
+        assert_eq!(
+            buckets.iter().map(|b| b.runs).collect::<Vec<_>>(),
+            [3, 2, 2]
+        );
         assert_eq!(buckets.iter().map(|b| b.runs).sum::<u64>(), 7);
         assert!(
             buckets[0].mean_ns() < buckets[1].mean_ns()
@@ -967,6 +1305,137 @@ mod tests {
             .expect("trend")
             .is_empty());
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    fn dir_file_bytes(dir: &Path) -> u64 {
+        std::fs::read_dir(dir)
+            .expect("read_dir")
+            .filter_map(|e| e.ok())
+            .filter_map(|e| e.metadata().ok())
+            .map(|m| m.len())
+            .sum()
+    }
+
+    #[test]
+    fn gc_reclaims_disk_after_deleting_heavy_workload() {
+        let dir = tmpdir("gc-disk");
+        let config = StoreConfig {
+            segment_max_bytes: 400, // several segments
+            sync_writes: false,
+        };
+        let mut store = ProfileStore::open_with(&dir, config).expect("open");
+        for i in 0..20u64 {
+            store
+                .ingest("fib", 2, 100 + i, &profile("store-gc", 50 + i))
+                .expect("ingest");
+        }
+        store.compact().expect("compact");
+        let before = dir_file_bytes(&dir);
+        let report = store
+            .gc(&RetentionPolicy {
+                keep_last: Some(3),
+                min_timestamp_ns: None,
+            })
+            .expect("gc");
+        assert_eq!(report.dropped_runs, 17);
+        assert!(report.reclaimed_bytes > 0, "{report:?}");
+        assert!(
+            report.removed_segments + report.rewritten_segments > 0,
+            "{report:?}"
+        );
+        let after = dir_file_bytes(&dir);
+        assert!(
+            after < before,
+            "directory must shrink: {before} -> {after} ({report:?})"
+        );
+        // The survivors are the newest 3 and still load + aggregate.
+        assert_eq!(store.len(), 3);
+        let timestamps: Vec<u64> = store.index().iter().map(|e| e.timestamp_ns).collect();
+        assert_eq!(timestamps, [117, 118, 119]);
+        let agg = store.aggregate("fib", 2).expect("aggregate");
+        assert_eq!(agg.runs, 3);
+        for e in store.index().to_vec() {
+            store.load(e.run_id).expect("survivor loads");
+        }
+        // Reopen agrees byte-for-byte with the in-process view.
+        drop(store);
+        let store = ProfileStore::open_with(&dir, config).expect("reopen");
+        assert_eq!(store.len(), 3);
+        assert_eq!(store.recovered_tail_bytes(), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn gc_cutoff_never_removes_newer_runs_and_is_idempotent() {
+        let dir = tmpdir("gc-cut");
+        let mut store = ProfileStore::open(&dir).expect("open");
+        for i in 0..10u64 {
+            store
+                .ingest("fib", 2, 100 + i, &profile("store-cut", 10))
+                .expect("ingest");
+        }
+        let policy = RetentionPolicy {
+            keep_last: None,
+            min_timestamp_ns: Some(105),
+        };
+        let report = store.gc(&policy).expect("gc");
+        assert_eq!(report.dropped_runs, 5);
+        assert!(store.index().iter().all(|e| e.timestamp_ns >= 105));
+        // Idempotent: nothing newer than the cutoff is ever touched.
+        let report = store.gc(&policy).expect("gc again");
+        assert_eq!(report, GcReport::default());
+        assert_eq!(store.len(), 5);
+        // A no-op policy is free.
+        let report = store.gc(&RetentionPolicy::default()).expect("noop");
+        assert_eq!(report, GcReport::default());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn export_apply_round_trips_single_stores() {
+        let leader_dir = tmpdir("exp-l");
+        let follower_dir = tmpdir("exp-f");
+        let mut leader = ProfileStore::open(&leader_dir).expect("leader");
+        let mut follower = ProfileStore::open(&follower_dir).expect("follower");
+        let mut acked = Vec::new();
+        for i in 0..7u64 {
+            let r = leader
+                .ingest("fib", 2, 10 + i, &profile("store-exp", 20 + i))
+                .expect("ingest");
+            acked.push(r.run_id);
+        }
+        let mut cursor = follower.max_run_id();
+        loop {
+            let batch = leader.export_frames(cursor, 3).expect("export");
+            assert!(batch.frames.len() <= 3);
+            for frame in &batch.frames {
+                follower.apply_frame(frame).expect("apply");
+            }
+            cursor = batch.watermark;
+            if batch.done {
+                break;
+            }
+        }
+        assert_eq!(follower.len(), leader.len());
+        for &id in &acked {
+            let (lm, lp) = leader.load(id).expect("leader load");
+            let (fm, fp) = follower.load(id).expect("follower load");
+            assert_eq!(lm.timestamp_ns, fm.timestamp_ns);
+            assert_eq!(lp.threads[0].main, fp.threads[0].main);
+        }
+        // Replay from zero: every frame is skipped, nothing duplicates.
+        let batch = leader.export_frames(0, 100).expect("export all");
+        for frame in &batch.frames {
+            assert!(follower.apply_frame(frame).expect("re-apply").is_none());
+        }
+        assert_eq!(follower.len(), leader.len());
+        // A garbage frame is refused with a typed error.
+        assert!(matches!(
+            follower.apply_frame(b"not a frame"),
+            Err(StoreError::BadFrame { .. })
+        ));
+        let _ = std::fs::remove_dir_all(&leader_dir);
+        let _ = std::fs::remove_dir_all(&follower_dir);
     }
 
     #[test]

@@ -133,6 +133,9 @@ pub struct ExportPolicy {
     /// back to JSON lines; spooled frames forward their record payloads
     /// without a text re-encode when the connection is binary.
     pub wire_protocol: WireProtocol,
+    /// Shared secret presented in the connection `HELLO` when the
+    /// daemon requires authentication (`None` for open daemons).
+    pub auth: Option<String>,
 }
 
 impl Default for ExportPolicy {
@@ -146,6 +149,7 @@ impl Default for ExportPolicy {
             jitter_seed: 0x7a5c_f00d,
             spool_dir: None,
             wire_protocol: WireProtocol::Auto,
+            auth: None,
         }
     }
 }
@@ -277,15 +281,26 @@ fn deliver_to_server(
             read: clamp_timeout(policy.io_timeout, remaining),
             write: clamp_timeout(policy.io_timeout, remaining),
         };
-        let result = profserve::Client::connect_proto(addr, policy.wire_protocol, timeouts)
-            .and_then(|mut client| client.ingest_record(record));
+        let result = profserve::Client::connect_proto_auth(
+            addr,
+            policy.wire_protocol,
+            timeouts,
+            policy.auth.as_deref(),
+        )
+        .and_then(|mut client| client.ingest_record(record));
         match result {
             Ok(receipt) => return Ok((receipt, attempts)),
             Err(e) if is_transport(&e) && attempts < max_attempts => {
                 last_err = Some(e);
-                let exp = policy.base_backoff.saturating_mul(1u32 << (attempts - 1).min(16));
+                let exp = policy
+                    .base_backoff
+                    .saturating_mul(1u32 << (attempts - 1).min(16));
                 let half = policy.base_backoff.as_nanos() as u64 / 2;
-                let jitter_ns = if half == 0 { 0 } else { jitter.next_u64() % half };
+                let jitter_ns = if half == 0 {
+                    0
+                } else {
+                    jitter.next_u64() % half
+                };
                 let backoff = exp + Duration::from_nanos(jitter_ns);
                 let room = policy.deadline.saturating_sub(start.elapsed());
                 let sleep = backoff.min(room);
@@ -447,7 +462,12 @@ pub fn drain_spool(dir: &Path, addr: &str, policy: &ExportPolicy) -> DrainReport
         read: Some(policy.io_timeout.max(Duration::from_millis(1))),
         write: Some(policy.io_timeout.max(Duration::from_millis(1))),
     };
-    let mut client = match profserve::Client::connect_proto(addr, policy.wire_protocol, timeouts) {
+    let mut client = match profserve::Client::connect_proto_auth(
+        addr,
+        policy.wire_protocol,
+        timeouts,
+        policy.auth.as_deref(),
+    ) {
         Ok(c) => c,
         Err(_) => {
             report.remaining = frames.len() as u64;
@@ -588,9 +608,7 @@ pub(crate) fn export_profile(
             match deliver_to_server(addr, &record, &plan.policy) {
                 Ok((ack, attempts)) => {
                     let drained = match &plan.policy.spool_dir {
-                        Some(dir) if dir.is_dir() => {
-                            drain_spool(dir, addr, &plan.policy).delivered
-                        }
+                        Some(dir) if dir.is_dir() => drain_spool(dir, addr, &plan.policy).delivered,
                         _ => 0,
                     };
                     Ok(ExportReceipt {
@@ -681,7 +699,10 @@ mod tests {
         let mut bytes = std::fs::read(&path).expect("read");
         let mid = bytes.len() / 2;
         bytes[mid] ^= 0x40;
-        assert!(parse_spool_frame(&bytes).is_err(), "bit flip must be caught");
+        assert!(
+            parse_spool_frame(&bytes).is_err(),
+            "bit flip must be caught"
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 

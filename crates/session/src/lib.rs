@@ -37,9 +37,7 @@ use pomp::{
 use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
-use taskprof::{
-    AssignPolicy, ConfigError, Profile, ProfMonitor, ProfMonitorBuilder,
-};
+use taskprof::{AssignPolicy, ConfigError, ProfMonitor, ProfMonitorBuilder, Profile};
 use taskprof_telemetry::{Sampler, TelemetryConfig, TelemetryCore, TelemetrySnapshot};
 use taskrt::{ParallelConstruct, ParallelOutcome, TaskCtx, Team};
 
@@ -187,8 +185,7 @@ impl SessionTelemetry {
 pub mod export;
 
 pub use export::{
-    drain_spool, spool_profile, DrainReport, ExportError, ExportPolicy, ExportReceipt,
-    ExportTarget,
+    drain_spool, spool_profile, DrainReport, ExportError, ExportPolicy, ExportReceipt, ExportTarget,
 };
 pub use profserve::WireProtocol;
 
@@ -580,7 +577,10 @@ impl<M: ProfStack> MeasurementSession<M> {
             .profiler()
             .telemetry_core()
             .map(|core| core.snapshot());
-        let export = self.export.as_ref().map(|plan| export_profile(plan, &profile));
+        let export = self
+            .export
+            .as_ref()
+            .map(|plan| export_profile(plan, &profile));
         SessionReport {
             profile,
             diagnostics,
@@ -704,7 +704,11 @@ mod tests {
         assert_eq!(a.num_threads(), b.num_threads());
         for (ta, tb) in a.threads.iter().zip(&b.threads) {
             assert_eq!(ta.main, tb.main, "tid {} main tree differs", ta.tid);
-            assert_eq!(ta.task_trees, tb.task_trees, "tid {} task trees differ", ta.tid);
+            assert_eq!(
+                ta.task_trees, tb.task_trees,
+                "tid {} task trees differ",
+                ta.tid
+            );
             assert_eq!(ta.max_live_trees, tb.max_live_trees);
         }
     }

@@ -14,18 +14,24 @@
 //! taskprof-cli list
 //! taskprof-cli serve --dir DIR [--addr HOST:PORT] [--max-conns N]
 //!                    [--port-file FILE] [--proto json|bin|auto]
+//!                    [--shards N] [--auth SECRET]
+//!                    [--keep-last N] [--retain-since NS]
 //!                    [--telemetry-jsonl FILE] [--telemetry-interval-ms N]
 //! taskprof-cli ingest --addr HOST:PORT (--file F --bench NAME | --app fib|nqueens
 //!                     [--seed S] [--runs K]) [--threads N]
 //!                     [--spool DIR] [--deadline-ms N] [--proto json|bin|auto]
+//!                     [--auth SECRET]
 //! taskprof-cli drain --addr HOST:PORT --spool DIR [--deadline-ms N]
-//!                    [--proto json|bin|auto]
+//!                    [--proto json|bin|auto] [--auth SECRET]
 //! taskprof-cli query top|stats|regress|trend --addr HOST:PORT --bench NAME
 //!                   [--threads N] [--n N] [--file F] [--threshold T]
 //!                   [--last N] [--since-ns T] [--buckets N]
-//!                   [--prometheus] [--proto json|bin|auto]
+//!                   [--prometheus] [--proto json|bin|auto] [--auth SECRET]
 //! taskprof-cli watch --addr HOST:PORT [--interval-ms N] [--frames N]
 //!                    [--format dashboard|jsonl] [--proto json|bin|auto]
+//!                    [--auth SECRET]
+//! taskprof-cli replicate --from HOST:PORT --to HOST:PORT [--batch N]
+//!                        [--proto json|bin|auto] [--auth SECRET]
 //! ```
 //!
 //! `run` executes one BOTS code under the profiler (and optionally the
@@ -70,6 +76,17 @@
 //! daemon, deleting each frame only after the server acks it, and exits
 //! 1 while frames remain spooled so scripts can retry.
 //!
+//! Sharding & replication: `serve --shards N` opens the directory as N
+//! routed sub-stores (runs land by benchmark, queries fan in across
+//! shards); an existing sharded directory is detected and reopened with
+//! its on-disk count. `serve --keep-last N` / `--retain-since NS` set a
+//! retention policy the daemon enforces on its compaction cadence,
+//! rewriting segments to reclaim disk. `serve --auth SECRET` requires
+//! every connection to present the shared secret in `HELLO`;
+//! the client commands pass the same secret with `--auth`. `replicate`
+//! pumps every run a follower daemon is missing out of a leader —
+//! resumable from the follower's own cursor, exactly-once under retries.
+//!
 //! `explore --seeds` defaults to the `TASKPROF_EXPLORE_SEEDS`
 //! environment variable (or 64), which is how CI scales the sweep.
 
@@ -92,11 +109,12 @@ fn usage() -> ! {
          [--interval-ms N] [--format dashboard|prometheus|jsonl]\n  \
          taskprof-cli explore [--seeds N] [--threads N] [--workload fib|flat|mixed|all] [--dfs BUDGET]\n  \
          taskprof-cli diff <a.profile> <b.profile>\n  taskprof-cli list\n  \
-         taskprof-cli serve --dir DIR [--addr HOST:PORT] [--max-conns N] [--port-file FILE] [--proto json|bin|auto] [--telemetry-jsonl FILE] [--telemetry-interval-ms N]\n  \
-         taskprof-cli ingest --addr HOST:PORT (--file F --bench NAME | --app fib|nqueens [--seed S] [--runs K]) [--threads N] [--spool DIR] [--deadline-ms N] [--proto json|bin|auto]\n  \
-         taskprof-cli drain --addr HOST:PORT --spool DIR [--deadline-ms N] [--proto json|bin|auto]\n  \
-         taskprof-cli query top|stats|regress|trend --addr HOST:PORT --bench NAME [--threads N] [--n N] [--file F] [--threshold T] [--last N] [--since-ns T] [--buckets N] [--prometheus] [--proto json|bin|auto]\n  \
-         taskprof-cli watch --addr HOST:PORT [--interval-ms N] [--frames N] [--format dashboard|jsonl] [--proto json|bin|auto]"
+         taskprof-cli serve --dir DIR [--addr HOST:PORT] [--max-conns N] [--port-file FILE] [--proto json|bin|auto] [--shards N] [--auth SECRET] [--keep-last N] [--retain-since NS] [--telemetry-jsonl FILE] [--telemetry-interval-ms N]\n  \
+         taskprof-cli ingest --addr HOST:PORT (--file F --bench NAME | --app fib|nqueens [--seed S] [--runs K]) [--threads N] [--spool DIR] [--deadline-ms N] [--proto json|bin|auto] [--auth SECRET]\n  \
+         taskprof-cli drain --addr HOST:PORT --spool DIR [--deadline-ms N] [--proto json|bin|auto] [--auth SECRET]\n  \
+         taskprof-cli query top|stats|regress|trend --addr HOST:PORT --bench NAME [--threads N] [--n N] [--file F] [--threshold T] [--last N] [--since-ns T] [--buckets N] [--prometheus] [--proto json|bin|auto] [--auth SECRET]\n  \
+         taskprof-cli watch --addr HOST:PORT [--interval-ms N] [--frames N] [--format dashboard|jsonl] [--proto json|bin|auto] [--auth SECRET]\n  \
+         taskprof-cli replicate --from HOST:PORT --to HOST:PORT [--batch N] [--proto json|bin|auto] [--auth SECRET]"
     );
     std::process::exit(2);
 }
@@ -206,7 +224,12 @@ fn cmd_run(args: &[String]) {
         } else {
             println!("diagnosis ({} findings):", findings.len());
             for f in findings {
-                println!("  [{:>4.0}%] {:?}: {}", f.severity * 100.0, f.kind, f.message);
+                println!(
+                    "  [{:>4.0}%] {:?}: {}",
+                    f.severity * 100.0,
+                    f.kind,
+                    f.message
+                );
             }
         }
     }
@@ -333,7 +356,10 @@ fn cmd_telemetry(args: &[String]) {
                     taskprof_telemetry::to_jsonl_line(point.elapsed_ns, &point.snapshot)
                 );
             }
-            println!("{}", taskprof_telemetry::to_jsonl_line(elapsed, &final_snapshot));
+            println!(
+                "{}",
+                taskprof_telemetry::to_jsonl_line(elapsed, &final_snapshot)
+            );
         }
     }
 }
@@ -462,6 +488,10 @@ fn cmd_serve(args: &[String]) {
     let mut max_conns: usize = 64;
     let mut port_file: Option<String> = None;
     let mut proto = profserve::WireProtocol::Auto;
+    let mut shards: Option<u32> = None;
+    let mut auth: Option<String> = None;
+    let mut keep_last: Option<u64> = None;
+    let mut retain_since: Option<u64> = None;
     let mut telemetry_jsonl: Option<String> = None;
     let mut telemetry_interval_ms: u64 = 1_000;
     let mut it = args.iter();
@@ -477,6 +507,28 @@ fn cmd_serve(args: &[String]) {
             }
             "--port-file" => port_file = Some(it.next().cloned().unwrap_or_else(|| usage())),
             "--proto" => proto = parse_proto(it.next()),
+            "--shards" => {
+                shards = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                )
+            }
+            "--auth" => auth = Some(it.next().cloned().unwrap_or_else(|| usage())),
+            "--keep-last" => {
+                keep_last = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                )
+            }
+            "--retain-since" => {
+                retain_since = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                )
+            }
             "--telemetry-jsonl" => {
                 telemetry_jsonl = Some(it.next().cloned().unwrap_or_else(|| usage()))
             }
@@ -490,17 +542,47 @@ fn cmd_serve(args: &[String]) {
         }
     }
     let Some(dir) = dir else { usage() };
-    let store = profstore::ProfileStore::open(std::path::Path::new(&dir)).unwrap_or_else(|e| {
-        eprintln!("cannot open store {dir}: {e}");
-        std::process::exit(1);
-    });
-    let stats = store.stats();
+    let dir_path = std::path::Path::new(&dir);
+    // A directory that is already sharded reopens with its on-disk
+    // count; --shards N > 1 shards a fresh directory. A mismatch
+    // between the flag and an existing SHARDS file is refused by the
+    // store (no silent re-routing of existing runs).
+    let on_disk_shards: Option<u32> = std::fs::read_to_string(dir_path.join("SHARDS"))
+        .ok()
+        .and_then(|s| s.trim().parse().ok());
+    let shard_count = shards.or(on_disk_shards).unwrap_or(1);
+    let repo: profstore::Repo = if shard_count > 1 {
+        profstore::ShardedStore::open(dir_path, shard_count)
+            .unwrap_or_else(|e| {
+                eprintln!("cannot open sharded store {dir}: {e}");
+                std::process::exit(1);
+            })
+            .into()
+    } else {
+        profstore::ProfileStore::open(dir_path)
+            .unwrap_or_else(|e| {
+                eprintln!("cannot open store {dir}: {e}");
+                std::process::exit(1);
+            })
+            .into()
+    };
+    let stats = repo.stats();
+    let retention = if keep_last.is_some() || retain_since.is_some() {
+        Some(profstore::RetentionPolicy {
+            keep_last,
+            min_timestamp_ns: retain_since,
+        })
+    } else {
+        None
+    };
     let config = profserve::ServeConfig {
         max_connections: max_conns,
         protocols: proto,
+        auth_secret: auth,
+        retention,
         ..profserve::ServeConfig::default()
     };
-    let server = profserve::Server::bind(&addr, store, config).unwrap_or_else(|e| {
+    let server = profserve::Server::bind(&addr, repo, config).unwrap_or_else(|e| {
         eprintln!("cannot bind {addr}: {e}");
         std::process::exit(1);
     });
@@ -549,8 +631,8 @@ fn cmd_serve(args: &[String]) {
         });
     }
     eprintln!(
-        "# profserve listening on {bound} (protocols {proto}), store {dir} ({} runs in {} segments)",
-        stats.runs, stats.segments
+        "# profserve listening on {bound} (protocols {proto}), store {dir} ({} runs in {} segments, {} shard(s))",
+        stats.runs, stats.segments, shard_count
     );
     if let Err(e) = server.run() {
         eprintln!("server error: {e}");
@@ -585,8 +667,12 @@ fn deterministic_profile(app: &str, seed: u64, threads: usize) -> taskprof::Prof
     monitor.take_profile().expect("region finished")
 }
 
-fn connect_or_die(addr: &str, proto: profserve::WireProtocol) -> profserve::Client {
-    profserve::Client::connect_proto(addr, proto, profserve::ClientTimeouts::unbounded())
+fn connect_or_die(
+    addr: &str,
+    proto: profserve::WireProtocol,
+    auth: Option<&str>,
+) -> profserve::Client {
+    profserve::Client::connect_proto_auth(addr, proto, profserve::ClientTimeouts::unbounded(), auth)
         .unwrap_or_else(|e| {
             eprintln!("cannot connect to {addr}: {e}");
             std::process::exit(1);
@@ -608,6 +694,7 @@ fn delivery_policy(
     deadline_ms: Option<u64>,
     spool: Option<&String>,
     proto: profserve::WireProtocol,
+    auth: Option<String>,
 ) -> taskprof_session::ExportPolicy {
     let mut policy = taskprof_session::ExportPolicy::default();
     if let Some(ms) = deadline_ms {
@@ -615,6 +702,7 @@ fn delivery_policy(
     }
     policy.spool_dir = spool.map(std::path::PathBuf::from);
     policy.wire_protocol = proto;
+    policy.auth = auth;
     policy
 }
 
@@ -630,6 +718,7 @@ fn cmd_ingest(args: &[String]) {
     let mut spool: Option<String> = None;
     let mut deadline_ms: Option<u64> = None;
     let mut proto = profserve::WireProtocol::Auto;
+    let mut auth: Option<String> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -664,11 +753,12 @@ fn cmd_ingest(args: &[String]) {
                 )
             }
             "--proto" => proto = parse_proto(it.next()),
+            "--auth" => auth = Some(it.next().cloned().unwrap_or_else(|| usage())),
             _ => usage(),
         }
     }
     let Some(addr) = addr else { usage() };
-    let policy = delivery_policy(deadline_ms, spool.as_ref(), proto);
+    let policy = delivery_policy(deadline_ms, spool.as_ref(), proto, auth);
 
     // Collect (bench, timestamp, profile) upfront so a dead daemon can
     // still spool every one of them.
@@ -720,22 +810,27 @@ fn cmd_ingest(args: &[String]) {
         }
     };
 
-    let mut client =
-        match profserve::Client::connect_proto(&addr, proto, policy_timeouts(&policy)) {
-            Ok(c) => Some(c),
-            Err(e) if policy.spool_dir.is_some() => {
-                eprintln!("cannot connect to {addr}: {e}");
-                None
-            }
-            Err(e) => {
-                eprintln!("cannot connect to {addr}: {e}");
-                std::process::exit(1);
-            }
-        };
+    let mut client = match profserve::Client::connect_proto_auth(
+        &addr,
+        proto,
+        policy_timeouts(&policy),
+        policy.auth.as_deref(),
+    ) {
+        Ok(c) => Some(c),
+        Err(e) if policy.spool_dir.is_some() => {
+            eprintln!("cannot connect to {addr}: {e}");
+            None
+        }
+        Err(e) => {
+            eprintln!("cannot connect to {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
     for (bench_name, ts, profile) in &items {
         match client.as_mut() {
             Some(c) => {
-                let record = profserve::Record::from_profile(bench_name, threads as u32, *ts, profile);
+                let record =
+                    profserve::Record::from_profile(bench_name, threads as u32, *ts, profile);
                 match c.ingest_record(&record) {
                     Ok(receipt) => println!(
                         "ingested {bench_name} as run {} ({} bytes, segment {})",
@@ -779,6 +874,7 @@ fn cmd_drain(args: &[String]) {
     let mut spool: Option<String> = None;
     let mut deadline_ms: Option<u64> = None;
     let mut proto = profserve::WireProtocol::Auto;
+    let mut auth: Option<String> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -792,13 +888,14 @@ fn cmd_drain(args: &[String]) {
                 )
             }
             "--proto" => proto = parse_proto(it.next()),
+            "--auth" => auth = Some(it.next().cloned().unwrap_or_else(|| usage())),
             _ => usage(),
         }
     }
     let (Some(addr), Some(spool)) = (addr, spool) else {
         usage()
     };
-    let policy = delivery_policy(deadline_ms, None, proto);
+    let policy = delivery_policy(deadline_ms, None, proto, auth);
     let report = taskprof_session::drain_spool(std::path::Path::new(&spool), &addr, &policy);
     println!(
         "drained {} frame(s), {} quarantined (.bad), {} remaining",
@@ -827,10 +924,12 @@ fn cmd_query(args: &[String]) {
     let mut since_ns: Option<u64> = None;
     let mut buckets: u32 = 8;
     let mut prometheus = false;
+    let mut auth: Option<String> = None;
     let mut it = args[1..].iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--proto" => proto = parse_proto(it.next()),
+            "--auth" => auth = Some(it.next().cloned().unwrap_or_else(|| usage())),
             "--addr" => addr = Some(it.next().cloned().unwrap_or_else(|| usage())),
             "--bench" => bench = Some(it.next().cloned().unwrap_or_else(|| usage())),
             "--threads" => {
@@ -886,7 +985,7 @@ fn cmd_query(args: &[String]) {
     }
     let Some(addr) = addr else { usage() };
     let window = profstore::RunWindow { last, since_ns };
-    let mut client = connect_or_die(&addr, proto);
+    let mut client = connect_or_die(&addr, proto, auth.as_deref());
     let die = |e: profserve::ClientError| -> ! {
         eprintln!("query failed: {e}");
         std::process::exit(1);
@@ -914,7 +1013,10 @@ fn cmd_query(args: &[String]) {
             } else {
                 // Without --bench, report server health.
                 let report = client.server_stats().unwrap_or_else(|e| die(e));
-                println!("{}", profserve::Response::ServerStats(report).to_json_line());
+                println!(
+                    "{}",
+                    profserve::Response::ServerStats(report).to_json_line()
+                );
             }
         }
         "trend" => {
@@ -965,6 +1067,7 @@ fn cmd_watch(args: &[String]) {
     let mut frames: Option<u64> = None;
     let mut jsonl = false;
     let mut proto = profserve::WireProtocol::Auto;
+    let mut auth: Option<String> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -991,11 +1094,12 @@ fn cmd_watch(args: &[String]) {
                 }
             }
             "--proto" => proto = parse_proto(it.next()),
+            "--auth" => auth = Some(it.next().cloned().unwrap_or_else(|| usage())),
             _ => usage(),
         }
     }
     let Some(addr) = addr else { usage() };
-    let client = connect_or_die(&addr, proto);
+    let client = connect_or_die(&addr, proto, auth.as_deref());
     let (mut sub, granted_ms) = client.subscribe(interval_ms).unwrap_or_else(|e| {
         eprintln!("cannot subscribe: {e}");
         std::process::exit(1);
@@ -1003,7 +1107,9 @@ fn cmd_watch(args: &[String]) {
     eprintln!(
         "# watching {addr} over {} (telemetry every {granted_ms}ms{})",
         sub.protocol(),
-        frames.map(|f| format!(", exiting after {f} frames")).unwrap_or_default()
+        frames
+            .map(|f| format!(", exiting after {f} frames"))
+            .unwrap_or_default()
     );
     let mut seen_frames: u64 = 0;
     loop {
@@ -1016,7 +1122,10 @@ fn cmd_watch(args: &[String]) {
         };
         if jsonl {
             // Raw event lines for scripts, identical on both protocols.
-            println!("{}", profserve::Response::Event(event.clone()).to_json_line());
+            println!(
+                "{}",
+                profserve::Response::Event(event.clone()).to_json_line()
+            );
         } else {
             match &event {
                 profserve::Notification::Telemetry { t_ns, stats } => {
@@ -1043,6 +1152,48 @@ fn cmd_watch(args: &[String]) {
             if frames.is_some_and(|f| seen_frames >= f) {
                 return;
             }
+        }
+    }
+}
+
+/// `replicate`: pump every run the follower is missing from the leader,
+/// resuming from the follower's own cursor.
+fn cmd_replicate(args: &[String]) {
+    let mut from: Option<String> = None;
+    let mut to: Option<String> = None;
+    let mut config = profserve::ReplicaConfig::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--from" => from = Some(it.next().cloned().unwrap_or_else(|| usage())),
+            "--to" => to = Some(it.next().cloned().unwrap_or_else(|| usage())),
+            "--batch" => {
+                config.batch = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--proto" => config.proto = parse_proto(it.next()),
+            "--auth" => config.auth = Some(it.next().cloned().unwrap_or_else(|| usage())),
+            _ => usage(),
+        }
+    }
+    let (Some(from), Some(to)) = (from, to) else {
+        usage()
+    };
+    match profserve::replicate(&from, &to, &config) {
+        Ok(report) => println!(
+            "replicated {from} -> {to}: {} frame(s) applied, {} already present, \
+             cursor {} -> {} over {} page(s)",
+            report.frames_applied,
+            report.frames_skipped,
+            report.start_cursor,
+            report.end_cursor,
+            report.pages
+        ),
+        Err(e) => {
+            eprintln!("replication failed: {e}");
+            std::process::exit(1);
         }
     }
 }
@@ -1092,6 +1243,7 @@ fn main() {
         Some("drain") => cmd_drain(&args[1..]),
         Some("query") => cmd_query(&args[1..]),
         Some("watch") => cmd_watch(&args[1..]),
+        Some("replicate") => cmd_replicate(&args[1..]),
         _ => usage(),
     }
 }

@@ -42,10 +42,21 @@ fn arb_record() -> impl Strategy<Value = Record> {
     )
 }
 
+/// Optional `HELLO` auth secret (arbitrary short strings, including
+/// empty — the codec must not care what the secret looks like).
+fn arb_auth() -> impl Strategy<Value = Option<String>> {
+    (any::<bool>(), ".{0,24}").prop_map(|(some, s)| some.then_some(s))
+}
+
 fn arb_request() -> impl Strategy<Value = Request> {
     prop_oneof![
-        (any::<u32>(), any::<u64>())
-            .prop_map(|(version, features)| Request::Hello { version, features }),
+        (any::<u32>(), any::<u64>(), arb_auth()).prop_map(|(version, features, auth)| {
+            Request::Hello {
+                version,
+                features,
+                auth,
+            }
+        }),
         arb_record().prop_map(Request::Ingest),
         prop::collection::vec(arb_record(), 0..4).prop_map(Request::IngestBatch),
         ("[a-z]{1,12}", 1u32..8, 0usize..50, arb_window()).prop_map(
@@ -96,6 +107,9 @@ fn arb_request() -> impl Strategy<Value = Request> {
         Just(Request::Stats),
         Just(Request::StatsPrometheus),
         arb_opt_u64().prop_map(|interval_ms| Request::Subscribe { interval_ms }),
+        (any::<u64>(), any::<u64>()).prop_map(|(after, max)| Request::Export { after, max }),
+        prop::collection::vec(prop::collection::vec(any::<u8>(), 0..64), 0..4)
+            .prop_map(|frames| Request::Apply { frames }),
     ]
 }
 
