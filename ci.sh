@@ -44,6 +44,22 @@ echo "=== schedule exploration smoke ==="
 TASKPROF_EXPLORE_SEEDS="${TASKPROF_EXPLORE_SEEDS:-32}" \
     cargo run --release --bin taskprof-cli -- explore --threads 2 --workload all --dfs 100
 
+echo "=== causal what-if smoke (replay-checked prediction) ==="
+# Predict the makespan with the task region 3x faster, then replay the
+# same seed with the work actually scaled: --validate exits nonzero
+# unless the replayed makespan equals the prediction exactly.
+cargo run --release --bin taskprof-cli -- whatif \
+    --workload div --seed 11 --threads 2 \
+    --region 'sim-div-3!task' --speedup 3 --validate | tee /tmp/whatif.out
+grep -q 'predicted makespan' /tmp/whatif.out \
+    || { echo "what-if printed no prediction"; exit 1; }
+grep -q 'replay reproduced the prediction exactly' /tmp/whatif.out \
+    || { echo "what-if replay validation missing"; exit 1; }
+cargo run --release --bin taskprof-cli -- critpath \
+    --workload div --seed 11 --threads 2 | tee /tmp/critpath.out
+grep -q 'parallelism' /tmp/critpath.out \
+    || { echo "critpath report missing parallelism"; exit 1; }
+
 echo "=== profile repository smoke ==="
 # Serve an empty store on an ephemeral port, ingest two deterministic
 # seeded runs over TCP, then gate on the regression query: a candidate

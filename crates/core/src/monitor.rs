@@ -20,6 +20,7 @@
 //! shard's arena goes onto a spare pool the next region steals from.
 
 use crate::profiler::{AssignPolicy, ThreadProfile};
+use crate::replay::Event;
 use crate::shard::HandoffStack;
 use crate::snapshot::{Profile, ThreadSnapshot};
 use crate::tree::Arena;
@@ -116,6 +117,231 @@ struct Inner<C: ClockSource> {
     /// Live telemetry counters, when enabled. `None` keeps the event fast
     /// path to a single never-taken branch per hook.
     telemetry: Option<Arc<TelemetryCore>>,
+    /// Record the create/join edge stream for critical-path analysis.
+    record_edges: bool,
+    /// Per-thread edge streams, published lock-free at thread end in
+    /// packed form; decoded on drain in [`ProfMonitor::take_edge_streams`].
+    edge_streams: HandoffStack<(usize, PackedEdgeStream)>,
+}
+
+// Edge-record tags (low 4 bits of the first word of every record).
+const ET_LONG_ADVANCE: u64 = 0;
+const ET_ENTER: u64 = 1;
+const ET_EXIT: u64 = 2;
+const ET_CREATE_BEGIN: u64 = 3;
+const ET_CREATE_END: u64 = 4;
+const ET_TASK_BEGIN: u64 = 5;
+const ET_TASK_END: u64 = 6;
+const ET_TASK_ABORT: u64 = 7;
+const ET_SWITCH_IMPLICIT: u64 = 8;
+const ET_SWITCH_EXPLICIT: u64 = 9;
+const ET_PARAM_BEGIN: u64 = 10;
+const ET_PARAM_END: u64 = 11;
+
+/// Per-thread edge transcript: the hook stream recorded as packed
+/// `u64` records and decoded into the replayable [`Event`] language
+/// (differential timestamps, exactly what `critpath::TaskDag` consumes)
+/// only once, off the measured path entirely, when the caller drains
+/// [`ProfMonitor::take_edge_streams`]. Thread end just seals the word
+/// buffer and hands it off — decoding is analysis-time cost, so the
+/// instrumented run pays only the packed writes.
+///
+/// The hot path is dominated by memory traffic, not compute: retaining
+/// one `Event` per hook plus its `Advance` streams ~48 bytes per event
+/// through the cache, which costs more than the rest of the hook
+/// combined once the log outgrows L2. The packed form is one word for
+/// enter/exit-class records (tag in bits 0..4, timestamp delta in bits
+/// 4..28, a `u32` region/param payload in bits 28..60) plus full-width
+/// extra words only where needed (task ids, param values) — 8 bytes for
+/// region events, 16–24 for task-lifecycle events, a 3–6× traffic
+/// reduction. Deltas ≥ 2^24 ns (gaps over ~16 ms) take a rare
+/// standalone long-advance record. When recording is off the whole
+/// shard field is `None` and each hook pays one never-taken branch.
+struct EdgeLog {
+    last: u64,
+    words: Vec<u64>,
+}
+
+impl EdgeLog {
+    fn new(t: u64) -> Self {
+        EdgeLog {
+            last: t,
+            words: Vec::with_capacity(1 << 12),
+        }
+    }
+
+    /// Timestamp delta for the next record header, folding oversized
+    /// gaps into a standalone long-advance record.
+    #[inline(always)]
+    fn delta(&mut self, t: u64) -> u64 {
+        let d = t.saturating_sub(self.last);
+        if d == 0 {
+            return 0;
+        }
+        self.last = t;
+        if d < (1 << 24) {
+            d
+        } else {
+            self.long_advance(d)
+        }
+    }
+
+    #[cold]
+    fn long_advance(&mut self, d: u64) -> u64 {
+        self.words.push(ET_LONG_ADVANCE | (d << 4));
+        0
+    }
+
+    /// Append the first `n` of `w` with a single capacity check and
+    /// unconditional in-capacity stores — three dependent `Vec::push`
+    /// calls would pay three grow checks on the hottest path.
+    #[inline(always)]
+    fn push_words(&mut self, w: [u64; 3], n: usize) {
+        let buf = &mut self.words;
+        if buf.capacity() - buf.len() < 3 {
+            buf.reserve(1 << 12);
+        }
+        // SAFETY: capacity for 3 words was just ensured; writes stay in
+        // spare capacity and `set_len` only exposes the `n` valid ones.
+        unsafe {
+            let p = buf.as_mut_ptr().add(buf.len());
+            p.write(w[0]);
+            p.add(1).write(w[1]);
+            p.add(2).write(w[2]);
+            buf.set_len(buf.len() + n);
+        }
+    }
+
+    #[inline(always)]
+    fn emit(&mut self, t: u64, ev: Event) {
+        // Hooks pass a literal variant, so after inlining the match
+        // folds to the single arm and no `Event` ever materializes.
+        let d = self.delta(t);
+        let hdr = |tag: u64, a: u32| tag | (d << 4) | (u64::from(a) << 28);
+        match ev {
+            Event::Advance(_) => {}
+            Event::Enter(r) => self.push_words([hdr(ET_ENTER, r.0), 0, 0], 1),
+            Event::Exit(r) => self.push_words([hdr(ET_EXIT, r.0), 0, 0], 1),
+            Event::CreateBegin {
+                create,
+                task_region,
+                id,
+            } => self.push_words(
+                [
+                    hdr(ET_CREATE_BEGIN, create.0),
+                    u64::from(task_region.0),
+                    id.get(),
+                ],
+                3,
+            ),
+            Event::CreateEnd { create, id } => {
+                self.push_words([hdr(ET_CREATE_END, create.0), id.get(), 0], 2)
+            }
+            Event::TaskBegin { region, id } => {
+                self.push_words([hdr(ET_TASK_BEGIN, region.0), id.get(), 0], 2)
+            }
+            Event::TaskEnd { region, id } => {
+                self.push_words([hdr(ET_TASK_END, region.0), id.get(), 0], 2)
+            }
+            Event::TaskAbort { region, id } => {
+                self.push_words([hdr(ET_TASK_ABORT, region.0), id.get(), 0], 2)
+            }
+            Event::Switch(TaskRef::Implicit) => {
+                self.push_words([hdr(ET_SWITCH_IMPLICIT, 0), 0, 0], 1)
+            }
+            Event::Switch(TaskRef::Explicit(id)) => {
+                self.push_words([hdr(ET_SWITCH_EXPLICIT, 0), id.get(), 0], 2)
+            }
+            Event::ParamBegin { param, value } => {
+                self.push_words([hdr(ET_PARAM_BEGIN, param.0), value as u64, 0], 2)
+            }
+            Event::ParamEnd { param } => self.push_words([hdr(ET_PARAM_END, param.0), 0, 0], 1),
+        }
+    }
+
+    /// Seal the log at thread-end timestamp `t`: the packed words plus
+    /// the final span, ready for off-path decoding.
+    fn finish(self, t: u64) -> PackedEdgeStream {
+        PackedEdgeStream {
+            last: self.last,
+            end: t,
+            words: self.words,
+        }
+    }
+}
+
+/// A sealed [`EdgeLog`]: the packed word buffer plus the thread-end
+/// timestamp, published through the handoff stack and decoded lazily.
+struct PackedEdgeStream {
+    last: u64,
+    end: u64,
+    words: Vec<u64>,
+}
+
+impl PackedEdgeStream {
+    /// Decode the packed log into the replayable event stream, with a
+    /// trailing `Advance` up to the thread-end timestamp.
+    fn into_events(self) -> Vec<Event> {
+        let task_id = |w: u64| TaskId::from_raw(w).expect("recorded task ids are nonzero");
+        let mut out = Vec::with_capacity(self.words.len());
+        let mut i = 0;
+        while i < self.words.len() {
+            let w = self.words[i];
+            i += 1;
+            let tag = w & 0xF;
+            if tag == ET_LONG_ADVANCE {
+                out.push(Event::Advance(w >> 4));
+                continue;
+            }
+            let d = (w >> 4) & 0xFF_FFFF;
+            if d > 0 {
+                out.push(Event::Advance(d));
+            }
+            let a = ((w >> 28) & 0xFFFF_FFFF) as u32;
+            let mut extra = || {
+                let w = self.words[i];
+                i += 1;
+                w
+            };
+            out.push(match tag {
+                ET_ENTER => Event::Enter(RegionId(a)),
+                ET_EXIT => Event::Exit(RegionId(a)),
+                ET_CREATE_BEGIN => Event::CreateBegin {
+                    create: RegionId(a),
+                    task_region: RegionId(extra() as u32),
+                    id: task_id(extra()),
+                },
+                ET_CREATE_END => Event::CreateEnd {
+                    create: RegionId(a),
+                    id: task_id(extra()),
+                },
+                ET_TASK_BEGIN => Event::TaskBegin {
+                    region: RegionId(a),
+                    id: task_id(extra()),
+                },
+                ET_TASK_END => Event::TaskEnd {
+                    region: RegionId(a),
+                    id: task_id(extra()),
+                },
+                ET_TASK_ABORT => Event::TaskAbort {
+                    region: RegionId(a),
+                    id: task_id(extra()),
+                },
+                ET_SWITCH_IMPLICIT => Event::Switch(TaskRef::Implicit),
+                ET_SWITCH_EXPLICIT => Event::Switch(TaskRef::Explicit(task_id(extra()))),
+                ET_PARAM_BEGIN => Event::ParamBegin {
+                    param: ParamId(a),
+                    value: extra() as i64,
+                },
+                ET_PARAM_END => Event::ParamEnd { param: ParamId(a) },
+                _ => unreachable!("unknown edge-record tag {tag}"),
+            });
+        }
+        if self.end > self.last {
+            out.push(Event::Advance(self.end - self.last));
+        }
+        out
+    }
 }
 
 /// Builder for [`ProfMonitor`]: collect every setting, validate once in
@@ -138,6 +364,7 @@ pub struct ProfMonitorBuilder<C: ClockSource = MonotonicClock> {
     max_live_trees: Option<usize>,
     prealloc_nodes: usize,
     telemetry: Option<TelemetryConfig>,
+    record_edges: bool,
 }
 
 impl Default for ProfMonitorBuilder<MonotonicClock> {
@@ -149,6 +376,7 @@ impl Default for ProfMonitorBuilder<MonotonicClock> {
             max_live_trees: None,
             prealloc_nodes: DEFAULT_PREALLOC_NODES,
             telemetry: None,
+            record_edges: false,
         }
     }
 }
@@ -172,6 +400,7 @@ impl<C: ClockSource> ProfMonitorBuilder<C> {
             max_live_trees: self.max_live_trees,
             prealloc_nodes: self.prealloc_nodes,
             telemetry: self.telemetry,
+            record_edges: self.record_edges,
         }
     }
 
@@ -218,6 +447,17 @@ impl<C: ClockSource> ProfMonitorBuilder<C> {
         self
     }
 
+    /// Record the task create/join edge stream alongside the profile, for
+    /// critical-path (work/span) analysis. Each hook appends one
+    /// differential [`Event`] to a thread-private buffer — no extra clock
+    /// read, no synchronization until the thread ends. Off by default:
+    /// when off, the only cost is one never-taken branch per hook. Drain
+    /// with [`ProfMonitor::take_edge_streams`].
+    pub fn record_task_edges(mut self) -> Self {
+        self.record_edges = true;
+        self
+    }
+
     /// Validate every setting and construct the monitor.
     pub fn build(self) -> Result<ProfMonitor<C>, ConfigError> {
         if self.max_depth == Some(0) {
@@ -257,6 +497,8 @@ impl<C: ClockSource> ProfMonitorBuilder<C> {
                 telemetry: self
                     .telemetry
                     .map(|cfg| Arc::new(TelemetryCore::new(cfg))),
+                record_edges: self.record_edges,
+                edge_streams: HandoffStack::new(),
             }),
         })
     }
@@ -347,6 +589,37 @@ impl<C: ClockSource> ProfMonitor<C> {
         }
         Ok(Profile { threads })
     }
+
+    /// Whether the task create/join edge stream is being recorded.
+    pub fn records_task_edges(&self) -> bool {
+        self.inner.record_edges
+    }
+
+    /// Drain the edge streams recorded since the last call, sorted by
+    /// thread id — the input to `critpath::TaskDag::from_streams`. Empty
+    /// unless the monitor was built with
+    /// [`ProfMonitorBuilder::record_task_edges`]. Like
+    /// [`ProfMonitor::take_profile`], draining mid-measurement would hand
+    /// back a torn run, so it is the same typed error.
+    pub fn take_edge_streams(&self) -> Result<Vec<(usize, Vec<Event>)>, SessionActiveError> {
+        let live_threads = self.inner.live_threads.load(Ordering::Acquire);
+        let live_regions = self.inner.live_regions.load(Ordering::Acquire);
+        if live_threads > 0 || live_regions > 0 {
+            return Err(SessionActiveError {
+                live_threads,
+                live_regions,
+            });
+        }
+        let mut streams: Vec<(usize, Vec<Event>)> = self
+            .inner
+            .edge_streams
+            .take_all()
+            .into_iter()
+            .map(|(tid, packed)| (tid, packed.into_events()))
+            .collect();
+        streams.sort_by_key(|(tid, _)| *tid);
+        Ok(streams)
+    }
 }
 
 /// Per-thread profiling shard (owned by exactly one runtime thread): the
@@ -367,6 +640,9 @@ pub struct ProfThread<C: ClockSource> {
     /// Telemetry write handle when enabled: relaxed stores onto the
     /// thread's own padded slot, so the steady-state path stays lock-free.
     telem: Option<ThreadTelemetry>,
+    // SAFETY invariant: identical to `prof` — single-owner, one hook at a
+    // time, no reentrancy.
+    edges: Option<UnsafeCell<EdgeLog>>,
 }
 
 impl<C: ClockSource> ProfThread<C> {
@@ -382,6 +658,18 @@ impl<C: ClockSource> ProfThread<C> {
         // SAFETY: single-owner, non-reentrant access per the field's
         // documented invariant; `UnsafeCell` makes the type `!Sync`.
         unsafe { &mut *self.prof.get() }
+    }
+
+    /// Append to the edge transcript when recording is on: one branch,
+    /// then a plain `Vec` push reusing the timestamp the hook already
+    /// read.
+    #[inline]
+    fn edge(&self, t: u64, ev: Event) {
+        if let Some(cell) = &self.edges {
+            // SAFETY: single-owner, non-reentrant access per the field's
+            // documented invariant; `UnsafeCell` makes the type `!Sync`.
+            unsafe { &mut *cell.get() }.emit(t, ev);
+        }
     }
 
     /// Telemetry tail for hooks without task-lifecycle side effects:
@@ -449,6 +737,10 @@ impl<C: ClockSource + 'static> Monitor for ProfMonitor<C> {
             tid,
             prof: UnsafeCell::new(prof),
             telem,
+            edges: self
+                .inner
+                .record_edges
+                .then(|| UnsafeCell::new(EdgeLog::new(t))),
         }
     }
 
@@ -456,6 +748,10 @@ impl<C: ClockSource + 'static> Monitor for ProfMonitor<C> {
         let t = thread.reader.now();
         let mut prof = thread.prof.into_inner();
         prof.finish(t);
+        if let Some(cell) = thread.edges {
+            let log = cell.into_inner();
+            self.inner.edge_streams.push((tid, log.finish(t)));
+        }
         // Lock-free hand-off: one CAS publishes the snapshot, one more
         // returns the arena to the spare pool.
         self.inner.collected.push(prof.snapshot(tid));
@@ -474,6 +770,7 @@ impl<C: ClockSource> ThreadHooks for ProfThread<C> {
     fn enter(&self, region: RegionId) {
         let t = self.now();
         self.prof().enter(region, t);
+        self.edge(t, Event::Enter(region));
         self.telem_tail(EventClass::Enter, t);
     }
 
@@ -481,6 +778,7 @@ impl<C: ClockSource> ThreadHooks for ProfThread<C> {
     fn exit(&self, region: RegionId) {
         let t = self.now();
         self.prof().exit(region, t);
+        self.edge(t, Event::Exit(region));
         self.telem_tail(EventClass::Exit, t);
     }
 
@@ -489,6 +787,14 @@ impl<C: ClockSource> ThreadHooks for ProfThread<C> {
         let t = self.now();
         self.prof()
             .task_create_begin(create_region, task_region, new_task, t);
+        self.edge(
+            t,
+            Event::CreateBegin {
+                create: create_region,
+                task_region,
+                id: new_task,
+            },
+        );
         if let Some(tm) = &self.telem {
             tm.task_created();
         }
@@ -500,6 +806,13 @@ impl<C: ClockSource> ThreadHooks for ProfThread<C> {
         let t = self.now();
         self.prof()
             .task_create_end(create_region, new_task, t);
+        self.edge(
+            t,
+            Event::CreateEnd {
+                create: create_region,
+                id: new_task,
+            },
+        );
         self.telem_tail(EventClass::TaskCreate, t);
     }
 
@@ -519,6 +832,13 @@ impl<C: ClockSource> ThreadHooks for ProfThread<C> {
         } else {
             prof.task_begin(task_region, task, t);
         }
+        self.edge(
+            t,
+            Event::TaskBegin {
+                region: task_region,
+                id: task,
+            },
+        );
         self.telem_tail(EventClass::TaskBegin, t);
     }
 
@@ -527,6 +847,13 @@ impl<C: ClockSource> ThreadHooks for ProfThread<C> {
         let t = self.now();
         let prof = self.prof();
         prof.task_end(task_region, task, t);
+        self.edge(
+            t,
+            Event::TaskEnd {
+                region: task_region,
+                id: task,
+            },
+        );
         if let Some(tm) = &self.telem {
             tm.task_completed();
             Self::telem_task_state(tm, prof, t);
@@ -539,6 +866,13 @@ impl<C: ClockSource> ThreadHooks for ProfThread<C> {
         let t = self.now();
         let prof = self.prof();
         prof.task_abort(task_region, task, t);
+        self.edge(
+            t,
+            Event::TaskAbort {
+                region: task_region,
+                id: task,
+            },
+        );
         if let Some(tm) = &self.telem {
             tm.task_aborted();
             Self::telem_task_state(tm, prof, t);
@@ -552,6 +886,9 @@ impl<C: ClockSource> ThreadHooks for ProfThread<C> {
         let prof = self.prof();
         let prev = prof.current_task();
         prof.task_switch(resumed, t);
+        if prev != resumed {
+            self.edge(t, Event::Switch(resumed));
+        }
         if let Some(tm) = &self.telem {
             // A redundant switch (already current) is a profiler no-op and
             // must not be counted as a fragment resumption.
@@ -566,6 +903,7 @@ impl<C: ClockSource> ThreadHooks for ProfThread<C> {
     fn parameter_begin(&self, param: ParamId, value: i64) {
         let t = self.now();
         self.prof().parameter_begin(param, value, t);
+        self.edge(t, Event::ParamBegin { param, value });
         self.telem_tail(EventClass::Param, t);
     }
 
@@ -573,6 +911,7 @@ impl<C: ClockSource> ThreadHooks for ProfThread<C> {
     fn parameter_end(&self, param: ParamId) {
         let t = self.now();
         self.prof().parameter_end(param, t);
+        self.edge(t, Event::ParamEnd { param });
         self.telem_tail(EventClass::Param, t);
     }
 }
@@ -669,6 +1008,70 @@ mod tests {
         assert_eq!((err.live_threads, err.live_regions), (0, 1));
         m.parallel_join(par);
         assert_eq!(m.take_profile().unwrap().num_threads(), 1);
+    }
+
+    #[test]
+    fn edge_recording_captures_differential_stream() {
+        let clock = VirtualClock::new();
+        let m = ProfMonitor::builder()
+            .clock(clock.clone())
+            .record_task_edges()
+            .build()
+            .unwrap();
+        assert!(m.records_task_edges());
+        let ids = TaskIdAllocator::new();
+        let (par, task, create) = (RegionId(0), RegionId(1), RegionId(2));
+        let id = ids.alloc();
+        m.parallel_fork(par, 1);
+        let th = m.thread_begin(0, 1, par);
+        clock.set(10);
+        th.task_create_begin(create, task, id);
+        clock.set(14);
+        th.task_create_end(create, id);
+        th.task_begin(task, id);
+        clock.set(20);
+        th.task_end(task, id);
+        // Mid-measurement drain is refused, like take_profile.
+        assert!(m.take_edge_streams().is_err());
+        clock.set(23);
+        m.thread_end(0, th);
+        m.parallel_join(par);
+        let streams = m.take_edge_streams().unwrap();
+        assert_eq!(streams.len(), 1);
+        let (tid, events) = &streams[0];
+        assert_eq!(*tid, 0);
+        assert_eq!(
+            events.as_slice(),
+            &[
+                Event::Advance(10),
+                Event::CreateBegin {
+                    create,
+                    task_region: task,
+                    id
+                },
+                Event::Advance(4),
+                Event::CreateEnd { create, id },
+                Event::TaskBegin { region: task, id },
+                Event::Advance(6),
+                Event::TaskEnd { region: task, id },
+                Event::Advance(3),
+            ]
+        );
+        // Drained: second take is empty, and the profile still collected.
+        assert!(m.take_edge_streams().unwrap().is_empty());
+        assert_eq!(m.take_profile().unwrap().num_threads(), 1);
+    }
+
+    #[test]
+    fn edge_recording_off_publishes_nothing() {
+        let (clock, m) = virtual_monitor();
+        assert!(!m.records_task_edges());
+        let th = m.thread_begin(0, 1, RegionId(0));
+        clock.set(5);
+        th.enter(RegionId(1));
+        th.exit(RegionId(1));
+        m.thread_end(0, th);
+        assert!(m.take_edge_streams().unwrap().is_empty());
     }
 
     #[test]

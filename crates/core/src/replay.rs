@@ -11,7 +11,7 @@ use crate::snapshot::ThreadSnapshot;
 use pomp::{ParamId, RegionId, TaskId, TaskRef};
 
 /// One step of a replayed event stream.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Event {
     /// Advance virtual time by `dt` nanoseconds.
     Advance(u64),

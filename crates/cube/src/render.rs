@@ -337,11 +337,139 @@ pub fn render_fleet(s: &FleetStats) -> String {
     out
 }
 
+/// Render a critical-path (work/span) report: headline numbers, per-thread
+/// utilization, the per-region table with critical-path shares, and any
+/// detrimental-pattern flags.
+pub fn render_critpath(r: &critpath::CritPathReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "=== critical-path analysis ===");
+    let _ = writeln!(
+        out,
+        "work {}  span {}  makespan {}  parallelism {:.2}",
+        format_ns(r.work_ns),
+        format_ns(r.span_ns),
+        format_ns(r.makespan_ns),
+        r.parallelism
+    );
+    let _ = writeln!(
+        out,
+        "threads {}  tasks {}  fragments {}  steals {}",
+        r.threads, r.tasks, r.fragments, r.steals
+    );
+    if r.makespan_ns > 0 {
+        let util: Vec<String> = r
+            .thread_work_ns
+            .iter()
+            .map(|&w| format!("{:.0}%", 100.0 * w as f64 / r.makespan_ns as f64))
+            .collect();
+        let _ = writeln!(out, "thread utilization: [{}]", util.join(" "));
+    }
+    if !r.regions.is_empty() {
+        let _ = writeln!(
+            out,
+            "{:<28} {:>10} {:>7} {:>10} {:>7}",
+            "region", "work", "work%", "span", "span%"
+        );
+        for row in &r.regions {
+            let work_pct = if r.work_ns > 0 {
+                100.0 * row.work_ns as f64 / r.work_ns as f64
+            } else {
+                0.0
+            };
+            let span_pct = if r.span_ns > 0 {
+                100.0 * row.span_ns as f64 / r.span_ns as f64
+            } else {
+                0.0
+            };
+            let _ = writeln!(
+                out,
+                "{:<28} {:>10} {:>6.1}% {:>10} {:>6.1}%",
+                row.name,
+                format_ns(row.work_ns),
+                work_pct,
+                format_ns(row.span_ns),
+                span_pct
+            );
+        }
+    }
+    for flag in &r.flags {
+        let _ = writeln!(out, "WARNING: {flag}");
+    }
+    out
+}
+
+/// Render a what-if prediction: "if `name` were K× faster, the runtime
+/// would be …". The caller resolves the region name.
+pub fn render_whatif(p: &critpath::WhatIfPrediction, name: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "=== what-if: {name} {}x faster ===",
+        p.speedup
+    );
+    let _ = writeln!(out, "baseline makespan:  {}", format_ns(p.baseline_makespan_ns));
+    let _ = writeln!(
+        out,
+        "predicted makespan: {}  ({:.2}x whole-program speedup)",
+        format_ns(p.predicted_makespan_ns),
+        p.program_speedup()
+    );
+    let _ = writeln!(
+        out,
+        "predicted span:     {}  (no schedule can beat this)",
+        format_ns(p.predicted_span_ns)
+    );
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use pomp::{RegionKind, TaskIdAllocator};
     use taskprof::{replay, AssignPolicy, Event, Profile};
+
+    #[test]
+    fn critpath_and_whatif_render() {
+        let report = critpath::CritPathReport {
+            work_ns: 1000,
+            span_ns: 400,
+            makespan_ns: 600,
+            parallelism: 2.5,
+            threads: 2,
+            tasks: 8,
+            fragments: 9,
+            steals: 7,
+            thread_work_ns: vec![600, 400],
+            regions: vec![critpath::RegionRow {
+                region: RegionId(1),
+                name: "render-cp-task".into(),
+                work_ns: 700,
+                span_ns: 300,
+            }],
+            flags: vec![critpath::DetrimentalFlag::StealStorm {
+                steals: 7,
+                tasks: 8,
+                steal_ratio: 0.875,
+            }],
+        };
+        let text = render_critpath(&report);
+        assert!(text.contains("parallelism 2.50"), "{text}");
+        assert!(text.contains("render-cp-task"), "{text}");
+        assert!(text.contains("WARNING: steal storm"), "{text}");
+        assert!(text.contains("thread utilization"), "{text}");
+
+        let p = critpath::WhatIfPrediction {
+            region: RegionId(1),
+            speedup: 4,
+            baseline_makespan_ns: 600,
+            predicted_makespan_ns: 450,
+            predicted_span_ns: 300,
+        };
+        let text = render_whatif(&p, "render-cp-task");
+        assert!(text.contains("render-cp-task 4x faster"), "{text}");
+        assert!(text.contains("predicted makespan"), "{text}");
+        assert!(text.contains("1.33x"), "{text}");
+    }
 
     #[test]
     fn format_ns_units() {

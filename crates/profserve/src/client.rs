@@ -18,11 +18,10 @@
 //!   a JSON retry would be shed identically.
 //! * `Binary` / `Json` — speak exactly that protocol or fail.
 //!
-//! The old line-oriented surface survives as thin deprecated shims
-//! ([`Client::call`], [`Client::ingest`]) so existing callers keep
-//! compiling while they migrate.
+//! The old line-oriented shim surface (`Client::call`, `Client::ingest`)
+//! is gone: callers speak the typed [`Request`]/[`Response`] surface or
+//! the typed query methods.
 
-use crate::json::{self, Json};
 use crate::protocol::{
     ErrorKind, IngestReceipt, Notification, ProfilePayload, Record, RegressReport, Request,
     Response, ServerStatsReport, StatsReport, TopReport, TrendReport, WireProtocol,
@@ -128,18 +127,6 @@ pub struct ApplyAck {
     /// The follower's replication cursor after the apply (its highest
     /// indexed run id).
     pub watermark: u64,
-}
-
-/// Acknowledgement returned by the deprecated [`Client::ingest`] shim;
-/// new code reads the richer [`IngestReceipt`].
-#[derive(Clone, Copy, Debug)]
-pub struct IngestAck {
-    /// Stable run id the server assigned.
-    pub run_id: u64,
-    /// Encoded record size in bytes.
-    pub bytes: u64,
-    /// Segment ordinal the record landed in.
-    pub segment: u64,
 }
 
 /// Which protocol a connection settled on.
@@ -708,41 +695,6 @@ impl Client {
                 "expected subscription ack, got {other:?}"
             ))),
         }
-    }
-
-    // -----------------------------------------------------------------
-    // Deprecated line-oriented shims
-    // -----------------------------------------------------------------
-
-    /// Send one request, return the response as a raw JSON object
-    /// (whatever protocol the connection speaks — binary responses are
-    /// re-rendered through the JSON codec).
-    #[deprecated(note = "use `request` and the typed `Response`, or the typed query methods")]
-    pub fn call(&mut self, request: &Request) -> Result<Json, ClientError> {
-        let response = self.expect(request)?;
-        json::parse(&response.to_json_line()).map_err(|e| ClientError::Protocol(e.to_string()))
-    }
-
-    /// Upload one profile (text store format).
-    #[deprecated(note = "use `ingest_record` (or `ingest_batch`) with a typed `Record`")]
-    pub fn ingest(
-        &mut self,
-        benchmark: &str,
-        threads: u32,
-        timestamp_ns: Option<u64>,
-        profile_text: &str,
-    ) -> Result<IngestAck, ClientError> {
-        let receipt = self.ingest_record(&Record::from_text(
-            benchmark,
-            threads,
-            timestamp_ns,
-            profile_text,
-        ))?;
-        Ok(IngestAck {
-            run_id: receipt.run_id(),
-            bytes: receipt.bytes,
-            segment: receipt.segment,
-        })
     }
 }
 

@@ -51,7 +51,7 @@ mod trace;
 pub mod wire;
 
 pub use client::{
-    ApplyAck, Client, ClientError, ClientTimeouts, ExportPage, IngestAck, Subscription,
+    ApplyAck, Client, ClientError, ClientTimeouts, ExportPage, Subscription,
 };
 pub use json::{parse as parse_json, Json, JsonError};
 pub use protocol::{
@@ -194,29 +194,6 @@ mod tests {
         let health = client.server_stats().expect("health");
         assert_eq!(health.service.ingests, 10);
         assert_eq!(health.service.ingest_batches, 1);
-
-        handle.stop();
-        drop(client);
-        join.join().expect("join").expect("run");
-    }
-
-    #[test]
-    fn deprecated_shims_still_work() {
-        #![allow(deprecated)]
-        let dir = temp_dir("shim");
-        let store = open_store(&dir);
-        let (handle, join) =
-            Server::spawn("127.0.0.1:0", store, ServeConfig::default()).expect("spawn");
-        let mut client = Client::connect(&handle.addr().to_string()).expect("connect");
-
-        let profile = sample_profile_text("shim", 600);
-        let ack = client
-            .ingest("legacy", 2, Some(7), &profile)
-            .expect("shim ingest");
-        assert_eq!(ack.run_id, 1);
-        let v = client.call(&Request::Stats).expect("shim call");
-        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true));
-        assert!(v.get("server").is_some(), "{v}");
 
         handle.stop();
         drop(client);

@@ -209,6 +209,10 @@ pub struct SessionReport {
     /// [`SessionBuilder::export_to`]. A failed export never fails the
     /// measurement — inspect this to find out.
     pub export: Option<Result<ExportReceipt, ExportError>>,
+    /// Critical-path (work/span) analysis of the recorded create/join
+    /// edges, present when the session was built with
+    /// [`SessionBuilder::record_task_edges`].
+    pub critpath: Option<critpath::CritPathReport>,
 }
 
 impl SessionReport {
@@ -223,6 +227,14 @@ impl SessionReport {
             .as_ref()
             .expect("session was not counted(); no event counts recorded")
             .counts()
+    }
+
+    /// The critical-path analysis (panics when the session was not built
+    /// with [`SessionBuilder::record_task_edges`]).
+    pub fn critpath(&self) -> &critpath::CritPathReport {
+        self.critpath
+            .as_ref()
+            .expect("session was not built with record_task_edges(); no edges recorded")
     }
 }
 
@@ -240,6 +252,7 @@ pub struct MeasurementSession<M: ProfStack> {
     monitor: M,
     counts: Option<CountingMonitor>,
     export: Option<ExportPlan>,
+    sim_spawn_cost: Option<u64>,
 }
 
 impl<M: ProfStack> std::fmt::Debug for MeasurementSession<M> {
@@ -262,6 +275,10 @@ pub struct SessionBuilder<C: ClockSource = MonotonicClock> {
     policy: Option<Arc<dyn taskrt::SchedulePolicy>>,
     export: Option<ExportTarget>,
     export_policy: ExportPolicy,
+    /// Spawn cost the installed simulated scheduler charges per
+    /// undeferred creation, so critical-path analysis can carve it back
+    /// out of the creator's frame. `None` for real-clock sessions.
+    sim_spawn_cost: Option<u64>,
 }
 
 impl SessionBuilder<MonotonicClock> {
@@ -274,6 +291,7 @@ impl SessionBuilder<MonotonicClock> {
             policy: None,
             export: None,
             export_policy: ExportPolicy::default(),
+            sim_spawn_cost: None,
         }
     }
 }
@@ -302,6 +320,7 @@ impl<C: ClockSource + 'static> SessionBuilder<C> {
             policy: self.policy,
             export: self.export,
             export_policy: self.export_policy,
+            sim_spawn_cost: self.sim_spawn_cost,
         }
     }
 
@@ -316,6 +335,7 @@ impl<C: ClockSource + 'static> SessionBuilder<C> {
         let clock = sched.clock().clone();
         let mut b = self.clock(clock);
         b.policy = Some(sched);
+        b.sim_spawn_cost = Some(simsched::DEFAULT_SPAWN_COST_NS);
         b
     }
 
@@ -362,6 +382,15 @@ impl<C: ClockSource + 'static> SessionBuilder<C> {
     /// Enable live telemetry with an explicit configuration.
     pub fn telemetry_config(mut self, config: TelemetryConfig) -> Self {
         self.prof = self.prof.telemetry_config(config);
+        self
+    }
+
+    /// Record the task create/join edge stream alongside the profile and
+    /// run critical-path (work/span) analysis on `finish()`: the report
+    /// gains [`SessionReport::critpath`]. Off by default — when off, the
+    /// hot path pays one never-taken branch per hook.
+    pub fn record_task_edges(mut self) -> Self {
+        self.prof = self.prof.record_task_edges();
         self
     }
 
@@ -430,6 +459,7 @@ impl<C: ClockSource + 'static> SessionBuilder<C> {
             monitor: self.prof.build()?,
             counts: None,
             export,
+            sim_spawn_cost: self.sim_spawn_cost,
         })
     }
 }
@@ -452,6 +482,7 @@ impl<M: ProfStack> MeasurementSession<M> {
             monitor,
             counts: None,
             export: None,
+            sim_spawn_cost: None,
         }
     }
 
@@ -499,6 +530,7 @@ impl<M: ProfStack> MeasurementSession<M> {
             monitor: ValidatingMonitor::new(self.monitor),
             counts: self.counts,
             export: self.export,
+            sim_spawn_cost: self.sim_spawn_cost,
         }
     }
 
@@ -512,6 +544,7 @@ impl<M: ProfStack> MeasurementSession<M> {
             counts: Some(counter.clone()),
             monitor: (counter, self.monitor),
             export: self.export,
+            sim_spawn_cost: self.sim_spawn_cost,
         }
     }
 
@@ -524,6 +557,7 @@ impl<M: ProfStack> MeasurementSession<M> {
             monitor: FilteredMonitor::new(self.monitor, filter),
             counts: self.counts,
             export: self.export,
+            sim_spawn_cost: self.sim_spawn_cost,
         }
     }
 
@@ -536,6 +570,7 @@ impl<M: ProfStack> MeasurementSession<M> {
             monitor: (observer, self.monitor),
             counts: self.counts,
             export: self.export,
+            sim_spawn_cost: self.sim_spawn_cost,
         }
     }
 
@@ -581,12 +616,28 @@ impl<M: ProfStack> MeasurementSession<M> {
             .export
             .as_ref()
             .map(|plan| export_profile(plan, &profile));
+        let critpath = if self.monitor.profiler().records_task_edges() {
+            let streams = self
+                .monitor
+                .profiler()
+                .take_edge_streams()
+                .expect("a consumed session cannot have regions in flight");
+            let opts = critpath::DagOptions {
+                undeferred_spawn_cost: self.sim_spawn_cost,
+            };
+            let dag = critpath::TaskDag::from_streams(&streams, self.construct.region, &opts)
+                .expect("recorded edge streams assemble into a DAG");
+            Some(dag.report())
+        } else {
+            None
+        };
         SessionReport {
             profile,
             diagnostics,
             counts: self.counts,
             telemetry,
             export,
+            critpath,
         }
     }
 }
@@ -711,6 +762,45 @@ mod tests {
             );
             assert_eq!(ta.max_live_trees, tb.max_live_trees);
         }
+    }
+
+    #[test]
+    fn record_task_edges_yields_critpath_report() {
+        let task = TaskConstruct::new("session-critpath-task");
+        let tw = taskrt::taskwait_region("session-critpath!tw");
+        let session = MeasurementSession::builder("session-critpath")
+            .threads(2)
+            .deterministic(5)
+            .record_task_edges()
+            .build()
+            .unwrap();
+        session
+            .run(|ctx| {
+                for _ in 0..3 {
+                    ctx.task(&task, |_| {});
+                }
+                ctx.taskwait(tw);
+            })
+            .unwrap();
+        let report = session.finish();
+        let cp = report.critpath();
+        assert_eq!(cp.threads, 2);
+        assert_eq!(cp.tasks, 6, "3 tasks per implicit task");
+        assert!(cp.work_ns > 0, "spawn costs spend virtual time");
+        assert!(cp.span_ns <= cp.work_ns);
+        assert!(cp.makespan_ns >= cp.span_ns);
+        assert!(cp.parallelism >= 1.0);
+        assert_eq!(cp.thread_work_ns.len(), 2);
+    }
+
+    #[test]
+    fn critpath_absent_without_edge_recording() {
+        let session = MeasurementSession::builder("session-no-critpath")
+            .threads(1)
+            .build()
+            .unwrap();
+        session.run(|_| {}).unwrap();
+        assert!(session.finish().critpath.is_none());
     }
 
     #[test]

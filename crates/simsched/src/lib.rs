@@ -39,6 +39,7 @@ mod recorder;
 mod rng;
 mod run;
 mod scheduler;
+pub mod whatif;
 pub mod workloads;
 
 pub use clock::SimClock;
@@ -48,4 +49,5 @@ pub use recorder::{EventRecorder, RecorderThread};
 pub use rng::SplitMix64;
 pub use run::{run_workload, Choices, SimConfig, SimRun};
 pub use scheduler::{Choice, SimScheduler, DEFAULT_SPAWN_COST_NS};
+pub use whatif::{validate_whatif, WhatIfValidation};
 pub use workloads::{Step, TreeWorkload};

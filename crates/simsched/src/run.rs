@@ -58,6 +58,9 @@ pub struct SimRun {
     /// Per-thread snapshots obtained by *replaying* the recorded event
     /// stream offline — must agree with `profile` (differential check).
     pub replayed: Vec<ThreadSnapshot>,
+    /// The recorded per-thread event streams themselves (sorted by tid) —
+    /// the input to `critpath::TaskDag::from_streams`.
+    pub streams: Vec<(usize, Vec<taskprof::Event>)>,
     /// The schedule: every recorded decision, in order.
     pub trace: Vec<Choice>,
 }
@@ -87,19 +90,20 @@ pub fn run_workload(workload: &TreeWorkload, config: &SimConfig) -> SimRun {
     workload.run(&team, &monitor, &clock).unwrap();
 
     let profile = prof.take_profile().expect("region finished");
-    let replayed = recorder
-        .take_streams()
-        .into_iter()
+    let streams = recorder.take_streams();
+    let replayed = streams
+        .iter()
         .map(|(tid, events)| {
             let mut r = Replayer::new(workload.parallel_region(), AssignPolicy::Executing);
-            r.run(events);
-            r.finish(tid)
+            r.run(events.iter().copied());
+            r.finish(*tid)
         })
         .collect();
     SimRun {
         config: config.clone(),
         profile,
         replayed,
+        streams,
         trace: sched.take_trace(),
     }
 }

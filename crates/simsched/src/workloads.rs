@@ -115,6 +115,85 @@ impl TreeWorkload {
         self.task.task
     }
 
+    /// The task construct's creation-site region.
+    pub fn create_region(&self) -> RegionId {
+        self.task.create
+    }
+
+    /// The single region (the winner's body executes inside it).
+    pub fn single_region(&self) -> RegionId {
+        self.single.region
+    }
+
+    /// The instrumented user region [`Step::Region`] bodies run inside.
+    pub fn user_region(&self) -> RegionId {
+        self.region
+    }
+
+    /// The same graph with every [`Step::Work`] attributed to `target`
+    /// divided by `k` — the workload a replay-checked what-if runs.
+    /// Regions are re-registered under the same name, so every id is
+    /// identical to this workload's (the registry is idempotent).
+    ///
+    /// Returns `None` if any affected work amount is not divisible by
+    /// `k`: integer virtual time cannot represent the sped-up graph
+    /// exactly, and an inexact graph would break the bit-exact replay
+    /// check (callers should pick test workloads with divisible weights).
+    pub fn speedup_region(&self, target: RegionId, k: u64) -> Option<TreeWorkload> {
+        assert!(k >= 1, "speedup factor must be >= 1");
+        // Walk with the same attribution the profiler applies: work inside
+        // a task body belongs to the task region, inside a `Step::Region`
+        // to the user region, prologue work to the parallel region, and
+        // the single winner's body to the single region. Parameter scopes
+        // are transparent.
+        fn scale(
+            steps: &[Step],
+            ctx: RegionId,
+            target: RegionId,
+            k: u64,
+            task: RegionId,
+            user: RegionId,
+        ) -> Option<Vec<Step>> {
+            steps
+                .iter()
+                .map(|s| match s {
+                    Step::Work(ns) => {
+                        if ctx == target {
+                            (ns % k == 0).then(|| Step::Work(ns / k))
+                        } else {
+                            Some(Step::Work(*ns))
+                        }
+                    }
+                    Step::Task(body) => scale(body, task, target, k, task, user).map(Step::Task),
+                    Step::Taskwait => Some(Step::Taskwait),
+                    Step::Region(body) => {
+                        scale(body, user, target, k, task, user).map(Step::Region)
+                    }
+                    Step::Param(v, body) => {
+                        scale(body, ctx, target, k, task, user).map(|b| Step::Param(*v, b))
+                    }
+                })
+                .collect()
+        }
+        let prologue = scale(
+            &self.prologue,
+            self.par.region,
+            target,
+            k,
+            self.task.task,
+            self.region,
+        )?;
+        let single_body = scale(
+            &self.single_body,
+            self.single.region,
+            target,
+            k,
+            self.task.task,
+            self.region,
+        )?;
+        Some(TreeWorkload::new(&self.name, prologue, single_body))
+    }
+
     /// Table II bound: with tied tasks, a thread only stacks an instance
     /// on top of another at a taskwait inside it (or by running one
     /// undeferred), and the new instance is always a strict descendant —
@@ -185,6 +264,30 @@ pub fn fib_like(depth: usize) -> TreeWorkload {
     }
     TreeWorkload::new(
         &format!("sim-fib-{depth}"),
+        vec![],
+        vec![Step::Task(node(depth)), Step::Taskwait],
+    )
+}
+
+/// Fib-style binary tree whose every work amount is a multiple of 60, so
+/// [`TreeWorkload::speedup_region`] stays integer-exact for any
+/// K ∈ {2, 3, 4, 5, 6}: the workload behind the what-if validation demos
+/// and the replay-exactness test suite.
+pub fn divisible(depth: usize) -> TreeWorkload {
+    fn node(depth: usize) -> Vec<Step> {
+        if depth == 0 {
+            return vec![Step::Work(120)];
+        }
+        vec![
+            Step::Work(60),
+            Step::Task(node(depth - 1)),
+            Step::Task(node(depth - 1)),
+            Step::Taskwait,
+            Step::Work(60),
+        ]
+    }
+    TreeWorkload::new(
+        &format!("sim-div-{depth}"),
         vec![],
         vec![Step::Task(node(depth)), Step::Taskwait],
     )

@@ -32,6 +32,11 @@
 //!                    [--auth SECRET]
 //! taskprof-cli replicate --from HOST:PORT --to HOST:PORT [--batch N]
 //!                        [--proto json|bin|auto] [--auth SECRET]
+//! taskprof-cli critpath (--app fib|nqueens | --workload fib|flat|mixed|div)
+//!                       [--seed S] [--threads N]
+//! taskprof-cli whatif --region NAME --speedup K
+//!                     (--app fib|nqueens | --workload fib|flat|mixed|div)
+//!                     [--seed S] [--threads N] [--validate]
 //! ```
 //!
 //! `run` executes one BOTS code under the profiler (and optionally the
@@ -40,6 +45,16 @@
 //! runs the deterministic schedule explorer (`simsched`) over seeded
 //! simulated schedules and fails on any profile-invariant violation;
 //! `diff` compares two saved profiles; `list` shows the available codes.
+//!
+//! Causal analysis: `critpath` runs a deterministic seeded source with
+//! task create/join edge recording enabled and prints the work/span
+//! report — total work, critical-path length, parallelism, per-region
+//! rows, and detrimental-pattern warnings. `whatif` predicts the
+//! program makespan with one region `--speedup K`× faster by re-solving
+//! the recorded DAG with scaled weights; with `--workload` sources,
+//! `--validate` re-runs the *actually sped-up* graph under the same seed
+//! and exits 1 unless the measured makespan equals the prediction
+//! exactly.
 //!
 //! The profile-repository commands: `serve` runs the `profserve` daemon
 //! over a `profstore` directory (`--addr 127.0.0.1:0` binds an ephemeral
@@ -114,7 +129,9 @@ fn usage() -> ! {
          taskprof-cli drain --addr HOST:PORT --spool DIR [--deadline-ms N] [--proto json|bin|auto] [--auth SECRET]\n  \
          taskprof-cli query top|stats|regress|trend --addr HOST:PORT --bench NAME [--threads N] [--n N] [--file F] [--threshold T] [--last N] [--since-ns T] [--buckets N] [--prometheus] [--proto json|bin|auto] [--auth SECRET]\n  \
          taskprof-cli watch --addr HOST:PORT [--interval-ms N] [--frames N] [--format dashboard|jsonl] [--proto json|bin|auto] [--auth SECRET]\n  \
-         taskprof-cli replicate --from HOST:PORT --to HOST:PORT [--batch N] [--proto json|bin|auto] [--auth SECRET]"
+         taskprof-cli replicate --from HOST:PORT --to HOST:PORT [--batch N] [--proto json|bin|auto] [--auth SECRET]\n  \
+         taskprof-cli critpath (--app fib|nqueens | --workload fib|flat|mixed|div) [--seed S] [--threads N]\n  \
+         taskprof-cli whatif --region NAME --speedup K (--app fib|nqueens | --workload fib|flat|mixed|div) [--seed S] [--threads N] [--validate]"
     );
     std::process::exit(2);
 }
@@ -665,6 +682,232 @@ fn deterministic_profile(app: &str, seed: u64, threads: usize) -> taskprof::Prof
         }
     }
     monitor.take_profile().expect("region finished")
+}
+
+/// How a `critpath`/`whatif` invocation obtains its task DAG: either a
+/// deterministic seeded run of a simulated BOTS code (`--app`) or a
+/// synthetic `simsched` workload (`--workload`).
+struct DagSource {
+    app: Option<String>,
+    workload: Option<String>,
+    seed: u64,
+    threads: usize,
+}
+
+impl DagSource {
+    fn parse(a: &str, it: &mut std::slice::Iter<'_, String>, src: &mut DagSource) -> bool {
+        match a {
+            "--app" => src.app = Some(it.next().cloned().unwrap_or_else(|| usage())),
+            "--workload" => src.workload = Some(it.next().cloned().unwrap_or_else(|| usage())),
+            "--seed" => {
+                src.seed = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--threads" => {
+                src.threads = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            _ => return false,
+        }
+        true
+    }
+
+    fn workload_by_name(name: &str) -> simsched::TreeWorkload {
+        match name {
+            "fib" => simsched::workloads::fib_like(3),
+            "flat" => simsched::workloads::flat(6),
+            "mixed" => simsched::workloads::mixed(),
+            "div" => simsched::workloads::divisible(3),
+            _ => usage(),
+        }
+    }
+
+    /// Run the selected source and assemble its critical-path DAG.
+    fn build_dag(&self) -> critpath::TaskDag {
+        match (&self.app, &self.workload) {
+            (Some(app), None) => deterministic_dag(app, self.seed, self.threads),
+            (None, Some(w)) => {
+                let workload = Self::workload_by_name(w);
+                let cfg = simsched::SimConfig::seeded(self.threads, self.seed);
+                let run = simsched::run_workload(&workload, &cfg);
+                simsched::whatif::analyze(&run, &workload)
+                    .unwrap_or_else(|e| die_dag(workload.name(), &e))
+            }
+            _ => {
+                eprintln!("exactly one of --app fib|nqueens or --workload fib|flat|mixed|div is required");
+                std::process::exit(2);
+            }
+        }
+    }
+}
+
+fn die_dag(what: &str, e: &critpath::DagError) -> ! {
+    eprintln!("cannot assemble task DAG for {what}: {e}");
+    std::process::exit(1);
+}
+
+/// Like [`deterministic_profile`], but with task create/join edge
+/// recording enabled; returns the assembled critical-path DAG instead of
+/// the call-path profile.
+fn deterministic_dag(app: &str, seed: u64, threads: usize) -> critpath::TaskDag {
+    let sched = Arc::new(simsched::SimScheduler::new(seed));
+    let clock = sched.clock().clone();
+    let team = Team::new(threads).with_policy(sched);
+    let monitor = taskprof::ProfMonitor::builder()
+        .clock(clock)
+        .record_task_edges()
+        .build()
+        .expect("profiler config is valid");
+    let opts = RunOpts::new(threads);
+    let par = match app {
+        "fib" => {
+            bots::fib::run_with_team(&monitor, &team, &opts);
+            bots::fib::regions().par.region
+        }
+        "nqueens" => {
+            bots::nqueens::run_with_team(&monitor, &team, &opts);
+            bots::nqueens::regions().par.region
+        }
+        _ => {
+            eprintln!("--app must be fib or nqueens (simulated deterministic codes)");
+            std::process::exit(2);
+        }
+    };
+    let streams = monitor.take_edge_streams().expect("run finished");
+    let dopts = critpath::DagOptions {
+        undeferred_spawn_cost: Some(simsched::DEFAULT_SPAWN_COST_NS),
+    };
+    critpath::TaskDag::from_streams(&streams, par, &dopts).unwrap_or_else(|e| die_dag(app, &e))
+}
+
+/// Resolve a region by name regardless of kind — region names are unique
+/// per kind in the registry, and what-if targets are usually task or
+/// user-function regions, so try every kind in a fixed order.
+fn resolve_region(name: &str) -> Option<pomp::RegionId> {
+    use pomp::RegionKind as K;
+    [
+        K::Task,
+        K::Function,
+        K::TaskCreate,
+        K::Single,
+        K::Parallel,
+        K::Taskwait,
+        K::Workshare,
+        K::Critical,
+        K::ImplicitBarrier,
+        K::ExplicitBarrier,
+    ]
+    .into_iter()
+    .find_map(|k| pomp::registry().lookup(name, k))
+}
+
+fn cmd_critpath(args: &[String]) {
+    let mut src = DagSource {
+        app: None,
+        workload: None,
+        seed: 42,
+        threads: 2,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if !DagSource::parse(a, &mut it, &mut src) {
+            usage();
+        }
+    }
+    let dag = src.build_dag();
+    print!("{}", cube::render_critpath(&dag.report()));
+}
+
+fn cmd_whatif(args: &[String]) {
+    let mut src = DagSource {
+        app: None,
+        workload: None,
+        seed: 42,
+        threads: 2,
+    };
+    let mut region_name: Option<String> = None;
+    let mut speedup: Option<u64> = None;
+    let mut validate = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--region" => region_name = Some(it.next().cloned().unwrap_or_else(|| usage())),
+            "--speedup" => {
+                speedup = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                )
+            }
+            other => {
+                if !DagSource::parse(other, &mut it, &mut src) {
+                    if other == "--validate" {
+                        validate = true;
+                    } else {
+                        usage();
+                    }
+                }
+            }
+        }
+    }
+    let region_name = region_name.unwrap_or_else(|| usage());
+    let speedup = speedup.unwrap_or_else(|| usage());
+    if speedup == 0 {
+        eprintln!("--speedup must be at least 1");
+        std::process::exit(2);
+    }
+    let dag = src.build_dag();
+    let region = resolve_region(&region_name).unwrap_or_else(|| {
+        eprintln!("unknown region {region_name:?}; run `taskprof-cli critpath` with the same source to list region names");
+        std::process::exit(2);
+    });
+    if dag.region_work_ns(region) == 0 {
+        eprintln!(
+            "region {region_name:?} has no recorded work in this run; the prediction would be vacuous"
+        );
+        std::process::exit(2);
+    }
+    let prediction = dag.what_if(region, speedup);
+    print!("{}", cube::render_whatif(&prediction, &region_name));
+    if !validate {
+        return;
+    }
+    let Some(wname) = src.workload.as_deref() else {
+        eprintln!("--validate requires --workload (BOTS app bodies cannot be rebuilt with scaled work)");
+        std::process::exit(2);
+    };
+    let workload = DagSource::workload_by_name(wname);
+    let cfg = simsched::SimConfig::seeded(src.threads, src.seed);
+    match simsched::validate_whatif(&workload, &cfg, region, speedup) {
+        None => {
+            eprintln!(
+                "cannot validate: some work in {region_name:?} is not divisible by {speedup} \
+                 (the sped-up graph is not representable in integer virtual time)"
+            );
+            std::process::exit(1);
+        }
+        Some(v) => {
+            println!(
+                "validation: replayed makespan {}  choice trace {}",
+                format_ns(v.replayed_makespan_ns),
+                if v.traces_match { "matched" } else { "DIVERGED" }
+            );
+            if v.exact() {
+                println!("replay reproduced the prediction exactly");
+            } else {
+                eprintln!(
+                    "what-if validation FAILED: predicted {} but replay measured {}",
+                    format_ns(v.predicted_makespan_ns),
+                    format_ns(v.replayed_makespan_ns)
+                );
+                std::process::exit(1);
+            }
+        }
+    }
 }
 
 fn connect_or_die(
@@ -1244,6 +1487,8 @@ fn main() {
         Some("query") => cmd_query(&args[1..]),
         Some("watch") => cmd_watch(&args[1..]),
         Some("replicate") => cmd_replicate(&args[1..]),
+        Some("critpath") => cmd_critpath(&args[1..]),
+        Some("whatif") => cmd_whatif(&args[1..]),
         _ => usage(),
     }
 }

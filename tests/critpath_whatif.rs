@@ -1,0 +1,108 @@
+//! Replay-checked what-if exactness (the headline claim of the causal
+//! profiling subsystem).
+//!
+//! The `critpath` engine predicts the makespan of a run with one region
+//! K× faster by re-solving the recorded task DAG with scaled weights.
+//! Because the `simsched` scheduler's decisions are purely structural
+//! (clock values never feed back into scheduling), running the *same*
+//! graph with the region's work actually divided by K under the same
+//! seed must take the identical schedule — so the prediction is not an
+//! estimate, it is checkable to the nanosecond. This suite asserts that
+//! exactness across workload shapes, seeds, target regions, and speedup
+//! factors, plus the model's ordering invariants.
+
+use simsched::{validate_whatif, workloads, SimConfig, Step, TreeWorkload};
+
+/// Flat single-producer workload with every work amount a multiple of
+/// 60: the single winner spawns six leaves of graded sizes, plus work in
+/// the prologue every implicit task runs.
+fn divisible_flat() -> TreeWorkload {
+    let mut body: Vec<Step> = (1..=6).map(|i| Step::leaf(60 * i)).collect();
+    body.push(Step::Taskwait);
+    body.push(Step::Work(120));
+    TreeWorkload::new("critpath-flat-div", vec![Step::Work(60)], body)
+}
+
+fn check_exact(workload: &TreeWorkload, region: pomp::RegionId, seeds: &[u64]) {
+    for &seed in seeds {
+        for threads in [2, 3] {
+            let cfg = SimConfig::seeded(threads, seed);
+            let mut last_prediction = u64::MAX;
+            for k in [2, 3, 5] {
+                let v = validate_whatif(workload, &cfg, region, k)
+                    .expect("all work amounts are multiples of 60");
+                assert!(
+                    v.traces_match,
+                    "{} seed={seed} threads={threads} K={k}: scaling changed the schedule",
+                    workload.name()
+                );
+                assert_eq!(
+                    v.predicted_makespan_ns,
+                    v.replayed_makespan_ns,
+                    "{} seed={seed} threads={threads} K={k}: prediction diverged from replay",
+                    workload.name()
+                );
+                assert!(v.exact());
+                assert!(
+                    v.predicted_makespan_ns <= v.baseline_makespan_ns,
+                    "speeding a region up must never slow the program down"
+                );
+                assert!(
+                    v.predicted_span_ns <= v.predicted_makespan_ns,
+                    "no schedule beats the logical span"
+                );
+                assert!(
+                    v.predicted_makespan_ns <= last_prediction,
+                    "prediction must be monotone nonincreasing in K"
+                );
+                last_prediction = v.predicted_makespan_ns;
+            }
+        }
+    }
+}
+
+#[test]
+fn fib_tree_prediction_is_exact_for_task_region() {
+    let w = workloads::divisible(3);
+    check_exact(&w, w.task_region(), &[7, 11, 42]);
+}
+
+#[test]
+fn flat_producer_prediction_is_exact_for_single_region() {
+    // Work directly in the single body (outside any task) attributes to
+    // the single construct's region — a different scaling target than
+    // the task region, on the producer's own critical path.
+    let w = divisible_flat();
+    check_exact(&w, w.single_region(), &[1, 13]);
+}
+
+#[test]
+fn flat_producer_prediction_is_exact_for_parallel_region() {
+    // Prologue work runs in every implicit task and attributes to the
+    // parallel region itself.
+    let w = divisible_flat();
+    check_exact(&w, w.parallel_region(), &[2, 23]);
+}
+
+#[test]
+fn flat_producer_prediction_is_exact() {
+    let w = divisible_flat();
+    check_exact(&w, w.task_region(), &[3, 19, 42]);
+}
+
+#[test]
+fn unit_speedup_predicts_the_baseline_itself() {
+    let w = workloads::divisible(3);
+    let cfg = SimConfig::seeded(2, 42);
+    let v = validate_whatif(&w, &cfg, w.task_region(), 1).expect("K=1 divides everything");
+    assert_eq!(v.predicted_makespan_ns, v.baseline_makespan_ns);
+    assert!(v.exact());
+}
+
+#[test]
+fn indivisible_work_refuses_validation() {
+    // fib_like uses work amounts 10/5/2; K=7 divides none of them.
+    let w = workloads::fib_like(2);
+    let cfg = SimConfig::seeded(2, 5);
+    assert!(validate_whatif(&w, &cfg, w.task_region(), 7).is_none());
+}

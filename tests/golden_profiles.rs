@@ -177,3 +177,52 @@ fn golden_nqueens_tiny_fixed_seed() {
     assert!(out.verified, "simulated nqueens found a wrong solution count");
     check_golden("nqueens_test_seed42", &cube::write_profile(&profile));
 }
+
+/// Like `simulated_bots_profile`, but with task create/join edge
+/// recording enabled: returns the critical-path report rendered by cube,
+/// the snapshot surface of the causal-profiling subsystem.
+fn simulated_bots_critpath(
+    run: impl Fn(&ProfMonitor<simsched::SimClock>, &Team) -> bots::Outcome,
+    parallel_region: RegionId,
+    seed: u64,
+) -> String {
+    let sched = Arc::new(simsched::SimScheduler::new(seed));
+    let clock = sched.clock().clone();
+    let team = Team::new(2).with_policy(sched);
+    let monitor = ProfMonitor::builder()
+        .clock(clock)
+        .record_task_edges()
+        .build()
+        .expect("profiler config is valid");
+    let out = run(&monitor, &team);
+    assert!(out.verified, "simulated run produced a wrong answer");
+    let streams = monitor.take_edge_streams().expect("region finished");
+    let opts = critpath::DagOptions {
+        undeferred_spawn_cost: Some(simsched::DEFAULT_SPAWN_COST_NS),
+    };
+    let dag = critpath::TaskDag::from_streams(&streams, parallel_region, &opts)
+        .expect("recorded edge streams assemble into a DAG");
+    cube::render_critpath(&dag.report())
+}
+
+#[test]
+fn golden_fib_critpath_fixed_seed() {
+    let opts = bots::RunOpts::new(2).scale(bots::Scale::Test);
+    let rendered = simulated_bots_critpath(
+        |monitor, team| bots::fib::run_with_team(monitor, team, &opts),
+        bots::fib::regions().par.region,
+        42,
+    );
+    check_golden("critpath_fib_test_seed42", &rendered);
+}
+
+#[test]
+fn golden_nqueens_critpath_fixed_seed() {
+    let opts = bots::RunOpts::new(2).scale(bots::Scale::Test);
+    let rendered = simulated_bots_critpath(
+        |monitor, team| bots::nqueens::run_with_team(monitor, team, &opts),
+        bots::nqueens::regions().par.region,
+        42,
+    );
+    check_golden("critpath_nqueens_test_seed42", &rendered);
+}

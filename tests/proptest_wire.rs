@@ -177,10 +177,17 @@ proptest! {
     #[test]
     fn truncated_payloads_never_decode_to_the_original(req in arb_request(), cut in 0.0f64..1.0) {
         let payload = encode_request(&req);
+        // One deliberate exception: the HELLO auth extension is a trailing
+        // optional field, and the decoder accepts a pre-auth HELLO that
+        // ends after `features` as auth: None. Dropping exactly the
+        // presence byte of an auth-less HELLO therefore round-trips.
+        let compat_hello = matches!(&req, Request::Hello { auth: None, .. });
         if payload.len() > 1 {
             let keep = ((payload.len() as f64 * cut) as usize).min(payload.len() - 1);
-            if let Ok(decoded) = decode_request(&payload[..keep]) {
-                prop_assert_ne!(decoded, req);
+            if !(compat_hello && keep == payload.len() - 1) {
+                if let Ok(decoded) = decode_request(&payload[..keep]) {
+                    prop_assert_ne!(decoded, req);
+                }
             }
         }
     }
